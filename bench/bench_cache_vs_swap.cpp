@@ -1,0 +1,105 @@
+// §V-B in-text claim — cache misses vs. memory swapping.
+//
+// "Our time measurements inside/outside of enclaves highlighted
+//  performance degrades when cache misses rate increase ... While cache
+//  misses imposes some limited overhead, they are less critical than
+//  memory swapping. ... Memory swapping is serviced by the operating
+//  system, which causes higher overheads when compared to cache misses."
+//
+// Three working-set regimes, identical random-access code inside and
+// outside the simulated enclave:
+//   (a) fits the LLC            -> overhead ~ 1x (hits cost the same)
+//   (b) fits the EPC, not LLC   -> MEE-miss regime (limited overhead)
+//   (c) exceeds the EPC         -> paging regime (dominant overhead)
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "sgx/memory_model.hpp"
+
+namespace {
+
+using namespace securecloud;
+
+struct RegimeResult {
+  double outside_cycles_per_access;
+  double inside_cycles_per_access;
+  double epc_fault_rate;
+};
+
+RegimeResult run_regime(const sgx::CostModel& cost, std::size_t working_set_bytes,
+                        std::size_t accesses, std::uint64_t seed) {
+  SimClock out_clock, in_clock;
+  sgx::PlainMemory outside(cost, out_clock);
+  sgx::EnclaveMemory inside(cost, in_clock);
+  Rng rng(seed);
+
+  // Warmup pass so both sides start from steady state (long enough that
+  // compulsory misses are gone even for random access over the set).
+  for (std::size_t i = 0; i < accesses * 2; ++i) {
+    const std::uint64_t addr = rng.uniform(working_set_bytes);
+    outside.access(addr, 8);
+    inside.access(addr, 8);
+  }
+  const std::uint64_t out_before = out_clock.cycles();
+  const std::uint64_t in_before = in_clock.cycles();
+  const std::uint64_t faults_before = inside.epc_stats().faults;
+
+  for (std::size_t i = 0; i < accesses; ++i) {
+    const std::uint64_t addr = rng.uniform(working_set_bytes);
+    outside.access(addr, 8);
+    inside.access(addr, 8);
+  }
+
+  RegimeResult r;
+  r.outside_cycles_per_access =
+      static_cast<double>(out_clock.cycles() - out_before) / static_cast<double>(accesses);
+  r.inside_cycles_per_access =
+      static_cast<double>(in_clock.cycles() - in_before) / static_cast<double>(accesses);
+  r.epc_fault_rate = static_cast<double>(inside.epc_stats().faults - faults_before) /
+                     static_cast<double>(accesses);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Cache misses vs memory swapping (SV-B in-text) ===\n");
+  std::printf("random 8B accesses over a working set; identical code inside/outside\n\n");
+
+  sgx::CostModel cost;
+  cost.llc_size_bytes = 8ull << 20;
+  // Scale the EPC down so regime (c) runs quickly; regime boundaries are
+  // what matters, not absolute sizes.
+  cost.epc_size_bytes = 64ull << 20;
+  cost.epc_metadata_bytes = 16ull << 20;  // 48 MiB usable
+
+  struct Case {
+    const char* name;
+    std::size_t working_set;
+  };
+  const Case cases[] = {
+      {"fits LLC        (4 MiB)", 4ull << 20},
+      {"LLC< ws <EPC   (32 MiB)", 32ull << 20},
+      {"exceeds EPC    (96 MiB)", 96ull << 20},
+      {"2x EPC        (128 MiB)", 128ull << 20},
+  };
+
+  std::printf("%-26s %-12s %-12s %-8s %-12s\n", "regime", "outside", "inside",
+              "ratio", "faults/acc");
+  double mee_ratio = 0, swap_ratio = 0;
+  for (const auto& c : cases) {
+    const RegimeResult r = run_regime(cost, c.working_set, 400'000, 99);
+    const double ratio = r.inside_cycles_per_access / r.outside_cycles_per_access;
+    std::printf("%-26s %-12.1f %-12.1f %-8.2f %-12.4f\n", c.name,
+                r.outside_cycles_per_access, r.inside_cycles_per_access, ratio,
+                r.epc_fault_rate);
+    if (c.working_set == 32ull << 20) mee_ratio = ratio;
+    if (c.working_set == 128ull << 20) swap_ratio = ratio;
+  }
+
+  std::printf("\npaper: cache-miss overhead 'limited', 'less critical than memory swapping'\n");
+  std::printf("measured: MEE-miss regime %.1fx vs paging regime %.1fx (%.1fx more severe)\n",
+              mee_ratio, swap_ratio, swap_ratio / mee_ratio);
+  return 0;
+}

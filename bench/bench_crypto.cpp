@@ -1,0 +1,112 @@
+// Supporting benchmark: crypto primitive throughput.
+//
+// These numbers bound the simulator's MEE/paging cost model: EPC page
+// eviction performs one AES-GCM pass over 4 KiB, so the paging costs
+// charged by sgx::CostModel should be consistent with the measured AEAD
+// throughput of this (portable, non-AES-NI) implementation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/entropy.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace {
+
+using namespace securecloud;
+using namespace securecloud::crypto;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto d = Sha256::hash(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = random_bytes(32, 2);
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto d = HmacSha256::mac(key, data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(4096);
+
+void BM_AesGcmSeal(benchmark::State& state) {
+  const AesGcm gcm(random_bytes(16, 4));
+  const Bytes pt = random_bytes(static_cast<std::size_t>(state.range(0)), 5);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    GcmTag tag;
+    auto ct = gcm.seal(nonce_from_counter(counter++), {}, pt, tag);
+    benchmark::DoNotOptimize(ct);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(64)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_AesGcmOpen(benchmark::State& state) {
+  const AesGcm gcm(random_bytes(16, 6));
+  const Bytes pt = random_bytes(static_cast<std::size_t>(state.range(0)), 7);
+  GcmTag tag;
+  const Bytes ct = gcm.seal(nonce_from_counter(1), {}, pt, tag);
+  for (auto _ : state) {
+    auto back = gcm.open(nonce_from_counter(1), {}, ct, tag);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesGcmOpen)->Arg(4096);
+
+void BM_X25519(benchmark::State& state) {
+  DeterministicEntropy entropy(8);
+  const auto a = x25519_keypair(entropy.array<32>());
+  const auto b = x25519_keypair(entropy.array<32>());
+  for (auto _ : state) {
+    auto shared = x25519(a.private_key, b.public_key);
+    benchmark::DoNotOptimize(shared);
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  DeterministicEntropy entropy(9);
+  const auto kp = ed25519_keypair(entropy.array<32>());
+  const Bytes msg = random_bytes(256, 10);
+  for (auto _ : state) {
+    auto sig = ed25519_sign(kp, msg);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  DeterministicEntropy entropy(11);
+  const auto kp = ed25519_keypair(entropy.array<32>());
+  const Bytes msg = random_bytes(256, 12);
+  const auto sig = ed25519_sign(kp, msg);
+  for (auto _ : state) {
+    bool ok = ed25519_verify(kp.public_key, msg, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

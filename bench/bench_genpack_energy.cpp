@@ -1,0 +1,128 @@
+// §VI in-text claim — GenPack energy savings.
+//
+// "Our experiments with GenPack [11] show that up to 23% energy savings
+//  are possible for typical data-center workloads."
+//
+// Replays deterministic day-long container traces (system + service +
+// batch mix) on a simulated cluster under three schedulers — spread
+// (Docker Swarm default), first-fit binpack, and GenPack — and reports
+// integrated cluster energy, powered-on server statistics, and
+// migrations. Ablations: generation sizing and the monitoring window.
+#include <cstdio>
+
+#include "genpack/simulator.hpp"
+
+namespace {
+
+using namespace securecloud::genpack;
+
+struct Row {
+  const char* name;
+  SimReport report;
+};
+
+void print_table(const std::vector<Row>& rows) {
+  const double spread_energy = rows[0].report.total_energy_wh;
+  std::printf("%-12s %-12s %-11s %-11s %-9s %-11s %-9s %-14s\n", "scheduler",
+              "energy_Wh", "vs_spread", "avg_srv_on", "peak_on", "migrations",
+              "rejected", "interference_h");
+  for (const auto& row : rows) {
+    std::printf("%-12s %-12.0f %+-10.1f%% %-11.1f %-9zu %-11zu %-9zu %-14.0f\n",
+                row.name, row.report.total_energy_wh,
+                (1.0 - row.report.total_energy_wh / spread_energy) * 100.0,
+                row.report.avg_servers_on, row.report.peak_servers_on,
+                row.report.migrations, row.report.rejected,
+                row.report.interference_container_hours);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== GenPack energy savings (SVI: 'up to 23%%' for typical workloads) ===\n");
+
+  // Right-sized cluster: capacity ~= the trace's peak demand, as a
+  // production deployment would provision. (The overprovisioning sweep
+  // below shows savings grow with idle fleet size.)
+  constexpr std::size_t kCluster = 10;
+  double best_savings = 0;
+
+  for (const std::uint64_t seed : {42ull, 7ull, 1234ull}) {
+    TraceConfig tconfig;  // typical data-center mix (see genpack/workload.hpp)
+    const auto trace = generate_trace(tconfig, seed);
+
+    SpreadScheduler spread;
+    FirstFitScheduler first_fit;
+    BestFitScheduler best_fit;
+    GenPackScheduler genpack(kCluster);
+
+    std::vector<Row> rows;
+    rows.push_back({"spread", ClusterSimulator(kCluster).run(trace, spread)});
+    rows.push_back({"binpack-ff", ClusterSimulator(kCluster).run(trace, first_fit)});
+    rows.push_back({"binpack-bf", ClusterSimulator(kCluster).run(trace, best_fit)});
+    rows.push_back({"genpack", ClusterSimulator(kCluster).run(trace, genpack)});
+
+    std::printf("\ntrace seed %llu (%zu containers over 24h, %zu servers):\n",
+                static_cast<unsigned long long>(seed), trace.size(), kCluster);
+    print_table(rows);
+
+    const double savings =
+        1.0 - rows[3].report.total_energy_wh / rows[0].report.total_energy_wh;
+    if (savings > best_savings) best_savings = savings;
+  }
+  std::printf("\npaper: up to 23%% savings; measured best: %.1f%%\n",
+              best_savings * 100.0);
+
+  // --- Ablation 0: overprovisioning sweep -------------------------------------
+  // Spread keeps every server powered; its waste (and GenPack's savings)
+  // scales with how overprovisioned the cluster is. The paper's "up to
+  // 23%" corresponds to a right-sized cluster.
+  std::printf("\n=== Ablation: cluster overprovisioning (savings vs spread) ===\n");
+  {
+    const auto sweep_trace = generate_trace(TraceConfig{}, 42);
+    std::printf("%-10s %-14s %-14s %-10s\n", "servers", "spread_Wh", "genpack_Wh",
+                "savings");
+    for (const std::size_t cluster : {8u, 10u, 12u, 16u, 24u}) {
+      SpreadScheduler sweep_spread;
+      GenPackScheduler sweep_genpack(cluster);
+      const auto rs = ClusterSimulator(cluster).run(sweep_trace, sweep_spread);
+      const auto rg = ClusterSimulator(cluster).run(sweep_trace, sweep_genpack);
+      std::printf("%-10zu %-14.0f %-14.0f %.1f%%\n", cluster, rs.total_energy_wh,
+                  rg.total_energy_wh,
+                  100.0 * (1.0 - rg.total_energy_wh / rs.total_energy_wh));
+    }
+  }
+
+  // --- Ablation 1: generation sizing ----------------------------------------
+  std::printf("\n=== Ablation: generation sizing (nursery/old fractions) ===\n");
+  const auto trace = generate_trace(TraceConfig{}, 42);
+  std::printf("%-28s %-14s %-12s\n", "config", "energy_Wh", "migrations");
+  struct Sizing {
+    const char* name;
+    double nursery, old_gen;
+  };
+  for (const Sizing s : {Sizing{"nursery 15% / old 10%", 0.15, 0.10},
+                         Sizing{"nursery 30% / old 20%", 0.30, 0.20},
+                         Sizing{"nursery 50% / old 25%", 0.50, 0.25}}) {
+    GenPackConfig config;
+    config.nursery_fraction = s.nursery;
+    config.old_fraction = s.old_gen;
+    GenPackScheduler scheduler(kCluster, config);
+    const auto report = ClusterSimulator(kCluster).run(trace, scheduler);
+    std::printf("%-28s %-14.0f %-12zu\n", s.name, report.total_energy_wh,
+                report.migrations);
+  }
+
+  // --- Ablation 2: monitoring window ------------------------------------------
+  std::printf("\n=== Ablation: monitoring window (promotion delay) ===\n");
+  std::printf("%-16s %-14s %-12s\n", "window_s", "energy_Wh", "migrations");
+  for (const std::uint64_t window : {300ull, 900ull, 3600ull, 14400ull}) {
+    GenPackConfig config;
+    config.monitoring_window_s = window;
+    GenPackScheduler scheduler(kCluster, config);
+    const auto report = ClusterSimulator(kCluster).run(trace, scheduler);
+    std::printf("%-16llu %-14.0f %-12zu\n", static_cast<unsigned long long>(window),
+                report.total_energy_wh, report.migrations);
+  }
+  return 0;
+}

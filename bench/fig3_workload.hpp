@@ -1,0 +1,80 @@
+// Shared Fig. 3 subscription/publication workload (see
+// bench_fig3_memory_swapping.cpp for the methodology): 64 broad region
+// roots over attr0, refined by deep narrow-chains — containment-rich,
+// bounded poset fan-out, scattered subtree visits at match time.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scbr/poset_engine.hpp"
+
+namespace fig3 {
+
+using namespace securecloud;
+
+constexpr std::int64_t kValueRange = 1'000'000;
+constexpr std::size_t kRegions = 64;
+constexpr std::size_t kAttrs = 4;  // attr0 (regional) + attr1..3
+
+/// Containment-rich subscription generator: region roots partition attr0;
+/// every other filter narrows a recently generated one, producing deep
+/// cover chains with bounded fan-out (cheap poset insertion, scattered
+/// subtree visits at match time).
+class Fig3Workload {
+ public:
+  explicit Fig3Workload(std::uint64_t seed) : rng_(seed) {
+    const std::int64_t region_width = kValueRange / static_cast<std::int64_t>(kRegions);
+    for (std::size_t r = 0; r < kRegions; ++r) {
+      scbr::Filter root;
+      root.where("a0", scbr::Op::kGe, scbr::Value::of(static_cast<std::int64_t>(r) * region_width));
+      root.where("a0", scbr::Op::kLe,
+                 scbr::Value::of(static_cast<std::int64_t>(r + 1) * region_width));
+      for (std::size_t a = 1; a < kAttrs; ++a) {
+        root.where(attr(a), scbr::Op::kGe, scbr::Value::of(std::int64_t{0}));
+        root.where(attr(a), scbr::Op::kLe, scbr::Value::of(kValueRange));
+      }
+      pool_.push_back(root);
+    }
+    roots_ = pool_;  // the first kRegions filters are the roots
+  }
+
+  scbr::Filter next_filter() {
+    if (emitted_ < kRegions) return roots_[emitted_++];
+    // Narrow a random recent filter: child interval = parent shrunk by a
+    // tiny epsilon per side, guaranteeing containment and high match
+    // probability along the chain (deep descents at match time).
+    const scbr::Filter& parent = pool_[rng_.uniform(pool_.size())];
+    scbr::Filter child;
+    for (const auto& c : parent.constraints()) {
+      if (c.op == scbr::Op::kGe) {
+        child.where(c.attribute, c.op, scbr::Value::of(c.value.as_int() + rng_.uniform_in(0, 3)));
+      } else {
+        child.where(c.attribute, c.op,
+                    scbr::Value::of(std::max<std::int64_t>(0, c.value.as_int() - rng_.uniform_in(0, 3))));
+      }
+    }
+    pool_.push_back(child);
+    if (pool_.size() > 8192) pool_.erase(pool_.begin(), pool_.begin() + 4096);
+    ++emitted_;
+    return child;
+  }
+
+  scbr::Event next_event() {
+    scbr::Event e;
+    e.set("a0", rng_.uniform_in(0, kValueRange));
+    for (std::size_t a = 1; a < kAttrs; ++a) {
+      e.set(attr(a), rng_.uniform_in(0, kValueRange));
+    }
+    return e;
+  }
+
+ private:
+  static std::string attr(std::size_t i) { return "a" + std::to_string(i); }
+  Rng rng_;
+  std::vector<scbr::Filter> roots_;
+  std::vector<scbr::Filter> pool_;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace fig3

@@ -1,0 +1,133 @@
+// SVI use case 2: responsive fault detection + orchestration.
+//
+// Micro-services connected by the secure event bus (Fig. 1): feeder
+// telemetry flows through SCBR; an enclave-resident fault detector
+// publishes alerts; the orchestrator isolates the feeder and boosts the
+// analytics QoS "within milliseconds". GenPack meanwhile schedules the
+// supporting containers for energy efficiency.
+//
+// Build & run:  ./build/examples/grid_fault_monitoring
+#include <cstdio>
+
+#include "genpack/simulator.hpp"
+#include "microservice/service.hpp"
+#include "sgx/platform.hpp"
+#include "smartgrid/fault.hpp"
+
+using namespace securecloud;
+using namespace securecloud::microservice;
+using scbr::Event;
+using scbr::Filter;
+using scbr::Op;
+using scbr::Value;
+
+int main() {
+  std::printf("=== Grid fault monitoring (use case 2) ===\n\n");
+
+  // --- platform + secure event bus -------------------------------------
+  sgx::Platform platform;
+  sgx::AttestationService attestation;
+  platform.provision(attestation);
+  crypto::DeterministicEntropy entropy(55);
+  scbr::KeyService keys(attestation, entropy);
+
+  sgx::EnclaveImage bus_image;
+  bus_image.name = "grid-bus";
+  bus_image.code = to_bytes("grid event bus router");
+  crypto::DeterministicEntropy signer(66);
+  sign_image(bus_image, crypto::ed25519_keypair(signer.array<32>()));
+  auto enclave = platform.create_enclave(bus_image);
+  if (!enclave.ok()) return 1;
+  keys.authorize_router((*enclave)->mrenclave());
+
+  EventBus bus(**enclave, keys);
+  MicroService telemetry(bus, "feeder-telemetry");
+  MicroService detector_svc(bus, "fault-detector");
+  MicroService orchestrator_svc(bus, "orchestrator");
+  if (!bus.start().ok()) return 1;
+  std::printf("[bus] router attested; 3 micro-services attached\n");
+
+  // --- wire the pipeline -------------------------------------------------
+  smartgrid::FaultDetector detector({}, platform.clock());
+  smartgrid::Orchestrator orchestrator;
+  std::vector<smartgrid::FaultAlert> alerts;
+
+  Filter telemetry_filter;
+  telemetry_filter.where("kind", Op::kEq, Value::of(std::string("feeder-flow")));
+  (void)detector_svc.on(telemetry_filter, [&](const Event& e) {
+    const auto* feeder = e.find("feeder");
+    const auto* flow = e.find("flow_w");
+    const auto* t = e.find("t");
+    if (!feeder || !flow || !t) return;
+    if (auto alert = detector.observe(feeder->as_string(),
+                                      static_cast<std::uint64_t>(t->as_int()),
+                                      flow->numeric())) {
+      alerts.push_back(*alert);
+      Event alarm;
+      alarm.set("kind", "fault-alert");
+      alarm.set("feeder", feeder->as_string());
+      (void)detector_svc.emit(alarm);
+    }
+  });
+
+  Filter alert_filter;
+  alert_filter.where("kind", Op::kEq, Value::of(std::string("fault-alert")));
+  (void)orchestrator_svc.on(alert_filter, [&](const Event& e) {
+    smartgrid::FaultAlert alert;
+    alert.feeder_id = e.find("feeder")->as_string();
+    orchestrator.on_fault(alert);
+  });
+
+  // --- drive telemetry: feeder-1 collapses at t=40 -------------------------
+  std::printf("[grid] streaming feeder telemetry (feeder-1 fails at t=40)...\n");
+  Rng rng(3);
+  for (std::uint64_t t = 0; t < 60; ++t) {
+    for (const char* feeder : {"feeder-0", "feeder-1"}) {
+      double flow = 10'000 + rng.normal(0, 300);
+      if (std::string(feeder) == "feeder-1" && t >= 40) flow = 25;  // outage
+      Event e;
+      e.set("kind", "feeder-flow");
+      e.set("feeder", feeder);
+      e.set("flow_w", flow);
+      e.set("t", static_cast<std::int64_t>(t));
+      (void)telemetry.emit(e);
+    }
+    bus.drain();
+  }
+
+  if (alerts.empty()) {
+    std::printf("no fault detected (BUG)\n");
+    return 1;
+  }
+  std::printf("[detector]     fault on %s at t=%lus, detection latency %.1f us\n",
+              alerts[0].feeder_id.c_str(),
+              static_cast<unsigned long>(alerts[0].detected_at_s),
+              static_cast<double>(alerts[0].detection_latency_ns) / 1000.0);
+  std::printf("[orchestrator] feeder-1 isolated: %s, analytics boosted: %s\n",
+              orchestrator.is_isolated("feeder-1") ? "yes" : "no",
+              orchestrator.is_boosted("feeder-1") ? "yes" : "no");
+  std::printf("[bus]          %llu published, %llu delivered (all encrypted)\n",
+              static_cast<unsigned long long>(bus.published()),
+              static_cast<unsigned long long>(bus.delivered()));
+
+  // --- GenPack schedules the supporting containers ---------------------------
+  std::printf("\n[genpack] scheduling the monitoring stack for energy efficiency...\n");
+  using namespace securecloud::genpack;
+  const auto trace = generate_trace(TraceConfig{}, 99);
+  SpreadScheduler spread;
+  GenPackScheduler genpack(20);
+  const auto spread_report = ClusterSimulator(20).run(trace, spread);
+  const auto genpack_report = ClusterSimulator(20).run(trace, genpack);
+  std::printf("  spread:  %.0f Wh (avg %.1f servers on)\n",
+              spread_report.total_energy_wh, spread_report.avg_servers_on);
+  std::printf("  genpack: %.0f Wh (avg %.1f servers on) -> %.1f%% energy saved\n",
+              genpack_report.total_energy_wh, genpack_report.avg_servers_on,
+              100.0 * (1.0 - genpack_report.total_energy_wh /
+                                 spread_report.total_energy_wh));
+
+  const bool ok = orchestrator.is_isolated("feeder-1") &&
+                  alerts[0].detection_latency_ns < 1'000'000;
+  std::printf("\nfault pipeline %s: detection within milliseconds, reaction applied\n",
+              ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Quickstart: the full SecureCloud workflow in one file.
+//
+//   1. An image creator builds a *secure container image* in a trusted
+//      environment: the application binary is signed, sensitive files are
+//      encrypted, and the FS protection file is sealed (SV-A).
+//   2. The image is published through an untrusted registry.
+//   3. A cloud host pulls it and runs it as a secure container: the
+//      enclave attests itself, receives its startup configuration over a
+//      bound channel, mounts the shielded file system, and runs the
+//      application logic — while the host sees only ciphertext.
+//   4. The host then *tries to cheat* (tampering with the image) and the
+//      stack refuses to run.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "container/engine.hpp"
+#include "container/scone_client.hpp"
+#include "scone/stdio.hpp"
+
+using namespace securecloud;
+
+int main() {
+  std::printf("=== SecureCloud quickstart ===\n\n");
+
+  // --------------------------------------------------------------------
+  // Trusted environment: the image creator.
+  // --------------------------------------------------------------------
+  container::Registry registry;           // untrusted distribution point
+  crypto::DeterministicEntropy entropy(2026);
+  crypto::DeterministicEntropy signer_entropy(1);
+  const auto signer = crypto::ed25519_keypair(signer_entropy.array<32>());
+  container::SconeClient scone_client(registry, entropy, signer);
+
+  // The attestation service (Intel's role) and the image owner's
+  // configuration service.
+  sgx::AttestationService attestation;
+  crypto::DeterministicEntropy config_entropy(3);
+  scone::ConfigurationService config_service(attestation, config_entropy);
+
+  container::SecureImageSpec spec;
+  spec.name = "billing-service";
+  spec.app_code = to_bytes("statically-linked billing binary");
+  spec.protected_files["/secrets/db-password"] = to_bytes("correct horse battery");
+  spec.protected_files["/data/tariffs"] = to_bytes("peak=0.42;offpeak=0.18");
+  spec.public_files["/README"] = to_bytes("billing micro-service");
+  spec.args = {"--tariff-zone=eu"};
+  spec.env = {{"LOG_LEVEL", "info"}};
+
+  auto manifest = scone_client.build_secure_image(spec, config_service);
+  if (!manifest.ok()) {
+    std::printf("image build failed: %s\n", manifest.error().message.c_str());
+    return 1;
+  }
+  std::printf("[creator] built + published %s (%zu layers, FSPF encrypted)\n",
+              manifest->reference().c_str(), manifest->layer_digests.size());
+
+  // --------------------------------------------------------------------
+  // Untrusted cloud: pull and run.
+  // --------------------------------------------------------------------
+  sgx::Platform platform;  // an SGX machine in the cloud
+  platform.provision(attestation);
+  container::ContainerMonitor monitor;
+  container::ContainerEngine engine(registry, monitor);
+
+  auto cont = engine.create("billing-service:latest");
+  if (!cont.ok()) {
+    std::printf("pull failed: %s\n", cont.error().message.c_str());
+    return 1;
+  }
+  std::printf("[cloud]   pulled image into container %s\n", (*cont)->id().c_str());
+
+  auto outcome = engine.run_secure(
+      **cont, platform, config_service, [](scone::AppContext& ctx) -> Result<Bytes> {
+        auto password = ctx.fs.read_all("/secrets/db-password");
+        if (!password.ok()) return password.error();
+        auto tariffs = ctx.fs.read_all("/data/tariffs");
+        if (!tariffs.ok()) return tariffs.error();
+        ctx.out.print("billing started in zone " + ctx.args.front());
+        // Persist some state through the shielded FS.
+        SC_RETURN_IF_ERROR(ctx.fs.create("/data/invoices"));
+        SC_RETURN_IF_ERROR(ctx.fs.write_all("/data/invoices", to_bytes("42 invoices")));
+        return to_bytes("processed with " + securecloud::to_string(*tariffs));
+      });
+  if (!outcome.ok()) {
+    std::printf("secure run failed: %s\n", outcome.error().message.c_str());
+    return 1;
+  }
+  std::printf("[enclave] app result: %s\n",
+              securecloud::to_string(outcome->app_result).c_str());
+  std::printf("[cloud]   host FS files: %zu (all ciphertext)\n",
+              (*cont)->rootfs().file_count());
+  std::printf("[cloud]   encrypted stdout records: %zu\n",
+              outcome->stdout_records.size());
+
+  // --------------------------------------------------------------------
+  // The attack: the host substitutes a tampered FSPF.
+  // --------------------------------------------------------------------
+  auto victim = engine.create("billing-service:latest");
+  Bytes* fspf = (*victim)->rootfs().raw(manifest->fspf_path);
+  (*fspf)[0] ^= 0x01;
+  auto attack = engine.run_secure(**victim, platform, config_service,
+                                  [](scone::AppContext&) -> Result<Bytes> {
+                                    return to_bytes("should never run");
+                                  });
+  std::printf("\n[attack]  tampered image -> %s (%s)\n",
+              attack.ok() ? "RAN (BUG!)" : "refused",
+              attack.ok() ? "" : attack.error().message.c_str());
+
+  std::printf("\nquickstart complete.\n");
+  return attack.ok() ? 1 : 0;
+}

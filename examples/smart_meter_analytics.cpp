@@ -1,0 +1,97 @@
+// SVI use case 1: smart-meter analytics in an untrusted cloud.
+//
+// A utility collects sub-minute readings from a fleet of meters. The
+// cloud runs power-theft detection as a secure map/reduce job over
+// *encrypted* readings and power-quality monitoring over the same feed —
+// without ever seeing a single consumption value (which would reveal
+// household activity).
+//
+// Build & run:  ./build/examples/smart_meter_analytics
+#include <cstdio>
+
+#include "smartgrid/quality.hpp"
+#include "smartgrid/theft_detection.hpp"
+
+using namespace securecloud;
+using namespace securecloud::smartgrid;
+
+int main() {
+  std::printf("=== Smart-meter analytics (use case 1) ===\n\n");
+
+  // A day of 2-minute readings from 120 households; two meters bypassed,
+  // one feeder suffering an evening voltage sag.
+  GridConfig grid;
+  grid.households = 120;
+  grid.feeders = 4;
+  grid.interval_s = 120;
+  grid.thefts.push_back({.household = 17, .start_s = 12 * 3600, .reported_fraction = 0.30});
+  grid.thefts.push_back({.household = 63, .start_s = 14 * 3600, .reported_fraction = 0.45});
+  grid.quality_events.push_back(
+      {.feeder = 2, .start_s = 19 * 3600, .duration_s = 1200, .voltage_factor = 0.82});
+  const MeterFleet fleet(grid, 2026);
+  const std::size_t total_readings =
+      grid.households * (grid.horizon_s / grid.interval_s);
+  std::printf("fleet: %zu meters, %zu readings over 24h\n", grid.households,
+              total_readings);
+
+  // ------------------------------------------------------------------
+  // Theft detection: secure map/reduce over encrypted partitions.
+  // ------------------------------------------------------------------
+  sgx::Platform platform;
+  crypto::DeterministicEntropy entropy(77);
+  TheftDetector detector(platform, entropy);
+
+  std::printf("\n[owner]   encrypting readings into 8 partitions...\n");
+  const auto partitions = detector.prepare_partitions(fleet, 8);
+
+  TheftDetectionConfig config;
+  config.split_s = 12 * 3600;
+  config.job.num_mappers = 8;
+  config.job.num_reducers = 4;
+  auto report = detector.run(config, partitions);
+  if (!report.ok()) {
+    std::printf("job failed: %s\n", report.error().message.c_str());
+    return 1;
+  }
+  std::printf("[cloud]   secure job done: %zu records, %zu intermediate pairs, "
+              "%zu encrypted shuffle bytes, %llu transitions\n",
+              report->job_stats.input_records, report->job_stats.intermediate_pairs,
+              report->job_stats.shuffle_bytes,
+              static_cast<unsigned long long>(report->job_stats.enclave_transitions));
+
+  std::printf("\nmost suspicious meters (recent/baseline consumption):\n");
+  for (std::size_t i = 0; i < 5 && i < report->findings.size(); ++i) {
+    const auto& f = report->findings[i];
+    std::printf("  %-10s baseline %6.0fW recent %6.0fW ratio %.2f %s\n",
+                f.meter_id.c_str(), f.baseline_w, f.recent_w, f.ratio,
+                f.flagged ? "<== FLAGGED" : "");
+  }
+  const auto quality = evaluate_against_ground_truth(*report, fleet);
+  std::printf("vs ground truth: precision %.2f recall %.2f\n", quality.precision(),
+              quality.recall());
+
+  // ------------------------------------------------------------------
+  // Power-quality monitoring on the same feed.
+  // ------------------------------------------------------------------
+  std::printf("\n[cloud]   power-quality monitoring...\n");
+  QualityMonitor monitor;
+  std::size_t alerts_opened = 0;
+  // One representative household per feeder carries the feeder signal.
+  for (std::size_t feeder = 0; feeder < grid.feeders; ++feeder) {
+    for (const auto& reading : fleet.household_series(feeder)) {
+      if (auto alert = monitor.observe(reading)) {
+        ++alerts_opened;
+        std::printf("  ALERT %s on %s at t=%lus (%.1fV)\n",
+                    to_string(alert->issue), alert->feeder_id.c_str(),
+                    static_cast<unsigned long>(alert->start_s), alert->worst_voltage_v);
+      }
+    }
+  }
+  std::printf("quality alerts: %zu opened, %zu closed\n", alerts_opened,
+              monitor.closed_alerts().size());
+
+  const bool ok = quality.recall() == 1.0 && alerts_opened >= 1;
+  std::printf("\nanalytics complete: %s\n", ok ? "detectors found all injected anomalies"
+                                               : "MISSED anomalies");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+#include "bigdata/dataset.hpp"
+
+namespace securecloud::bigdata {
+
+namespace {
+
+constexpr std::uint32_t kDatasetDomain = 0x44415441;  // "DATA"
+
+std::string record_path(const std::string& name, std::uint64_t index) {
+  return "/dataset/" + name + "/" + std::to_string(index);
+}
+
+std::string proof_path(const std::string& name, std::uint64_t index) {
+  return "/dataset/" + name + "/" + std::to_string(index) + ".proof";
+}
+
+Bytes record_aad(const std::string& name, std::uint64_t index) {
+  Bytes aad;
+  put_str(aad, name);
+  put_u64(aad, index);
+  return aad;
+}
+
+Bytes serialize_proof(const crypto::MerkleProof& proof) {
+  Bytes out;
+  put_u64(out, proof.leaf_index);
+  put_u64(out, proof.leaf_count);
+  put_u32(out, static_cast<std::uint32_t>(proof.siblings.size()));
+  for (const auto& [hash, on_left] : proof.siblings) {
+    append(out, hash);
+    put_u8(out, on_left ? 1 : 0);
+  }
+  return out;
+}
+
+Result<crypto::MerkleProof> deserialize_proof(ByteView wire) {
+  ByteReader reader(wire);
+  crypto::MerkleProof proof;
+  std::uint32_t count = 0;
+  if (!reader.get_u64(proof.leaf_index) || !reader.get_u64(proof.leaf_count) ||
+      !reader.get_u32(count)) {
+    return Error::protocol("truncated dataset proof");
+  }
+  if (count > 64) return Error::protocol("implausible proof depth");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    crypto::Sha256Digest hash;
+    for (auto& b : hash) {
+      if (!reader.get_u8(b)) return Error::protocol("truncated proof sibling");
+    }
+    std::uint8_t on_left = 0;
+    if (!reader.get_u8(on_left)) return Error::protocol("truncated proof flag");
+    proof.siblings.emplace_back(hash, on_left != 0);
+  }
+  if (!reader.done()) return Error::protocol("trailing proof bytes");
+  return proof;
+}
+
+}  // namespace
+
+Result<DatasetHandle> DatasetPublisher::publish(const std::string& name, ByteView key,
+                                                const std::vector<Bytes>& records) {
+  if (records.empty()) return Error::invalid_argument("empty dataset");
+  crypto::AesGcm gcm(key);
+
+  // Encrypt each record (index in AAD) and collect ciphertext leaves.
+  std::vector<Bytes> leaves;
+  leaves.reserve(records.size());
+  for (std::uint64_t i = 0; i < records.size(); ++i) {
+    crypto::GcmNonce nonce;
+    entropy_.fill(MutableByteView(nonce.data(), nonce.size()));
+    (void)kDatasetDomain;  // nonce is random; domain documents the namespace
+    Bytes sealed = gcm.seal_combined(nonce, record_aad(name, i), records[i]);
+    SC_RETURN_IF_ERROR(storage_.write_file(record_path(name, i), sealed));
+    leaves.push_back(std::move(sealed));
+  }
+
+  // Merkle tree over ciphertexts; proofs stored alongside (untrusted —
+  // a bad proof simply fails verification).
+  crypto::MerkleTree tree(leaves);
+  for (std::uint64_t i = 0; i < records.size(); ++i) {
+    SC_RETURN_IF_ERROR(
+        storage_.write_file(proof_path(name, i), serialize_proof(tree.prove(i))));
+  }
+
+  DatasetHandle handle;
+  handle.name = name;
+  handle.record_count = records.size();
+  handle.root = tree.root();
+  return handle;
+}
+
+Result<Bytes> DatasetReader::read_record(std::uint64_t index) const {
+  if (index >= handle_.record_count) {
+    return Error::invalid_argument("record index out of range");
+  }
+  auto sealed = storage_.read_file(record_path(handle_.name, index));
+  if (!sealed.ok()) return Error::integrity("dataset record missing");
+  auto proof_wire = storage_.read_file(proof_path(handle_.name, index));
+  if (!proof_wire.ok()) return Error::integrity("dataset proof missing");
+  auto proof = deserialize_proof(*proof_wire);
+  if (!proof.ok()) return proof.error();
+
+  // Position binding: the proof must claim exactly this index and the
+  // full published count (or the host could serve a truncated view).
+  if (proof->leaf_index != index || proof->leaf_count != handle_.record_count) {
+    return Error::integrity("dataset proof for wrong position");
+  }
+  if (!crypto::MerkleTree::verify(handle_.root, *sealed, *proof)) {
+    return Error::integrity("dataset record failed Merkle verification");
+  }
+
+  auto plain = gcm_.open_combined(record_aad(handle_.name, index), *sealed);
+  if (!plain.ok()) {
+    return Error::integrity("dataset record failed decryption");
+  }
+  return std::move(plain).value();
+}
+
+}  // namespace securecloud::bigdata

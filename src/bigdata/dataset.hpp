@@ -1,0 +1,62 @@
+// Sealed datasets: publish-once, verify-any-record access.
+//
+// A data owner publishes a large record set to untrusted cloud storage:
+// each record is AES-GCM encrypted, and a Merkle tree over the
+// *ciphertexts* yields a 32-byte root the owner distributes through a
+// trusted channel (an SCF entry or attestation report_data). A consumer
+// enclave can then fetch any single record plus its O(log n) proof and
+// verify it against the root — no need to download or trust anything
+// else, and the storage host cannot substitute, reorder, or roll back
+// records without detection.
+#pragma once
+
+#include "crypto/entropy.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/merkle.hpp"
+#include "scone/untrusted_fs.hpp"
+
+namespace securecloud::bigdata {
+
+struct DatasetHandle {
+  std::string name;
+  std::uint64_t record_count = 0;
+  crypto::Sha256Digest root{};  // distribute via a trusted channel
+};
+
+/// Owner side: encrypts and publishes records, returns the handle.
+class DatasetPublisher {
+ public:
+  DatasetPublisher(scone::UntrustedFileSystem& storage, crypto::EntropySource& entropy)
+      : storage_(storage), entropy_(entropy) {}
+
+  /// Publishes `records` under `name` with `key` (16/32 bytes).
+  /// Record index is bound into each ciphertext's AAD and the Merkle
+  /// leaf order, so position is authenticated twice over.
+  Result<DatasetHandle> publish(const std::string& name, ByteView key,
+                                const std::vector<Bytes>& records);
+
+ private:
+  scone::UntrustedFileSystem& storage_;
+  crypto::EntropySource& entropy_;
+};
+
+/// Consumer side: random access with per-record verification.
+class DatasetReader {
+ public:
+  /// `handle.root` must come from a trusted channel; everything else is
+  /// read from the untrusted storage.
+  DatasetReader(scone::UntrustedFileSystem& storage, DatasetHandle handle, ByteView key)
+      : storage_(storage), handle_(std::move(handle)), gcm_(key) {}
+
+  /// Fetches, verifies (Merkle + AEAD), and decrypts record `index`.
+  Result<Bytes> read_record(std::uint64_t index) const;
+
+  std::uint64_t record_count() const { return handle_.record_count; }
+
+ private:
+  scone::UntrustedFileSystem& storage_;
+  DatasetHandle handle_;
+  crypto::AesGcm gcm_;
+};
+
+}  // namespace securecloud::bigdata

@@ -1,0 +1,112 @@
+#include "bigdata/kvstore.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace securecloud::bigdata {
+
+SecureKvStore::SecureKvStore(scone::UntrustedFileSystem& storage, ByteView master_key,
+                             std::string ns, crypto::EntropySource& entropy)
+    : storage_(storage), gcm_(master_key), ns_(std::move(ns)), entropy_(entropy) {}
+
+std::string SecureKvStore::storage_path(const std::string& key) const {
+  // Key names are hashed so the untrusted FS does not even learn them.
+  const auto digest = crypto::Sha256::hash(to_bytes(ns_ + "\x00" + key));
+  return "/kv/" + ns_ + "/" + hex_encode(ByteView(digest.data(), 16));
+}
+
+Bytes SecureKvStore::value_aad(const std::string& key, std::uint64_t version) const {
+  Bytes aad;
+  put_str(aad, ns_);
+  put_str(aad, key);
+  put_u64(aad, version);
+  return aad;
+}
+
+Status SecureKvStore::put(const std::string& key, ByteView value) {
+  const std::uint64_t version = next_version_++;
+  crypto::GcmNonce nonce;
+  entropy_.fill(MutableByteView(nonce.data(), nonce.size()));
+  const Bytes blob = gcm_.seal_combined(nonce, value_aad(key, version), value);
+  SC_RETURN_IF_ERROR(storage_.write_file(storage_path(key), blob));
+  index_[key] = version;
+  return {};
+}
+
+Result<Bytes> SecureKvStore::get(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return Error::not_found("no such key: " + key);
+  auto blob = storage_.read_file(storage_path(key));
+  if (!blob.ok()) {
+    return Error::integrity("stored value missing for key: " + key);
+  }
+  auto value = gcm_.open_combined(value_aad(key, it->second), *blob);
+  if (!value.ok()) {
+    return Error::integrity(
+        "value failed authentication (tampering or rollback): " + key);
+  }
+  return std::move(value).value();
+}
+
+Status SecureKvStore::remove(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return Error::not_found("no such key: " + key);
+  (void)storage_.remove(storage_path(key));
+  index_.erase(it);
+  return {};
+}
+
+std::vector<std::string> SecureKvStore::scan_prefix(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
+    if (it->first.rfind(prefix, 0) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::vector<std::string> SecureKvStore::scan_range(const std::string& first,
+                                                   const std::string& last) const {
+  std::vector<std::string> out;
+  for (auto it = index_.lower_bound(first); it != index_.end() && it->first <= last;
+       ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Bytes SecureKvStore::seal_index(const sgx::Enclave& enclave) const {
+  Bytes plain;
+  put_str(plain, "SCKVIDX1");
+  put_u64(plain, next_version_);
+  put_u32(plain, static_cast<std::uint32_t>(index_.size()));
+  for (const auto& [key, version] : index_) {
+    put_str(plain, key);
+    put_u64(plain, version);
+  }
+  return enclave.seal(plain, sgx::SealPolicy::kMrEnclave);
+}
+
+Status SecureKvStore::restore_index(const sgx::Enclave& enclave, ByteView sealed) {
+  auto plain = enclave.unseal(sealed);
+  if (!plain.ok()) return plain.error();
+  ByteReader r(*plain);
+  std::string magic;
+  std::uint32_t count = 0;
+  if (!r.get_str(magic) || magic != "SCKVIDX1" || !r.get_u64(next_version_) ||
+      !r.get_u32(count)) {
+    return Error::protocol("malformed sealed index");
+  }
+  std::map<std::string, std::uint64_t> restored;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    std::uint64_t version = 0;
+    if (!r.get_str(key) || !r.get_u64(version)) {
+      return Error::protocol("truncated sealed index");
+    }
+    restored.emplace(std::move(key), version);
+  }
+  index_ = std::move(restored);
+  return {};
+}
+
+}  // namespace securecloud::bigdata

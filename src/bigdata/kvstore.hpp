@@ -1,0 +1,60 @@
+// Secure structured key-value store (§III-B: "secure structured data
+// stores").
+//
+// Layout: the *index* (key -> version) lives in enclave memory and can be
+// sealed for persistence; *values* live AES-GCM-encrypted in untrusted
+// storage with AAD binding (namespace, key, version). The untrusted host
+// can therefore neither read values, forge them, swap values between
+// keys, nor roll a key back to an older value — every attack surfaces as
+// kIntegrityViolation.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/entropy.hpp"
+#include "crypto/gcm.hpp"
+#include "scone/untrusted_fs.hpp"
+#include "sgx/enclave.hpp"
+
+namespace securecloud::bigdata {
+
+class SecureKvStore {
+ public:
+  /// `master_key`: 16/32-byte data key (from the SCF or sealed state).
+  /// `ns`: namespace separating stores sharing one backing FS.
+  SecureKvStore(scone::UntrustedFileSystem& storage, ByteView master_key,
+                std::string ns, crypto::EntropySource& entropy);
+
+  Status put(const std::string& key, ByteView value);
+  Result<Bytes> get(const std::string& key) const;
+  Status remove(const std::string& key);
+  bool contains(const std::string& key) const { return index_.count(key) > 0; }
+  std::size_t size() const { return index_.size(); }
+
+  /// Ordered key scan from the trusted index (no storage round trip).
+  std::vector<std::string> scan_prefix(const std::string& prefix) const;
+  std::vector<std::string> scan_range(const std::string& first,
+                                      const std::string& last) const;
+
+  /// Persistence: seal the index to `enclave` (MRENCLAVE policy) so a
+  /// restart of the same enclave can restore it; without the index the
+  /// encrypted values are unreadable and unverifiable.
+  Bytes seal_index(const sgx::Enclave& enclave) const;
+  Status restore_index(const sgx::Enclave& enclave, ByteView sealed);
+
+ private:
+  std::string storage_path(const std::string& key) const;
+  Bytes value_aad(const std::string& key, std::uint64_t version) const;
+
+  scone::UntrustedFileSystem& storage_;
+  crypto::AesGcm gcm_;
+  std::string ns_;
+  crypto::EntropySource& entropy_;
+  std::map<std::string, std::uint64_t> index_;  // key -> current version
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace securecloud::bigdata

@@ -1,0 +1,186 @@
+#include "bigdata/mapreduce.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "crypto/sha256.hpp"
+
+namespace securecloud::bigdata {
+
+namespace {
+
+constexpr std::uint32_t kRecordDomain = 0x4d525245;   // "MRRE"
+constexpr std::uint32_t kShuffleDomain = 0x4d525348;  // "MRSH"
+
+sgx::EnclaveImage worker_image() {
+  // The canonical map/reduce worker binary; all workers share one
+  // MRENCLAVE so the job key may be released to any of them.
+  sgx::EnclaveImage image;
+  image.name = "mapreduce-worker";
+  image.code = to_bytes("securecloud-mapreduce-worker-v1");
+  crypto::DeterministicEntropy signer(0x4d52);
+  sign_image(image, crypto::ed25519_keypair(signer.array<32>()));
+  return image;
+}
+
+std::size_t reducer_of(const std::string& key, std::size_t num_reducers) {
+  const auto digest = crypto::Sha256::hash(to_bytes(key));
+  return static_cast<std::size_t>(load_be64(ByteView(digest.data(), 8)) % num_reducers);
+}
+
+Bytes serialize_pairs(const std::vector<KeyValue>& pairs) {
+  Bytes out;
+  put_u32(out, static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& kv : pairs) {
+    put_str(out, kv.key);
+    put_u64(out, std::bit_cast<std::uint64_t>(kv.value));
+  }
+  return out;
+}
+
+Result<std::vector<KeyValue>> deserialize_pairs(ByteView wire) {
+  ByteReader reader(wire);
+  std::uint32_t count = 0;
+  if (!reader.get_u32(count)) return Error::protocol("truncated pair block");
+  std::vector<KeyValue> pairs;
+  pairs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    KeyValue kv;
+    std::uint64_t raw = 0;
+    if (!reader.get_str(kv.key) || !reader.get_u64(raw)) {
+      return Error::protocol("truncated pair");
+    }
+    kv.value = std::bit_cast<double>(raw);
+    pairs.push_back(std::move(kv));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+SecureMapReduce::SecureMapReduce(sgx::Platform& platform,
+                                 crypto::EntropySource& entropy)
+    : platform_(platform), entropy_(entropy), job_key_(entropy.bytes(16)) {}
+
+std::vector<Bytes> SecureMapReduce::encrypt_partition(const std::vector<Bytes>& records) {
+  crypto::AesGcm gcm(job_key_);
+  std::vector<Bytes> out;
+  out.reserve(records.size());
+  for (const auto& record : records) {
+    out.push_back(gcm.seal_combined(
+        crypto::nonce_from_counter(++record_counter_, kRecordDomain),
+        to_bytes("record"), record));
+  }
+  return out;
+}
+
+Result<JobResult> SecureMapReduce::run(
+    const MapReduceConfig& config,
+    const std::vector<std::vector<Bytes>>& encrypted_partitions, const MapFn& map_fn,
+    const ReduceFn& reduce_fn) {
+  if (config.num_mappers == 0 || config.num_reducers == 0) {
+    return Error::invalid_argument("need at least one mapper and one reducer");
+  }
+
+  JobResult result;
+  crypto::AesGcm gcm(job_key_);
+
+  // --- worker pool ----------------------------------------------------------
+  const sgx::EnclaveImage image = worker_image();
+  std::vector<sgx::Enclave*> workers;
+  const std::size_t pool =
+      std::min(config.num_mappers, encrypted_partitions.size() ? encrypted_partitions.size() : 1);
+  for (std::size_t i = 0; i < pool; ++i) {
+    auto worker = platform_.create_enclave(image);
+    if (!worker.ok()) return worker.error();
+    workers.push_back(*worker);
+  }
+  const std::uint64_t cycles_before = platform_.clock().cycles();
+
+  // --- map phase -------------------------------------------------------------
+  // shuffle[r] holds the encrypted intermediate blocks for reducer r.
+  std::vector<std::vector<Bytes>> shuffle(config.num_reducers);
+  std::uint64_t shuffle_counter = 0;
+
+  for (std::size_t p = 0; p < encrypted_partitions.size(); ++p) {
+    sgx::Enclave& worker = *workers[p % workers.size()];
+    // Entering the mapper enclave for this partition.
+    platform_.clock().advance_cycles(platform_.cost().ecall_cycles);
+    ++result.stats.enclave_transitions;
+
+    std::vector<std::vector<KeyValue>> per_reducer(config.num_reducers);
+    for (const auto& sealed_record : encrypted_partitions[p]) {
+      auto record = gcm.open_combined(to_bytes("record"), sealed_record);
+      if (!record.ok()) {
+        return Error::integrity("input record failed authentication");
+      }
+      ++result.stats.input_records;
+      for (auto& kv : map_fn(*record)) {
+        const std::size_t r = reducer_of(kv.key, config.num_reducers);
+        per_reducer[r].push_back(std::move(kv));
+      }
+    }
+
+    // Optional map-side combine (still inside the mapper enclave).
+    if (config.enable_combiner) {
+      for (auto& bucket : per_reducer) {
+        std::map<std::string, std::vector<double>> groups;
+        for (auto& kv : bucket) groups[kv.key].push_back(kv.value);
+        bucket.clear();
+        for (auto& [key, values] : groups) {
+          bucket.push_back({key, reduce_fn(key, values)});
+        }
+      }
+    }
+
+    // Emit one encrypted shuffle block per reducer (leaves the enclave).
+    for (std::size_t r = 0; r < config.num_reducers; ++r) {
+      if (per_reducer[r].empty()) continue;
+      result.stats.intermediate_pairs += per_reducer[r].size();
+      Bytes aad;
+      put_str(aad, "shuffle");
+      put_u64(aad, r);
+      Bytes block = gcm.seal_combined(
+          crypto::nonce_from_counter(++shuffle_counter, kShuffleDomain), aad,
+          serialize_pairs(per_reducer[r]));
+      result.stats.shuffle_bytes += block.size();
+      shuffle[r].push_back(std::move(block));
+    }
+    (void)worker;
+  }
+
+  // --- reduce phase ------------------------------------------------------------
+  for (std::size_t r = 0; r < config.num_reducers; ++r) {
+    sgx::Enclave& worker = *workers[r % workers.size()];
+    platform_.clock().advance_cycles(platform_.cost().ecall_cycles);
+    ++result.stats.enclave_transitions;
+    (void)worker;
+
+    std::map<std::string, std::vector<double>> groups;
+    for (const auto& block : shuffle[r]) {
+      Bytes aad;
+      put_str(aad, "shuffle");
+      put_u64(aad, r);
+      auto plain = gcm.open_combined(aad, block);
+      if (!plain.ok()) {
+        return Error::integrity("shuffle block failed authentication");
+      }
+      auto pairs = deserialize_pairs(*plain);
+      if (!pairs.ok()) return pairs.error();
+      for (auto& kv : *pairs) {
+        groups[kv.key].push_back(kv.value);
+      }
+    }
+    for (auto& [key, values] : groups) {
+      result.output[key] = reduce_fn(key, values);
+    }
+  }
+
+  result.stats.simulated_cycles = platform_.clock().cycles() - cycles_before;
+  for (sgx::Enclave* worker : workers) {
+    platform_.destroy_enclave(worker->id());
+  }
+  return result;
+}
+
+}  // namespace securecloud::bigdata

@@ -1,0 +1,85 @@
+// Secure map/reduce over enclave workers (§III-B: "map/reduce based
+// computations").
+//
+// Execution model:
+//   * the input is a list of partitions (lists of encrypted records);
+//   * each *mapper* runs in a worker enclave: it decrypts its partition
+//     with the job key, applies the map function, and emits intermediate
+//     (key, value) pairs grouped by reducer (hash partitioning), each
+//     group encrypted with the job key before leaving the enclave;
+//   * each *reducer* runs in a worker enclave: it decrypts and verifies
+//     the intermediate groups addressed to it, sorts/groups by key, and
+//     applies the reduce function;
+//   * the driver schedules partitions over a bounded worker pool and
+//     charges every enclave entry/exit to the platform clock.
+// The untrusted host observes only ciphertext records and ciphertext
+// shuffle traffic; tampering with shuffle data aborts the job.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/result.hpp"
+#include "crypto/entropy.hpp"
+#include "crypto/gcm.hpp"
+#include "sgx/platform.hpp"
+
+namespace securecloud::bigdata {
+
+struct KeyValue {
+  std::string key;
+  double value = 0;
+};
+
+struct MapReduceConfig {
+  std::size_t num_mappers = 4;
+  std::size_t num_reducers = 2;
+  /// Map-side combining: pre-reduce each mapper's output per key before
+  /// it leaves the enclave. Cuts encrypted shuffle traffic for
+  /// associative reductions (sums, counts, min/max) — the "efficient
+  /// transmission" lever for aggregation-heavy jobs.
+  bool enable_combiner = false;
+};
+
+struct JobStats {
+  std::size_t input_records = 0;
+  std::size_t intermediate_pairs = 0;
+  std::size_t shuffle_bytes = 0;        // encrypted bytes crossing workers
+  std::uint64_t enclave_transitions = 0;
+  std::uint64_t simulated_cycles = 0;
+};
+
+struct JobResult {
+  std::map<std::string, double> output;
+  JobStats stats;
+};
+
+class SecureMapReduce {
+ public:
+  using MapFn = std::function<std::vector<KeyValue>(ByteView record)>;
+  using ReduceFn =
+      std::function<double(const std::string& key, const std::vector<double>& values)>;
+
+  /// Worker enclaves are created on `platform` from a canonical signed
+  /// worker image; the job key is generated from `entropy`.
+  SecureMapReduce(sgx::Platform& platform, crypto::EntropySource& entropy);
+
+  /// Encrypts plaintext records into job-input format (done by the data
+  /// owner before upload — the cloud only ever stores the result).
+  std::vector<Bytes> encrypt_partition(const std::vector<Bytes>& records);
+
+  /// Runs the job over encrypted partitions. When the combiner is
+  /// enabled, `reduce_fn` must be associative and idempotent over merges
+  /// (it is applied once per mapper per key and again at the reducer).
+  Result<JobResult> run(const MapReduceConfig& config,
+                        const std::vector<std::vector<Bytes>>& encrypted_partitions,
+                        const MapFn& map_fn, const ReduceFn& reduce_fn);
+
+ private:
+  sgx::Platform& platform_;
+  crypto::EntropySource& entropy_;
+  Bytes job_key_;
+  std::uint64_t record_counter_ = 0;
+};
+
+}  // namespace securecloud::bigdata

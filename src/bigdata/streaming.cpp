@@ -1,0 +1,69 @@
+#include "bigdata/streaming.hpp"
+
+#include <algorithm>
+
+namespace securecloud::bigdata {
+
+void TumblingWindowAggregator::observe(const std::string& key, std::uint64_t timestamp_s,
+                                       double value) {
+  advance_watermark(timestamp_s);
+
+  // Too late: the window's grace period has passed and it was emitted.
+  // (Never true for the event that set the watermark: t < window + size.)
+  const std::uint64_t window = window_of(timestamp_s);
+  if (window + window_size_ + lateness_ <= watermark_) {
+    ++late_dropped_;
+    return;
+  }
+
+  Accumulator& acc = windows_[{window, key}];
+  if (acc.count == 0) {
+    acc.min = value;
+    acc.max = value;
+  } else {
+    acc.min = std::min(acc.min, value);
+    acc.max = std::max(acc.max, value);
+  }
+  acc.sum += value;
+  ++acc.count;
+}
+
+void TumblingWindowAggregator::advance_watermark(std::uint64_t t) {
+  if (t <= watermark_) return;
+  watermark_ = t;
+
+  // Close every window whose grace period has fully passed.
+  auto it = windows_.begin();
+  while (it != windows_.end() &&
+         it->first.first + window_size_ + lateness_ <= watermark_) {
+    WindowResult result;
+    result.key = it->first.second;
+    result.window_start_s = it->first.first;
+    result.window_end_s = it->first.first + window_size_;
+    result.sum = it->second.sum;
+    result.min = it->second.min;
+    result.max = it->second.max;
+    result.count = it->second.count;
+    emit_(result);
+    it = windows_.erase(it);
+  }
+}
+
+void TumblingWindowAggregator::flush() {
+  for (const auto& [key, acc] : windows_) {
+    WindowResult result;
+    result.key = key.second;
+    result.window_start_s = key.first;
+    result.window_end_s = key.first + window_size_;
+    result.sum = acc.sum;
+    result.min = acc.min;
+    result.max = acc.max;
+    result.count = acc.count;
+    emit_(result);
+  }
+  windows_.clear();
+}
+
+std::size_t TumblingWindowAggregator::open_windows() const { return windows_.size(); }
+
+}  // namespace securecloud::bigdata

@@ -1,0 +1,72 @@
+// Windowed stream aggregation.
+//
+// The continuous-query counterpart to the batch map/reduce: readings
+// arrive as a stream (e.g. through the secure event bus) and per-key
+// aggregates are emitted once a tumbling window closes. Runs entirely
+// inside the analytics enclave; only the emitted (already aggregated,
+// far less privacy-sensitive) window results leave it.
+//
+// Watermark semantics: events may arrive slightly out of order; a window
+// [w, w+size) closes when an event with timestamp >= w + size +
+// allowed_lateness is seen. Events later than that are counted as
+// dropped (the standard streaming trade-off).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace securecloud::bigdata {
+
+struct WindowResult {
+  std::string key;
+  std::uint64_t window_start_s = 0;
+  std::uint64_t window_end_s = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t count = 0;
+
+  double mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+};
+
+class TumblingWindowAggregator {
+ public:
+  using Emit = std::function<void(const WindowResult&)>;
+
+  TumblingWindowAggregator(std::uint64_t window_size_s, std::uint64_t allowed_lateness_s,
+                           Emit emit)
+      : window_size_(window_size_s), lateness_(allowed_lateness_s), emit_(std::move(emit)) {}
+
+  /// Feeds one (key, timestamp, value) sample.
+  void observe(const std::string& key, std::uint64_t timestamp_s, double value);
+
+  /// Closes and emits every open window (end of stream).
+  void flush();
+
+  std::uint64_t late_dropped() const { return late_dropped_; }
+  std::size_t open_windows() const;
+
+ private:
+  struct Accumulator {
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::size_t count = 0;
+  };
+
+  std::uint64_t window_of(std::uint64_t t) const { return t - t % window_size_; }
+  void advance_watermark(std::uint64_t t);
+
+  std::uint64_t window_size_;
+  std::uint64_t lateness_;
+  Emit emit_;
+  // (window_start, key) -> accumulator; ordered so closing sweeps a prefix.
+  std::map<std::pair<std::uint64_t, std::string>, Accumulator> windows_;
+  std::uint64_t watermark_ = 0;  // highest timestamp seen
+  std::uint64_t late_dropped_ = 0;
+};
+
+}  // namespace securecloud::bigdata

@@ -1,0 +1,205 @@
+#include "bigdata/table.hpp"
+
+#include <bit>
+
+namespace securecloud::bigdata {
+
+namespace {
+
+/// 8-byte big-endian, order-preserving encoding of an int64 (offset so
+/// negative values sort before positive) — the standard index-key trick.
+std::string encode_ordered_int(std::int64_t v) {
+  const std::uint64_t biased =
+      static_cast<std::uint64_t>(v) ^ (1ull << 63);  // flip sign bit
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<char>((biased >> (8 * (7 - i))) & 0xff);
+  }
+  return out;
+}
+
+/// Order-preserving double encoding: flip sign bit for positives, all
+/// bits for negatives (IEEE-754 total order).
+std::string encode_ordered_double(double v) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  if (bits & (1ull << 63)) {
+    bits = ~bits;
+  } else {
+    bits |= (1ull << 63);
+  }
+  std::string out(8, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<char>((bits >> (8 * (7 - i))) & 0xff);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SecureTable::index_key(const ColumnValue& v) {
+  switch (v.type()) {
+    case ColumnValue::Type::kInt:
+      return "i" + encode_ordered_int(v.as_int());
+    case ColumnValue::Type::kDouble:
+      return "d" + encode_ordered_double(v.as_double());
+    case ColumnValue::Type::kString:
+      return "s" + v.as_string();
+  }
+  return "?";
+}
+
+std::string SecureTable::encode_storage_key(const ColumnValue& pk) {
+  return index_key(pk);
+}
+
+Bytes SecureTable::serialize_row(const Row& row) {
+  Bytes out;
+  put_u32(out, static_cast<std::uint32_t>(row.size()));
+  for (const auto& [name, value] : row) {
+    put_str(out, name);
+    value.serialize_to(out);
+  }
+  return out;
+}
+
+Result<Row> SecureTable::deserialize_row(ByteView wire) {
+  ByteReader reader(wire);
+  std::uint32_t count = 0;
+  if (!reader.get_u32(count)) return Error::protocol("truncated row");
+  Row row;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!reader.get_str(name)) return Error::protocol("truncated row column");
+    auto value = ColumnValue::deserialize(reader);
+    if (!value.ok()) return value.error();
+    row.emplace(std::move(name), std::move(value).value());
+  }
+  return row;
+}
+
+SecureTable::SecureTable(scone::UntrustedFileSystem& storage, ByteView master_key,
+                         TableSchema schema, crypto::EntropySource& entropy)
+    : schema_(std::move(schema)),
+      kv_(storage, master_key, "table/" + schema_.name, entropy) {}
+
+Result<SecureTable> SecureTable::create(scone::UntrustedFileSystem& storage,
+                                        ByteView master_key, TableSchema schema,
+                                        crypto::EntropySource& entropy) {
+  if (schema.name.empty()) return Error::invalid_argument("table needs a name");
+  std::set<std::string> seen;
+  for (const auto& c : schema.columns) {
+    if (!seen.insert(c.name).second) {
+      return Error::invalid_argument("duplicate column: " + c.name);
+    }
+  }
+  const ColumnSpec* pk = schema.column(schema.primary_key);
+  if (pk == nullptr) {
+    return Error::invalid_argument("primary key is not a column: " + schema.primary_key);
+  }
+  return SecureTable(storage, master_key, std::move(schema), entropy);
+}
+
+Status SecureTable::validate(const Row& row) const {
+  if (row.size() != schema_.columns.size()) {
+    return Error::invalid_argument("row has wrong column count");
+  }
+  for (const auto& c : schema_.columns) {
+    auto it = row.find(c.name);
+    if (it == row.end()) return Error::invalid_argument("missing column: " + c.name);
+    if (it->second.type() != c.type) {
+      return Error::invalid_argument("type mismatch for column: " + c.name);
+    }
+  }
+  return {};
+}
+
+Status SecureTable::upsert(const Row& row) {
+  SC_RETURN_IF_ERROR(validate(row));
+  const ColumnValue& pk = row.at(schema_.primary_key);
+  const std::string storage_key = encode_storage_key(pk);
+
+  // Replace: drop stale index entries first.
+  if (primary_index_.count(storage_key)) {
+    SC_RETURN_IF_ERROR(erase(pk));
+  }
+
+  SC_RETURN_IF_ERROR(kv_.put(storage_key, serialize_row(row)));
+  primary_index_.insert(storage_key);
+  for (const auto& c : schema_.columns) {
+    if (!c.indexed || c.name == schema_.primary_key) continue;
+    const std::string key = index_key(row.at(c.name));
+    secondary_[c.name].emplace(key, storage_key);
+    row_index_keys_[storage_key][c.name] = key;
+  }
+  return {};
+}
+
+Result<Row> SecureTable::get(const ColumnValue& primary_key) const {
+  const std::string storage_key = encode_storage_key(primary_key);
+  if (!primary_index_.count(storage_key)) return Error::not_found("no such row");
+  auto blob = kv_.get(storage_key);
+  if (!blob.ok()) return blob.error();
+  return deserialize_row(*blob);
+}
+
+Status SecureTable::erase(const ColumnValue& primary_key) {
+  const std::string storage_key = encode_storage_key(primary_key);
+  if (!primary_index_.count(storage_key)) return Error::not_found("no such row");
+  SC_RETURN_IF_ERROR(kv_.remove(storage_key));
+  primary_index_.erase(storage_key);
+
+  auto keys = row_index_keys_.find(storage_key);
+  if (keys != row_index_keys_.end()) {
+    for (const auto& [column, key] : keys->second) {
+      auto& index = secondary_[column];
+      for (auto it = index.lower_bound(key); it != index.end() && it->first == key;) {
+        it = it->second == storage_key ? index.erase(it) : std::next(it);
+      }
+    }
+    row_index_keys_.erase(keys);
+  }
+  return {};
+}
+
+Result<std::vector<Row>> SecureTable::scan(
+    const std::string& column, const ColumnValue& lo, const ColumnValue& hi,
+    const std::function<bool(const Row&)>& residual) const {
+  const ColumnSpec* spec = schema_.column(column);
+  if (spec == nullptr) return Error::invalid_argument("no such column: " + column);
+  if (!spec->indexed && column != schema_.primary_key) {
+    return Error::invalid_argument("column is not indexed: " + column);
+  }
+  if (lo.type() != spec->type || hi.type() != spec->type) {
+    return Error::invalid_argument("range bounds have wrong type");
+  }
+
+  std::vector<std::string> storage_keys;
+  const std::string lo_key = index_key(lo);
+  const std::string hi_key = index_key(hi);
+  if (column == schema_.primary_key) {
+    for (auto it = primary_index_.lower_bound(lo_key);
+         it != primary_index_.end() && *it <= hi_key; ++it) {
+      storage_keys.push_back(*it);
+    }
+  } else if (auto sec = secondary_.find(column); sec != secondary_.end()) {
+    const auto& index = sec->second;
+    for (auto it = index.lower_bound(lo_key); it != index.end() && it->first <= hi_key;
+         ++it) {
+      storage_keys.push_back(it->second);
+    }
+  }
+
+  std::vector<Row> out;
+  out.reserve(storage_keys.size());
+  for (const auto& storage_key : storage_keys) {
+    auto blob = kv_.get(storage_key);
+    if (!blob.ok()) return blob.error();  // tampering surfaces here
+    auto row = deserialize_row(*blob);
+    if (!row.ok()) return row.error();
+    if (!residual || residual(*row)) out.push_back(std::move(row).value());
+  }
+  return out;
+}
+
+}  // namespace securecloud::bigdata

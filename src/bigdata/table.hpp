@@ -1,0 +1,96 @@
+// Secure structured table store (§III-B: "secure structured data stores").
+//
+// A typed layer over SecureKvStore: rows with a declared schema, a
+// primary key, and secondary indexes supporting range queries. Rows are
+// stored encrypted through the KV layer (the untrusted host sees hashed
+// names + ciphertext); the schema and indexes live in enclave memory and
+// can be sealed alongside the KV index for persistence.
+//
+// Query model (deliberately small but real):
+//   * get(pk), insert/upsert(row), erase(pk)
+//   * range scans over any indexed column, with residual predicate
+//     evaluation inside the enclave — the host never learns which rows
+//     matched, only how many encrypted records were fetched.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "bigdata/kvstore.hpp"
+#include "scbr/value.hpp"
+
+namespace securecloud::bigdata {
+
+/// Column values reuse the CBR typed-value machinery (int/double/string).
+using ColumnValue = scbr::Value;
+
+struct ColumnSpec {
+  std::string name;
+  ColumnValue::Type type = ColumnValue::Type::kInt;
+  bool indexed = false;
+};
+
+struct TableSchema {
+  std::string name;
+  std::string primary_key;  // must be one of the columns
+  std::vector<ColumnSpec> columns;
+
+  const ColumnSpec* column(const std::string& column_name) const {
+    for (const auto& c : columns) {
+      if (c.name == column_name) return &c;
+    }
+    return nullptr;
+  }
+};
+
+/// A row: column name -> value. Validated against the schema on insert.
+using Row = std::map<std::string, ColumnValue>;
+
+class SecureTable {
+ public:
+  /// Fails (kInvalidArgument) on malformed schemas (missing/unindexed
+  /// primary key, duplicate columns).
+  static Result<SecureTable> create(scone::UntrustedFileSystem& storage,
+                                    ByteView master_key, TableSchema schema,
+                                    crypto::EntropySource& entropy);
+
+  /// Inserts or replaces the row with the same primary key.
+  /// Rejects rows missing columns or with mistyped values.
+  Status upsert(const Row& row);
+
+  Result<Row> get(const ColumnValue& primary_key) const;
+  Status erase(const ColumnValue& primary_key);
+  std::size_t size() const { return primary_index_.size(); }
+
+  /// Range scan over an indexed column: rows with lo <= value <= hi,
+  /// ordered by that column. `residual` (optional) filters rows after
+  /// decryption, inside the enclave.
+  Result<std::vector<Row>> scan(const std::string& column, const ColumnValue& lo,
+                                const ColumnValue& hi,
+                                const std::function<bool(const Row&)>& residual = {}) const;
+
+  const TableSchema& schema() const { return schema_; }
+
+ private:
+  SecureTable(scone::UntrustedFileSystem& storage, ByteView master_key,
+              TableSchema schema, crypto::EntropySource& entropy);
+
+  Status validate(const Row& row) const;
+  static std::string encode_storage_key(const ColumnValue& pk);
+  static Bytes serialize_row(const Row& row);
+  static Result<Row> deserialize_row(ByteView wire);
+  /// Order-preserving index key for a column value (within one type).
+  static std::string index_key(const ColumnValue& v);
+
+  TableSchema schema_;
+  SecureKvStore kv_;
+  /// pk storage-key set (for existence and full scans).
+  std::set<std::string> primary_index_;
+  /// column -> (index_key -> set of pk storage-keys).
+  std::map<std::string, std::multimap<std::string, std::string>> secondary_;
+  /// pk storage-key -> its index entries (for erase/update maintenance).
+  std::map<std::string, std::map<std::string, std::string>> row_index_keys_;
+};
+
+}  // namespace securecloud::bigdata

@@ -1,0 +1,68 @@
+#include "bigdata/transfer.hpp"
+
+namespace securecloud::bigdata {
+
+namespace {
+// Per-chunk header inside the AAD: stream, sequence, last-flag.
+Bytes chunk_aad(std::uint32_t stream, std::uint64_t sequence, bool last) {
+  Bytes aad;
+  put_u32(aad, stream);
+  put_u64(aad, sequence);
+  put_u8(aad, last ? 1 : 0);
+  return aad;
+}
+}  // namespace
+
+std::vector<Bytes> SecureTransferSender::send(ByteView payload) {
+  stats_.plaintext_bytes += payload.size();
+  const Bytes compressed = rle_compress(payload);
+  stats_.compressed_bytes += compressed.size();
+
+  std::vector<Bytes> chunks;
+  std::size_t offset = 0;
+  do {
+    const std::size_t take = std::min(chunk_size_, compressed.size() - offset);
+    const bool last = offset + take == compressed.size();
+    const std::uint64_t seq = sequence_++;
+
+    Bytes wire;
+    put_u64(wire, seq);
+    put_u8(wire, last ? 1 : 0);
+    append(wire, gcm_.seal_combined(
+                     crypto::nonce_from_counter(seq, stream_id_),
+                     chunk_aad(stream_id_, seq, last),
+                     ByteView(compressed.data() + offset, take)));
+    stats_.wire_bytes += wire.size();
+    ++stats_.chunks;
+    chunks.push_back(std::move(wire));
+    offset += take;
+  } while (offset < compressed.size());
+  return chunks;
+}
+
+Result<std::optional<Bytes>> SecureTransferReceiver::receive(ByteView wire_chunk) {
+  ByteReader reader(wire_chunk);
+  std::uint64_t seq = 0;
+  std::uint8_t last = 0;
+  if (!reader.get_u64(seq) || !reader.get_u8(last)) {
+    return Error::protocol("truncated transfer chunk");
+  }
+  if (seq != expected_sequence_) {
+    return Error::protocol("transfer chunk out of order");
+  }
+  const ByteView sealed(wire_chunk.data() + (wire_chunk.size() - reader.remaining()),
+                        reader.remaining());
+  auto plain = gcm_.open_combined(chunk_aad(stream_id_, seq, last != 0), sealed);
+  if (!plain.ok()) return plain.error();
+
+  ++expected_sequence_;
+  append(assembling_, *plain);
+  if (last == 0) return std::optional<Bytes>{};
+
+  auto payload = rle_decompress(assembling_);
+  assembling_.clear();
+  if (!payload.ok()) return payload.error();
+  return std::optional<Bytes>{std::move(payload).value()};
+}
+
+}  // namespace securecloud::bigdata

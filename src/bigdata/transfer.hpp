@@ -1,0 +1,62 @@
+// Secure bulk data transfer: compress inside the enclave, then encrypt.
+//
+// Order matters: ciphertext is incompressible, so the compression step
+// must run on plaintext inside the protection boundary. The receiver
+// reverses the pipeline, verifying integrity chunk by chunk.
+#pragma once
+
+#include "bigdata/codec.hpp"
+#include "crypto/gcm.hpp"
+
+namespace securecloud::bigdata {
+
+struct TransferStats {
+  std::size_t plaintext_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  std::size_t wire_bytes = 0;
+  std::size_t chunks = 0;
+
+  double compression_ratio() const {
+    return compressed_bytes == 0
+               ? 1.0
+               : static_cast<double>(plaintext_bytes) /
+                     static_cast<double>(compressed_bytes);
+  }
+};
+
+class SecureTransferSender {
+ public:
+  SecureTransferSender(ByteView key, std::uint32_t stream_id,
+                       std::size_t chunk_size = 64 * 1024)
+      : gcm_(key), stream_id_(stream_id), chunk_size_(chunk_size) {}
+
+  /// Produces the wire chunks for `payload` and updates the stats.
+  std::vector<Bytes> send(ByteView payload);
+
+  const TransferStats& stats() const { return stats_; }
+
+ private:
+  crypto::AesGcm gcm_;
+  std::uint32_t stream_id_;
+  std::size_t chunk_size_;
+  std::uint64_t sequence_ = 0;
+  TransferStats stats_;
+};
+
+class SecureTransferReceiver {
+ public:
+  SecureTransferReceiver(ByteView key, std::uint32_t stream_id)
+      : gcm_(key), stream_id_(stream_id) {}
+
+  /// Consumes the next wire chunk in order; returns the reassembled
+  /// payload once its final chunk arrives, nullopt while incomplete.
+  Result<std::optional<Bytes>> receive(ByteView wire_chunk);
+
+ private:
+  crypto::AesGcm gcm_;
+  std::uint32_t stream_id_;
+  std::uint64_t expected_sequence_ = 0;
+  Bytes assembling_;
+};
+
+}  // namespace securecloud::bigdata

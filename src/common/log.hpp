@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (kWarn) so tests and benchmarks stay quiet;
+// examples turn on kInfo to narrate the end-to-end flows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace securecloud {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  static void write(LogLevel lvl, std::string_view component, std::string_view msg) {
+    if (lvl < level()) return;
+    const char* tag = "?";
+    switch (lvl) {
+      case LogLevel::kDebug: tag = "DEBUG"; break;
+      case LogLevel::kInfo: tag = "INFO "; break;
+      case LogLevel::kWarn: tag = "WARN "; break;
+      case LogLevel::kError: tag = "ERROR"; break;
+      case LogLevel::kOff: return;
+    }
+    std::fprintf(stderr, "[%s] %.*s: %.*s\n", tag,
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(msg.size()), msg.data());
+  }
+};
+
+inline void log_debug(std::string_view component, std::string_view msg) {
+  Log::write(LogLevel::kDebug, component, msg);
+}
+inline void log_info(std::string_view component, std::string_view msg) {
+  Log::write(LogLevel::kInfo, component, msg);
+}
+inline void log_warn(std::string_view component, std::string_view msg) {
+  Log::write(LogLevel::kWarn, component, msg);
+}
+inline void log_error(std::string_view component, std::string_view msg) {
+  Log::write(LogLevel::kError, component, msg);
+}
+
+}  // namespace securecloud

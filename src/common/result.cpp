@@ -1,0 +1,20 @@
+#include "common/result.hpp"
+
+namespace securecloud {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kIntegrityViolation: return "integrity_violation";
+    case ErrorCode::kAttestationFailure: return "attestation_failure";
+    case ErrorCode::kProtocolError: return "protocol_error";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace securecloud

@@ -1,0 +1,120 @@
+// Result<T>: lightweight expected-style error handling.
+//
+// SecureCloud uses Result for every fallible operation that can be caused
+// by the *environment* (corrupt ciphertext, failed attestation, missing
+// image, protocol violation by an untrusted peer). Exceptions are reserved
+// for programmer errors (contract violations), matching the Core
+// Guidelines' advice to keep error handling on untrusted inputs explicit.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace securecloud {
+
+/// Machine-inspectable error categories; `message` carries detail.
+enum class ErrorCode {
+  kInvalidArgument,
+  kNotFound,
+  kPermissionDenied,
+  kIntegrityViolation,   // MAC/hash/signature mismatch: possible tampering
+  kAttestationFailure,   // enclave identity could not be verified
+  kProtocolError,        // malformed/unexpected message from a peer
+  kResourceExhausted,    // EPC, queue, or capacity limits hit
+  kUnavailable,          // transient: retry may succeed
+  kInternal,
+};
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  static Error invalid_argument(std::string msg) { return {ErrorCode::kInvalidArgument, std::move(msg)}; }
+  static Error not_found(std::string msg) { return {ErrorCode::kNotFound, std::move(msg)}; }
+  static Error permission_denied(std::string msg) { return {ErrorCode::kPermissionDenied, std::move(msg)}; }
+  static Error integrity(std::string msg) { return {ErrorCode::kIntegrityViolation, std::move(msg)}; }
+  static Error attestation(std::string msg) { return {ErrorCode::kAttestationFailure, std::move(msg)}; }
+  static Error protocol(std::string msg) { return {ErrorCode::kProtocolError, std::move(msg)}; }
+  static Error exhausted(std::string msg) { return {ErrorCode::kResourceExhausted, std::move(msg)}; }
+  static Error unavailable(std::string msg) { return {ErrorCode::kUnavailable, std::move(msg)}; }
+  static Error internal(std::string msg) { return {ErrorCode::kInternal, std::move(msg)}; }
+};
+
+const char* to_string(ErrorCode code);
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT: implicit by design
+  Result(Error error) : v_(std::move(error)) {}        // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                   // success
+  Status(Error error) : error_(std::move(error)) {}     // NOLINT: implicit by design
+
+  static Status ok_status() { return {}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Propagate-on-error helpers (statement-expression free, portable).
+#define SC_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    auto sc_status_ = (expr);                       \
+    if (!sc_status_.ok()) return sc_status_.error(); \
+  } while (0)
+
+#define SC_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto sc_result_##__LINE__ = (expr);        \
+  if (!sc_result_##__LINE__.ok()) return sc_result_##__LINE__.error(); \
+  lhs = std::move(sc_result_##__LINE__).value()
+
+}  // namespace securecloud

@@ -1,0 +1,37 @@
+// Simulated cycle-accurate clock.
+//
+// The SGX simulator charges costs in CPU cycles (the unit the SGX
+// literature reports). SimClock accumulates cycles and converts to
+// nanoseconds at a configurable frequency so benchmarks can report both
+// simulated time and event counts deterministically.
+#pragma once
+
+#include <cstdint>
+
+namespace securecloud {
+
+class SimClock {
+ public:
+  /// Default frequency matches the Xeon E3-1270 v5 used by SCONE (OSDI'16).
+  explicit SimClock(double ghz = 2.6) : ghz_(ghz) {}
+
+  void advance_cycles(std::uint64_t cycles) { cycles_ += cycles; }
+  void advance_ns(std::uint64_t ns) {
+    cycles_ += static_cast<std::uint64_t>(static_cast<double>(ns) * ghz_);
+  }
+
+  std::uint64_t cycles() const { return cycles_; }
+  double seconds() const { return static_cast<double>(cycles_) / (ghz_ * 1e9); }
+  std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(static_cast<double>(cycles_) / ghz_);
+  }
+  double frequency_ghz() const { return ghz_; }
+
+  void reset() { cycles_ = 0; }
+
+ private:
+  double ghz_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace securecloud

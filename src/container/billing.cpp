@@ -1,0 +1,56 @@
+#include "container/billing.hpp"
+
+#include <algorithm>
+
+namespace securecloud::container {
+
+std::string tenant_of(const std::string& container_id) {
+  const auto slash = container_id.find('/');
+  return slash == std::string::npos ? "default" : container_id.substr(0, slash);
+}
+
+InvoiceLine BillingEngine::price_container(const std::string& container_id,
+                                           const ContainerMonitor& monitor) const {
+  InvoiceLine line;
+  line.container_id = container_id;
+  const auto* samples = monitor.samples(container_id);
+  if (samples == nullptr) return line;
+
+  double cpu_cycles = 0, io_bytes = 0, mem_byte_samples = 0;
+  for (const auto& s : *samples) {
+    cpu_cycles += static_cast<double>(s.cpu_cycles);
+    io_bytes += static_cast<double>(s.io_bytes);
+    mem_byte_samples += static_cast<double>(s.mem_bytes);
+  }
+  line.cpu_cost = cpu_cycles / 1e9 * tariff_.per_billion_cpu_cycles;
+  line.io_cost = io_bytes / 1e9 * tariff_.per_gb_io;
+  // Memory: each sample represents `sample_interval_s` of residency.
+  const double gb_hours =
+      mem_byte_samples / 1e9 * tariff_.sample_interval_s / 3600.0;
+  line.memory_cost = gb_hours * tariff_.per_gb_hour_memory;
+  return line;
+}
+
+std::vector<Invoice> BillingEngine::generate_invoices(
+    const ContainerMonitor& monitor,
+    const std::vector<std::string>& container_ids) const {
+  std::map<std::string, Invoice> by_tenant;
+  for (const auto& id : container_ids) {
+    const std::string tenant = tenant_of(id);
+    Invoice& invoice = by_tenant[tenant];
+    invoice.tenant = tenant;
+    invoice.lines.push_back(price_container(id, monitor));
+  }
+  std::vector<Invoice> out;
+  out.reserve(by_tenant.size());
+  for (auto& [tenant, invoice] : by_tenant) {
+    std::sort(invoice.lines.begin(), invoice.lines.end(),
+              [](const InvoiceLine& a, const InvoiceLine& b) {
+                return a.container_id < b.container_id;
+              });
+    out.push_back(std::move(invoice));
+  }
+  return out;
+}
+
+}  // namespace securecloud::container

@@ -1,0 +1,67 @@
+// Accounting & billing over monitored container usage (§III-B layer 1:
+// the secure-container components "allow for accounting and billing").
+//
+// A tariff prices the three monitored resources; invoices aggregate a
+// ContainerMonitor's samples per container, with an itemized breakdown.
+// Tenants are inferred from a container-id prefix convention
+// ("<tenant>/<service>-<n>"), matching how multi-tenant registries
+// namespace images.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "container/monitor.hpp"
+
+namespace securecloud::container {
+
+struct Tariff {
+  double per_billion_cpu_cycles = 0.02;   // currency units
+  double per_gb_hour_memory = 0.005;
+  double per_gb_io = 0.01;
+  /// Sampling interval assumed when converting mem samples to GB-hours.
+  double sample_interval_s = 300;
+};
+
+struct InvoiceLine {
+  std::string container_id;
+  double cpu_cost = 0;
+  double memory_cost = 0;
+  double io_cost = 0;
+  double total() const { return cpu_cost + memory_cost + io_cost; }
+};
+
+struct Invoice {
+  std::string tenant;
+  std::vector<InvoiceLine> lines;
+  double total() const {
+    double t = 0;
+    for (const auto& line : lines) t += line.total();
+    return t;
+  }
+};
+
+class BillingEngine {
+ public:
+  explicit BillingEngine(Tariff tariff = {}) : tariff_(tariff) {}
+
+  /// Prices one container's recorded usage.
+  InvoiceLine price_container(const std::string& container_id,
+                              const ContainerMonitor& monitor) const;
+
+  /// Itemized invoices grouped by tenant (container-id prefix up to '/';
+  /// containers without a tenant prefix bill to "default").
+  std::vector<Invoice> generate_invoices(const ContainerMonitor& monitor,
+                                         const std::vector<std::string>& container_ids) const;
+
+  const Tariff& tariff() const { return tariff_; }
+
+ private:
+  Tariff tariff_;
+};
+
+/// Tenant of a container id ("acme/web-1" -> "acme"; "web-1" -> "default").
+std::string tenant_of(const std::string& container_id);
+
+}  // namespace securecloud::container

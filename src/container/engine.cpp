@@ -1,0 +1,113 @@
+#include "container/engine.hpp"
+
+namespace securecloud::container {
+
+const char* to_string(ContainerState state) {
+  switch (state) {
+    case ContainerState::kCreated: return "created";
+    case ContainerState::kRunning: return "running";
+    case ContainerState::kExited: return "exited";
+    case ContainerState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+Result<Container*> ContainerEngine::create(const std::string& reference) {
+  auto pulled = registry_.pull(reference);
+  if (!pulled.ok()) return pulled.error();
+
+  const std::string id = pulled->manifest.name + "-" + std::to_string(next_id_++);
+  auto container = std::make_unique<Container>(id, pulled->manifest);
+  materialize_rootfs(pulled->layers, container->rootfs());
+  containers_.push_back(std::move(container));
+  return containers_.back().get();
+}
+
+Result<Bytes> ContainerEngine::run(Container& container, const PlainEntrypoint& entry) {
+  if (container.state_ == ContainerState::kRunning) {
+    return Error::invalid_argument("container already running: " + container.id());
+  }
+  container.state_ = ContainerState::kRunning;
+  const std::uint64_t io_before = container.rootfs_.total_bytes();
+
+  auto result = entry(container.rootfs_);
+
+  ResourceSample sample;
+  sample.mem_bytes = container.rootfs_.total_bytes();
+  sample.io_bytes = container.rootfs_.total_bytes() > io_before
+                        ? container.rootfs_.total_bytes() - io_before
+                        : 0;
+  monitor_.record(container.id_, sample);
+
+  if (!result.ok()) {
+    container.state_ = ContainerState::kFailed;
+    return result.error();
+  }
+  container.state_ = ContainerState::kExited;
+  container.exit_result_ = *result;
+  return std::move(result).value();
+}
+
+Result<scone::RunOutcome> ContainerEngine::run_secure(
+    Container& container, sgx::Platform& platform,
+    scone::ConfigurationService& config_service,
+    const scone::SconeRuntime::Application& app,
+    const std::vector<Bytes>& stdin_records) {
+  if (!container.manifest_.secure) {
+    return Error::invalid_argument("image " + container.manifest_.reference() +
+                                   " is not a secure image");
+  }
+  if (container.state_ == ContainerState::kRunning) {
+    return Error::invalid_argument("container already running: " + container.id());
+  }
+  container.state_ = ContainerState::kRunning;
+
+  auto enclave = platform.create_enclave(container.manifest_.enclave_image);
+  if (!enclave.ok()) {
+    container.state_ = ContainerState::kFailed;
+    return enclave.error();
+  }
+
+  const std::uint64_t cycles_before = platform.clock().cycles();
+  auto outcome = scone::SconeRuntime::run(**enclave, container.rootfs_,
+                                          config_service, app, stdin_records);
+
+  ResourceSample sample;
+  sample.at_cycles = platform.clock().cycles();
+  sample.cpu_cycles = platform.clock().cycles() - cycles_before;
+  sample.mem_bytes = container.rootfs_.total_bytes();
+  monitor_.record(container.id_, sample);
+
+  platform.destroy_enclave((*enclave)->id());
+
+  if (!outcome.ok()) {
+    container.state_ = ContainerState::kFailed;
+    return outcome.error();
+  }
+  container.state_ = ContainerState::kExited;
+  container.exit_result_ = outcome->app_result;
+  return outcome;
+}
+
+Container* ContainerEngine::find(const std::string& id) {
+  for (auto& c : containers_) {
+    if (c->id() == id) return c.get();
+  }
+  return nullptr;
+}
+
+Status ContainerEngine::remove(const std::string& id) {
+  for (auto it = containers_.begin(); it != containers_.end(); ++it) {
+    if ((*it)->id() == id) {
+      if ((*it)->state() == ContainerState::kRunning) {
+        return Error::invalid_argument("cannot remove running container");
+      }
+      monitor_.forget(id);
+      containers_.erase(it);
+      return {};
+    }
+  }
+  return Error::not_found("no such container: " + id);
+}
+
+}  // namespace securecloud::container

@@ -1,0 +1,84 @@
+// Container engine: pulls images, materializes root file systems, runs
+// regular and secure containers.
+//
+// Secure containers follow the paper's flow exactly: the engine itself is
+// untrusted and unchanged ("we do not require modifications to the Docker
+// Engine or its API"); the security comes from what is inside the image
+// (encrypted layers + FSPF + measured enclave binary) and the SCONE
+// runtime path that attests before receiving secrets.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "container/image.hpp"
+#include "container/monitor.hpp"
+#include "container/registry.hpp"
+#include "scone/runtime.hpp"
+#include "sgx/platform.hpp"
+
+namespace securecloud::container {
+
+enum class ContainerState { kCreated, kRunning, kExited, kFailed };
+
+const char* to_string(ContainerState state);
+
+class Container {
+ public:
+  Container(std::string id, ImageManifest manifest)
+      : id_(std::move(id)), manifest_(std::move(manifest)) {}
+
+  const std::string& id() const { return id_; }
+  const ImageManifest& manifest() const { return manifest_; }
+  ContainerState state() const { return state_; }
+  scone::UntrustedFileSystem& rootfs() { return rootfs_; }
+  const Bytes& exit_result() const { return exit_result_; }
+
+ private:
+  friend class ContainerEngine;
+  std::string id_;
+  ImageManifest manifest_;
+  scone::UntrustedFileSystem rootfs_;
+  ContainerState state_ = ContainerState::kCreated;
+  Bytes exit_result_;
+};
+
+class ContainerEngine {
+ public:
+  /// Regular container entry point: unfettered access to the rootfs —
+  /// which is precisely why regular containers cannot protect secrets
+  /// from the host.
+  using PlainEntrypoint = std::function<Result<Bytes>(scone::UntrustedFileSystem&)>;
+
+  explicit ContainerEngine(Registry& registry, ContainerMonitor& monitor)
+      : registry_(registry), monitor_(monitor) {}
+
+  /// Pulls `reference` and materializes a container (Created state).
+  Result<Container*> create(const std::string& reference);
+
+  /// Runs a regular container to completion.
+  Result<Bytes> run(Container& container, const PlainEntrypoint& entry);
+
+  /// Runs a secure container: creates the enclave from the manifest's
+  /// measured image on `platform`, then drives the SCONE runtime
+  /// (attested SCF fetch, shielded FS) inside it. `stdin_records` are
+  /// optional encrypted input produced with the SCF stdin key.
+  Result<scone::RunOutcome> run_secure(Container& container, sgx::Platform& platform,
+                                       scone::ConfigurationService& config_service,
+                                       const scone::SconeRuntime::Application& app,
+                                       const std::vector<Bytes>& stdin_records = {});
+
+  Container* find(const std::string& id);
+  Status remove(const std::string& id);
+  std::size_t container_count() const { return containers_.size(); }
+
+ private:
+  Registry& registry_;
+  ContainerMonitor& monitor_;
+  std::vector<std::unique_ptr<Container>> containers_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace securecloud::container

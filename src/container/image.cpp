@@ -1,0 +1,62 @@
+#include "container/image.hpp"
+
+namespace securecloud::container {
+
+Bytes Layer::serialize() const {
+  Bytes b;
+  put_str(b, "SCLAYER1");
+  put_u32(b, static_cast<std::uint32_t>(files.size()));
+  for (const auto& [path, content] : files) {
+    put_str(b, path);
+    put_blob(b, content);
+  }
+  put_u32(b, static_cast<std::uint32_t>(whiteouts.size()));
+  for (const auto& path : whiteouts) put_str(b, path);
+  return b;
+}
+
+Result<Layer> Layer::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  std::string magic;
+  if (!r.get_str(magic) || magic != "SCLAYER1") {
+    return Error::protocol("bad layer magic");
+  }
+  Layer layer;
+  std::uint32_t file_count = 0;
+  if (!r.get_u32(file_count)) return Error::protocol("truncated layer");
+  for (std::uint32_t i = 0; i < file_count; ++i) {
+    std::string path;
+    Bytes content;
+    if (!r.get_str(path) || !r.get_blob(content)) {
+      return Error::protocol("truncated layer file");
+    }
+    layer.files.emplace(std::move(path), std::move(content));
+  }
+  std::uint32_t whiteout_count = 0;
+  if (!r.get_u32(whiteout_count)) return Error::protocol("truncated layer");
+  for (std::uint32_t i = 0; i < whiteout_count; ++i) {
+    std::string path;
+    if (!r.get_str(path)) return Error::protocol("truncated whiteout");
+    layer.whiteouts.push_back(std::move(path));
+  }
+  if (!r.done()) return Error::protocol("trailing layer bytes");
+  return layer;
+}
+
+std::string Layer::digest() const {
+  return hex_encode(crypto::Sha256::hash(serialize()));
+}
+
+void materialize_rootfs(const std::vector<Layer>& layers,
+                        scone::UntrustedFileSystem& rootfs) {
+  for (const auto& layer : layers) {
+    for (const auto& path : layer.whiteouts) {
+      (void)rootfs.remove(path);
+    }
+    for (const auto& [path, content] : layer.files) {
+      (void)rootfs.write_file(path, content);
+    }
+  }
+}
+
+}  // namespace securecloud::container

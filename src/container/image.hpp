@@ -1,0 +1,54 @@
+// Container images: content-addressed layers + manifests.
+//
+// Mirrors the Docker model the paper builds on (§V-A): an image is an
+// ordered list of file-system layers, each identified by the SHA-256 of
+// its serialized content; a manifest names the layers plus, for *secure*
+// images, the enclave binary and the signed-or-encrypted FSPF produced by
+// the SCONE client. "From the perspective of the Docker infrastructure,
+// secure containers are indistinguishable from regular containers" — the
+// engine treats both identically; only the runtime path differs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/sha256.hpp"
+#include "scone/untrusted_fs.hpp"
+#include "sgx/enclave.hpp"
+
+namespace securecloud::container {
+
+/// One file-system layer. Later layers override earlier ones (and can
+/// delete files via whiteouts), exactly as in Docker's overlay model.
+struct Layer {
+  std::map<std::string, Bytes> files;
+  std::vector<std::string> whiteouts;  // paths removed by this layer
+
+  Bytes serialize() const;
+  static Result<Layer> deserialize(ByteView wire);
+
+  /// Content address = SHA-256 of the serialized layer.
+  std::string digest() const;
+};
+
+struct ImageManifest {
+  std::string name;
+  std::string tag = "latest";
+  std::vector<std::string> layer_digests;  // base first
+
+  /// Secure-image extras (empty for regular images).
+  bool secure = false;
+  sgx::EnclaveImage enclave_image;  // the measured, signed binary
+  std::string fspf_path;            // where the FSPF lives in the rootfs
+
+  std::string reference() const { return name + ":" + tag; }
+};
+
+/// Flattens layers (base-to-top) into a root file system.
+void materialize_rootfs(const std::vector<Layer>& layers,
+                        scone::UntrustedFileSystem& rootfs);
+
+}  // namespace securecloud::container

@@ -1,0 +1,46 @@
+#include "container/monitor.hpp"
+
+#include <algorithm>
+
+namespace securecloud::container {
+
+void ContainerMonitor::record(const std::string& container_id, ResourceSample sample) {
+  series_[container_id].push_back(sample);
+}
+
+ResourceProfile ContainerMonitor::profile(const std::string& container_id) const {
+  ResourceProfile p;
+  auto it = series_.find(container_id);
+  if (it == series_.end() || it->second.empty()) return p;
+  const auto& samples = it->second;
+  p.samples = samples.size();
+  for (const auto& s : samples) {
+    p.avg_cpu_cycles_per_sample += static_cast<double>(s.cpu_cycles);
+    p.avg_mem_bytes += static_cast<double>(s.mem_bytes);
+    p.peak_mem_bytes = std::max(p.peak_mem_bytes, static_cast<double>(s.mem_bytes));
+    p.avg_io_bytes_per_sample += static_cast<double>(s.io_bytes);
+  }
+  const auto n = static_cast<double>(samples.size());
+  p.avg_cpu_cycles_per_sample /= n;
+  p.avg_mem_bytes /= n;
+  p.avg_io_bytes_per_sample /= n;
+  return p;
+}
+
+const std::vector<ResourceSample>* ContainerMonitor::samples(
+    const std::string& container_id) const {
+  auto it = series_.find(container_id);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::map<std::string, std::uint64_t> ContainerMonitor::billing_report() const {
+  std::map<std::string, std::uint64_t> report;
+  for (const auto& [id, samples] : series_) {
+    std::uint64_t total = 0;
+    for (const auto& s : samples) total += s.cpu_cycles;
+    report[id] = total;
+  }
+  return report;
+}
+
+}  // namespace securecloud::container

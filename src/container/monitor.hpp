@@ -1,0 +1,49 @@
+// Container resource monitoring.
+//
+// The architecture (§III-B) calls for components that "monitor hardware
+// usage to detect resource bottlenecks and allow for accounting and
+// billing". ContainerMonitor keeps a per-container time series of
+// resource samples; consumers are the billing report here and the
+// GenPack scheduler, which uses observed profiles to classify containers
+// into generations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace securecloud::container {
+
+struct ResourceSample {
+  std::uint64_t at_cycles = 0;   // simulated timestamp
+  std::uint64_t cpu_cycles = 0;  // consumed since last sample
+  std::uint64_t mem_bytes = 0;   // resident set at sample time
+  std::uint64_t io_bytes = 0;    // I/O since last sample
+};
+
+struct ResourceProfile {
+  double avg_cpu_cycles_per_sample = 0;
+  double avg_mem_bytes = 0;
+  double peak_mem_bytes = 0;
+  double avg_io_bytes_per_sample = 0;
+  std::size_t samples = 0;
+};
+
+class ContainerMonitor {
+ public:
+  void record(const std::string& container_id, ResourceSample sample);
+
+  ResourceProfile profile(const std::string& container_id) const;
+  const std::vector<ResourceSample>* samples(const std::string& container_id) const;
+
+  /// Accounting: total cycles consumed per container (billing basis).
+  std::map<std::string, std::uint64_t> billing_report() const;
+
+  void forget(const std::string& container_id) { series_.erase(container_id); }
+
+ private:
+  std::map<std::string, std::vector<ResourceSample>> series_;
+};
+
+}  // namespace securecloud::container

@@ -1,0 +1,59 @@
+#include "container/registry.hpp"
+
+namespace securecloud::container {
+
+std::string Registry::push_layer(const Layer& layer) {
+  const std::string digest = layer.digest();
+  layers_[digest] = layer.serialize();
+  return digest;
+}
+
+Status Registry::push_manifest(const ImageManifest& manifest) {
+  for (const auto& digest : manifest.layer_digests) {
+    if (!layers_.count(digest)) {
+      return Error::invalid_argument("manifest references missing layer " + digest);
+    }
+  }
+  manifests_[manifest.reference()] = manifest;
+  return {};
+}
+
+Result<ImageManifest> Registry::manifest(const std::string& reference) const {
+  auto it = manifests_.find(reference);
+  if (it == manifests_.end()) return Error::not_found("no such image: " + reference);
+  return it->second;
+}
+
+Result<Layer> Registry::layer(const std::string& digest) const {
+  auto it = layers_.find(digest);
+  if (it == layers_.end()) return Error::not_found("no such layer: " + digest);
+  auto parsed = Layer::deserialize(it->second);
+  if (!parsed.ok()) return parsed.error();
+  // Content addressing: the client re-derives the digest.
+  if (parsed->digest() != digest) {
+    return Error::integrity("layer content does not match its digest");
+  }
+  return parsed;
+}
+
+Result<Registry::PulledImage> Registry::pull(const std::string& reference) const {
+  auto m = manifest(reference);
+  if (!m.ok()) return m.error();
+  PulledImage pulled;
+  pulled.manifest = *m;
+  for (const auto& digest : m->layer_digests) {
+    auto l = layer(digest);
+    if (!l.ok()) return l.error();
+    pulled.layers.push_back(std::move(l).value());
+  }
+  return pulled;
+}
+
+bool Registry::corrupt_layer(const std::string& digest, std::size_t byte_offset) {
+  auto it = layers_.find(digest);
+  if (it == layers_.end() || byte_offset >= it->second.size()) return false;
+  it->second[byte_offset] ^= 0x01;
+  return true;
+}
+
+}  // namespace securecloud::container

@@ -1,0 +1,45 @@
+// Image registry — the (untrusted) distribution point.
+//
+// Layers are stored by content address; manifests by name:tag. The
+// registry verifies nothing and is never trusted: secure images protect
+// themselves (encrypted layers + FSPF), so a malicious registry can at
+// worst deny service. Tests exercise exactly that property.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "container/image.hpp"
+
+namespace securecloud::container {
+
+class Registry {
+ public:
+  /// Stores a layer under its content address and returns the digest.
+  std::string push_layer(const Layer& layer);
+
+  Status push_manifest(const ImageManifest& manifest);
+
+  Result<ImageManifest> manifest(const std::string& reference) const;
+  Result<Layer> layer(const std::string& digest) const;
+
+  /// Pulls a full image: manifest + all layers, verifying each layer's
+  /// content address (a registry serving bad bytes is detected here).
+  struct PulledImage {
+    ImageManifest manifest;
+    std::vector<Layer> layers;
+  };
+  Result<PulledImage> pull(const std::string& reference) const;
+
+  /// Attacker's handle: overwrite stored layer bytes.
+  bool corrupt_layer(const std::string& digest, std::size_t byte_offset);
+
+  std::size_t layer_count() const { return layers_.size(); }
+
+ private:
+  std::map<std::string, Bytes> layers_;  // digest -> serialized layer
+  std::map<std::string, ImageManifest> manifests_;
+};
+
+}  // namespace securecloud::container

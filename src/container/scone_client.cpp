@@ -1,0 +1,158 @@
+#include "container/scone_client.hpp"
+
+#include "scone/fs_protection.hpp"
+#include "scone/runtime.hpp"
+
+namespace securecloud::container {
+
+namespace {
+
+/// Moves every file of `fs` into a layer.
+Layer layer_from_fs(scone::UntrustedFileSystem& fs) {
+  Layer layer;
+  for (const auto& path : fs.list()) {
+    layer.files[path] = *fs.read_file(path);
+  }
+  return layer;
+}
+
+sgx::EnclaveImage make_enclave_image(const SecureImageSpec& spec,
+                                     const crypto::Ed25519KeyPair& signer) {
+  sgx::EnclaveImage image;
+  image.name = spec.name;
+  image.code = spec.app_code;
+  sgx::sign_image(image, signer);
+  return image;
+}
+
+}  // namespace
+
+Result<ImageManifest> SconeClient::build_common(
+    const SecureImageSpec& spec, bool encrypt_fspf,
+    scone::ConfigurationService* config_service, Bytes* fspf_out) {
+  if (spec.app_code.empty()) {
+    return Error::invalid_argument("secure image needs application code");
+  }
+
+  // 1. Build + sign the enclave binary.
+  const sgx::EnclaveImage enclave_image = make_enclave_image(spec, signer_);
+
+  // 2. Encrypt protected files into a staging FS.
+  scone::UntrustedFileSystem staging;
+  scone::FsProtectionBuilder builder(staging, entropy_, spec.chunk_size);
+  for (const auto& [path, content] : spec.protected_files) {
+    SC_RETURN_IF_ERROR(builder.protect_file(path, content));
+  }
+
+  // 3. Package the FSPF.
+  scone::StartupConfig scf;
+  scf.fs_protection_key = entropy_.bytes(32);
+  scf.stdin_key = entropy_.bytes(16);
+  scf.stdout_key = entropy_.bytes(16);
+  scf.args = spec.args;
+  scf.env = spec.env;
+
+  Bytes fspf_blob;
+  if (encrypt_fspf) {
+    fspf_blob = scone::seal_protection_file(builder.protection(),
+                                            scf.fs_protection_key, entropy_);
+  } else {
+    fspf_blob = scone::sign_protection_file(builder.protection(), signer_);
+    if (fspf_out) *fspf_out = builder.protection().serialize();
+  }
+  (void)staging.write_file(scone::SconeRuntime::kFspfPath, fspf_blob);
+  scf.fs_protection_hash = crypto::Sha256::hash(fspf_blob);
+
+  // 4. Assemble layers: encrypted files + FSPF in the base layer, public
+  //    files in a second layer (mirrors Docker layering practice).
+  Layer base = layer_from_fs(staging);
+  Layer public_layer;
+  public_layer.files = spec.public_files;
+
+  ImageManifest manifest;
+  manifest.name = spec.name;
+  manifest.tag = spec.tag;
+  manifest.secure = true;
+  manifest.enclave_image = enclave_image;
+  manifest.fspf_path = scone::SconeRuntime::kFspfPath;
+  manifest.layer_digests.push_back(registry_.push_layer(base));
+  if (!public_layer.files.empty()) {
+    manifest.layer_digests.push_back(registry_.push_layer(public_layer));
+  }
+  SC_RETURN_IF_ERROR(registry_.push_manifest(manifest));
+
+  // 5. Gate the SCF on the enclave identity.
+  if (config_service) {
+    config_service->register_scf(enclave_image.expected_measurement(), scf);
+  }
+  return manifest;
+}
+
+Result<ImageManifest> SconeClient::build_secure_image(
+    const SecureImageSpec& spec, scone::ConfigurationService& config_service) {
+  return build_common(spec, /*encrypt_fspf=*/true, &config_service, nullptr);
+}
+
+Result<SconeClient::CustomizableImage> SconeClient::build_customizable_image(
+    const SecureImageSpec& spec) {
+  CustomizableImage out;
+  auto manifest = build_common(spec, /*encrypt_fspf=*/false, nullptr,
+                               &out.fspf_serialized);
+  if (!manifest.ok()) return manifest.error();
+  out.manifest = std::move(manifest).value();
+  return out;
+}
+
+Result<ImageManifest> SconeClient::customize_and_finalize(
+    const CustomizableImage& base, const crypto::Ed25519PublicKey& creator_key,
+    const std::map<std::string, Bytes>& extra_protected_files,
+    const std::string& name, const std::string& tag,
+    scone::ConfigurationService& config_service) {
+  // Verify the creator's signed FSPF from the published image.
+  auto pulled = registry_.pull(base.manifest.reference());
+  if (!pulled.ok()) return pulled.error();
+  scone::UntrustedFileSystem rootfs;
+  materialize_rootfs(pulled->layers, rootfs);
+  auto fspf_blob = rootfs.read_file(base.manifest.fspf_path);
+  if (!fspf_blob.ok()) return Error::integrity("customizable image lacks FSPF");
+  auto verified = scone::verify_protection_file(*fspf_blob, creator_key);
+  if (!verified.ok()) return verified.error();
+
+  // Encrypt the user's extra files into a new layer, extending the FSPF.
+  scone::UntrustedFileSystem staging;
+  scone::FsProtectionBuilder builder(staging, entropy_, 4096);
+  for (const auto& [path, content] : extra_protected_files) {
+    SC_RETURN_IF_ERROR(builder.protect_file(path, content));
+  }
+  scone::FsProtection combined = std::move(*verified);
+  for (auto& [path, fp] : builder.protection().files) {
+    if (combined.files.count(path)) {
+      return Error::invalid_argument("customization collides with base file: " + path);
+    }
+    combined.files[path] = fp;
+  }
+
+  // Finalize: encrypt the combined FSPF under a fresh key; only now is
+  // confidentiality of the whole image assured.
+  scone::StartupConfig scf;
+  scf.fs_protection_key = entropy_.bytes(32);
+  scf.stdin_key = entropy_.bytes(16);
+  scf.stdout_key = entropy_.bytes(16);
+  const Bytes sealed =
+      scone::seal_protection_file(combined, scf.fs_protection_key, entropy_);
+  scf.fs_protection_hash = crypto::Sha256::hash(sealed);
+
+  Layer overlay = layer_from_fs(staging);
+  overlay.files[base.manifest.fspf_path] = sealed;  // overrides signed FSPF
+
+  ImageManifest manifest = base.manifest;
+  manifest.name = name;
+  manifest.tag = tag;
+  manifest.layer_digests.push_back(registry_.push_layer(overlay));
+  SC_RETURN_IF_ERROR(registry_.push_manifest(manifest));
+
+  config_service.register_scf(manifest.enclave_image.expected_measurement(), scf);
+  return manifest;
+}
+
+}  // namespace securecloud::container

@@ -1,0 +1,85 @@
+// SCONE client: the trusted-environment tool that builds secure images
+// (§V-A) — a wrapper around the Docker workflow.
+//
+// Build steps, exactly as the paper describes:
+//   1. statically compile the micro-service against the SCONE library and
+//      sign the resulting enclave image (here: the signed EnclaveImage);
+//   2. encrypt all files that must be protected, producing the FS
+//      protection file (FSPF) with per-chunk MACs and keys;
+//   3. either encrypt the FSPF (finished, confidential image) or only
+//      sign it (integrity-protected image that end users may customize
+//      by adding layers; confidentiality comes when they finalize);
+//   4. publish via the standard (untrusted) registry;
+//   5. register the SCF — stdio keys, FSPF key + hash, args, env — with
+//      the configuration service, gated on the enclave's measurement.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "container/registry.hpp"
+#include "crypto/entropy.hpp"
+#include "scone/scf.hpp"
+
+namespace securecloud::container {
+
+struct SecureImageSpec {
+  std::string name;
+  std::string tag = "latest";
+  /// The statically linked application binary (measured into MRENCLAVE).
+  Bytes app_code;
+  /// Files encrypted into the image; only the enclave sees plaintext.
+  std::map<std::string, Bytes> protected_files;
+  /// Files shipped as-is (e.g. public configuration).
+  std::map<std::string, Bytes> public_files;
+  std::vector<std::string> args;
+  std::map<std::string, std::string> env;
+  std::uint32_t chunk_size = 4096;
+};
+
+class SconeClient {
+ public:
+  SconeClient(Registry& registry, crypto::EntropySource& entropy,
+              crypto::Ed25519KeyPair signer)
+      : registry_(registry), entropy_(entropy), signer_(std::move(signer)) {}
+
+  /// Builds a finished (encrypted-FSPF) secure image, pushes it, and
+  /// registers its SCF. Returns the manifest.
+  Result<ImageManifest> build_secure_image(const SecureImageSpec& spec,
+                                           scone::ConfigurationService& config_service);
+
+  /// Builds a *customizable* secure image: protected files are encrypted
+  /// and the FSPF is only signed (public but integrity-protected). No SCF
+  /// is registered — the customizer finalizes.
+  struct CustomizableImage {
+    ImageManifest manifest;
+    /// Keys the image creator hands to the authorized customizer
+    /// (out of band): needed to extend the FSPF.
+    Bytes fspf_serialized;  // the plaintext FSPF (customizer input)
+  };
+  Result<CustomizableImage> build_customizable_image(const SecureImageSpec& spec);
+
+  /// End-user step: verify the signed FSPF against the creator's public
+  /// key, add extra protected files as a new layer, then encrypt the
+  /// combined FSPF and register the SCF. Publishes `name:tag`.
+  Result<ImageManifest> customize_and_finalize(
+      const CustomizableImage& base, const crypto::Ed25519PublicKey& creator_key,
+      const std::map<std::string, Bytes>& extra_protected_files,
+      const std::string& name, const std::string& tag,
+      scone::ConfigurationService& config_service);
+
+  const crypto::Ed25519PublicKey& public_key() const { return signer_.public_key; }
+
+ private:
+  Result<ImageManifest> build_common(const SecureImageSpec& spec, bool encrypt_fspf,
+                                     scone::ConfigurationService* config_service,
+                                     Bytes* fspf_out);
+
+  Registry& registry_;
+  crypto::EntropySource& entropy_;
+  crypto::Ed25519KeyPair signer_;
+};
+
+}  // namespace securecloud::container

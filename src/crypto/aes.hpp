@@ -1,0 +1,44 @@
+// AES-128/AES-256 block cipher (FIPS 197).
+//
+// Portable S-box implementation. This is the project's only block cipher;
+// CTR and GCM modes are layered on top. Only the *encrypt* direction is
+// needed by CTR/GCM, but decrypt is provided for completeness and tested
+// against FIPS vectors.
+//
+// Note on side channels: a table-based software AES is not constant-time
+// on real hardware. Inside the simulated enclave this is acceptable; a
+// production SGX deployment would use AES-NI.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace securecloud::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+class Aes {
+ public:
+  /// Precondition: key.size() is 16 (AES-128) or 32 (AES-256).
+  explicit Aes(ByteView key);
+
+  void encrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+  void decrypt_block(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+  AesBlock encrypt_block(const AesBlock& in) const {
+    AesBlock out;
+    encrypt_block(in.data(), out.data());
+    return out;
+  }
+
+  int rounds() const { return rounds_; }
+
+ private:
+  int rounds_;                                  // 10 (AES-128) or 14 (AES-256)
+  std::array<std::uint32_t, 60> round_keys_{};  // 4 * (rounds + 1) words
+};
+
+}  // namespace securecloud::crypto

@@ -1,0 +1,249 @@
+#include "crypto/ed25519.hpp"
+
+#include "crypto/field25519.hpp"
+#include "crypto/sha512.hpp"
+
+namespace securecloud::crypto {
+
+namespace {
+
+namespace f = f25519;
+using f::Gf;
+using i64 = f::i64;
+
+// Edwards curve constants (TweetNaCl): d, 2d, basepoint (X, Y), sqrt(-1).
+constexpr Gf kD = {0x78a3, 0x1359, 0x4dca, 0x75eb, 0xd8ab, 0x4141, 0x0a4d, 0x0070,
+                   0xe898, 0x7779, 0x4079, 0x8cc7, 0xfe73, 0x2b6f, 0x6cee, 0x5203};
+constexpr Gf kD2 = {0xf159, 0x26b2, 0x9b94, 0xebd6, 0xb156, 0x8283, 0x149a, 0x00e0,
+                    0xd130, 0xeef3, 0x80f2, 0x198e, 0xfce7, 0x56df, 0xd9dc, 0x2406};
+constexpr Gf kX = {0xd51a, 0x8f25, 0x2d60, 0xc956, 0xa7b2, 0x9525, 0xc760, 0x692c,
+                   0xdc5c, 0xfdd6, 0xe231, 0xc0a4, 0x53fe, 0xcd6e, 0x36d3, 0x2169};
+constexpr Gf kY = {0x6658, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666,
+                   0x6666, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666, 0x6666};
+constexpr Gf kI = {0xa0b0, 0x4a0e, 0x1b27, 0xc4ee, 0xe478, 0xad2f, 0x1806, 0x2f43,
+                   0xd7a7, 0x3dfb, 0x0099, 0x2b4d, 0xdf0b, 0x4fc1, 0x2480, 0x2b83};
+
+// Group order L = 2^252 + 27742317777372353535851937790883648493.
+constexpr std::uint64_t kL[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                                  0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                                  0,    0,    0,    0,    0,    0,    0,    0,
+                                  0,    0,    0,    0,    0,    0,    0,    0x10};
+
+using Point = std::array<Gf, 4>;  // extended coordinates (X, Y, Z, T)
+
+/// Unified Edwards point addition: p += q.
+void point_add(Point& p, const Point& q) {
+  Gf a, b, c, d, t, e, ff, g, h;
+  f::sub(a, p[1], p[0]);
+  f::sub(t, q[1], q[0]);
+  f::mul(a, a, t);
+  f::add(b, p[0], p[1]);
+  f::add(t, q[0], q[1]);
+  f::mul(b, b, t);
+  f::mul(c, p[3], q[3]);
+  f::mul(c, c, kD2);
+  f::mul(d, p[2], q[2]);
+  f::add(d, d, d);
+  f::sub(e, b, a);
+  f::sub(ff, d, c);
+  f::add(g, d, c);
+  f::add(h, b, a);
+  f::mul(p[0], e, ff);
+  f::mul(p[1], h, g);
+  f::mul(p[2], g, ff);
+  f::mul(p[3], e, h);
+}
+
+void point_cswap(Point& p, Point& q, int b) {
+  for (std::size_t i = 0; i < 4; ++i) f::cswap(p[i], q[i], b);
+}
+
+void point_pack(std::uint8_t r[32], const Point& p) {
+  Gf tx, ty, zi;
+  f::invert(zi, p[2]);
+  f::mul(tx, p[0], zi);
+  f::mul(ty, p[1], zi);
+  f::pack(r, ty);
+  r[31] ^= static_cast<std::uint8_t>(f::parity(tx) << 7);
+}
+
+/// Constant-time scalar multiplication p = s * q (s: 32-byte scalar).
+void point_scalarmult(Point& p, Point& q, const std::uint8_t* s) {
+  p[0] = f::kGf0;
+  p[1] = f::kGf1;
+  p[2] = f::kGf1;
+  p[3] = f::kGf0;
+  for (int i = 255; i >= 0; --i) {
+    const int b = (s[i / 8] >> (i & 7)) & 1;
+    point_cswap(p, q, b);
+    point_add(q, p);
+    point_add(p, p);
+    point_cswap(p, q, b);
+  }
+}
+
+void point_scalarbase(Point& p, const std::uint8_t* s) {
+  Point q;
+  q[0] = kX;
+  q[1] = kY;
+  q[2] = f::kGf1;
+  f::mul(q[3], kX, kY);
+  point_scalarmult(p, q, s);
+}
+
+/// Reduces a 512-bit little-endian integer mod L into r[0..31].
+void mod_l(std::uint8_t r[32], i64 x[64]) {
+  i64 carry;
+  for (i64 i = 63; i >= 32; --i) {
+    carry = 0;
+    i64 j;
+    for (j = i - 32; j < i - 12; ++j) {
+      x[j] += carry - 16 * x[i] * static_cast<i64>(kL[j - (i - 32)]);
+      carry = (x[j] + 128) >> 8;
+      x[j] -= carry << 8;
+    }
+    x[j] += carry;
+    x[i] = 0;
+  }
+  carry = 0;
+  for (i64 j = 0; j < 32; ++j) {
+    x[j] += carry - (x[31] >> 4) * static_cast<i64>(kL[j]);
+    carry = x[j] >> 8;
+    x[j] &= 255;
+  }
+  for (i64 j = 0; j < 32; ++j) x[j] -= carry * static_cast<i64>(kL[j]);
+  for (i64 i = 0; i < 32; ++i) {
+    x[i + 1] += x[i] >> 8;
+    r[i] = static_cast<std::uint8_t>(x[i] & 255);
+  }
+}
+
+/// Reduces a 64-byte value (e.g. a SHA-512 digest) mod L in place.
+void reduce(std::uint8_t r[64]) {
+  i64 x[64];
+  for (int i = 0; i < 64; ++i) x[i] = static_cast<i64>(r[i]);
+  for (int i = 0; i < 64; ++i) r[i] = 0;
+  mod_l(r, x);
+}
+
+/// Decompresses a public key into -A (negated, as verification needs).
+/// Returns false for points not on the curve.
+bool point_unpack_neg(Point& r, const std::uint8_t p[32]) {
+  Gf t, chk, num, den, den2, den4, den6;
+  r[2] = f::kGf1;
+  f::unpack(r[1], p);
+  f::square(num, r[1]);
+  f::mul(den, num, kD);
+  f::sub(num, num, r[2]);
+  f::add(den, r[2], den);
+
+  f::square(den2, den);
+  f::square(den4, den2);
+  f::mul(den6, den4, den2);
+  f::mul(t, den6, num);
+  f::mul(t, t, den);
+
+  f::pow2523(t, t);
+  f::mul(t, t, num);
+  f::mul(t, t, den);
+  f::mul(t, t, den);
+  f::mul(r[0], t, den);
+
+  f::square(chk, r[0]);
+  f::mul(chk, chk, den);
+  if (f::neq(chk, num)) f::mul(r[0], r[0], kI);
+
+  f::square(chk, r[0]);
+  f::mul(chk, chk, den);
+  if (f::neq(chk, num)) return false;
+
+  if (f::parity(r[0]) == (p[31] >> 7)) f::sub(r[0], f::kGf0, r[0]);
+
+  f::mul(r[3], r[0], r[1]);
+  return true;
+}
+
+Sha512Digest hash3(ByteView a, ByteView b, ByteView c) {
+  Sha512 h;
+  h.update(a);
+  h.update(b);
+  h.update(c);
+  return h.finish();
+}
+
+}  // namespace
+
+Ed25519KeyPair ed25519_keypair(const Ed25519Seed& seed) {
+  Sha512Digest d = Sha512::hash(seed);
+  d[0] &= 248;
+  d[31] &= 127;
+  d[31] |= 64;
+
+  Point p;
+  point_scalarbase(p, d.data());
+
+  Ed25519KeyPair kp;
+  kp.seed = seed;
+  point_pack(kp.public_key.data(), p);
+  return kp;
+}
+
+Ed25519Signature ed25519_sign(const Ed25519KeyPair& kp, ByteView message) {
+  Sha512Digest d = Sha512::hash(kp.seed);
+  d[0] &= 248;
+  d[31] &= 127;
+  d[31] |= 64;
+
+  // r = SHA512(prefix || M) mod L
+  Sha512Digest r_digest;
+  {
+    Sha512 h;
+    h.update(ByteView(d.data() + 32, 32));
+    h.update(message);
+    r_digest = h.finish();
+  }
+  reduce(r_digest.data());
+
+  Point p;
+  point_scalarbase(p, r_digest.data());
+  Ed25519Signature sig{};
+  point_pack(sig.data(), p);
+
+  // k = SHA512(R || A || M) mod L
+  Sha512Digest k = hash3(ByteView(sig.data(), 32), kp.public_key, message);
+  reduce(k.data());
+
+  // S = (r + k * s) mod L
+  i64 x[64] = {};
+  for (int i = 0; i < 32; ++i) x[i] = static_cast<i64>(r_digest[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 32; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      x[i + j] += static_cast<i64>(k[static_cast<std::size_t>(i)]) *
+                  static_cast<i64>(d[static_cast<std::size_t>(j)]);
+    }
+  }
+  mod_l(sig.data() + 32, x);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& pk, ByteView message,
+                    const Ed25519Signature& sig) {
+  Point q;
+  if (!point_unpack_neg(q, pk.data())) return false;
+
+  Sha512Digest k = hash3(ByteView(sig.data(), 32), pk, message);
+  reduce(k.data());
+
+  Point p;
+  point_scalarmult(p, q, k.data());
+
+  Point b;
+  point_scalarbase(b, sig.data() + 32);
+  point_add(p, b);
+
+  std::uint8_t t[32];
+  point_pack(t, p);
+  return std::memcmp(sig.data(), t, 32) == 0;
+}
+
+}  // namespace securecloud::crypto

@@ -1,0 +1,129 @@
+// GF(2^255 - 19) field arithmetic shared by X25519 and Ed25519.
+//
+// Internal header (not part of the public API). Representation: 16 limbs
+// of 16 bits in 64-bit signed accumulators, following the public-domain
+// TweetNaCl implementation. All conditional operations are branch-free on
+// secret data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace securecloud::crypto::f25519 {
+
+using i64 = std::int64_t;
+using Gf = std::array<i64, 16>;
+
+inline constexpr Gf kGf0{};
+inline constexpr Gf kGf1 = {1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+inline constexpr Gf k121665 = {0xDB41, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+
+inline void carry(Gf& o) {
+  for (int i = 0; i < 16; ++i) {
+    o[static_cast<std::size_t>(i)] += (i64{1} << 16);
+    const i64 c = o[static_cast<std::size_t>(i)] >> 16;
+    o[static_cast<std::size_t>((i + 1) * (i < 15 ? 1 : 0))] +=
+        c - 1 + 37 * (c - 1) * (i == 15 ? 1 : 0);
+    o[static_cast<std::size_t>(i)] -= c << 16;
+  }
+}
+
+/// Constant-time conditional swap when b == 1.
+inline void cswap(Gf& p, Gf& q, int b) {
+  const i64 c = ~static_cast<i64>(b - 1);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const i64 t = c & (p[i] ^ q[i]);
+    p[i] ^= t;
+    q[i] ^= t;
+  }
+}
+
+inline void pack(std::uint8_t o[32], const Gf& n) {
+  Gf t = n;
+  carry(t);
+  carry(t);
+  carry(t);
+  Gf m{};
+  for (int j = 0; j < 2; ++j) {
+    m[0] = t[0] - 0xffed;
+    for (std::size_t i = 1; i < 15; ++i) {
+      m[i] = t[i] - 0xffff - ((m[i - 1] >> 16) & 1);
+      m[i - 1] &= 0xffff;
+    }
+    m[15] = t[15] - 0x7fff - ((m[14] >> 16) & 1);
+    const int b = static_cast<int>((m[15] >> 16) & 1);
+    m[14] &= 0xffff;
+    cswap(t, m, 1 - b);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    o[2 * i] = static_cast<std::uint8_t>(t[i] & 0xff);
+    o[2 * i + 1] = static_cast<std::uint8_t>(t[i] >> 8);
+  }
+}
+
+inline void unpack(Gf& o, const std::uint8_t n[32]) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    o[i] = n[2 * i] + (static_cast<i64>(n[2 * i + 1]) << 8);
+  }
+  o[15] &= 0x7fff;
+}
+
+inline void add(Gf& o, const Gf& a, const Gf& b) {
+  for (std::size_t i = 0; i < 16; ++i) o[i] = a[i] + b[i];
+}
+
+inline void sub(Gf& o, const Gf& a, const Gf& b) {
+  for (std::size_t i = 0; i < 16; ++i) o[i] = a[i] - b[i];
+}
+
+inline void mul(Gf& o, const Gf& a, const Gf& b) {
+  std::array<i64, 31> t{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) t[i + j] += a[i] * b[j];
+  }
+  for (std::size_t i = 0; i < 15; ++i) t[i] += 38 * t[i + 16];
+  for (std::size_t i = 0; i < 16; ++i) o[i] = t[i];
+  carry(o);
+  carry(o);
+}
+
+inline void square(Gf& o, const Gf& a) { mul(o, a, a); }
+
+/// Fermat inversion: a^(p-2).
+inline void invert(Gf& o, const Gf& in) {
+  Gf c = in;
+  for (int a = 253; a >= 0; --a) {
+    square(c, c);
+    if (a != 2 && a != 4) mul(c, c, in);
+  }
+  o = c;
+}
+
+/// a^((p-5)/8), used for square roots in Ed25519 point decompression.
+inline void pow2523(Gf& o, const Gf& in) {
+  Gf c = in;
+  for (int a = 250; a >= 0; --a) {
+    square(c, c);
+    if (a != 1) mul(c, c, in);
+  }
+  o = c;
+}
+
+/// Low bit of the canonical encoding (sign of the x-coordinate).
+inline std::uint8_t parity(const Gf& a) {
+  std::uint8_t d[32];
+  pack(d, a);
+  return d[0] & 1;
+}
+
+/// Non-constant-time inequality of canonical encodings (used on public
+/// values only: point decompression of a received public key).
+inline bool neq(const Gf& a, const Gf& b) {
+  std::uint8_t ap[32], bp[32];
+  pack(ap, a);
+  pack(bp, b);
+  return std::memcmp(ap, bp, 32) != 0;
+}
+
+}  // namespace securecloud::crypto::f25519

@@ -1,0 +1,39 @@
+#include "crypto/hkdf.hpp"
+
+#include <cassert>
+
+namespace securecloud::crypto {
+
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm) {
+  // Per RFC 5869, an absent salt is a string of 32 zero bytes.
+  static constexpr std::array<std::uint8_t, kSha256DigestSize> kZeroSalt{};
+  return HmacSha256::mac(salt.empty() ? ByteView(kZeroSalt) : salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  assert(length <= 255 * kSha256DigestSize);
+  Bytes okm;
+  okm.reserve(length);
+  Sha256Digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    HmacSha256 h(prk);
+    h.update(ByteView(t.data(), t_len));
+    h.update(info);
+    h.update(ByteView(&counter, 1));
+    t = h.finish();
+    t_len = t.size();
+    const std::size_t take = std::min(length - okm.size(), t_len);
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return okm;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  const Sha256Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace securecloud::crypto

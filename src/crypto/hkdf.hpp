@@ -1,0 +1,22 @@
+// HKDF-SHA256 (RFC 5869).
+//
+// Key derivation for: sealing keys (from enclave measurement + platform
+// root), secure-channel traffic keys (from the X25519 shared secret), and
+// per-file chunk keys in the FS protection layer.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace securecloud::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: OKM of `length` bytes (length <= 255 * 32).
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace securecloud::crypto

@@ -1,0 +1,44 @@
+#include "crypto/hmac.hpp"
+
+namespace securecloud::crypto {
+
+HmacSha256::HmacSha256(ByteView key) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const Sha256Digest kd = Sha256::hash(key);
+    std::memcpy(block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+  std::array<std::uint8_t, 64> ipad_key;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+  inner_.update(ipad_key);
+}
+
+void HmacSha256::update(ByteView data) { inner_.update(data); }
+
+Sha256Digest HmacSha256::finish() {
+  const Sha256Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Sha256Digest HmacSha256::mac(ByteView key, ByteView data) {
+  HmacSha256 h(key);
+  h.update(data);
+  return h.finish();
+}
+
+bool constant_time_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace securecloud::crypto

@@ -1,0 +1,32 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//
+// The project's MAC for file-chunk integrity, message authentication in
+// SCBR, and the PRF inside HKDF.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace securecloud::crypto {
+
+/// Streaming HMAC-SHA256. `finish` may be called once.
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void update(ByteView data);
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest mac(ByteView key, ByteView data);
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_key_;
+};
+
+/// Constant-time equality over equal-length buffers; returns false when
+/// the lengths differ (length is not secret in our protocols).
+bool constant_time_equal(ByteView a, ByteView b);
+
+}  // namespace securecloud::crypto

@@ -1,0 +1,92 @@
+#include "crypto/merkle.hpp"
+
+#include <cassert>
+
+#include "crypto/hmac.hpp"
+
+namespace securecloud::crypto {
+
+Sha256Digest MerkleTree::hash_leaf(ByteView leaf) {
+  Sha256 h;
+  const std::uint8_t domain = 0x00;
+  h.update(ByteView(&domain, 1));
+  h.update(leaf);
+  return h.finish();
+}
+
+Sha256Digest MerkleTree::hash_node(const Sha256Digest& left, const Sha256Digest& right) {
+  Sha256 h;
+  const std::uint8_t domain = 0x01;
+  h.update(ByteView(&domain, 1));
+  h.update(left);
+  h.update(right);
+  return h.finish();
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) {
+  assert(!leaves.empty());
+  std::vector<Sha256Digest> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) {
+    level.push_back(hash_leaf(leaf));
+  }
+  levels_.push_back(std::move(level));
+
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<Sha256Digest> above;
+    above.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
+      above.push_back(hash_node(below[i], below[i + 1]));
+    }
+    if (below.size() % 2 == 1) {
+      above.push_back(below.back());  // odd node promoted unchanged
+    }
+    levels_.push_back(std::move(above));
+  }
+}
+
+MerkleProof MerkleTree::prove(std::uint64_t index) const {
+  assert(index < leaf_count());
+  MerkleProof proof;
+  proof.leaf_index = index;
+  proof.leaf_count = leaf_count();
+
+  std::uint64_t position = index;
+  for (std::size_t depth = 0; depth + 1 < levels_.size(); ++depth) {
+    const auto& level = levels_[depth];
+    const std::uint64_t sibling = position ^ 1;
+    if (sibling < level.size()) {
+      proof.siblings.emplace_back(level[sibling], /*sibling_on_left=*/(position & 1) != 0);
+    }
+    // Promoted odd nodes consume no sibling at this level.
+    position /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Sha256Digest& root, ByteView leaf, const MerkleProof& proof) {
+  if (proof.leaf_index >= proof.leaf_count || proof.leaf_count == 0) return false;
+
+  Sha256Digest cursor = hash_leaf(leaf);
+  std::uint64_t position = proof.leaf_index;
+  std::uint64_t level_size = proof.leaf_count;
+  std::size_t used = 0;
+
+  while (level_size > 1) {
+    const std::uint64_t sibling = position ^ 1;
+    if (sibling < level_size) {
+      if (used >= proof.siblings.size()) return false;
+      const auto& [hash, on_left] = proof.siblings[used++];
+      // The sibling's claimed side must match the index's parity; a
+      // mismatch is a malformed (possibly forged) proof.
+      if (on_left != ((position & 1) != 0)) return false;
+      cursor = on_left ? hash_node(hash, cursor) : hash_node(cursor, hash);
+    }
+    position /= 2;
+    level_size = (level_size + 1) / 2;
+  }
+  return used == proof.siblings.size() && constant_time_equal(cursor, root);
+}
+
+}  // namespace securecloud::crypto

@@ -1,0 +1,55 @@
+// Merkle (hash) tree with inclusion proofs.
+//
+// The integrity building block for authenticated storage: a verifier
+// holding only the root can check any leaf with an O(log n) proof.
+// SecureCloud uses it to anchor large protected artifacts (e.g. letting
+// a client verify a single chunk of a published data set against a
+// root pinned in an SCF or attestation report, without the full FSPF).
+//
+// Domain separation: leaf hashes are H(0x00 || leaf), interior nodes
+// H(0x01 || left || right) — preventing the classic second-preimage
+// trick of reinterpreting an interior node as a leaf. Odd nodes are
+// promoted unchanged (Bitcoin-style duplication would allow mutation).
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/sha256.hpp"
+
+namespace securecloud::crypto {
+
+struct MerkleProof {
+  std::uint64_t leaf_index = 0;
+  std::uint64_t leaf_count = 0;
+  /// Sibling hashes bottom-up; paired with a per-level "sibling is on
+  /// the left" flag.
+  std::vector<std::pair<Sha256Digest, bool>> siblings;
+};
+
+class MerkleTree {
+ public:
+  /// Builds over `leaves` (raw contents; hashed internally).
+  /// Precondition: at least one leaf.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  const Sha256Digest& root() const { return levels_.back()[0]; }
+  std::uint64_t leaf_count() const { return static_cast<std::uint64_t>(levels_[0].size()); }
+
+  /// Proof that leaf `index` is under root(). Precondition: index valid.
+  MerkleProof prove(std::uint64_t index) const;
+
+  /// Stateless verification: does `leaf` live at `proof.leaf_index`
+  /// under `root`?
+  static bool verify(const Sha256Digest& root, ByteView leaf, const MerkleProof& proof);
+
+  static Sha256Digest hash_leaf(ByteView leaf);
+  static Sha256Digest hash_node(const Sha256Digest& left, const Sha256Digest& right);
+
+ private:
+  // levels_[0] = leaf hashes, levels_.back() = {root}.
+  std::vector<std::vector<Sha256Digest>> levels_;
+};
+
+}  // namespace securecloud::crypto

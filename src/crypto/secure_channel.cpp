@@ -1,0 +1,93 @@
+#include "crypto/secure_channel.hpp"
+
+#include "crypto/hkdf.hpp"
+
+namespace securecloud::crypto {
+
+namespace {
+constexpr std::uint32_t kDomainInitiatorToResponder = 0x49325200;  // "I2R"
+constexpr std::uint32_t kDomainResponderToInitiator = 0x52324900;  // "R2I"
+constexpr char kSalt[] = "securecloud-channel-v1";
+}  // namespace
+
+ChannelHandshake::ChannelHandshake(Role role, EntropySource& entropy)
+    : role_(role), keypair_(x25519_keypair(entropy.array<kX25519KeySize>())) {}
+
+SecureChannel ChannelHandshake::complete(const X25519Key& peer_public_key) && {
+  const X25519Key shared = x25519(keypair_.private_key, peer_public_key);
+
+  // Both sides order the transcript initiator-first so the derived keys
+  // and transcript hash agree.
+  const bool initiator = role_ == Role::kInitiator;
+  const X25519Key& epk_i = initiator ? keypair_.public_key : peer_public_key;
+  const X25519Key& epk_r = initiator ? peer_public_key : keypair_.public_key;
+
+  Bytes info;
+  append(info, epk_i);
+  append(info, epk_r);
+
+  const Bytes keys = hkdf(to_bytes(kSalt), shared, info, 32);
+  const ByteView k_i2r(keys.data(), 16);
+  const ByteView k_r2i(keys.data() + 16, 16);
+
+  Sha256 h;
+  h.update(epk_i);
+  h.update(epk_r);
+  const Sha256Digest transcript = h.finish();
+
+  if (initiator) {
+    return SecureChannel(k_i2r, k_r2i, kDomainInitiatorToResponder,
+                         kDomainResponderToInitiator, transcript);
+  }
+  return SecureChannel(k_r2i, k_i2r, kDomainResponderToInitiator,
+                       kDomainInitiatorToResponder, transcript);
+}
+
+SecureChannel::SecureChannel(ByteView send_key, ByteView recv_key,
+                             std::uint32_t send_domain, std::uint32_t recv_domain,
+                             const Sha256Digest& transcript_hash)
+    : send_cipher_(send_key),
+      recv_cipher_(recv_key),
+      send_domain_(send_domain),
+      recv_domain_(recv_domain),
+      transcript_hash_(transcript_hash) {}
+
+Bytes SecureChannel::seal(ByteView plaintext) {
+  const std::uint64_t seq = send_seq_++;
+  const GcmNonce nonce = nonce_from_counter(seq, send_domain_);
+  std::uint8_t aad[8];
+  store_be64(aad, seq);
+
+  GcmTag tag;
+  Bytes ct = send_cipher_.seal(nonce, ByteView(aad, 8), plaintext, tag);
+
+  Bytes wire;
+  wire.reserve(8 + ct.size() + kGcmTagSize);
+  wire.insert(wire.end(), aad, aad + 8);
+  wire.insert(wire.end(), ct.begin(), ct.end());
+  wire.insert(wire.end(), tag.begin(), tag.end());
+  return wire;
+}
+
+Result<Bytes> SecureChannel::open(ByteView wire) {
+  if (wire.size() < 8 + kGcmTagSize) {
+    return Error::protocol("channel record too short");
+  }
+  const std::uint64_t seq = load_be64(wire.subspan(0, 8));
+  if (seq != recv_seq_) {
+    return Error::protocol("channel record out of order (possible replay)");
+  }
+
+  const GcmNonce nonce = nonce_from_counter(seq, recv_domain_);
+  GcmTag tag;
+  std::memcpy(tag.data(), wire.data() + wire.size() - kGcmTagSize, kGcmTagSize);
+  const ByteView ct = wire.subspan(8, wire.size() - 8 - kGcmTagSize);
+
+  auto plaintext = recv_cipher_.open(nonce, wire.subspan(0, 8), ct, tag);
+  if (!plaintext.ok()) return plaintext.error();
+
+  ++recv_seq_;
+  return std::move(plaintext).value();
+}
+
+}  // namespace securecloud::crypto

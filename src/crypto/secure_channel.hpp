@@ -1,0 +1,82 @@
+// Attestable secure channel (TLS-like, X25519 + HKDF + AES-GCM).
+//
+// Used wherever the paper requires a "TLS-protected connection": SCF
+// delivery during enclave startup (§V-A), SCBR key exchange, and
+// service-to-service links. The handshake transcript hash is exposed so
+// the attestation layer can bind a channel to an enclave identity (the
+// enclave embeds the transcript hash in its attestation report, defeating
+// man-in-the-middle relocation of the channel endpoint).
+//
+// Protocol (one round trip):
+//   initiator -> responder : epk_i (32 bytes)
+//   responder -> initiator : epk_r (32 bytes)
+//   shared  = X25519(esk, peer_epk)
+//   secrets = HKDF(salt = "securecloud-channel-v1",
+//                  ikm  = shared,
+//                  info = epk_i || epk_r) -> k_i2r (16) || k_r2i (16)
+// Records: AES-GCM, nonce = direction-domain || sequence counter,
+// AAD = sequence counter; replay and reorder are rejected by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/entropy.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace securecloud::crypto {
+
+/// One endpoint's half-open handshake state.
+class ChannelHandshake {
+ public:
+  enum class Role { kInitiator, kResponder };
+
+  ChannelHandshake(Role role, EntropySource& entropy);
+
+  /// The 32-byte ephemeral public key to send to the peer.
+  const X25519Key& local_public_key() const { return keypair_.public_key; }
+
+  /// Completes the handshake with the peer's ephemeral public key.
+  /// Returns the established channel endpoint.
+  class SecureChannel complete(const X25519Key& peer_public_key) &&;
+
+ private:
+  Role role_;
+  X25519KeyPair keypair_;
+};
+
+/// Established, full-duplex authenticated-encryption endpoint.
+class SecureChannel {
+ public:
+  /// Encrypts a message for the peer. Each call consumes one sequence
+  /// number; messages must be delivered in order.
+  Bytes seal(ByteView plaintext);
+
+  /// Decrypts the next message from the peer. Rejects tampering,
+  /// truncation, replay, and reordering as kIntegrityViolation /
+  /// kProtocolError.
+  Result<Bytes> open(ByteView wire);
+
+  /// SHA-256 over epk_i || epk_r. Both endpoints derive the same value;
+  /// embedding it in an attestation report binds the channel to the
+  /// attested enclave.
+  const Sha256Digest& transcript_hash() const { return transcript_hash_; }
+
+ private:
+  friend class ChannelHandshake;
+  SecureChannel(ByteView send_key, ByteView recv_key, std::uint32_t send_domain,
+                std::uint32_t recv_domain, const Sha256Digest& transcript_hash);
+
+  AesGcm send_cipher_;
+  AesGcm recv_cipher_;
+  std::uint32_t send_domain_;
+  std::uint32_t recv_domain_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+  Sha256Digest transcript_hash_;
+};
+
+}  // namespace securecloud::crypto

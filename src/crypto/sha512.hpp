@@ -1,0 +1,32 @@
+// SHA-512 (FIPS 180-4). Required by Ed25519 (RFC 8032).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace securecloud::crypto {
+
+inline constexpr std::size_t kSha512DigestSize = 64;
+using Sha512Digest = std::array<std::uint8_t, kSha512DigestSize>;
+
+class Sha512 {
+ public:
+  Sha512();
+
+  void update(ByteView data);
+  Sha512Digest finish();
+
+  static Sha512Digest hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  std::array<std::uint8_t, 128> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;  // bytes; messages < 2^64 bytes only
+};
+
+}  // namespace securecloud::crypto

@@ -1,0 +1,144 @@
+#include "genpack/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace securecloud::genpack {
+
+std::optional<std::size_t> SpreadScheduler::place(const ContainerSpec& c,
+                                                  const std::vector<Server>& servers) {
+  // Least-loaded first, over ALL servers (waking suspended ones freely) —
+  // this maximizes headroom per node but keeps the whole fleet powered.
+  std::optional<std::size_t> best;
+  double best_load = 2.0;
+  for (const auto& server : servers) {
+    if (!server.can_fit(c)) continue;
+    const double load = server.cpu_utilization();
+    if (load < best_load) {
+      best_load = load;
+      best = server.id();
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> FirstFitScheduler::place(const ContainerSpec& c,
+                                                    const std::vector<Server>& servers) {
+  for (const auto& server : servers) {
+    if (server.can_fit(c)) return server.id();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> BestFitScheduler::place(const ContainerSpec& c,
+                                                   const std::vector<Server>& servers) {
+  std::optional<std::size_t> best;
+  double best_load = -1.0;
+  for (const auto& server : servers) {
+    if (!server.can_fit(c)) continue;
+    const double load = server.cpu_utilization();
+    if (load > best_load) {
+      best_load = load;
+      best = server.id();
+    }
+  }
+  return best;
+}
+
+GenPackScheduler::GenPackScheduler(std::size_t cluster_size, GenPackConfig config)
+    : config_(config) {
+  nursery_end_ = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                              std::floor(config.nursery_fraction *
+                                                         static_cast<double>(cluster_size))));
+  const auto old_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::floor(config.old_fraction * static_cast<double>(cluster_size))));
+  young_end_ = cluster_size - old_count;
+  if (young_end_ <= nursery_end_) young_end_ = nursery_end_ + 1;
+}
+
+std::optional<std::size_t> GenPackScheduler::best_fit(const ContainerSpec& c,
+                                                      const std::vector<Server>& servers,
+                                                      std::size_t begin,
+                                                      std::size_t end) const {
+  std::optional<std::size_t> best;
+  double best_load = -1.0;
+  for (std::size_t i = begin; i < end && i < servers.size(); ++i) {
+    const Server& server = servers[i];
+    if (!server.can_fit(c)) continue;
+    // Fullest-but-fitting: keeps the tail of the generation empty.
+    const double load = server.cpu_utilization();
+    if (load > best_load) {
+      best_load = load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> GenPackScheduler::place(const ContainerSpec& c,
+                                                   const std::vector<Server>& servers) {
+  // System containers are declared infrastructure: straight to the old
+  // generation. Everything else starts in the nursery.
+  if (c.cls == ContainerClass::kSystem) {
+    if (auto s = best_fit(c, servers, young_end_, servers.size())) return s;
+  } else {
+    if (auto s = best_fit(c, servers, 0, nursery_end_)) return s;
+  }
+  // Generation full: overflow anywhere rather than reject.
+  return best_fit(c, servers, 0, servers.size());
+}
+
+std::vector<Migration> GenPackScheduler::periodic(std::uint64_t now_s,
+                                                  const std::vector<Server>& servers) {
+  if (now_s < last_period_ + config_.period_s) return {};
+  last_period_ = now_s;
+
+  // Monitoring: nursery containers that survived the window are promoted
+  // to the young generation (they have proven long-lived). The simulator
+  // re-checks fit when applying.
+  std::vector<Migration> migrations;
+  for (std::size_t i = 0; i < nursery_end_ && i < servers.size(); ++i) {
+    for (const auto& [id, spec] : servers[i].containers()) {
+      if (now_s - spec.arrival_s < config_.monitoring_window_s) continue;
+      // Tentative target: best-fit young-generation server.
+      auto target = best_fit(spec, servers, nursery_end_, young_end_);
+      if (!target) continue;
+      migrations.push_back({id, i, *target, now_s});
+    }
+  }
+
+  // Consolidation: drain lightly-loaded young-generation servers onto
+  // fuller peers so the drained machines suspend. This is the step no
+  // static packer can perform — it undoes fragmentation left behind by
+  // departures. Bounded per period to limit migration churn.
+  std::size_t moves_budget = config_.consolidation_moves_per_period;
+  for (std::size_t i = nursery_end_; i < young_end_ && i < servers.size(); ++i) {
+    const Server& source = servers[i];
+    if (!source.powered_on() ||
+        source.cpu_utilization() > config_.drain_threshold) {
+      continue;
+    }
+    for (const auto& [id, spec] : source.containers()) {
+      if (moves_budget == 0) break;
+      // Only drain onto strictly fuller young servers (never swap-storm).
+      std::optional<std::size_t> target;
+      double best_load = source.cpu_utilization();
+      for (std::size_t j = nursery_end_; j < young_end_ && j < servers.size(); ++j) {
+        if (j == i || !servers[j].can_fit(spec)) continue;
+        const double load = servers[j].cpu_utilization();
+        if (load > best_load) {
+          best_load = load;
+          target = j;
+        }
+      }
+      if (target) {
+        migrations.push_back({id, i, *target, now_s});
+        --moves_budget;
+      }
+    }
+  }
+  return migrations;
+}
+
+}  // namespace securecloud::genpack

@@ -1,0 +1,126 @@
+// Placement schedulers: spread, first-fit binpack, and GenPack.
+//
+// GenPack (§IV / [11]) "partitions the servers into several groups,
+// named generations", combining "runtime monitoring of system containers
+// to learn their requirements and properties, and a scheduler that
+// manages different generations of servers":
+//
+//   * nursery         — all new containers start here; their lifetime and
+//                       demand are unknown;
+//   * young generation — containers that survive the monitoring window
+//                       are migrated here and packed tightly;
+//   * old generation  — system/immortal containers, packed densely and
+//                       essentially never touched again.
+//
+// Like generational garbage collection, the insight is that "most
+// containers die young": the nursery absorbs the churn of short-lived
+// batch jobs (its servers drain and suspend naturally), while long-lived
+// containers are consolidated out of the way instead of pinning dozens of
+// half-empty machines — which is what happens under spread placement.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "genpack/server.hpp"
+
+namespace securecloud::genpack {
+
+struct Migration {
+  std::string container_id;
+  std::size_t from_server;
+  std::size_t to_server;
+  std::uint64_t at_s;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const char* name() const = 0;
+
+  /// Chooses a server for an arriving container; nullopt = reject.
+  virtual std::optional<std::size_t> place(const ContainerSpec& c,
+                                           const std::vector<Server>& servers) = 0;
+
+  /// Periodic housekeeping (monitoring-driven migrations). Returns the
+  /// migrations to perform; the simulator applies them.
+  virtual std::vector<Migration> periodic(std::uint64_t now_s,
+                                          const std::vector<Server>& servers) {
+    (void)now_s;
+    (void)servers;
+    return {};
+  }
+};
+
+/// Docker Swarm's default: place on the least-loaded powered-on server,
+/// preferring to spread load (and waking servers eagerly).
+class SpreadScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "spread"; }
+  std::optional<std::size_t> place(const ContainerSpec& c,
+                                   const std::vector<Server>& servers) override;
+};
+
+/// Classic first-fit bin packing over all servers in id order.
+class FirstFitScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "binpack-ff"; }
+  std::optional<std::size_t> place(const ContainerSpec& c,
+                                   const std::vector<Server>& servers) override;
+};
+
+/// Best-fit bin packing: the fullest server that still fits. Packs
+/// tighter than first-fit on heterogeneous demands but, like it, cannot
+/// undo fragmentation once placed (no migrations).
+class BestFitScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "binpack-bf"; }
+  std::optional<std::size_t> place(const ContainerSpec& c,
+                                   const std::vector<Server>& servers) override;
+};
+
+struct GenPackConfig {
+  /// Fractions of the cluster assigned to each generation.
+  double nursery_fraction = 0.3;
+  double old_fraction = 0.2;  // remainder is the young generation
+  /// Containers surviving this long in the nursery get promoted.
+  std::uint64_t monitoring_window_s = 900;
+  /// How often periodic() runs.
+  std::uint64_t period_s = 300;
+  /// Young-generation servers below this CPU utilization are drained onto
+  /// fuller peers so they can suspend.
+  double drain_threshold = 0.35;
+  /// Migration-churn bound per periodic tick.
+  std::size_t consolidation_moves_per_period = 16;
+};
+
+class GenPackScheduler final : public Scheduler {
+ public:
+  explicit GenPackScheduler(std::size_t cluster_size, GenPackConfig config = {});
+
+  const char* name() const override { return "genpack"; }
+
+  std::optional<std::size_t> place(const ContainerSpec& c,
+                                   const std::vector<Server>& servers) override;
+  std::vector<Migration> periodic(std::uint64_t now_s,
+                                  const std::vector<Server>& servers) override;
+
+  // Generation boundaries (server id ranges), exposed for tests.
+  std::size_t nursery_end() const { return nursery_end_; }
+  std::size_t young_end() const { return young_end_; }
+
+ private:
+  /// Best-fit within [begin, end): fullest server that still fits —
+  /// tight packing keeps spare servers empty (and suspended).
+  std::optional<std::size_t> best_fit(const ContainerSpec& c,
+                                      const std::vector<Server>& servers,
+                                      std::size_t begin, std::size_t end) const;
+
+  GenPackConfig config_;
+  std::size_t nursery_end_;  // [0, nursery_end) = nursery
+  std::size_t young_end_;    // [nursery_end, young_end) = young; rest old
+  std::uint64_t last_period_ = 0;
+};
+
+}  // namespace securecloud::genpack

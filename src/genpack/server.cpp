@@ -1,0 +1,29 @@
+#include "genpack/server.hpp"
+
+#include <cassert>
+
+namespace securecloud::genpack {
+
+void Server::place(const ContainerSpec& c) {
+  assert(can_fit(c));
+  containers_.emplace(c.id, c);
+  cpu_used_ += c.cpu_cores;
+  mem_used_ += c.mem_gb;
+  powered_on_ = true;
+}
+
+bool Server::remove(const std::string& container_id) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) return false;
+  cpu_used_ -= it->second.cpu_cores;
+  mem_used_ -= it->second.mem_gb;
+  containers_.erase(it);
+  if (containers_.empty()) {
+    cpu_used_ = 0;  // clear numeric drift
+    mem_used_ = 0;
+    powered_on_ = false;  // suspend empty servers
+  }
+  return true;
+}
+
+}  // namespace securecloud::genpack

@@ -1,0 +1,72 @@
+// Servers and the cluster power model.
+//
+// The power model follows the standard data-center characterization
+// (Barroso & Hölzle): an idle server draws roughly half its peak power,
+// power grows ~linearly with CPU utilization, and a suspended server
+// draws almost nothing. Consolidation saves energy precisely because the
+// idle floor dominates: N half-busy servers burn far more than N/2 busy
+// ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "genpack/workload.hpp"
+
+namespace securecloud::genpack {
+
+struct ServerConfig {
+  double cpu_capacity = 16.0;  // cores
+  double mem_capacity = 64.0;  // GB
+  double idle_watts = 95.0;
+  double peak_watts = 190.0;
+  double suspended_watts = 5.0;
+};
+
+class Server {
+ public:
+  Server(std::size_t id, ServerConfig config) : id_(id), config_(config) {}
+
+  std::size_t id() const { return id_; }
+  const ServerConfig& config() const { return config_; }
+
+  bool can_fit(const ContainerSpec& c) const {
+    return cpu_used_ + c.cpu_cores <= config_.cpu_capacity &&
+           mem_used_ + c.mem_gb <= config_.mem_capacity;
+  }
+
+  /// Precondition: can_fit(c). Powers the server on if suspended.
+  void place(const ContainerSpec& c);
+  /// Removes a container; returns false if not present. The server
+  /// suspends automatically when it empties.
+  bool remove(const std::string& container_id);
+
+  bool hosts(const std::string& container_id) const {
+    return containers_.count(container_id) > 0;
+  }
+  const std::map<std::string, ContainerSpec>& containers() const { return containers_; }
+  std::size_t container_count() const { return containers_.size(); }
+  bool powered_on() const { return powered_on_; }
+
+  double cpu_used() const { return cpu_used_; }
+  double mem_used() const { return mem_used_; }
+  double cpu_utilization() const { return cpu_used_ / config_.cpu_capacity; }
+
+  /// Instantaneous power draw in watts.
+  double power_watts() const {
+    if (!powered_on_) return config_.suspended_watts;
+    return config_.idle_watts +
+           (config_.peak_watts - config_.idle_watts) * cpu_utilization();
+  }
+
+ private:
+  std::size_t id_;
+  ServerConfig config_;
+  std::map<std::string, ContainerSpec> containers_;
+  double cpu_used_ = 0;
+  double mem_used_ = 0;
+  bool powered_on_ = false;
+};
+
+}  // namespace securecloud::genpack

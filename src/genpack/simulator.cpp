@@ -1,0 +1,162 @@
+#include "genpack/simulator.hpp"
+
+#include <algorithm>
+
+namespace securecloud::genpack {
+
+ClusterSimulator::ClusterSimulator(std::size_t server_count, ServerConfig server_config) {
+  servers_.reserve(server_count);
+  for (std::size_t i = 0; i < server_count; ++i) {
+    servers_.emplace_back(i, server_config);
+  }
+}
+
+void ClusterSimulator::accumulate_energy(std::uint64_t from_s, std::uint64_t to_s,
+                                         SimReport& report) {
+  if (to_s <= from_s) return;
+  const double dt_h = static_cast<double>(to_s - from_s) / 3600.0;
+  double watts = 0;
+  std::size_t on = 0;
+  double util_sum = 0;
+  for (const auto& server : servers_) {
+    watts += server.power_watts();
+    if (server.powered_on()) {
+      ++on;
+      util_sum += server.cpu_utilization();
+    }
+  }
+  report.total_energy_wh += watts * dt_h;
+  // Interference: service/system containers colocated with batch jobs.
+  for (const auto& server : servers_) {
+    bool has_batch = false;
+    std::size_t sensitive = 0;
+    for (const auto& [id, spec] : server.containers()) {
+      if (spec.cls == ContainerClass::kBatch) {
+        has_batch = true;
+      } else {
+        ++sensitive;
+      }
+    }
+    if (has_batch) {
+      report.interference_container_hours += static_cast<double>(sensitive) * dt_h;
+    }
+  }
+  report.peak_servers_on = std::max(report.peak_servers_on, on);
+  // Time-weighted averages accumulated as sums; normalized in run().
+  report.avg_servers_on += static_cast<double>(on) * dt_h;
+  report.avg_cpu_utilization_on += (on > 0 ? util_sum / static_cast<double>(on) : 0) * dt_h;
+}
+
+SimReport ClusterSimulator::run(const std::vector<ContainerSpec>& trace,
+                                Scheduler& scheduler, std::uint64_t period_s) {
+  SimReport report;
+  report.scheduler_name = scheduler.name();
+
+  // Event queue: departures as (time, container, server).
+  struct Departure {
+    std::uint64_t at_s;
+    std::string container_id;
+    std::size_t server;
+    bool operator>(const Departure& other) const { return at_s > other.at_s; }
+  };
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
+  // Live container -> hosting server (migrations update it).
+  std::map<std::string, std::size_t> placement;
+
+  std::uint64_t now = 0;
+  std::uint64_t horizon = 0;
+  std::size_t next_arrival = 0;
+  std::uint64_t next_period = period_s;
+
+  for (const auto& c : trace) {
+    horizon = std::max(horizon, c.arrival_s + std::min<std::uint64_t>(c.duration_s, 7 * 24 * 3600));
+  }
+  horizon = std::max(horizon, std::uint64_t{1});
+
+  auto process_departures_until = [&](std::uint64_t t) {
+    while (!departures.empty() && departures.top().at_s <= t) {
+      const Departure d = departures.top();
+      departures.pop();
+      auto it = placement.find(d.container_id);
+      // Skip stale entries left behind by migrations.
+      if (it == placement.end()) continue;
+      accumulate_energy(now, d.at_s, report);
+      now = d.at_s;
+      servers_[it->second].remove(d.container_id);
+      placement.erase(it);
+    }
+  };
+
+  auto run_periodic = [&](std::uint64_t t) {
+    const auto migrations = scheduler.periodic(t, servers_);
+    for (const auto& m : migrations) {
+      auto it = placement.find(m.container_id);
+      if (it == placement.end() || it->second != m.from_server) continue;
+      const ContainerSpec spec = servers_[m.from_server].containers().at(m.container_id);
+      // Re-validate against current state (earlier migrations in this
+      // batch may have consumed the target's headroom).
+      servers_[m.from_server].remove(m.container_id);
+      if (servers_[m.to_server].can_fit(spec)) {
+        servers_[m.to_server].place(spec);
+        it->second = m.to_server;
+        ++report.migrations;
+      } else {
+        servers_[m.from_server].place(spec);  // undo
+      }
+    }
+  };
+
+  while (next_arrival < trace.size() || !departures.empty()) {
+    // Next event time: arrival, departure, or periodic tick.
+    std::uint64_t next_time = UINT64_MAX;
+    if (next_arrival < trace.size()) next_time = trace[next_arrival].arrival_s;
+    if (!departures.empty()) next_time = std::min(next_time, departures.top().at_s);
+    if (next_time == UINT64_MAX) break;
+    next_time = std::min(next_time, next_period);
+
+    if (next_time == next_period) {
+      process_departures_until(next_time);
+      accumulate_energy(now, next_time, report);
+      now = next_time;
+      run_periodic(now);
+      next_period += period_s;
+      continue;
+    }
+
+    process_departures_until(next_time);
+    accumulate_energy(now, next_time, report);
+    now = next_time;
+
+    if (next_arrival < trace.size() && trace[next_arrival].arrival_s == now) {
+      const ContainerSpec& c = trace[next_arrival];
+      auto server = scheduler.place(c, servers_);
+      if (server && servers_[*server].can_fit(c)) {
+        servers_[*server].place(c);
+        placement[c.id] = *server;
+        ++report.placed;
+        if (c.duration_s != 0) {
+          departures.push({c.departure_s(), c.id, *server});
+        }
+      } else {
+        ++report.rejected;
+      }
+      ++next_arrival;
+    }
+  }
+
+  // Drain remaining time for immortal containers up to the horizon.
+  if (now < horizon) {
+    accumulate_energy(now, horizon, report);
+    now = horizon;
+  }
+
+  report.horizon_s = now;
+  const double total_h = static_cast<double>(now) / 3600.0;
+  if (total_h > 0) {
+    report.avg_servers_on /= total_h;
+    report.avg_cpu_utilization_on /= total_h;
+  }
+  return report;
+}
+
+}  // namespace securecloud::genpack

@@ -1,0 +1,77 @@
+#include "genpack/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace securecloud::genpack {
+
+const char* to_string(ContainerClass cls) {
+  switch (cls) {
+    case ContainerClass::kSystem: return "system";
+    case ContainerClass::kService: return "service";
+    case ContainerClass::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+std::vector<ContainerSpec> generate_trace(const TraceConfig& config,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ContainerSpec> trace;
+
+  // System containers: present from t=0, never leave.
+  for (std::size_t i = 0; i < config.system_containers; ++i) {
+    ContainerSpec c;
+    c.id = "sys-" + std::to_string(i);
+    c.cls = ContainerClass::kSystem;
+    c.cpu_cores = 0.25 + rng.uniform01() * 0.75;
+    c.mem_gb = 0.5 + rng.uniform01() * 1.5;
+    c.arrival_s = 0;
+    c.duration_s = 0;  // immortal
+    trace.push_back(c);
+  }
+
+  // Service containers: arrive through the first half of the horizon,
+  // run for hours (exponential with a long mean, clamped to horizon).
+  for (std::size_t i = 0; i < config.service_containers; ++i) {
+    ContainerSpec c;
+    c.id = "svc-" + std::to_string(i);
+    c.cls = ContainerClass::kService;
+    c.cpu_cores = 0.5 + rng.uniform01() * (config.max_cpu_cores - 0.5);
+    c.mem_gb = 1.0 + rng.uniform01() * (config.max_mem_gb - 1.0);
+    c.arrival_s = rng.uniform(config.horizon_s / 2);
+    c.duration_s = static_cast<std::uint64_t>(
+        std::min(static_cast<double>(config.horizon_s - c.arrival_s),
+                 rng.exponential(1.0 / config.mean_service_duration_s)));
+    c.duration_s = std::max<std::uint64_t>(c.duration_s, 1800);
+    trace.push_back(c);
+  }
+
+  // Batch jobs: Poisson arrivals over the horizon, heavy-tailed duration
+  // (lognormal-ish via exponentiated normal).
+  const double rate_per_s = config.batch_arrivals_per_hour / 3600.0;
+  double t = rng.exponential(rate_per_s);
+  std::size_t batch_index = 0;
+  while (t < static_cast<double>(config.horizon_s)) {
+    ContainerSpec c;
+    c.id = "batch-" + std::to_string(batch_index++);
+    c.cls = ContainerClass::kBatch;
+    c.cpu_cores = 0.25 + rng.uniform01() * (config.max_cpu_cores - 0.25);
+    c.mem_gb = 0.25 + rng.uniform01() * (config.max_mem_gb / 2);
+    c.arrival_s = static_cast<std::uint64_t>(t);
+    const double mu = std::log(config.mean_batch_duration_s) - 0.5;
+    c.duration_s =
+        std::max<std::uint64_t>(30, static_cast<std::uint64_t>(std::exp(rng.normal(mu, 1.0))));
+    trace.push_back(c);
+    t += rng.exponential(rate_per_s);
+  }
+
+  std::sort(trace.begin(), trace.end(),
+            [](const ContainerSpec& a, const ContainerSpec& b) {
+              return a.arrival_s != b.arrival_s ? a.arrival_s < b.arrival_s
+                                                : a.id < b.id;
+            });
+  return trace;
+}
+
+}  // namespace securecloud::genpack

@@ -1,0 +1,60 @@
+// Data-center container workload traces for GenPack experiments.
+//
+// GenPack (IC2E'17, cited as [11]) targets "typical data-center
+// workloads": a mix of
+//   * system containers   — monitoring/logging infrastructure, effectively
+//     immortal, modest steady load;
+//   * service containers  — long-running micro-services with diurnal load;
+//   * batch containers    — short-lived jobs (analytics tasks, CI builds)
+//     arriving in bursts with heavy-tailed durations.
+// The generator produces deterministic traces with that composition;
+// parameters follow the published cluster-trace literature (Google trace:
+// ~80% of jobs shorter than 12 minutes, long tail of services).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace securecloud::genpack {
+
+enum class ContainerClass : std::uint8_t {
+  kSystem = 0,   // immortal infrastructure
+  kService = 1,  // long-running micro-service
+  kBatch = 2,    // short-lived job
+};
+
+const char* to_string(ContainerClass cls);
+
+struct ContainerSpec {
+  std::string id;
+  ContainerClass cls = ContainerClass::kBatch;
+  double cpu_cores = 1.0;
+  double mem_gb = 1.0;
+  std::uint64_t arrival_s = 0;
+  std::uint64_t duration_s = 60;  // 0 = runs forever (system containers)
+
+  std::uint64_t departure_s() const {
+    return duration_s == 0 ? UINT64_MAX : arrival_s + duration_s;
+  }
+};
+
+struct TraceConfig {
+  std::uint64_t horizon_s = 24 * 3600;  // one simulated day
+  std::size_t system_containers = 8;
+  std::size_t service_containers = 40;
+  double batch_arrivals_per_hour = 120.0;
+  double mean_batch_duration_s = 600.0;   // heavy-tailed around 10 min
+  double mean_service_duration_s = 8 * 3600.0;
+  // Resource demand ranges.
+  double max_cpu_cores = 4.0;
+  double max_mem_gb = 8.0;
+};
+
+/// Generates a deterministic trace sorted by arrival time.
+std::vector<ContainerSpec> generate_trace(const TraceConfig& config,
+                                          std::uint64_t seed);
+
+}  // namespace securecloud::genpack

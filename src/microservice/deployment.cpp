@@ -1,0 +1,80 @@
+#include "microservice/deployment.hpp"
+
+namespace securecloud::microservice {
+
+namespace {
+
+crypto::Ed25519KeyPair deployer_signer(std::uint64_t seed) {
+  crypto::DeterministicEntropy entropy(seed ^ 0xdeb10ull);
+  return crypto::ed25519_keypair(entropy.array<32>());
+}
+
+sgx::PlatformConfig host_config(std::size_t index, std::uint64_t seed) {
+  sgx::PlatformConfig config;
+  config.platform_id = "host-" + std::to_string(index);
+  config.entropy_seed = seed + index;
+  return config;
+}
+
+}  // namespace
+
+CloudDeployer::CloudDeployer(std::size_t host_count,
+                             sgx::AttestationService& attestation,
+                             std::uint64_t entropy_seed)
+    : entropy_(entropy_seed),
+      scheduler_(host_count),
+      client_(registry_, entropy_, deployer_signer(entropy_seed)),
+      config_(attestation, entropy_) {
+  for (std::size_t i = 0; i < host_count; ++i) {
+    platforms_.push_back(std::make_unique<sgx::Platform>(host_config(i, entropy_seed)));
+    platforms_.back()->provision(attestation);
+    engines_.push_back(std::make_unique<container::ContainerEngine>(registry_, monitor_));
+    servers_.emplace_back(i, genpack::ServerConfig{});
+  }
+}
+
+Result<std::vector<Placement>> CloudDeployer::deploy(const ApplicationSpec& app) {
+  std::vector<Placement> placements;
+  for (const auto& service : app.services) {
+    // 1. Build + publish the secure image; register its SCF.
+    auto manifest = client_.build_secure_image(service.image, config_);
+    if (!manifest.ok()) return manifest.error();
+
+    // 2. Schedule: the deployer describes the service to GenPack.
+    genpack::ContainerSpec spec;
+    spec.id = app.name + "/" + service.image.name;
+    spec.cls = service.scheduling_class;
+    spec.cpu_cores = service.cpu_cores;
+    spec.mem_gb = service.mem_gb;
+    spec.duration_s = 0;  // deployed services are long-lived
+    auto host = scheduler_.place(spec, servers_);
+    if (!host || !servers_[*host].can_fit(spec)) {
+      return Error::exhausted("no host has capacity for " + spec.id);
+    }
+    servers_[*host].place(spec);
+
+    // 3. Instantiate the secure container on the chosen host.
+    auto cont = engines_[*host]->create(manifest->reference());
+    if (!cont.ok()) return cont.error();
+
+    Placement placement{service.image.name, *host, (*cont)->id()};
+    placements_[service.image.name] = placement;
+    placements.push_back(placement);
+  }
+  return placements;
+}
+
+Result<scone::RunOutcome> CloudDeployer::run_service(
+    const std::string& service, const scone::SconeRuntime::Application& app) {
+  auto it = placements_.find(service);
+  if (it == placements_.end()) {
+    return Error::not_found("service not deployed: " + service);
+  }
+  const Placement& placement = it->second;
+  container::Container* cont = engines_[placement.host]->find(placement.container_id);
+  if (cont == nullptr) return Error::internal("container vanished");
+  return engines_[placement.host]->run_secure(*cont, *platforms_[placement.host],
+                                              config_, app);
+}
+
+}  // namespace securecloud::microservice

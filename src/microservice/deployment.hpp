@@ -1,0 +1,77 @@
+// Application deployment across a fleet of SGX hosts (Fig. 1 end to end).
+//
+// "An application consists of a set of micro-services connected via an
+//  event bus" (§IV). The deployer owns everything Fig. 1 shows around the
+//  application: the untrusted registry, one platform + container engine
+//  per cloud host, the trusted configuration service, and a GenPack
+//  scheduler deciding which host runs which service. Deploying an
+//  application:
+//    1. builds and publishes each micro-service as a secure image
+//       (SCONE client, SV-A workflow) and registers its SCF;
+//    2. asks the scheduler for a host per service (system containers go
+//       to the old generation, services start in the nursery);
+//    3. pulls + materializes a secure container on the chosen host.
+// Services then run attested on their host; the host assignment is
+// exposed so the event-bus wiring and tests can assert on placement.
+#pragma once
+
+#include <memory>
+
+#include "container/engine.hpp"
+#include "container/scone_client.hpp"
+#include "genpack/scheduler.hpp"
+
+namespace securecloud::microservice {
+
+struct ServiceSpec {
+  container::SecureImageSpec image;
+  genpack::ContainerClass scheduling_class = genpack::ContainerClass::kService;
+  double cpu_cores = 1.0;
+  double mem_gb = 1.0;
+};
+
+struct ApplicationSpec {
+  std::string name;
+  std::vector<ServiceSpec> services;
+};
+
+struct Placement {
+  std::string service;
+  std::size_t host = 0;
+  std::string container_id;
+};
+
+class CloudDeployer {
+ public:
+  /// A fleet of `host_count` SGX machines, provisioned with `attestation`.
+  CloudDeployer(std::size_t host_count, sgx::AttestationService& attestation,
+                std::uint64_t entropy_seed);
+
+  /// Builds, schedules, and instantiates every service of `app`.
+  /// All-or-nothing: any failure rolls back nothing but is reported.
+  Result<std::vector<Placement>> deploy(const ApplicationSpec& app);
+
+  /// Runs a deployed service's application logic on its assigned host.
+  Result<scone::RunOutcome> run_service(const std::string& service,
+                                        const scone::SconeRuntime::Application& app);
+
+  sgx::Platform& host(std::size_t index) { return *platforms_[index]; }
+  std::size_t host_count() const { return platforms_.size(); }
+  container::Registry& registry() { return registry_; }
+  scone::ConfigurationService& config_service() { return config_; }
+  const container::ContainerMonitor& monitor() const { return monitor_; }
+
+ private:
+  crypto::DeterministicEntropy entropy_;
+  container::Registry registry_;
+  container::ContainerMonitor monitor_;
+  std::vector<std::unique_ptr<sgx::Platform>> platforms_;
+  std::vector<std::unique_ptr<container::ContainerEngine>> engines_;
+  std::vector<genpack::Server> servers_;  // scheduler's view of the fleet
+  genpack::GenPackScheduler scheduler_;
+  container::SconeClient client_;
+  scone::ConfigurationService config_;
+  std::map<std::string, Placement> placements_;
+};
+
+}  // namespace securecloud::microservice

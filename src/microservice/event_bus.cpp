@@ -1,0 +1,77 @@
+#include "microservice/event_bus.hpp"
+
+#include "scbr/poset_engine.hpp"
+
+namespace securecloud::microservice {
+
+EventBus::EventBus(sgx::Enclave& enclave, scbr::KeyService& keys)
+    : enclave_(enclave), keys_(keys) {
+  router_ = std::make_unique<scbr::ScbrRouter>(
+      enclave_, std::make_unique<scbr::PosetEngine>());
+}
+
+BusEndpoint* EventBus::attach(const std::string& service_name) {
+  if (started_ || endpoints_.count(service_name)) return nullptr;
+  auto endpoint = std::make_unique<BusEndpoint>();
+  endpoint->creds_ = keys_.register_client(service_name);
+  auto* raw = endpoint.get();
+  endpoints_[service_name] = std::move(endpoint);
+  return raw;
+}
+
+Status EventBus::start() {
+  SC_RETURN_IF_ERROR(router_->provision(keys_));
+  started_ = true;
+  return {};
+}
+
+Result<scbr::SubscriptionId> EventBus::subscribe(BusEndpoint& endpoint,
+                                                 const scbr::Filter& filter,
+                                                 BusEndpoint::Handler handler) {
+  if (!started_) return Error::unavailable("bus not started");
+  const Bytes wire = scbr::encrypt_subscription(endpoint.creds_, filter,
+                                                ++endpoint.nonce_counter_);
+  auto id = router_->subscribe(endpoint.creds_.name, wire);
+  if (!id.ok()) return id.error();
+  endpoint.handlers_.emplace_back(*id, std::move(handler));
+  return *id;
+}
+
+Status EventBus::publish(BusEndpoint& endpoint, const scbr::Event& event) {
+  if (!started_) return Error::unavailable("bus not started");
+  const Bytes wire = scbr::encrypt_publication(endpoint.creds_, event,
+                                               ++endpoint.nonce_counter_);
+  auto deliveries = router_->publish(endpoint.creds_.name, wire);
+  if (!deliveries.ok()) return deliveries.error();
+  ++published_;
+  for (auto& d : *deliveries) {
+    pending_.push_back({std::move(d.subscriber), d.subscription, std::move(d.wire)});
+  }
+  return {};
+}
+
+std::size_t EventBus::drain(std::size_t max_rounds) {
+  std::size_t invocations = 0;
+  for (std::size_t round = 0; round < max_rounds && !pending_.empty(); ++round) {
+    // Take the current batch; handlers may enqueue more (next round).
+    std::deque<PendingDelivery> batch;
+    batch.swap(pending_);
+    for (auto& delivery : batch) {
+      auto it = endpoints_.find(delivery.subscriber);
+      if (it == endpoints_.end()) continue;
+      BusEndpoint& endpoint = *it->second;
+      auto event = scbr::decrypt_delivery(endpoint.creds_, delivery.wire);
+      if (!event.ok()) continue;  // tampered in transit: drop
+      ++delivered_;
+      for (auto& [sub_id, handler] : endpoint.handlers_) {
+        if (sub_id == delivery.subscription) {
+          handler(*event);
+          ++invocations;
+        }
+      }
+    }
+  }
+  return invocations;
+}
+
+}  // namespace securecloud::microservice

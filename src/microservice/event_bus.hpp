@@ -1,0 +1,83 @@
+// Event bus connecting micro-services (§IV, Fig. 1).
+//
+// "An application consists of a set of micro-services connected via an
+// event bus." The bus is SCBR underneath: services register as clients of
+// the key service, subscribe with content filters, and publish events;
+// everything on the wire is encrypted and signed, and matching happens
+// inside the router enclave. The bus adds: handler dispatch, cascading
+// publication (handlers may emit new events), and delivery statistics.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "scbr/router.hpp"
+
+namespace securecloud::microservice {
+
+/// A service's view of the bus. Obtained from EventBus::attach.
+class BusEndpoint {
+ public:
+  using Handler = std::function<void(const scbr::Event&)>;
+
+  const std::string& service_name() const { return creds_.name; }
+
+ private:
+  friend class EventBus;
+  scbr::ClientCredentials creds_;
+  std::uint64_t nonce_counter_ = 0;
+  std::vector<std::pair<scbr::SubscriptionId, Handler>> handlers_;
+};
+
+class EventBus {
+ public:
+  /// The bus owns an SCBR router hosted in `enclave`, provisioned against
+  /// `keys`. Services must be attached *before* provisioning completes
+  /// registering them would require re-provisioning (call attach first,
+  /// then start()).
+  EventBus(sgx::Enclave& enclave, scbr::KeyService& keys);
+
+  /// Registers a service with the key service and returns its endpoint.
+  /// Must be called before start().
+  BusEndpoint* attach(const std::string& service_name);
+
+  /// Provisions the router (attestation + key table). No more attaches.
+  Status start();
+
+  /// Subscribes `endpoint` to events matching `filter`; `handler` runs on
+  /// delivery.
+  Result<scbr::SubscriptionId> subscribe(BusEndpoint& endpoint, const scbr::Filter& filter,
+                                         BusEndpoint::Handler handler);
+
+  /// Publishes an event from `endpoint`. Deliveries are queued; call
+  /// drain() to dispatch handlers (which may publish more).
+  Status publish(BusEndpoint& endpoint, const scbr::Event& event);
+
+  /// Dispatches queued deliveries until quiescent. Returns the number of
+  /// handler invocations. `max_rounds` bounds cascade loops.
+  std::size_t drain(std::size_t max_rounds = 64);
+
+  std::uint64_t published() const { return published_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  struct PendingDelivery {
+    std::string subscriber;
+    scbr::SubscriptionId subscription;
+    Bytes wire;
+  };
+
+  sgx::Enclave& enclave_;
+  scbr::KeyService& keys_;
+  std::unique_ptr<scbr::ScbrRouter> router_;
+  std::map<std::string, std::unique_ptr<BusEndpoint>> endpoints_;
+  std::deque<PendingDelivery> pending_;
+  bool started_ = false;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace securecloud::microservice

@@ -1,0 +1,112 @@
+// Micro-service programming model (§III-B layer 2).
+//
+// A MicroService wraps a bus endpoint with a declarative API: `on(filter,
+// handler)` wires content-based subscriptions, `emit(event)` publishes.
+// The service's application logic runs inside the enclave hosting the
+// bus router's matching — its plaintext state and handlers never exist
+// outside enclave-modeled memory; the untrusted runtime only moves
+// encrypted records.
+#pragma once
+
+#include "microservice/event_bus.hpp"
+
+namespace securecloud::microservice {
+
+/// Correlated request/reply over the content-based bus. Requests carry a
+/// correlation id and the requester's name; responders emit a reply
+/// event addressed (by content) back to the requester. Both legs inherit
+/// the bus's encryption and signing.
+inline constexpr const char* kRpcKindAttr = "rpc.kind";
+inline constexpr const char* kRpcMethodAttr = "rpc.method";
+inline constexpr const char* kRpcFromAttr = "rpc.from";
+inline constexpr const char* kRpcIdAttr = "rpc.id";
+
+class MicroService {
+ public:
+  /// Attaches a new service to `bus` (must precede bus.start()).
+  /// Check valid() before use: attaching after start fails.
+  MicroService(EventBus& bus, const std::string& name)
+      : bus_(bus), endpoint_(bus.attach(name)) {}
+
+  bool valid() const { return endpoint_ != nullptr; }
+  const std::string& name() const { return endpoint_->service_name(); }
+
+  /// Declares: when an event matching `filter` arrives, run `handler`.
+  Result<scbr::SubscriptionId> on(const scbr::Filter& filter,
+                                  BusEndpoint::Handler handler) {
+    return bus_.subscribe(*endpoint_, filter, std::move(handler));
+  }
+
+  /// Publishes an event on the bus.
+  Status emit(const scbr::Event& event) { return bus_.publish(*endpoint_, event); }
+
+  /// Serves `method`: `handler` maps a request event to the reply
+  /// payload event (rpc framing added by the framework).
+  Result<scbr::SubscriptionId> serve(
+      const std::string& method,
+      std::function<scbr::Event(const scbr::Event&)> handler) {
+    handlers_[method] = std::move(handler);
+    scbr::Filter requests;
+    requests.where(kRpcKindAttr, scbr::Op::kEq, scbr::Value::of(std::string("request")))
+        .where(kRpcMethodAttr, scbr::Op::kEq, scbr::Value::of(method));
+    auto sub = bus_.subscribe(*endpoint_, requests, [this](const scbr::Event& request) {
+      const auto* from = request.find(kRpcFromAttr);
+      const auto* id = request.find(kRpcIdAttr);
+      const auto* method_attr = request.find(kRpcMethodAttr);
+      if (!from || !id || !method_attr) return;  // malformed: drop
+      auto it = handlers_.find(method_attr->as_string());
+      if (it == handlers_.end()) return;
+      scbr::Event reply = it->second(request);
+      reply.set(kRpcKindAttr, "reply");
+      reply.set(kRpcFromAttr, from->as_string());
+      reply.set(kRpcIdAttr, id->as_int());
+      (void)emit(reply);
+    });
+    if (!sub.ok()) handlers_.erase(method);
+    return sub;
+  }
+
+  /// Issues a request; `on_reply` fires when the reply arrives (after a
+  /// bus.drain()). Returns the correlation id.
+  Result<std::int64_t> call(const std::string& method, scbr::Event request,
+                            std::function<void(const scbr::Event&)> on_reply) {
+    SC_RETURN_IF_ERROR(ensure_reply_subscription());
+    const std::int64_t id = next_call_id_++;
+    request.set(kRpcKindAttr, "request");
+    request.set(kRpcMethodAttr, method);
+    request.set(kRpcFromAttr, name());
+    request.set(kRpcIdAttr, id);
+    pending_[id] = std::move(on_reply);
+    SC_RETURN_IF_ERROR(emit(request));
+    return id;
+  }
+
+ private:
+  Status ensure_reply_subscription() {
+    if (reply_subscribed_) return {};
+    scbr::Filter replies;
+    replies.where(kRpcKindAttr, scbr::Op::kEq, scbr::Value::of(std::string("reply")))
+        .where(kRpcFromAttr, scbr::Op::kEq, scbr::Value::of(name()));
+    auto sub = bus_.subscribe(*endpoint_, replies, [this](const scbr::Event& reply) {
+      const auto* id = reply.find(kRpcIdAttr);
+      if (!id) return;
+      auto it = pending_.find(id->as_int());
+      if (it == pending_.end()) return;  // duplicate or unknown: drop
+      auto callback = std::move(it->second);
+      pending_.erase(it);
+      callback(reply);
+    });
+    if (!sub.ok()) return sub.error();
+    reply_subscribed_ = true;
+    return {};
+  }
+
+  EventBus& bus_;
+  BusEndpoint* endpoint_;
+  std::map<std::string, std::function<scbr::Event(const scbr::Event&)>> handlers_;
+  std::map<std::int64_t, std::function<void(const scbr::Event&)>> pending_;
+  std::int64_t next_call_id_ = 1;
+  bool reply_subscribed_ = false;
+};
+
+}  // namespace securecloud::microservice

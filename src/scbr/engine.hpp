@@ -1,0 +1,93 @@
+// Matching engine interface shared by the naive and poset engines.
+//
+// Engines optionally run against a simulated memory model (PlainMemory or
+// EnclaveMemory): every node visited during matching issues a simulated
+// memory access over the node's footprint, and every constraint
+// evaluation charges compute cycles. The identical engine code therefore
+// "runs" inside or outside an enclave — Fig. 3's methodology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scbr/filter.hpp"
+#include "sgx/memory_model.hpp"
+
+namespace securecloud::scbr {
+
+using SubscriptionId = std::uint64_t;
+
+struct MatchStats {
+  std::uint64_t events_matched = 0;
+  std::uint64_t comparisons = 0;     // constraint evaluations
+  std::uint64_t nodes_visited = 0;   // subscriptions inspected
+};
+
+class MatchEngine {
+ public:
+  /// ALU cycles charged per constraint evaluation (comparable inside and
+  /// outside an enclave; only memory behaviour differs).
+  static constexpr std::uint64_t kCyclesPerComparison = 12;
+
+  virtual ~MatchEngine() = default;
+
+  virtual void subscribe(SubscriptionId id, Filter filter) = 0;
+  virtual bool unsubscribe(SubscriptionId id) = 0;
+
+  /// Returns the ids of all subscriptions whose filter matches `event`.
+  virtual std::vector<SubscriptionId> match(const Event& event) = 0;
+
+  virtual std::size_t size() const = 0;
+  /// Total footprint of the subscription database (drives Fig. 3's x-axis).
+  virtual std::size_t database_bytes() const = 0;
+
+  /// Attach a memory model; nullptr disables memory simulation.
+  void set_memory(sgx::MemoryModel* memory) { memory_ = memory; }
+
+  /// Extra simulated bytes each stored subscription occupies beyond the
+  /// filter itself (poset links, match counters, subscriber lists —
+  /// engine metadata a production router keeps per subscription). Affects
+  /// the simulated layout and database_bytes(), not correctness. Set
+  /// before the first subscribe.
+  void set_node_overhead(std::size_t bytes) { node_overhead_ = bytes; }
+  std::size_t node_overhead() const { return node_overhead_; }
+
+  const MatchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ protected:
+  /// Simulates inspecting one stored subscription.
+  void touch_node(std::uint64_t vaddr, std::size_t bytes, std::size_t constraints) {
+    ++stats_.nodes_visited;
+    stats_.comparisons += constraints;
+    if (memory_ != nullptr) {
+      memory_->access(vaddr, bytes);
+      memory_->compute(kCyclesPerComparison * constraints);
+    }
+  }
+
+  sgx::MemoryModel* memory_ = nullptr;
+  std::size_t node_overhead_ = 0;
+  MatchStats stats_;
+};
+
+/// Bump allocator handing out virtual addresses for the simulated layout
+/// of the subscription database.
+class VirtualArena {
+ public:
+  explicit VirtualArena(std::uint64_t base = 1ull << 33) : next_(base) {}
+
+  std::uint64_t allocate(std::size_t bytes) {
+    const std::uint64_t addr = next_;
+    next_ += (bytes + 63) & ~std::size_t{63};  // 64-byte alignment
+    return addr;
+  }
+  std::uint64_t allocated_bytes(std::uint64_t base = 1ull << 33) const {
+    return next_ - base;
+  }
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace securecloud::scbr

@@ -1,0 +1,222 @@
+#include "scbr/filter.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace securecloud::scbr {
+
+Bytes Event::serialize() const {
+  Bytes b;
+  put_str(b, "SCEVT1");
+  put_u32(b, static_cast<std::uint32_t>(attributes.size()));
+  for (const auto& [name, value] : attributes) {
+    put_str(b, name);
+    value.serialize_to(b);
+  }
+  return b;
+}
+
+Result<Event> Event::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  std::string magic;
+  if (!r.get_str(magic) || magic != "SCEVT1") return Error::protocol("bad event magic");
+  std::uint32_t count = 0;
+  if (!r.get_u32(count)) return Error::protocol("truncated event");
+  Event e;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!r.get_str(name)) return Error::protocol("truncated event attribute");
+    auto v = Value::deserialize(r);
+    if (!v.ok()) return v.error();
+    e.attributes.emplace(std::move(name), std::move(v).value());
+  }
+  if (!r.done()) return Error::protocol("trailing event bytes");
+  return e;
+}
+
+bool Filter::matches(const Event& event, std::uint64_t* comparisons) const {
+  for (const auto& c : constraints_) {
+    if (comparisons) ++*comparisons;
+    const Value* v = event.find(c.attribute);
+    if (v == nullptr || !c.matches(*v)) return false;
+  }
+  return true;
+}
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+namespace detail {
+
+/// Normalized admissible set for one attribute.
+struct AttrRange {
+  std::optional<Value> eq;
+  std::vector<Value> ne;
+  double lo = -kInf;
+  bool lo_strict = false;
+  double hi = kInf;
+  bool hi_strict = false;
+  bool string_typed = false;   // any string constraint present
+  bool numeric_typed = false;  // any numeric constraint present
+
+  bool mixed_types() const { return string_typed && numeric_typed; }
+
+  void absorb(const Constraint& c) {
+    const bool is_string = c.value.type() == Value::Type::kString;
+    (is_string ? string_typed : numeric_typed) = true;
+    switch (c.op) {
+      case Op::kEq:
+        if (eq && !(*eq == c.value)) {
+          // Contradictory double-equality: empty set. Model as eq plus an
+          // impossible bound so admits() always fails.
+          lo = kInf;
+        }
+        eq = c.value;
+        break;
+      case Op::kNe:
+        ne.push_back(c.value);
+        break;
+      case Op::kGt:
+      case Op::kGe: {
+        const double bound = c.value.numeric();
+        const bool strict = c.op == Op::kGt;
+        if (bound > lo || (bound == lo && strict)) {
+          lo = bound;
+          lo_strict = strict;
+        }
+        break;
+      }
+      case Op::kLt:
+      case Op::kLe: {
+        const double bound = c.value.numeric();
+        const bool strict = c.op == Op::kLt;
+        if (bound < hi || (bound == hi && strict)) {
+          hi = bound;
+          hi_strict = strict;
+        }
+        break;
+      }
+    }
+  }
+
+  bool admits(const Value& v) const {
+    if (eq && !(v == *eq)) return false;
+    for (const auto& x : ne) {
+      if (v == x) return false;
+    }
+    if (v.is_numeric()) {
+      if (string_typed && (eq || !ne.empty())) {
+        // String-typed constraints never admit numeric values via eq;
+        // handled above. Bounds below apply to numerics only.
+      }
+      const double d = v.numeric();
+      if (d < lo || (d == lo && lo_strict)) return false;
+      if (d > hi || (d == hi && hi_strict)) return false;
+      return true;
+    }
+    // Strings: only eq/ne apply; numeric bounds exclude strings entirely.
+    return lo == -kInf && hi == kInf;
+  }
+};
+
+struct NormalForm {
+  std::map<std::string, AttrRange> ranges;
+};
+
+/// Is every value admitted by `inner` also admitted by `outer`?
+bool range_covers(const AttrRange& outer, const AttrRange& inner) {
+  if (outer.mixed_types() || inner.mixed_types()) return false;  // conservative
+
+  // Inner pinned to a single value: membership test.
+  if (inner.eq) return outer.admits(*inner.eq);
+
+  // Outer pinned but inner is a set: cannot cover.
+  if (outer.eq) return false;
+
+  // String-typed inner without eq means "anything except ne values".
+  if (inner.string_typed || outer.string_typed) {
+    // outer must exclude nothing the inner admits: every outer.ne value
+    // must also be excluded by inner; outer must have no numeric bounds
+    // narrowing strings (strings ignore bounds, so bounds on outer would
+    // exclude string values — handled by admits()) — be conservative:
+    if (outer.lo != -kInf || outer.hi != kInf) return false;
+    for (const auto& v : outer.ne) {
+      if (inner.admits(v)) return false;
+    }
+    return true;
+  }
+
+  // Numeric intervals: outer interval must contain inner interval.
+  if (outer.lo > inner.lo) return false;
+  if (outer.lo == inner.lo && outer.lo_strict && !inner.lo_strict) return false;
+  if (outer.hi < inner.hi) return false;
+  if (outer.hi == inner.hi && outer.hi_strict && !inner.hi_strict) return false;
+
+  // Every value the outer excludes must be excluded by the inner too.
+  for (const auto& v : outer.ne) {
+    if (inner.admits(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+const detail::NormalForm& Filter::normal_form() const {
+  if (!normal_) {
+    auto form = std::make_shared<detail::NormalForm>();
+    for (const auto& c : constraints_) {
+      form->ranges[c.attribute].absorb(c);
+    }
+    normal_ = std::move(form);
+  }
+  return *normal_;
+}
+
+bool Filter::covers(const Filter& other) const {
+  const auto& outer = normal_form().ranges;
+  const auto& inner = other.normal_form().ranges;
+  for (const auto& [attribute, outer_range] : outer) {
+    auto it = inner.find(attribute);
+    // If the inner filter leaves the attribute unconstrained, events
+    // without it (or with arbitrary values) match `other` but not us.
+    if (it == inner.end()) return false;
+    if (!detail::range_covers(outer_range, it->second)) return false;
+  }
+  return true;
+}
+
+std::size_t Filter::footprint_bytes() const {
+  std::size_t bytes = 48;  // node header, vector bookkeeping
+  for (const auto& c : constraints_) {
+    bytes += 40 + c.attribute.size();
+    if (c.value.type() == Value::Type::kString) bytes += c.value.as_string().size();
+  }
+  return bytes;
+}
+
+Bytes Filter::serialize() const {
+  Bytes b;
+  put_str(b, "SCFLT1");
+  put_u32(b, static_cast<std::uint32_t>(constraints_.size()));
+  for (const auto& c : constraints_) c.serialize_to(b);
+  return b;
+}
+
+Result<Filter> Filter::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  std::string magic;
+  if (!r.get_str(magic) || magic != "SCFLT1") return Error::protocol("bad filter magic");
+  std::uint32_t count = 0;
+  if (!r.get_u32(count)) return Error::protocol("truncated filter");
+  Filter f;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto c = Constraint::deserialize(r);
+    if (!c.ok()) return c.error();
+    f.constraints_.push_back(std::move(c).value());
+  }
+  if (!r.done()) return Error::protocol("trailing filter bytes");
+  return f;
+}
+
+}  // namespace securecloud::scbr

@@ -1,0 +1,85 @@
+// Events (publications) and filters (subscriptions) with containment.
+//
+// A filter is a conjunction of constraints. Filter F *covers* filter G
+// when every event matching G also matches F. SCBR stores subscriptions
+// "in data structures that exploit containment relations between filters"
+// so that "a reduced number of comparisons is required whenever a message
+// must be matched" (§V-B) — the poset engine prunes a whole subtree as
+// soon as its covering ancestor fails to match.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "scbr/value.hpp"
+
+namespace securecloud::scbr {
+
+/// A publication: attribute -> value.
+struct Event {
+  std::map<std::string, Value> attributes;
+
+  void set(const std::string& name, std::int64_t v) { attributes[name] = Value::of(v); }
+  void set(const std::string& name, double v) { attributes[name] = Value::of(v); }
+  void set(const std::string& name, std::string v) {
+    attributes[name] = Value::of(std::move(v));
+  }
+  const Value* find(const std::string& name) const {
+    auto it = attributes.find(name);
+    return it == attributes.end() ? nullptr : &it->second;
+  }
+
+  Bytes serialize() const;
+  static Result<Event> deserialize(ByteView wire);
+};
+
+namespace detail {
+struct NormalForm;  // per-attribute admissible ranges (filter.cpp)
+}
+
+/// A subscription filter: conjunction of constraints.
+class Filter {
+ public:
+  Filter() = default;
+
+  Filter& where(std::string attribute, Op op, Value value) {
+    constraints_.push_back({std::move(attribute), op, std::move(value)});
+    normal_.reset();  // invalidate the cached normal form
+    return *this;
+  }
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  bool empty() const { return constraints_.empty(); }
+
+  /// An event matches when every constraint is satisfied. `comparisons`
+  /// (optional) is incremented once per constraint evaluated — the metric
+  /// the matching benchmarks report.
+  bool matches(const Event& event, std::uint64_t* comparisons = nullptr) const;
+
+  /// Sound containment test: returns true only if every event matching
+  /// `other` matches `*this`. (Conservative: may return false for exotic
+  /// combinations involving !=, which is safe — the poset just loses a
+  /// pruning edge.)
+  bool covers(const Filter& other) const;
+
+  /// Approximate in-memory footprint, used by the simulated-memory
+  /// engines to lay out the subscription database.
+  std::size_t footprint_bytes() const;
+
+  Bytes serialize() const;
+  static Result<Filter> deserialize(ByteView wire);
+
+ private:
+  const detail::NormalForm& normal_form() const;
+
+  std::vector<Constraint> constraints_;
+  /// Lazily computed, shared across copies; covers() is on the hot path
+  /// of poset construction, so normalization must not repeat per call.
+  mutable std::shared_ptr<const detail::NormalForm> normal_;
+};
+
+}  // namespace securecloud::scbr

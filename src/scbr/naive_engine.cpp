@@ -1,0 +1,39 @@
+#include "scbr/naive_engine.hpp"
+
+namespace securecloud::scbr {
+
+void NaiveEngine::subscribe(SubscriptionId id, Filter filter) {
+  const std::size_t footprint = filter.footprint_bytes();
+  const std::size_t occupied = footprint + node_overhead();
+  Entry entry{id, std::move(filter), arena_.allocate(occupied), footprint};
+  index_[id] = entries_.size();
+  database_bytes_ += occupied;
+  entries_.push_back(std::move(entry));
+}
+
+bool NaiveEngine::unsubscribe(SubscriptionId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const std::size_t slot = it->second;
+  database_bytes_ -= entries_[slot].footprint + node_overhead();
+  // Swap-with-last removal keeps the scan dense.
+  if (slot != entries_.size() - 1) {
+    entries_[slot] = std::move(entries_.back());
+    index_[entries_[slot].id] = slot;
+  }
+  entries_.pop_back();
+  index_.erase(it);
+  return true;
+}
+
+std::vector<SubscriptionId> NaiveEngine::match(const Event& event) {
+  ++stats_.events_matched;
+  std::vector<SubscriptionId> out;
+  for (const auto& entry : entries_) {
+    touch_node(entry.vaddr, entry.footprint, entry.filter.constraints().size());
+    if (entry.filter.matches(event)) out.push_back(entry.id);
+  }
+  return out;
+}
+
+}  // namespace securecloud::scbr

@@ -1,0 +1,35 @@
+// Baseline matching engine: linear scan over all subscriptions.
+//
+// Every match inspects every stored filter — the comparison count the
+// poset engine's containment index is designed to beat.
+#pragma once
+
+#include <unordered_map>
+
+#include "scbr/engine.hpp"
+
+namespace securecloud::scbr {
+
+class NaiveEngine final : public MatchEngine {
+ public:
+  void subscribe(SubscriptionId id, Filter filter) override;
+  bool unsubscribe(SubscriptionId id) override;
+  std::vector<SubscriptionId> match(const Event& event) override;
+
+  std::size_t size() const override { return entries_.size(); }
+  std::size_t database_bytes() const override { return database_bytes_; }
+
+ private:
+  struct Entry {
+    SubscriptionId id;
+    Filter filter;
+    std::uint64_t vaddr;
+    std::size_t footprint;
+  };
+  std::vector<Entry> entries_;
+  std::unordered_map<SubscriptionId, std::size_t> index_;  // id -> slot
+  VirtualArena arena_;
+  std::size_t database_bytes_ = 0;
+};
+
+}  // namespace securecloud::scbr

@@ -1,0 +1,165 @@
+#include "scbr/overlay.hpp"
+
+#include <algorithm>
+
+namespace securecloud::scbr {
+
+BrokerOverlay::BrokerOverlay(std::size_t broker_count,
+                             const std::vector<std::pair<BrokerId, BrokerId>>& links)
+    : brokers_(broker_count) {
+  for (const auto& [a, b] : links) {
+    brokers_[a].neighbours.push_back(b);
+    brokers_[b].neighbours.push_back(a);
+  }
+}
+
+std::vector<std::pair<SubscriptionId, const Filter*>> BrokerOverlay::advertised(
+    BrokerId at, BrokerId to) const {
+  // Everything `at` knows except what it learned FROM `to` (split
+  // horizon on the tree).
+  std::vector<std::pair<SubscriptionId, const Filter*>> out;
+  const Broker& broker = brokers_[at];
+  for (const auto& [id, filter] : broker.local) {
+    out.emplace_back(id, &filter);
+  }
+  for (const auto& [link, entries] : broker.per_link) {
+    if (link == to) continue;
+    for (const auto& entry : entries) {
+      out.emplace_back(entry.id, &entry.filter);
+    }
+  }
+  return out;
+}
+
+void BrokerOverlay::propagate(BrokerId from, BrokerId to, SubscriptionId id,
+                              const Filter& filter) {
+  Broker& target = brokers_[to];
+  std::vector<RemoteEntry>& entries = target.per_link[from];
+
+  // Covering suppression happens at the *sender*: `from` does not
+  // forward a filter to `to` if it already advertised a covering filter
+  // on that link. We model the sender's view by checking the entries the
+  // receiver holds for this link (they mirror what was sent).
+  for (const auto& entry : entries) {
+    if (entry.filter.covers(filter)) {
+      ++stats_.subscriptions_suppressed;
+      return;  // neighbour already receives a superset: stop here
+    }
+  }
+
+  ++stats_.subscriptions_forwarded;
+  entries.push_back({id, filter});
+
+  // Forward onward (split horizon: never back toward `from`).
+  for (const BrokerId next : target.neighbours) {
+    if (next != from) propagate(to, next, id, filter);
+  }
+}
+
+Status BrokerOverlay::subscribe(BrokerId broker, SubscriptionId id,
+                                const Filter& filter) {
+  if (broker >= brokers_.size()) return Error::invalid_argument("no such broker");
+  if (home_.count(id)) return Error::invalid_argument("duplicate subscription id");
+  brokers_[broker].local[id] = filter;
+  home_[id] = broker;
+  for (const BrokerId neighbour : brokers_[broker].neighbours) {
+    propagate(broker, neighbour, id, filter);
+  }
+  return {};
+}
+
+void BrokerOverlay::retract(BrokerId from, BrokerId to, SubscriptionId id) {
+  Broker& target = brokers_[to];
+  auto it = target.per_link.find(from);
+  if (it == target.per_link.end()) return;
+  auto& entries = it->second;
+  const auto entry = std::find_if(entries.begin(), entries.end(),
+                                  [&](const RemoteEntry& e) { return e.id == id; });
+  if (entry == entries.end()) return;  // was suppressed on this link
+  entries.erase(entry);
+
+  // Retract onward first.
+  for (const BrokerId next : target.neighbours) {
+    if (next != from) retract(to, next, id);
+  }
+
+  // Uncovering: filters at `from` that were suppressed because the
+  // removed filter covered them must now be (re-)advertised to `to`.
+  // Re-advertise everything `from` still knows that is not already
+  // covered by a remaining entry on this link.
+  for (const auto& [other_id, filter] : advertised(from, to)) {
+    bool present = false, covered = false;
+    for (const auto& e : entries) {
+      if (e.id == other_id) present = true;
+      if (e.filter.covers(*filter)) covered = true;
+    }
+    if (!present && !covered) {
+      propagate(from, to, other_id, *filter);
+    }
+  }
+}
+
+Status BrokerOverlay::unsubscribe(BrokerId broker, SubscriptionId id) {
+  auto home = home_.find(id);
+  if (home == home_.end() || home->second != broker) {
+    return Error::not_found("subscription not installed at this broker");
+  }
+  brokers_[broker].local.erase(id);
+  home_.erase(home);
+  for (const BrokerId neighbour : brokers_[broker].neighbours) {
+    retract(broker, neighbour, id);
+  }
+  return {};
+}
+
+void BrokerOverlay::route(BrokerId at, BrokerId came_from, const Event& event,
+                          std::vector<SubscriptionId>& out) {
+  Broker& broker = brokers_[at];
+
+  // Local deliveries.
+  for (const auto& [id, filter] : broker.local) {
+    if (filter.matches(event)) {
+      out.push_back(id);
+      ++stats_.deliveries;
+    }
+  }
+
+  // Forward toward a neighbour only if some subscriber behind it is
+  // interested: per_link[next] holds the filters advertised from that
+  // direction.
+  for (const BrokerId next : broker.neighbours) {
+    if (next == came_from) continue;
+    const auto here = broker.per_link.find(next);
+    bool interested = false;
+    if (here != broker.per_link.end()) {
+      for (const auto& entry : here->second) {
+        if (entry.filter.matches(event)) {
+          interested = true;
+          break;
+        }
+      }
+    }
+    if (interested) {
+      ++stats_.publication_hops;
+      route(next, at, event, out);
+    }
+  }
+}
+
+Result<std::vector<SubscriptionId>> BrokerOverlay::publish(BrokerId broker,
+                                                           const Event& event) {
+  if (broker >= brokers_.size()) return Error::invalid_argument("no such broker");
+  std::vector<SubscriptionId> out;
+  route(broker, static_cast<BrokerId>(-1), event, out);
+  return out;
+}
+
+std::size_t BrokerOverlay::remote_entries(BrokerId broker) const {
+  std::size_t n = 0;
+  for (const auto& [link, entries] : brokers_[broker].per_link) {
+    n += entries.size();
+  }
+  return n;
+}
+
+}  // namespace securecloud::scbr

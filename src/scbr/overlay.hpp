@@ -1,0 +1,98 @@
+// Multi-broker content-based routing overlay.
+//
+// CBR deployments (§V-B cites the pub/sub literature [14]) run a
+// *network* of routers: subscriptions propagate from edge brokers toward
+// the rest of the overlay so publications flow only toward interested
+// subscribers. The classic optimization — which SCBR's containment
+// machinery enables — is *covering-based forwarding*: a broker does not
+// forward a subscription to a neighbour if an already-forwarded
+// subscription covers it, cutting routing-table state and forwarded
+// traffic.
+//
+// This module implements a tree overlay of brokers, each running its own
+// (enclave-hostable) matching engine:
+//   * subscribe(broker, id, filter): installs locally and propagates with
+//     covering suppression;
+//   * publish(broker, event): routes hop by hop, following only links
+//     whose forwarded filters match, delivering at brokers with matching
+//     local subscribers;
+//   * unsubscribe: retracts, re-advertising previously covered filters
+//     that became uncovered ("uncovering" — the subtle part of the
+//     protocol, exercised heavily in tests).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "scbr/poset_engine.hpp"
+
+namespace securecloud::scbr {
+
+using BrokerId = std::size_t;
+
+struct OverlayStats {
+  std::uint64_t subscriptions_forwarded = 0;
+  std::uint64_t subscriptions_suppressed = 0;  // covering saved a forward
+  std::uint64_t publication_hops = 0;
+  std::uint64_t deliveries = 0;
+};
+
+class BrokerOverlay {
+ public:
+  /// Builds an overlay with `broker_count` brokers connected by `links`
+  /// (undirected pairs). Precondition: the links form a tree (connected,
+  /// acyclic) — the standard CBR overlay topology, which guarantees
+  /// loop-free routing without duplicate suppression.
+  BrokerOverlay(std::size_t broker_count,
+                const std::vector<std::pair<BrokerId, BrokerId>>& links);
+
+  /// Installs a subscription for a subscriber attached to `broker`.
+  /// Propagates through the overlay with covering suppression.
+  Status subscribe(BrokerId broker, SubscriptionId id, const Filter& filter);
+
+  /// Removes a subscription previously installed at `broker`.
+  Status unsubscribe(BrokerId broker, SubscriptionId id);
+
+  /// Publishes at `broker`; returns ids of all matching subscriptions
+  /// overlay-wide (each reached via its home broker).
+  Result<std::vector<SubscriptionId>> publish(BrokerId broker, const Event& event);
+
+  const OverlayStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Routing-table sizes (for the covering-efficiency benchmarks):
+  /// number of remote filter entries broker `b` holds per neighbour link.
+  std::size_t remote_entries(BrokerId broker) const;
+
+ private:
+  struct RemoteEntry {
+    SubscriptionId id;       // originating subscription
+    Filter filter;
+  };
+
+  struct Broker {
+    std::vector<BrokerId> neighbours;
+    /// Local subscriptions (subscriber attached here).
+    std::map<SubscriptionId, Filter> local;
+    /// Filters learned per neighbour: publications are forwarded to a
+    /// neighbour only if one of its advertised filters matches.
+    std::map<BrokerId, std::vector<RemoteEntry>> per_link;
+  };
+
+  /// Forwards `filter` from `from` to `to`, applying covering
+  /// suppression; recurses onward.
+  void propagate(BrokerId from, BrokerId to, SubscriptionId id, const Filter& filter);
+  void retract(BrokerId from, BrokerId to, SubscriptionId id);
+  void route(BrokerId at, BrokerId came_from, const Event& event,
+             std::vector<SubscriptionId>& out);
+  /// All filters broker `at` would advertise toward neighbour `to`
+  /// (local + everything learned from other links).
+  std::vector<std::pair<SubscriptionId, const Filter*>> advertised(BrokerId at,
+                                                                   BrokerId to) const;
+
+  std::vector<Broker> brokers_;
+  std::map<SubscriptionId, BrokerId> home_;  // subscription -> home broker
+  OverlayStats stats_;
+};
+
+}  // namespace securecloud::scbr

@@ -1,0 +1,141 @@
+#include "scbr/poset_engine.hpp"
+
+#include <algorithm>
+
+namespace securecloud::scbr {
+
+std::int32_t PosetEngine::new_node(SubscriptionId id, Filter filter) {
+  std::int32_t idx;
+  if (!free_list_.empty()) {
+    idx = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    idx = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[static_cast<std::size_t>(idx)];
+  node.id = id;
+  node.footprint = filter.footprint_bytes();
+  node.filter = std::move(filter);
+  node.vaddr = arena_.allocate(node.footprint + node_overhead());
+  node.parent = -1;
+  node.children.clear();
+  node.alive = true;
+  database_bytes_ += node.footprint + node_overhead();
+  return idx;
+}
+
+void PosetEngine::insert_under(std::vector<std::int32_t>& siblings,
+                               std::int32_t node_index, std::int32_t parent_index) {
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+
+  // Descend into the first sibling that covers the new filter.
+  for (std::int32_t sibling : siblings) {
+    Node& s = nodes_[static_cast<std::size_t>(sibling)];
+    if (s.filter.covers(node.filter)) {
+      insert_under(s.children, node_index, sibling);
+      return;
+    }
+  }
+
+  // No sibling covers us: adopt any siblings *we* cover, then join.
+  std::vector<std::int32_t> kept;
+  kept.reserve(siblings.size());
+  for (std::int32_t sibling : siblings) {
+    Node& s = nodes_[static_cast<std::size_t>(sibling)];
+    if (node.filter.covers(s.filter)) {
+      s.parent = node_index;
+      node.children.push_back(sibling);
+    } else {
+      kept.push_back(sibling);
+    }
+  }
+  kept.push_back(node_index);
+  node.parent = parent_index;
+  siblings = std::move(kept);
+}
+
+void PosetEngine::subscribe(SubscriptionId id, Filter filter) {
+  const std::int32_t idx = new_node(id, std::move(filter));
+  index_[id] = idx;
+  insert_under(roots_, idx, -1);
+}
+
+bool PosetEngine::unsubscribe(SubscriptionId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const std::int32_t idx = it->second;
+  Node& node = nodes_[static_cast<std::size_t>(idx)];
+
+  // Children are spliced up to the removed node's parent; the invariant
+  // (ancestors cover descendants) is preserved by transitivity.
+  std::vector<std::int32_t>& siblings =
+      node.parent < 0 ? roots_ : nodes_[static_cast<std::size_t>(node.parent)].children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), idx));
+  for (std::int32_t child : node.children) {
+    nodes_[static_cast<std::size_t>(child)].parent = node.parent;
+    siblings.push_back(child);
+  }
+
+  database_bytes_ -= node.footprint + node_overhead();
+  node.alive = false;
+  node.children.clear();
+  free_list_.push_back(idx);
+  index_.erase(it);
+  return true;
+}
+
+std::vector<SubscriptionId> PosetEngine::match(const Event& event) {
+  ++stats_.events_matched;
+  std::vector<SubscriptionId> out;
+  std::vector<std::int32_t> stack(roots_.begin(), roots_.end());
+  while (!stack.empty()) {
+    const std::int32_t idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    touch_node(node.vaddr, node.footprint, node.filter.constraints().size());
+    if (node.filter.matches(event)) {
+      out.push_back(node.id);
+      // Only descend where the covering filter matched.
+      stack.insert(stack.end(), node.children.begin(), node.children.end());
+    }
+  }
+  return out;
+}
+
+std::size_t PosetEngine::depth_of(std::int32_t node) const {
+  std::size_t depth = 1;
+  std::int32_t cursor = nodes_[static_cast<std::size_t>(node)].parent;
+  while (cursor >= 0) {
+    ++depth;
+    cursor = nodes_[static_cast<std::size_t>(cursor)].parent;
+  }
+  return depth;
+}
+
+std::size_t PosetEngine::max_depth() const {
+  std::size_t deepest = 0;
+  for (const auto& [id, idx] : index_) {
+    deepest = std::max(deepest, depth_of(idx));
+  }
+  return deepest;
+}
+
+bool PosetEngine::check_invariants() const {
+  for (const auto& [id, idx] : index_) {
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    if (!node.alive) return false;
+    for (std::int32_t child : node.children) {
+      const Node& c = nodes_[static_cast<std::size_t>(child)];
+      if (!c.alive || c.parent != idx) return false;
+      if (!node.filter.covers(c.filter)) return false;
+    }
+  }
+  // Roots have no parent.
+  for (std::int32_t root : roots_) {
+    if (nodes_[static_cast<std::size_t>(root)].parent != -1) return false;
+  }
+  return true;
+}
+
+}  // namespace securecloud::scbr

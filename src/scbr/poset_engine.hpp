@@ -1,0 +1,56 @@
+// Containment-based matching engine (SCBR's index, §V-B).
+//
+// Subscriptions are organized into a containment forest: a node's filter
+// covers all filters in its subtree. Matching walks from the roots and
+// prunes an entire subtree as soon as a covering ancestor fails to match
+// (if the broad filter rejects the event, every narrower filter below it
+// must too). Broad, popular filters near the roots therefore shield large
+// numbers of specific filters from ever being inspected.
+#pragma once
+
+#include <unordered_map>
+
+#include "scbr/engine.hpp"
+
+namespace securecloud::scbr {
+
+class PosetEngine final : public MatchEngine {
+ public:
+  void subscribe(SubscriptionId id, Filter filter) override;
+  bool unsubscribe(SubscriptionId id) override;
+  std::vector<SubscriptionId> match(const Event& event) override;
+
+  std::size_t size() const override { return index_.size(); }
+  std::size_t database_bytes() const override { return database_bytes_; }
+
+  /// Structural introspection for tests/benchmarks.
+  std::size_t root_count() const { return roots_.size(); }
+  std::size_t max_depth() const;
+  /// Verifies the forest invariant: every parent covers its children.
+  bool check_invariants() const;
+
+ private:
+  struct Node {
+    SubscriptionId id = 0;
+    Filter filter;
+    std::uint64_t vaddr = 0;
+    std::size_t footprint = 0;
+    std::int32_t parent = -1;           // -1: root
+    std::vector<std::int32_t> children;
+    bool alive = false;
+  };
+
+  std::int32_t new_node(SubscriptionId id, Filter filter);
+  void insert_under(std::vector<std::int32_t>& siblings, std::int32_t node_index,
+                    std::int32_t parent_index);
+  std::size_t depth_of(std::int32_t node) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> free_list_;
+  std::vector<std::int32_t> roots_;
+  std::unordered_map<SubscriptionId, std::int32_t> index_;
+  VirtualArena arena_;
+  std::size_t database_bytes_ = 0;
+};
+
+}  // namespace securecloud::scbr

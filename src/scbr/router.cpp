@@ -1,0 +1,250 @@
+#include "scbr/router.hpp"
+
+#include "sgx/platform.hpp"
+
+namespace securecloud::scbr {
+
+namespace {
+constexpr std::uint32_t kSubDomain = 0x53554200;   // "SUB"
+constexpr std::uint32_t kPubDomain = 0x50554200;   // "PUB"
+constexpr std::uint32_t kDelDomain = 0x44454c00;   // "DEL"
+}  // namespace
+
+ClientCredentials KeyService::register_client(const std::string& name) {
+  ClientCredentials creds;
+  creds.name = name;
+  creds.symmetric_key = entropy_.bytes(16);
+  creds.signing_key = crypto::ed25519_keypair(entropy_.array<32>());
+  clients_[name] = creds;
+  return creds;
+}
+
+void KeyService::authorize_router(const sgx::Measurement& mrenclave) {
+  authorized_measurements_.emplace_back(mrenclave.begin(), mrenclave.end());
+}
+
+Result<KeyService::RouterProvision> KeyService::provision_router(ByteView quote_wire) {
+  auto report = attestation_.verify_wire(quote_wire);
+  if (!report.ok()) return report.error();
+
+  const Bytes measurement(report->mrenclave.begin(), report->mrenclave.end());
+  const bool authorized =
+      std::find(authorized_measurements_.begin(), authorized_measurements_.end(),
+                measurement) != authorized_measurements_.end();
+  if (!authorized) {
+    return Error::permission_denied("enclave is not an authorized router build");
+  }
+
+  RouterProvision provision;
+  for (const auto& [name, creds] : clients_) {
+    provision.client_keys[name] = creds.symmetric_key;
+    provision.client_verify_keys[name] = creds.signing_key.public_key;
+  }
+  return provision;
+}
+
+Bytes encrypt_subscription(const ClientCredentials& creds, const Filter& filter,
+                           std::uint64_t nonce_counter) {
+  crypto::AesGcm gcm(creds.symmetric_key);
+  return gcm.seal_combined(crypto::nonce_from_counter(nonce_counter, kSubDomain),
+                           to_bytes("sub:" + creds.name), filter.serialize());
+}
+
+Bytes encrypt_publication(const ClientCredentials& creds, const Event& event,
+                          std::uint64_t nonce_counter) {
+  // sign-then-encrypt: the signature travels inside the ciphertext.
+  const Bytes payload = event.serialize();
+  const auto signature = crypto::ed25519_sign(creds.signing_key, payload);
+  Bytes signed_payload;
+  put_blob(signed_payload, payload);
+  append(signed_payload, signature);
+
+  crypto::AesGcm gcm(creds.symmetric_key);
+  return gcm.seal_combined(crypto::nonce_from_counter(nonce_counter, kPubDomain),
+                           to_bytes("pub:" + creds.name), signed_payload);
+}
+
+Result<Event> decrypt_delivery(const ClientCredentials& creds, ByteView wire) {
+  crypto::AesGcm gcm(creds.symmetric_key);
+  auto plain = gcm.open_combined(to_bytes("del:" + creds.name), wire);
+  if (!plain.ok()) return plain.error();
+  return Event::deserialize(*plain);
+}
+
+Status ScbrRouter::check_freshness(const std::string& client, ByteView wire) {
+  // The combined format starts with the 12-byte nonce: 4-byte domain ||
+  // 8-byte counter (see crypto::nonce_from_counter).
+  if (wire.size() < crypto::kGcmNonceSize) {
+    return Error::protocol("message shorter than a nonce");
+  }
+  const std::uint32_t domain = load_be32(wire.subspan(0, 4));
+  const std::uint64_t counter = load_be64(wire.subspan(4, 8));
+  auto& last = last_counter_[{client, domain}];
+  if (counter <= last) {
+    ++metrics_.replays_blocked;
+    return Error::protocol("stale message counter (replay detected)");
+  }
+  last = counter;
+  return {};
+}
+
+ScbrRouter::ScbrRouter(sgx::Enclave& enclave, std::unique_ptr<MatchEngine> engine)
+    : enclave_(enclave), engine_(std::move(engine)) {
+  engine_->set_memory(&enclave_.memory());
+}
+
+Status ScbrRouter::provision(KeyService& keys) {
+  // The router proves its identity with a quote before receiving keys.
+  const auto report = enclave_.create_report(sgx::ReportData{});
+  auto quote = enclave_.platform().quote(report);
+  if (!quote.ok()) return quote.error();
+  auto provision = keys.provision_router(quote->serialize());
+  if (!provision.ok()) return provision.error();
+  client_keys_ = std::move(provision->client_keys);
+  client_verify_keys_ = std::move(provision->client_verify_keys);
+  provisioned_ = true;
+  return {};
+}
+
+Result<SubscriptionId> ScbrRouter::subscribe(const std::string& client, ByteView wire) {
+  if (!provisioned_) return Error::unavailable("router not provisioned");
+  auto key = client_keys_.find(client);
+  if (key == client_keys_.end()) return Error::permission_denied("unknown client: " + client);
+
+  // Message processing happens inside the enclave: one transition.
+  enclave_.platform().clock().advance_cycles(enclave_.platform().cost().ecall_cycles);
+  SC_RETURN_IF_ERROR(check_freshness(client, wire));
+
+  crypto::AesGcm gcm(key->second);
+  auto plain = gcm.open_combined(to_bytes("sub:" + client), wire);
+  if (!plain.ok()) {
+    ++metrics_.auth_failures;
+    return Error::integrity("subscription failed authentication for " + client);
+  }
+  auto filter = Filter::deserialize(*plain);
+  if (!filter.ok()) return filter.error();
+
+  const SubscriptionId id = next_id_++;
+  ++metrics_.subscriptions;
+  Filter parsed = std::move(filter).value();
+  engine_->subscribe(id, parsed);
+  subscriptions_[id] = Subscription{client, std::move(parsed)};
+  return id;
+}
+
+Status ScbrRouter::unsubscribe(const std::string& client, SubscriptionId id) {
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return Error::not_found("no such subscription");
+  if (it->second.owner != client) {
+    return Error::permission_denied("subscription belongs to another client");
+  }
+  engine_->unsubscribe(id);
+  subscriptions_.erase(it);
+  return {};
+}
+
+Result<std::vector<Delivery>> ScbrRouter::publish(const std::string& client,
+                                                  ByteView wire) {
+  if (!provisioned_) return Error::unavailable("router not provisioned");
+  auto key = client_keys_.find(client);
+  if (key == client_keys_.end()) return Error::permission_denied("unknown client: " + client);
+
+  enclave_.platform().clock().advance_cycles(enclave_.platform().cost().ecall_cycles);
+  SC_RETURN_IF_ERROR(check_freshness(client, wire));
+
+  crypto::AesGcm gcm(key->second);
+  auto plain = gcm.open_combined(to_bytes("pub:" + client), wire);
+  if (!plain.ok()) {
+    ++metrics_.auth_failures;
+    return Error::integrity("publication failed authentication for " + client);
+  }
+
+  // Unwrap payload || signature and verify the publisher's signature.
+  ByteReader reader(*plain);
+  Bytes payload;
+  if (!reader.get_blob(payload)) return Error::protocol("malformed publication");
+  crypto::Ed25519Signature signature;
+  if (reader.remaining() != signature.size()) {
+    return Error::protocol("malformed publication signature");
+  }
+  for (auto& b : signature) {
+    if (!reader.get_u8(b)) return Error::protocol("malformed publication signature");
+  }
+  if (!crypto::ed25519_verify(client_verify_keys_.at(client), payload, signature)) {
+    ++metrics_.auth_failures;
+    return Error::integrity("publication signature invalid");
+  }
+
+  auto event = Event::deserialize(payload);
+  if (!event.ok()) return event.error();
+
+  // Match inside the enclave, then re-encrypt per subscriber.
+  ++metrics_.publications;
+  const std::vector<SubscriptionId> matched = engine_->match(*event);
+  std::vector<Delivery> deliveries;
+  deliveries.reserve(matched.size());
+  for (const SubscriptionId id : matched) {
+    const std::string& owner = subscriptions_.at(id).owner;
+    crypto::AesGcm subscriber_gcm(client_keys_.at(owner));
+    Delivery d;
+    d.subscriber = owner;
+    d.subscription = id;
+    d.wire = subscriber_gcm.seal_combined(
+        crypto::nonce_from_counter(++delivery_counter_, kDelDomain),
+        to_bytes("del:" + owner), payload);
+    deliveries.push_back(std::move(d));
+    ++metrics_.deliveries;
+  }
+  return deliveries;
+}
+
+Bytes ScbrRouter::seal_state() const {
+  Bytes plain;
+  put_str(plain, "SCBRSTATE1");
+  put_u64(plain, next_id_);
+  put_u64(plain, delivery_counter_);
+  put_u32(plain, static_cast<std::uint32_t>(subscriptions_.size()));
+  for (const auto& [id, sub] : subscriptions_) {
+    put_u64(plain, id);
+    put_str(plain, sub.owner);
+    put_blob(plain, sub.filter.serialize());
+  }
+  return enclave_.seal(plain, sgx::SealPolicy::kMrEnclave);
+}
+
+Status ScbrRouter::restore_state(ByteView blob) {
+  auto plain = enclave_.unseal(blob);
+  if (!plain.ok()) return plain.error();
+
+  ByteReader reader(*plain);
+  std::string magic;
+  std::uint32_t count = 0;
+  std::uint64_t next_id = 0, delivery_counter = 0;
+  if (!reader.get_str(magic) || magic != "SCBRSTATE1" || !reader.get_u64(next_id) ||
+      !reader.get_u64(delivery_counter) || !reader.get_u32(count)) {
+    return Error::protocol("malformed router state");
+  }
+
+  std::map<SubscriptionId, Subscription> restored;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    std::string owner;
+    Bytes filter_wire;
+    if (!reader.get_u64(id) || !reader.get_str(owner) || !reader.get_blob(filter_wire)) {
+      return Error::protocol("truncated router state");
+    }
+    auto filter = Filter::deserialize(filter_wire);
+    if (!filter.ok()) return filter.error();
+    restored[id] = Subscription{std::move(owner), std::move(filter).value()};
+  }
+
+  // Swap in atomically only after the whole snapshot parsed.
+  for (const auto& [id, sub] : subscriptions_) engine_->unsubscribe(id);
+  subscriptions_ = std::move(restored);
+  for (const auto& [id, sub] : subscriptions_) engine_->subscribe(id, sub.filter);
+  next_id_ = next_id;
+  delivery_counter_ = delivery_counter;
+  return {};
+}
+
+}  // namespace securecloud::scbr

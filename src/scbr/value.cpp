@@ -1,0 +1,94 @@
+#include "scbr/value.hpp"
+
+#include <bit>
+
+namespace securecloud::scbr {
+
+void Value::serialize_to(Bytes& out) const {
+  put_u8(out, static_cast<std::uint8_t>(type_));
+  switch (type_) {
+    case Type::kInt:
+      put_u64(out, static_cast<std::uint64_t>(int_));
+      break;
+    case Type::kDouble:
+      put_u64(out, std::bit_cast<std::uint64_t>(double_));
+      break;
+    case Type::kString:
+      put_str(out, string_);
+      break;
+  }
+}
+
+Result<Value> Value::deserialize(ByteReader& reader) {
+  std::uint8_t type_byte = 0;
+  if (!reader.get_u8(type_byte) || type_byte > 2) {
+    return Error::protocol("bad value type");
+  }
+  Value v;
+  v.type_ = static_cast<Type>(type_byte);
+  switch (v.type_) {
+    case Type::kInt: {
+      std::uint64_t raw = 0;
+      if (!reader.get_u64(raw)) return Error::protocol("truncated int value");
+      v.int_ = static_cast<std::int64_t>(raw);
+      break;
+    }
+    case Type::kDouble: {
+      std::uint64_t raw = 0;
+      if (!reader.get_u64(raw)) return Error::protocol("truncated double value");
+      v.double_ = std::bit_cast<double>(raw);
+      break;
+    }
+    case Type::kString: {
+      if (!reader.get_str(v.string_)) return Error::protocol("truncated string value");
+      break;
+    }
+  }
+  return v;
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kEq: return "=";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool Constraint::matches(const Value& v) const {
+  if (!v.comparable(value)) return false;
+  switch (op) {
+    case Op::kEq: return v == value;
+    case Op::kNe: return !(v == value);
+    case Op::kLt: return v < value;
+    case Op::kLe: return v < value || v == value;
+    case Op::kGt: return value < v;
+    case Op::kGe: return value < v || v == value;
+  }
+  return false;
+}
+
+void Constraint::serialize_to(Bytes& out) const {
+  put_str(out, attribute);
+  put_u8(out, static_cast<std::uint8_t>(op));
+  value.serialize_to(out);
+}
+
+Result<Constraint> Constraint::deserialize(ByteReader& reader) {
+  Constraint c;
+  std::uint8_t op_byte = 0;
+  if (!reader.get_str(c.attribute) || !reader.get_u8(op_byte) || op_byte > 5) {
+    return Error::protocol("truncated constraint");
+  }
+  c.op = static_cast<Op>(op_byte);
+  auto v = Value::deserialize(reader);
+  if (!v.ok()) return v.error();
+  c.value = std::move(v).value();
+  return c;
+}
+
+}  // namespace securecloud::scbr

@@ -1,0 +1,102 @@
+// Typed attribute values and constraint operators for content-based
+// routing.
+//
+// Publications are sets of (attribute, value) pairs; subscriptions are
+// conjunctions of (attribute, operator, value) constraints — the model of
+// Siena-style CBR engines that SCBR builds on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace securecloud::scbr {
+
+class Value {
+ public:
+  enum class Type : std::uint8_t { kInt = 0, kDouble = 1, kString = 2 };
+
+  Value() = default;
+  static Value of(std::int64_t v) {
+    Value x;
+    x.type_ = Type::kInt;
+    x.int_ = v;
+    return x;
+  }
+  static Value of(double v) {
+    Value x;
+    x.type_ = Type::kDouble;
+    x.double_ = v;
+    return x;
+  }
+  static Value of(std::string v) {
+    Value x;
+    x.type_ = Type::kString;
+    x.string_ = std::move(v);
+    return x;
+  }
+
+  Type type() const { return type_; }
+  std::int64_t as_int() const { return int_; }
+  double as_double() const { return double_; }
+  const std::string& as_string() const { return string_; }
+
+  /// Numeric view: ints and doubles compare across types.
+  bool is_numeric() const { return type_ != Type::kString; }
+  double numeric() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+
+  bool operator==(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) return numeric() == other.numeric();
+    if (type_ != other.type_) return false;
+    return string_ == other.string_;
+  }
+  /// Ordering defined for numeric pairs and same-type strings; callers
+  /// guard with comparable().
+  bool comparable(const Value& other) const {
+    return (is_numeric() && other.is_numeric()) ||
+           (type_ == Type::kString && other.type_ == Type::kString);
+  }
+  bool operator<(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) return numeric() < other.numeric();
+    return string_ < other.string_;
+  }
+
+  void serialize_to(Bytes& out) const;
+  static Result<Value> deserialize(ByteReader& reader);
+
+ private:
+  Type type_ = Type::kInt;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+};
+
+enum class Op : std::uint8_t {
+  kEq = 0,
+  kNe = 1,
+  kLt = 2,
+  kLe = 3,
+  kGt = 4,
+  kGe = 5,
+};
+
+const char* to_string(Op op);
+
+/// One constraint: attribute OP value.
+struct Constraint {
+  std::string attribute;
+  Op op = Op::kEq;
+  Value value;
+
+  /// Whether an event value satisfies this constraint.
+  bool matches(const Value& v) const;
+
+  void serialize_to(Bytes& out) const;
+  static Result<Constraint> deserialize(ByteReader& reader);
+};
+
+}  // namespace securecloud::scbr

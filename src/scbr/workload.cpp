@@ -1,0 +1,66 @@
+#include "scbr/workload.hpp"
+
+#include <algorithm>
+
+namespace securecloud::scbr {
+
+Filter ScbrWorkload::fresh_filter() {
+  Filter f;
+  // Pick distinct attributes.
+  std::vector<std::size_t> attrs(config_.attribute_universe);
+  for (std::size_t i = 0; i < attrs.size(); ++i) attrs[i] = i;
+  rng_.shuffle(attrs.begin(), attrs.end());
+  const std::size_t n = std::min(config_.attributes_per_filter, attrs.size());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto width = static_cast<std::int64_t>(
+        std::max(1.0, config_.width_fraction * static_cast<double>(config_.value_range)));
+    const std::int64_t lo =
+        rng_.uniform_in(0, std::max<std::int64_t>(0, config_.value_range - width));
+    const std::int64_t hi = std::min<std::int64_t>(config_.value_range, lo + width);
+    f.where(attribute_name(attrs[i]), Op::kGe, Value::of(lo));
+    f.where(attribute_name(attrs[i]), Op::kLe, Value::of(hi));
+  }
+  return f;
+}
+
+Filter ScbrWorkload::narrowed_filter(const Filter& parent) {
+  // Shrink each range constraint of the parent: the child is covered by
+  // construction (child interval ⊆ parent interval).
+  Filter f;
+  for (const auto& c : parent.constraints()) {
+    if (c.op == Op::kGe) {
+      const std::int64_t lo = c.value.as_int();
+      f.where(c.attribute, Op::kGe, Value::of(lo + rng_.uniform_in(0, 8)));
+    } else if (c.op == Op::kLe) {
+      const std::int64_t hi = c.value.as_int();
+      f.where(c.attribute, Op::kLe, Value::of(std::max<std::int64_t>(0, hi - rng_.uniform_in(0, 8))));
+    } else {
+      f.where(c.attribute, c.op, c.value);
+    }
+  }
+  return f;
+}
+
+Filter ScbrWorkload::next_filter() {
+  Filter f;
+  if (!recent_.empty() && rng_.chance(config_.hierarchy_fraction)) {
+    const std::size_t pick = static_cast<std::size_t>(rng_.uniform(recent_.size()));
+    f = narrowed_filter(recent_[pick]);
+  } else {
+    f = fresh_filter();
+  }
+  recent_.push_back(f);
+  if (recent_.size() > config_.parent_pool) recent_.pop_front();
+  return f;
+}
+
+Event ScbrWorkload::next_event() {
+  Event e;
+  for (std::size_t i = 0; i < config_.attribute_universe; ++i) {
+    e.set(attribute_name(i), rng_.uniform_in(0, config_.value_range));
+  }
+  return e;
+}
+
+}  // namespace securecloud::scbr

@@ -1,0 +1,49 @@
+// Workload generator for CBR benchmarks (subscriptions + publications).
+//
+// Mirrors the synthetic workloads used to evaluate SCBR: range filters
+// over a numeric attribute universe. A configurable fraction of
+// subscriptions is derived by *narrowing* an existing one, producing the
+// containment relations the poset engine exploits; the rest are
+// independent, bounding how much pruning is possible.
+#pragma once
+
+#include <deque>
+
+#include "common/rng.hpp"
+#include "scbr/filter.hpp"
+
+namespace securecloud::scbr {
+
+struct WorkloadConfig {
+  std::size_t attribute_universe = 16;      // attributes attr0..attrN-1
+  std::size_t attributes_per_filter = 3;    // range constraints per filter
+  std::int64_t value_range = 10'000;        // values in [0, value_range)
+  double width_fraction = 0.3;              // range width as fraction of domain
+  double hierarchy_fraction = 0.5;          // P(narrow an existing filter)
+  std::size_t parent_pool = 4'096;          // candidates for narrowing
+};
+
+class ScbrWorkload {
+ public:
+  explicit ScbrWorkload(WorkloadConfig config, std::uint64_t seed = 1)
+      : config_(config), rng_(seed) {}
+
+  /// Generates the next subscription filter.
+  Filter next_filter();
+
+  /// Generates a publication with a value for every attribute.
+  Event next_event();
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  std::string attribute_name(std::size_t i) const { return "attr" + std::to_string(i); }
+  Filter fresh_filter();
+  Filter narrowed_filter(const Filter& parent);
+
+  WorkloadConfig config_;
+  Rng rng_;
+  std::deque<Filter> recent_;  // parent pool for hierarchical narrowing
+};
+
+}  // namespace securecloud::scbr

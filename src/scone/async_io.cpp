@@ -1,0 +1,34 @@
+#include "scone/async_io.hpp"
+
+namespace securecloud::scone {
+
+void AsyncIoRuntime::spawn_io(SyscallRequest request, Continuation next) {
+  auto state = std::make_shared<IoState>();
+  scheduler_.spawn([this, state, request = std::move(request),
+                    next = std::move(next)]() mutable -> StepResult {
+    // Phase 1: submit (the ring may be full; retry on later rounds).
+    if (!state->submitted) {
+      if (auto id = syscalls_.submit(request)) {
+        state->id = *id;
+        state->submitted = true;
+      } else {
+        return StepResult::kBlocked;
+      }
+    }
+
+    // Phase 2: drain completions into the shared map, then check ours.
+    // (Any task may drain; completions for other tasks are parked.)
+    while (auto response = syscalls_.poll()) {
+      completions_[response->id] = std::move(*response);
+    }
+    auto it = completions_.find(state->id);
+    if (it == completions_.end()) return StepResult::kBlocked;
+
+    next(it->second);
+    completions_.erase(it);
+    ++completed_;
+    return StepResult::kDone;
+  });
+}
+
+}  // namespace securecloud::scone

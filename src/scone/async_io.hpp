@@ -1,0 +1,53 @@
+// Cooperative async I/O: SCONE's two performance mechanisms composed.
+//
+// "SCONE ... provides acceptable performance by implementing tailored
+//  threading and an asynchronous system call interface" (§IV). The
+// composition is the point: an application thread that would block on a
+// syscall instead *yields inside the enclave* (no AEX, no kernel
+// switch), the untrusted worker services the call concurrently, and the
+// in-enclave scheduler resumes the thread when its completion arrives.
+// Compute-bound tasks keep running in the gaps.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "scone/syscall.hpp"
+#include "scone/uthread.hpp"
+
+namespace securecloud::scone {
+
+class AsyncIoRuntime {
+ public:
+  using Continuation = std::function<void(const SyscallResponse&)>;
+
+  AsyncIoRuntime(UserScheduler& scheduler, AsyncSyscalls& syscalls)
+      : scheduler_(scheduler), syscalls_(syscalls) {}
+
+  /// Spawns a user-level task that issues `request` asynchronously and
+  /// runs `next` with the (shielded) response once it completes. The
+  /// task blocks cooperatively — other tasks run meanwhile.
+  void spawn_io(SyscallRequest request, Continuation next);
+
+  /// Spawns an ordinary compute task alongside the I/O tasks.
+  void spawn_compute(UserScheduler::Task task) { scheduler_.spawn(std::move(task)); }
+
+  /// Runs until every task (I/O and compute) has finished.
+  std::uint64_t run() { return scheduler_.run(); }
+
+  std::size_t completed_io() const { return completed_; }
+
+ private:
+  struct IoState {
+    bool submitted = false;
+    std::uint64_t id = 0;
+  };
+
+  UserScheduler& scheduler_;
+  AsyncSyscalls& syscalls_;
+  /// Completions polled from the ring but not yet claimed by their task.
+  std::map<std::uint64_t, SyscallResponse> completions_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace securecloud::scone

@@ -1,0 +1,93 @@
+#include "scone/file_handle.hpp"
+
+namespace securecloud::scone {
+
+Result<int> ShieldedFileTable::open(const std::string& path, std::uint32_t flags) {
+  if ((flags & (kRead | kWrite)) == 0) {
+    return Error::invalid_argument("open needs kRead and/or kWrite");
+  }
+  const bool exists = fs_.exists(path);
+  if (!exists) {
+    if ((flags & kCreate) == 0) return Error::not_found("no such file: " + path);
+    SC_RETURN_IF_ERROR(fs_.create(path));
+  } else if (flags & kTruncate) {
+    if ((flags & kWrite) == 0) return Error::invalid_argument("kTruncate needs kWrite");
+    SC_RETURN_IF_ERROR(fs_.write_all(path, {}));
+  }
+
+  const int fd = next_fd_++;
+  table_[fd] = Handle{path, flags, 0};
+  return fd;
+}
+
+Result<Bytes> ShieldedFileTable::read(int fd, std::size_t n) {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return Error::invalid_argument("bad file descriptor");
+  Handle& handle = it->second;
+  if ((handle.flags & kRead) == 0) return Error::permission_denied("not open for reading");
+
+  auto size = fs_.size_of(handle.path);
+  if (!size.ok()) return size.error();
+  if (handle.position >= *size) return Bytes{};  // EOF
+
+  auto data = fs_.read(handle.path, handle.position, n);
+  if (!data.ok()) return data.error();
+  handle.position += data->size();
+  return std::move(data).value();
+}
+
+Result<std::size_t> ShieldedFileTable::write(int fd, ByteView data) {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return Error::invalid_argument("bad file descriptor");
+  Handle& handle = it->second;
+  if ((handle.flags & kWrite) == 0) return Error::permission_denied("not open for writing");
+
+  std::uint64_t at = handle.position;
+  if (handle.flags & kAppend) {
+    auto size = fs_.size_of(handle.path);
+    if (!size.ok()) return size.error();
+    at = *size;
+  }
+  SC_RETURN_IF_ERROR(fs_.write(handle.path, at, data));
+  handle.position = at + data.size();
+  return data.size();
+}
+
+Result<std::uint64_t> ShieldedFileTable::seek(int fd, std::int64_t offset, Whence whence) {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return Error::invalid_argument("bad file descriptor");
+  Handle& handle = it->second;
+
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCurrent:
+      base = static_cast<std::int64_t>(handle.position);
+      break;
+    case Whence::kEnd: {
+      auto size = fs_.size_of(handle.path);
+      if (!size.ok()) return size.error();
+      base = static_cast<std::int64_t>(*size);
+      break;
+    }
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return Error::invalid_argument("seek before start of file");
+  handle.position = static_cast<std::uint64_t>(target);
+  return handle.position;
+}
+
+Result<std::uint64_t> ShieldedFileTable::tell(int fd) const {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return Error::invalid_argument("bad file descriptor");
+  return it->second.position;
+}
+
+Status ShieldedFileTable::close(int fd) {
+  if (table_.erase(fd) == 0) return Error::invalid_argument("bad file descriptor");
+  return {};
+}
+
+}  // namespace securecloud::scone

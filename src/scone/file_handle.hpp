@@ -1,0 +1,64 @@
+// POSIX-style file handles over the shielded file system.
+//
+// SCONE shields applications written against the libc file API; this
+// layer provides the corresponding open/read/write/seek/close semantics
+// (with positions, append mode, O_CREAT/O_TRUNC behaviour) on top of
+// ShieldedFileSystem, so ported application code keeps its shape. All
+// I/O inherits the chunk-level encrypt/verify guarantees.
+#pragma once
+
+#include <map>
+
+#include "scone/fs_protection.hpp"
+
+namespace securecloud::scone {
+
+enum OpenFlags : std::uint32_t {
+  kRead = 1 << 0,
+  kWrite = 1 << 1,
+  kCreate = 1 << 2,    // create if missing
+  kTruncate = 1 << 3,  // clear on open
+  kAppend = 1 << 4,    // writes go to EOF
+};
+
+enum class Whence { kSet, kCurrent, kEnd };
+
+class ShieldedFileTable {
+ public:
+  explicit ShieldedFileTable(ShieldedFileSystem& fs) : fs_(fs) {}
+
+  /// Opens `path`; returns a descriptor. kNotFound unless kCreate.
+  Result<int> open(const std::string& path, std::uint32_t flags);
+
+  /// Reads up to `n` bytes from the current position (may return fewer
+  /// at EOF; empty at exact EOF). Requires kRead.
+  Result<Bytes> read(int fd, std::size_t n);
+
+  /// Writes at the current position (or EOF under kAppend); returns the
+  /// number of bytes written. Requires kWrite.
+  Result<std::size_t> write(int fd, ByteView data);
+
+  /// Repositions; returns the new absolute offset. Seeking past EOF is
+  /// allowed (subsequent writes create a zero-filled hole).
+  Result<std::uint64_t> seek(int fd, std::int64_t offset, Whence whence);
+
+  /// Current position.
+  Result<std::uint64_t> tell(int fd) const;
+
+  Status close(int fd);
+
+  std::size_t open_files() const { return table_.size(); }
+
+ private:
+  struct Handle {
+    std::string path;
+    std::uint32_t flags = 0;
+    std::uint64_t position = 0;
+  };
+
+  ShieldedFileSystem& fs_;
+  std::map<int, Handle> table_;
+  int next_fd_ = 3;  // 0-2 reserved, as tradition demands
+};
+
+}  // namespace securecloud::scone

@@ -1,0 +1,129 @@
+// SCONE file-system protection (§V-A).
+//
+// An image creator, in a trusted environment, encrypts the files that
+// must be protected with per-file keys, chunk by chunk, and records the
+// per-chunk authentication tags plus the keys in an *FS protection file*
+// (FSPF). The FSPF itself is then either
+//   * encrypted under a protection key (confidential images), or
+//   * signed by the image creator (integrity-only images that end users
+//     may still customize, per the paper).
+// At runtime the enclave receives the FSPF key/hash via the startup
+// configuration file (SCF) and mounts a ShieldedFileSystem that
+// transparently decrypts/verifies on read and encrypts/re-MACs on write.
+// All bytes that reach the untrusted host FS are ciphertext.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/entropy.hpp"
+#include "crypto/gcm.hpp"
+#include "crypto/sha256.hpp"
+#include "scone/untrusted_fs.hpp"
+
+namespace securecloud::scone {
+
+/// Protection metadata for one file.
+struct FileProtection {
+  std::uint64_t file_size = 0;
+  std::uint32_t chunk_size = 4096;
+  Bytes file_key;  // 16-byte AES key, unique per file
+  /// Per-chunk monotonically increasing versions; bumped on every write
+  /// so (key, nonce) pairs never repeat and stale chunks are rejected.
+  std::vector<std::uint64_t> chunk_versions;
+  std::vector<crypto::GcmTag> chunk_tags;
+
+  std::size_t chunk_count() const {
+    return chunk_versions.size();
+  }
+};
+
+/// The FS protection file: all protected files' metadata.
+struct FsProtection {
+  std::map<std::string, FileProtection> files;
+
+  Bytes serialize() const;
+  static Result<FsProtection> deserialize(ByteView wire);
+};
+
+/// Trusted-environment builder: encrypts `plaintext` as `path` into the
+/// untrusted FS and records its protection entry. (SCONE client, image
+/// build time.)
+class FsProtectionBuilder {
+ public:
+  FsProtectionBuilder(UntrustedFileSystem& fs, crypto::EntropySource& entropy,
+                      std::uint32_t chunk_size = 4096)
+      : fs_(fs), entropy_(entropy), chunk_size_(chunk_size) {}
+
+  Status protect_file(const std::string& path, ByteView plaintext);
+
+  FsProtection take() && { return std::move(protection_); }
+  const FsProtection& protection() const { return protection_; }
+
+ private:
+  UntrustedFileSystem& fs_;
+  crypto::EntropySource& entropy_;
+  std::uint32_t chunk_size_;
+  FsProtection protection_;
+};
+
+/// Enclave-side shielded file system over the untrusted host FS.
+///
+/// Random-access reads and writes at any offset; chunk-granular
+/// encrypt/verify. Tampered or rolled-back chunks surface as
+/// kIntegrityViolation, never as silent corruption.
+class ShieldedFileSystem {
+ public:
+  ShieldedFileSystem(UntrustedFileSystem& fs, FsProtection protection,
+                     crypto::EntropySource& entropy)
+      : fs_(fs), protection_(std::move(protection)), entropy_(entropy) {}
+
+  Result<Bytes> read(const std::string& path, std::uint64_t offset,
+                     std::size_t length) const;
+  Result<Bytes> read_all(const std::string& path) const;
+
+  Status write(const std::string& path, std::uint64_t offset, ByteView data);
+  Status write_all(const std::string& path, ByteView data);
+
+  /// Creates a new empty protected file (runtime-created state).
+  Status create(const std::string& path, std::uint32_t chunk_size = 4096);
+  Status remove(const std::string& path);
+
+  bool exists(const std::string& path) const { return protection_.files.count(path) > 0; }
+  Result<std::uint64_t> size_of(const std::string& path) const;
+  std::vector<std::string> list() const;
+
+  /// The (mutated) protection state — persisted by the runtime on
+  /// shutdown so writes survive restarts.
+  const FsProtection& protection() const { return protection_; }
+
+ private:
+  Result<Bytes> read_chunk(const std::string& path, const FileProtection& fp,
+                           std::size_t chunk_index) const;
+  Status write_chunk(const std::string& path, FileProtection& fp,
+                     std::size_t chunk_index, ByteView chunk_plain);
+
+  UntrustedFileSystem& fs_;
+  FsProtection protection_;
+  crypto::EntropySource& entropy_;
+};
+
+// ---- FSPF packaging (§V-A: encrypt for confidentiality, or sign only so
+// ---- end users can customize the image) -----------------------------------
+
+/// Encrypts a serialized FSPF under `key` (32 bytes recommended).
+Bytes seal_protection_file(const FsProtection& protection, ByteView key,
+                           crypto::EntropySource& entropy);
+Result<FsProtection> open_protection_file(ByteView sealed, ByteView key);
+
+/// Signs a serialized FSPF (integrity without confidentiality).
+Bytes sign_protection_file(const FsProtection& protection,
+                           const crypto::Ed25519KeyPair& signer);
+Result<FsProtection> verify_protection_file(ByteView signed_blob,
+                                            const crypto::Ed25519PublicKey& signer);
+
+}  // namespace securecloud::scone

@@ -1,0 +1,63 @@
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// The data path of SCONE's asynchronous system-call interface: the
+// enclave-side thread produces syscall requests into one ring and
+// consumes responses from another, while an untrusted worker thread does
+// the reverse — no enclave transition on either side.
+//
+// Classic Lamport queue with C++20 atomics: the producer owns `head_`,
+// the consumer owns `tail_`; acquire/release pairs transfer slot
+// ownership. Capacity must be a power of two (index masking).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace securecloud::scone {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Precondition: capacity is a power of two and >= 2.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    static_assert(std::atomic<std::size_t>::is_always_lock_free);
+  }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;  // empty
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer cursor
+};
+
+}  // namespace securecloud::scone

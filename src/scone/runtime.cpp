@@ -1,0 +1,55 @@
+#include "scone/runtime.hpp"
+
+#include "common/log.hpp"
+#include "sgx/platform.hpp"
+
+namespace securecloud::scone {
+
+Result<RunOutcome> SconeRuntime::run(sgx::Enclave& enclave,
+                                     UntrustedFileSystem& host_fs,
+                                     ConfigurationService& config_service,
+                                     const Application& app,
+                                     const std::vector<Bytes>& stdin_records) {
+  // 1. Attested SCF fetch. The enclave's platform entropy seeds the
+  //    channel keys (inside the enclave, invisible to the host).
+  auto scf = fetch_scf(enclave, config_service, enclave.platform().entropy());
+  if (!scf.ok()) return scf.error();
+  log_info("scone", "SCF received for enclave '" + enclave.name() + "'");
+
+  // 2. Load + authenticate the FS protection file.
+  auto fspf_raw = host_fs.read_file(kFspfPath);
+  if (!fspf_raw.ok()) {
+    return Error::integrity("FSPF missing from image");
+  }
+  const auto fspf_hash = crypto::Sha256::hash(*fspf_raw);
+  if (!crypto::constant_time_equal(fspf_hash, scf->fs_protection_hash)) {
+    return Error::integrity("FSPF hash mismatch: image substituted or rolled back");
+  }
+  auto protection = open_protection_file(*fspf_raw, scf->fs_protection_key);
+  if (!protection.ok()) return protection.error();
+
+  // 3. Mount the shielded FS.
+  ShieldedFileSystem fs(host_fs, std::move(protection).value(),
+                        enclave.platform().entropy());
+
+  // 4. Run the application with shielded handles only. Entering the
+  //    enclave costs one transition.
+  enclave.platform().clock().advance_cycles(enclave.platform().cost().ecall_cycles);
+  ProtectedStdin in(scf->stdin_key, stdin_records);
+  ProtectedStdout out(scf->stdout_key);
+  AppContext context{fs, in, out, scf->args, scf->env, enclave};
+  auto result = app(context);
+  if (!result.ok()) return result.error();
+
+  // 5. Persist: re-seal the FSPF (reflecting writes) and store it back.
+  RunOutcome outcome;
+  outcome.app_result = std::move(result).value();
+  outcome.stdout_records = std::move(out).take_records();
+  const Bytes new_fspf = seal_protection_file(fs.protection(), scf->fs_protection_key,
+                                              enclave.platform().entropy());
+  SC_RETURN_IF_ERROR(host_fs.write_file(kFspfPath, new_fspf));
+  outcome.new_fspf_hash = crypto::Sha256::hash(new_fspf);
+  return outcome;
+}
+
+}  // namespace securecloud::scone

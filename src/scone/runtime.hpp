@@ -1,0 +1,105 @@
+// SCONE runtime: hosts a micro-service's application logic inside an
+// enclave with shielded FS, protected stdio, and attested configuration.
+//
+// Startup sequence (§V-A):
+//   1. attest + fetch the SCF over a bound secure channel;
+//   2. load the FS protection file from the untrusted FS, check its hash
+//      against the SCF, decrypt it with the SCF key;
+//   3. mount the shielded file system;
+//   4. run the application with shielded handles.
+// On shutdown the (possibly mutated) FSPF is re-sealed; the new hash is
+// returned so the image owner can refresh the configuration service —
+// this is the freshness anchor across container restarts.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "scone/fs_protection.hpp"
+#include "scone/scf.hpp"
+#include "scone/stdio.hpp"
+#include "scone/untrusted_fs.hpp"
+#include "sgx/enclave.hpp"
+
+namespace securecloud::scone {
+
+/// Decrypting stdin source handed to applications: the SCONE client
+/// encrypts input records with the SCF stdin key; the enclave consumes
+/// them in order (tampered or reordered records end the stream with an
+/// error rather than delivering attacker-controlled input).
+class ProtectedStdin {
+ public:
+  ProtectedStdin(ByteView key, const std::vector<Bytes>& records)
+      : reader_(key), records_(records) {}
+
+  /// Next plaintext record; nullopt at end of input.
+  Result<std::optional<Bytes>> read() {
+    if (cursor_ >= records_.size()) return std::optional<Bytes>{};
+    auto plain = reader_.read(records_[cursor_]);
+    if (!plain.ok()) return plain.error();
+    ++cursor_;
+    return std::optional<Bytes>{std::move(plain).value()};
+  }
+
+ private:
+  ProtectedStreamReader reader_;
+  const std::vector<Bytes>& records_;
+  std::size_t cursor_ = 0;
+};
+
+/// Collecting encrypted-stdout sink handed to applications.
+class ProtectedStdout {
+ public:
+  explicit ProtectedStdout(ByteView key) : writer_(key) {}
+
+  void print(std::string_view line) { records_.push_back(writer_.write(to_bytes(line))); }
+  void write(ByteView data) { records_.push_back(writer_.write(data)); }
+
+  std::vector<Bytes> take_records() && { return std::move(records_); }
+
+ private:
+  ProtectedStreamWriter writer_;
+  std::vector<Bytes> records_;
+};
+
+/// Everything an application sees: shielded handles only. There is no
+/// way to reach the untrusted FS or plaintext stdio from here.
+struct AppContext {
+  ShieldedFileSystem& fs;
+  ProtectedStdin& in;
+  ProtectedStdout& out;
+  const std::vector<std::string>& args;
+  const std::map<std::string, std::string>& env;
+  sgx::Enclave& enclave;
+};
+
+struct RunOutcome {
+  Bytes app_result;
+  /// Re-sealed FSPF reflecting all writes, already stored back to the
+  /// untrusted FS; `new_fspf_hash` must be pushed to the configuration
+  /// service to keep restart freshness.
+  crypto::Sha256Digest new_fspf_hash{};
+  /// Encrypted stdout records produced during the run.
+  std::vector<Bytes> stdout_records;
+};
+
+class SconeRuntime {
+ public:
+  using Application = std::function<Result<Bytes>(AppContext&)>;
+
+  /// Conventional location of the FSPF inside an image.
+  static constexpr const char* kFspfPath = "/image/.fspf";
+
+  /// Runs `app` inside `enclave` against the untrusted FS. All failures
+  /// (attestation, FSPF hash mismatch, tampered files) abort startup.
+  /// `stdin_records` (optional) are encrypted input records produced by
+  /// the SCONE client with the SCF stdin key.
+  static Result<RunOutcome> run(sgx::Enclave& enclave, UntrustedFileSystem& host_fs,
+                                ConfigurationService& config_service,
+                                const Application& app,
+                                const std::vector<Bytes>& stdin_records = {});
+};
+
+}  // namespace securecloud::scone

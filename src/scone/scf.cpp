@@ -1,0 +1,112 @@
+#include "scone/scf.hpp"
+
+#include "crypto/sha256.hpp"
+#include "sgx/platform.hpp"
+
+namespace securecloud::scone {
+
+Bytes StartupConfig::serialize() const {
+  Bytes b;
+  put_str(b, "SCSCF1");
+  put_blob(b, fs_protection_key);
+  put_blob(b, fs_protection_hash);
+  put_blob(b, stdin_key);
+  put_blob(b, stdout_key);
+  put_u32(b, static_cast<std::uint32_t>(args.size()));
+  for (const auto& a : args) put_str(b, a);
+  put_u32(b, static_cast<std::uint32_t>(env.size()));
+  for (const auto& [k, v] : env) {
+    put_str(b, k);
+    put_str(b, v);
+  }
+  return b;
+}
+
+Result<StartupConfig> StartupConfig::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  std::string magic;
+  if (!r.get_str(magic) || magic != "SCSCF1") return Error::protocol("bad SCF magic");
+
+  StartupConfig scf;
+  Bytes hash;
+  std::uint32_t arg_count = 0, env_count = 0;
+  if (!r.get_blob(scf.fs_protection_key) || !r.get_blob(hash) ||
+      !r.get_blob(scf.stdin_key) || !r.get_blob(scf.stdout_key) ||
+      hash.size() != scf.fs_protection_hash.size()) {
+    return Error::protocol("truncated SCF");
+  }
+  std::copy(hash.begin(), hash.end(), scf.fs_protection_hash.begin());
+  if (!r.get_u32(arg_count)) return Error::protocol("truncated SCF");
+  for (std::uint32_t i = 0; i < arg_count; ++i) {
+    std::string a;
+    if (!r.get_str(a)) return Error::protocol("truncated SCF arg");
+    scf.args.push_back(std::move(a));
+  }
+  if (!r.get_u32(env_count)) return Error::protocol("truncated SCF");
+  for (std::uint32_t i = 0; i < env_count; ++i) {
+    std::string k, v;
+    if (!r.get_str(k) || !r.get_str(v)) return Error::protocol("truncated SCF env");
+    scf.env.emplace(std::move(k), std::move(v));
+  }
+  if (!r.done()) return Error::protocol("trailing SCF bytes");
+  return scf;
+}
+
+void ConfigurationService::register_scf(const sgx::Measurement& mrenclave,
+                                        StartupConfig scf) {
+  scfs_[Bytes(mrenclave.begin(), mrenclave.end())] = std::move(scf);
+}
+
+Result<ConfigurationService::Response> ConfigurationService::request_scf(
+    ByteView quote_wire, const crypto::X25519Key& client_public_key) {
+  // 1. The quote must be genuine (signed by a provisioned platform).
+  auto report = attestation_.verify_wire(quote_wire);
+  if (!report.ok()) return report.error();
+
+  // 2. The quote must bind the channel key: report_data == H(client_epk).
+  //    Without this, a man in the middle could splice its own channel
+  //    onto someone else's valid quote.
+  const auto expected = sgx::report_data_from_hash(
+      crypto::Sha256::hash(client_public_key));
+  if (!crypto::constant_time_equal(report->report_data, expected)) {
+    return Error::attestation("quote does not bind the channel key");
+  }
+
+  // 3. Only registered enclave identities receive an SCF.
+  auto it = scfs_.find(Bytes(report->mrenclave.begin(), report->mrenclave.end()));
+  if (it == scfs_.end()) {
+    return Error::permission_denied("no SCF registered for this MRENCLAVE");
+  }
+
+  // 4. Complete the channel and send the SCF through it.
+  crypto::ChannelHandshake handshake(crypto::ChannelHandshake::Role::kResponder,
+                                     entropy_);
+  Response response;
+  response.server_public_key = handshake.local_public_key();
+  auto channel = std::move(handshake).complete(client_public_key);
+  response.encrypted_scf = channel.seal(it->second.serialize());
+  return response;
+}
+
+Result<StartupConfig> fetch_scf(sgx::Enclave& enclave, ConfigurationService& service,
+                                crypto::EntropySource& entropy) {
+  // Enclave startup: handshake + quote binding the ephemeral key.
+  crypto::ChannelHandshake handshake(crypto::ChannelHandshake::Role::kInitiator,
+                                     entropy);
+  const crypto::X25519Key epk = handshake.local_public_key();
+
+  const auto report = enclave.create_report(
+      sgx::report_data_from_hash(crypto::Sha256::hash(epk)));
+  auto quote = enclave.platform().quote(report);
+  if (!quote.ok()) return quote.error();
+
+  auto response = service.request_scf(quote->serialize(), epk);
+  if (!response.ok()) return response.error();
+
+  auto channel = std::move(handshake).complete(response->server_public_key);
+  auto scf_bytes = channel.open(response->encrypted_scf);
+  if (!scf_bytes.ok()) return scf_bytes.error();
+  return StartupConfig::deserialize(*scf_bytes);
+}
+
+}  // namespace securecloud::scone

@@ -1,0 +1,77 @@
+// Startup Configuration File (SCF) and its attested delivery (§V-A).
+//
+// "Each secure container requires a startup configuration file (SCF). The
+//  SCF contains keys to encrypt standard I/O streams, the hash and
+//  encryption key of the FS protection file, application arguments, as
+//  well as environment variables. Only an enclave whose identity has been
+//  verified can access the SCF, which is received through a TLS-protected
+//  connection that is established during enclave startup."
+//
+// ConfigurationService implements exactly that flow:
+//   1. the enclave opens a channel handshake and binds its ephemeral key
+//      into an attestation quote (report_data = SHA-256(epk));
+//   2. the service verifies the quote with the attestation service,
+//      checks MRENCLAVE against the SCF registry, completes the
+//      handshake, and sends the SCF over the encrypted channel.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/secure_channel.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/enclave.hpp"
+
+namespace securecloud::scone {
+
+struct StartupConfig {
+  Bytes fs_protection_key;                 // decrypts the FSPF
+  crypto::Sha256Digest fs_protection_hash{};  // expected FSPF ciphertext hash
+  Bytes stdin_key;                         // 16-byte stream keys
+  Bytes stdout_key;
+  std::vector<std::string> args;
+  std::map<std::string, std::string> env;
+
+  Bytes serialize() const;
+  static Result<StartupConfig> deserialize(ByteView wire);
+};
+
+/// Trusted configuration service (runs in the image owner's domain, not
+/// in the cloud). Releases SCFs only to attested enclaves.
+class ConfigurationService {
+ public:
+  explicit ConfigurationService(const sgx::AttestationService& attestation,
+                                crypto::EntropySource& entropy)
+      : attestation_(attestation), entropy_(entropy) {}
+
+  /// Registers the SCF an enclave with this MRENCLAVE may receive.
+  void register_scf(const sgx::Measurement& mrenclave, StartupConfig scf);
+
+  /// Server side of the startup protocol. `quote_wire` must embed
+  /// SHA-256(client_epk) in report_data. On success returns the service's
+  /// ephemeral public key and the SCF encrypted on the established
+  /// channel.
+  struct Response {
+    crypto::X25519Key server_public_key;
+    Bytes encrypted_scf;
+  };
+  Result<Response> request_scf(ByteView quote_wire,
+                               const crypto::X25519Key& client_public_key);
+
+ private:
+  const sgx::AttestationService& attestation_;
+  crypto::EntropySource& entropy_;
+  std::map<Bytes, StartupConfig> scfs_;  // key: mrenclave bytes
+};
+
+/// Client (enclave) side: performs the full startup exchange against a
+/// service and returns the SCF. `enclave` signs the channel into its
+/// quote via the platform's quoting enclave.
+Result<StartupConfig> fetch_scf(sgx::Enclave& enclave,
+                                ConfigurationService& service,
+                                crypto::EntropySource& entropy);
+
+}  // namespace securecloud::scone

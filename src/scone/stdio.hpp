@@ -1,0 +1,91 @@
+// Protected standard I/O streams (§V-A: "keys to encrypt standard I/O
+// streams" live in the SCF).
+//
+// A ProtectedStream is a unidirectional encrypted pipe: the writer seals
+// records with a sequence-counter nonce, the reader opens them in order.
+// stdin/stdout of a secure container are two such streams whose keys only
+// the SCF holder and the attested enclave know — the container runtime
+// and `docker logs` only ever see ciphertext.
+#pragma once
+
+#include <deque>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/gcm.hpp"
+
+namespace securecloud::scone {
+
+/// Writer endpoint: turns plaintext records into wire records.
+class ProtectedStreamWriter {
+ public:
+  explicit ProtectedStreamWriter(ByteView key) : gcm_(key) {}
+
+  Bytes write(ByteView plaintext) {
+    const std::uint64_t seq = seq_++;
+    std::uint8_t aad[8];
+    store_be64(aad, seq);
+    crypto::GcmTag tag;
+    Bytes ct = gcm_.seal(crypto::nonce_from_counter(seq, kStreamDomain),
+                         ByteView(aad, 8), plaintext, tag);
+    Bytes wire;
+    wire.reserve(8 + ct.size() + tag.size());
+    wire.insert(wire.end(), aad, aad + 8);
+    wire.insert(wire.end(), ct.begin(), ct.end());
+    wire.insert(wire.end(), tag.begin(), tag.end());
+    return wire;
+  }
+
+ private:
+  static constexpr std::uint32_t kStreamDomain = 0x53494f00;  // "SIO"
+  crypto::AesGcm gcm_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Reader endpoint: verifies order and integrity.
+class ProtectedStreamReader {
+ public:
+  explicit ProtectedStreamReader(ByteView key) : gcm_(key) {}
+
+  Result<Bytes> read(ByteView wire) {
+    if (wire.size() < 8 + crypto::kGcmTagSize) {
+      return Error::protocol("stream record too short");
+    }
+    const std::uint64_t seq = load_be64(wire.subspan(0, 8));
+    if (seq != expected_seq_) {
+      return Error::protocol("stream record out of order (drop/replay)");
+    }
+    crypto::GcmTag tag;
+    std::memcpy(tag.data(), wire.data() + wire.size() - tag.size(), tag.size());
+    auto plain = gcm_.open(crypto::nonce_from_counter(seq, kStreamDomain),
+                           wire.subspan(0, 8),
+                           wire.subspan(8, wire.size() - 8 - tag.size()), tag);
+    if (!plain.ok()) return plain.error();
+    ++expected_seq_;
+    return std::move(plain).value();
+  }
+
+ private:
+  static constexpr std::uint32_t kStreamDomain = 0x53494f00;
+  crypto::AesGcm gcm_;
+  std::uint64_t expected_seq_ = 0;
+};
+
+/// An in-memory pipe carrying protected records between two endpoints
+/// (e.g. the SCONE client's terminal and a secure container's stdin).
+class ProtectedPipe {
+ public:
+  void push(Bytes wire_record) { records_.push_back(std::move(wire_record)); }
+  std::optional<Bytes> pop() {
+    if (records_.empty()) return std::nullopt;
+    Bytes r = std::move(records_.front());
+    records_.pop_front();
+    return r;
+  }
+  std::size_t pending() const { return records_.size(); }
+
+ private:
+  std::deque<Bytes> records_;
+};
+
+}  // namespace securecloud::scone

@@ -1,0 +1,155 @@
+#include "scone/syscall.hpp"
+
+namespace securecloud::scone {
+
+namespace {
+constexpr std::int32_t kOk = 0;
+constexpr std::int32_t kNoEnt = 2;    // ENOENT
+constexpr std::int32_t kInval = 22;   // EINVAL
+constexpr std::int32_t kNoSys = 38;   // ENOSYS
+}  // namespace
+
+SyscallResponse SyscallBackend::execute(const SyscallRequest& request) const {
+  SyscallResponse response;
+  response.id = request.id;
+  switch (request.op) {
+    case SyscallOp::kNop:
+      break;
+    case SyscallOp::kRead: {
+      auto r = fs_.read_at(request.path, request.offset, request.length);
+      if (!r.ok()) {
+        response.error = r.error().code == ErrorCode::kNotFound ? kNoEnt : kInval;
+        break;
+      }
+      response.data = std::move(r).value();
+      response.value = response.data.size();
+      break;
+    }
+    case SyscallOp::kWrite: {
+      auto s = fs_.write_at(request.path, request.offset, request.data);
+      if (!s.ok()) {
+        response.error = kInval;
+        break;
+      }
+      response.value = request.data.size();
+      break;
+    }
+    case SyscallOp::kRemove: {
+      auto s = fs_.remove(request.path);
+      if (!s.ok()) response.error = kNoEnt;
+      break;
+    }
+    case SyscallOp::kExists:
+      response.value = fs_.exists(request.path) ? 1 : 0;
+      break;
+    case SyscallOp::kFileSize: {
+      auto r = fs_.size_of(request.path);
+      if (!r.ok()) {
+        response.error = kNoEnt;
+        break;
+      }
+      response.value = *r;
+      break;
+    }
+    default:
+      response.error = kNoSys;
+  }
+  return response;
+}
+
+SyscallResponse SyscallInterface::shield(const SyscallRequest& request,
+                                         SyscallResponse response) {
+  // The OS controls `response`; never trust it blindly.
+  response.id = request.id;  // a confused/malicious kernel cannot re-route
+  if (response.error < 0) response.error = kInval;
+  if (request.op == SyscallOp::kRead && response.data.size() > request.length) {
+    // Never copy more into the enclave than the caller asked for.
+    response.data.resize(request.length);
+    response.value = response.data.size();
+  }
+  if (request.op != SyscallOp::kRead && !response.data.empty()) {
+    response.data.clear();  // no op besides read returns payload bytes
+  }
+  return response;
+}
+
+SyscallResponse SyncSyscalls::call(SyscallRequest request) {
+  ++calls_;
+  // OCALL: exit the enclave, run the kernel, re-enter.
+  clock_.advance_cycles(cost_.ocall_cycles);
+  SyscallResponse response = backend_.execute(request);
+  return shield(request, std::move(response));
+}
+
+AsyncSyscalls::AsyncSyscalls(SyscallBackend& backend, SimClock& clock,
+                             std::size_t ring_capacity)
+    : backend_(backend),
+      clock_(clock),
+      requests_(ring_capacity),
+      responses_(ring_capacity),
+      worker_([this] { worker_loop(); }) {}
+
+AsyncSyscalls::~AsyncSyscalls() {
+  stop_.store(true, std::memory_order_release);
+  worker_.join();
+}
+
+void AsyncSyscalls::worker_loop() {
+  // The untrusted syscall thread: drains the request ring, executes each
+  // call against the host, and pushes the response. Spins briefly, then
+  // yields to stay polite under low load.
+  int idle_spins = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto request = requests_.try_pop();
+    if (!request) {
+      if (++idle_spins > 64) {
+        std::this_thread::yield();
+        idle_spins = 0;
+      }
+      continue;
+    }
+    idle_spins = 0;
+    const SyscallResponse response = backend_.execute(*request);
+    // Copy-push so a full ring (transient) can simply be retried.
+    while (!responses_.try_push(response)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+SyscallResponse AsyncSyscalls::call(SyscallRequest request) {
+  ++calls_;
+  clock_.advance_cycles(kPerCallCycles);
+  request.id = next_id_++;
+  const std::uint64_t want = request.id;
+  const SyscallRequest shadow = request;  // for shield() after the wait
+
+  while (!requests_.try_push(shadow)) {
+    std::this_thread::yield();
+  }
+
+  for (;;) {
+    auto response = responses_.try_pop();
+    if (response && response->id == want) {
+      return shield(shadow, std::move(*response));
+    }
+    // With the blocking call() API and SPSC rings there are no other
+    // outstanding ids; spin until the worker finishes.
+    std::this_thread::yield();
+  }
+}
+
+std::optional<std::uint64_t> AsyncSyscalls::submit(SyscallRequest request) {
+  request.id = next_id_++;
+  const std::uint64_t id = request.id;
+  clock_.advance_cycles(kPerCallCycles);
+  if (!requests_.try_push(std::move(request))) return std::nullopt;
+  ++calls_;
+  return id;
+}
+
+std::optional<SyscallResponse> AsyncSyscalls::poll() {
+  return responses_.try_pop();
+}
+
+}  // namespace securecloud::scone

@@ -1,0 +1,78 @@
+#include "scone/untrusted_fs.hpp"
+
+namespace securecloud::scone {
+
+Status UntrustedFileSystem::write_file(const std::string& path, ByteView content) {
+  if (path.empty()) return Error::invalid_argument("empty path");
+  files_[path] = Bytes(content.begin(), content.end());
+  return {};
+}
+
+Result<Bytes> UntrustedFileSystem::read_file(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Error::not_found("no such file: " + path);
+  return it->second;
+}
+
+bool UntrustedFileSystem::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status UntrustedFileSystem::remove(const std::string& path) {
+  if (files_.erase(path) == 0) return Error::not_found("no such file: " + path);
+  return {};
+}
+
+Status UntrustedFileSystem::rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Error::not_found("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return {};
+}
+
+std::vector<std::string> UntrustedFileSystem::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, _] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+Status UntrustedFileSystem::write_at(const std::string& path, std::size_t offset,
+                                     ByteView data) {
+  Bytes& file = files_[path];
+  if (file.size() < offset + data.size()) file.resize(offset + data.size(), 0);
+  std::copy(data.begin(), data.end(), file.begin() + static_cast<std::ptrdiff_t>(offset));
+  return {};
+}
+
+Result<Bytes> UntrustedFileSystem::read_at(const std::string& path, std::size_t offset,
+                                           std::size_t length) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Error::not_found("no such file: " + path);
+  const Bytes& file = it->second;
+  if (offset > file.size()) return Error::invalid_argument("read past EOF");
+  const std::size_t take = std::min(length, file.size() - offset);
+  return Bytes(file.begin() + static_cast<std::ptrdiff_t>(offset),
+               file.begin() + static_cast<std::ptrdiff_t>(offset + take));
+}
+
+Result<std::size_t> UntrustedFileSystem::size_of(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Error::not_found("no such file: " + path);
+  return it->second.size();
+}
+
+Bytes* UntrustedFileSystem::raw(const std::string& path) {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::size_t UntrustedFileSystem::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [_, content] : files_) n += content.size();
+  return n;
+}
+
+}  // namespace securecloud::scone

@@ -1,0 +1,45 @@
+// In-memory "host" file system — the untrusted substrate under SCONE.
+//
+// Models the cloud host's file system: the enclave never trusts its
+// contents (they may be read, modified, or rolled back by the operator).
+// SCONE's shielded file system layers encryption + MACs on top of this.
+// In-memory rather than on-disk so tests and benchmarks are hermetic and
+// an "attacker" can be expressed as a direct mutation of stored bytes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace securecloud::scone {
+
+class UntrustedFileSystem {
+ public:
+  Status write_file(const std::string& path, ByteView content);
+  Result<Bytes> read_file(const std::string& path) const;
+  bool exists(const std::string& path) const;
+  Status remove(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  std::vector<std::string> list(const std::string& prefix = "") const;
+
+  /// Partial update (used by chunked writers). Extends the file with
+  /// zeros when the range lies past EOF.
+  Status write_at(const std::string& path, std::size_t offset, ByteView data);
+  Result<Bytes> read_at(const std::string& path, std::size_t offset,
+                        std::size_t length) const;
+  Result<std::size_t> size_of(const std::string& path) const;
+
+  /// Attacker's handle: direct mutable access to stored bytes.
+  Bytes* raw(const std::string& path);
+
+  std::size_t file_count() const { return files_.size(); }
+  std::size_t total_bytes() const;
+
+ private:
+  std::map<std::string, Bytes> files_;
+};
+
+}  // namespace securecloud::scone

@@ -1,0 +1,106 @@
+#include "sgx/attestation.hpp"
+
+namespace securecloud::sgx {
+
+Bytes Report::body_bytes() const {
+  Bytes b;
+  put_blob(b, mrenclave);
+  put_blob(b, mrsigner);
+  put_u64(b, isv_prod_id);
+  put_u64(b, isv_svn);
+  put_blob(b, report_data);
+  return b;
+}
+
+Bytes Quote::serialize() const {
+  Bytes b;
+  put_str(b, "SCQUOTE1");
+  put_blob(b, report.mrenclave);
+  put_blob(b, report.mrsigner);
+  put_u64(b, report.isv_prod_id);
+  put_u64(b, report.isv_svn);
+  put_blob(b, report.report_data);
+  put_str(b, platform_id);
+  put_blob(b, signature);
+  return b;
+}
+
+Result<Quote> Quote::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  std::string magic;
+  if (!r.get_str(magic) || magic != "SCQUOTE1") {
+    return Error::protocol("bad quote magic");
+  }
+  Quote q;
+  Bytes mrenclave, mrsigner, report_data, signature;
+  if (!r.get_blob(mrenclave) || !r.get_blob(mrsigner) ||
+      !r.get_u64(q.report.isv_prod_id) || !r.get_u64(q.report.isv_svn) ||
+      !r.get_blob(report_data) || !r.get_str(q.platform_id) ||
+      !r.get_blob(signature) || !r.done()) {
+    return Error::protocol("truncated or trailing quote bytes");
+  }
+  if (mrenclave.size() != q.report.mrenclave.size() ||
+      mrsigner.size() != q.report.mrsigner.size() ||
+      report_data.size() != q.report.report_data.size() ||
+      signature.size() != q.signature.size()) {
+    return Error::protocol("quote field size mismatch");
+  }
+  std::copy(mrenclave.begin(), mrenclave.end(), q.report.mrenclave.begin());
+  std::copy(mrsigner.begin(), mrsigner.end(), q.report.mrsigner.begin());
+  std::copy(report_data.begin(), report_data.end(), q.report.report_data.begin());
+  std::copy(signature.begin(), signature.end(), q.signature.begin());
+  return q;
+}
+
+QuotingEnclave::QuotingEnclave(std::string platform_id, ByteView report_key,
+                               const crypto::Ed25519KeyPair& attestation_key)
+    : platform_id_(std::move(platform_id)),
+      report_key_(report_key.begin(), report_key.end()),
+      attestation_key_(attestation_key) {}
+
+Result<Quote> QuotingEnclave::quote(const Report& report) const {
+  const auto expected_mac = crypto::HmacSha256::mac(report_key_, report.body_bytes());
+  if (!crypto::constant_time_equal(expected_mac, report.mac)) {
+    return Error::attestation("report MAC invalid: not produced on this platform");
+  }
+  Quote q;
+  q.report = report;
+  q.report.mac = {};  // the MAC is platform-local; not part of the quote
+  q.platform_id = platform_id_;
+  q.signature = crypto::ed25519_sign(attestation_key_, q.report.body_bytes());
+  return q;
+}
+
+void AttestationService::register_platform(const std::string& platform_id,
+                                           const crypto::Ed25519PublicKey& key) {
+  platforms_[platform_id] = key;
+}
+
+void AttestationService::revoke_platform(const std::string& platform_id) {
+  platforms_.erase(platform_id);
+}
+
+Result<Report> AttestationService::verify(const Quote& quote) const {
+  auto it = platforms_.find(quote.platform_id);
+  if (it == platforms_.end()) {
+    return Error::attestation("unknown or revoked platform: " + quote.platform_id);
+  }
+  if (!crypto::ed25519_verify(it->second, quote.report.body_bytes(), quote.signature)) {
+    return Error::attestation("quote signature invalid");
+  }
+  return quote.report;
+}
+
+Result<Report> AttestationService::verify_wire(ByteView quote_wire) const {
+  auto q = Quote::deserialize(quote_wire);
+  if (!q.ok()) return q.error();
+  return verify(*q);
+}
+
+ReportData report_data_from_hash(const crypto::Sha256Digest& digest) {
+  ReportData rd{};
+  std::copy(digest.begin(), digest.end(), rd.begin());
+  return rd;
+}
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,101 @@
+// Attestation: reports, quotes, and an IAS-like verification service.
+//
+// Flow (mirrors Intel's EPID-based remote attestation, with Ed25519
+// standing in for EPID group signatures):
+//
+//   1. An application enclave produces a *Report* for local verification:
+//      (MRENCLAVE, MRSIGNER, report_data) MAC'd with a platform report
+//      key only enclaves on the same platform can check.
+//   2. The platform's *Quoting Enclave* verifies the report MAC and signs
+//      the body with the platform attestation key, producing a *Quote*
+//      that can be verified off-platform.
+//   3. The *AttestationService* (playing Intel's IAS) knows which
+//      attestation public keys belong to genuine platforms and verifies
+//      quotes for relying parties, returning the quote body.
+//
+// Relying parties then check MRENCLAVE/MRSIGNER against their policy and
+// use report_data (e.g. a secure-channel transcript hash) to bind the
+// attestation to a live session.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/hmac.hpp"
+#include "sgx/measurement.hpp"
+
+namespace securecloud::sgx {
+
+inline constexpr std::size_t kReportDataSize = 64;
+using ReportData = std::array<std::uint8_t, kReportDataSize>;
+
+/// Locally verifiable attestation evidence (EREPORT output).
+struct Report {
+  Measurement mrenclave{};
+  Measurement mrsigner{};
+  std::uint64_t isv_prod_id = 0;
+  std::uint64_t isv_svn = 0;  // security version number
+  ReportData report_data{};
+  crypto::Sha256Digest mac{};  // HMAC under the platform report key
+
+  Bytes body_bytes() const;  // serialization without the MAC
+};
+
+/// Remotely verifiable attestation evidence.
+struct Quote {
+  Report report;             // MAC field unused once quoted
+  std::string platform_id;   // which platform's attestation key signed
+  crypto::Ed25519Signature signature{};
+
+  Bytes serialize() const;
+  static Result<Quote> deserialize(ByteView wire);
+};
+
+/// The platform-resident quoting enclave: turns Reports into Quotes.
+class QuotingEnclave {
+ public:
+  QuotingEnclave(std::string platform_id, ByteView report_key,
+                 const crypto::Ed25519KeyPair& attestation_key);
+
+  /// Verifies the report's platform MAC, then signs. Reports from other
+  /// platforms (wrong MAC) are rejected.
+  Result<Quote> quote(const Report& report) const;
+
+  const crypto::Ed25519PublicKey& attestation_public_key() const {
+    return attestation_key_.public_key;
+  }
+  const std::string& platform_id() const { return platform_id_; }
+
+ private:
+  std::string platform_id_;
+  Bytes report_key_;
+  crypto::Ed25519KeyPair attestation_key_;
+};
+
+/// IAS-like quote verification service.
+class AttestationService {
+ public:
+  /// Registers a genuine platform's attestation public key (in EPID terms:
+  /// the group public key provisioned by Intel).
+  void register_platform(const std::string& platform_id,
+                         const crypto::Ed25519PublicKey& key);
+  void revoke_platform(const std::string& platform_id);
+
+  /// Verifies quote authenticity. Returns the verified Report body.
+  Result<Report> verify(const Quote& quote) const;
+  Result<Report> verify_wire(ByteView quote_wire) const;
+
+ private:
+  std::unordered_map<std::string, crypto::Ed25519PublicKey> platforms_;
+};
+
+/// Convenience: report_data carrying a SHA-256 (e.g. channel transcript
+/// hash) in the first 32 bytes, zero-padded.
+ReportData report_data_from_hash(const crypto::Sha256Digest& digest);
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,68 @@
+// Cycle-cost model for the simulated SGX platform.
+//
+// The paper's quantitative observations (§V-B, Fig. 3) are memory-system
+// effects of SGX1 hardware:
+//   1. crossing the enclave boundary (EENTER/EEXIT, AEX) costs thousands
+//      of cycles — motivating SCONE's asynchronous syscalls (§IV);
+//   2. an LLC miss inside the enclave is served through the Memory
+//      Encryption Engine (MEE), which decrypts the line and walks an
+//      integrity tree — several times the cost of a plain miss;
+//   3. once an enclave's working set exceeds the Enclave Page Cache, the
+//      (untrusted) OS pages 4 KiB pages in and out with EWB/ELDU, paying
+//      page-granular encryption + MAC + version-tree updates plus a trap
+//      into the kernel — orders of magnitude above a cache miss, which is
+//      why Fig. 3 degrades to ~18x at 200 MB.
+//
+// Magnitudes below are taken from the SGX literature (SCONE, OSDI'16;
+// Costan & Devadas, "Intel SGX Explained"; Orenbach et al., Eleos,
+// EuroSys'17) for the Skylake generation the paper used. They are
+// configurable so ablations can sweep them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace securecloud::sgx {
+
+struct CostModel {
+  // --- enclave transitions -------------------------------------------------
+  /// Synchronous ECALL round trip (EENTER + EEXIT + TLB flush effects).
+  std::uint64_t ecall_cycles = 8'000;
+  /// Synchronous OCALL round trip issued from inside an enclave.
+  std::uint64_t ocall_cycles = 8'000;
+  /// Asynchronous exit + resume (interrupt while in enclave).
+  std::uint64_t aex_cycles = 7'000;
+
+  // --- cache hierarchy ------------------------------------------------------
+  /// Hit anywhere in L1/L2 (averaged; we model a single cache level).
+  std::uint64_t cache_hit_cycles = 4;
+  /// LLC miss served from plain DRAM.
+  std::uint64_t llc_miss_plain_cycles = 200;
+  /// LLC miss served through the MEE (decrypt + integrity-tree walk).
+  std::uint64_t llc_miss_mee_cycles = 1'000;
+
+  // --- EPC paging -----------------------------------------------------------
+  /// Full cost of an EPC page fault: #PF trap, EWB of a victim page
+  /// (AES-GCM over 4 KiB + version-array update) and ELDU of the target.
+  std::uint64_t epc_fault_cycles = 40'000;
+  /// Extra cost per page on the eviction path when the victim is dirty.
+  std::uint64_t epc_writeback_cycles = 12'000;
+
+  // --- geometry -------------------------------------------------------------
+  std::size_t page_size = 4096;
+  std::size_t cache_line_size = 64;
+  /// Modeled LLC capacity (per-socket, as seen by one application).
+  std::size_t llc_size_bytes = 8ull * 1024 * 1024;
+  /// Raw EPC size. SGX1 shipped 128 MiB.
+  std::size_t epc_size_bytes = 128ull * 1024 * 1024;
+  /// EPC consumed by SGX metadata (EPCM entries, SECS/TCS/SSA/version
+  /// arrays). Fig. 3's caption notes degradation begins *before* the
+  /// 128 MB line "due to the use of protected memory for SGX internal
+  /// data structures"; ~27% overhead leaves ~93.5 MiB usable, matching
+  /// the Linux SGX driver's effective capacity on those parts.
+  std::size_t epc_metadata_bytes = 34ull * 1024 * 1024 + 512ull * 1024;
+
+  std::size_t usable_epc_bytes() const { return epc_size_bytes - epc_metadata_bytes; }
+};
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,74 @@
+#include "sgx/counters.hpp"
+
+#include "sgx/enclave.hpp"
+
+namespace securecloud::sgx {
+
+namespace {
+Bytes owner_key(const Measurement& owner) {
+  return Bytes(owner.begin(), owner.end());
+}
+}  // namespace
+
+std::uint32_t MonotonicCounterService::create(const Measurement& owner) {
+  const Bytes key = owner_key(owner);
+  const std::uint32_t id = next_id_[key]++;
+  counters_[{key, id}] = 0;
+  return id;
+}
+
+Result<std::uint64_t> MonotonicCounterService::read(const Measurement& owner,
+                                                    std::uint32_t counter_id) const {
+  auto it = counters_.find({owner_key(owner), counter_id});
+  if (it == counters_.end()) return Error::not_found("no such counter");
+  return it->second;
+}
+
+Result<std::uint64_t> MonotonicCounterService::increment(const Measurement& owner,
+                                                         std::uint32_t counter_id) {
+  auto it = counters_.find({owner_key(owner), counter_id});
+  if (it == counters_.end()) return Error::not_found("no such counter");
+  return ++it->second;
+}
+
+Status MonotonicCounterService::destroy(const Measurement& owner,
+                                        std::uint32_t counter_id) {
+  if (counters_.erase({owner_key(owner), counter_id}) == 0) {
+    return Error::not_found("no such counter");
+  }
+  return {};
+}
+
+VersionedSealedState::VersionedSealedState(const Enclave& enclave,
+                                           MonotonicCounterService& counters)
+    : enclave_(enclave),
+      counters_(counters),
+      counter_id_(counters.create(enclave.mrenclave())) {}
+
+Bytes VersionedSealedState::persist(ByteView state) {
+  const auto version = counters_.increment(enclave_.mrenclave(), counter_id_);
+  Bytes payload;
+  put_u64(payload, version.value_or(0));
+  put_blob(payload, state);
+  return enclave_.seal(payload, SealPolicy::kMrEnclave);
+}
+
+Result<Bytes> VersionedSealedState::restore(ByteView blob) const {
+  auto payload = enclave_.unseal(blob);
+  if (!payload.ok()) return payload.error();
+
+  ByteReader reader(*payload);
+  std::uint64_t recorded = 0;
+  Bytes state;
+  if (!reader.get_u64(recorded) || !reader.get_blob(state) || !reader.done()) {
+    return Error::protocol("malformed versioned state");
+  }
+  auto current = counters_.read(enclave_.mrenclave(), counter_id_);
+  if (!current.ok()) return current.error();
+  if (recorded != *current) {
+    return Error::protocol("stale sealed state (rollback attack detected)");
+  }
+  return state;
+}
+
+}  // namespace securecloud::sgx

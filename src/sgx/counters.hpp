@@ -1,0 +1,66 @@
+// Monotonic counter service (rollback protection across restarts).
+//
+// Sealed state alone cannot prevent the host from restarting an enclave
+// with an older (validly sealed) snapshot. SGX platforms expose
+// monotonic counters for this: state is sealed together with the counter
+// value, the counter is incremented on every persist, and on restart the
+// enclave rejects snapshots whose recorded value does not match the
+// live counter. SCONE relies on the same mechanism for its FSPF across
+// container restarts.
+//
+// Counters are platform-resident and namespaced by enclave identity
+// (MRENCLAVE) so one enclave cannot consume or advance another's.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "sgx/measurement.hpp"
+
+namespace securecloud::sgx {
+
+class MonotonicCounterService {
+ public:
+  /// Creates a counter for `owner`; returns its id (per-owner sequence).
+  std::uint32_t create(const Measurement& owner);
+
+  /// Reads the current value. Unknown counters are kNotFound.
+  Result<std::uint64_t> read(const Measurement& owner, std::uint32_t counter_id) const;
+
+  /// Increments and returns the new value. Only the owner identity may
+  /// advance its counters — enforced by keying on the measurement.
+  Result<std::uint64_t> increment(const Measurement& owner, std::uint32_t counter_id);
+
+  Status destroy(const Measurement& owner, std::uint32_t counter_id);
+
+ private:
+  using Key = std::pair<Bytes, std::uint32_t>;  // (mrenclave, id)
+  std::map<Key, std::uint64_t> counters_;
+  std::map<Bytes, std::uint32_t> next_id_;
+};
+
+/// Rollback-protected sealed state: couples Enclave::seal with a
+/// monotonic counter. persist() seals `state` together with the counter
+/// value it increments to; restore() unseals and rejects snapshots whose
+/// recorded value is not the current counter value (stale snapshot =>
+/// rollback attempt).
+class VersionedSealedState {
+ public:
+  VersionedSealedState(const class Enclave& enclave, MonotonicCounterService& counters);
+
+  /// Seals `state`, advancing the counter. Returns the blob to store on
+  /// untrusted media.
+  Bytes persist(ByteView state);
+
+  /// Restores the latest persisted state; detects stale blobs.
+  Result<Bytes> restore(ByteView blob) const;
+
+ private:
+  const Enclave& enclave_;
+  MonotonicCounterService& counters_;
+  std::uint32_t counter_id_;
+};
+
+}  // namespace securecloud::sgx

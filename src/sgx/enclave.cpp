@@ -1,0 +1,195 @@
+#include "sgx/enclave.hpp"
+
+#include "crypto/gcm.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/hmac.hpp"
+#include "sgx/platform.hpp"
+
+namespace securecloud::sgx {
+
+namespace {
+
+Measurement measure_image(const EnclaveImage& image) {
+  // Page-granular measurement, 4 KiB pages, mirroring the loader.
+  constexpr std::size_t kPage = 4096;
+  const std::uint64_t total =
+      ((image.code.size() + kPage - 1) / kPage + (image.initial_data.size() + kPage - 1) / kPage) * kPage +
+      image.heap_size;
+  MeasurementBuilder builder(total);
+
+  std::uint64_t offset = 0;
+  auto add_section = [&](ByteView section, PageType type) {
+    for (std::size_t pos = 0; pos < section.size(); pos += kPage) {
+      Bytes page(kPage, 0);
+      const std::size_t take = std::min(kPage, section.size() - pos);
+      std::copy(section.begin() + static_cast<std::ptrdiff_t>(pos),
+                section.begin() + static_cast<std::ptrdiff_t>(pos + take), page.begin());
+      builder.add_page(offset, type, page);
+      offset += kPage;
+    }
+  };
+  add_section(image.code, PageType::kCode);
+  add_section(image.initial_data, PageType::kData);
+  // Heap pages are added zero-initialized but (as with SGX1) part of the
+  // measured layout: only their count matters, so fold in the size.
+  return std::move(builder).finalize();
+}
+
+}  // namespace
+
+Measurement EnclaveImage::expected_measurement() const {
+  return measure_image(*this);
+}
+
+void sign_image(EnclaveImage& image, const crypto::Ed25519KeyPair& key) {
+  image.signer = key.public_key;
+  image.sigstruct = crypto::ed25519_sign(key, image.expected_measurement());
+}
+
+Enclave::Enclave(Platform& platform, std::uint64_t id, const EnclaveImage& image,
+                 Measurement mrenclave, std::uint64_t heap_base)
+    : platform_(platform),
+      id_(id),
+      name_(image.name),
+      mrenclave_(mrenclave),
+      mrsigner_(mrsigner_of(image.signer)),
+      isv_prod_id_(image.isv_prod_id),
+      isv_svn_(image.isv_svn),
+      heap_base_(heap_base),
+      heap_size_(image.heap_size) {}
+
+void Enclave::register_ecall(std::uint32_t ecall_id, EcallHandler handler) {
+  ecalls_[ecall_id] = std::move(handler);
+}
+
+Result<Bytes> Enclave::ecall(std::uint32_t ecall_id, ByteView arg) {
+  auto it = ecalls_.find(ecall_id);
+  if (it == ecalls_.end()) {
+    return Error::invalid_argument("unknown ECALL id " + std::to_string(ecall_id));
+  }
+  platform_.clock().advance_cycles(platform_.cost().ecall_cycles);
+  ++transitions_;
+  return it->second(arg);
+}
+
+void Enclave::ocall(const std::function<void()>& fn) {
+  platform_.clock().advance_cycles(platform_.cost().ocall_cycles);
+  ++transitions_;
+  fn();
+}
+
+Bytes Enclave::derive_seal_key(SealPolicy policy) const {
+  // KEYREQUEST semantics: the key depends on the platform's fuse key and
+  // the enclave identity selected by the policy; MRSIGNER keys also bind
+  // prod id + svn so a newer version can read (and re-seal) old data.
+  Bytes info;
+  put_str(info, "sgx-seal-key");
+  put_u8(info, static_cast<std::uint8_t>(policy));
+  if (policy == SealPolicy::kMrEnclave) {
+    put_blob(info, mrenclave_);
+  } else {
+    put_blob(info, mrsigner_);
+    put_u64(info, isv_prod_id_);
+  }
+  return crypto::hkdf(/*salt=*/{}, platform_.sealing_root_key(), info, 16);
+}
+
+Bytes Enclave::seal(ByteView data, SealPolicy policy) const {
+  const Bytes key = derive_seal_key(policy);
+  crypto::AesGcm gcm(key);
+
+  crypto::GcmNonce nonce;
+  platform_.entropy().fill(MutableByteView(nonce.data(), nonce.size()));
+
+  Bytes aad;
+  put_u8(aad, static_cast<std::uint8_t>(policy));
+
+  Bytes blob;
+  put_u8(blob, static_cast<std::uint8_t>(policy));
+  crypto::GcmTag tag;
+  Bytes ct = gcm.seal(nonce, aad, data, tag);
+  append(blob, nonce);
+  put_blob(blob, ct);
+  append(blob, tag);
+  return blob;
+}
+
+Result<Bytes> Enclave::unseal(ByteView blob) const {
+  ByteReader r(blob);
+  std::uint8_t policy_byte = 0;
+  if (!r.get_u8(policy_byte) || policy_byte > 1) {
+    return Error::protocol("malformed sealed blob header");
+  }
+  if (r.remaining() < crypto::kGcmNonceSize + 4 + crypto::kGcmTagSize) {
+    return Error::protocol("sealed blob truncated");
+  }
+  crypto::GcmNonce nonce;
+  for (auto& b : nonce) {
+    if (!r.get_u8(b)) return Error::protocol("sealed blob truncated");
+  }
+  Bytes ct;
+  if (!r.get_blob(ct)) return Error::protocol("sealed blob truncated");
+  crypto::GcmTag tag;
+  for (auto& b : tag) {
+    if (!r.get_u8(b)) return Error::protocol("sealed blob truncated");
+  }
+
+  const auto policy = static_cast<SealPolicy>(policy_byte);
+  const Bytes key = derive_seal_key(policy);
+  crypto::AesGcm gcm(key);
+  Bytes aad;
+  put_u8(aad, policy_byte);
+  auto plain = gcm.open(nonce, aad, ct, tag);
+  if (!plain.ok()) {
+    return Error::integrity(
+        "unseal failed: wrong enclave identity, wrong platform, or tampering");
+  }
+  return std::move(plain).value();
+}
+
+Report Enclave::create_report(const ReportData& report_data) const {
+  Report report;
+  report.mrenclave = mrenclave_;
+  report.mrsigner = mrsigner_;
+  report.isv_prod_id = isv_prod_id_;
+  report.isv_svn = isv_svn_;
+  report.report_data = report_data;
+  report.mac = crypto::HmacSha256::mac(platform_.report_key(), report.body_bytes());
+  return report;
+}
+
+namespace {
+Bytes local_report_key(ByteView platform_report_key, const Measurement& target) {
+  Bytes info;
+  put_str(info, "sgx-local-report-key");
+  put_blob(info, target);
+  return crypto::hkdf(/*salt=*/{}, platform_report_key, info, 32);
+}
+}  // namespace
+
+Report Enclave::create_report_for(const Measurement& target_mrenclave,
+                                  const ReportData& report_data) const {
+  Report report;
+  report.mrenclave = mrenclave_;
+  report.mrsigner = mrsigner_;
+  report.isv_prod_id = isv_prod_id_;
+  report.isv_svn = isv_svn_;
+  report.report_data = report_data;
+  const Bytes key = local_report_key(platform_.report_key(), target_mrenclave);
+  report.mac = crypto::HmacSha256::mac(key, report.body_bytes());
+  return report;
+}
+
+Result<Report> Enclave::verify_local_report(const Report& report) const {
+  const Bytes key = local_report_key(platform_.report_key(), mrenclave_);
+  const auto expected = crypto::HmacSha256::mac(key, report.body_bytes());
+  if (!crypto::constant_time_equal(expected, report.mac)) {
+    return Error::attestation(
+        "local report MAC invalid (wrong target, platform, or tampering)");
+  }
+  return report;
+}
+
+EnclaveMemory& Enclave::memory() { return platform_.memory(); }
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,136 @@
+// Enclave: a measured, isolated execution compartment.
+//
+// The simulator preserves SGX's programming model:
+//  * an enclave is created from a signed image; the platform measures
+//    every page and refuses images whose SIGSTRUCT does not verify;
+//  * calls cross the boundary through registered ECALLs (and OCALLs back
+//    out), each charged the documented transition cost;
+//  * data sealed by an enclave can only be unsealed by an enclave with
+//    the same identity (MRENCLAVE policy) or the same signer (MRSIGNER
+//    policy) on the same platform;
+//  * reports produced via EREPORT are MAC'd with the platform report key
+//    and can be turned into remotely verifiable quotes by the platform's
+//    quoting enclave.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/ed25519.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/measurement.hpp"
+#include "sgx/memory_model.hpp"
+
+namespace securecloud::sgx {
+
+class Platform;
+
+/// A loadable enclave image (the statically linked binary SCONE builds).
+struct EnclaveImage {
+  std::string name;
+  Bytes code;                 // measured as executable pages
+  Bytes initial_data;         // measured as writable data pages
+  std::size_t heap_size = 1ull << 20;
+  std::uint64_t isv_prod_id = 0;
+  std::uint64_t isv_svn = 1;
+  crypto::Ed25519PublicKey signer{};        // SIGSTRUCT public key
+  crypto::Ed25519Signature sigstruct{};     // signature over the measurement
+
+  /// The measurement this image will have when loaded.
+  Measurement expected_measurement() const;
+};
+
+/// Computes the image's measurement and signs it (done by the image
+/// creator in a trusted environment; fills signer/sigstruct).
+void sign_image(EnclaveImage& image, const crypto::Ed25519KeyPair& key);
+
+enum class SealPolicy : std::uint8_t {
+  kMrEnclave = 0,  // only the exact same enclave can unseal
+  kMrSigner = 1,   // any enclave from the same signer can unseal
+};
+
+class Enclave {
+ public:
+  using EcallHandler = std::function<Result<Bytes>(ByteView)>;
+
+  // Created by Platform::create_enclave only.
+  Enclave(Platform& platform, std::uint64_t id, const EnclaveImage& image,
+          Measurement mrenclave, std::uint64_t heap_base);
+
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  // --- identity ------------------------------------------------------------
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Measurement& mrenclave() const { return mrenclave_; }
+  const Measurement& mrsigner() const { return mrsigner_; }
+
+  // --- boundary crossings ----------------------------------------------------
+  /// Registers application logic reachable from the untrusted side.
+  void register_ecall(std::uint32_t ecall_id, EcallHandler handler);
+
+  /// Crosses into the enclave (charging transition cost) and runs the
+  /// handler. Unknown ECALL ids are rejected — the boundary is an
+  /// explicit, audited interface.
+  Result<Bytes> ecall(std::uint32_t ecall_id, ByteView arg);
+
+  /// Calls untrusted code from inside the enclave (charging the OCALL
+  /// round trip). Used by the SCONE runtime's synchronous syscall path.
+  void ocall(const std::function<void()>& fn);
+
+  /// Number of boundary crossings so far (for benchmarks).
+  std::uint64_t transition_count() const { return transitions_; }
+
+  // --- sealing ----------------------------------------------------------------
+  /// Encrypts `data` so only an enclave matching `policy` on this
+  /// platform can recover it.
+  Bytes seal(ByteView data, SealPolicy policy) const;
+  Result<Bytes> unseal(ByteView blob) const;
+
+  // --- attestation -------------------------------------------------------------
+  /// EREPORT: report about this enclave with caller-chosen report_data,
+  /// MAC'd with the platform report key (verifiable by the quoting
+  /// enclave for remote attestation).
+  Report create_report(const ReportData& report_data) const;
+
+  /// Local attestation: EREPORT targeted at `target_mrenclave`. The MAC
+  /// key is derived from the platform report key and the *target's*
+  /// identity, so only that enclave (on this platform) can verify it.
+  Report create_report_for(const Measurement& target_mrenclave,
+                           const ReportData& report_data) const;
+
+  /// Target-side verification of a local report addressed to this
+  /// enclave. Rejects reports targeted elsewhere or from other platforms.
+  Result<Report> verify_local_report(const Report& report) const;
+
+  // --- memory -------------------------------------------------------------------
+  /// The enclave's heap range in the platform's simulated EPC space.
+  std::uint64_t heap_base() const { return heap_base_; }
+  std::size_t heap_size() const { return heap_size_; }
+  /// Memory model all enclave data accesses should be charged against.
+  EnclaveMemory& memory();
+
+  Platform& platform() { return platform_; }
+
+ private:
+  Bytes derive_seal_key(SealPolicy policy) const;
+
+  Platform& platform_;
+  std::uint64_t id_;
+  std::string name_;
+  Measurement mrenclave_;
+  Measurement mrsigner_;
+  std::uint64_t isv_prod_id_;
+  std::uint64_t isv_svn_;
+  std::uint64_t heap_base_;
+  std::size_t heap_size_;
+  std::unordered_map<std::uint32_t, EcallHandler> ecalls_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace securecloud::sgx

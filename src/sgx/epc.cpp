@@ -1,0 +1,122 @@
+#include "sgx/epc.hpp"
+
+namespace securecloud::sgx {
+
+EpcManager::EpcManager(const CostModel& cost, SimClock& clock)
+    : cost_(cost), clock_(clock), capacity_pages_(cost.usable_epc_bytes() / cost.page_size) {}
+
+bool EpcManager::touch(std::uint64_t vaddr, bool write) {
+  const std::uint64_t page = vaddr / cost_.page_size;
+  ++stats_.accesses;
+  last_evicted_.clear();
+
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    // Resident: refresh LRU position.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    if (write) it->second.dirty = true;
+    return false;
+  }
+
+  // Page fault: make room, then load.
+  ++stats_.faults;
+  clock_.advance_cycles(cost_.epc_fault_cycles);
+
+  while (map_.size() >= capacity_pages_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto vit = map_.find(victim);
+    if (vit->second.dirty) {
+      ++stats_.dirty_writebacks;
+      clock_.advance_cycles(cost_.epc_writeback_cycles);
+    }
+    map_.erase(vit);
+    ++stats_.evictions;
+    last_evicted_.push_back(victim);
+  }
+
+  lru_.push_front(page);
+  map_.emplace(page, PageInfo{lru_.begin(), write});
+  return true;
+}
+
+void EpcManager::remove_range(std::uint64_t base, std::uint64_t len) {
+  const std::uint64_t first = base / cost_.page_size;
+  const std::uint64_t last = (base + len - 1) / cost_.page_size;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+      lru_.erase(it->second.lru_it);
+      map_.erase(it);
+    }
+  }
+}
+
+SecurePageStore::SecurePageStore(ByteView paging_key) : gcm_(paging_key) {}
+
+std::uint64_t SecurePageStore::evict(std::uint64_t page_number, ByteView page) {
+  const std::uint64_t version = next_version_++;
+
+  // AAD binds page identity and version; the nonce is derived from the
+  // globally unique version, so (key, nonce) pairs never repeat.
+  Bytes aad;
+  put_u64(aad, page_number);
+  put_u64(aad, version);
+
+  StoredPage& slot = store_[page_number];
+  if (!slot.ciphertext.empty()) {
+    slot.prev_ciphertext = std::move(slot.ciphertext);
+    slot.prev_tag = slot.tag;
+    slot.prev_version = slot.version;
+    slot.has_prev = true;
+  }
+  slot.ciphertext = gcm_.seal(crypto::nonce_from_counter(version), aad, page, slot.tag);
+  slot.version = version;
+  version_array_[page_number] = version;
+  return version;
+}
+
+Result<Bytes> SecurePageStore::load(std::uint64_t page_number) {
+  auto vit = version_array_.find(page_number);
+  auto sit = store_.find(page_number);
+  if (vit == version_array_.end() || sit == store_.end()) {
+    return Error::not_found("page was never evicted");
+  }
+  const StoredPage& slot = sit->second;
+
+  // Freshness: the untrusted copy must carry exactly the version the
+  // trusted version array expects.
+  if (slot.version != vit->second) {
+    return Error::protocol("stale page version (rollback attack detected)");
+  }
+
+  Bytes aad;
+  put_u64(aad, page_number);
+  put_u64(aad, slot.version);
+  auto plain = gcm_.open(crypto::nonce_from_counter(slot.version), aad,
+                         slot.ciphertext, slot.tag);
+  if (!plain.ok()) {
+    return Error::integrity("evicted page failed authentication");
+  }
+  return std::move(plain).value();
+}
+
+bool SecurePageStore::tamper_with(std::uint64_t page_number, std::size_t byte_offset) {
+  auto it = store_.find(page_number);
+  if (it == store_.end() || byte_offset >= it->second.ciphertext.size()) return false;
+  it->second.ciphertext[byte_offset] ^= 0x01;
+  return true;
+}
+
+bool SecurePageStore::rollback_to_previous(std::uint64_t page_number) {
+  auto it = store_.find(page_number);
+  if (it == store_.end() || !it->second.has_prev) return false;
+  StoredPage& slot = it->second;
+  slot.ciphertext = slot.prev_ciphertext;
+  slot.tag = slot.prev_tag;
+  slot.version = slot.prev_version;
+  slot.has_prev = false;
+  return true;
+}
+
+}  // namespace securecloud::sgx

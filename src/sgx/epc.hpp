@@ -1,0 +1,124 @@
+// Enclave Page Cache (EPC) residency manager and secure paging store.
+//
+// Two cooperating pieces:
+//
+//  * EpcManager — fast residency/cost simulation. Tracks which 4 KiB
+//    enclave pages are resident in the (size-limited) EPC, evicts LRU on
+//    pressure, and counts faults/evictions. This is what the Fig. 3
+//    benchmark exercises millions of times.
+//
+//  * SecurePageStore — a real implementation of EWB/ELDU semantics:
+//    evicted page *contents* are AES-GCM encrypted with a per-eviction
+//    monotonic version (freshness), stored in untrusted memory, and
+//    verified on reload. Tampering and rollback of evicted pages are
+//    detected, as SGX guarantees. Used by the sealing/paging tests and by
+//    enclaves running in ShieldedHeap "full" mode.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/sim_clock.hpp"
+#include "sgx/cost_model.hpp"
+#include "crypto/gcm.hpp"
+
+namespace securecloud::sgx {
+
+/// Statistics accumulated by an EpcManager.
+struct EpcStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_writebacks = 0;
+};
+
+/// LRU-managed EPC residency simulation. Pages are identified by page
+/// number (vaddr / page_size); the manager is shared by all enclaves on a
+/// platform, as real EPC is.
+class EpcManager {
+ public:
+  EpcManager(const CostModel& cost, SimClock& clock);
+
+  /// Touches the page containing `vaddr`. Charges fault costs to the
+  /// clock when the page is not resident (including the eviction of a
+  /// victim when the EPC is full). `write` marks the page dirty, making
+  /// its later eviction more expensive (EWB writeback).
+  /// Returns true when the access was a fault.
+  bool touch(std::uint64_t vaddr, bool write = false);
+
+  /// Removes all pages in [base, base+len) (enclave teardown, EREMOVE).
+  void remove_range(std::uint64_t base, std::uint64_t len);
+
+  /// Number of pages the EPC can hold (after metadata overhead).
+  std::size_t capacity_pages() const { return capacity_pages_; }
+  std::size_t resident_pages() const { return map_.size(); }
+  const EpcStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Victim page numbers evicted by the most recent touch() — consumers
+  /// (cache model, page store) react to these.
+  const std::vector<std::uint64_t>& last_evicted() const { return last_evicted_; }
+
+ private:
+  const CostModel& cost_;
+  SimClock& clock_;
+  std::size_t capacity_pages_;
+
+  struct PageInfo {
+    std::list<std::uint64_t>::iterator lru_it;
+    bool dirty = false;
+  };
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, PageInfo> map_;
+  EpcStats stats_;
+  std::vector<std::uint64_t> last_evicted_;
+};
+
+/// Real encrypt-on-evict page store (EWB/ELDU semantics).
+///
+/// The "EPC" side holds plaintext pages; evict() moves a page to the
+/// untrusted side under AES-GCM with a fresh version counter, and load()
+/// brings it back, failing with kIntegrityViolation on any tampering and
+/// kProtocolError on rollback (stale version replayed).
+class SecurePageStore {
+ public:
+  /// `paging_key` plays the role of the CPU's paging key (derived from
+  /// the platform's fuse key at boot; never leaves the package).
+  explicit SecurePageStore(ByteView paging_key);
+
+  /// Encrypts `page` (page-sized plaintext) out to untrusted storage
+  /// under `page_number` identity. Returns the version assigned.
+  std::uint64_t evict(std::uint64_t page_number, ByteView page);
+
+  /// Decrypts + verifies the current copy of `page_number`.
+  Result<Bytes> load(std::uint64_t page_number);
+
+  /// Untrusted-side mutators used by tests to emulate an attacker.
+  bool tamper_with(std::uint64_t page_number, std::size_t byte_offset);
+  bool rollback_to_previous(std::uint64_t page_number);
+
+  std::size_t stored_pages() const { return store_.size(); }
+
+ private:
+  struct StoredPage {
+    Bytes ciphertext;  // nonce-less; nonce derived from version
+    crypto::GcmTag tag;
+    std::uint64_t version = 0;
+    // Previous copy retained to emulate a rollback attacker.
+    Bytes prev_ciphertext;
+    crypto::GcmTag prev_tag;
+    std::uint64_t prev_version = 0;
+    bool has_prev = false;
+  };
+
+  crypto::AesGcm gcm_;
+  std::uint64_t next_version_ = 1;
+  // Trusted version array (lives in EPC on real hardware): the version a
+  // page must decrypt under. This is what defeats rollback.
+  std::unordered_map<std::uint64_t, std::uint64_t> version_array_;
+  std::unordered_map<std::uint64_t, StoredPage> store_;
+};
+
+}  // namespace securecloud::sgx

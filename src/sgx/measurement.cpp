@@ -1,0 +1,34 @@
+#include "sgx/measurement.hpp"
+
+namespace securecloud::sgx {
+
+MeasurementBuilder::MeasurementBuilder(std::uint64_t enclave_size) {
+  Bytes header;
+  put_str(header, "ECREATE");
+  put_u64(header, enclave_size);
+  hash_.update(header);
+}
+
+void MeasurementBuilder::add_page(std::uint64_t page_offset, PageType type,
+                                  ByteView content) {
+  Bytes meta;
+  put_str(meta, "EADD");
+  put_u64(meta, page_offset);
+  put_u8(meta, static_cast<std::uint8_t>(type));
+  hash_.update(meta);
+  // EEXTEND measures the page content itself.
+  hash_.update(content);
+}
+
+Measurement MeasurementBuilder::finalize() && {
+  Bytes footer;
+  put_str(footer, "EINIT");
+  hash_.update(footer);
+  return hash_.finish();
+}
+
+Measurement mrsigner_of(ByteView signer_public_key) {
+  return crypto::Sha256::hash(signer_public_key);
+}
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,45 @@
+// Enclave measurement (MRENCLAVE / MRSIGNER).
+//
+// Mirrors the SGX build sequence: ECREATE fixes the enclave's size,
+// each EADD+EEXTEND folds a page's content and its location/permissions
+// into a running SHA-256, and EINIT finalizes the digest. Any change to
+// the enclave's initial code, data, or layout changes MRENCLAVE, which is
+// what attestation and sealing key derivation bind to.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace securecloud::sgx {
+
+using Measurement = crypto::Sha256Digest;
+
+enum class PageType : std::uint8_t {
+  kTcs = 0,   // thread control structure
+  kCode = 1,  // executable
+  kData = 2,  // writable initial data
+};
+
+class MeasurementBuilder {
+ public:
+  /// ECREATE: begins a measurement for an enclave of `size` bytes.
+  explicit MeasurementBuilder(std::uint64_t enclave_size);
+
+  /// EADD + EEXTEND: measures one page at `page_offset` (bytes from the
+  /// enclave base; page-aligned by contract) with its type/permissions.
+  void add_page(std::uint64_t page_offset, PageType type, ByteView content);
+
+  /// EINIT: finalizes and returns MRENCLAVE. The builder is exhausted.
+  Measurement finalize() &&;
+
+ private:
+  crypto::Sha256 hash_;
+};
+
+/// MRSIGNER: identity of the sealing authority = hash of the public key
+/// that signed the enclave (SIGSTRUCT).
+Measurement mrsigner_of(ByteView signer_public_key);
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,61 @@
+#include "sgx/memory_model.hpp"
+
+namespace securecloud::sgx {
+
+PlainMemory::PlainMemory(const CostModel& cost, SimClock& clock)
+    : cost_(cost), clock_(clock), llc_(cost.llc_size_bytes, cost.cache_line_size, 16) {}
+
+void PlainMemory::access(std::uint64_t vaddr, std::size_t size, bool /*write*/) {
+  const std::uint64_t first = vaddr / cost_.cache_line_size;
+  const std::uint64_t last = (vaddr + (size ? size : 1) - 1) / cost_.cache_line_size;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    ++stats_.accesses;
+    if (llc_.access(line * cost_.cache_line_size)) {
+      ++stats_.cache_hits;
+      clock_.advance_cycles(cost_.cache_hit_cycles);
+    } else {
+      ++stats_.cache_misses;
+      clock_.advance_cycles(cost_.llc_miss_plain_cycles);
+    }
+  }
+}
+
+EnclaveMemory::EnclaveMemory(const CostModel& cost, SimClock& clock)
+    : cost_(cost),
+      clock_(clock),
+      llc_(cost.llc_size_bytes, cost.cache_line_size, 16),
+      epc_(cost, clock) {}
+
+void EnclaveMemory::access(std::uint64_t vaddr, std::size_t size, bool write) {
+  // Page residency first: an access to a non-resident page traps and the
+  // OS swaps it in (EpcManager charges the fault/eviction cycles).
+  const std::uint64_t first_page = vaddr / cost_.page_size;
+  const std::uint64_t last_page = (vaddr + (size ? size : 1) - 1) / cost_.page_size;
+  for (std::uint64_t page = first_page; page <= last_page; ++page) {
+    const bool faulted = epc_.touch(page * cost_.page_size, write);
+    if (faulted) {
+      // Lines of evicted victims leave the cache with their pages, and
+      // the freshly loaded page arrives cold.
+      for (const std::uint64_t victim : epc_.last_evicted()) {
+        llc_.invalidate_range(victim * cost_.page_size, cost_.page_size);
+      }
+      llc_.invalidate_range(page * cost_.page_size, cost_.page_size);
+    }
+  }
+
+  const std::uint64_t first = vaddr / cost_.cache_line_size;
+  const std::uint64_t last = (vaddr + (size ? size : 1) - 1) / cost_.cache_line_size;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    ++stats_.accesses;
+    if (llc_.access(line * cost_.cache_line_size)) {
+      ++stats_.cache_hits;
+      clock_.advance_cycles(cost_.cache_hit_cycles);
+    } else {
+      ++stats_.cache_misses;
+      // Misses inside the protected region are served through the MEE.
+      clock_.advance_cycles(cost_.llc_miss_mee_cycles);
+    }
+  }
+}
+
+}  // namespace securecloud::sgx

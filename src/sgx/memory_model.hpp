@@ -1,0 +1,86 @@
+// Memory access cost models: plain DRAM vs. inside-enclave (MEE + EPC).
+//
+// Data-structure code that wants its memory behaviour simulated (the SCBR
+// matching engine, the shielded heap) calls MemoryModel::access for each
+// logical memory touch. The model charges cycles to a SimClock:
+//
+//   PlainMemory    — LLC hit/miss against ordinary DRAM; this is the
+//                    "outside the enclave" execution of Fig. 3.
+//   EnclaveMemory  — the same LLC, but misses pay the MEE penalty and
+//                    page-granular residency is enforced by an EpcManager,
+//                    so working sets beyond the EPC page-fault; this is
+//                    the "inside the enclave" execution of Fig. 3.
+//
+// Identical application code runs against either model, exactly as the
+// paper runs "the same code inside and outside secure enclaves".
+#pragma once
+
+#include <memory>
+
+#include "common/sim_clock.hpp"
+#include "sgx/cache_model.hpp"
+#include "sgx/cost_model.hpp"
+#include "sgx/epc.hpp"
+
+namespace securecloud::sgx {
+
+struct MemoryStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+class MemoryModel {
+ public:
+  virtual ~MemoryModel() = default;
+
+  /// Simulates touching [vaddr, vaddr + size). Charges the clock.
+  virtual void access(std::uint64_t vaddr, std::size_t size, bool write = false) = 0;
+
+  /// Charges pure compute (no memory) cycles — used by engines to model
+  /// per-comparison ALU work identically inside and outside.
+  virtual void compute(std::uint64_t cycles) = 0;
+
+  virtual const MemoryStats& stats() const = 0;
+  virtual SimClock& clock() = 0;
+};
+
+/// Ordinary process memory: LLC-modeled, no encryption penalties.
+class PlainMemory final : public MemoryModel {
+ public:
+  PlainMemory(const CostModel& cost, SimClock& clock);
+
+  void access(std::uint64_t vaddr, std::size_t size, bool write = false) override;
+  void compute(std::uint64_t cycles) override { clock_.advance_cycles(cycles); }
+  const MemoryStats& stats() const override { return stats_; }
+  SimClock& clock() override { return clock_; }
+
+ private:
+  const CostModel& cost_;
+  SimClock& clock_;
+  CacheModel llc_;
+  MemoryStats stats_;
+};
+
+/// Enclave memory: EPC residency + MEE-protected cache misses.
+class EnclaveMemory final : public MemoryModel {
+ public:
+  EnclaveMemory(const CostModel& cost, SimClock& clock);
+
+  void access(std::uint64_t vaddr, std::size_t size, bool write = false) override;
+  void compute(std::uint64_t cycles) override { clock_.advance_cycles(cycles); }
+  const MemoryStats& stats() const override { return stats_; }
+  SimClock& clock() override { return clock_; }
+
+  const EpcStats& epc_stats() const { return epc_.stats(); }
+  EpcManager& epc() { return epc_; }
+
+ private:
+  const CostModel& cost_;
+  SimClock& clock_;
+  CacheModel llc_;
+  EpcManager epc_;
+  MemoryStats stats_;
+};
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,71 @@
+#include "sgx/platform.hpp"
+
+namespace securecloud::sgx {
+
+namespace {
+
+crypto::Ed25519KeyPair make_attestation_key(crypto::EntropySource& entropy) {
+  return crypto::ed25519_keypair(entropy.array<32>());
+}
+
+}  // namespace
+
+Platform::Platform(PlatformConfig config)
+    : config_(std::move(config)),
+      clock_(config_.cpu_ghz),
+      entropy_(config_.entropy_seed),
+      sealing_root_key_(entropy_.bytes(32)),
+      report_key_(entropy_.bytes(32)),
+      attestation_key_(make_attestation_key(entropy_)),
+      quoting_enclave_(config_.platform_id, report_key_, attestation_key_),
+      memory_(std::make_unique<EnclaveMemory>(config_.cost, clock_)) {}
+
+Result<Enclave*> Platform::create_enclave(const EnclaveImage& image) {
+  // EINIT: reject images whose SIGSTRUCT does not match the measurement.
+  const Measurement measured = image.expected_measurement();
+  if (!crypto::ed25519_verify(image.signer, measured, image.sigstruct)) {
+    return Error::attestation("SIGSTRUCT verification failed for image '" +
+                              image.name + "'");
+  }
+
+  const std::uint64_t heap_base = next_heap_base_;
+  const std::size_t measured_bytes = image.code.size() + image.initial_data.size();
+  const std::uint64_t total_span =
+      ((measured_bytes + config_.cost.page_size - 1) / config_.cost.page_size) *
+          config_.cost.page_size +
+      image.heap_size;
+  next_heap_base_ += ((total_span / config_.cost.page_size) + 16) * config_.cost.page_size;
+
+  // EADD: loading measured pages populates the EPC (and can evict).
+  for (std::uint64_t off = 0; off < measured_bytes; off += config_.cost.page_size) {
+    memory_->epc().touch(heap_base + off, /*write=*/true);
+  }
+
+  enclaves_.push_back(std::make_unique<Enclave>(*this, next_enclave_id_++, image,
+                                                measured, heap_base));
+  return enclaves_.back().get();
+}
+
+void Platform::destroy_enclave(std::uint64_t enclave_id) {
+  for (auto it = enclaves_.begin(); it != enclaves_.end(); ++it) {
+    if ((*it)->id() == enclave_id) {
+      const std::uint64_t base = (*it)->heap_base();
+      memory_->epc().remove_range(base, (*it)->heap_size());
+      enclaves_.erase(it);
+      return;
+    }
+  }
+}
+
+Enclave* Platform::find_enclave(std::uint64_t enclave_id) {
+  for (auto& e : enclaves_) {
+    if (e->id() == enclave_id) return e.get();
+  }
+  return nullptr;
+}
+
+void Platform::provision(AttestationService& service) const {
+  service.register_platform(config_.platform_id, quoting_enclave_.attestation_public_key());
+}
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,76 @@
+// Platform: one SGX-capable machine.
+//
+// Owns the hardware-rooted secrets (sealing fuse key, report key,
+// attestation key), the shared EPC, the simulated clock, and the quoting
+// enclave. Enclaves are created from signed images; the platform measures
+// them and enforces SIGSTRUCT verification (EINIT).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sim_clock.hpp"
+#include "crypto/entropy.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/cost_model.hpp"
+#include "sgx/enclave.hpp"
+
+namespace securecloud::sgx {
+
+struct PlatformConfig {
+  std::string platform_id = "platform-0";
+  CostModel cost;
+  /// Seed for the platform's deterministic entropy (fuse keys, nonces).
+  std::uint64_t entropy_seed = 1;
+  double cpu_ghz = 2.6;
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config = {});
+
+  /// ECREATE/EADD/EEXTEND/EINIT: verifies the image signature, measures
+  /// all pages (charging EPC load costs), and returns the running
+  /// enclave. Fails with kAttestationFailure when SIGSTRUCT does not
+  /// match the measured content.
+  Result<Enclave*> create_enclave(const EnclaveImage& image);
+
+  /// EREMOVE: destroys an enclave and frees its EPC pages.
+  void destroy_enclave(std::uint64_t enclave_id);
+
+  Enclave* find_enclave(std::uint64_t enclave_id);
+
+  /// Produces a remotely verifiable quote from a local report.
+  Result<Quote> quote(const Report& report) const { return quoting_enclave_.quote(report); }
+
+  /// Registers this platform with an attestation service (models EPID
+  /// provisioning at manufacturing time).
+  void provision(AttestationService& service) const;
+
+  const std::string& platform_id() const { return config_.platform_id; }
+  const CostModel& cost() const { return config_.cost; }
+  SimClock& clock() { return clock_; }
+  EnclaveMemory& memory() { return *memory_; }
+  crypto::EntropySource& entropy() { return entropy_; }
+
+  // Used by Enclave for sealing/report generation.
+  ByteView sealing_root_key() const { return sealing_root_key_; }
+  ByteView report_key() const { return report_key_; }
+
+ private:
+  PlatformConfig config_;
+  SimClock clock_;
+  crypto::DeterministicEntropy entropy_;
+  Bytes sealing_root_key_;
+  Bytes report_key_;
+  crypto::Ed25519KeyPair attestation_key_;
+  QuotingEnclave quoting_enclave_;
+  std::unique_ptr<EnclaveMemory> memory_;
+  std::vector<std::unique_ptr<Enclave>> enclaves_;
+  std::uint64_t next_enclave_id_ = 1;
+  std::uint64_t next_heap_base_ = 1ull << 32;  // enclave ranges, disjoint
+};
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,41 @@
+#include "sgx/policy.hpp"
+
+#include <algorithm>
+
+namespace securecloud::sgx {
+
+Status AttestationPolicy::check(const Report& report) const {
+  if (required_prod_id_ && report.isv_prod_id != *required_prod_id_) {
+    return Error::attestation("enclave is from a different product line");
+  }
+  if (report.isv_svn < min_svn_) {
+    return Error::attestation(
+        "enclave security version below policy floor (vulnerable build?)");
+  }
+
+  const bool enclave_ok =
+      std::find(allowed_enclaves_.begin(), allowed_enclaves_.end(),
+                report.mrenclave) != allowed_enclaves_.end();
+  const bool signer_ok =
+      std::find(allowed_signers_.begin(), allowed_signers_.end(), report.mrsigner) !=
+      allowed_signers_.end();
+
+  if (allowed_enclaves_.empty() && allowed_signers_.empty()) {
+    return Error::attestation("policy allows no identities");
+  }
+  if (!enclave_ok && !signer_ok) {
+    return Error::attestation("enclave identity not allowed by policy");
+  }
+  return {};
+}
+
+Result<Report> verify_with_policy(const AttestationService& service,
+                                  const Quote& quote,
+                                  const AttestationPolicy& policy) {
+  auto report = service.verify(quote);
+  if (!report.ok()) return report.error();
+  SC_RETURN_IF_ERROR(policy.check(*report));
+  return report;
+}
+
+}  // namespace securecloud::sgx

@@ -1,0 +1,57 @@
+// Relying-party attestation policy.
+//
+// Verifying a quote's signature (AttestationService) only proves the
+// report came from a genuine platform; whether the attested enclave is
+// *trusted* is the relying party's decision. A policy captures that
+// decision declaratively: which enclave identities (MRENCLAVE) and/or
+// signers (MRSIGNER) are acceptable, and the minimum security version
+// (ISV SVN) — the knob that implements TCB recovery, where a patched
+// enclave bumps its SVN and relying parties raise the floor to exclude
+// vulnerable builds.
+#pragma once
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "sgx/attestation.hpp"
+
+namespace securecloud::sgx {
+
+class AttestationPolicy {
+ public:
+  /// Accepts exactly this enclave identity.
+  AttestationPolicy& allow_enclave(const Measurement& mrenclave) {
+    allowed_enclaves_.push_back(mrenclave);
+    return *this;
+  }
+  /// Accepts any enclave from this signer.
+  AttestationPolicy& allow_signer(const Measurement& mrsigner) {
+    allowed_signers_.push_back(mrsigner);
+    return *this;
+  }
+  /// Rejects reports below this security version (TCB recovery floor).
+  AttestationPolicy& require_min_svn(std::uint64_t svn) {
+    min_svn_ = svn;
+    return *this;
+  }
+  /// Restricts to a product line (ISV product id).
+  AttestationPolicy& require_product(std::uint64_t prod_id) {
+    required_prod_id_ = prod_id;
+    return *this;
+  }
+
+  /// Evaluates a (signature-verified) report against the policy.
+  Status check(const Report& report) const;
+
+ private:
+  std::vector<Measurement> allowed_enclaves_;
+  std::vector<Measurement> allowed_signers_;
+  std::uint64_t min_svn_ = 0;
+  std::optional<std::uint64_t> required_prod_id_;
+};
+
+/// Convenience: verify a quote with `service` and evaluate `policy`.
+Result<Report> verify_with_policy(const AttestationService& service,
+                                  const Quote& quote, const AttestationPolicy& policy);
+
+}  // namespace securecloud::sgx

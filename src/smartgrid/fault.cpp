@@ -1,0 +1,64 @@
+#include "smartgrid/fault.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace securecloud::smartgrid {
+
+double FaultDetector::median_of(const std::deque<double>& window) const {
+  std::vector<double> sorted(window.begin(), window.end());
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                   sorted.end());
+  return sorted[sorted.size() / 2];
+}
+
+std::optional<FaultAlert> FaultDetector::observe(const std::string& feeder_id,
+                                                 std::uint64_t t_s,
+                                                 double aggregate_power_w) {
+  FeederState& state = feeders_[feeder_id];
+  const std::uint64_t cycles_before = clock_.cycles();
+  clock_.advance_cycles(config_.process_cycles);
+
+  std::optional<FaultAlert> alert;
+  if (state.window.size() >= config_.min_samples) {
+    const double median = median_of(state.window);
+    const bool collapsed = aggregate_power_w < config_.drop_fraction * median;
+    if (collapsed && !state.faulted) {
+      state.faulted = true;
+      FaultAlert a;
+      a.feeder_id = feeder_id;
+      a.detected_at_s = t_s;
+      a.before_w = median;
+      a.after_w = aggregate_power_w;
+      // Latency: cycles spent between sample arrival and the decision.
+      const std::uint64_t cycles = clock_.cycles() - cycles_before;
+      a.detection_latency_ns = static_cast<std::uint64_t>(
+          static_cast<double>(cycles) / clock_.frequency_ghz());
+      alert = a;
+    } else if (!collapsed && state.faulted &&
+               aggregate_power_w > 0.5 * median) {
+      state.faulted = false;  // recovered; re-arm
+    }
+  }
+
+  // Faulted samples do not poison the baseline window.
+  if (!state.faulted) {
+    state.window.push_back(aggregate_power_w);
+    if (state.window.size() > config_.window) state.window.pop_front();
+  }
+  return alert;
+}
+
+void Orchestrator::on_fault(const FaultAlert& alert) {
+  isolated_.insert(alert.feeder_id);
+  boosted_.insert(alert.feeder_id);
+  ++actions_;
+}
+
+void Orchestrator::on_recovery(const std::string& feeder_id) {
+  isolated_.erase(feeder_id);
+  boosted_.erase(feeder_id);
+  ++actions_;
+}
+
+}  // namespace securecloud::smartgrid

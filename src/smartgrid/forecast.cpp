@@ -1,0 +1,49 @@
+#include "smartgrid/forecast.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace securecloud::smartgrid {
+
+void LoadForecaster::observe(double load_w) {
+  const std::size_t m = config_.season_length;
+
+  // Bootstrap: collect one full season, then initialize level/seasonals.
+  if (observations_ < m) {
+    first_season_.push_back(load_w);
+    ++observations_;
+    if (observations_ == m) {
+      level_ = std::accumulate(first_season_.begin(), first_season_.end(), 0.0) /
+               static_cast<double>(m);
+      trend_ = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        seasonal_[i] = first_season_[i] - level_;
+      }
+    }
+    return;
+  }
+
+  // Score the one-step forecast made before seeing this value.
+  if (auto predicted = forecast(1); predicted && std::abs(load_w) > 1e-9) {
+    abs_pct_error_sum_ += std::abs((*predicted - load_w) / load_w);
+    ++forecast_count_;
+  }
+
+  const std::size_t season_index = observations_ % m;
+  const double previous_level = level_;
+  level_ = config_.alpha * (load_w - seasonal_[season_index]) +
+           (1 - config_.alpha) * (level_ + trend_);
+  trend_ = config_.beta * (level_ - previous_level) + (1 - config_.beta) * trend_;
+  seasonal_[season_index] = config_.gamma * (load_w - level_) +
+                            (1 - config_.gamma) * seasonal_[season_index];
+  ++observations_;
+}
+
+std::optional<double> LoadForecaster::forecast(std::size_t steps_ahead) const {
+  if (observations_ < config_.season_length || steps_ahead == 0) return std::nullopt;
+  const std::size_t m = config_.season_length;
+  const std::size_t season_index = (observations_ + steps_ahead - 1) % m;
+  return level_ + static_cast<double>(steps_ahead) * trend_ + seasonal_[season_index];
+}
+
+}  // namespace securecloud::smartgrid

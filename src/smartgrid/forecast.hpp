@@ -1,0 +1,60 @@
+// Short-term load forecasting (§VI: analyses that "trigger reactions that
+// interfere with the physical world (load control or consumer
+// notifications)").
+//
+// Holt–Winters additive triple exponential smoothing with a daily
+// seasonal cycle — the standard short-term load forecasting baseline.
+// Runs inside the analytics enclave over the decrypted feed; only the
+// forecasts (aggregated, non-sensitive) leave.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace securecloud::smartgrid {
+
+struct ForecastConfig {
+  std::size_t season_length = 96;  // samples per day (15-minute readings)
+  double alpha = 0.25;  // level smoothing
+  double beta = 0.02;   // trend smoothing
+  double gamma = 0.15;  // seasonal smoothing
+};
+
+class LoadForecaster {
+ public:
+  explicit LoadForecaster(ForecastConfig config = {}) : config_(config) {
+    seasonal_.assign(config_.season_length, 0.0);
+  }
+
+  /// Feeds the next observation (fixed cadence assumed).
+  void observe(double load_w);
+
+  /// Forecast `steps_ahead` samples into the future (>=1). Unavailable
+  /// until one full season has been observed.
+  std::optional<double> forecast(std::size_t steps_ahead = 1) const;
+
+  /// Mean absolute percentage error of the one-step forecasts so far
+  /// (computed online against each arriving observation).
+  double mape() const {
+    return forecast_count_ == 0 ? 0.0
+                                : 100.0 * abs_pct_error_sum_ / static_cast<double>(forecast_count_);
+  }
+
+  bool warmed_up() const { return observations_ >= 2 * config_.season_length; }
+  std::size_t observations() const { return observations_; }
+
+ private:
+  ForecastConfig config_;
+  double level_ = 0;
+  double trend_ = 0;
+  std::vector<double> seasonal_;
+  std::size_t observations_ = 0;
+  // First-season bootstrap buffer.
+  std::vector<double> first_season_;
+  // Online forecast-accuracy tracking.
+  double abs_pct_error_sum_ = 0;
+  std::size_t forecast_count_ = 0;
+};
+
+}  // namespace securecloud::smartgrid

@@ -1,0 +1,120 @@
+#include "smartgrid/meter.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace securecloud::smartgrid {
+
+Bytes MeterReading::serialize() const {
+  Bytes b;
+  put_str(b, meter_id);
+  put_str(b, feeder_id);
+  put_u64(b, timestamp_s);
+  put_u64(b, std::bit_cast<std::uint64_t>(power_w));
+  put_u64(b, std::bit_cast<std::uint64_t>(voltage_v));
+  return b;
+}
+
+Result<MeterReading> MeterReading::deserialize(ByteView wire) {
+  ByteReader r(wire);
+  MeterReading reading;
+  std::uint64_t power_raw = 0, voltage_raw = 0;
+  if (!r.get_str(reading.meter_id) || !r.get_str(reading.feeder_id) ||
+      !r.get_u64(reading.timestamp_s) || !r.get_u64(power_raw) ||
+      !r.get_u64(voltage_raw) || !r.done()) {
+    return Error::protocol("malformed meter reading");
+  }
+  reading.power_w = std::bit_cast<double>(power_raw);
+  reading.voltage_v = std::bit_cast<double>(voltage_raw);
+  return reading;
+}
+
+MeterFleet::MeterFleet(GridConfig config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  Rng rng(seed);
+  household_scale_.reserve(config_.households);
+  household_phase_.reserve(config_.households);
+  for (std::size_t h = 0; h < config_.households; ++h) {
+    household_scale_.push_back(0.5 + rng.uniform01() * 1.5);
+    household_phase_.push_back(rng.uniform01() * 2.0 * std::numbers::pi);
+  }
+}
+
+std::string MeterFleet::meter_id(std::size_t household) const {
+  return "meter-" + std::to_string(household);
+}
+
+std::string MeterFleet::feeder_id(std::size_t household) const {
+  return "feeder-" + std::to_string(household % config_.feeders);
+}
+
+bool MeterFleet::is_thief(std::size_t household) const {
+  for (const auto& theft : config_.thefts) {
+    if (theft.household == household) return true;
+  }
+  return false;
+}
+
+double MeterFleet::true_load(std::size_t household, std::uint64_t t) const {
+  // Diurnal double-peak profile: morning (~7h) and evening (~19h) peaks.
+  const double day_fraction =
+      static_cast<double>(t % 86'400) / 86'400.0 * 2.0 * std::numbers::pi;
+  const double diurnal =
+      0.5 + 0.3 * std::sin(day_fraction - std::numbers::pi / 2 +
+                           household_phase_[household] * 0.1) +
+      0.2 * std::sin(2 * day_fraction + household_phase_[household]);
+  const double level = config_.base_load_w +
+                       (config_.peak_load_w - config_.base_load_w) *
+                           std::max(0.0, diurnal) * household_scale_[household];
+  return level;
+}
+
+std::vector<MeterReading> MeterFleet::household_series(std::size_t household) const {
+  // Deterministic per-(household) stream independent of call order.
+  Rng rng(seed_ ^ (0x9e3779b9ull * (household + 1)));
+  std::vector<MeterReading> series;
+  series.reserve(config_.horizon_s / config_.interval_s);
+
+  // Active injections for this household / its feeder.
+  const TheftInjection* theft = nullptr;
+  for (const auto& t : config_.thefts) {
+    if (t.household == household) theft = &t;
+  }
+  const std::size_t feeder = household % config_.feeders;
+
+  for (std::uint64_t t = 0; t < config_.horizon_s; t += config_.interval_s) {
+    MeterReading reading;
+    reading.meter_id = meter_id(household);
+    reading.feeder_id = feeder_id(household);
+    reading.timestamp_s = t;
+
+    double load = true_load(household, t) + rng.normal(0, config_.noise_w);
+    load = std::max(10.0, load);
+    if (theft != nullptr && t >= theft->start_s) {
+      load *= theft->reported_fraction;  // bypassed meter under-reports
+    }
+    reading.power_w = load;
+
+    double voltage = 230.0 + rng.normal(0, 1.0);
+    for (const auto& q : config_.quality_events) {
+      if (q.feeder == feeder && t >= q.start_s && t < q.start_s + q.duration_s) {
+        voltage *= q.voltage_factor;
+      }
+    }
+    reading.voltage_v = voltage;
+    series.push_back(std::move(reading));
+  }
+  return series;
+}
+
+std::vector<std::vector<MeterReading>> MeterFleet::all_series() const {
+  std::vector<std::vector<MeterReading>> all;
+  all.reserve(config_.households);
+  for (std::size_t h = 0; h < config_.households; ++h) {
+    all.push_back(household_series(h));
+  }
+  return all;
+}
+
+}  // namespace securecloud::smartgrid

@@ -1,0 +1,88 @@
+// Smart-meter data generator (§VI use case 1 substrate).
+//
+// "Smart meters collect detailed power consumption data from residential
+// and industrial consumers. Collecting data at sub-minute granularities
+// enables sophisticated applications, such as power theft prevention and
+// early detection of power quality issues."
+//
+// The generator produces deterministic per-household consumption series:
+// a base load, a diurnal pattern (morning/evening peaks), appliance
+// events, and Gaussian noise. Anomalies can be injected:
+//   * theft      — a sustained drop in *reported* consumption (meter
+//                  bypass) from a start time onward;
+//   * quality    — voltage sags/swells on a feeder during a window.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace securecloud::smartgrid {
+
+struct MeterReading {
+  std::string meter_id;
+  std::string feeder_id;
+  std::uint64_t timestamp_s = 0;
+  double power_w = 0;     // instantaneous consumption
+  double voltage_v = 230; // supply voltage at the meter
+
+  Bytes serialize() const;
+  static Result<MeterReading> deserialize(ByteView wire);
+};
+
+struct TheftInjection {
+  std::size_t household = 0;       // index of the dishonest household
+  std::uint64_t start_s = 0;       // bypass active from here on
+  double reported_fraction = 0.3;  // fraction of real usage still reported
+};
+
+struct QualityInjection {
+  std::size_t feeder = 0;
+  std::uint64_t start_s = 0;
+  std::uint64_t duration_s = 600;
+  double voltage_factor = 0.85;  // 0.85 = sag, 1.1 = swell
+};
+
+struct GridConfig {
+  std::size_t households = 100;
+  std::size_t feeders = 4;                // households round-robin on feeders
+  std::uint64_t interval_s = 30;          // sub-minute granularity
+  std::uint64_t horizon_s = 24 * 3600;
+  double base_load_w = 200;
+  double peak_load_w = 2'000;
+  double noise_w = 50;
+  std::vector<TheftInjection> thefts;
+  std::vector<QualityInjection> quality_events;
+};
+
+class MeterFleet {
+ public:
+  MeterFleet(GridConfig config, std::uint64_t seed);
+
+  /// All readings of one household over the horizon, in time order.
+  std::vector<MeterReading> household_series(std::size_t household) const;
+
+  /// Every reading of every household (grouped by household).
+  std::vector<std::vector<MeterReading>> all_series() const;
+
+  /// Ground truth for evaluating detectors.
+  bool is_thief(std::size_t household) const;
+  std::string meter_id(std::size_t household) const;
+  std::string feeder_id(std::size_t household) const;
+
+  const GridConfig& config() const { return config_; }
+
+ private:
+  double true_load(std::size_t household, std::uint64_t t) const;
+
+  GridConfig config_;
+  std::uint64_t seed_;
+  std::vector<double> household_scale_;  // per-household consumption level
+  std::vector<double> household_phase_;  // diurnal phase shift
+};
+
+}  // namespace securecloud::smartgrid

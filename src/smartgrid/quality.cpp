@@ -1,0 +1,60 @@
+#include "smartgrid/quality.hpp"
+
+#include <cmath>
+
+namespace securecloud::smartgrid {
+
+const char* to_string(QualityIssue issue) {
+  switch (issue) {
+    case QualityIssue::kSag: return "sag";
+    case QualityIssue::kSwell: return "swell";
+  }
+  return "unknown";
+}
+
+std::optional<QualityAlert> QualityMonitor::observe(const MeterReading& reading) {
+  FeederState& state = feeders_[reading.feeder_id];
+  const double lo = config_.nominal_v * (1.0 - config_.band_fraction);
+  const double hi = config_.nominal_v * (1.0 + config_.band_fraction);
+  const bool out = reading.voltage_v < lo || reading.voltage_v > hi;
+
+  if (!out) {
+    state.out_of_band_streak = 0;
+    if (state.open) {
+      state.open->end_s = reading.timestamp_s;
+      closed_.push_back(*state.open);
+      state.open.reset();
+    }
+    return std::nullopt;
+  }
+
+  ++state.out_of_band_streak;
+  if (state.open) {
+    // Track the extreme within the event.
+    if (state.open->issue == QualityIssue::kSag) {
+      state.open->worst_voltage_v = std::min(state.open->worst_voltage_v, reading.voltage_v);
+    } else {
+      state.open->worst_voltage_v = std::max(state.open->worst_voltage_v, reading.voltage_v);
+    }
+    return std::nullopt;
+  }
+  if (state.out_of_band_streak < config_.debounce) return std::nullopt;
+
+  QualityAlert alert;
+  alert.feeder_id = reading.feeder_id;
+  alert.issue = reading.voltage_v < lo ? QualityIssue::kSag : QualityIssue::kSwell;
+  alert.start_s = reading.timestamp_s;
+  alert.worst_voltage_v = reading.voltage_v;
+  state.open = alert;
+  return alert;
+}
+
+std::vector<QualityAlert> QualityMonitor::open_alerts() const {
+  std::vector<QualityAlert> out;
+  for (const auto& [feeder, state] : feeders_) {
+    if (state.open) out.push_back(*state.open);
+  }
+  return out;
+}
+
+}  // namespace securecloud::smartgrid

@@ -1,0 +1,63 @@
+// Power-quality monitoring (§VI use case 1: "early detection of power
+// quality issues").
+//
+// Streaming detector over voltage readings: per feeder, an alert opens
+// when voltage leaves the nominal band (EN 50160: ±10% of 230 V) for a
+// debounce count of consecutive readings, and closes when it returns.
+// Runs inside the analytics enclave as part of the ingest pipeline.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smartgrid/meter.hpp"
+
+namespace securecloud::smartgrid {
+
+enum class QualityIssue : std::uint8_t { kSag = 0, kSwell = 1 };
+
+const char* to_string(QualityIssue issue);
+
+struct QualityAlert {
+  std::string feeder_id;
+  QualityIssue issue = QualityIssue::kSag;
+  std::uint64_t start_s = 0;
+  std::uint64_t end_s = 0;  // 0 while still open
+  double worst_voltage_v = 230;
+};
+
+struct QualityMonitorConfig {
+  double nominal_v = 230.0;
+  double band_fraction = 0.10;  // alert outside nominal * (1 ± band)
+  /// Consecutive out-of-band readings before opening an alert (debounce
+  /// against measurement noise).
+  std::size_t debounce = 3;
+};
+
+class QualityMonitor {
+ public:
+  explicit QualityMonitor(QualityMonitorConfig config = {}) : config_(config) {}
+
+  /// Feeds one reading. Returns an alert when one *opens* (so operators
+  /// are notified immediately, not at the end of the event).
+  std::optional<QualityAlert> observe(const MeterReading& reading);
+
+  /// Alerts that have both opened and closed.
+  const std::vector<QualityAlert>& closed_alerts() const { return closed_; }
+  /// Currently open alerts per feeder.
+  std::vector<QualityAlert> open_alerts() const;
+
+ private:
+  struct FeederState {
+    std::size_t out_of_band_streak = 0;
+    std::optional<QualityAlert> open;
+  };
+
+  QualityMonitorConfig config_;
+  std::map<std::string, FeederState> feeders_;
+  std::vector<QualityAlert> closed_;
+};
+
+}  // namespace securecloud::smartgrid

@@ -1,0 +1,107 @@
+#include "smartgrid/theft_detection.hpp"
+
+#include <algorithm>
+
+namespace securecloud::smartgrid {
+
+std::vector<std::vector<Bytes>> TheftDetector::prepare_partitions(
+    const MeterFleet& fleet, std::size_t partitions) {
+  partitions = std::max<std::size_t>(1, partitions);
+  std::vector<std::vector<Bytes>> plain(partitions);
+  for (std::size_t h = 0; h < fleet.config().households; ++h) {
+    auto& target = plain[h % partitions];
+    for (const auto& reading : fleet.household_series(h)) {
+      target.push_back(reading.serialize());
+    }
+  }
+  std::vector<std::vector<Bytes>> encrypted;
+  encrypted.reserve(partitions);
+  for (auto& p : plain) {
+    encrypted.push_back(mapreduce_.encrypt_partition(p));
+  }
+  return encrypted;
+}
+
+Result<TheftReport> TheftDetector::run(
+    const TheftDetectionConfig& config,
+    const std::vector<std::vector<Bytes>>& partitions) {
+  const std::uint64_t split = config.split_s;
+
+  // Map: each reading contributes its power to (meter, window) sums.
+  // Emitting sum and count under distinct keys lets a mean-reduce stay a
+  // pure fold.
+  auto map_fn = [split](ByteView record) -> std::vector<bigdata::KeyValue> {
+    auto reading = MeterReading::deserialize(record);
+    if (!reading.ok()) return {};
+    const char* window = reading->timestamp_s < split ? "base" : "recent";
+    return {
+        {reading->meter_id + "|" + window + "|sum", reading->power_w},
+        {reading->meter_id + "|" + window + "|cnt", 1.0},
+    };
+  };
+  auto reduce_fn = [](const std::string&, const std::vector<double>& values) {
+    double total = 0;
+    for (const double v : values) total += v;
+    return total;
+  };
+
+  auto job = mapreduce_.run(config.job, partitions, map_fn, reduce_fn);
+  if (!job.ok()) return job.error();
+
+  // Post-processing (runs in the data owner's trusted domain): combine
+  // the per-window sums and counts into per-meter means and ratios.
+  struct Aggregate {
+    double base_sum = 0, base_count = 0;
+    double recent_sum = 0, recent_count = 0;
+  };
+  std::map<std::string, Aggregate> by_meter;
+  for (const auto& [key, value] : job->output) {
+    const std::size_t p1 = key.find('|');
+    const std::size_t p2 = key.find('|', p1 + 1);
+    if (p1 == std::string::npos || p2 == std::string::npos) continue;
+    const std::string meter = key.substr(0, p1);
+    const std::string window = key.substr(p1 + 1, p2 - p1 - 1);
+    const std::string kind = key.substr(p2 + 1);
+
+    Aggregate& agg = by_meter[meter];
+    if (window == "base") {
+      (kind == "sum" ? agg.base_sum : agg.base_count) += value;
+    } else {
+      (kind == "sum" ? agg.recent_sum : agg.recent_count) += value;
+    }
+  }
+
+  TheftReport report;
+  report.job_stats = job->stats;
+  for (const auto& [meter, agg] : by_meter) {
+    if (agg.base_count <= 0 || agg.recent_count <= 0) continue;
+    TheftReport::Finding finding;
+    finding.meter_id = meter;
+    finding.baseline_w = agg.base_sum / agg.base_count;
+    finding.recent_w = agg.recent_sum / agg.recent_count;
+    finding.ratio = finding.baseline_w > 0 ? finding.recent_w / finding.baseline_w : 1.0;
+    finding.flagged = finding.ratio < config.ratio_threshold;
+    if (finding.flagged) report.flagged.push_back(meter);
+    report.findings.push_back(finding);
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const auto& a, const auto& b) { return a.ratio < b.ratio; });
+  return report;
+}
+
+DetectionQuality evaluate_against_ground_truth(const TheftReport& report,
+                                               const MeterFleet& fleet) {
+  DetectionQuality quality;
+  for (std::size_t h = 0; h < fleet.config().households; ++h) {
+    const std::string id = fleet.meter_id(h);
+    const bool flagged = std::find(report.flagged.begin(), report.flagged.end(), id) !=
+                         report.flagged.end();
+    const bool thief = fleet.is_thief(h);
+    if (flagged && thief) ++quality.true_positives;
+    if (flagged && !thief) ++quality.false_positives;
+    if (!flagged && thief) ++quality.false_negatives;
+  }
+  return quality;
+}
+
+}  // namespace securecloud::smartgrid

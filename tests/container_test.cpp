@@ -1,0 +1,400 @@
+// Container platform tests: layers/manifests, registry integrity, engine
+// lifecycle, secure-image build + end-to-end secure execution, image
+// customization, and the monitor.
+#include <gtest/gtest.h>
+
+#include "container/engine.hpp"
+#include "container/monitor.hpp"
+#include "container/registry.hpp"
+#include "container/scone_client.hpp"
+#include "scone/stdio.hpp"
+
+namespace securecloud::container {
+namespace {
+
+using crypto::DeterministicEntropy;
+
+// -------------------------------------------------------------------- Layer
+
+TEST(Layer, SerializationRoundTrip) {
+  Layer layer;
+  layer.files["/bin/app"] = to_bytes("binary");
+  layer.files["/etc/conf"] = to_bytes("key=value");
+  layer.whiteouts.push_back("/old/file");
+  auto parsed = Layer::deserialize(layer.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->files, layer.files);
+  EXPECT_EQ(parsed->whiteouts, layer.whiteouts);
+}
+
+TEST(Layer, DigestChangesWithContent) {
+  Layer a, b;
+  a.files["/f"] = to_bytes("1");
+  b.files["/f"] = to_bytes("2");
+  EXPECT_NE(a.digest(), b.digest());
+  Layer a2;
+  a2.files["/f"] = to_bytes("1");
+  EXPECT_EQ(a.digest(), a2.digest());
+}
+
+TEST(Layer, MaterializeAppliesOverridesAndWhiteouts) {
+  Layer base, top;
+  base.files["/a"] = to_bytes("base-a");
+  base.files["/b"] = to_bytes("base-b");
+  top.files["/a"] = to_bytes("top-a");   // override
+  top.whiteouts.push_back("/b");          // delete
+
+  scone::UntrustedFileSystem rootfs;
+  materialize_rootfs({base, top}, rootfs);
+  EXPECT_EQ(securecloud::to_string(*rootfs.read_file("/a")), "top-a");
+  EXPECT_FALSE(rootfs.exists("/b"));
+}
+
+// ------------------------------------------------------------------ Registry
+
+TEST(Registry, PushPullRoundTrip) {
+  Registry registry;
+  Layer layer;
+  layer.files["/app"] = to_bytes("code");
+  const std::string digest = registry.push_layer(layer);
+
+  ImageManifest manifest;
+  manifest.name = "svc";
+  manifest.layer_digests.push_back(digest);
+  ASSERT_TRUE(registry.push_manifest(manifest).ok());
+
+  auto pulled = registry.pull("svc:latest");
+  ASSERT_TRUE(pulled.ok());
+  ASSERT_EQ(pulled->layers.size(), 1u);
+  EXPECT_EQ(securecloud::to_string(pulled->layers[0].files.at("/app")), "code");
+}
+
+TEST(Registry, RejectsManifestWithMissingLayer) {
+  Registry registry;
+  ImageManifest manifest;
+  manifest.name = "svc";
+  manifest.layer_digests.push_back("deadbeef");
+  EXPECT_FALSE(registry.push_manifest(manifest).ok());
+}
+
+TEST(Registry, DetectsCorruptedLayer) {
+  Registry registry;
+  Layer layer;
+  layer.files["/app"] = Bytes(100, 0x42);
+  const std::string digest = registry.push_layer(layer);
+  ImageManifest manifest;
+  manifest.name = "svc";
+  manifest.layer_digests.push_back(digest);
+  ASSERT_TRUE(registry.push_manifest(manifest).ok());
+
+  // Malicious registry flips one byte inside a stored file body.
+  ASSERT_TRUE(registry.corrupt_layer(digest, 40));
+  auto pulled = registry.pull("svc:latest");
+  ASSERT_FALSE(pulled.ok());
+}
+
+TEST(Registry, UnknownImageNotFound) {
+  Registry registry;
+  EXPECT_EQ(registry.pull("ghost:latest").error().code, ErrorCode::kNotFound);
+}
+
+// -------------------------------------------------------------------- Engine
+
+struct EngineFixture {
+  Registry registry;
+  ContainerMonitor monitor;
+  ContainerEngine engine{registry, monitor};
+
+  std::string push_plain_image(const std::string& name) {
+    Layer layer;
+    layer.files["/data/input"] = to_bytes("42");
+    ImageManifest manifest;
+    manifest.name = name;
+    manifest.layer_digests.push_back(registry.push_layer(layer));
+    EXPECT_TRUE(registry.push_manifest(manifest).ok());
+    return manifest.reference();
+  }
+};
+
+TEST(Engine, CreateAndRunPlainContainer) {
+  EngineFixture fx;
+  const std::string ref = fx.push_plain_image("plain");
+  auto container = fx.engine.create(ref);
+  ASSERT_TRUE(container.ok());
+  EXPECT_EQ((*container)->state(), ContainerState::kCreated);
+
+  auto result = fx.engine.run(**container, [](scone::UntrustedFileSystem& fs) -> Result<Bytes> {
+    auto in = fs.read_file("/data/input");
+    if (!in.ok()) return in.error();
+    return to_bytes("got:" + securecloud::to_string(*in));
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(securecloud::to_string(*result), "got:42");
+  EXPECT_EQ((*container)->state(), ContainerState::kExited);
+}
+
+TEST(Engine, FailedEntrypointMarksContainerFailed) {
+  EngineFixture fx;
+  const std::string ref = fx.push_plain_image("crashy");
+  auto container = fx.engine.create(ref);
+  ASSERT_TRUE(container.ok());
+  auto result = fx.engine.run(**container, [](scone::UntrustedFileSystem&) -> Result<Bytes> {
+    return Error::internal("segfault");
+  });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ((*container)->state(), ContainerState::kFailed);
+}
+
+TEST(Engine, RemoveAndFind) {
+  EngineFixture fx;
+  const std::string ref = fx.push_plain_image("tmp");
+  auto container = fx.engine.create(ref);
+  ASSERT_TRUE(container.ok());
+  const std::string id = (*container)->id();
+  EXPECT_NE(fx.engine.find(id), nullptr);
+  ASSERT_TRUE(fx.engine.remove(id).ok());
+  EXPECT_EQ(fx.engine.find(id), nullptr);
+  EXPECT_FALSE(fx.engine.remove(id).ok());
+}
+
+TEST(Engine, PlainContainerCannotBeRunSecure) {
+  EngineFixture fx;
+  sgx::Platform platform;
+  sgx::AttestationService attestation;
+  platform.provision(attestation);
+  DeterministicEntropy entropy(1);
+  scone::ConfigurationService config(attestation, entropy);
+
+  const std::string ref = fx.push_plain_image("plain");
+  auto container = fx.engine.create(ref);
+  ASSERT_TRUE(container.ok());
+  auto r = fx.engine.run_secure(**container, platform, config,
+                                [](scone::AppContext&) -> Result<Bytes> { return Bytes{}; });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------- Secure image flow
+
+struct SecureFixture {
+  Registry registry;
+  ContainerMonitor monitor;
+  ContainerEngine engine{registry, monitor};
+  sgx::Platform platform;
+  sgx::AttestationService attestation;
+  DeterministicEntropy entropy{99};
+  DeterministicEntropy signer_entropy{1234};
+  crypto::Ed25519KeyPair signer = crypto::ed25519_keypair(signer_entropy.array<32>());
+  SconeClient client{registry, entropy, signer};
+  scone::ConfigurationService config{attestation, entropy};
+
+  SecureFixture() { platform.provision(attestation); }
+
+  SecureImageSpec spec(const std::string& name) {
+    SecureImageSpec s;
+    s.name = name;
+    s.app_code = to_bytes("static-binary-of-" + name);
+    s.protected_files["/secrets/api-key"] = to_bytes("hunter2-api-key");
+    s.public_files["/README"] = to_bytes("public readme");
+    s.args = {"--serve"};
+    s.env = {{"MODE", "prod"}};
+    return s;
+  }
+};
+
+TEST(SecureImage, BuildPublishesOnlyCiphertext) {
+  SecureFixture fx;
+  auto manifest = fx.client.build_secure_image(fx.spec("svc"), fx.config);
+  ASSERT_TRUE(manifest.ok());
+
+  // Pull as an attacker and inspect every byte in every layer.
+  auto pulled = fx.registry.pull("svc:latest");
+  ASSERT_TRUE(pulled.ok());
+  for (const auto& layer : pulled->layers) {
+    for (const auto& [path, content] : layer.files) {
+      const std::string s(content.begin(), content.end());
+      EXPECT_EQ(s.find("hunter2"), std::string::npos)
+          << "plaintext secret leaked in " << path;
+    }
+  }
+}
+
+TEST(SecureImage, EndToEndSecureRun) {
+  SecureFixture fx;
+  auto manifest = fx.client.build_secure_image(fx.spec("svc"), fx.config);
+  ASSERT_TRUE(manifest.ok());
+
+  auto container = fx.engine.create("svc:latest");
+  ASSERT_TRUE(container.ok());
+
+  auto outcome = fx.engine.run_secure(
+      **container, fx.platform, fx.config,
+      [](scone::AppContext& ctx) -> Result<Bytes> {
+        auto key = ctx.fs.read_all("/secrets/api-key");
+        if (!key.ok()) return key.error();
+        if (securecloud::to_string(*key) != "hunter2-api-key") {
+          return Error::internal("wrong secret");
+        }
+        return to_bytes("served with " + ctx.env.at("MODE"));
+      });
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(securecloud::to_string(outcome->app_result), "served with prod");
+  EXPECT_EQ((*container)->state(), ContainerState::kExited);
+}
+
+TEST(SecureImage, TamperedImageFailsAttestedStartup) {
+  SecureFixture fx;
+  auto manifest = fx.client.build_secure_image(fx.spec("svc"), fx.config);
+  ASSERT_TRUE(manifest.ok());
+
+  auto container = fx.engine.create("svc:latest");
+  ASSERT_TRUE(container.ok());
+  // Attacker tampers with the FSPF inside the materialized rootfs.
+  Bytes* fspf = (*container)->rootfs().raw(manifest->fspf_path);
+  ASSERT_NE(fspf, nullptr);
+  (*fspf)[0] ^= 1;
+
+  auto outcome = fx.engine.run_secure(
+      **container, fx.platform, fx.config,
+      [](scone::AppContext&) -> Result<Bytes> { return Bytes{}; });
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ((*container)->state(), ContainerState::kFailed);
+}
+
+TEST(SecureImage, ModifiedEnclaveCodeIsRejected) {
+  SecureFixture fx;
+  auto manifest = fx.client.build_secure_image(fx.spec("svc"), fx.config);
+  ASSERT_TRUE(manifest.ok());
+
+  auto container = fx.engine.create("svc:latest");
+  ASSERT_TRUE(container.ok());
+  // Attacker swaps the enclave binary in the manifest (e.g. compromised
+  // engine): SIGSTRUCT no longer matches.
+  ImageManifest& m = const_cast<ImageManifest&>((*container)->manifest());
+  m.enclave_image.code.push_back(0x90);
+
+  auto outcome = fx.engine.run_secure(
+      **container, fx.platform, fx.config,
+      [](scone::AppContext&) -> Result<Bytes> { return Bytes{}; });
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kAttestationFailure);
+}
+
+TEST(SecureImage, CustomizableImageFlow) {
+  SecureFixture fx;
+  auto base = fx.client.build_customizable_image(fx.spec("base-svc"));
+  ASSERT_TRUE(base.ok());
+
+  // End user verifies + extends + finalizes under a new name.
+  std::map<std::string, Bytes> extra;
+  extra["/secrets/tenant-config"] = to_bytes("tenant=acme");
+  auto final_manifest = fx.client.customize_and_finalize(
+      *base, fx.client.public_key(), extra, "acme-svc", "v1", fx.config);
+  ASSERT_TRUE(final_manifest.ok());
+
+  auto container = fx.engine.create("acme-svc:v1");
+  ASSERT_TRUE(container.ok());
+  auto outcome = fx.engine.run_secure(
+      **container, fx.platform, fx.config,
+      [](scone::AppContext& ctx) -> Result<Bytes> {
+        auto base_secret = ctx.fs.read_all("/secrets/api-key");
+        auto tenant = ctx.fs.read_all("/secrets/tenant-config");
+        if (!base_secret.ok() || !tenant.ok()) {
+          return Error::internal("missing secrets after customization");
+        }
+        return to_bytes(securecloud::to_string(*base_secret) + "+" + securecloud::to_string(*tenant));
+      });
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(securecloud::to_string(outcome->app_result), "hunter2-api-key+tenant=acme");
+}
+
+TEST(SecureImage, CustomizationRejectsForgedBase) {
+  SecureFixture fx;
+  auto base = fx.client.build_customizable_image(fx.spec("base-svc"));
+  ASSERT_TRUE(base.ok());
+
+  // Verify against the wrong creator key.
+  DeterministicEntropy other(4321);
+  const auto impostor = crypto::ed25519_keypair(other.array<32>());
+  auto r = fx.client.customize_and_finalize(*base, impostor.public_key, {},
+                                            "x", "v1", fx.config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kIntegrityViolation);
+}
+
+TEST(SecureImage, CustomizationRejectsPathCollision) {
+  SecureFixture fx;
+  auto base = fx.client.build_customizable_image(fx.spec("base-svc"));
+  ASSERT_TRUE(base.ok());
+  std::map<std::string, Bytes> colliding;
+  colliding["/secrets/api-key"] = to_bytes("override attempt");
+  auto r = fx.client.customize_and_finalize(*base, fx.client.public_key(), colliding,
+                                            "x", "v1", fx.config);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(SecureImage, StdoutDecryptsOnlyWithScfKey) {
+  SecureFixture fx;
+  SecureImageSpec spec = fx.spec("svc");
+  auto manifest = fx.client.build_secure_image(spec, fx.config);
+  ASSERT_TRUE(manifest.ok());
+  auto container = fx.engine.create("svc:latest");
+  ASSERT_TRUE(container.ok());
+
+  auto outcome = fx.engine.run_secure(
+      **container, fx.platform, fx.config,
+      [](scone::AppContext& ctx) -> Result<Bytes> {
+        ctx.out.print("sensitive log line");
+        return Bytes{};
+      });
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->stdout_records.size(), 1u);
+
+  // Host sees ciphertext only.
+  const std::string record(outcome->stdout_records[0].begin(),
+                           outcome->stdout_records[0].end());
+  EXPECT_EQ(record.find("sensitive"), std::string::npos);
+
+  // The wrong key cannot decrypt.
+  scone::ProtectedStreamReader wrong_reader(Bytes(16, 0x00));
+  EXPECT_FALSE(wrong_reader.read(outcome->stdout_records[0]).ok());
+}
+
+// ------------------------------------------------------------------- Monitor
+
+TEST(Monitor, ProfilesAndBilling) {
+  ContainerMonitor monitor;
+  monitor.record("c1", {.at_cycles = 100, .cpu_cycles = 50, .mem_bytes = 1000, .io_bytes = 10});
+  monitor.record("c1", {.at_cycles = 200, .cpu_cycles = 150, .mem_bytes = 3000, .io_bytes = 30});
+  monitor.record("c2", {.at_cycles = 100, .cpu_cycles = 10, .mem_bytes = 500, .io_bytes = 0});
+
+  const auto p1 = monitor.profile("c1");
+  EXPECT_EQ(p1.samples, 2u);
+  EXPECT_DOUBLE_EQ(p1.avg_cpu_cycles_per_sample, 100.0);
+  EXPECT_DOUBLE_EQ(p1.avg_mem_bytes, 2000.0);
+  EXPECT_DOUBLE_EQ(p1.peak_mem_bytes, 3000.0);
+
+  const auto billing = monitor.billing_report();
+  EXPECT_EQ(billing.at("c1"), 200u);
+  EXPECT_EQ(billing.at("c2"), 10u);
+
+  EXPECT_EQ(monitor.profile("ghost").samples, 0u);
+}
+
+TEST(Monitor, SecureRunsAreAccounted) {
+  SecureFixture fx;
+  auto manifest = fx.client.build_secure_image(fx.spec("svc"), fx.config);
+  ASSERT_TRUE(manifest.ok());
+  auto container = fx.engine.create("svc:latest");
+  ASSERT_TRUE(container.ok());
+  auto outcome = fx.engine.run_secure(
+      **container, fx.platform, fx.config,
+      [](scone::AppContext&) -> Result<Bytes> { return Bytes{}; });
+  ASSERT_TRUE(outcome.ok());
+  const auto profile = fx.monitor.profile((*container)->id());
+  EXPECT_EQ(profile.samples, 1u);
+  EXPECT_GT(profile.avg_cpu_cycles_per_sample, 0.0);  // transitions charged
+}
+
+}  // namespace
+}  // namespace securecloud::container

@@ -1,0 +1,128 @@
+// Sealed dataset tests: verifiable random access, substitution/reorder/
+// truncation attacks, wrong keys.
+#include <gtest/gtest.h>
+
+#include "bigdata/dataset.hpp"
+
+namespace securecloud::bigdata {
+namespace {
+
+using crypto::DeterministicEntropy;
+
+struct DatasetFixture {
+  scone::UntrustedFileSystem storage;
+  DeterministicEntropy entropy{61};
+  Bytes key = Bytes(16, 0x64);
+  DatasetPublisher publisher{storage, entropy};
+
+  std::vector<Bytes> records(std::size_t n) {
+    std::vector<Bytes> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(to_bytes("record number " + std::to_string(i)));
+    }
+    return out;
+  }
+};
+
+TEST(Dataset, PublishAndReadEveryRecord) {
+  DatasetFixture fx;
+  const auto records = fx.records(33);  // odd count: irregular tree
+  auto handle = fx.publisher.publish("meters-2026", fx.key, records);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(handle->record_count, 33u);
+
+  DatasetReader reader(fx.storage, *handle, fx.key);
+  for (std::uint64_t i = 0; i < 33; ++i) {
+    auto record = reader.read_record(i);
+    ASSERT_TRUE(record.ok()) << i;
+    EXPECT_EQ(*record, records[i]);
+  }
+  EXPECT_FALSE(reader.read_record(33).ok());  // out of range
+}
+
+TEST(Dataset, EmptyDatasetRejected) {
+  DatasetFixture fx;
+  EXPECT_FALSE(fx.publisher.publish("empty", fx.key, {}).ok());
+}
+
+TEST(Dataset, StorageHoldsOnlyCiphertext) {
+  DatasetFixture fx;
+  auto handle = fx.publisher.publish("ds", fx.key, {to_bytes("CONFIDENTIAL-XYZ")});
+  ASSERT_TRUE(handle.ok());
+  for (const auto& path : fx.storage.list()) {
+    const auto content = fx.storage.read_file(path);
+    const std::string s(content->begin(), content->end());
+    EXPECT_EQ(s.find("CONFIDENTIAL"), std::string::npos) << path;
+  }
+}
+
+TEST(Dataset, DetectsRecordTampering) {
+  DatasetFixture fx;
+  auto handle = fx.publisher.publish("ds", fx.key, fx.records(8));
+  ASSERT_TRUE(handle.ok());
+  (*fx.storage.raw("/dataset/ds/3"))[5] ^= 1;
+  DatasetReader reader(fx.storage, *handle, fx.key);
+  auto r = reader.read_record(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kIntegrityViolation);
+  EXPECT_TRUE(reader.read_record(2).ok());  // others unaffected
+}
+
+TEST(Dataset, DetectsRecordSubstitutionFromSameDataset) {
+  // Swapping two validly encrypted records must fail: the Merkle leaf
+  // and the AAD both bind the position.
+  DatasetFixture fx;
+  auto handle = fx.publisher.publish("ds", fx.key, fx.records(8));
+  ASSERT_TRUE(handle.ok());
+  std::swap(*fx.storage.raw("/dataset/ds/1"), *fx.storage.raw("/dataset/ds/2"));
+  DatasetReader reader(fx.storage, *handle, fx.key);
+  EXPECT_FALSE(reader.read_record(1).ok());
+  EXPECT_FALSE(reader.read_record(2).ok());
+}
+
+TEST(Dataset, DetectsProofSubstitution) {
+  DatasetFixture fx;
+  auto handle = fx.publisher.publish("ds", fx.key, fx.records(8));
+  ASSERT_TRUE(handle.ok());
+  // Serve record 1 with record 2's (valid) proof.
+  *fx.storage.raw("/dataset/ds/1.proof") = *fx.storage.raw("/dataset/ds/2.proof");
+  DatasetReader reader(fx.storage, *handle, fx.key);
+  EXPECT_FALSE(reader.read_record(1).ok());
+}
+
+TEST(Dataset, DetectsCrossDatasetReplay) {
+  // A record validly published in dataset A cannot be served as B's.
+  DatasetFixture fx;
+  auto a = fx.publisher.publish("a", fx.key, fx.records(4));
+  auto b = fx.publisher.publish("b", fx.key, fx.records(4));
+  ASSERT_TRUE(a.ok() && b.ok());
+  *fx.storage.raw("/dataset/b/0") = *fx.storage.raw("/dataset/a/0");
+  *fx.storage.raw("/dataset/b/0.proof") = *fx.storage.raw("/dataset/a/0.proof");
+  DatasetReader reader(fx.storage, *b, fx.key);
+  EXPECT_FALSE(reader.read_record(0).ok());
+}
+
+TEST(Dataset, WrongKeyFailsAfterMerklePasses) {
+  DatasetFixture fx;
+  auto handle = fx.publisher.publish("ds", fx.key, fx.records(4));
+  ASSERT_TRUE(handle.ok());
+  DatasetReader reader(fx.storage, *handle, Bytes(16, 0x00));
+  auto r = reader.read_record(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kIntegrityViolation);
+}
+
+TEST(Dataset, ForgedRootRejectsEverything) {
+  DatasetFixture fx;
+  auto handle = fx.publisher.publish("ds", fx.key, fx.records(4));
+  ASSERT_TRUE(handle.ok());
+  DatasetHandle forged = *handle;
+  forged.root[0] ^= 1;
+  DatasetReader reader(fx.storage, forged, fx.key);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(reader.read_record(i).ok());
+  }
+}
+
+}  // namespace
+}  // namespace securecloud::bigdata

@@ -1,0 +1,132 @@
+// Application deployment across a host fleet (Fig. 1 as an API).
+#include <gtest/gtest.h>
+
+#include "container/billing.hpp"
+#include "microservice/deployment.hpp"
+#include "sgx/platform.hpp"
+
+namespace securecloud::microservice {
+namespace {
+
+ServiceSpec service(const std::string& name, genpack::ContainerClass cls,
+                    double cpu = 1.0) {
+  ServiceSpec s;
+  s.image.name = name;
+  s.image.app_code = to_bytes("binary:" + name);
+  s.image.protected_files["/secrets/key"] = to_bytes("secret-of-" + name);
+  s.scheduling_class = cls;
+  s.cpu_cores = cpu;
+  return s;
+}
+
+ApplicationSpec grid_app() {
+  ApplicationSpec app;
+  app.name = "grid";
+  app.services.push_back(service("monitoring", genpack::ContainerClass::kSystem, 0.5));
+  app.services.push_back(service("ingest", genpack::ContainerClass::kService, 2.0));
+  app.services.push_back(service("analytics", genpack::ContainerClass::kService, 4.0));
+  return app;
+}
+
+TEST(Deployment, DeploysAllServicesWithScheduling) {
+  sgx::AttestationService attestation;
+  CloudDeployer deployer(6, attestation, 42);
+  auto placements = deployer.deploy(grid_app());
+  ASSERT_TRUE(placements.ok());
+  ASSERT_EQ(placements->size(), 3u);
+
+  // System containers land in the old generation of the fleet; services
+  // start in the nursery (GenPack semantics carried into deployment).
+  const genpack::GenPackScheduler reference(6);
+  for (const auto& p : *placements) {
+    if (p.service == "monitoring") {
+      EXPECT_GE(p.host, reference.young_end());
+    } else {
+      EXPECT_LT(p.host, reference.nursery_end());
+    }
+  }
+}
+
+TEST(Deployment, ServicesRunAttestedOnTheirHosts) {
+  sgx::AttestationService attestation;
+  CloudDeployer deployer(6, attestation, 43);
+  ASSERT_TRUE(deployer.deploy(grid_app()).ok());
+
+  for (const std::string name : {"monitoring", "ingest", "analytics"}) {
+    auto outcome = deployer.run_service(
+        name, [&](scone::AppContext& ctx) -> Result<Bytes> {
+          auto secret = ctx.fs.read_all("/secrets/key");
+          if (!secret.ok()) return secret.error();
+          return *secret;
+        });
+    ASSERT_TRUE(outcome.ok()) << name;
+    EXPECT_EQ(securecloud::to_string(outcome->app_result), "secret-of-" + name);
+  }
+}
+
+TEST(Deployment, UnknownServiceRejected) {
+  sgx::AttestationService attestation;
+  CloudDeployer deployer(4, attestation, 44);
+  ASSERT_TRUE(deployer.deploy(grid_app()).ok());
+  auto r = deployer.run_service("ghost", [](scone::AppContext&) -> Result<Bytes> {
+    return Bytes{};
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+}
+
+TEST(Deployment, CapacityExhaustionReported) {
+  sgx::AttestationService attestation;
+  CloudDeployer deployer(2, attestation, 45);  // tiny fleet
+  ApplicationSpec heavy;
+  heavy.name = "heavy";
+  for (int i = 0; i < 8; ++i) {
+    // 8 services x 16 cores cannot fit 2 hosts x 16 cores.
+    heavy.services.push_back(
+        service("svc-" + std::to_string(i), genpack::ContainerClass::kService, 16.0));
+  }
+  auto r = deployer.deploy(heavy);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kResourceExhausted);
+}
+
+TEST(Deployment, SecretsNeverReachAnyHostFs) {
+  sgx::AttestationService attestation;
+  CloudDeployer deployer(4, attestation, 46);
+  ASSERT_TRUE(deployer.deploy(grid_app()).ok());
+  // Pull every image as the (untrusted) registry client would and scan.
+  for (const std::string name : {"monitoring", "ingest", "analytics"}) {
+    auto pulled = deployer.registry().pull(name + ":latest");
+    ASSERT_TRUE(pulled.ok());
+    for (const auto& layer : pulled->layers) {
+      for (const auto& [path, content] : layer.files) {
+        const std::string s(content.begin(), content.end());
+        EXPECT_EQ(s.find("secret-of"), std::string::npos) << path;
+      }
+    }
+  }
+}
+
+TEST(Deployment, UsageIsBillable) {
+  sgx::AttestationService attestation;
+  CloudDeployer deployer(4, attestation, 47);
+  auto placements = deployer.deploy(grid_app());
+  ASSERT_TRUE(placements.ok());
+  for (const std::string name : {"ingest", "analytics"}) {
+    ASSERT_TRUE(deployer
+                    .run_service(name,
+                                 [](scone::AppContext&) -> Result<Bytes> { return Bytes{}; })
+                    .ok());
+  }
+
+  container::BillingEngine billing;
+  std::vector<std::string> ids;
+  for (const auto& p : *placements) ids.push_back(p.container_id);
+  const auto invoices = billing.generate_invoices(deployer.monitor(), ids);
+  double total = 0;
+  for (const auto& invoice : invoices) total += invoice.total();
+  EXPECT_GT(total, 0);  // attested startups consumed cycles
+}
+
+}  // namespace
+}  // namespace securecloud::microservice

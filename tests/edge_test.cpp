@@ -1,0 +1,210 @@
+// Edge-case coverage across modules: boundary conditions and less-traveled
+// paths not exercised by the main per-module suites.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "container/registry.hpp"
+#include "scbr/engine.hpp"
+#include "scbr/naive_engine.hpp"
+#include "scbr/poset_engine.hpp"
+#include "scone/syscall.hpp"
+#include "scone/uthread.hpp"
+#include "sgx/cache_model.hpp"
+#include "sgx/epc.hpp"
+#include "sgx/memory_model.hpp"
+
+namespace securecloud {
+namespace {
+
+// ------------------------------------------------------------- SimClock/log
+
+TEST(Edge, SimClockFrequencyConversion) {
+  SimClock clock(1.0);  // 1 GHz: 1 cycle = 1 ns
+  clock.advance_cycles(12345);
+  EXPECT_EQ(clock.nanos(), 12345u);
+  EXPECT_DOUBLE_EQ(clock.frequency_ghz(), 1.0);
+}
+
+TEST(Edge, LogLevelsFilter) {
+  const LogLevel saved = Log::level();
+  Log::level() = LogLevel::kOff;
+  log_debug("test", "invisible");
+  log_error("test", "invisible");
+  Log::level() = saved;
+  SUCCEED();  // nothing to assert beyond "does not crash/print"
+}
+
+// -------------------------------------------------------------- CacheModel
+
+TEST(Edge, CacheInvalidateMissingLineIsNoop) {
+  sgx::CacheModel cache(4096, 64, 4);
+  cache.invalidate_range(0, 4096);  // nothing resident
+  EXPECT_EQ(cache.misses(), 0u);
+  cache.access(0);
+  cache.clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.access(0));  // cold again after clear
+}
+
+TEST(Edge, CacheLineSpanningAccessTouchesBothLines) {
+  sgx::CostModel cost;
+  SimClock clock;
+  sgx::PlainMemory mem(cost, clock);
+  mem.access(60, 8);  // spans lines 0 and 1
+  EXPECT_EQ(mem.stats().accesses, 2u);
+}
+
+// -------------------------------------------------------------- EpcManager
+
+TEST(Edge, EpcCapacityFromCostModel) {
+  sgx::CostModel cost;
+  cost.epc_size_bytes = 128ull << 20;
+  cost.epc_metadata_bytes = 34ull * 1024 * 1024 + 512ull * 1024;
+  SimClock clock;
+  sgx::EpcManager epc(cost, clock);
+  EXPECT_EQ(epc.capacity_pages(), cost.usable_epc_bytes() / 4096);
+  epc.touch(0);
+  epc.reset_stats();
+  EXPECT_EQ(epc.stats().faults, 0u);
+  EXPECT_EQ(epc.resident_pages(), 1u);  // stats reset, residency kept
+}
+
+TEST(Edge, EpcRemoveRangeOnEmptyManager) {
+  sgx::CostModel cost;
+  SimClock clock;
+  sgx::EpcManager epc(cost, clock);
+  epc.remove_range(0, 1 << 20);  // no pages: no crash, no effect
+  EXPECT_EQ(epc.resident_pages(), 0u);
+}
+
+// ---------------------------------------------------------------- Engines
+
+TEST(Edge, EmptyEngineMatchesNothing) {
+  scbr::NaiveEngine naive;
+  scbr::PosetEngine poset;
+  scbr::Event e;
+  e.set("x", std::int64_t{1});
+  EXPECT_TRUE(naive.match(e).empty());
+  EXPECT_TRUE(poset.match(e).empty());
+  EXPECT_TRUE(poset.check_invariants());
+  EXPECT_EQ(poset.max_depth(), 0u);
+}
+
+TEST(Edge, EmptyFilterMatchesEverything) {
+  scbr::PosetEngine engine;
+  engine.subscribe(1, scbr::Filter{});  // no constraints
+  scbr::Event anything;
+  anything.set("whatever", std::int64_t{7});
+  EXPECT_EQ(engine.match(anything).size(), 1u);
+  EXPECT_EQ(engine.match(scbr::Event{}).size(), 1u);  // even empty events
+}
+
+TEST(Edge, EmptyFilterCoversAllAndBecomesRoot) {
+  scbr::PosetEngine engine;
+  scbr::Filter narrow;
+  narrow.where("x", scbr::Op::kGe, scbr::Value::of(std::int64_t{0}));
+  engine.subscribe(1, narrow);
+  engine.subscribe(2, scbr::Filter{});  // covers everything
+  EXPECT_EQ(engine.root_count(), 1u);
+  EXPECT_EQ(engine.max_depth(), 2u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(Edge, EngineStatsResetKeepsDatabase) {
+  scbr::NaiveEngine engine;
+  scbr::Filter f;
+  f.where("x", scbr::Op::kGe, scbr::Value::of(std::int64_t{0}));
+  engine.subscribe(1, f);
+  scbr::Event e;
+  e.set("x", std::int64_t{1});
+  (void)engine.match(e);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().nodes_visited, 0u);
+  EXPECT_EQ(engine.size(), 1u);
+  EXPECT_GT(engine.database_bytes(), 0u);
+}
+
+TEST(Edge, VirtualArenaAligns) {
+  scbr::VirtualArena arena;
+  const auto a = arena.allocate(1);
+  const auto b = arena.allocate(1);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b - a, 64u);
+}
+
+// ----------------------------------------------------------------- Syscall
+
+TEST(Edge, UnknownSyscallOpReturnsEnosys) {
+  scone::UntrustedFileSystem fs;
+  scone::SyscallBackend backend(fs);
+  scone::SyscallRequest bad;
+  bad.op = static_cast<scone::SyscallOp>(250);
+  EXPECT_EQ(backend.execute(bad).error, 38);  // ENOSYS
+}
+
+TEST(Edge, SyscallReadMissingFileGivesEnoent) {
+  scone::UntrustedFileSystem fs;
+  scone::SyscallBackend backend(fs);
+  scone::SyscallRequest read;
+  read.op = scone::SyscallOp::kRead;
+  read.path = "/none";
+  read.length = 10;
+  EXPECT_EQ(backend.execute(read).error, 2);  // ENOENT
+}
+
+// -------------------------------------------------------------- Scheduler
+
+TEST(Edge, SchedulerWithNoTasksReturnsImmediately) {
+  SimClock clock;
+  scone::UserScheduler scheduler(clock);
+  EXPECT_EQ(scheduler.run(), 0u);
+  EXPECT_EQ(clock.cycles(), 0u);
+}
+
+TEST(Edge, BlockedTasksEventuallyComplete) {
+  SimClock clock;
+  scone::UserScheduler scheduler(clock);
+  auto gate = std::make_shared<int>(0);
+  // Task A blocks until task B has run 3 times.
+  scheduler.spawn([gate] {
+    return *gate >= 3 ? scone::StepResult::kDone : scone::StepResult::kBlocked;
+  });
+  scheduler.spawn([gate] {
+    return ++*gate >= 3 ? scone::StepResult::kDone : scone::StepResult::kYield;
+  });
+  scheduler.run();
+  EXPECT_EQ(scheduler.runnable(), 0u);
+  EXPECT_GE(*gate, 3);
+}
+
+// ----------------------------------------------------------- Error/result
+
+TEST(Edge, AllErrorCodesHaveNames) {
+  for (const ErrorCode code :
+       {ErrorCode::kInvalidArgument, ErrorCode::kNotFound, ErrorCode::kPermissionDenied,
+        ErrorCode::kIntegrityViolation, ErrorCode::kAttestationFailure,
+        ErrorCode::kProtocolError, ErrorCode::kResourceExhausted,
+        ErrorCode::kUnavailable, ErrorCode::kInternal}) {
+    EXPECT_STRNE(to_string(code), "unknown");
+  }
+}
+
+TEST(Edge, RegistryDeduplicatesIdenticalLayers) {
+  container::Registry registry;
+  container::Layer layer;
+  layer.files["/f"] = Bytes(1000, 0x42);
+  const std::string d1 = registry.push_layer(layer);
+  const std::string d2 = registry.push_layer(layer);  // content-addressed
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(registry.layer_count(), 1u);
+}
+
+TEST(Edge, ResultMoveSemantics) {
+  Result<Bytes> r = Bytes(1000, 0x7f);
+  const Bytes moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace securecloud

@@ -1,0 +1,143 @@
+// POSIX-style shielded file handle tests.
+#include <gtest/gtest.h>
+
+#include "scone/file_handle.hpp"
+
+namespace securecloud::scone {
+namespace {
+
+struct FdFixture {
+  UntrustedFileSystem host;
+  crypto::DeterministicEntropy entropy{9};
+  ShieldedFileSystem fs{host, FsProtection{}, entropy};
+  ShieldedFileTable files{fs};
+};
+
+TEST(FileHandle, CreateWriteReadBack) {
+  FdFixture fx;
+  auto fd = fx.files.open("/log", kRead | kWrite | kCreate);
+  ASSERT_TRUE(fd.ok());
+
+  ASSERT_TRUE(fx.files.write(*fd, to_bytes("hello ")).ok());
+  ASSERT_TRUE(fx.files.write(*fd, to_bytes("world")).ok());
+
+  ASSERT_TRUE(fx.files.seek(*fd, 0, Whence::kSet).ok());
+  auto data = fx.files.read(*fd, 100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(to_string(*data), "hello world");
+  EXPECT_EQ(*fx.files.tell(*fd), 11u);
+
+  // Reads at EOF return empty, not an error.
+  auto eof = fx.files.read(*fd, 10);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_TRUE(eof->empty());
+  ASSERT_TRUE(fx.files.close(*fd).ok());
+}
+
+TEST(FileHandle, OpenMissingWithoutCreateFails) {
+  FdFixture fx;
+  auto fd = fx.files.open("/nope", kRead);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error().code, ErrorCode::kNotFound);
+}
+
+TEST(FileHandle, FlagsEnforced) {
+  FdFixture fx;
+  ASSERT_TRUE(fx.fs.create("/f").ok());
+  ASSERT_TRUE(fx.fs.write_all("/f", to_bytes("content")).ok());
+
+  auto ro = fx.files.open("/f", kRead);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_FALSE(fx.files.write(*ro, to_bytes("x")).ok());
+
+  auto wo = fx.files.open("/f", kWrite);
+  ASSERT_TRUE(wo.ok());
+  EXPECT_FALSE(fx.files.read(*wo, 1).ok());
+
+  EXPECT_FALSE(fx.files.open("/f", 0).ok());           // no direction
+  EXPECT_FALSE(fx.files.open("/f", kRead | kTruncate).ok());  // truncate needs write
+}
+
+TEST(FileHandle, TruncateClearsContent) {
+  FdFixture fx;
+  ASSERT_TRUE(fx.fs.create("/f").ok());
+  ASSERT_TRUE(fx.fs.write_all("/f", to_bytes("old content")).ok());
+  auto fd = fx.files.open("/f", kRead | kWrite | kTruncate);
+  ASSERT_TRUE(fd.ok());
+  auto size = fx.fs.size_of("/f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+}
+
+TEST(FileHandle, AppendAlwaysWritesAtEof) {
+  FdFixture fx;
+  auto fd = fx.files.open("/log", kWrite | kCreate | kAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fx.files.write(*fd, to_bytes("one")).ok());
+  // Even after seeking back, append mode writes at EOF.
+  ASSERT_TRUE(fx.files.seek(*fd, 0, Whence::kSet).ok());
+  ASSERT_TRUE(fx.files.write(*fd, to_bytes("two")).ok());
+  auto all = fx.fs.read_all("/log");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(to_string(*all), "onetwo");
+}
+
+TEST(FileHandle, SeekSemantics) {
+  FdFixture fx;
+  auto fd = fx.files.open("/f", kRead | kWrite | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fx.files.write(*fd, Bytes(100, 0x41)).ok());
+
+  EXPECT_EQ(*fx.files.seek(*fd, 10, Whence::kSet), 10u);
+  EXPECT_EQ(*fx.files.seek(*fd, 5, Whence::kCurrent), 15u);
+  EXPECT_EQ(*fx.files.seek(*fd, -5, Whence::kEnd), 95u);
+  EXPECT_FALSE(fx.files.seek(*fd, -200, Whence::kCurrent).ok());
+
+  // Seek past EOF then write: zero-filled hole.
+  EXPECT_EQ(*fx.files.seek(*fd, 50, Whence::kEnd), 150u);
+  ASSERT_TRUE(fx.files.write(*fd, to_bytes("tail")).ok());
+  auto hole = fx.fs.read("/f", 120, 10);
+  ASSERT_TRUE(hole.ok());
+  EXPECT_EQ(*hole, Bytes(10, 0));
+}
+
+TEST(FileHandle, IndependentPositionsPerDescriptor) {
+  FdFixture fx;
+  ASSERT_TRUE(fx.fs.create("/f").ok());
+  ASSERT_TRUE(fx.fs.write_all("/f", to_bytes("abcdef")).ok());
+  auto fd1 = fx.files.open("/f", kRead);
+  auto fd2 = fx.files.open("/f", kRead);
+  ASSERT_TRUE(fd1.ok() && fd2.ok());
+  EXPECT_EQ(to_string(*fx.files.read(*fd1, 3)), "abc");
+  EXPECT_EQ(to_string(*fx.files.read(*fd2, 2)), "ab");
+  EXPECT_EQ(to_string(*fx.files.read(*fd1, 3)), "def");
+}
+
+TEST(FileHandle, BadDescriptorsRejected) {
+  FdFixture fx;
+  EXPECT_FALSE(fx.files.read(42, 1).ok());
+  EXPECT_FALSE(fx.files.write(42, to_bytes("x")).ok());
+  EXPECT_FALSE(fx.files.seek(42, 0, Whence::kSet).ok());
+  EXPECT_FALSE(fx.files.tell(42).ok());
+  EXPECT_FALSE(fx.files.close(42).ok());
+
+  auto fd = fx.files.open("/f", kWrite | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fx.files.close(*fd).ok());
+  EXPECT_FALSE(fx.files.write(*fd, to_bytes("x")).ok());  // closed
+}
+
+TEST(FileHandle, ContentStillEncryptedOnHost) {
+  FdFixture fx;
+  auto fd = fx.files.open("/secret", kWrite | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fx.files.write(*fd, to_bytes("FD-LAYER-SECRET")).ok());
+  for (const auto& path : fx.host.list()) {
+    const auto content = fx.host.read_file(path);
+    const std::string s(content->begin(), content->end());
+    EXPECT_EQ(s.find("FD-LAYER"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace securecloud::scone

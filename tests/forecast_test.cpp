@@ -1,0 +1,93 @@
+// Load forecasting tests: Holt–Winters behaviour on synthetic and
+// meter-fleet data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "smartgrid/forecast.hpp"
+#include "smartgrid/meter.hpp"
+
+namespace securecloud::smartgrid {
+namespace {
+
+TEST(Forecast, UnavailableBeforeFirstSeason) {
+  LoadForecaster forecaster({.season_length = 10});
+  for (int i = 0; i < 9; ++i) {
+    forecaster.observe(100);
+    EXPECT_FALSE(forecaster.forecast().has_value());
+  }
+  forecaster.observe(100);
+  EXPECT_TRUE(forecaster.forecast().has_value());
+}
+
+TEST(Forecast, ConstantSeriesForecastsConstant) {
+  LoadForecaster forecaster({.season_length = 8});
+  for (int i = 0; i < 64; ++i) forecaster.observe(500);
+  auto f = forecaster.forecast(1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, 500, 1e-6);
+  EXPECT_NEAR(forecaster.mape(), 0, 1e-9);
+}
+
+TEST(Forecast, TracksLinearTrend) {
+  LoadForecaster forecaster({.season_length = 8, .alpha = 0.5, .beta = 0.3, .gamma = 0.1});
+  for (int i = 0; i < 200; ++i) forecaster.observe(1000 + 5.0 * i);
+  auto f = forecaster.forecast(1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(*f, 1000 + 5.0 * 200, 25);  // within 0.5 steps of the line
+}
+
+TEST(Forecast, LearnsSeasonalPattern) {
+  // Pure seasonal square-ish wave with period 12.
+  LoadForecaster forecaster({.season_length = 12, .alpha = 0.2, .beta = 0.01, .gamma = 0.3});
+  auto value_at = [](int i) { return (i % 12) < 6 ? 200.0 : 800.0; };
+  for (int i = 0; i < 240; ++i) forecaster.observe(value_at(i));
+
+  // Forecast one full period ahead and compare phase by phase.
+  for (std::size_t step = 1; step <= 12; ++step) {
+    auto f = forecaster.forecast(step);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_NEAR(*f, value_at(240 + static_cast<int>(step) - 1), 80) << "step " << step;
+  }
+}
+
+TEST(Forecast, ReasonableAccuracyOnMeterFleet) {
+  // Aggregate feeder load from the synthetic fleet: diurnal + noise.
+  GridConfig grid;
+  grid.households = 30;
+  grid.interval_s = 900;  // 96 samples/day
+  grid.horizon_s = 4 * 24 * 3600;
+  const MeterFleet fleet(grid, 99);
+
+  const auto all = fleet.all_series();
+  LoadForecaster forecaster({.season_length = 96});
+  for (std::size_t i = 0; i < all[0].size(); ++i) {
+    double total = 0;
+    for (const auto& series : all) total += series[i].power_w;
+    forecaster.observe(total);
+  }
+  EXPECT_TRUE(forecaster.warmed_up());
+  // Diurnal load with ~4% noise: Holt-Winters should land well under 15%.
+  EXPECT_LT(forecaster.mape(), 15.0);
+  EXPECT_GT(forecaster.observations(), 300u);
+}
+
+TEST(Forecast, MultiStepHorizonStaysBounded) {
+  LoadForecaster forecaster({.season_length = 24});
+  Rng rng(4);
+  for (int i = 0; i < 240; ++i) {
+    forecaster.observe(1000 + 300 * std::sin(2 * std::numbers::pi * i / 24.0) +
+                       rng.normal(0, 20));
+  }
+  for (std::size_t h : {1u, 6u, 12u, 24u}) {
+    auto f = forecaster.forecast(h);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_GT(*f, 300);
+    EXPECT_LT(*f, 1800);
+  }
+}
+
+}  // namespace
+}  // namespace securecloud::smartgrid

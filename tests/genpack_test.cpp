@@ -1,0 +1,341 @@
+// GenPack tests: trace generation, server/power model, the three
+// schedulers, migration correctness, and the headline energy comparison.
+#include <gtest/gtest.h>
+
+#include "genpack/simulator.hpp"
+
+namespace securecloud::genpack {
+namespace {
+
+ContainerSpec spec(const std::string& id, ContainerClass cls, double cpu, double mem,
+                   std::uint64_t arrival, std::uint64_t duration) {
+  ContainerSpec c;
+  c.id = id;
+  c.cls = cls;
+  c.cpu_cores = cpu;
+  c.mem_gb = mem;
+  c.arrival_s = arrival;
+  c.duration_s = duration;
+  return c;
+}
+
+// ------------------------------------------------------------------- Trace
+
+TEST(Trace, CompositionMatchesConfig) {
+  TraceConfig config;
+  config.system_containers = 5;
+  config.service_containers = 10;
+  const auto trace = generate_trace(config, 1);
+
+  std::size_t system = 0, service = 0, batch = 0;
+  for (const auto& c : trace) {
+    switch (c.cls) {
+      case ContainerClass::kSystem: ++system; break;
+      case ContainerClass::kService: ++service; break;
+      case ContainerClass::kBatch: ++batch; break;
+    }
+  }
+  EXPECT_EQ(system, 5u);
+  EXPECT_EQ(service, 10u);
+  // ~120/h for 24h => ~2880 batch jobs (Poisson).
+  EXPECT_GT(batch, 2000u);
+  EXPECT_LT(batch, 4000u);
+}
+
+TEST(Trace, SortedByArrivalAndDeterministic) {
+  TraceConfig config;
+  const auto a = generate_trace(config, 7);
+  const auto b = generate_trace(config, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+    }
+  }
+  const auto c = generate_trace(config, 8);
+  EXPECT_NE(a.size(), c.size());  // different seed, different Poisson draw
+}
+
+TEST(Trace, SystemContainersAreImmortal) {
+  const auto trace = generate_trace({}, 3);
+  for (const auto& c : trace) {
+    if (c.cls == ContainerClass::kSystem) {
+      EXPECT_EQ(c.duration_s, 0u);
+      EXPECT_EQ(c.departure_s(), UINT64_MAX);
+    } else {
+      EXPECT_GT(c.duration_s, 0u);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Server
+
+TEST(Server, PlacementAndPower) {
+  Server server(0, {});
+  EXPECT_FALSE(server.powered_on());
+  EXPECT_DOUBLE_EQ(server.power_watts(), 5.0);  // suspended
+
+  const auto c = spec("c1", ContainerClass::kBatch, 8.0, 16.0, 0, 60);
+  ASSERT_TRUE(server.can_fit(c));
+  server.place(c);
+  EXPECT_TRUE(server.powered_on());
+  EXPECT_DOUBLE_EQ(server.cpu_utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(server.power_watts(), 95.0 + 95.0 * 0.5);
+
+  ASSERT_TRUE(server.remove("c1"));
+  EXPECT_FALSE(server.powered_on());  // auto-suspend when drained
+  EXPECT_FALSE(server.remove("c1"));
+}
+
+TEST(Server, CapacityEnforced) {
+  Server server(0, {});
+  server.place(spec("big", ContainerClass::kService, 15.0, 32.0, 0, 0));
+  EXPECT_FALSE(server.can_fit(spec("more-cpu", ContainerClass::kBatch, 2.0, 1.0, 0, 60)));
+  EXPECT_TRUE(server.can_fit(spec("small", ContainerClass::kBatch, 1.0, 1.0, 0, 60)));
+  EXPECT_FALSE(server.can_fit(spec("more-mem", ContainerClass::kBatch, 0.5, 33.0, 0, 60)));
+}
+
+TEST(Server, IdleFloorDominatesPowerCurve) {
+  Server idle_server(0, {}), busy(1, {});
+  idle_server.place(spec("tiny", ContainerClass::kBatch, 0.1, 0.1, 0, 60));
+  busy.place(spec("full", ContainerClass::kBatch, 16.0, 1.0, 0, 60));
+  // A nearly idle powered-on server still burns >= half of a fully busy one.
+  EXPECT_GT(idle_server.power_watts(), 0.5 * busy.power_watts());
+}
+
+// -------------------------------------------------------------- Schedulers
+
+TEST(Spread, PicksLeastLoaded) {
+  std::vector<Server> servers{Server(0, {}), Server(1, {}), Server(2, {})};
+  servers[0].place(spec("a", ContainerClass::kBatch, 8, 8, 0, 60));
+  servers[1].place(spec("b", ContainerClass::kBatch, 4, 4, 0, 60));
+  SpreadScheduler spread;
+  auto pick = spread.place(spec("new", ContainerClass::kBatch, 1, 1, 0, 60), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);  // the empty one
+}
+
+TEST(FirstFit, PacksInIdOrder) {
+  std::vector<Server> servers{Server(0, {}), Server(1, {})};
+  FirstFitScheduler ff;
+  for (int i = 0; i < 4; ++i) {
+    auto pick = ff.place(spec("c" + std::to_string(i), ContainerClass::kBatch, 4, 4, 0, 60),
+                         servers);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 0u);
+    servers[*pick].place(spec("c" + std::to_string(i), ContainerClass::kBatch, 4, 4, 0, 60));
+  }
+  // Server 0 full (16 cores): next goes to server 1.
+  auto pick = ff.place(spec("c4", ContainerClass::kBatch, 4, 4, 0, 60), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(BestFit, PicksFullestFittingServer) {
+  std::vector<Server> servers{Server(0, {}), Server(1, {}), Server(2, {})};
+  servers[0].place(spec("a", ContainerClass::kBatch, 14, 8, 0, 60));  // nearly full
+  servers[1].place(spec("b", ContainerClass::kBatch, 4, 4, 0, 60));
+  BestFitScheduler bf;
+  // A 4-core job does not fit server 0 (14+4 > 16): best fit is server 1.
+  auto pick = bf.place(spec("new", ContainerClass::kBatch, 4, 4, 0, 60), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+  // A 2-core job fits server 0, the fullest.
+  pick = bf.place(spec("small", ContainerClass::kBatch, 2, 2, 0, 60), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);
+}
+
+TEST(BestFit, RejectsWhenNothingFits) {
+  std::vector<Server> servers{Server(0, {})};
+  servers[0].place(spec("hog", ContainerClass::kService, 16, 64, 0, 0));
+  BestFitScheduler bf;
+  EXPECT_FALSE(bf.place(spec("x", ContainerClass::kBatch, 1, 1, 0, 60), servers).has_value());
+}
+
+TEST(FirstFit, RejectsWhenClusterFull) {
+  std::vector<Server> servers{Server(0, {})};
+  servers[0].place(spec("hog", ContainerClass::kService, 16, 64, 0, 0));
+  FirstFitScheduler ff;
+  EXPECT_FALSE(ff.place(spec("x", ContainerClass::kBatch, 1, 1, 0, 60), servers).has_value());
+}
+
+TEST(GenPack, GenerationBoundaries) {
+  GenPackScheduler genpack(20);
+  EXPECT_EQ(genpack.nursery_end(), 6u);   // 30% of 20
+  EXPECT_EQ(genpack.young_end(), 16u);    // 20% old => 4 old servers
+}
+
+TEST(GenPack, SystemContainersGoToOldGeneration) {
+  GenPackScheduler genpack(10);
+  std::vector<Server> servers;
+  for (std::size_t i = 0; i < 10; ++i) servers.emplace_back(i, ServerConfig{});
+  auto pick = genpack.place(spec("sys", ContainerClass::kSystem, 1, 1, 0, 0), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_GE(*pick, genpack.young_end());
+}
+
+TEST(GenPack, NewContainersStartInNursery) {
+  GenPackScheduler genpack(10);
+  std::vector<Server> servers;
+  for (std::size_t i = 0; i < 10; ++i) servers.emplace_back(i, ServerConfig{});
+  auto pick = genpack.place(spec("job", ContainerClass::kBatch, 1, 1, 0, 60), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_LT(*pick, genpack.nursery_end());
+}
+
+TEST(GenPack, BestFitPacksTightly) {
+  GenPackScheduler genpack(10);
+  std::vector<Server> servers;
+  for (std::size_t i = 0; i < 10; ++i) servers.emplace_back(i, ServerConfig{});
+  servers[0].place(spec("a", ContainerClass::kBatch, 8, 8, 0, 60));
+  servers[1].place(spec("b", ContainerClass::kBatch, 2, 2, 0, 60));
+  // Best-fit prefers the fuller nursery server that still fits.
+  auto pick = genpack.place(spec("new", ContainerClass::kBatch, 4, 4, 0, 60), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);
+}
+
+TEST(GenPack, PromotesSurvivorsAfterMonitoringWindow) {
+  GenPackConfig config;
+  config.monitoring_window_s = 100;
+  config.period_s = 50;
+  GenPackScheduler genpack(10, config);
+  std::vector<Server> servers;
+  for (std::size_t i = 0; i < 10; ++i) servers.emplace_back(i, ServerConfig{});
+
+  const auto young_svc = spec("svc", ContainerClass::kService, 2, 2, 0, 10'000);
+  servers[0].place(young_svc);
+
+  // Before the window: no migrations.
+  EXPECT_TRUE(genpack.periodic(60, servers).empty());
+  // After: promoted into the young generation.
+  const auto migrations = genpack.periodic(200, servers);
+  ASSERT_EQ(migrations.size(), 1u);
+  EXPECT_EQ(migrations[0].container_id, "svc");
+  EXPECT_GE(migrations[0].to_server, genpack.nursery_end());
+  EXPECT_LT(migrations[0].to_server, genpack.young_end());
+}
+
+// --------------------------------------------------------------- Simulator
+
+TEST(Simulator, EnergyAccountingSanity) {
+  // One immortal container on one server for 1 hour.
+  ClusterSimulator sim(2);
+  FirstFitScheduler ff;
+  std::vector<ContainerSpec> trace{spec("c", ContainerClass::kService, 16, 1, 0, 3600)};
+  const auto report = sim.run(trace, ff);
+  // Server 0 at 100% for 1h (190W) + server 1 suspended (5W).
+  EXPECT_NEAR(report.total_energy_wh, 190.0 + 5.0, 1.0);
+  EXPECT_EQ(report.placed, 1u);
+  EXPECT_EQ(report.rejected, 0u);
+}
+
+TEST(Simulator, DeparturesFreeCapacity) {
+  ClusterSimulator sim(1);
+  FirstFitScheduler ff;
+  std::vector<ContainerSpec> trace{
+      spec("a", ContainerClass::kBatch, 16, 1, 0, 100),
+      spec("b", ContainerClass::kBatch, 16, 1, 200, 100),  // fits after a leaves
+  };
+  const auto report = sim.run(trace, ff);
+  EXPECT_EQ(report.placed, 2u);
+  EXPECT_EQ(report.rejected, 0u);
+}
+
+TEST(Simulator, RejectsWhenNoCapacity) {
+  ClusterSimulator sim(1);
+  FirstFitScheduler ff;
+  std::vector<ContainerSpec> trace{
+      spec("a", ContainerClass::kBatch, 16, 1, 0, 1000),
+      spec("b", ContainerClass::kBatch, 16, 1, 100, 100),  // overlaps
+  };
+  const auto report = sim.run(trace, ff);
+  EXPECT_EQ(report.placed, 1u);
+  EXPECT_EQ(report.rejected, 1u);
+}
+
+TEST(Simulator, MigrationsPreserveContainers) {
+  GenPackConfig config;
+  config.monitoring_window_s = 100;
+  config.period_s = 100;
+  GenPackScheduler genpack(10, config);
+  ClusterSimulator sim(10);
+  std::vector<ContainerSpec> trace{
+      spec("svc", ContainerClass::kService, 2, 2, 0, 5000),
+  };
+  const auto report = sim.run(trace, genpack, config.period_s);
+  EXPECT_EQ(report.placed, 1u);
+  EXPECT_GE(report.migrations, 1u);  // promoted out of the nursery
+  // At the end the container has departed; no server should still host it.
+  for (const auto& server : sim.servers()) {
+    EXPECT_FALSE(server.hosts("svc"));
+    EXPECT_EQ(server.container_count(), 0u);
+  }
+}
+
+TEST(Simulator, GenPackSavesEnergyVersusSpread) {
+  // The §VI claim: "up to 23% energy savings ... for typical data-center
+  // workloads". Expect GenPack to beat spread substantially and be at
+  // least as good as first-fit.
+  TraceConfig tconfig;
+  const auto trace = generate_trace(tconfig, 42);
+
+  const std::size_t cluster = 24;
+  SpreadScheduler spread;
+  FirstFitScheduler ff;
+  GenPackScheduler genpack(cluster);
+
+  const auto spread_report = ClusterSimulator(cluster).run(trace, spread);
+  const auto ff_report = ClusterSimulator(cluster).run(trace, ff);
+  const auto genpack_report = ClusterSimulator(cluster).run(trace, genpack);
+
+  // All schedulers placed (almost) everything.
+  EXPECT_LT(spread_report.rejected, trace.size() / 100);
+  EXPECT_LT(genpack_report.rejected, trace.size() / 100);
+
+  const double savings_vs_spread =
+      1.0 - genpack_report.total_energy_wh / spread_report.total_energy_wh;
+  EXPECT_GT(savings_vs_spread, 0.10) << "GenPack should save >=10% vs spread";
+  EXPECT_LE(genpack_report.total_energy_wh, ff_report.total_energy_wh * 1.05)
+      << "GenPack should be no worse than first-fit";
+  // Consolidation shows up as fewer powered-on servers on average.
+  EXPECT_LT(genpack_report.avg_servers_on, spread_report.avg_servers_on);
+}
+
+TEST(Simulator, InterferenceAccounting) {
+  // One service sharing a server with a batch job for 1h = 1 exposure hour.
+  ClusterSimulator sim(1);
+  FirstFitScheduler ff;
+  std::vector<ContainerSpec> trace{
+      spec("svc", ContainerClass::kService, 2, 2, 0, 3600),
+      spec("job", ContainerClass::kBatch, 2, 2, 0, 3600),
+  };
+  const auto report = sim.run(trace, ff);
+  EXPECT_NEAR(report.interference_container_hours, 1.0, 0.01);
+}
+
+TEST(Simulator, BatchOnlyServersCauseNoInterference) {
+  ClusterSimulator sim(1);
+  FirstFitScheduler ff;
+  std::vector<ContainerSpec> trace{
+      spec("job1", ContainerClass::kBatch, 2, 2, 0, 3600),
+      spec("job2", ContainerClass::kBatch, 2, 2, 0, 3600),
+  };
+  const auto report = sim.run(trace, ff);
+  EXPECT_DOUBLE_EQ(report.interference_container_hours, 0.0);
+}
+
+TEST(Simulator, GenPackReducesNoisyNeighbourExposure) {
+  const auto trace = generate_trace(TraceConfig{}, 42);
+  BestFitScheduler best_fit;
+  GenPackScheduler genpack(10);
+  const auto bf = ClusterSimulator(10).run(trace, best_fit);
+  const auto gp = ClusterSimulator(10).run(trace, genpack);
+  // Generation separation keeps services away from batch churn.
+  EXPECT_LT(gp.interference_container_hours, 0.85 * bf.interference_container_hours);
+}
+
+}  // namespace
+}  // namespace securecloud::genpack

@@ -1,0 +1,128 @@
+// Merkle tree tests: roots, proofs, tamper/forgery rejection, odd shapes.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/merkle.hpp"
+
+namespace securecloud::crypto {
+namespace {
+
+std::vector<Bytes> numbered_leaves(std::size_t n) {
+  std::vector<Bytes> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(to_bytes("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  const auto leaves = numbered_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::hash_leaf(leaves[0]));
+  const auto proof = tree.prove(0);
+  EXPECT_TRUE(proof.siblings.empty());
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[0], proof));
+}
+
+TEST(Merkle, RootIsDeterministicAndContentSensitive) {
+  const auto a = MerkleTree(numbered_leaves(8)).root();
+  const auto b = MerkleTree(numbered_leaves(8)).root();
+  EXPECT_EQ(a, b);
+
+  auto changed = numbered_leaves(8);
+  changed[3][0] ^= 1;
+  EXPECT_NE(MerkleTree(changed).root(), a);
+
+  // Leaf count changes the root too.
+  EXPECT_NE(MerkleTree(numbered_leaves(7)).root(), a);
+}
+
+TEST(Merkle, AllProofsVerifyAcrossShapes) {
+  // Powers of two, odd counts, primes: all shapes must prove cleanly.
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 13u, 16u, 31u, 33u}) {
+    const auto leaves = numbered_leaves(n);
+    MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto proof = tree.prove(i);
+      EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], proof))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Merkle, WrongLeafContentRejected) {
+  const auto leaves = numbered_leaves(16);
+  MerkleTree tree(leaves);
+  const auto proof = tree.prove(5);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), to_bytes("leaf-6"), proof));
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), to_bytes(""), proof));
+}
+
+TEST(Merkle, ProofForWrongPositionRejected) {
+  const auto leaves = numbered_leaves(16);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(5);
+  proof.leaf_index = 6;  // claim a different position
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[5], proof));
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[6], proof));
+}
+
+TEST(Merkle, TamperedSiblingRejected) {
+  const auto leaves = numbered_leaves(9);
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < 9; ++i) {
+    MerkleProof proof = tree.prove(i);
+    if (proof.siblings.empty()) continue;
+    proof.siblings[0].first[0] ^= 1;
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[i], proof)) << i;
+  }
+}
+
+TEST(Merkle, TruncatedOrPaddedProofRejected) {
+  const auto leaves = numbered_leaves(16);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(3);
+  MerkleProof truncated = proof;
+  truncated.siblings.pop_back();
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[3], truncated));
+  MerkleProof padded = proof;
+  padded.siblings.push_back(padded.siblings[0]);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[3], padded));
+}
+
+TEST(Merkle, LeafCannotImpersonateInteriorNode) {
+  // Domain separation: a "leaf" whose content equals an interior node's
+  // two children hashes must not produce the same parent.
+  const auto leaves = numbered_leaves(4);
+  MerkleTree tree(leaves);
+  Bytes fake_leaf;
+  const auto h0 = MerkleTree::hash_leaf(leaves[0]);
+  const auto h1 = MerkleTree::hash_leaf(leaves[1]);
+  append(fake_leaf, h0);
+  append(fake_leaf, h1);
+  EXPECT_NE(MerkleTree::hash_leaf(fake_leaf), MerkleTree::hash_node(h0, h1));
+}
+
+TEST(Merkle, RandomizedProofSweep) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform(200);
+    std::vector<Bytes> leaves;
+    for (std::size_t i = 0; i < n; ++i) {
+      Bytes leaf(rng.uniform(64));
+      for (auto& b : leaf) b = static_cast<std::uint8_t>(rng.next());
+      leaves.push_back(std::move(leaf));
+    }
+    MerkleTree tree(leaves);
+    const std::size_t i = rng.uniform(n);
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], tree.prove(i)));
+    // Cross-proof must fail unless the leaves happen to be identical.
+    const std::size_t j = rng.uniform(n);
+    if (leaves[i] != leaves[j]) {
+      EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[j], tree.prove(i)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace securecloud::crypto

@@ -1,0 +1,317 @@
+// Event bus + micro-service framework tests.
+#include <gtest/gtest.h>
+
+#include "microservice/service.hpp"
+#include "scbr/workload.hpp"
+#include "sgx/platform.hpp"
+
+namespace securecloud::microservice {
+namespace {
+
+using crypto::DeterministicEntropy;
+using scbr::Event;
+using scbr::Filter;
+using scbr::Op;
+using scbr::Value;
+
+struct BusFixture {
+  sgx::Platform platform;
+  sgx::AttestationService attestation;
+  DeterministicEntropy entropy{31};
+  scbr::KeyService keys{attestation, entropy};
+  sgx::Enclave* enclave = nullptr;
+
+  BusFixture() {
+    platform.provision(attestation);
+    sgx::EnclaveImage image;
+    image.name = "bus-router";
+    image.code = to_bytes("router");
+    DeterministicEntropy signer(404);
+    sign_image(image, crypto::ed25519_keypair(signer.array<32>()));
+    auto created = platform.create_enclave(image);
+    EXPECT_TRUE(created.ok());
+    enclave = *created;
+    keys.authorize_router(enclave->mrenclave());
+  }
+};
+
+Filter temp_above(std::int64_t threshold) {
+  Filter f;
+  f.where("temp", Op::kGt, Value::of(threshold));
+  return f;
+}
+
+TEST(EventBus, PublishSubscribeDispatch) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  auto* sensor = bus.attach("sensor");
+  auto* alarm = bus.attach("alarm");
+  ASSERT_NE(sensor, nullptr);
+  ASSERT_NE(alarm, nullptr);
+  ASSERT_TRUE(bus.start().ok());
+
+  std::vector<std::int64_t> seen;
+  ASSERT_TRUE(bus.subscribe(*alarm, temp_above(30), [&](const Event& e) {
+                   seen.push_back(e.find("temp")->as_int());
+                 }).ok());
+
+  Event hot;
+  hot.set("temp", std::int64_t{42});
+  Event cold;
+  cold.set("temp", std::int64_t{10});
+  ASSERT_TRUE(bus.publish(*sensor, hot).ok());
+  ASSERT_TRUE(bus.publish(*sensor, cold).ok());
+  bus.drain();
+
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{42}));
+  EXPECT_EQ(bus.published(), 2u);
+  EXPECT_EQ(bus.delivered(), 1u);
+}
+
+TEST(EventBus, AttachAfterStartFails) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  (void)bus.attach("early");
+  ASSERT_TRUE(bus.start().ok());
+  EXPECT_EQ(bus.attach("late"), nullptr);
+}
+
+TEST(EventBus, DuplicateServiceNameRejected) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  EXPECT_NE(bus.attach("svc"), nullptr);
+  EXPECT_EQ(bus.attach("svc"), nullptr);
+}
+
+TEST(EventBus, OperationsBeforeStartFail) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  auto* svc = bus.attach("svc");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_FALSE(bus.subscribe(*svc, temp_above(0), [](const Event&) {}).ok());
+  Event e;
+  e.set("temp", std::int64_t{1});
+  EXPECT_FALSE(bus.publish(*svc, e).ok());
+}
+
+TEST(EventBus, CascadingPublication) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  auto* sensor = bus.attach("sensor");
+  auto* detector = bus.attach("detector");
+  auto* pager = bus.attach("pager");
+  ASSERT_TRUE(bus.start().ok());
+
+  // detector turns raw readings into alerts; pager receives alerts.
+  ASSERT_TRUE(bus.subscribe(*detector, temp_above(30), [&](const Event& e) {
+                   Event alert;
+                   alert.set("alert", "overheat");
+                   alert.set("severity", e.find("temp")->as_int() > 100
+                                             ? std::int64_t{2}
+                                             : std::int64_t{1});
+                   (void)bus.publish(*detector, alert);
+                 }).ok());
+  Filter alerts;
+  alerts.where("severity", Op::kGe, Value::of(std::int64_t{1}));
+  int paged = 0;
+  ASSERT_TRUE(bus.subscribe(*pager, alerts, [&](const Event&) { ++paged; }).ok());
+
+  Event very_hot;
+  very_hot.set("temp", std::int64_t{120});
+  ASSERT_TRUE(bus.publish(*sensor, very_hot).ok());
+  const std::size_t invocations = bus.drain();
+  EXPECT_EQ(invocations, 2u);  // detector, then pager
+  EXPECT_EQ(paged, 1);
+}
+
+TEST(EventBus, MultipleSubscribersEachDelivered) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  auto* pub = bus.attach("pub");
+  auto* s1 = bus.attach("s1");
+  auto* s2 = bus.attach("s2");
+  ASSERT_TRUE(bus.start().ok());
+  int count1 = 0, count2 = 0;
+  ASSERT_TRUE(bus.subscribe(*s1, temp_above(0), [&](const Event&) { ++count1; }).ok());
+  ASSERT_TRUE(bus.subscribe(*s2, temp_above(0), [&](const Event&) { ++count2; }).ok());
+
+  Event e;
+  e.set("temp", std::int64_t{5});
+  ASSERT_TRUE(bus.publish(*pub, e).ok());
+  bus.drain();
+  EXPECT_EQ(count1, 1);
+  EXPECT_EQ(count2, 1);
+}
+
+TEST(MicroService, SugarApi) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  MicroService producer(bus, "producer");
+  MicroService consumer(bus, "consumer");
+  ASSERT_TRUE(producer.valid());
+  ASSERT_TRUE(consumer.valid());
+  ASSERT_TRUE(bus.start().ok());
+
+  int received = 0;
+  ASSERT_TRUE(consumer.on(temp_above(10), [&](const Event&) { ++received; }).ok());
+  Event e;
+  e.set("temp", std::int64_t{20});
+  ASSERT_TRUE(producer.emit(e).ok());
+  bus.drain();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(MicroService, AttachAfterStartIsInvalid) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  ASSERT_TRUE(bus.start().ok());
+  MicroService late(bus, "late");
+  EXPECT_FALSE(late.valid());
+}
+
+TEST(MicroService, RequestReplyRoundTrip) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  MicroService client(bus, "client");
+  MicroService calculator(bus, "calculator");
+  ASSERT_TRUE(bus.start().ok());
+
+  ASSERT_TRUE(calculator
+                  .serve("square",
+                         [](const Event& request) {
+                           const std::int64_t x = request.find("x")->as_int();
+                           Event reply;
+                           reply.set("result", x * x);
+                           return reply;
+                         })
+                  .ok());
+
+  std::int64_t result = 0;
+  Event request;
+  request.set("x", std::int64_t{12});
+  ASSERT_TRUE(client
+                  .call("square", request,
+                        [&](const Event& reply) { result = reply.find("result")->as_int(); })
+                  .ok());
+  bus.drain();
+  EXPECT_EQ(result, 144);
+}
+
+TEST(MicroService, RepliesCorrelateUnderConcurrentCalls) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  MicroService client(bus, "client");
+  MicroService echo(bus, "echo");
+  ASSERT_TRUE(bus.start().ok());
+  ASSERT_TRUE(echo.serve("echo",
+                         [](const Event& request) {
+                           Event reply;
+                           reply.set("value", request.find("value")->as_int());
+                           return reply;
+                         })
+                  .ok());
+
+  std::map<int, std::int64_t> results;
+  for (int i = 0; i < 10; ++i) {
+    Event request;
+    request.set("value", std::int64_t{i * 100});
+    ASSERT_TRUE(client
+                    .call("echo", request,
+                          [&results, i](const Event& reply) {
+                            results[i] = reply.find("value")->as_int();
+                          })
+                    .ok());
+  }
+  bus.drain();
+  ASSERT_EQ(results.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(results[i], i * 100);
+}
+
+TEST(MicroService, RepliesGoOnlyToTheCaller) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  MicroService alice(bus, "alice");
+  MicroService bob(bus, "bob");
+  MicroService server(bus, "server");
+  ASSERT_TRUE(bus.start().ok());
+  ASSERT_TRUE(server.serve("whoami",
+                           [](const Event& request) {
+                             Event reply;
+                             reply.set("caller", request.find(kRpcFromAttr)->as_string());
+                             return reply;
+                           })
+                  .ok());
+
+  std::string alice_sees, bob_sees;
+  Event empty1, empty2;
+  ASSERT_TRUE(alice.call("whoami", empty1, [&](const Event& reply) {
+                     alice_sees = reply.find("caller")->as_string();
+                   }).ok());
+  ASSERT_TRUE(bob.call("whoami", empty2, [&](const Event& reply) {
+                    bob_sees = reply.find("caller")->as_string();
+                  }).ok());
+  bus.drain();
+  EXPECT_EQ(alice_sees, "alice");
+  EXPECT_EQ(bob_sees, "bob");
+}
+
+TEST(MicroService, CallToUnservedMethodGetsNoReply) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  MicroService client(bus, "client");
+  ASSERT_TRUE(bus.start().ok());
+  bool replied = false;
+  Event request;
+  ASSERT_TRUE(client.call("ghost-method", request,
+                          [&](const Event&) { replied = true; }).ok());
+  bus.drain();
+  EXPECT_FALSE(replied);  // no responder: the call just never completes
+}
+
+TEST(EventBus, DeliveriesMatchDirectEvaluationGoldenModel) {
+  // Whole-stack equivalence: N services with random filters; every
+  // published event must reach exactly the services whose filter
+  // matches (per direct evaluation), despite the encryption, signing,
+  // and enclave routing in between.
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+
+  scbr::ScbrWorkload workload({.attribute_universe = 4,
+                               .attributes_per_filter = 2,
+                               .value_range = 50,
+                               .width_fraction = 0.5,
+                               .hierarchy_fraction = 0.4,
+                               .parent_pool = 32},
+                              77);
+  constexpr int kServices = 12;
+  std::vector<MicroService> services;
+  services.reserve(kServices + 1);
+  for (int i = 0; i < kServices; ++i) {
+    services.emplace_back(bus, "svc-" + std::to_string(i));
+  }
+  MicroService publisher(bus, "publisher");
+  ASSERT_TRUE(bus.start().ok());
+
+  std::vector<scbr::Filter> filters;
+  std::vector<int> hits(kServices, 0);
+  for (int i = 0; i < kServices; ++i) {
+    filters.push_back(workload.next_filter());
+    ASSERT_TRUE(services[i].on(filters[i], [&hits, i](const scbr::Event&) {
+                           ++hits[i];
+                         }).ok());
+  }
+
+  std::vector<int> expected(kServices, 0);
+  for (int round = 0; round < 60; ++round) {
+    const scbr::Event event = workload.next_event();
+    for (int i = 0; i < kServices; ++i) {
+      if (filters[i].matches(event)) ++expected[i];
+    }
+    ASSERT_TRUE(publisher.emit(event).ok());
+  }
+  bus.drain();
+  EXPECT_EQ(hits, expected);
+}
+
+}  // namespace
+}  // namespace securecloud::microservice

@@ -1,0 +1,205 @@
+// Broker-overlay tests: propagation, covering suppression, uncovering on
+// retraction, hop-efficient routing — all validated against a flat
+// golden model (direct evaluation of every subscription).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scbr/overlay.hpp"
+#include "scbr/workload.hpp"
+
+namespace securecloud::scbr {
+namespace {
+
+Filter range_filter(const std::string& attr, std::int64_t lo, std::int64_t hi) {
+  Filter f;
+  f.where(attr, Op::kGe, Value::of(lo)).where(attr, Op::kLe, Value::of(hi));
+  return f;
+}
+
+Event point_event(const std::string& attr, std::int64_t v) {
+  Event e;
+  e.set(attr, v);
+  return e;
+}
+
+/// Line topology: 0 - 1 - 2 - 3.
+BrokerOverlay line4() { return BrokerOverlay(4, {{0, 1}, {1, 2}, {2, 3}}); }
+
+/// Star: 0 in the middle.
+BrokerOverlay star4() { return BrokerOverlay(4, {{0, 1}, {0, 2}, {0, 3}}); }
+
+TEST(Overlay, DeliversAcrossBrokers) {
+  BrokerOverlay overlay = line4();
+  ASSERT_TRUE(overlay.subscribe(3, 1, range_filter("x", 0, 100)).ok());
+
+  auto matched = overlay.publish(0, point_event("x", 50));
+  ASSERT_TRUE(matched.ok());
+  EXPECT_EQ(*matched, (std::vector<SubscriptionId>{1}));
+  // Event traveled 0->1->2->3.
+  EXPECT_EQ(overlay.stats().publication_hops, 3u);
+}
+
+TEST(Overlay, LocalDeliveryNoHops) {
+  BrokerOverlay overlay = line4();
+  ASSERT_TRUE(overlay.subscribe(0, 1, range_filter("x", 0, 100)).ok());
+  auto matched = overlay.publish(0, point_event("x", 50));
+  ASSERT_TRUE(matched.ok());
+  EXPECT_EQ(matched->size(), 1u);
+  EXPECT_EQ(overlay.stats().publication_hops, 0u);
+}
+
+TEST(Overlay, NonMatchingEventDoesNotPropagate) {
+  BrokerOverlay overlay = line4();
+  ASSERT_TRUE(overlay.subscribe(3, 1, range_filter("x", 0, 100)).ok());
+  overlay.reset_stats();
+  auto matched = overlay.publish(0, point_event("x", 500));
+  ASSERT_TRUE(matched.ok());
+  EXPECT_TRUE(matched->empty());
+  EXPECT_EQ(overlay.stats().publication_hops, 0u);  // filtered at the edge
+}
+
+TEST(Overlay, CoveringSuppressesForwarding) {
+  BrokerOverlay overlay = line4();
+  // Broad filter from broker 3 propagates everywhere (3 forwards).
+  ASSERT_TRUE(overlay.subscribe(3, 1, range_filter("x", 0, 1000)).ok());
+  const auto forwarded_before = overlay.stats().subscriptions_forwarded;
+  EXPECT_EQ(forwarded_before, 3u);
+
+  // A narrower filter from the same edge is suppressed at the first hop.
+  ASSERT_TRUE(overlay.subscribe(3, 2, range_filter("x", 10, 20)).ok());
+  EXPECT_EQ(overlay.stats().subscriptions_forwarded, forwarded_before);
+  EXPECT_EQ(overlay.stats().subscriptions_suppressed, 1u);
+
+  // Both still deliver.
+  auto matched = overlay.publish(0, point_event("x", 15));
+  ASSERT_TRUE(matched.ok());
+  std::sort(matched->begin(), matched->end());
+  EXPECT_EQ(*matched, (std::vector<SubscriptionId>{1, 2}));
+}
+
+TEST(Overlay, UncoveringReAdvertisesOnRetraction) {
+  BrokerOverlay overlay = line4();
+  ASSERT_TRUE(overlay.subscribe(3, 1, range_filter("x", 0, 1000)).ok());  // broad
+  ASSERT_TRUE(overlay.subscribe(3, 2, range_filter("x", 10, 20)).ok());   // covered
+
+  // Remove the broad filter: the narrow one must now reach the rest of
+  // the overlay, or publications at broker 0 would be dropped.
+  ASSERT_TRUE(overlay.unsubscribe(3, 1).ok());
+  auto matched = overlay.publish(0, point_event("x", 15));
+  ASSERT_TRUE(matched.ok());
+  EXPECT_EQ(*matched, (std::vector<SubscriptionId>{2}));
+
+  // And events only the broad filter wanted no longer propagate.
+  overlay.reset_stats();
+  auto gone = overlay.publish(0, point_event("x", 500));
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->empty());
+  EXPECT_EQ(overlay.stats().publication_hops, 0u);
+}
+
+TEST(Overlay, StarRoutesOnlyTowardInterest) {
+  BrokerOverlay overlay = star4();
+  ASSERT_TRUE(overlay.subscribe(1, 1, range_filter("x", 0, 10)).ok());
+  ASSERT_TRUE(overlay.subscribe(2, 2, range_filter("x", 20, 30)).ok());
+  overlay.reset_stats();
+
+  auto matched = overlay.publish(3, point_event("x", 25));
+  ASSERT_TRUE(matched.ok());
+  EXPECT_EQ(*matched, (std::vector<SubscriptionId>{2}));
+  // 3 -> 0 -> 2 only; the link to 1 is never used.
+  EXPECT_EQ(overlay.stats().publication_hops, 2u);
+}
+
+TEST(Overlay, RejectsBadInputs) {
+  BrokerOverlay overlay = line4();
+  EXPECT_FALSE(overlay.subscribe(99, 1, range_filter("x", 0, 1)).ok());
+  EXPECT_FALSE(overlay.publish(99, point_event("x", 0)).ok());
+  ASSERT_TRUE(overlay.subscribe(0, 1, range_filter("x", 0, 1)).ok());
+  EXPECT_FALSE(overlay.subscribe(1, 1, range_filter("x", 0, 1)).ok());  // dup id
+  EXPECT_FALSE(overlay.unsubscribe(1, 1).ok());  // wrong home broker
+  EXPECT_TRUE(overlay.unsubscribe(0, 1).ok());
+  EXPECT_FALSE(overlay.unsubscribe(0, 1).ok());  // already gone
+}
+
+// Golden-model equivalence: overlay delivery == flat evaluation of every
+// live subscription, across random topologies-of-interest and churn.
+class OverlayEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OverlayEquivalence, MatchesFlatEvaluationUnderChurn) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  // Random tree over 8 brokers: node i links to a random earlier node.
+  std::vector<std::pair<BrokerId, BrokerId>> links;
+  for (BrokerId b = 1; b < 8; ++b) {
+    links.emplace_back(b, static_cast<BrokerId>(rng.uniform(b)));
+  }
+  BrokerOverlay overlay(8, links);
+
+  ScbrWorkload workload({.attribute_universe = 4,
+                         .attributes_per_filter = 2,
+                         .value_range = 100,
+                         .width_fraction = 0.4,
+                         .hierarchy_fraction = 0.6,
+                         .parent_pool = 64},
+                        seed + 1);
+
+  std::map<SubscriptionId, std::pair<BrokerId, Filter>> live;
+  SubscriptionId next_id = 1;
+
+  for (int round = 0; round < 300; ++round) {
+    if (live.empty() || rng.chance(0.65)) {
+      const BrokerId home = static_cast<BrokerId>(rng.uniform(8));
+      const Filter f = workload.next_filter();
+      ASSERT_TRUE(overlay.subscribe(home, next_id, f).ok());
+      live[next_id] = {home, f};
+      ++next_id;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.uniform(live.size())));
+      ASSERT_TRUE(overlay.unsubscribe(it->second.first, it->first).ok());
+      live.erase(it);
+    }
+
+    if (round % 10 == 0) {
+      const Event event = workload.next_event();
+      const BrokerId origin = static_cast<BrokerId>(rng.uniform(8));
+      auto got = overlay.publish(origin, event);
+      ASSERT_TRUE(got.ok());
+      std::sort(got->begin(), got->end());
+
+      std::vector<SubscriptionId> expected;
+      for (const auto& [id, sub] : live) {
+        if (sub.second.matches(event)) expected.push_back(id);
+      }
+      ASSERT_EQ(*got, expected) << "round " << round << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlayEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Overlay, CoveringReducesRoutingState) {
+  // Hierarchical workload: covering should keep remote tables far
+  // smaller than the subscription count.
+  BrokerOverlay overlay = line4();
+  ScbrWorkload workload({.attribute_universe = 6,
+                         .attributes_per_filter = 2,
+                         .value_range = 1000,
+                         .width_fraction = 0.3,
+                         .hierarchy_fraction = 0.9,
+                         .parent_pool = 256},
+                        3);
+  for (SubscriptionId id = 1; id <= 500; ++id) {
+    ASSERT_TRUE(overlay.subscribe(3, id, workload.next_filter()).ok());
+  }
+  // Broker 0 is three hops from every subscriber; its routing table
+  // should hold only the uncovered "frontier".
+  EXPECT_LT(overlay.remote_entries(0), 200u);
+  EXPECT_GT(overlay.stats().subscriptions_suppressed, 300u);
+}
+
+}  // namespace
+}  // namespace securecloud::scbr

@@ -1,0 +1,670 @@
+// SCBR tests: values/constraints, filter matching + containment, both
+// matching engines (equivalence + pruning), the secure router
+// (encryption, signatures, authorization), and the workload generator.
+#include <gtest/gtest.h>
+
+#include "scbr/naive_engine.hpp"
+#include "scbr/poset_engine.hpp"
+#include "scbr/router.hpp"
+#include "scbr/workload.hpp"
+#include "sgx/platform.hpp"
+
+namespace securecloud::scbr {
+namespace {
+
+using crypto::DeterministicEntropy;
+
+// -------------------------------------------------------------------- Value
+
+TEST(Value, TypedComparisons) {
+  EXPECT_TRUE(Value::of(std::int64_t{5}) == Value::of(5.0));  // cross-numeric
+  EXPECT_TRUE(Value::of(std::int64_t{3}) < Value::of(3.5));
+  EXPECT_TRUE(Value::of(std::string("a")) < Value::of(std::string("b")));
+  EXPECT_FALSE(Value::of(std::string("5")) == Value::of(std::int64_t{5}));
+  EXPECT_FALSE(Value::of(std::string("x")).comparable(Value::of(std::int64_t{1})));
+}
+
+TEST(Value, SerializationRoundTrip) {
+  for (const Value& v : {Value::of(std::int64_t{-42}), Value::of(2.75),
+                         Value::of(std::string("hello"))}) {
+    Bytes b;
+    v.serialize_to(b);
+    ByteReader r(b);
+    auto parsed = Value::deserialize(r);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(*parsed == v);
+  }
+}
+
+TEST(Constraint, AllOperators) {
+  const Value ten = Value::of(std::int64_t{10});
+  EXPECT_TRUE((Constraint{"a", Op::kEq, ten}.matches(Value::of(std::int64_t{10}))));
+  EXPECT_FALSE((Constraint{"a", Op::kEq, ten}.matches(Value::of(std::int64_t{11}))));
+  EXPECT_TRUE((Constraint{"a", Op::kNe, ten}.matches(Value::of(std::int64_t{11}))));
+  EXPECT_TRUE((Constraint{"a", Op::kLt, ten}.matches(Value::of(std::int64_t{9}))));
+  EXPECT_FALSE((Constraint{"a", Op::kLt, ten}.matches(Value::of(std::int64_t{10}))));
+  EXPECT_TRUE((Constraint{"a", Op::kLe, ten}.matches(Value::of(std::int64_t{10}))));
+  EXPECT_TRUE((Constraint{"a", Op::kGt, ten}.matches(Value::of(std::int64_t{11}))));
+  EXPECT_TRUE((Constraint{"a", Op::kGe, ten}.matches(Value::of(std::int64_t{10}))));
+  EXPECT_FALSE((Constraint{"a", Op::kGe, ten}.matches(Value::of(std::int64_t{9}))));
+}
+
+// ------------------------------------------------------------------- Filter
+
+TEST(Filter, ConjunctionSemantics) {
+  Filter f;
+  f.where("temp", Op::kGe, Value::of(std::int64_t{20}))
+      .where("temp", Op::kLe, Value::of(std::int64_t{30}))
+      .where("city", Op::kEq, Value::of(std::string("zurich")));
+
+  Event in_range;
+  in_range.set("temp", std::int64_t{25});
+  in_range.set("city", "zurich");
+  EXPECT_TRUE(f.matches(in_range));
+
+  Event wrong_city = in_range;
+  wrong_city.set("city", "basel");
+  EXPECT_FALSE(f.matches(wrong_city));
+
+  Event missing_attr;
+  missing_attr.set("temp", std::int64_t{25});
+  EXPECT_FALSE(f.matches(missing_attr));  // absent attribute fails
+}
+
+TEST(Filter, MatchCountsComparisons) {
+  Filter f;
+  f.where("a", Op::kGe, Value::of(std::int64_t{0}))
+      .where("b", Op::kGe, Value::of(std::int64_t{0}));
+  Event e;
+  e.set("a", std::int64_t{1});
+  e.set("b", std::int64_t{1});
+  std::uint64_t comparisons = 0;
+  EXPECT_TRUE(f.matches(e, &comparisons));
+  EXPECT_EQ(comparisons, 2u);
+
+  // Short-circuits on first failure.
+  Event bad;
+  bad.set("a", std::int64_t{-1});
+  bad.set("b", std::int64_t{1});
+  comparisons = 0;
+  EXPECT_FALSE(f.matches(bad, &comparisons));
+  EXPECT_EQ(comparisons, 1u);
+}
+
+TEST(Filter, CoversRangeContainment) {
+  Filter broad, narrow;
+  broad.where("x", Op::kGe, Value::of(std::int64_t{0}))
+      .where("x", Op::kLe, Value::of(std::int64_t{100}));
+  narrow.where("x", Op::kGe, Value::of(std::int64_t{10}))
+      .where("x", Op::kLe, Value::of(std::int64_t{90}));
+  EXPECT_TRUE(broad.covers(narrow));
+  EXPECT_FALSE(narrow.covers(broad));
+  EXPECT_TRUE(broad.covers(broad));
+}
+
+TEST(Filter, CoversEqualityPin) {
+  Filter range, pin;
+  range.where("x", Op::kGe, Value::of(std::int64_t{0}))
+      .where("x", Op::kLe, Value::of(std::int64_t{100}));
+  pin.where("x", Op::kEq, Value::of(std::int64_t{50}));
+  EXPECT_TRUE(range.covers(pin));
+  EXPECT_FALSE(pin.covers(range));
+
+  Filter pin_outside;
+  pin_outside.where("x", Op::kEq, Value::of(std::int64_t{200}));
+  EXPECT_FALSE(range.covers(pin_outside));
+}
+
+TEST(Filter, CoversStrictnessMatters) {
+  Filter open_filter, closed;
+  open_filter.where("x", Op::kGt, Value::of(std::int64_t{10}));
+  closed.where("x", Op::kGe, Value::of(std::int64_t{10}));
+  EXPECT_TRUE(closed.covers(open_filter));   // (10,inf) ⊆ [10,inf)
+  EXPECT_FALSE(open_filter.covers(closed));  // 10 itself not admitted
+}
+
+TEST(Filter, CoversRequiresAttributeConstrainedInInner) {
+  Filter outer, inner;
+  outer.where("x", Op::kGe, Value::of(std::int64_t{0}));
+  inner.where("y", Op::kGe, Value::of(std::int64_t{0}));
+  // inner admits events without attribute x; outer does not.
+  EXPECT_FALSE(outer.covers(inner));
+  // More attributes constrained = narrower.
+  Filter both;
+  both.where("x", Op::kGe, Value::of(std::int64_t{5}))
+      .where("y", Op::kGe, Value::of(std::int64_t{5}));
+  EXPECT_TRUE(outer.covers(both));
+}
+
+TEST(Filter, CoversStringEquality) {
+  Filter any_city, zurich;
+  any_city.where("city", Op::kNe, Value::of(std::string("geneva")));
+  zurich.where("city", Op::kEq, Value::of(std::string("zurich")));
+  EXPECT_TRUE(any_city.covers(zurich));
+  Filter geneva;
+  geneva.where("city", Op::kEq, Value::of(std::string("geneva")));
+  EXPECT_FALSE(any_city.covers(geneva));
+}
+
+TEST(Filter, CoversIsSoundOnRandomPairs) {
+  // Soundness property: whenever covers() says yes, every matching event
+  // of the inner filter must match the outer one.
+  ScbrWorkload workload({.attribute_universe = 4,
+                         .attributes_per_filter = 2,
+                         .value_range = 50,
+                         .width_fraction = 0.5,
+                         .hierarchy_fraction = 0.6,
+                         .parent_pool = 64},
+                        7);
+  std::vector<Filter> filters;
+  for (int i = 0; i < 60; ++i) filters.push_back(workload.next_filter());
+
+  Rng rng(3);
+  std::uint64_t cover_pairs = 0;
+  for (const auto& outer : filters) {
+    for (const auto& inner : filters) {
+      if (!outer.covers(inner)) continue;
+      ++cover_pairs;
+      for (int trial = 0; trial < 40; ++trial) {
+        Event e;
+        for (int a = 0; a < 4; ++a) {
+          e.set("attr" + std::to_string(a), rng.uniform_in(0, 50));
+        }
+        if (inner.matches(e)) {
+          EXPECT_TRUE(outer.matches(e)) << "covers() unsound";
+        }
+      }
+    }
+  }
+  EXPECT_GT(cover_pairs, 60u);  // hierarchy produces plenty of containment
+}
+
+TEST(Filter, SerializationRoundTrip) {
+  Filter f;
+  f.where("temp", Op::kGt, Value::of(3.5))
+      .where("city", Op::kEq, Value::of(std::string("bern")));
+  auto parsed = Filter::deserialize(f.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->constraints().size(), 2u);
+  EXPECT_EQ(parsed->constraints()[1].attribute, "city");
+}
+
+TEST(Event, SerializationRoundTrip) {
+  Event e;
+  e.set("a", std::int64_t{1});
+  e.set("b", 2.5);
+  e.set("c", "three");
+  auto parsed = Event::deserialize(e.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed->find("a") == Value::of(std::int64_t{1}));
+  EXPECT_TRUE(*parsed->find("c") == Value::of(std::string("three")));
+  EXPECT_EQ(parsed->find("zzz"), nullptr);
+}
+
+// ------------------------------------------------------------------ Engines
+
+Filter range_filter(const std::string& attr, std::int64_t lo, std::int64_t hi) {
+  Filter f;
+  f.where(attr, Op::kGe, Value::of(lo)).where(attr, Op::kLe, Value::of(hi));
+  return f;
+}
+
+Event point_event(const std::string& attr, std::int64_t v) {
+  Event e;
+  e.set(attr, v);
+  return e;
+}
+
+TEST(NaiveEngine, MatchesAndUnsubscribes) {
+  NaiveEngine engine;
+  engine.subscribe(1, range_filter("x", 0, 10));
+  engine.subscribe(2, range_filter("x", 5, 15));
+  engine.subscribe(3, range_filter("y", 0, 10));
+
+  auto matched = engine.match(point_event("x", 7));
+  std::sort(matched.begin(), matched.end());
+  EXPECT_EQ(matched, (std::vector<SubscriptionId>{1, 2}));
+
+  EXPECT_TRUE(engine.unsubscribe(2));
+  EXPECT_FALSE(engine.unsubscribe(2));
+  matched = engine.match(point_event("x", 7));
+  EXPECT_EQ(matched, (std::vector<SubscriptionId>{1}));
+  EXPECT_EQ(engine.size(), 2u);
+}
+
+TEST(PosetEngine, BuildsContainmentHierarchy) {
+  PosetEngine engine;
+  engine.subscribe(1, range_filter("x", 0, 100));   // root
+  engine.subscribe(2, range_filter("x", 10, 90));   // child of 1
+  engine.subscribe(3, range_filter("x", 20, 80));   // child of 2
+  engine.subscribe(4, range_filter("y", 0, 10));    // separate root
+
+  EXPECT_EQ(engine.root_count(), 2u);
+  EXPECT_EQ(engine.max_depth(), 3u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(PosetEngine, AdoptsCoveredSiblingsOnInsert) {
+  PosetEngine engine;
+  engine.subscribe(1, range_filter("x", 10, 20));
+  engine.subscribe(2, range_filter("x", 30, 40));
+  EXPECT_EQ(engine.root_count(), 2u);
+  // A broad filter covering both becomes their parent.
+  engine.subscribe(3, range_filter("x", 0, 100));
+  EXPECT_EQ(engine.root_count(), 1u);
+  EXPECT_EQ(engine.max_depth(), 2u);
+  EXPECT_TRUE(engine.check_invariants());
+}
+
+TEST(PosetEngine, PruningSkipsCoveredSubtrees) {
+  PosetEngine engine;
+  engine.subscribe(1, range_filter("x", 0, 10));
+  for (SubscriptionId id = 2; id <= 50; ++id) {
+    engine.subscribe(id, range_filter("x", 1, 5));  // all under 1
+  }
+  engine.reset_stats();
+  // Event outside the root range: only the root is inspected.
+  auto matched = engine.match(point_event("x", 999));
+  EXPECT_TRUE(matched.empty());
+  EXPECT_EQ(engine.stats().nodes_visited, 1u);
+}
+
+TEST(PosetEngine, UnsubscribeSplicesChildren) {
+  PosetEngine engine;
+  engine.subscribe(1, range_filter("x", 0, 100));
+  engine.subscribe(2, range_filter("x", 10, 90));
+  engine.subscribe(3, range_filter("x", 20, 80));
+  ASSERT_TRUE(engine.unsubscribe(2));  // middle node
+  EXPECT_TRUE(engine.check_invariants());
+
+  auto matched = engine.match(point_event("x", 50));
+  std::sort(matched.begin(), matched.end());
+  EXPECT_EQ(matched, (std::vector<SubscriptionId>{1, 3}));
+}
+
+TEST(PosetEngine, MatchesEquivalentToNaiveOnRandomWorkload) {
+  ScbrWorkload workload({.attribute_universe = 6,
+                         .attributes_per_filter = 2,
+                         .value_range = 200,
+                         .width_fraction = 0.4,
+                         .hierarchy_fraction = 0.5,
+                         .parent_pool = 128},
+                        11);
+  NaiveEngine naive;
+  PosetEngine poset;
+  for (SubscriptionId id = 1; id <= 300; ++id) {
+    const Filter f = workload.next_filter();
+    naive.subscribe(id, f);
+    poset.subscribe(id, f);
+  }
+  ASSERT_TRUE(poset.check_invariants());
+
+  for (int i = 0; i < 200; ++i) {
+    const Event e = workload.next_event();
+    auto a = naive.match(e);
+    auto b = poset.match(e);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "engines disagree on event " << i;
+  }
+}
+
+TEST(PosetEngine, EquivalenceSurvivesChurn) {
+  ScbrWorkload workload({.attribute_universe = 5,
+                         .attributes_per_filter = 2,
+                         .value_range = 100,
+                         .width_fraction = 0.5,
+                         .hierarchy_fraction = 0.6,
+                         .parent_pool = 64},
+                        13);
+  NaiveEngine naive;
+  PosetEngine poset;
+  Rng rng(17);
+  std::vector<SubscriptionId> live;
+  SubscriptionId next_id = 1;
+
+  for (int round = 0; round < 500; ++round) {
+    if (live.empty() || rng.chance(0.7)) {
+      const Filter f = workload.next_filter();
+      naive.subscribe(next_id, f);
+      poset.subscribe(next_id, f);
+      live.push_back(next_id++);
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(rng.uniform(live.size()));
+      const SubscriptionId id = live[pick];
+      EXPECT_TRUE(naive.unsubscribe(id));
+      EXPECT_TRUE(poset.unsubscribe(id));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (round % 50 == 0) {
+      ASSERT_TRUE(poset.check_invariants()) << "round " << round;
+      const Event e = workload.next_event();
+      auto a = naive.match(e);
+      auto b = poset.match(e);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a, b) << "round " << round;
+    }
+  }
+}
+
+TEST(PosetEngine, FewerComparisonsThanNaiveOnHierarchicalWorkload) {
+  ScbrWorkload workload({.attribute_universe = 8,
+                         .attributes_per_filter = 3,
+                         .value_range = 1000,
+                         .width_fraction = 0.2,
+                         .hierarchy_fraction = 0.8,
+                         .parent_pool = 512},
+                        19);
+  NaiveEngine naive;
+  PosetEngine poset;
+  for (SubscriptionId id = 1; id <= 2000; ++id) {
+    const Filter f = workload.next_filter();
+    naive.subscribe(id, f);
+    poset.subscribe(id, f);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const Event e = workload.next_event();
+    (void)naive.match(e);
+    (void)poset.match(e);
+  }
+  EXPECT_LT(poset.stats().nodes_visited, naive.stats().nodes_visited / 2)
+      << "poset should prune at least half the inspections";
+}
+
+TEST(Engines, DatabaseBytesTracksSubscriptions) {
+  NaiveEngine engine;
+  EXPECT_EQ(engine.database_bytes(), 0u);
+  engine.subscribe(1, range_filter("x", 0, 10));
+  const std::size_t one = engine.database_bytes();
+  EXPECT_GT(one, 0u);
+  engine.subscribe(2, range_filter("x", 0, 10));
+  EXPECT_EQ(engine.database_bytes(), 2 * one);
+  engine.unsubscribe(1);
+  EXPECT_EQ(engine.database_bytes(), one);
+}
+
+// ------------------------------------------------------------------- Router
+
+struct RouterFixture {
+  sgx::Platform platform;
+  sgx::AttestationService attestation;
+  DeterministicEntropy entropy{55};
+  KeyService keys{attestation, entropy};
+
+  sgx::Enclave* enclave = nullptr;
+
+  RouterFixture() {
+    platform.provision(attestation);
+    sgx::EnclaveImage image;
+    image.name = "scbr-router";
+    image.code = to_bytes("router-binary");
+    DeterministicEntropy signer(808);
+    sign_image(image, crypto::ed25519_keypair(signer.array<32>()));
+    auto created = platform.create_enclave(image);
+    EXPECT_TRUE(created.ok());
+    enclave = *created;
+    keys.authorize_router(enclave->mrenclave());
+  }
+
+  ScbrRouter make_router() {
+    ScbrRouter router(*enclave, std::make_unique<PosetEngine>());
+    EXPECT_TRUE(router.provision(keys).ok());
+    return router;
+  }
+};
+
+TEST(Router, EndToEndEncryptedPubSub) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  auto bob = fx.keys.register_client("bob");
+  ScbrRouter router = fx.make_router();
+
+  // Bob subscribes to temperature alerts.
+  Filter f = range_filter("temp", 30, 100);
+  auto sub = router.subscribe("bob", encrypt_subscription(bob, f, 1));
+  ASSERT_TRUE(sub.ok());
+
+  // Alice publishes a matching event.
+  Event e;
+  e.set("temp", std::int64_t{42});
+  e.set("meter", "m-17");
+  auto deliveries = router.publish("alice", encrypt_publication(alice, e, 1));
+  ASSERT_TRUE(deliveries.ok());
+  ASSERT_EQ(deliveries->size(), 1u);
+  EXPECT_EQ((*deliveries)[0].subscriber, "bob");
+
+  // Bob decrypts his delivery; Alice's key cannot.
+  auto received = decrypt_delivery(bob, (*deliveries)[0].wire);
+  ASSERT_TRUE(received.ok());
+  EXPECT_TRUE(*received->find("temp") == Value::of(std::int64_t{42}));
+  EXPECT_FALSE(decrypt_delivery(alice, (*deliveries)[0].wire).ok());
+}
+
+TEST(Router, NonMatchingEventNotDelivered) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  auto bob = fx.keys.register_client("bob");
+  ScbrRouter router = fx.make_router();
+  ASSERT_TRUE(router.subscribe("bob", encrypt_subscription(bob, range_filter("temp", 30, 100), 1)).ok());
+
+  Event cold;
+  cold.set("temp", std::int64_t{10});
+  auto deliveries = router.publish("alice", encrypt_publication(alice, cold, 1));
+  ASSERT_TRUE(deliveries.ok());
+  EXPECT_TRUE(deliveries->empty());
+}
+
+TEST(Router, RejectsUnknownClient) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  ScbrRouter router = fx.make_router();  // provisioned before mallory joins
+
+  ClientCredentials mallory;
+  mallory.name = "mallory";
+  mallory.symmetric_key = Bytes(16, 0x66);
+  DeterministicEntropy me(666);
+  mallory.signing_key = crypto::ed25519_keypair(me.array<32>());
+
+  auto r = router.subscribe("mallory", encrypt_subscription(mallory, range_filter("x", 0, 1), 1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kPermissionDenied);
+}
+
+TEST(Router, RejectsTamperedPublication) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  ScbrRouter router = fx.make_router();
+  Event e;
+  e.set("temp", std::int64_t{42});
+  Bytes wire = encrypt_publication(alice, e, 1);
+  wire[wire.size() / 2] ^= 1;
+  auto r = router.publish("alice", wire);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kIntegrityViolation);
+}
+
+TEST(Router, RejectsForgedSignature) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  ScbrRouter router = fx.make_router();
+
+  // Attacker knows Alice's symmetric key (e.g. leaked) but not her
+  // signing key: publication must still be rejected.
+  ClientCredentials forged = alice;
+  DeterministicEntropy fe(4242);
+  forged.signing_key = crypto::ed25519_keypair(fe.array<32>());
+  Event e;
+  e.set("cmd", "open-breaker");
+  auto r = router.publish("alice", encrypt_publication(forged, e, 9));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kIntegrityViolation);
+}
+
+TEST(Router, UnsubscribeEnforcesOwnership) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  auto bob = fx.keys.register_client("bob");
+  ScbrRouter router = fx.make_router();
+  auto sub = router.subscribe("bob", encrypt_subscription(bob, range_filter("x", 0, 1), 1));
+  ASSERT_TRUE(sub.ok());
+  EXPECT_FALSE(router.unsubscribe("alice", *sub).ok());
+  EXPECT_TRUE(router.unsubscribe("bob", *sub).ok());
+  EXPECT_FALSE(router.unsubscribe("bob", *sub).ok());
+}
+
+TEST(Router, UnauthorizedEnclaveCannotBeProvisioned) {
+  sgx::Platform platform;
+  sgx::AttestationService attestation;
+  platform.provision(attestation);
+  DeterministicEntropy entropy(77);
+  KeyService keys(attestation, entropy);
+  // No authorize_router() call: a valid enclave, but not a router build.
+  sgx::EnclaveImage image;
+  image.name = "impostor";
+  image.code = to_bytes("not-a-router");
+  DeterministicEntropy signer(9);
+  sign_image(image, crypto::ed25519_keypair(signer.array<32>()));
+  auto enclave = platform.create_enclave(image);
+  ASSERT_TRUE(enclave.ok());
+
+  ScbrRouter router(**enclave, std::make_unique<PosetEngine>());
+  auto r = router.provision(keys);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kPermissionDenied);
+}
+
+TEST(Router, RejectsReplayedPublication) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  auto bob = fx.keys.register_client("bob");
+  ScbrRouter router = fx.make_router();
+  ASSERT_TRUE(router.subscribe("bob", encrypt_subscription(bob, range_filter("temp", 0, 100), 1)).ok());
+
+  Event e;
+  e.set("temp", std::int64_t{42});
+  const Bytes wire = encrypt_publication(alice, e, 5);
+  auto first = router.publish("alice", wire);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->size(), 1u);
+
+  // Captured wire replayed verbatim: rejected, no duplicate delivery.
+  auto replay = router.publish("alice", wire);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.error().code, ErrorCode::kProtocolError);
+
+  // Stale (lower) counters are rejected too.
+  auto stale = router.publish("alice", encrypt_publication(alice, e, 3));
+  EXPECT_FALSE(stale.ok());
+  // Fresh counters keep working.
+  EXPECT_TRUE(router.publish("alice", encrypt_publication(alice, e, 6)).ok());
+}
+
+TEST(Router, ReplayedSubscriptionRejected) {
+  RouterFixture fx;
+  auto bob = fx.keys.register_client("bob");
+  ScbrRouter router = fx.make_router();
+  const Bytes wire = encrypt_subscription(bob, range_filter("x", 0, 1), 7);
+  ASSERT_TRUE(router.subscribe("bob", wire).ok());
+  EXPECT_FALSE(router.subscribe("bob", wire).ok());
+  EXPECT_EQ(router.engine().size(), 1u);  // no duplicate subscription
+}
+
+TEST(Router, CounterSpacesPerClientIndependent) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  auto carol = fx.keys.register_client("carol");
+  ScbrRouter router = fx.make_router();
+  Event e;
+  e.set("x", std::int64_t{1});
+  // Both clients can use counter 1: replay state is per client.
+  EXPECT_TRUE(router.publish("alice", encrypt_publication(alice, e, 1)).ok());
+  EXPECT_TRUE(router.publish("carol", encrypt_publication(carol, e, 1)).ok());
+}
+
+TEST(Router, MetricsTrackOperationsAndAttacks) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  auto bob = fx.keys.register_client("bob");
+  ScbrRouter router = fx.make_router();
+
+  ASSERT_TRUE(router.subscribe("bob", encrypt_subscription(bob, range_filter("x", 0, 100), 1)).ok());
+  Event e;
+  e.set("x", std::int64_t{5});
+  const Bytes wire = encrypt_publication(alice, e, 1);
+  ASSERT_TRUE(router.publish("alice", wire).ok());
+  (void)router.publish("alice", wire);  // replay
+  Bytes tampered = encrypt_publication(alice, e, 2);
+  tampered[tampered.size() / 2] ^= 1;
+  (void)router.publish("alice", tampered);  // auth failure
+
+  const RouterMetrics& m = router.metrics();
+  EXPECT_EQ(m.subscriptions, 1u);
+  EXPECT_EQ(m.publications, 1u);
+  EXPECT_EQ(m.deliveries, 1u);
+  EXPECT_EQ(m.replays_blocked, 1u);
+  EXPECT_EQ(m.auth_failures, 1u);
+}
+
+TEST(Router, WireCarriesNoPlaintext) {
+  RouterFixture fx;
+  auto alice = fx.keys.register_client("alice");
+  Event e;
+  e.set("customer", "ACME-CORP-SECRET");
+  const Bytes wire = encrypt_publication(alice, e, 1);
+  const std::string s(wire.begin(), wire.end());
+  EXPECT_EQ(s.find("ACME-CORP-SECRET"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Workload
+
+TEST(Workload, HierarchyFractionProducesContainment) {
+  ScbrWorkload workload({.attribute_universe = 8,
+                         .attributes_per_filter = 3,
+                         .value_range = 1000,
+                         .width_fraction = 0.3,
+                         .hierarchy_fraction = 1.0,  // everything narrows
+                         .parent_pool = 100},
+                        23);
+  std::vector<Filter> filters;
+  for (int i = 0; i < 50; ++i) filters.push_back(workload.next_filter());
+  // Each filter after the first must be covered by at least one other.
+  std::size_t covered = 0;
+  for (std::size_t i = 1; i < filters.size(); ++i) {
+    for (std::size_t j = 0; j < filters.size(); ++j) {
+      if (i != j && filters[j].covers(filters[i])) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(covered, filters.size() - 1);
+}
+
+TEST(Workload, EventsCoverAttributeUniverse) {
+  ScbrWorkload workload({.attribute_universe = 5,
+                         .attributes_per_filter = 2,
+                         .value_range = 10,
+                         .width_fraction = 0.5,
+                         .hierarchy_fraction = 0.0,
+                         .parent_pool = 10},
+                        29);
+  const Event e = workload.next_event();
+  EXPECT_EQ(e.attributes.size(), 5u);
+  for (const auto& [name, value] : e.attributes) {
+    EXPECT_GE(value.as_int(), 0);
+    EXPECT_LE(value.as_int(), 10);
+  }
+}
+
+TEST(Workload, DeterministicForSameSeed) {
+  WorkloadConfig config;
+  ScbrWorkload a(config, 99), b(config, 99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.next_filter().serialize(), b.next_filter().serialize());
+    EXPECT_EQ(a.next_event().serialize(), b.next_event().serialize());
+  }
+}
+
+}  // namespace
+}  // namespace securecloud::scbr

@@ -1,0 +1,204 @@
+// Secure structured table store tests: schema validation, CRUD, secondary
+// indexes, range scans, residual predicates, index maintenance, and the
+// confidentiality/integrity properties inherited from the KV layer.
+#include <gtest/gtest.h>
+
+#include "bigdata/table.hpp"
+
+namespace securecloud::bigdata {
+namespace {
+
+using crypto::DeterministicEntropy;
+using scbr::Value;
+
+TableSchema meter_schema() {
+  TableSchema schema;
+  schema.name = "meters";
+  schema.primary_key = "meter_id";
+  schema.columns = {
+      {"meter_id", Value::Type::kString, true},
+      {"feeder", Value::Type::kString, true},
+      {"avg_power_w", Value::Type::kDouble, true},
+      {"readings", Value::Type::kInt, false},
+  };
+  return schema;
+}
+
+Row meter_row(const std::string& id, const std::string& feeder, double power,
+              std::int64_t readings) {
+  return Row{
+      {"meter_id", Value::of(id)},
+      {"feeder", Value::of(feeder)},
+      {"avg_power_w", Value::of(power)},
+      {"readings", Value::of(readings)},
+  };
+}
+
+struct TableFixture {
+  scone::UntrustedFileSystem storage;
+  DeterministicEntropy entropy{21};
+  SecureTable table;
+
+  TableFixture()
+      : table(*SecureTable::create(storage, Bytes(16, 0x33), meter_schema(), entropy)) {}
+};
+
+TEST(SecureTable, SchemaValidation) {
+  scone::UntrustedFileSystem storage;
+  DeterministicEntropy entropy(1);
+
+  TableSchema no_pk = meter_schema();
+  no_pk.primary_key = "nonexistent";
+  EXPECT_FALSE(SecureTable::create(storage, Bytes(16, 1), no_pk, entropy).ok());
+
+  TableSchema dup = meter_schema();
+  dup.columns.push_back({"feeder", Value::Type::kString, false});
+  EXPECT_FALSE(SecureTable::create(storage, Bytes(16, 1), dup, entropy).ok());
+
+  TableSchema unnamed = meter_schema();
+  unnamed.name = "";
+  EXPECT_FALSE(SecureTable::create(storage, Bytes(16, 1), unnamed, entropy).ok());
+}
+
+TEST(SecureTable, UpsertGetEraseRoundTrip) {
+  TableFixture fx;
+  ASSERT_TRUE(fx.table.upsert(meter_row("m-1", "f-0", 450.5, 1000)).ok());
+  EXPECT_EQ(fx.table.size(), 1u);
+
+  auto row = fx.table.get(Value::of(std::string("m-1")));
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(row->at("feeder") == Value::of(std::string("f-0")));
+  EXPECT_TRUE(row->at("avg_power_w") == Value::of(450.5));
+
+  ASSERT_TRUE(fx.table.erase(Value::of(std::string("m-1"))).ok());
+  EXPECT_FALSE(fx.table.get(Value::of(std::string("m-1"))).ok());
+  EXPECT_FALSE(fx.table.erase(Value::of(std::string("m-1"))).ok());
+}
+
+TEST(SecureTable, RowValidation) {
+  TableFixture fx;
+  Row missing = meter_row("m-1", "f-0", 1.0, 1);
+  missing.erase("feeder");
+  EXPECT_FALSE(fx.table.upsert(missing).ok());
+
+  Row mistyped = meter_row("m-1", "f-0", 1.0, 1);
+  mistyped["avg_power_w"] = Value::of(std::string("not a double"));
+  EXPECT_FALSE(fx.table.upsert(mistyped).ok());
+
+  Row extra = meter_row("m-1", "f-0", 1.0, 1);
+  extra["bogus"] = Value::of(std::int64_t{1});
+  EXPECT_FALSE(fx.table.upsert(extra).ok());
+}
+
+TEST(SecureTable, UpsertReplacesAndMaintainsIndexes) {
+  TableFixture fx;
+  ASSERT_TRUE(fx.table.upsert(meter_row("m-1", "f-0", 100, 10)).ok());
+  ASSERT_TRUE(fx.table.upsert(meter_row("m-1", "f-9", 999, 20)).ok());
+  EXPECT_EQ(fx.table.size(), 1u);
+
+  // The old index entry (f-0) must be gone.
+  auto old_scan = fx.table.scan("feeder", Value::of(std::string("f-0")),
+                                Value::of(std::string("f-0")));
+  ASSERT_TRUE(old_scan.ok());
+  EXPECT_TRUE(old_scan->empty());
+  auto new_scan = fx.table.scan("feeder", Value::of(std::string("f-9")),
+                                Value::of(std::string("f-9")));
+  ASSERT_TRUE(new_scan.ok());
+  EXPECT_EQ(new_scan->size(), 1u);
+}
+
+TEST(SecureTable, RangeScanOverDoubleIndexIsOrdered) {
+  TableFixture fx;
+  ASSERT_TRUE(fx.table.upsert(meter_row("m-1", "f-0", 300, 1)).ok());
+  ASSERT_TRUE(fx.table.upsert(meter_row("m-2", "f-0", 100, 1)).ok());
+  ASSERT_TRUE(fx.table.upsert(meter_row("m-3", "f-1", 200, 1)).ok());
+  ASSERT_TRUE(fx.table.upsert(meter_row("m-4", "f-1", 900, 1)).ok());
+
+  auto rows = fx.table.scan("avg_power_w", Value::of(50.0), Value::of(350.0));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  // Ordered by the scanned column.
+  EXPECT_TRUE((*rows)[0].at("avg_power_w") == Value::of(100.0));
+  EXPECT_TRUE((*rows)[1].at("avg_power_w") == Value::of(200.0));
+  EXPECT_TRUE((*rows)[2].at("avg_power_w") == Value::of(300.0));
+}
+
+TEST(SecureTable, OrderedEncodingHandlesNegativesAndFractions) {
+  scone::UntrustedFileSystem storage;
+  DeterministicEntropy entropy(2);
+  TableSchema schema;
+  schema.name = "t";
+  schema.primary_key = "k";
+  schema.columns = {{"k", Value::Type::kInt, true}, {"v", Value::Type::kDouble, true}};
+  auto table = SecureTable::create(storage, Bytes(16, 2), schema, entropy);
+  ASSERT_TRUE(table.ok());
+  for (const std::int64_t k : {-100, -1, 0, 1, 100}) {
+    ASSERT_TRUE(table
+                    ->upsert(Row{{"k", Value::of(k)},
+                                 {"v", Value::of(static_cast<double>(k) * 0.5)}})
+                    .ok());
+  }
+  auto rows = table->scan("k", Value::of(std::int64_t{-50}), Value::of(std::int64_t{50}));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0].at("k").as_int(), -1);
+  EXPECT_EQ((*rows)[2].at("k").as_int(), 1);
+
+  auto negative_doubles = table->scan("v", Value::of(-100.0), Value::of(-0.1));
+  ASSERT_TRUE(negative_doubles.ok());
+  EXPECT_EQ(negative_doubles->size(), 2u);  // -50.0 and -0.5
+}
+
+TEST(SecureTable, ResidualPredicateFiltersInsideEnclave) {
+  TableFixture fx;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fx.table
+                    .upsert(meter_row("m-" + std::to_string(i),
+                                      i % 2 ? "f-odd" : "f-even", 100.0 * i, i))
+                    .ok());
+  }
+  auto rows = fx.table.scan("avg_power_w", Value::of(0.0), Value::of(10'000.0),
+                            [](const Row& row) {
+                              return row.at("feeder") == Value::of(std::string("f-odd"));
+                            });
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);
+}
+
+TEST(SecureTable, ScanRejectsBadColumns) {
+  TableFixture fx;
+  EXPECT_FALSE(fx.table.scan("nope", Value::of(0.0), Value::of(1.0)).ok());
+  // "readings" exists but is not indexed.
+  EXPECT_FALSE(fx.table
+                   .scan("readings", Value::of(std::int64_t{0}), Value::of(std::int64_t{1}))
+                   .ok());
+  // Wrong bound types.
+  EXPECT_FALSE(fx.table.scan("avg_power_w", Value::of(std::string("a")),
+                             Value::of(std::string("b")))
+                   .ok());
+}
+
+TEST(SecureTable, HostSeesNoPlaintext) {
+  TableFixture fx;
+  ASSERT_TRUE(fx.table.upsert(meter_row("customer-villa-17", "f-0", 9999, 1)).ok());
+  for (const auto& path : fx.storage.list()) {
+    EXPECT_EQ(path.find("villa"), std::string::npos);
+    const auto content = fx.storage.read_file(path);
+    const std::string s(content->begin(), content->end());
+    EXPECT_EQ(s.find("villa"), std::string::npos);
+  }
+}
+
+TEST(SecureTable, TamperedRowSurfacesOnScan) {
+  TableFixture fx;
+  ASSERT_TRUE(fx.table.upsert(meter_row("m-1", "f-0", 100, 1)).ok());
+  for (const auto& path : fx.storage.list()) {
+    (*fx.storage.raw(path))[30] ^= 1;
+  }
+  auto rows = fx.table.scan("avg_power_w", Value::of(0.0), Value::of(1'000.0));
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.error().code, ErrorCode::kIntegrityViolation);
+}
+
+}  // namespace
+}  // namespace securecloud::bigdata
