@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_vs_swap.dir/bench_cache_vs_swap.cpp.o"
+  "CMakeFiles/bench_cache_vs_swap.dir/bench_cache_vs_swap.cpp.o.d"
+  "bench_cache_vs_swap"
+  "bench_cache_vs_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_vs_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_sensitivity.dir/bench_cost_sensitivity.cpp.o"
+  "CMakeFiles/bench_cost_sensitivity.dir/bench_cost_sensitivity.cpp.o.d"
+  "bench_cost_sensitivity"
+  "bench_cost_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

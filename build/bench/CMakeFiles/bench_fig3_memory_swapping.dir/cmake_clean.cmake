@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_memory_swapping.dir/bench_fig3_memory_swapping.cpp.o"
+  "CMakeFiles/bench_fig3_memory_swapping.dir/bench_fig3_memory_swapping.cpp.o.d"
+  "bench_fig3_memory_swapping"
+  "bench_fig3_memory_swapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_memory_swapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

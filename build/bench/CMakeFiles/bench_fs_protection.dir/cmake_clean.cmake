@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fs_protection.dir/bench_fs_protection.cpp.o"
+  "CMakeFiles/bench_fs_protection.dir/bench_fs_protection.cpp.o.d"
+  "bench_fs_protection"
+  "bench_fs_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fs_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_genpack_energy.dir/bench_genpack_energy.cpp.o"
+  "CMakeFiles/bench_genpack_energy.dir/bench_genpack_energy.cpp.o.d"
+  "bench_genpack_energy"
+  "bench_genpack_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_genpack_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scone_syscalls.dir/bench_scone_syscalls.cpp.o"
+  "CMakeFiles/bench_scone_syscalls.dir/bench_scone_syscalls.cpp.o.d"
+  "bench_scone_syscalls"
+  "bench_scone_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scone_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_fault_monitoring.dir/grid_fault_monitoring.cpp.o"
+  "CMakeFiles/grid_fault_monitoring.dir/grid_fault_monitoring.cpp.o.d"
+  "grid_fault_monitoring"
+  "grid_fault_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_fault_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_pubsub.dir/secure_pubsub.cpp.o"
+  "CMakeFiles/secure_pubsub.dir/secure_pubsub.cpp.o.d"
+  "secure_pubsub"
+  "secure_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

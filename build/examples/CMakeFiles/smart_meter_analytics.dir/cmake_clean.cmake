@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_meter_analytics.dir/smart_meter_analytics.cpp.o"
+  "CMakeFiles/smart_meter_analytics.dir/smart_meter_analytics.cpp.o.d"
+  "smart_meter_analytics"
+  "smart_meter_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_meter_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

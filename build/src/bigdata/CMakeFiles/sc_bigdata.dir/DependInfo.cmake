@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigdata/codec.cpp" "src/bigdata/CMakeFiles/sc_bigdata.dir/codec.cpp.o" "gcc" "src/bigdata/CMakeFiles/sc_bigdata.dir/codec.cpp.o.d"
+  "/root/repo/src/bigdata/dataset.cpp" "src/bigdata/CMakeFiles/sc_bigdata.dir/dataset.cpp.o" "gcc" "src/bigdata/CMakeFiles/sc_bigdata.dir/dataset.cpp.o.d"
+  "/root/repo/src/bigdata/kvstore.cpp" "src/bigdata/CMakeFiles/sc_bigdata.dir/kvstore.cpp.o" "gcc" "src/bigdata/CMakeFiles/sc_bigdata.dir/kvstore.cpp.o.d"
+  "/root/repo/src/bigdata/mapreduce.cpp" "src/bigdata/CMakeFiles/sc_bigdata.dir/mapreduce.cpp.o" "gcc" "src/bigdata/CMakeFiles/sc_bigdata.dir/mapreduce.cpp.o.d"
+  "/root/repo/src/bigdata/streaming.cpp" "src/bigdata/CMakeFiles/sc_bigdata.dir/streaming.cpp.o" "gcc" "src/bigdata/CMakeFiles/sc_bigdata.dir/streaming.cpp.o.d"
+  "/root/repo/src/bigdata/table.cpp" "src/bigdata/CMakeFiles/sc_bigdata.dir/table.cpp.o" "gcc" "src/bigdata/CMakeFiles/sc_bigdata.dir/table.cpp.o.d"
+  "/root/repo/src/bigdata/transfer.cpp" "src/bigdata/CMakeFiles/sc_bigdata.dir/transfer.cpp.o" "gcc" "src/bigdata/CMakeFiles/sc_bigdata.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sc_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/scone/CMakeFiles/sc_scone.dir/DependInfo.cmake"
+  "/root/repo/build/src/scbr/CMakeFiles/sc_scbr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

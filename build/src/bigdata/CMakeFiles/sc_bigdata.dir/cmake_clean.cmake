@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_bigdata.dir/codec.cpp.o"
+  "CMakeFiles/sc_bigdata.dir/codec.cpp.o.d"
+  "CMakeFiles/sc_bigdata.dir/dataset.cpp.o"
+  "CMakeFiles/sc_bigdata.dir/dataset.cpp.o.d"
+  "CMakeFiles/sc_bigdata.dir/kvstore.cpp.o"
+  "CMakeFiles/sc_bigdata.dir/kvstore.cpp.o.d"
+  "CMakeFiles/sc_bigdata.dir/mapreduce.cpp.o"
+  "CMakeFiles/sc_bigdata.dir/mapreduce.cpp.o.d"
+  "CMakeFiles/sc_bigdata.dir/streaming.cpp.o"
+  "CMakeFiles/sc_bigdata.dir/streaming.cpp.o.d"
+  "CMakeFiles/sc_bigdata.dir/table.cpp.o"
+  "CMakeFiles/sc_bigdata.dir/table.cpp.o.d"
+  "CMakeFiles/sc_bigdata.dir/transfer.cpp.o"
+  "CMakeFiles/sc_bigdata.dir/transfer.cpp.o.d"
+  "libsc_bigdata.a"
+  "libsc_bigdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_bigdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

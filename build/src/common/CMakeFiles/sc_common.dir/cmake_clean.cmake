@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_common.dir/bytes.cpp.o"
+  "CMakeFiles/sc_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/sc_common.dir/result.cpp.o"
+  "CMakeFiles/sc_common.dir/result.cpp.o.d"
+  "libsc_common.a"
+  "libsc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

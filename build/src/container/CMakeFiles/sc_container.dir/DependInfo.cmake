@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/billing.cpp" "src/container/CMakeFiles/sc_container.dir/billing.cpp.o" "gcc" "src/container/CMakeFiles/sc_container.dir/billing.cpp.o.d"
+  "/root/repo/src/container/engine.cpp" "src/container/CMakeFiles/sc_container.dir/engine.cpp.o" "gcc" "src/container/CMakeFiles/sc_container.dir/engine.cpp.o.d"
+  "/root/repo/src/container/image.cpp" "src/container/CMakeFiles/sc_container.dir/image.cpp.o" "gcc" "src/container/CMakeFiles/sc_container.dir/image.cpp.o.d"
+  "/root/repo/src/container/monitor.cpp" "src/container/CMakeFiles/sc_container.dir/monitor.cpp.o" "gcc" "src/container/CMakeFiles/sc_container.dir/monitor.cpp.o.d"
+  "/root/repo/src/container/registry.cpp" "src/container/CMakeFiles/sc_container.dir/registry.cpp.o" "gcc" "src/container/CMakeFiles/sc_container.dir/registry.cpp.o.d"
+  "/root/repo/src/container/scone_client.cpp" "src/container/CMakeFiles/sc_container.dir/scone_client.cpp.o" "gcc" "src/container/CMakeFiles/sc_container.dir/scone_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sc_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/scone/CMakeFiles/sc_scone.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

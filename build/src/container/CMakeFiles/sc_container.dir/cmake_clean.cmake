@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_container.dir/billing.cpp.o"
+  "CMakeFiles/sc_container.dir/billing.cpp.o.d"
+  "CMakeFiles/sc_container.dir/engine.cpp.o"
+  "CMakeFiles/sc_container.dir/engine.cpp.o.d"
+  "CMakeFiles/sc_container.dir/image.cpp.o"
+  "CMakeFiles/sc_container.dir/image.cpp.o.d"
+  "CMakeFiles/sc_container.dir/monitor.cpp.o"
+  "CMakeFiles/sc_container.dir/monitor.cpp.o.d"
+  "CMakeFiles/sc_container.dir/registry.cpp.o"
+  "CMakeFiles/sc_container.dir/registry.cpp.o.d"
+  "CMakeFiles/sc_container.dir/scone_client.cpp.o"
+  "CMakeFiles/sc_container.dir/scone_client.cpp.o.d"
+  "libsc_container.a"
+  "libsc_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_crypto.dir/aes.cpp.o"
+  "CMakeFiles/sc_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/ctr.cpp.o"
+  "CMakeFiles/sc_crypto.dir/ctr.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/sc_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/gcm.cpp.o"
+  "CMakeFiles/sc_crypto.dir/gcm.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/sc_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/sc_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/sc_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/secure_channel.cpp.o"
+  "CMakeFiles/sc_crypto.dir/secure_channel.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sc_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/sc_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/sc_crypto.dir/x25519.cpp.o.d"
+  "libsc_crypto.a"
+  "libsc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

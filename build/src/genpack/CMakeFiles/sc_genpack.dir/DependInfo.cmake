@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genpack/scheduler.cpp" "src/genpack/CMakeFiles/sc_genpack.dir/scheduler.cpp.o" "gcc" "src/genpack/CMakeFiles/sc_genpack.dir/scheduler.cpp.o.d"
+  "/root/repo/src/genpack/server.cpp" "src/genpack/CMakeFiles/sc_genpack.dir/server.cpp.o" "gcc" "src/genpack/CMakeFiles/sc_genpack.dir/server.cpp.o.d"
+  "/root/repo/src/genpack/simulator.cpp" "src/genpack/CMakeFiles/sc_genpack.dir/simulator.cpp.o" "gcc" "src/genpack/CMakeFiles/sc_genpack.dir/simulator.cpp.o.d"
+  "/root/repo/src/genpack/workload.cpp" "src/genpack/CMakeFiles/sc_genpack.dir/workload.cpp.o" "gcc" "src/genpack/CMakeFiles/sc_genpack.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

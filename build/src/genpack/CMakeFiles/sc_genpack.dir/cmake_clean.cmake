@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_genpack.dir/scheduler.cpp.o"
+  "CMakeFiles/sc_genpack.dir/scheduler.cpp.o.d"
+  "CMakeFiles/sc_genpack.dir/server.cpp.o"
+  "CMakeFiles/sc_genpack.dir/server.cpp.o.d"
+  "CMakeFiles/sc_genpack.dir/simulator.cpp.o"
+  "CMakeFiles/sc_genpack.dir/simulator.cpp.o.d"
+  "CMakeFiles/sc_genpack.dir/workload.cpp.o"
+  "CMakeFiles/sc_genpack.dir/workload.cpp.o.d"
+  "libsc_genpack.a"
+  "libsc_genpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_genpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microservice/deployment.cpp" "src/microservice/CMakeFiles/sc_microservice.dir/deployment.cpp.o" "gcc" "src/microservice/CMakeFiles/sc_microservice.dir/deployment.cpp.o.d"
+  "/root/repo/src/microservice/event_bus.cpp" "src/microservice/CMakeFiles/sc_microservice.dir/event_bus.cpp.o" "gcc" "src/microservice/CMakeFiles/sc_microservice.dir/event_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sc_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/scbr/CMakeFiles/sc_scbr.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/sc_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/genpack/CMakeFiles/sc_genpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/scone/CMakeFiles/sc_scone.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_microservice.dir/deployment.cpp.o"
+  "CMakeFiles/sc_microservice.dir/deployment.cpp.o.d"
+  "CMakeFiles/sc_microservice.dir/event_bus.cpp.o"
+  "CMakeFiles/sc_microservice.dir/event_bus.cpp.o.d"
+  "libsc_microservice.a"
+  "libsc_microservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_microservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scbr/filter.cpp" "src/scbr/CMakeFiles/sc_scbr.dir/filter.cpp.o" "gcc" "src/scbr/CMakeFiles/sc_scbr.dir/filter.cpp.o.d"
+  "/root/repo/src/scbr/naive_engine.cpp" "src/scbr/CMakeFiles/sc_scbr.dir/naive_engine.cpp.o" "gcc" "src/scbr/CMakeFiles/sc_scbr.dir/naive_engine.cpp.o.d"
+  "/root/repo/src/scbr/overlay.cpp" "src/scbr/CMakeFiles/sc_scbr.dir/overlay.cpp.o" "gcc" "src/scbr/CMakeFiles/sc_scbr.dir/overlay.cpp.o.d"
+  "/root/repo/src/scbr/poset_engine.cpp" "src/scbr/CMakeFiles/sc_scbr.dir/poset_engine.cpp.o" "gcc" "src/scbr/CMakeFiles/sc_scbr.dir/poset_engine.cpp.o.d"
+  "/root/repo/src/scbr/router.cpp" "src/scbr/CMakeFiles/sc_scbr.dir/router.cpp.o" "gcc" "src/scbr/CMakeFiles/sc_scbr.dir/router.cpp.o.d"
+  "/root/repo/src/scbr/value.cpp" "src/scbr/CMakeFiles/sc_scbr.dir/value.cpp.o" "gcc" "src/scbr/CMakeFiles/sc_scbr.dir/value.cpp.o.d"
+  "/root/repo/src/scbr/workload.cpp" "src/scbr/CMakeFiles/sc_scbr.dir/workload.cpp.o" "gcc" "src/scbr/CMakeFiles/sc_scbr.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sc_sgx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_scbr.dir/filter.cpp.o"
+  "CMakeFiles/sc_scbr.dir/filter.cpp.o.d"
+  "CMakeFiles/sc_scbr.dir/naive_engine.cpp.o"
+  "CMakeFiles/sc_scbr.dir/naive_engine.cpp.o.d"
+  "CMakeFiles/sc_scbr.dir/overlay.cpp.o"
+  "CMakeFiles/sc_scbr.dir/overlay.cpp.o.d"
+  "CMakeFiles/sc_scbr.dir/poset_engine.cpp.o"
+  "CMakeFiles/sc_scbr.dir/poset_engine.cpp.o.d"
+  "CMakeFiles/sc_scbr.dir/router.cpp.o"
+  "CMakeFiles/sc_scbr.dir/router.cpp.o.d"
+  "CMakeFiles/sc_scbr.dir/value.cpp.o"
+  "CMakeFiles/sc_scbr.dir/value.cpp.o.d"
+  "CMakeFiles/sc_scbr.dir/workload.cpp.o"
+  "CMakeFiles/sc_scbr.dir/workload.cpp.o.d"
+  "libsc_scbr.a"
+  "libsc_scbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_scbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

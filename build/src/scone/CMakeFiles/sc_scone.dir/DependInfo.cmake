@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scone/async_io.cpp" "src/scone/CMakeFiles/sc_scone.dir/async_io.cpp.o" "gcc" "src/scone/CMakeFiles/sc_scone.dir/async_io.cpp.o.d"
+  "/root/repo/src/scone/file_handle.cpp" "src/scone/CMakeFiles/sc_scone.dir/file_handle.cpp.o" "gcc" "src/scone/CMakeFiles/sc_scone.dir/file_handle.cpp.o.d"
+  "/root/repo/src/scone/fs_protection.cpp" "src/scone/CMakeFiles/sc_scone.dir/fs_protection.cpp.o" "gcc" "src/scone/CMakeFiles/sc_scone.dir/fs_protection.cpp.o.d"
+  "/root/repo/src/scone/runtime.cpp" "src/scone/CMakeFiles/sc_scone.dir/runtime.cpp.o" "gcc" "src/scone/CMakeFiles/sc_scone.dir/runtime.cpp.o.d"
+  "/root/repo/src/scone/scf.cpp" "src/scone/CMakeFiles/sc_scone.dir/scf.cpp.o" "gcc" "src/scone/CMakeFiles/sc_scone.dir/scf.cpp.o.d"
+  "/root/repo/src/scone/syscall.cpp" "src/scone/CMakeFiles/sc_scone.dir/syscall.cpp.o" "gcc" "src/scone/CMakeFiles/sc_scone.dir/syscall.cpp.o.d"
+  "/root/repo/src/scone/untrusted_fs.cpp" "src/scone/CMakeFiles/sc_scone.dir/untrusted_fs.cpp.o" "gcc" "src/scone/CMakeFiles/sc_scone.dir/untrusted_fs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/sc_sgx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_scone.dir/async_io.cpp.o"
+  "CMakeFiles/sc_scone.dir/async_io.cpp.o.d"
+  "CMakeFiles/sc_scone.dir/file_handle.cpp.o"
+  "CMakeFiles/sc_scone.dir/file_handle.cpp.o.d"
+  "CMakeFiles/sc_scone.dir/fs_protection.cpp.o"
+  "CMakeFiles/sc_scone.dir/fs_protection.cpp.o.d"
+  "CMakeFiles/sc_scone.dir/runtime.cpp.o"
+  "CMakeFiles/sc_scone.dir/runtime.cpp.o.d"
+  "CMakeFiles/sc_scone.dir/scf.cpp.o"
+  "CMakeFiles/sc_scone.dir/scf.cpp.o.d"
+  "CMakeFiles/sc_scone.dir/syscall.cpp.o"
+  "CMakeFiles/sc_scone.dir/syscall.cpp.o.d"
+  "CMakeFiles/sc_scone.dir/untrusted_fs.cpp.o"
+  "CMakeFiles/sc_scone.dir/untrusted_fs.cpp.o.d"
+  "libsc_scone.a"
+  "libsc_scone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_scone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

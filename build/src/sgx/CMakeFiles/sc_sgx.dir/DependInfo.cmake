@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/attestation.cpp" "src/sgx/CMakeFiles/sc_sgx.dir/attestation.cpp.o" "gcc" "src/sgx/CMakeFiles/sc_sgx.dir/attestation.cpp.o.d"
+  "/root/repo/src/sgx/cache_model.cpp" "src/sgx/CMakeFiles/sc_sgx.dir/cache_model.cpp.o" "gcc" "src/sgx/CMakeFiles/sc_sgx.dir/cache_model.cpp.o.d"
+  "/root/repo/src/sgx/counters.cpp" "src/sgx/CMakeFiles/sc_sgx.dir/counters.cpp.o" "gcc" "src/sgx/CMakeFiles/sc_sgx.dir/counters.cpp.o.d"
+  "/root/repo/src/sgx/enclave.cpp" "src/sgx/CMakeFiles/sc_sgx.dir/enclave.cpp.o" "gcc" "src/sgx/CMakeFiles/sc_sgx.dir/enclave.cpp.o.d"
+  "/root/repo/src/sgx/epc.cpp" "src/sgx/CMakeFiles/sc_sgx.dir/epc.cpp.o" "gcc" "src/sgx/CMakeFiles/sc_sgx.dir/epc.cpp.o.d"
+  "/root/repo/src/sgx/measurement.cpp" "src/sgx/CMakeFiles/sc_sgx.dir/measurement.cpp.o" "gcc" "src/sgx/CMakeFiles/sc_sgx.dir/measurement.cpp.o.d"
+  "/root/repo/src/sgx/memory_model.cpp" "src/sgx/CMakeFiles/sc_sgx.dir/memory_model.cpp.o" "gcc" "src/sgx/CMakeFiles/sc_sgx.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sgx/platform.cpp" "src/sgx/CMakeFiles/sc_sgx.dir/platform.cpp.o" "gcc" "src/sgx/CMakeFiles/sc_sgx.dir/platform.cpp.o.d"
+  "/root/repo/src/sgx/policy.cpp" "src/sgx/CMakeFiles/sc_sgx.dir/policy.cpp.o" "gcc" "src/sgx/CMakeFiles/sc_sgx.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

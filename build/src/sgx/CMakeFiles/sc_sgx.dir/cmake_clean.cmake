@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_sgx.dir/attestation.cpp.o"
+  "CMakeFiles/sc_sgx.dir/attestation.cpp.o.d"
+  "CMakeFiles/sc_sgx.dir/cache_model.cpp.o"
+  "CMakeFiles/sc_sgx.dir/cache_model.cpp.o.d"
+  "CMakeFiles/sc_sgx.dir/counters.cpp.o"
+  "CMakeFiles/sc_sgx.dir/counters.cpp.o.d"
+  "CMakeFiles/sc_sgx.dir/enclave.cpp.o"
+  "CMakeFiles/sc_sgx.dir/enclave.cpp.o.d"
+  "CMakeFiles/sc_sgx.dir/epc.cpp.o"
+  "CMakeFiles/sc_sgx.dir/epc.cpp.o.d"
+  "CMakeFiles/sc_sgx.dir/measurement.cpp.o"
+  "CMakeFiles/sc_sgx.dir/measurement.cpp.o.d"
+  "CMakeFiles/sc_sgx.dir/memory_model.cpp.o"
+  "CMakeFiles/sc_sgx.dir/memory_model.cpp.o.d"
+  "CMakeFiles/sc_sgx.dir/platform.cpp.o"
+  "CMakeFiles/sc_sgx.dir/platform.cpp.o.d"
+  "CMakeFiles/sc_sgx.dir/policy.cpp.o"
+  "CMakeFiles/sc_sgx.dir/policy.cpp.o.d"
+  "libsc_sgx.a"
+  "libsc_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_smartgrid.dir/fault.cpp.o"
+  "CMakeFiles/sc_smartgrid.dir/fault.cpp.o.d"
+  "CMakeFiles/sc_smartgrid.dir/forecast.cpp.o"
+  "CMakeFiles/sc_smartgrid.dir/forecast.cpp.o.d"
+  "CMakeFiles/sc_smartgrid.dir/meter.cpp.o"
+  "CMakeFiles/sc_smartgrid.dir/meter.cpp.o.d"
+  "CMakeFiles/sc_smartgrid.dir/quality.cpp.o"
+  "CMakeFiles/sc_smartgrid.dir/quality.cpp.o.d"
+  "CMakeFiles/sc_smartgrid.dir/theft_detection.cpp.o"
+  "CMakeFiles/sc_smartgrid.dir/theft_detection.cpp.o.d"
+  "libsc_smartgrid.a"
+  "libsc_smartgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_smartgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_io.dir/async_io_test.cpp.o"
+  "CMakeFiles/test_async_io.dir/async_io_test.cpp.o.d"
+  "test_async_io"
+  "test_async_io.pdb"
+  "test_async_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bigdata.dir/bigdata_test.cpp.o"
+  "CMakeFiles/test_bigdata.dir/bigdata_test.cpp.o.d"
+  "test_bigdata"
+  "test_bigdata.pdb"
+  "test_bigdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bigdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

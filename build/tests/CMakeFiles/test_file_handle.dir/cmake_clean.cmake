@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_handle.dir/file_handle_test.cpp.o"
+  "CMakeFiles/test_file_handle.dir/file_handle_test.cpp.o.d"
+  "test_file_handle"
+  "test_file_handle.pdb"
+  "test_file_handle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_handle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genpack.dir/genpack_test.cpp.o"
+  "CMakeFiles/test_genpack.dir/genpack_test.cpp.o.d"
+  "test_genpack"
+  "test_genpack.pdb"
+  "test_genpack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

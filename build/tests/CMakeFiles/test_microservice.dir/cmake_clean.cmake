@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microservice.dir/microservice_test.cpp.o"
+  "CMakeFiles/test_microservice.dir/microservice_test.cpp.o.d"
+  "test_microservice"
+  "test_microservice.pdb"
+  "test_microservice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_billing.dir/policy_billing_test.cpp.o"
+  "CMakeFiles/test_policy_billing.dir/policy_billing_test.cpp.o.d"
+  "test_policy_billing"
+  "test_policy_billing.pdb"
+  "test_policy_billing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

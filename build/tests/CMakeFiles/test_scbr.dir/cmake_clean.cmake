@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scbr.dir/scbr_test.cpp.o"
+  "CMakeFiles/test_scbr.dir/scbr_test.cpp.o.d"
+  "test_scbr"
+  "test_scbr.pdb"
+  "test_scbr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

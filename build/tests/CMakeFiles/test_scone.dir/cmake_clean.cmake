@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scone.dir/scone_test.cpp.o"
+  "CMakeFiles/test_scone.dir/scone_test.cpp.o.d"
+  "test_scone"
+  "test_scone.pdb"
+  "test_scone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smartgrid.dir/smartgrid_test.cpp.o"
+  "CMakeFiles/test_smartgrid.dir/smartgrid_test.cpp.o.d"
+  "test_smartgrid"
+  "test_smartgrid.pdb"
+  "test_smartgrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smartgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

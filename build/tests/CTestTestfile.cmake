@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_sgx[1]_include.cmake")
+include("/root/repo/build/tests/test_scone[1]_include.cmake")
+include("/root/repo/build/tests/test_container[1]_include.cmake")
+include("/root/repo/build/tests/test_scbr[1]_include.cmake")
+include("/root/repo/build/tests/test_genpack[1]_include.cmake")
+include("/root/repo/build/tests/test_microservice[1]_include.cmake")
+include("/root/repo/build/tests/test_bigdata[1]_include.cmake")
+include("/root/repo/build/tests/test_smartgrid[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_counters[1]_include.cmake")
+include("/root/repo/build/tests/test_file_handle[1]_include.cmake")
+include("/root/repo/build/tests/test_streaming[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_policy_billing[1]_include.cmake")
+include("/root/repo/build/tests/test_deployment[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_forecast[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_async_io[1]_include.cmake")
+include("/root/repo/build/tests/test_merkle[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
