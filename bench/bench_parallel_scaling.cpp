@@ -1,0 +1,287 @@
+// Parallel execution layer — scaling curves for the three pooled paths.
+//
+// Sweeps the work-stealing pool over 1/2/4/8 threads for:
+//   * mapreduce — SecureMapReduce word-count over encrypted partitions;
+//   * scbr_batch — ScbrRouter::publish_batch against a poset index;
+//   * bulk_crypto — chunked secure transfer (seal + open) end to end.
+// Each run rebuilds the workload from identical seeds, so the simulated
+// cycle totals, job stats, and outputs must be bit-identical at every
+// thread count — the bench checks that ("identical") alongside the
+// speedup. Emits one JSON line per (bench, threads) pair.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "bigdata/mapreduce.hpp"
+#include "bigdata/transfer.hpp"
+#include "common/thread_pool.hpp"
+#include "crypto/sha256.hpp"
+#include "scbr/poset_engine.hpp"
+#include "scbr/router.hpp"
+#include "scbr/workload.hpp"
+#include "sgx/platform.hpp"
+
+namespace {
+
+using namespace securecloud;
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// What one timed run produced: a digest of the observable output plus
+/// the simulated-cycle total. Runs at different thread counts must agree
+/// on both — the determinism contract of the parallel layer.
+struct RunResult {
+  double seconds = 0;
+  std::string digest;
+  std::uint64_t sim_cycles = 0;
+};
+
+void emit(const char* bench, std::size_t threads, const RunResult& r,
+          const RunResult& baseline) {
+  // hw_threads lets a reader judge the speedup column: on a 1-core host
+  // the expected speedup is ~1.0 and "identical" is the signal that
+  // matters; real scaling needs threads <= hw_threads.
+  std::printf(
+      "{\"bench\":\"%s\",\"threads\":%zu,\"hw_threads\":%u,"
+      "\"seconds\":%.4f,"
+      "\"speedup_vs_1\":%.2f,\"sim_cycles\":%llu,\"identical\":%s}\n",
+      bench, threads, std::thread::hardware_concurrency(), r.seconds,
+      baseline.seconds / r.seconds,
+      static_cast<unsigned long long>(r.sim_cycles),
+      (r.digest == baseline.digest && r.sim_cycles == baseline.sim_cycles)
+          ? "true"
+          : "false");
+}
+
+std::string hex_digest(const Bytes& data) {
+  const auto d = crypto::Sha256::hash(data);
+  std::string out;
+  for (std::uint8_t b : d) {
+    char buf[3];
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    out += buf;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- mapreduce
+
+/// Word-count over synthetic text records: the map side decrypts and
+/// tokenizes (AES-GCM + hashing per record), the reduce side sums.
+RunResult run_mapreduce(std::size_t threads) {
+  common::ThreadPool pool(threads);
+  common::ThreadPool* p = threads > 1 ? &pool : nullptr;
+
+  sgx::Platform platform;
+  crypto::DeterministicEntropy entropy(5);
+  bigdata::SecureMapReduce job(platform, entropy);
+  job.set_pool(p);
+
+  const char* words[] = {"enclave", "cloud",  "secure", "data",
+                         "routing", "stream", "meter",  "batch"};
+  std::vector<std::vector<Bytes>> partitions;
+  std::uint64_t lcg = 99;
+  for (std::size_t part = 0; part < 64; ++part) {
+    std::vector<Bytes> records;
+    for (std::size_t rec = 0; rec < 64; ++rec) {
+      std::string text;
+      for (int w = 0; w < 24; ++w) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        text += words[(lcg >> 33) % 8];
+        text += ' ';
+      }
+      records.push_back(to_bytes(text));
+    }
+    partitions.push_back(job.encrypt_partition(records));
+  }
+
+  bigdata::MapReduceConfig config;
+  config.num_mappers = 8;
+  config.num_reducers = 8;
+  const auto map_fn = [](ByteView record) {
+    std::vector<bigdata::KeyValue> out;
+    std::string word;
+    for (std::uint8_t c : record) {
+      if (c == ' ') {
+        if (!word.empty()) out.push_back({word, 1.0});
+        word.clear();
+      } else {
+        word += static_cast<char>(c);
+      }
+    }
+    if (!word.empty()) out.push_back({word, 1.0});
+    return out;
+  };
+  const auto reduce_fn = [](const std::string&, const std::vector<double>& vs) {
+    double sum = 0;
+    for (double v : vs) sum += v;
+    return sum;
+  };
+
+  RunResult result;
+  Result<bigdata::JobResult> out = Error::internal("unset");
+  result.seconds =
+      wall_seconds([&] { out = job.run(config, partitions, map_fn, reduce_fn); });
+  if (!out.ok()) {
+    result.digest = "error: " + out.error().message;
+    return result;
+  }
+  std::ostringstream os;
+  for (const auto& [k, v] : out->output) os << k << '=' << v << ';';
+  os << out->stats.input_records << ',' << out->stats.intermediate_pairs << ','
+     << out->stats.shuffle_bytes << ',' << out->stats.enclave_transitions << ','
+     << out->stats.simulated_cycles;
+  result.digest = hex_digest(to_bytes(os.str()));
+  result.sim_cycles = platform.clock().cycles();
+  return result;
+}
+
+// ------------------------------------------------------------ scbr_batch
+
+RunResult run_scbr_batch(std::size_t threads) {
+  common::ThreadPool pool(threads);
+  common::ThreadPool* p = threads > 1 ? &pool : nullptr;
+
+  sgx::Platform platform;
+  sgx::AttestationService attestation;
+  platform.provision(attestation);
+  crypto::DeterministicEntropy entropy(55);
+  scbr::KeyService keys(attestation, entropy);
+
+  sgx::EnclaveImage image;
+  image.name = "scbr-router";
+  image.code = to_bytes("router-binary");
+  crypto::DeterministicEntropy signer(808);
+  sign_image(image, crypto::ed25519_keypair(signer.array<32>()));
+  auto enclave = platform.create_enclave(image);
+  if (!enclave.ok()) {
+    return {0, "error: " + enclave.error().message, 0};
+  }
+  keys.authorize_router((*enclave)->mrenclave());
+
+  auto publisher = keys.register_client("publisher");
+  std::vector<scbr::ClientCredentials> subscribers;
+  for (int i = 0; i < 32; ++i) {
+    subscribers.push_back(keys.register_client("sub-" + std::to_string(i)));
+  }
+
+  scbr::ScbrRouter router(**enclave, std::make_unique<scbr::PosetEngine>());
+  if (!router.provision(keys).ok()) return {0, "error: provision failed", 0};
+
+  scbr::WorkloadConfig wl;
+  wl.attribute_universe = 10;
+  wl.attributes_per_filter = 3;
+  wl.value_range = 10'000;
+  wl.width_fraction = 0.25;
+  wl.hierarchy_fraction = 0.8;
+  scbr::ScbrWorkload workload(wl, 11);
+  for (std::size_t i = 0; i < 2'000; ++i) {
+    const auto& owner = subscribers[i % subscribers.size()];
+    auto sub = router.subscribe(
+        owner.name, encrypt_subscription(owner, workload.next_filter(), i + 1));
+    if (!sub.ok()) return {0, "error: subscribe failed", 0};
+  }
+
+  std::vector<scbr::ScbrRouter::PublishRequest> batch;
+  for (std::size_t i = 0; i < 512; ++i) {
+    batch.push_back(
+        {publisher.name,
+         encrypt_publication(publisher, workload.next_event(), i + 1)});
+  }
+
+  RunResult result;
+  std::vector<Result<std::vector<scbr::Delivery>>> outcomes;
+  result.seconds = wall_seconds([&] { outcomes = router.publish_batch(batch, p); });
+
+  Bytes digest_input;
+  for (const auto& outcome : outcomes) {
+    if (!outcome.ok()) {
+      result.digest = "error: " + outcome.error().message;
+      return result;
+    }
+    for (const auto& d : *outcome) {
+      put_str(digest_input, d.subscriber);
+      put_u64(digest_input, d.subscription);
+      append(digest_input, d.wire);
+    }
+  }
+  put_u64(digest_input, router.metrics().deliveries);
+  result.digest = hex_digest(digest_input);
+  result.sim_cycles = platform.clock().cycles();
+  return result;
+}
+
+// ----------------------------------------------------------- bulk_crypto
+
+RunResult run_bulk_crypto(std::size_t threads) {
+  common::ThreadPool pool(threads);
+  common::ThreadPool* p = threads > 1 ? &pool : nullptr;
+
+  // Mixed-entropy payload (runs + noise) so RLE neither collapses nor
+  // doubles it; ~24 MiB keeps the chunked AEAD work dominant.
+  Bytes payload;
+  payload.reserve(24u << 20);
+  std::uint64_t lcg = 7;
+  while (payload.size() < (24u << 20)) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const auto byte = static_cast<std::uint8_t>(lcg >> 33);
+    const std::size_t run = 1 + ((lcg >> 41) % 8);
+    payload.insert(payload.end(), run, byte);
+  }
+
+  bigdata::SecureTransferSender sender(Bytes(16, 0x31), 1, 64 * 1024);
+  sender.set_pool(p);
+  bigdata::SecureTransferReceiver receiver(Bytes(16, 0x31), 1);
+
+  RunResult result;
+  std::vector<Bytes> chunks;
+  Result<std::vector<Bytes>> back = Error::internal("unset");
+  result.seconds = wall_seconds([&] {
+    chunks = sender.send(payload);
+    back = receiver.receive_all(chunks, p);
+  });
+  if (!back.ok() || back->size() != 1 || (*back)[0] != payload) {
+    result.digest = "error: round trip failed";
+    return result;
+  }
+  Bytes digest_input;
+  for (const auto& c : chunks) append(digest_input, c);
+  result.digest = hex_digest(digest_input);
+  result.sim_cycles = sender.stats().wire_bytes;  // stands in for cycles
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t counts[] = {1, 2, 4, 8};
+  struct Path {
+    const char* name;
+    RunResult (*run)(std::size_t);
+  };
+  const Path paths[] = {{"mapreduce", run_mapreduce},
+                        {"scbr_batch", run_scbr_batch},
+                        {"bulk_crypto", run_bulk_crypto}};
+  int failures = 0;
+  for (const Path& path : paths) {
+    RunResult baseline;
+    for (std::size_t threads : counts) {
+      const RunResult r = path.run(threads);
+      if (threads == 1) baseline = r;
+      emit(path.name, threads, r, baseline);
+      if (r.digest != baseline.digest || r.sim_cycles != baseline.sim_cycles) {
+        ++failures;
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -11,6 +11,11 @@
 // from DESIGN.md: with no containment the poset degenerates to a scan).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/thread_pool.hpp"
 #include "scbr/naive_engine.hpp"
 #include "scbr/poset_engine.hpp"
 #include "scbr/workload.hpp"
@@ -19,6 +24,9 @@ namespace {
 
 using namespace securecloud;
 using namespace securecloud::scbr;
+
+// Set by --threads N (default 1); sizes the pool for the batch benchmark.
+int g_threads = 1;
 
 WorkloadConfig config_with(double hierarchy_fraction) {
   WorkloadConfig config;
@@ -72,6 +80,37 @@ BENCHMARK(BM_PosetMatch_Containment)
     ->Args({10000, 80})
     ->Args({10000, 95});
 
+// Batch matching across the work-stealing pool (the publish_batch
+// pattern): pure traversals fan out against the quiescent index, traces
+// replay serially in batch order, so stats evolve exactly as in the
+// sequential loop while the traversal work scales with --threads.
+void BM_PosetMatchBatch(benchmark::State& state) {
+  const auto subscriptions = static_cast<std::size_t>(state.range(0));
+  ScbrWorkload workload(config_with(0.8), 11);
+  PosetEngine engine;
+  for (std::size_t id = 1; id <= subscriptions; ++id) {
+    engine.subscribe(id, workload.next_filter());
+  }
+  std::vector<Event> events;
+  for (int i = 0; i < 256; ++i) events.push_back(workload.next_event());
+
+  common::ThreadPool pool(static_cast<std::size_t>(g_threads));
+  common::ThreadPool* p = g_threads > 1 ? &pool : nullptr;
+  std::vector<MatchTrace> traces(events.size());
+  std::vector<std::vector<SubscriptionId>> matched(events.size());
+  for (auto _ : state) {
+    common::run_indexed(p, events.size(), [&](std::size_t i) {
+      traces[i].clear();
+      matched[i] = engine.match_with_trace(events[i], &traces[i]);
+    });
+    for (const auto& trace : traces) engine.apply_trace(trace);
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * events.size()));
+  state.counters["threads"] = static_cast<double>(g_threads);
+}
+BENCHMARK(BM_PosetMatchBatch)->Arg(10000)->Arg(50000);
+
 void BM_PosetSubscribe(benchmark::State& state) {
   ScbrWorkload workload(config_with(0.8), 13);
   PosetEngine engine;
@@ -89,4 +128,23 @@ BENCHMARK(BM_PosetSubscribe)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Plain BENCHMARK_MAIN plus a --threads N flag (stripped before the
+// benchmark library parses the remainder).
+int main(int argc, char** argv) {
+  int keep = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = std::max(1, std::atoi(argv[i] + 10));
+    } else {
+      argv[keep++] = argv[i];
+    }
+  }
+  argc = keep;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

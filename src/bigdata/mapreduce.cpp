@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
 
+#include "common/sim_clock.hpp"
 #include "crypto/sha256.hpp"
 
 namespace securecloud::bigdata {
@@ -63,14 +65,18 @@ SecureMapReduce::SecureMapReduce(sgx::Platform& platform,
     : platform_(platform), entropy_(entropy), job_key_(entropy.bytes(16)) {}
 
 std::vector<Bytes> SecureMapReduce::encrypt_partition(const std::vector<Bytes>& records) {
+  // Nonce counters are claimed for the whole partition up front, so the
+  // per-record seals can run in any order (and on any thread) while the
+  // wire output stays byte-identical to the sequential loop.
+  const std::uint64_t base = record_counter_;
+  record_counter_ += records.size();
+
   crypto::AesGcm gcm(job_key_);
-  std::vector<Bytes> out;
-  out.reserve(records.size());
-  for (const auto& record : records) {
-    out.push_back(gcm.seal_combined(
-        crypto::nonce_from_counter(++record_counter_, kRecordDomain),
-        to_bytes("record"), record));
-  }
+  std::vector<Bytes> out(records.size());
+  common::run_indexed(pool_, records.size(), [&](std::size_t i) {
+    out[i] = gcm.seal_combined(crypto::nonce_from_counter(base + i + 1, kRecordDomain),
+                               to_bytes("record"), records[i]);
+  });
   return out;
 }
 
@@ -83,7 +89,6 @@ Result<JobResult> SecureMapReduce::run(
   }
 
   JobResult result;
-  crypto::AesGcm gcm(job_key_);
 
   // --- worker pool ----------------------------------------------------------
   const sgx::EnclaveImage image = worker_image();
@@ -96,25 +101,45 @@ Result<JobResult> SecureMapReduce::run(
     workers.push_back(*worker);
   }
   const std::uint64_t cycles_before = platform_.clock().cycles();
+  const std::size_t partitions = encrypted_partitions.size();
 
   // --- map phase -------------------------------------------------------------
-  // shuffle[r] holds the encrypted intermediate blocks for reducer r.
-  std::vector<std::vector<Bytes>> shuffle(config.num_reducers);
-  std::uint64_t shuffle_counter = 0;
+  // Map tasks run concurrently, one per partition, each against its own
+  // AES-GCM context and ClockShard. Every order-sensitive value is a pure
+  // function of the (partition, reducer) index: shuffle block p,r seals
+  // under nonce counter p*num_reducers + r + 1 and lands in slot [r][p].
+  // Tallies merge at the barrier in partition order, so JobStats is
+  // bit-identical to the sequential (pool_ == nullptr) run.
+  struct MapTally {
+    std::size_t input_records = 0;
+    std::size_t intermediate_pairs = 0;
+    std::size_t shuffle_bytes = 0;
+    std::uint64_t enclave_transitions = 0;
+    std::optional<Error> error;
+  };
+  std::vector<MapTally> map_tallies(partitions);
+  // blocks[r][p]: encrypted intermediate block from mapper p for reducer
+  // r (empty when mapper p emitted nothing for r).
+  std::vector<std::vector<Bytes>> blocks(config.num_reducers,
+                                         std::vector<Bytes>(partitions));
 
-  for (std::size_t p = 0; p < encrypted_partitions.size(); ++p) {
-    sgx::Enclave& worker = *workers[p % workers.size()];
+  common::run_indexed(pool_, partitions, [&](std::size_t p) {
+    MapTally& tally = map_tallies[p];
+    ClockShard shard(platform_.clock());
+    crypto::AesGcm gcm(job_key_);
+
     // Entering the mapper enclave for this partition.
-    platform_.clock().advance_cycles(platform_.cost().ecall_cycles);
-    ++result.stats.enclave_transitions;
+    shard.advance_cycles(platform_.cost().ecall_cycles);
+    ++tally.enclave_transitions;
 
     std::vector<std::vector<KeyValue>> per_reducer(config.num_reducers);
     for (const auto& sealed_record : encrypted_partitions[p]) {
       auto record = gcm.open_combined(to_bytes("record"), sealed_record);
       if (!record.ok()) {
-        return Error::integrity("input record failed authentication");
+        tally.error = Error::integrity("input record failed authentication");
+        return;
       }
-      ++result.stats.input_records;
+      ++tally.input_records;
       for (auto& kv : map_fn(*record)) {
         const std::size_t r = reducer_of(kv.key, config.num_reducers);
         per_reducer[r].push_back(std::move(kv));
@@ -136,44 +161,80 @@ Result<JobResult> SecureMapReduce::run(
     // Emit one encrypted shuffle block per reducer (leaves the enclave).
     for (std::size_t r = 0; r < config.num_reducers; ++r) {
       if (per_reducer[r].empty()) continue;
-      result.stats.intermediate_pairs += per_reducer[r].size();
+      tally.intermediate_pairs += per_reducer[r].size();
       Bytes aad;
       put_str(aad, "shuffle");
       put_u64(aad, r);
       Bytes block = gcm.seal_combined(
-          crypto::nonce_from_counter(++shuffle_counter, kShuffleDomain), aad,
-          serialize_pairs(per_reducer[r]));
-      result.stats.shuffle_bytes += block.size();
-      shuffle[r].push_back(std::move(block));
+          crypto::nonce_from_counter(
+              static_cast<std::uint64_t>(p) * config.num_reducers + r + 1,
+              kShuffleDomain),
+          aad, serialize_pairs(per_reducer[r]));
+      tally.shuffle_bytes += block.size();
+      blocks[r][p] = std::move(block);
     }
-    (void)worker;
+  });
+
+  // Map barrier: merge tallies in partition order; the first failed
+  // partition wins, matching the sequential early-return.
+  for (const MapTally& tally : map_tallies) {
+    if (tally.error) return *tally.error;
+    result.stats.input_records += tally.input_records;
+    result.stats.intermediate_pairs += tally.intermediate_pairs;
+    result.stats.shuffle_bytes += tally.shuffle_bytes;
+    result.stats.enclave_transitions += tally.enclave_transitions;
   }
 
   // --- reduce phase ------------------------------------------------------------
-  for (std::size_t r = 0; r < config.num_reducers; ++r) {
-    sgx::Enclave& worker = *workers[r % workers.size()];
-    platform_.clock().advance_cycles(platform_.cost().ecall_cycles);
-    ++result.stats.enclave_transitions;
-    (void)worker;
+  // One task per reducer; each consumes its shuffle blocks in partition
+  // order and produces an isolated output map. Reducer key spaces are
+  // disjoint (hash partitioning), so the serial merge below just
+  // concatenates into the ordered output map.
+  struct ReduceTally {
+    std::map<std::string, double> output;
+    std::uint64_t enclave_transitions = 0;
+    std::optional<Error> error;
+  };
+  std::vector<ReduceTally> reduce_tallies(config.num_reducers);
+
+  common::run_indexed(pool_, config.num_reducers, [&](std::size_t r) {
+    ReduceTally& tally = reduce_tallies[r];
+    ClockShard shard(platform_.clock());
+    crypto::AesGcm gcm(job_key_);
+    shard.advance_cycles(platform_.cost().ecall_cycles);
+    ++tally.enclave_transitions;
 
     std::map<std::string, std::vector<double>> groups;
-    for (const auto& block : shuffle[r]) {
+    for (std::size_t p = 0; p < partitions; ++p) {
+      const Bytes& block = blocks[r][p];
+      if (block.empty()) continue;
       Bytes aad;
       put_str(aad, "shuffle");
       put_u64(aad, r);
       auto plain = gcm.open_combined(aad, block);
       if (!plain.ok()) {
-        return Error::integrity("shuffle block failed authentication");
+        tally.error = Error::integrity("shuffle block failed authentication");
+        return;
       }
       auto pairs = deserialize_pairs(*plain);
-      if (!pairs.ok()) return pairs.error();
+      if (!pairs.ok()) {
+        tally.error = pairs.error();
+        return;
+      }
       for (auto& kv : *pairs) {
         groups[kv.key].push_back(kv.value);
       }
     }
     for (auto& [key, values] : groups) {
-      result.output[key] = reduce_fn(key, values);
+      tally.output[key] = reduce_fn(key, values);
     }
+  });
+
+  // Reduce barrier: surface the first failure, then merge outputs.
+  for (ReduceTally& tally : reduce_tallies) {
+    if (tally.error) return *tally.error;
+    result.output.merge(tally.output);
+    result.stats.enclave_transitions += tally.enclave_transitions;
   }
 
   result.stats.simulated_cycles = platform_.clock().cycles() - cycles_before;

@@ -20,6 +20,7 @@
 #include <map>
 
 #include "common/result.hpp"
+#include "common/thread_pool.hpp"
 #include "crypto/entropy.hpp"
 #include "crypto/gcm.hpp"
 #include "sgx/platform.hpp"
@@ -64,6 +65,14 @@ class SecureMapReduce {
   /// worker image; the job key is generated from `entropy`.
   SecureMapReduce(sgx::Platform& platform, crypto::EntropySource& entropy);
 
+  /// Fans map/reduce tasks and bulk encryption across `pool` (nullptr =
+  /// sequential). The driver pre-assigns every order-sensitive value —
+  /// nonce counters, shuffle slots, output slots — by partition/reducer
+  /// index and merges per-task tallies at the phase barriers, so
+  /// `run()`'s output and JobStats (including simulated_cycles) are
+  /// bit-identical at every thread count.
+  void set_pool(common::ThreadPool* pool) { pool_ = pool; }
+
   /// Encrypts plaintext records into job-input format (done by the data
   /// owner before upload — the cloud only ever stores the result).
   std::vector<Bytes> encrypt_partition(const std::vector<Bytes>& records);
@@ -80,6 +89,7 @@ class SecureMapReduce {
   crypto::EntropySource& entropy_;
   Bytes job_key_;
   std::uint64_t record_counter_ = 0;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace securecloud::bigdata

@@ -18,12 +18,20 @@ std::vector<Bytes> SecureTransferSender::send(ByteView payload) {
   const Bytes compressed = rle_compress(payload);
   stats_.compressed_bytes += compressed.size();
 
-  std::vector<Bytes> chunks;
-  std::size_t offset = 0;
-  do {
+  // Chunk boundaries and sequence numbers are pure functions of the
+  // compressed length, so the whole range is claimed up front and the
+  // seals fan out; chunk i's bytes never depend on when it was sealed.
+  const std::size_t num_chunks =
+      compressed.empty() ? 1 : (compressed.size() + chunk_size_ - 1) / chunk_size_;
+  const std::uint64_t base_seq = sequence_;
+  sequence_ += num_chunks;
+
+  std::vector<Bytes> chunks(num_chunks);
+  common::run_indexed(pool_, num_chunks, [&](std::size_t i) {
+    const std::size_t offset = i * chunk_size_;
     const std::size_t take = std::min(chunk_size_, compressed.size() - offset);
-    const bool last = offset + take == compressed.size();
-    const std::uint64_t seq = sequence_++;
+    const bool last = i + 1 == num_chunks;
+    const std::uint64_t seq = base_seq + i;
 
     Bytes wire;
     put_u64(wire, seq);
@@ -32,11 +40,10 @@ std::vector<Bytes> SecureTransferSender::send(ByteView payload) {
                      crypto::nonce_from_counter(seq, stream_id_),
                      chunk_aad(stream_id_, seq, last),
                      ByteView(compressed.data() + offset, take)));
-    stats_.wire_bytes += wire.size();
-    ++stats_.chunks;
-    chunks.push_back(std::move(wire));
-    offset += take;
-  } while (offset < compressed.size());
+    chunks[i] = std::move(wire);
+  });
+  for (const Bytes& wire : chunks) stats_.wire_bytes += wire.size();
+  stats_.chunks += num_chunks;
   return chunks;
 }
 
@@ -63,6 +70,52 @@ Result<std::optional<Bytes>> SecureTransferReceiver::receive(ByteView wire_chunk
   assembling_.clear();
   if (!payload.ok()) return payload.error();
   return std::optional<Bytes>{std::move(payload).value()};
+}
+
+Result<std::vector<Bytes>> SecureTransferReceiver::receive_all(
+    const std::vector<Bytes>& wire_chunks, common::ThreadPool* pool) {
+  // Phase 1 (parallel): authenticate and decrypt every chunk. The open
+  // uses only the chunk's own header (nonce = its sequence number), so
+  // it commutes; the receiver state machine below never observes order.
+  struct Opened {
+    bool header_ok = false;
+    std::uint64_t seq = 0;
+    bool last = false;
+    Result<Bytes> plain = Error::internal("chunk not processed");
+  };
+  std::vector<Opened> opened(wire_chunks.size());
+  common::run_indexed(pool, wire_chunks.size(), [&](std::size_t i) {
+    Opened& o = opened[i];
+    ByteReader reader(wire_chunks[i]);
+    std::uint8_t last = 0;
+    if (!reader.get_u64(o.seq) || !reader.get_u8(last)) return;
+    o.header_ok = true;
+    o.last = last != 0;
+    const ByteView sealed(
+        wire_chunks[i].data() + (wire_chunks[i].size() - reader.remaining()),
+        reader.remaining());
+    o.plain = gcm_.open_combined(chunk_aad(stream_id_, o.seq, o.last), sealed);
+  });
+
+  // Phase 2 (serial, wire order): the exact state transitions a
+  // receive() loop performs, with its error precedence — header parse,
+  // then sequence check, then AEAD verdict.
+  std::vector<Bytes> payloads;
+  for (Opened& o : opened) {
+    if (!o.header_ok) return Error::protocol("truncated transfer chunk");
+    if (o.seq != expected_sequence_) {
+      return Error::protocol("transfer chunk out of order");
+    }
+    if (!o.plain.ok()) return o.plain.error();
+    ++expected_sequence_;
+    append(assembling_, *o.plain);
+    if (!o.last) continue;
+    auto payload = rle_decompress(assembling_);
+    assembling_.clear();
+    if (!payload.ok()) return payload.error();
+    payloads.push_back(std::move(payload).value());
+  }
+  return payloads;
 }
 
 }  // namespace securecloud::bigdata

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "bigdata/codec.hpp"
+#include "common/thread_pool.hpp"
 #include "crypto/gcm.hpp"
 
 namespace securecloud::bigdata {
@@ -31,7 +32,12 @@ class SecureTransferSender {
       : gcm_(key), stream_id_(stream_id), chunk_size_(chunk_size) {}
 
   /// Produces the wire chunks for `payload` and updates the stats.
+  /// Chunk boundaries and sequence numbers are fixed before the seals
+  /// run, so fanning the per-chunk AEAD work across `pool` yields wire
+  /// bytes and stats identical to the sequential path.
   std::vector<Bytes> send(ByteView payload);
+
+  void set_pool(common::ThreadPool* pool) { pool_ = pool; }
 
   const TransferStats& stats() const { return stats_; }
 
@@ -41,6 +47,7 @@ class SecureTransferSender {
   std::size_t chunk_size_;
   std::uint64_t sequence_ = 0;
   TransferStats stats_;
+  common::ThreadPool* pool_ = nullptr;
 };
 
 class SecureTransferReceiver {
@@ -51,6 +58,14 @@ class SecureTransferReceiver {
   /// Consumes the next wire chunk in order; returns the reassembled
   /// payload once its final chunk arrives, nullopt while incomplete.
   Result<std::optional<Bytes>> receive(ByteView wire_chunk);
+
+  /// Batch receive: opens every chunk's AEAD across `pool` (the opens
+  /// are pure — nonce and AAD come from the chunk header), then applies
+  /// the sequence checks and reassembly serially in wire order. State
+  /// transitions and results match a receive() loop exactly. Returns
+  /// every payload completed within the batch.
+  Result<std::vector<Bytes>> receive_all(const std::vector<Bytes>& wire_chunks,
+                                         common::ThreadPool* pool = nullptr);
 
  private:
   crypto::AesGcm gcm_;

@@ -4,8 +4,17 @@
 // literature reports). SimClock accumulates cycles and converts to
 // nanoseconds at a configurable frequency so benchmarks can report both
 // simulated time and event counts deterministically.
+//
+// Concurrency: the cycle counter is a relaxed atomic, so charges may be
+// issued from pool workers. Because every charge is an addition, the
+// *total* is exact regardless of interleaving — parallel runs report
+// bit-identical cycle counts to sequential ones as long as the same set
+// of charges is issued. Hot loops should batch through a ClockShard and
+// flush at phase barriers instead of paying one atomic RMW per event.
 #pragma once
 
+#include <atomic>
+#include <cmath>
 #include <cstdint>
 
 namespace securecloud {
@@ -13,25 +22,67 @@ namespace securecloud {
 class SimClock {
  public:
   /// Default frequency matches the Xeon E3-1270 v5 used by SCONE (OSDI'16).
-  explicit SimClock(double ghz = 2.6) : ghz_(ghz) {}
+  explicit SimClock(double ghz = 2.6)
+      : ghz_(ghz), hz_(static_cast<std::uint64_t>(std::llround(ghz * 1e9))) {}
 
-  void advance_cycles(std::uint64_t cycles) { cycles_ += cycles; }
-  void advance_ns(std::uint64_t ns) {
-    cycles_ += static_cast<std::uint64_t>(static_cast<double>(ns) * ghz_);
+  void advance_cycles(std::uint64_t cycles) {
+    cycles_.fetch_add(cycles, std::memory_order_relaxed);
   }
+  /// Integer ns→cycle conversion: a double intermediate loses low-order
+  /// cycles once ns * ghz exceeds 2^53; the 128-bit product is exact for
+  /// any representable input (truncating, like real TSC sampling).
+  void advance_ns(std::uint64_t ns) { advance_cycles(ns_to_cycles(ns)); }
 
-  std::uint64_t cycles() const { return cycles_; }
-  double seconds() const { return static_cast<double>(cycles_) / (ghz_ * 1e9); }
+  std::uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
+  double seconds() const {
+    return static_cast<double>(cycles()) / static_cast<double>(hz_);
+  }
   std::uint64_t nanos() const {
-    return static_cast<std::uint64_t>(static_cast<double>(cycles_) / ghz_);
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(cycles()) * 1'000'000'000u / hz_);
+  }
+  std::uint64_t ns_to_cycles(std::uint64_t ns) const {
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(ns) * hz_ / 1'000'000'000u);
   }
   double frequency_ghz() const { return ghz_; }
 
-  void reset() { cycles_ = 0; }
+  void reset() { cycles_.store(0, std::memory_order_relaxed); }
 
  private:
   double ghz_;
-  std::uint64_t cycles_ = 0;
+  std::uint64_t hz_;  // integer cycles per second (ghz rounded to 1 Hz)
+  std::atomic<std::uint64_t> cycles_{0};
+};
+
+/// Per-thread batcher for SimClock charges. Workers accumulate locally
+/// and flush once at a barrier: the clock sees one atomic add per shard
+/// instead of one per event, and the total is exactly the sum of every
+/// advance_cycles() issued through any shard (no rounding, no loss).
+class ClockShard {
+ public:
+  explicit ClockShard(SimClock& clock) : clock_(clock) {}
+  ~ClockShard() { flush(); }
+
+  ClockShard(const ClockShard&) = delete;
+  ClockShard& operator=(const ClockShard&) = delete;
+
+  void advance_cycles(std::uint64_t cycles) { pending_ += cycles; }
+  void advance_ns(std::uint64_t ns) { pending_ += clock_.ns_to_cycles(ns); }
+
+  /// Unflushed cycles (visible only to this shard until flush).
+  std::uint64_t pending() const { return pending_; }
+
+  void flush() {
+    if (pending_ != 0) {
+      clock_.advance_cycles(pending_);
+      pending_ = 0;
+    }
+  }
+
+ private:
+  SimClock& clock_;
+  std::uint64_t pending_ = 0;
 };
 
 }  // namespace securecloud

@@ -1,0 +1,222 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace securecloud::common {
+
+namespace {
+// Identifies the pool (and worker slot) the current thread belongs to,
+// so submit() from inside a task targets the caller's own deque.
+thread_local ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_worker = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::push_task(std::size_t target, std::function<void()> task) {
+  {
+    std::lock_guard lk(workers_[target]->mu);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard lk(wake_mu_);
+    ++signal_;
+  }
+  wake_cv_.notify_one();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  if (t_pool == this) {
+    target = t_worker;
+  } else {
+    std::lock_guard lk(wake_mu_);
+    target = round_robin_++ % workers_.size();
+  }
+  push_task(target, std::move(task));
+}
+
+std::function<void()> ThreadPool::take_task(std::size_t self) {
+  Worker& me = *workers_[self];
+  {
+    std::lock_guard lk(me.mu);
+    if (!me.deque.empty()) {
+      auto task = std::move(me.deque.back());
+      me.deque.pop_back();
+      return task;
+    }
+  }
+
+  // Steal half of the first non-empty sibling deque, oldest tasks first.
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& victim = *workers_[(self + k) % n];
+    std::vector<std::function<void()>> loot;
+    {
+      std::lock_guard lk(victim.mu);
+      if (victim.deque.empty()) continue;
+      const std::size_t take = (victim.deque.size() + 1) / 2;
+      loot.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        loot.push_back(std::move(victim.deque.front()));
+        victim.deque.pop_front();
+      }
+    }
+    auto first = std::move(loot.front());
+    {
+      std::lock_guard lk(me.mu);
+      me.steals += loot.size();
+      for (std::size_t i = 1; i < loot.size(); ++i) {
+        me.deque.push_back(std::move(loot[i]));
+      }
+    }
+    if (loot.size() > 1) {
+      // We now hold surplus work; a sleeping sibling may want it.
+      {
+        std::lock_guard lk(wake_mu_);
+        ++signal_;
+      }
+      wake_cv_.notify_one();
+    }
+    return first;
+  }
+  return {};
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_pool = this;
+  t_worker = self;
+  for (;;) {
+    std::uint64_t seen;
+    {
+      std::lock_guard lk(wake_mu_);
+      seen = signal_;
+    }
+    if (auto task = take_task(self)) {
+      task();
+      continue;
+    }
+    // All deques were empty at scan time. stop_ is honored only here, so
+    // every queued task still runs before shutdown (graceful drain).
+    std::unique_lock lk(wake_mu_);
+    if (stop_) return;
+    wake_cv_.wait(lk, [&] { return stop_ || signal_ != seen; });
+    if (stop_ && signal_ == seen) return;
+  }
+}
+
+std::uint64_t ThreadPool::steal_count() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) {
+    std::lock_guard lk(w->mu);
+    total += w->steals;
+  }
+  return total;
+}
+
+namespace {
+
+struct ForState {
+  std::function<void(std::size_t, std::size_t)> body;
+  std::size_t begin = 0, end = 0, grain = 1, chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t inflight = 0;          // grains between claim and completion
+  std::exception_ptr error;          // first grain exception
+};
+
+// Claims grains until the range (or a cancellation) exhausts the cursor.
+// inflight is raised *before* the claim so a waiter observing
+// inflight == 0 && next >= chunks knows no body call can still start.
+void run_grains(const std::shared_ptr<ForState>& st) {
+  for (;;) {
+    {
+      std::lock_guard lk(st->mu);
+      ++st->inflight;
+    }
+    const std::size_t c = st->next.fetch_add(1, std::memory_order_relaxed);
+    bool done = c >= st->chunks;
+    if (!done) {
+      const std::size_t i = st->begin + c * st->grain;
+      const std::size_t j = std::min(st->end, i + st->grain);
+      try {
+        st->body(i, j);
+      } catch (...) {
+        std::lock_guard lk(st->mu);
+        if (!st->error) st->error = std::current_exception();
+        // Cancel the grains nobody claimed yet.
+        st->next.store(st->chunks, std::memory_order_relaxed);
+      }
+    }
+    bool notify;
+    {
+      std::lock_guard lk(st->mu);
+      notify = --st->inflight == 0;
+    }
+    if (notify) st->cv.notify_all();
+    if (done) return;
+  }
+}
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t, std::size_t)>& body,
+                              std::size_t grain) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) {
+    // ~4 grains per worker: enough slack for stealing to balance skew
+    // without paying per-index dispatch overhead.
+    grain = std::max<std::size_t>(1, n / (4 * std::max<std::size_t>(1, size())));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+
+  auto st = std::make_shared<ForState>();
+  st->body = body;
+  st->begin = begin;
+  st->end = end;
+  st->grain = grain;
+  st->chunks = chunks;
+
+  const std::size_t helpers = std::min(size(), chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([st] { run_grains(st); });
+  }
+  run_grains(st);  // the caller works too — this is what makes nesting safe
+
+  std::unique_lock lk(st->mu);
+  st->cv.wait(lk, [&] {
+    return st->inflight == 0 && st->next.load(std::memory_order_relaxed) >= st->chunks;
+  });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace securecloud::common

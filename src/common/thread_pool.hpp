@@ -1,0 +1,121 @@
+// Work-stealing thread pool: the repo's parallel execution substrate.
+//
+// Design (cf. SCONE's user-level threading, §III-A: throughput comes from
+// keeping all cores busy without handing scheduling to the kernel):
+//   * each worker owns a deque; the owner pushes/pops at the back (LIFO,
+//     cache-warm), thieves steal *half* the deque from the front (FIFO,
+//     oldest first) so one steal amortizes many future pops;
+//   * external submissions are distributed round-robin across deques;
+//   * parallel_for/parallel_map split an index range into grains handed
+//     out through a shared cursor; the *calling* thread participates, so
+//     nested parallel_for from inside a task cannot deadlock — the inner
+//     call simply runs grains inline while outer workers help;
+//   * the first exception thrown by a grain cancels remaining grains and
+//     is rethrown on the calling thread;
+//   * destruction is graceful: queued tasks finish before workers join.
+//
+// Determinism contract: the pool schedules *when* work runs, never what
+// it computes. Callers that need bit-identical results across thread
+// counts (SecureMapReduce, ScbrRouter::publish_batch) pre-assign all
+// order-sensitive state (nonce counters, output slots) by index before
+// fanning out, and merge tallies at barriers in index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace securecloud::common {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Fire-and-forget task. Tasks must not throw (programmer error;
+  /// terminates). From a worker thread the task lands on the caller's own
+  /// deque; externally it is distributed round-robin.
+  void submit(std::function<void()> task);
+
+  /// Runs `body(i, j)` over consecutive sub-ranges [i, j) covering
+  /// [begin, end), `grain` indices per call (0 = auto). Blocks until the
+  /// whole range ran; rethrows the first grain exception. Safe to call
+  /// from inside a pool task (the caller executes grains itself).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// Applies `fn(items[i])` to every element, preserving input order.
+  template <typename T, typename Fn>
+  auto parallel_map(const std::vector<T>& items, Fn&& fn)
+      -> std::vector<decltype(fn(std::declval<const T&>()))> {
+    using U = decltype(fn(std::declval<const T&>()));
+    std::vector<std::optional<U>> slots(items.size());
+    parallel_for(0, items.size(), [&](std::size_t i, std::size_t j) {
+      for (std::size_t k = i; k < j; ++k) slots[k].emplace(fn(items[k]));
+    });
+    std::vector<U> out;
+    out.reserve(items.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Tasks executed so far by stealing from another worker's deque
+  /// (observability for tests/benchmarks; approximate under contention).
+  std::uint64_t steal_count() const;
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+    std::mutex mu;
+    std::uint64_t steals = 0;  // guarded by mu
+  };
+
+  void worker_loop(std::size_t self);
+  /// Pops one task: own deque first, then steal-half from a sibling.
+  std::function<void()> take_task(std::size_t self);
+  void push_task(std::size_t target, std::function<void()> task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake bookkeeping: `signal_` increments on every push so a
+  // worker that saw an empty pool cannot miss work queued after its scan
+  // (it re-checks the epoch under the lock before sleeping).
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::uint64_t signal_ = 0;
+  bool stop_ = false;
+
+  std::size_t round_robin_ = 0;  // guarded by wake_mu_
+};
+
+/// Runs `fn(0) … fn(n-1)`, across `pool` when one is supplied, inline
+/// otherwise. The shared idiom for "parallel if a pool was injected"
+/// call sites (SecureMapReduce, ScbrRouter::publish_batch, transfer):
+/// both executions run the identical per-index code, so a 1-thread and
+/// an 8-thread run differ only in scheduling.
+inline void run_indexed(ThreadPool* pool, std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(0, n, [&fn](std::size_t i, std::size_t j) {
+    for (; i < j; ++i) fn(i);
+  });
+}
+
+}  // namespace securecloud::common

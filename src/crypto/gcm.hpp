@@ -51,6 +51,10 @@ class AesGcm {
 
   Aes aes_;
   Gf128 h_;  // GHASH subkey: AES_K(0^128)
+  /// Shoup 8-bit table: h_table_[b] = (b placed in the first byte) · H.
+  /// Built once per key; gf_mul_h then runs 16 table lookups + shifts per
+  /// block instead of a 128-iteration bitwise multiply.
+  std::array<Gf128, 256> h_table_;
 };
 
 /// Deterministic nonce construction from a 64-bit counter. Safe as long

@@ -23,6 +23,15 @@ struct MatchStats {
   std::uint64_t nodes_visited = 0;   // subscriptions inspected
 };
 
+/// One stored subscription inspected during a match: enough to replay
+/// the inspection's accounting (memory touch + comparison cycles) later.
+struct NodeTouch {
+  std::uint64_t vaddr = 0;
+  std::uint32_t bytes = 0;
+  std::uint32_t constraints = 0;
+};
+using MatchTrace = std::vector<NodeTouch>;
+
 class MatchEngine {
  public:
   /// ALU cycles charged per constraint evaluation (comparable inside and
@@ -34,8 +43,32 @@ class MatchEngine {
   virtual void subscribe(SubscriptionId id, Filter filter) = 0;
   virtual bool unsubscribe(SubscriptionId id) = 0;
 
-  /// Returns the ids of all subscriptions whose filter matches `event`.
-  virtual std::vector<SubscriptionId> match(const Event& event) = 0;
+  /// Pure matching traversal: const and side-effect free, so any number
+  /// of threads may run it concurrently against a quiescent index (no
+  /// subscribe/unsubscribe in flight). When `trace` is non-null it
+  /// records every node inspection, in traversal order, for later
+  /// replay via apply_trace.
+  virtual std::vector<SubscriptionId> match_with_trace(const Event& event,
+                                                       MatchTrace* trace) const = 0;
+
+  /// Returns the ids of all subscriptions whose filter matches `event`,
+  /// charging stats and the memory model inline (single-threaded path).
+  std::vector<SubscriptionId> match(const Event& event) {
+    MatchTrace trace;
+    auto matched = match_with_trace(event, &trace);
+    apply_trace(trace);
+    return matched;
+  }
+
+  /// Replays a recorded traversal against the stats and memory model.
+  /// Batch callers run traversals in parallel, then apply the traces
+  /// serially in submission order: the cache/clock state then evolves
+  /// through the identical access sequence as sequential matching, so
+  /// simulated cycle totals are bit-identical at any thread count.
+  void apply_trace(const MatchTrace& trace) {
+    ++stats_.events_matched;
+    for (const auto& t : trace) touch_node(t.vaddr, t.bytes, t.constraints);
+  }
 
   virtual std::size_t size() const = 0;
   /// Total footprint of the subscription database (drives Fig. 3's x-axis).

@@ -26,11 +26,14 @@ bool NaiveEngine::unsubscribe(SubscriptionId id) {
   return true;
 }
 
-std::vector<SubscriptionId> NaiveEngine::match(const Event& event) {
-  ++stats_.events_matched;
+std::vector<SubscriptionId> NaiveEngine::match_with_trace(const Event& event,
+                                                          MatchTrace* trace) const {
   std::vector<SubscriptionId> out;
   for (const auto& entry : entries_) {
-    touch_node(entry.vaddr, entry.footprint, entry.filter.constraints().size());
+    if (trace) {
+      trace->push_back({entry.vaddr, static_cast<std::uint32_t>(entry.footprint),
+                        static_cast<std::uint32_t>(entry.filter.constraints().size())});
+    }
     if (entry.filter.matches(event)) out.push_back(entry.id);
   }
   return out;

@@ -14,7 +14,8 @@ class NaiveEngine final : public MatchEngine {
  public:
   void subscribe(SubscriptionId id, Filter filter) override;
   bool unsubscribe(SubscriptionId id) override;
-  std::vector<SubscriptionId> match(const Event& event) override;
+  std::vector<SubscriptionId> match_with_trace(const Event& event,
+                                               MatchTrace* trace) const override;
 
   std::size_t size() const override { return entries_.size(); }
   std::size_t database_bytes() const override { return database_bytes_; }

@@ -85,15 +85,18 @@ bool PosetEngine::unsubscribe(SubscriptionId id) {
   return true;
 }
 
-std::vector<SubscriptionId> PosetEngine::match(const Event& event) {
-  ++stats_.events_matched;
+std::vector<SubscriptionId> PosetEngine::match_with_trace(const Event& event,
+                                                          MatchTrace* trace) const {
   std::vector<SubscriptionId> out;
   std::vector<std::int32_t> stack(roots_.begin(), roots_.end());
   while (!stack.empty()) {
     const std::int32_t idx = stack.back();
     stack.pop_back();
     const Node& node = nodes_[static_cast<std::size_t>(idx)];
-    touch_node(node.vaddr, node.footprint, node.filter.constraints().size());
+    if (trace) {
+      trace->push_back({node.vaddr, static_cast<std::uint32_t>(node.footprint),
+                        static_cast<std::uint32_t>(node.filter.constraints().size())});
+    }
     if (node.filter.matches(event)) {
       out.push_back(node.id);
       // Only descend where the covering filter matched.

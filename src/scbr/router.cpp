@@ -145,57 +145,152 @@ Status ScbrRouter::unsubscribe(const std::string& client, SubscriptionId id) {
 
 Result<std::vector<Delivery>> ScbrRouter::publish(const std::string& client,
                                                   ByteView wire) {
-  if (!provisioned_) return Error::unavailable("router not provisioned");
-  auto key = client_keys_.find(client);
-  if (key == client_keys_.end()) return Error::permission_denied("unknown client: " + client);
+  std::vector<PublishRequest> one;
+  one.push_back({client, Bytes(wire.begin(), wire.end())});
+  auto results = publish_batch(one, /*pool=*/nullptr);
+  return std::move(results.front());
+}
 
-  enclave_.platform().clock().advance_cycles(enclave_.platform().cost().ecall_cycles);
-  SC_RETURN_IF_ERROR(check_freshness(client, wire));
-
-  crypto::AesGcm gcm(key->second);
-  auto plain = gcm.open_combined(to_bytes("pub:" + client), wire);
-  if (!plain.ok()) {
-    ++metrics_.auth_failures;
-    return Error::integrity("publication failed authentication for " + client);
+std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
+    const std::vector<PublishRequest>& batch, common::ThreadPool* pool) {
+  // Per-publication scratch carried between the serial and parallel
+  // phases. `error`/`auth_failure` produced in the parallel phase are
+  // folded into results/metrics serially, in batch order.
+  struct Work {
+    bool admitted = false;
+    const Bytes* key = nullptr;
+    Bytes payload;  // verified signed payload (plaintext to re-encrypt)
+    std::vector<SubscriptionId> matched;
+    MatchTrace trace;
+    std::optional<Error> error;
+    bool auth_failure = false;
+  };
+  std::vector<Work> work(batch.size());
+  std::vector<Result<std::vector<Delivery>>> results;
+  results.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results.emplace_back(Error::internal("publication not processed"));
   }
 
-  // Unwrap payload || signature and verify the publisher's signature.
-  ByteReader reader(*plain);
-  Bytes payload;
-  if (!reader.get_blob(payload)) return Error::protocol("malformed publication");
-  crypto::Ed25519Signature signature;
-  if (reader.remaining() != signature.size()) {
-    return Error::protocol("malformed publication signature");
-  }
-  for (auto& b : signature) {
-    if (!reader.get_u8(b)) return Error::protocol("malformed publication signature");
-  }
-  if (!crypto::ed25519_verify(client_verify_keys_.at(client), payload, signature)) {
-    ++metrics_.auth_failures;
-    return Error::integrity("publication signature invalid");
+  // --- admission (serial): provisioning, key lookup, anti-replay -------------
+  // Freshness bumps last_counter_ in batch order — the same order a
+  // sequence of publish() calls would observe.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& req = batch[i];
+    if (!provisioned_) {
+      results[i] = Error::unavailable("router not provisioned");
+      continue;
+    }
+    auto key = client_keys_.find(req.client);
+    if (key == client_keys_.end()) {
+      results[i] = Error::permission_denied("unknown client: " + req.client);
+      continue;
+    }
+    enclave_.platform().clock().advance_cycles(enclave_.platform().cost().ecall_cycles);
+    if (Status fresh = check_freshness(req.client, req.wire); !fresh.ok()) {
+      results[i] = fresh.error();
+      continue;
+    }
+    work[i].admitted = true;
+    work[i].key = &key->second;
   }
 
-  auto event = Event::deserialize(payload);
-  if (!event.ok()) return event.error();
+  // --- decrypt + verify + match (parallel) -----------------------------------
+  // Everything here is read-only against router state: the subscription
+  // index is quiescent, client key/verify tables are immutable during the
+  // batch, and match_with_trace is const. Accounting is recorded into
+  // per-publication traces, not applied.
+  common::run_indexed(pool, batch.size(), [&](std::size_t i) {
+    Work& w = work[i];
+    if (!w.admitted) return;
+    const auto& req = batch[i];
 
-  // Match inside the enclave, then re-encrypt per subscriber.
-  ++metrics_.publications;
-  const std::vector<SubscriptionId> matched = engine_->match(*event);
-  std::vector<Delivery> deliveries;
-  deliveries.reserve(matched.size());
-  for (const SubscriptionId id : matched) {
-    const std::string& owner = subscriptions_.at(id).owner;
-    crypto::AesGcm subscriber_gcm(client_keys_.at(owner));
-    Delivery d;
-    d.subscriber = owner;
-    d.subscription = id;
-    d.wire = subscriber_gcm.seal_combined(
-        crypto::nonce_from_counter(++delivery_counter_, kDelDomain),
-        to_bytes("del:" + owner), payload);
-    deliveries.push_back(std::move(d));
+    crypto::AesGcm gcm(*w.key);
+    auto plain = gcm.open_combined(to_bytes("pub:" + req.client), req.wire);
+    if (!plain.ok()) {
+      w.auth_failure = true;
+      w.error = Error::integrity("publication failed authentication for " + req.client);
+      return;
+    }
+
+    // Unwrap payload || signature and verify the publisher's signature.
+    ByteReader reader(*plain);
+    if (!reader.get_blob(w.payload)) {
+      w.error = Error::protocol("malformed publication");
+      return;
+    }
+    crypto::Ed25519Signature signature;
+    if (reader.remaining() != signature.size()) {
+      w.error = Error::protocol("malformed publication signature");
+      return;
+    }
+    for (auto& b : signature) void(reader.get_u8(b));
+    if (!crypto::ed25519_verify(client_verify_keys_.at(req.client), w.payload,
+                                signature)) {
+      w.auth_failure = true;
+      w.error = Error::integrity("publication signature invalid");
+      return;
+    }
+
+    auto event = Event::deserialize(w.payload);
+    if (!event.ok()) {
+      w.error = event.error();
+      return;
+    }
+    w.matched = engine_->match_with_trace(*event, &w.trace);
+  });
+
+  // --- accounting + nonce assignment (serial, batch order) -------------------
+  // Replaying traces in order drives the cost model through the identical
+  // access sequence as sequential matching; delivery nonces are assigned
+  // in the same (publication, match) order publish() would use.
+  struct PendingDelivery {
+    std::size_t publication;
+    SubscriptionId id;
+    const std::string* owner;
+    const Bytes* payload;
+    std::uint64_t counter;
+  };
+  std::vector<PendingDelivery> pending;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Work& w = work[i];
+    if (!w.admitted) continue;
+    if (w.error) {
+      if (w.auth_failure) ++metrics_.auth_failures;
+      results[i] = *std::move(w.error);
+      continue;
+    }
+    engine_->apply_trace(w.trace);
+    ++metrics_.publications;
+    for (const SubscriptionId id : w.matched) {
+      const std::string& owner = subscriptions_.at(id).owner;
+      pending.push_back({i, id, &owner, &w.payload, ++delivery_counter_});
+    }
+  }
+
+  // --- per-subscriber re-encryption (parallel) -------------------------------
+  std::vector<Bytes> wires(pending.size());
+  common::run_indexed(pool, pending.size(), [&](std::size_t d) {
+    const PendingDelivery& p = pending[d];
+    crypto::AesGcm subscriber_gcm(client_keys_.at(*p.owner));
+    wires[d] = subscriber_gcm.seal_combined(
+        crypto::nonce_from_counter(p.counter, kDelDomain), to_bytes("del:" + *p.owner),
+        *p.payload);
+  });
+
+  // --- assembly (serial) -----------------------------------------------------
+  std::vector<std::vector<Delivery>> deliveries(batch.size());
+  for (std::size_t d = 0; d < pending.size(); ++d) {
+    const PendingDelivery& p = pending[d];
+    deliveries[p.publication].push_back({*p.owner, p.id, std::move(wires[d])});
     ++metrics_.deliveries;
   }
-  return deliveries;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (work[i].admitted && !work[i].error) {
+      results[i] = std::move(deliveries[i]);
+    }
+  }
+  return results;
 }
 
 Bytes ScbrRouter::seal_state() const {

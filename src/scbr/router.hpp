@@ -24,6 +24,7 @@
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
+#include "common/thread_pool.hpp"
 #include "crypto/ed25519.hpp"
 #include "crypto/entropy.hpp"
 #include "crypto/gcm.hpp"
@@ -114,6 +115,24 @@ class ScbrRouter {
   /// Handles an encrypted, signed publication; returns the deliveries
   /// (each encrypted for its subscriber).
   Result<std::vector<Delivery>> publish(const std::string& client, ByteView wire);
+
+  /// One publication of a batch: who sent it and its encrypted wire form.
+  struct PublishRequest {
+    std::string client;
+    Bytes wire;
+  };
+
+  /// Processes a batch of publications, fanning the expensive
+  /// per-publication work (AEAD open, signature verification, matching,
+  /// per-subscriber re-encryption) across `pool` against the quiescent
+  /// subscription index. Anti-replay checks, metrics, delivery-nonce
+  /// assignment, and cost-model accounting are applied serially in batch
+  /// order, so results, metrics, and simulated cycle totals are
+  /// bit-identical to calling publish() per element — at any thread
+  /// count. `pool == nullptr` processes inline. Per-publication failures
+  /// surface in the matching slot; they do not abort the batch.
+  std::vector<Result<std::vector<Delivery>>> publish_batch(
+      const std::vector<PublishRequest>& batch, common::ThreadPool* pool = nullptr);
 
   MatchEngine& engine() { return *engine_; }
 

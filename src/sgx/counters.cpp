@@ -11,6 +11,7 @@ Bytes owner_key(const Measurement& owner) {
 }  // namespace
 
 std::uint32_t MonotonicCounterService::create(const Measurement& owner) {
+  std::lock_guard<std::mutex> lock(mu_);
   const Bytes key = owner_key(owner);
   const std::uint32_t id = next_id_[key]++;
   counters_[{key, id}] = 0;
@@ -19,6 +20,7 @@ std::uint32_t MonotonicCounterService::create(const Measurement& owner) {
 
 Result<std::uint64_t> MonotonicCounterService::read(const Measurement& owner,
                                                     std::uint32_t counter_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find({owner_key(owner), counter_id});
   if (it == counters_.end()) return Error::not_found("no such counter");
   return it->second;
@@ -26,6 +28,7 @@ Result<std::uint64_t> MonotonicCounterService::read(const Measurement& owner,
 
 Result<std::uint64_t> MonotonicCounterService::increment(const Measurement& owner,
                                                          std::uint32_t counter_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find({owner_key(owner), counter_id});
   if (it == counters_.end()) return Error::not_found("no such counter");
   return ++it->second;
@@ -33,6 +36,7 @@ Result<std::uint64_t> MonotonicCounterService::increment(const Measurement& owne
 
 Status MonotonicCounterService::destroy(const Measurement& owner,
                                         std::uint32_t counter_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (counters_.erase({owner_key(owner), counter_id}) == 0) {
     return Error::not_found("no such counter");
   }

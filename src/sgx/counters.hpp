@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -37,6 +38,11 @@ class MonotonicCounterService {
 
  private:
   using Key = std::pair<Bytes, std::uint32_t>;  // (mrenclave, id)
+  /// Guards both maps: enclaves on pool workers may persist/restore
+  /// concurrently, and real SGX counters are likewise a shared platform
+  /// facility. Each operation is atomic under the lock, so increments
+  /// never tear and ids are never double-issued.
+  mutable std::mutex mu_;
   std::map<Key, std::uint64_t> counters_;
   std::map<Bytes, std::uint32_t> next_id_;
 };

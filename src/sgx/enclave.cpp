@@ -68,13 +68,13 @@ Result<Bytes> Enclave::ecall(std::uint32_t ecall_id, ByteView arg) {
     return Error::invalid_argument("unknown ECALL id " + std::to_string(ecall_id));
   }
   platform_.clock().advance_cycles(platform_.cost().ecall_cycles);
-  ++transitions_;
+  transitions_.fetch_add(1, std::memory_order_relaxed);
   return it->second(arg);
 }
 
 void Enclave::ocall(const std::function<void()>& fn) {
   platform_.clock().advance_cycles(platform_.cost().ocall_cycles);
-  ++transitions_;
+  transitions_.fetch_add(1, std::memory_order_relaxed);
   fn();
 }
 

@@ -13,6 +13,7 @@
 //    quoting enclave.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -84,7 +85,9 @@ class Enclave {
   void ocall(const std::function<void()>& fn);
 
   /// Number of boundary crossings so far (for benchmarks).
-  std::uint64_t transition_count() const { return transitions_; }
+  std::uint64_t transition_count() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
 
   // --- sealing ----------------------------------------------------------------
   /// Encrypts `data` so only an enclave matching `policy` on this
@@ -130,7 +133,9 @@ class Enclave {
   std::uint64_t heap_base_;
   std::size_t heap_size_;
   std::unordered_map<std::uint32_t, EcallHandler> ecalls_;
-  std::uint64_t transitions_ = 0;
+  /// Relaxed atomic: pool workers may cross the boundary concurrently
+  /// (SGX allows multi-threaded enclave entry); the total stays exact.
+  std::atomic<std::uint64_t> transitions_{0};
 };
 
 }  // namespace securecloud::sgx

@@ -28,6 +28,9 @@ Result<Enclave*> Platform::create_enclave(const EnclaveImage& image) {
                               image.name + "'");
   }
 
+  // Serializes id/heap allocation and the EPC loads below; concurrent
+  // creations from pool workers see disjoint address ranges and ids.
+  std::lock_guard<std::mutex> lock(enclaves_mu_);
   const std::uint64_t heap_base = next_heap_base_;
   const std::size_t measured_bytes = image.code.size() + image.initial_data.size();
   const std::uint64_t total_span =
@@ -47,6 +50,7 @@ Result<Enclave*> Platform::create_enclave(const EnclaveImage& image) {
 }
 
 void Platform::destroy_enclave(std::uint64_t enclave_id) {
+  std::lock_guard<std::mutex> lock(enclaves_mu_);
   for (auto it = enclaves_.begin(); it != enclaves_.end(); ++it) {
     if ((*it)->id() == enclave_id) {
       const std::uint64_t base = (*it)->heap_base();
@@ -58,6 +62,7 @@ void Platform::destroy_enclave(std::uint64_t enclave_id) {
 }
 
 Enclave* Platform::find_enclave(std::uint64_t enclave_id) {
+  std::lock_guard<std::mutex> lock(enclaves_mu_);
   for (auto& e : enclaves_) {
     if (e->id() == enclave_id) return e.get();
   }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,11 @@ class Platform {
   crypto::Ed25519KeyPair attestation_key_;
   QuotingEnclave quoting_enclave_;
   std::unique_ptr<EnclaveMemory> memory_;
+  /// Guards the enclave table and the id/heap allocators: pool workers
+  /// may create/destroy/look up enclaves concurrently. Enclave objects
+  /// themselves are not covered — callers must not race a destroy
+  /// against use of the same enclave (same contract as real EREMOVE).
+  std::mutex enclaves_mu_;
   std::vector<std::unique_ptr<Enclave>> enclaves_;
   std::uint64_t next_enclave_id_ = 1;
   std::uint64_t next_heap_base_ = 1ull << 32;  // enclave ranges, disjoint

@@ -41,6 +41,10 @@ class TheftDetector {
   TheftDetector(sgx::Platform& platform, crypto::EntropySource& entropy)
       : mapreduce_(platform, entropy) {}
 
+  /// Fans the underlying map/reduce job (and partition encryption)
+  /// across `pool`; results are identical at any thread count.
+  void set_pool(common::ThreadPool* pool) { mapreduce_.set_pool(pool); }
+
   /// Encrypts the fleet's readings into job partitions (data-owner side).
   std::vector<std::vector<Bytes>> prepare_partitions(const MeterFleet& fleet,
                                                      std::size_t partitions);

@@ -215,5 +215,36 @@ TEST(SimClock, AdvanceNsConvertsToCycles) {
   EXPECT_EQ(clock.cycles(), 2600u);
 }
 
+// Regression: the conversion used a double intermediate, which loses
+// low-order cycles once ns * hz exceeds 2^53 (e.g. a ~31s advance at
+// 2.6 GHz was already off by a few cycles). The 128-bit integer path
+// must be exact for any input.
+TEST(SimClock, AdvanceNsExactForHugeDurations) {
+  SimClock clock(2.6);
+  clock.advance_ns(1'000'000'000'000'000'000ull);  // 10^18 ns
+  EXPECT_EQ(clock.cycles(), 2'600'000'000'000'000'000ull);
+
+  clock.reset();
+  // 2^53 + 1 ns: a double intermediate cannot even represent the input,
+  // so the old path silently dropped cycles. Exact: floor((2^53+1)*13/5).
+  clock.advance_ns((1ull << 53) + 1);
+  EXPECT_EQ(clock.cycles(), 23'418'718'062'326'581ull);
+}
+
+TEST(SimClock, ClockShardFlushesExactTotals) {
+  SimClock clock(2.0);
+  {
+    ClockShard shard(clock);
+    shard.advance_cycles(100);
+    shard.advance_ns(50);  // 100 cycles at 2 GHz
+    EXPECT_EQ(shard.pending(), 200u);
+    EXPECT_EQ(clock.cycles(), 0u);  // batched, not yet visible
+    shard.flush();
+    EXPECT_EQ(clock.cycles(), 200u);
+    shard.advance_cycles(7);
+  }  // destructor flushes the tail
+  EXPECT_EQ(clock.cycles(), 207u);
+}
+
 }  // namespace
 }  // namespace securecloud
