@@ -44,7 +44,26 @@ std::vector<Bytes> SecureTransferSender::send(ByteView payload) {
   });
   for (const Bytes& wire : chunks) stats_.wire_bytes += wire.size();
   stats_.chunks += num_chunks;
+  if (retransmit_capacity_ > 0) {
+    for (std::size_t i = 0; i < num_chunks; ++i) {
+      sent_[base_seq + i] = chunks[i];
+    }
+    while (sent_.size() > retransmit_capacity_) sent_.erase(sent_.begin());
+  }
   return chunks;
+}
+
+void SecureTransferSender::enable_retransmit_buffer(std::size_t max_chunks) {
+  retransmit_capacity_ = max_chunks;
+}
+
+Result<Bytes> SecureTransferSender::retransmit(std::uint64_t sequence) const {
+  const auto it = sent_.find(sequence);
+  if (it == sent_.end()) {
+    return Error::not_found("chunk " + std::to_string(sequence) +
+                            " not in retransmit buffer");
+  }
+  return it->second;
 }
 
 Result<std::optional<Bytes>> SecureTransferReceiver::receive(ByteView wire_chunk) {
@@ -70,6 +89,152 @@ Result<std::optional<Bytes>> SecureTransferReceiver::receive(ByteView wire_chunk
   assembling_.clear();
   if (!payload.ok()) return payload.error();
   return std::optional<Bytes>{std::move(payload).value()};
+}
+
+void SecureTransferReceiver::enable_recovery(const SimClock& clock,
+                                             ReceiverRecoveryConfig config) {
+  clock_ = &clock;
+  recovery_ = config;
+  recovery_enabled_ = true;
+}
+
+void SecureTransferReceiver::register_gaps_up_to(std::uint64_t sequence) {
+  // Every sequence in [expected_, sequence) that is neither buffered nor
+  // already tracked is a fresh gap; its first NACK is due immediately.
+  for (std::uint64_t seq = expected_sequence_; seq < sequence; ++seq) {
+    if (out_of_order_.count(seq) || gaps_.count(seq)) continue;
+    gaps_[seq] = Gap{.attempt = 0, .retry_at_ns = clock_->nanos()};
+  }
+}
+
+Result<std::vector<Bytes>> SecureTransferReceiver::apply_in_order(Bytes plain,
+                                                                  bool last) {
+  std::vector<Bytes> completed;
+  ++recovery_stats_.accepted;
+  ++expected_sequence_;
+  append(assembling_, plain);
+  if (last) {
+    auto payload = rle_decompress(assembling_);
+    assembling_.clear();
+    if (!payload.ok()) return payload.error();
+    completed.push_back(std::move(payload).value());
+  }
+
+  // Drain buffered successors that are now in order.
+  auto next = out_of_order_.find(expected_sequence_);
+  while (next != out_of_order_.end()) {
+    BufferedChunk chunk = std::move(next->second);
+    out_of_order_.erase(next);
+    auto more = apply_in_order(std::move(chunk.plain), chunk.last);
+    if (!more.ok()) return more.error();
+    for (Bytes& payload : *more) completed.push_back(std::move(payload));
+    next = out_of_order_.find(expected_sequence_);
+  }
+  return completed;
+}
+
+Result<std::vector<Bytes>> SecureTransferReceiver::receive_any(ByteView wire_chunk) {
+  if (!recovery_enabled_) {
+    return Error::internal("receive_any requires enable_recovery()");
+  }
+  SC_RETURN_IF_ERROR(health());
+
+  ByteReader reader(wire_chunk);
+  std::uint64_t seq = 0;
+  std::uint8_t last = 0;
+  if (!reader.get_u64(seq) || !reader.get_u8(last)) {
+    // Too mangled to identify: the sequence it carried stays a gap and
+    // the NACK machinery re-requests it.
+    ++recovery_stats_.corrupt;
+    return std::vector<Bytes>{};
+  }
+  if (seq < expected_sequence_ || out_of_order_.count(seq)) {
+    ++recovery_stats_.duplicates;
+    return std::vector<Bytes>{};
+  }
+
+  const ByteView sealed(wire_chunk.data() + (wire_chunk.size() - reader.remaining()),
+                        reader.remaining());
+  auto plain = gcm_.open_combined(chunk_aad(stream_id_, seq, last != 0), sealed);
+  if (!plain.ok()) {
+    // Tampered in transit: treat as lost. The header is *unauthenticated*
+    // (a corrupted sequence field can claim any value), so gaps are only
+    // registered when the claimed sequence lands near the receive window;
+    // otherwise the chunk's true sequence simply stays missing and is
+    // NACKed once a valid later chunk or the sender's high-water mark
+    // reveals the hole.
+    ++recovery_stats_.corrupt;
+    if (seq <= expected_sequence_ + recovery_.max_buffered_chunks) {
+      register_gaps_up_to(seq + 1);
+    }
+    return std::vector<Bytes>{};
+  }
+
+  if (const auto gap = gaps_.find(seq); gap != gaps_.end()) {
+    gaps_.erase(gap);
+    ++recovery_stats_.gaps_recovered;
+  }
+
+  if (seq == expected_sequence_) {
+    return apply_in_order(std::move(plain).value(), last != 0);
+  }
+
+  // Out of order: hold it back and NACK the hole in front of it.
+  if (out_of_order_.size() >= recovery_.max_buffered_chunks) {
+    stream_failed_ = true;
+    return Error::exhausted("reorder window full at chunk " + std::to_string(seq));
+  }
+  out_of_order_[seq] = BufferedChunk{std::move(plain).value(), last != 0};
+  ++recovery_stats_.buffered;
+  register_gaps_up_to(seq);
+  return std::vector<Bytes>{};
+}
+
+Status SecureTransferReceiver::expect_through(std::uint64_t sequence) {
+  if (!recovery_enabled_) {
+    return Error::internal("expect_through requires enable_recovery()");
+  }
+  SC_RETURN_IF_ERROR(health());
+  register_gaps_up_to(sequence + 1);
+  return {};
+}
+
+std::vector<Nack> SecureTransferReceiver::take_due_nacks() {
+  std::vector<Nack> due;
+  if (!recovery_enabled_ || clock_ == nullptr) return due;
+  const std::uint64_t now = clock_->nanos();
+  for (auto it = gaps_.begin(); it != gaps_.end();) {
+    Gap& gap = it->second;
+    if (gap.retry_at_ns > now) {
+      ++it;
+      continue;
+    }
+    if (gap.attempt >= recovery_.max_nacks_per_gap) {
+      ++recovery_stats_.gaps_abandoned;
+      stream_failed_ = true;
+      it = gaps_.erase(it);
+      continue;
+    }
+    due.push_back({it->first, gap.attempt});
+    ++recovery_stats_.nacks_sent;
+    // Capped exponential backoff on simulated time: 1 ms, 2 ms, 4 ms ...
+    std::uint64_t backoff = recovery_.initial_backoff_ns;
+    for (std::size_t i = 0; i < gap.attempt && backoff < recovery_.max_backoff_ns; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, recovery_.max_backoff_ns);
+    gap.retry_at_ns = now + backoff;
+    ++gap.attempt;
+    ++it;
+  }
+  return due;
+}
+
+Status SecureTransferReceiver::health() const {
+  if (stream_failed_) {
+    return Error::unavailable("transfer stream failed: chunk lost beyond retry budget");
+  }
+  return {};
 }
 
 Result<std::vector<Bytes>> SecureTransferReceiver::receive_all(

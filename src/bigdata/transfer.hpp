@@ -5,7 +5,10 @@
 // reverses the pipeline, verifying integrity chunk by chunk.
 #pragma once
 
+#include <map>
+
 #include "bigdata/codec.hpp"
+#include "common/sim_clock.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/gcm.hpp"
 
@@ -39,6 +42,15 @@ class SecureTransferSender {
 
   void set_pool(common::ThreadPool* pool) { pool_ = pool; }
 
+  /// Keeps the last `max_chunks` sent wire chunks so a receiver NACK can
+  /// be answered with a bit-identical retransmission (the chunk is
+  /// already sealed; resending never re-encrypts, so nonces stay unique).
+  void enable_retransmit_buffer(std::size_t max_chunks = 1024);
+
+  /// Returns the retained wire chunk for `sequence`; kNotFound once it
+  /// has been evicted (or the buffer was never enabled).
+  Result<Bytes> retransmit(std::uint64_t sequence) const;
+
   const TransferStats& stats() const { return stats_; }
 
  private:
@@ -48,6 +60,35 @@ class SecureTransferSender {
   std::uint64_t sequence_ = 0;
   TransferStats stats_;
   common::ThreadPool* pool_ = nullptr;
+  std::size_t retransmit_capacity_ = 0;  // 0 = disabled
+  std::map<std::uint64_t, Bytes> sent_;  // seq -> wire, bounded FIFO by seq
+};
+
+/// Loss-recovery knobs for SecureTransferReceiver (see enable_recovery).
+struct ReceiverRecoveryConfig {
+  std::size_t max_buffered_chunks = 256;      // out-of-order reorder window
+  std::uint64_t initial_backoff_ns = 1'000'000;   // first re-NACK after 1 ms
+  std::uint64_t max_backoff_ns = 64'000'000;      // backoff cap (64 ms)
+  std::size_t max_nacks_per_gap = 8;          // then the gap is abandoned
+};
+
+/// A re-request the receiver wants sent to the sender. `attempt` is
+/// 0-based; the next re-NACK for the same gap doubles the backoff.
+struct Nack {
+  std::uint64_t sequence = 0;
+  std::size_t attempt = 0;
+
+  bool operator==(const Nack&) const = default;
+};
+
+struct ReceiverStats {
+  std::uint64_t accepted = 0;         // chunks applied in order
+  std::uint64_t duplicates = 0;       // already-seen sequence dropped
+  std::uint64_t corrupt = 0;          // header parse or AEAD failure
+  std::uint64_t buffered = 0;         // out-of-order chunks held back
+  std::uint64_t nacks_sent = 0;       // re-requests handed to the caller
+  std::uint64_t gaps_recovered = 0;   // missing chunk arrived after a NACK
+  std::uint64_t gaps_abandoned = 0;   // retries exhausted (typed error)
 };
 
 class SecureTransferReceiver {
@@ -67,11 +108,66 @@ class SecureTransferReceiver {
   Result<std::vector<Bytes>> receive_all(const std::vector<Bytes>& wire_chunks,
                                          common::ThreadPool* pool = nullptr);
 
+  /// Switches the receiver into loss-tolerant mode: out-of-order chunks
+  /// are buffered (bounded window), duplicates are dropped, and detected
+  /// gaps produce NACKs whose re-request schedule runs on `clock`
+  /// (capped exponential backoff in simulated time — tests are exact).
+  void enable_recovery(const SimClock& clock, ReceiverRecoveryConfig config = {});
+
+  /// Loss-tolerant ingest. Accepts chunks in any order; corrupt or
+  /// duplicate chunks are counted and dropped, out-of-order chunks are
+  /// buffered, and gaps are registered for NACKing. Returns every payload
+  /// completed by this chunk (possibly several, when it fills a gap).
+  /// Once a gap has been abandoned the stream is dead: kUnavailable.
+  Result<std::vector<Bytes>> receive_any(ByteView wire_chunk);
+
+  /// Sender-advertised high-water mark (piggybacked on a heartbeat in a
+  /// real deployment): every sequence up to and including `sequence` was
+  /// sent, so any not yet received becomes a NACKable gap. This is how
+  /// *trailing* losses — with no later chunk behind them to reveal the
+  /// hole — are detected.
+  Status expect_through(std::uint64_t sequence);
+
+  /// NACKs whose (SimClock) retry time has arrived. Calling this hands
+  /// the re-requests to the caller and schedules the next attempt with
+  /// doubled, capped backoff; a gap past max_nacks_per_gap is abandoned
+  /// and flips health() to kUnavailable.
+  std::vector<Nack> take_due_nacks();
+
+  bool has_pending_gaps() const { return !gaps_.empty(); }
+
+  /// Ok while every loss so far is still recoverable; kUnavailable after
+  /// any gap exhausted its retries (matching stat: gaps_abandoned).
+  Status health() const;
+
+  const ReceiverStats& recovery_stats() const { return recovery_stats_; }
+
  private:
+  struct Gap {
+    std::size_t attempt = 0;        // NACKs sent so far
+    std::uint64_t retry_at_ns = 0;  // next NACK due (SimClock time)
+  };
+  struct BufferedChunk {
+    Bytes plain;
+    bool last = false;
+  };
+
+  void register_gaps_up_to(std::uint64_t sequence);
+  Result<std::vector<Bytes>> apply_in_order(Bytes plain, bool last);
+
   crypto::AesGcm gcm_;
   std::uint32_t stream_id_;
   std::uint64_t expected_sequence_ = 0;
   Bytes assembling_;
+
+  // Recovery mode state (inert until enable_recovery).
+  const SimClock* clock_ = nullptr;
+  ReceiverRecoveryConfig recovery_;
+  std::map<std::uint64_t, BufferedChunk> out_of_order_;
+  std::map<std::uint64_t, Gap> gaps_;
+  ReceiverStats recovery_stats_;
+  bool recovery_enabled_ = false;
+  bool stream_failed_ = false;
 };
 
 }  // namespace securecloud::bigdata

@@ -12,6 +12,15 @@ const char* to_string(ContainerState state) {
   return "unknown";
 }
 
+const char* to_string(RestartPolicy policy) {
+  switch (policy) {
+    case RestartPolicy::kNever: return "never";
+    case RestartPolicy::kOnFailure: return "on_failure";
+    case RestartPolicy::kAlways: return "always";
+  }
+  return "unknown";
+}
+
 Result<Container*> ContainerEngine::create(const std::string& reference) {
   auto pulled = registry_.pull(reference);
   if (!pulled.ok()) return pulled.error();
@@ -28,6 +37,11 @@ Result<Bytes> ContainerEngine::run(Container& container, const PlainEntrypoint& 
     return Error::invalid_argument("container already running: " + container.id());
   }
   container.state_ = ContainerState::kRunning;
+  if (injector_ != nullptr &&
+      injector_->should_fire(common::FaultKind::kKillContainer)) {
+    container.state_ = ContainerState::kFailed;
+    return Error::unavailable("container killed by host: " + container.id());
+  }
   const std::uint64_t io_before = container.rootfs_.total_bytes();
 
   auto result = entry(container.rootfs_);
@@ -67,6 +81,15 @@ Result<scone::RunOutcome> ContainerEngine::run_secure(
     container.state_ = ContainerState::kFailed;
     return enclave.error();
   }
+  if (injector_ != nullptr &&
+      injector_->should_fire(common::FaultKind::kKillEnclave)) {
+    // The host destroys the enclave out from under the runtime (EREMOVE
+    // needs no cooperation). All enclave state is gone; only a restart
+    // with fresh attestation can recover.
+    platform.destroy_enclave((*enclave)->id());
+    container.state_ = ContainerState::kFailed;
+    return Error::unavailable("enclave killed by host: " + container.id());
+  }
 
   const std::uint64_t cycles_before = platform.clock().cycles();
   auto outcome = scone::SconeRuntime::run(**enclave, container.rootfs_,
@@ -87,6 +110,47 @@ Result<scone::RunOutcome> ContainerEngine::run_secure(
   container.state_ = ContainerState::kExited;
   container.exit_result_ = outcome->app_result;
   return outcome;
+}
+
+bool ContainerEngine::should_restart(const RestartSpec& spec,
+                                     std::size_t restarts_done) {
+  if (spec.policy == RestartPolicy::kNever) return false;
+  return restarts_done < spec.max_restarts;
+}
+
+Result<Bytes> ContainerEngine::run_with_restarts(Container& container,
+                                                 const PlainEntrypoint& entry,
+                                                 const RestartSpec& spec) {
+  std::size_t restarts_done = 0;
+  for (;;) {
+    auto result = run(container, entry);
+    if (result.ok()) return result;
+    if (!should_restart(spec, restarts_done)) return result.error();
+    ++restarts_done;
+    ++restarts_[container.id()];
+    container.state_ = ContainerState::kCreated;
+  }
+}
+
+Result<scone::RunOutcome> ContainerEngine::run_secure_with_restarts(
+    Container& container, sgx::Platform& platform,
+    scone::ConfigurationService& config_service,
+    const scone::SconeRuntime::Application& app, const RestartSpec& spec,
+    const std::vector<Bytes>& stdin_records) {
+  std::size_t restarts_done = 0;
+  for (;;) {
+    auto outcome = run_secure(container, platform, config_service, app, stdin_records);
+    if (outcome.ok()) return outcome;
+    if (!should_restart(spec, restarts_done)) return outcome.error();
+    ++restarts_done;
+    ++restarts_[container.id()];
+    container.state_ = ContainerState::kCreated;
+  }
+}
+
+std::size_t ContainerEngine::restart_count(const std::string& id) const {
+  const auto it = restarts_.find(id);
+  return it == restarts_.end() ? 0 : it->second;
 }
 
 Container* ContainerEngine::find(const std::string& id) {

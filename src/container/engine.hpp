@@ -8,10 +8,12 @@
 // runtime path that attests before receiving secrets.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.hpp"
 #include "common/result.hpp"
 #include "container/image.hpp"
 #include "container/monitor.hpp"
@@ -24,6 +26,19 @@ namespace securecloud::container {
 enum class ContainerState { kCreated, kRunning, kExited, kFailed };
 
 const char* to_string(ContainerState state);
+
+/// Docker-style restart policies. In this run-to-completion engine,
+/// kOnFailure and kAlways both retry failed runs (bounded); kAlways
+/// additionally covers host-side kills in a live-daemon deployment —
+/// here every kill surfaces as a failure, so the bound is what matters.
+enum class RestartPolicy { kNever, kOnFailure, kAlways };
+
+const char* to_string(RestartPolicy policy);
+
+struct RestartSpec {
+  RestartPolicy policy = RestartPolicy::kNever;
+  std::size_t max_restarts = 3;
+};
 
 class Container {
  public:
@@ -70,14 +85,42 @@ class ContainerEngine {
                                        const scone::SconeRuntime::Application& app,
                                        const std::vector<Bytes>& stdin_records = {});
 
+  /// run() under a restart policy: a failed run (including a host kill
+  /// injected via the fault plane) is retried up to spec.max_restarts
+  /// times; the container ends kExited with the successful result, or
+  /// kFailed with the last typed error once the budget is spent.
+  Result<Bytes> run_with_restarts(Container& container, const PlainEntrypoint& entry,
+                                  const RestartSpec& spec);
+
+  /// run_secure() under the same restart policy (enclave re-created per
+  /// attempt — an enclave killed by the host cannot be resumed, only
+  /// restarted and re-attested).
+  Result<scone::RunOutcome> run_secure_with_restarts(
+      Container& container, sgx::Platform& platform,
+      scone::ConfigurationService& config_service,
+      const scone::SconeRuntime::Application& app, const RestartSpec& spec,
+      const std::vector<Bytes>& stdin_records = {});
+
+  /// Times `id` has been restarted by a restart policy.
+  std::size_t restart_count(const std::string& id) const;
+
+  /// Injects host-side kills: kKillContainer preempts run() before the
+  /// entrypoint executes; kKillEnclave destroys the enclave right after
+  /// creation in run_secure(). nullptr disables injection.
+  void set_fault_injector(common::FaultInjector* injector) { injector_ = injector; }
+
   Container* find(const std::string& id);
   Status remove(const std::string& id);
   std::size_t container_count() const { return containers_.size(); }
 
  private:
+  static bool should_restart(const RestartSpec& spec, std::size_t restarts_done);
+
   Registry& registry_;
   ContainerMonitor& monitor_;
   std::vector<std::unique_ptr<Container>> containers_;
+  std::map<std::string, std::size_t> restarts_;
+  common::FaultInjector* injector_ = nullptr;
   std::uint64_t next_id_ = 1;
 };
 

@@ -26,4 +26,14 @@ bool Server::remove(const std::string& container_id) {
   return true;
 }
 
+std::map<std::string, ContainerSpec> Server::fail() {
+  failed_ = true;
+  powered_on_ = false;
+  cpu_used_ = 0;
+  mem_used_ = 0;
+  std::map<std::string, ContainerSpec> evacuated;
+  evacuated.swap(containers_);
+  return evacuated;
+}
+
 }  // namespace securecloud::genpack

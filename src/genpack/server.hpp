@@ -32,7 +32,7 @@ class Server {
   const ServerConfig& config() const { return config_; }
 
   bool can_fit(const ContainerSpec& c) const {
-    return cpu_used_ + c.cpu_cores <= config_.cpu_capacity &&
+    return !failed_ && cpu_used_ + c.cpu_cores <= config_.cpu_capacity &&
            mem_used_ + c.mem_gb <= config_.mem_capacity;
   }
 
@@ -41,6 +41,12 @@ class Server {
   /// Removes a container; returns false if not present. The server
   /// suspends automatically when it empties.
   bool remove(const std::string& container_id);
+
+  /// Hard failure (host crash, SGX machine yanked): the server powers
+  /// off, rejects all future placements, and hands back the containers
+  /// it was running so the scheduler can reschedule them elsewhere.
+  std::map<std::string, ContainerSpec> fail();
+  bool failed() const { return failed_; }
 
   bool hosts(const std::string& container_id) const {
     return containers_.count(container_id) > 0;
@@ -67,6 +73,7 @@ class Server {
   double cpu_used_ = 0;
   double mem_used_ = 0;
   bool powered_on_ = false;
+  bool failed_ = false;
 };
 
 }  // namespace securecloud::genpack

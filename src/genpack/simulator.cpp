@@ -48,9 +48,15 @@ void ClusterSimulator::accumulate_energy(std::uint64_t from_s, std::uint64_t to_
 }
 
 SimReport ClusterSimulator::run(const std::vector<ContainerSpec>& trace,
-                                Scheduler& scheduler, std::uint64_t period_s) {
+                                Scheduler& scheduler, std::uint64_t period_s,
+                                const std::vector<ServerFailure>& failures) {
   SimReport report;
   report.scheduler_name = scheduler.name();
+
+  std::vector<ServerFailure> failure_queue = failures;
+  std::sort(failure_queue.begin(), failure_queue.end(),
+            [](const ServerFailure& a, const ServerFailure& b) { return a.at_s < b.at_s; });
+  std::size_t next_failure = 0;
 
   // Event queue: departures as (time, container, server).
   struct Departure {
@@ -106,11 +112,39 @@ SimReport ClusterSimulator::run(const std::vector<ContainerSpec>& trace,
     }
   };
 
-  while (next_arrival < trace.size() || !departures.empty()) {
-    // Next event time: arrival, departure, or periodic tick.
+  // A failed server's workloads are offered back to the scheduler: each
+  // surviving placement keeps its original departure time (the rescue is
+  // a live migration off a dead host, not a restart from scratch).
+  auto fail_server = [&](std::size_t server_id) {
+    if (server_id >= servers_.size() || servers_[server_id].failed()) return;
+    ++report.server_failures;
+    const auto evacuated = servers_[server_id].fail();
+    for (const auto& [id, spec] : evacuated) {
+      auto it = placement.find(id);
+      if (it == placement.end() || it->second != server_id) continue;
+      auto target = scheduler.place(spec, servers_);
+      if (target && servers_[*target].can_fit(spec)) {
+        servers_[*target].place(spec);
+        it->second = *target;
+        ++report.rescheduled_on_failure;
+      } else {
+        // Nowhere to go: the workload is lost, counted — its departure
+        // event is skipped via the stale-placement check.
+        placement.erase(it);
+        ++report.lost_on_failure;
+      }
+    }
+  };
+
+  while (next_arrival < trace.size() || !departures.empty() ||
+         next_failure < failure_queue.size()) {
+    // Next event time: arrival, departure, failure, or periodic tick.
     std::uint64_t next_time = UINT64_MAX;
     if (next_arrival < trace.size()) next_time = trace[next_arrival].arrival_s;
     if (!departures.empty()) next_time = std::min(next_time, departures.top().at_s);
+    if (next_failure < failure_queue.size()) {
+      next_time = std::min(next_time, failure_queue[next_failure].at_s);
+    }
     if (next_time == UINT64_MAX) break;
     next_time = std::min(next_time, next_period);
 
@@ -126,6 +160,12 @@ SimReport ClusterSimulator::run(const std::vector<ContainerSpec>& trace,
     process_departures_until(next_time);
     accumulate_energy(now, next_time, report);
     now = next_time;
+
+    while (next_failure < failure_queue.size() &&
+           failure_queue[next_failure].at_s <= now) {
+      fail_server(failure_queue[next_failure].server);
+      ++next_failure;
+    }
 
     if (next_arrival < trace.size() && trace[next_arrival].arrival_s == now) {
       const ContainerSpec& c = trace[next_arrival];

@@ -29,6 +29,19 @@ struct SimReport {
   /// GenPack's generation separation minimizes — batch jobs perturb
   /// caches and I/O of latency-sensitive colocated services.
   double interference_container_hours = 0;
+  /// Fault-recovery accounting: injected server failures, containers the
+  /// scheduler re-placed onto surviving servers, and containers that
+  /// could not be re-placed (typed loss — never a silent disappearance).
+  std::size_t server_failures = 0;
+  std::size_t rescheduled_on_failure = 0;
+  std::size_t lost_on_failure = 0;
+};
+
+/// A scheduled server failure (fault injection): at `at_s`, `server`
+/// fails hard and its workloads must be rescheduled.
+struct ServerFailure {
+  std::uint64_t at_s = 0;
+  std::size_t server = 0;
 };
 
 class ClusterSimulator {
@@ -37,8 +50,14 @@ class ClusterSimulator {
 
   /// Replays `trace` (sorted by arrival) under `scheduler`.
   /// `period_s` controls how often the scheduler's periodic hook runs.
+  /// `failures` injects hard server failures: each failed server's
+  /// containers are offered back to the scheduler for placement on the
+  /// surviving servers (keeping their original departure times — the
+  /// rescue is a migration, not a restart); containers that no longer
+  /// fit anywhere are counted as lost_on_failure.
   SimReport run(const std::vector<ContainerSpec>& trace, Scheduler& scheduler,
-                std::uint64_t period_s = 300);
+                std::uint64_t period_s = 300,
+                const std::vector<ServerFailure>& failures = {});
 
   const std::vector<Server>& servers() const { return servers_; }
 

@@ -19,6 +19,17 @@ BusEndpoint* EventBus::attach(const std::string& service_name) {
   return raw;
 }
 
+Status EventBus::detach(const std::string& service_name) {
+  if (endpoints_.erase(service_name) == 0) {
+    return Error::not_found("no such service: " + service_name);
+  }
+  return {};
+}
+
+void EventBus::set_max_delivery_attempts(std::size_t attempts) {
+  max_delivery_attempts_ = std::max<std::size_t>(1, attempts);
+}
+
 Status EventBus::start() {
   SC_RETURN_IF_ERROR(router_->provision(keys_));
   started_ = true;
@@ -45,9 +56,35 @@ Status EventBus::publish(BusEndpoint& endpoint, const scbr::Event& event) {
   if (!deliveries.ok()) return deliveries.error();
   ++published_;
   for (auto& d : *deliveries) {
-    pending_.push_back({std::move(d.subscriber), d.subscription, std::move(d.wire)});
+    PendingDelivery pending{next_delivery_id_++, std::move(d.subscriber),
+                            d.subscription, std::move(d.wire), 0};
+    // An untrusted host can replay a delivery: the duplicate carries the
+    // same id, so the endpoint-side dedup suppresses the second dispatch.
+    const bool duplicated =
+        injector_ != nullptr &&
+        injector_->should_fire(common::FaultKind::kDuplicateMessage);
+    if (duplicated) pending_.push_back(pending);
+    pending_.push_back(std::move(pending));
   }
   return {};
+}
+
+void EventBus::dead_letter(PendingDelivery delivery, Error reason) {
+  ++stats_.dead_lettered;
+  dead_letters_.push_back({delivery.delivery_id, std::move(delivery.subscriber),
+                           delivery.subscription, std::move(delivery.wire),
+                           std::move(reason), delivery.attempts});
+}
+
+void EventBus::retry_or_dead_letter(PendingDelivery delivery, Error reason) {
+  if (delivery.attempts >= max_delivery_attempts_) {
+    dead_letter(std::move(delivery), std::move(reason));
+    return;
+  }
+  // Redeliver from the pristine wire the router produced (the router
+  // retains the delivery until acked — at-least-once semantics).
+  ++stats_.redeliveries;
+  pending_.push_back(std::move(delivery));
 }
 
 std::size_t EventBus::drain(std::size_t max_rounds) {
@@ -58,10 +95,52 @@ std::size_t EventBus::drain(std::size_t max_rounds) {
     batch.swap(pending_);
     for (auto& delivery : batch) {
       auto it = endpoints_.find(delivery.subscriber);
-      if (it == endpoints_.end()) continue;
+      if (it == endpoints_.end()) {
+        ++stats_.detached_drops;
+        Error reason = Error::not_found("subscriber detached: " + delivery.subscriber);
+        dead_letter(std::move(delivery), std::move(reason));
+        continue;
+      }
       BusEndpoint& endpoint = *it->second;
-      auto event = scbr::decrypt_delivery(endpoint.creds_, delivery.wire);
-      if (!event.ok()) continue;  // tampered in transit: drop
+      ++delivery.attempts;
+
+      if (injector_ != nullptr &&
+          injector_->should_fire(common::FaultKind::kDropMessage)) {
+        ++stats_.dropped_in_transit;
+        retry_or_dead_letter(std::move(delivery),
+                             Error::unavailable("delivery dropped in transit"));
+        continue;
+      }
+
+      // The wire the subscriber actually sees: the host may have
+      // tampered with it in transit.
+      Bytes transit_wire = delivery.wire;
+      if (injector_ != nullptr &&
+          injector_->should_fire(common::FaultKind::kCorruptMessage)) {
+        injector_->corrupt(transit_wire);
+      }
+
+      auto event = scbr::decrypt_delivery(endpoint.creds_, transit_wire);
+      if (!event.ok()) {
+        ++stats_.tampered;
+        retry_or_dead_letter(std::move(delivery), event.error());
+        continue;
+      }
+
+      // Per-endpoint dedup: at-least-once retries and host-duplicated
+      // wires must not re-run handlers.
+      if (endpoint.seen_deliveries_.count(delivery.delivery_id)) {
+        ++stats_.duplicates_suppressed;
+        continue;
+      }
+      endpoint.seen_deliveries_.insert(delivery.delivery_id);
+      endpoint.seen_order_.push_back(delivery.delivery_id);
+      constexpr std::size_t kDedupWindow = 4096;
+      if (endpoint.seen_order_.size() > kDedupWindow) {
+        endpoint.seen_deliveries_.erase(endpoint.seen_order_.front());
+        endpoint.seen_order_.pop_front();
+      }
+
       ++delivered_;
       for (auto& [sub_id, handler] : endpoint.handlers_) {
         if (sub_id == delivery.subscription) {

@@ -12,8 +12,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
+#include "common/fault_injector.hpp"
 #include "scbr/router.hpp"
 
 namespace securecloud::microservice {
@@ -30,6 +32,33 @@ class BusEndpoint {
   scbr::ClientCredentials creds_;
   std::uint64_t nonce_counter_ = 0;
   std::vector<std::pair<scbr::SubscriptionId, Handler>> handlers_;
+  /// At-least-once delivery means a delivery id can arrive twice (e.g. a
+  /// redelivery raced an ack, or the host duplicated the wire); the
+  /// endpoint suppresses re-dispatch. Bounded window, oldest evicted.
+  std::set<std::uint64_t> seen_deliveries_;
+  std::deque<std::uint64_t> seen_order_;
+};
+
+/// Delivery-plane counters. Nothing is dropped silently: every delivery
+/// that cannot be dispatched is either retried or dead-lettered, and the
+/// reason is counted here.
+struct BusStats {
+  std::uint64_t tampered = 0;               // decrypt failures observed
+  std::uint64_t dropped_in_transit = 0;     // injected wire drops observed
+  std::uint64_t redeliveries = 0;           // at-least-once retries queued
+  std::uint64_t duplicates_suppressed = 0;  // dedup stopped a re-dispatch
+  std::uint64_t detached_drops = 0;         // subscriber no longer attached
+  std::uint64_t dead_lettered = 0;
+};
+
+/// A delivery the bus gave up on, with the typed reason why.
+struct DeadLetter {
+  std::uint64_t delivery_id = 0;
+  std::string subscriber;
+  scbr::SubscriptionId subscription = 0;
+  Bytes wire;  // pristine wire as produced by the router
+  Error reason;
+  std::size_t attempts = 0;
 };
 
 class EventBus {
@@ -43,6 +72,11 @@ class EventBus {
   /// Registers a service with the key service and returns its endpoint.
   /// Must be called before start().
   BusEndpoint* attach(const std::string& service_name);
+
+  /// Detaches a service (crash, scale-down). Its subscriptions remain in
+  /// the router until re-provisioning, so in-flight deliveries to it are
+  /// dead-lettered (reason kNotFound) instead of silently vanishing.
+  Status detach(const std::string& service_name);
 
   /// Provisions the router (attestation + key table). No more attaches.
   Status start();
@@ -58,26 +92,54 @@ class EventBus {
 
   /// Dispatches queued deliveries until quiescent. Returns the number of
   /// handler invocations. `max_rounds` bounds cascade loops.
+  ///
+  /// Delivery is at-least-once: a delivery whose wire fails to decrypt
+  /// (tampered in transit) or that the transit plane dropped is requeued
+  /// from the pristine wire up to max_delivery_attempts times, then
+  /// dead-lettered with a typed reason. Duplicate arrivals of the same
+  /// delivery id are suppressed per endpoint, so handler invocations
+  /// under transient faults are bit-identical to the fault-free run.
   std::size_t drain(std::size_t max_rounds = 64);
+
+  /// Injects transit faults (kDropMessage / kCorruptMessage /
+  /// kDuplicateMessage) between the router and the subscriber. nullptr
+  /// disables injection.
+  void set_fault_injector(common::FaultInjector* injector) { injector_ = injector; }
+
+  /// Attempts per delivery before dead-lettering (minimum 1).
+  void set_max_delivery_attempts(std::size_t attempts);
 
   std::uint64_t published() const { return published_; }
   std::uint64_t delivered() const { return delivered_; }
+  const BusStats& stats() const { return stats_; }
+  const std::deque<DeadLetter>& dead_letters() const { return dead_letters_; }
 
  private:
   struct PendingDelivery {
+    std::uint64_t delivery_id = 0;
     std::string subscriber;
     scbr::SubscriptionId subscription;
     Bytes wire;
+    std::size_t attempts = 0;
   };
+
+  void dead_letter(PendingDelivery delivery, Error reason);
+  /// Requeues (at-least-once) or dead-letters after too many attempts.
+  void retry_or_dead_letter(PendingDelivery delivery, Error reason);
 
   sgx::Enclave& enclave_;
   scbr::KeyService& keys_;
   std::unique_ptr<scbr::ScbrRouter> router_;
   std::map<std::string, std::unique_ptr<BusEndpoint>> endpoints_;
   std::deque<PendingDelivery> pending_;
+  std::deque<DeadLetter> dead_letters_;
+  common::FaultInjector* injector_ = nullptr;
+  std::size_t max_delivery_attempts_ = 4;
+  std::uint64_t next_delivery_id_ = 1;
   bool started_ = false;
   std::uint64_t published_ = 0;
   std::uint64_t delivered_ = 0;
+  BusStats stats_;
 };
 
 }  // namespace securecloud::microservice

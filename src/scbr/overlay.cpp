@@ -4,9 +4,49 @@
 
 namespace securecloud::scbr {
 
+namespace {
+/// Validates that `links` form a forest over [0, broker_count): ids in
+/// range, no self-loops, no duplicate links, no cycles (union-find).
+Status validate_topology(std::size_t broker_count,
+                         const std::vector<std::pair<BrokerId, BrokerId>>& links) {
+  std::vector<BrokerId> parent(broker_count);
+  for (BrokerId i = 0; i < broker_count; ++i) parent[i] = i;
+  const auto find = [&](BrokerId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // path halving
+      x = parent[x];
+    }
+    return x;
+  };
+  std::set<std::pair<BrokerId, BrokerId>> seen;
+  for (const auto& [a, b] : links) {
+    if (a >= broker_count || b >= broker_count) {
+      return Error::invalid_argument("overlay link references broker " +
+                                     std::to_string(std::max(a, b)) + " of " +
+                                     std::to_string(broker_count));
+    }
+    if (a == b) {
+      return Error::invalid_argument("overlay self-loop at broker " + std::to_string(a));
+    }
+    if (!seen.insert({std::min(a, b), std::max(a, b)}).second) {
+      return Error::invalid_argument("duplicate overlay link " + std::to_string(a) +
+                                     "-" + std::to_string(b));
+    }
+    const BrokerId ra = find(a), rb = find(b);
+    if (ra == rb) {
+      return Error::invalid_argument("overlay links contain a cycle through broker " +
+                                     std::to_string(a));
+    }
+    parent[ra] = rb;
+  }
+  return {};
+}
+}  // namespace
+
 BrokerOverlay::BrokerOverlay(std::size_t broker_count,
                              const std::vector<std::pair<BrokerId, BrokerId>>& links)
-    : brokers_(broker_count) {
+    : brokers_(broker_count), topology_(validate_topology(broker_count, links)) {
+  if (!topology_.ok()) return;  // inert: no neighbour lists to recurse on
   for (const auto& [a, b] : links) {
     brokers_[a].neighbours.push_back(b);
     brokers_[b].neighbours.push_back(a);
@@ -58,6 +98,7 @@ void BrokerOverlay::propagate(BrokerId from, BrokerId to, SubscriptionId id,
 
 Status BrokerOverlay::subscribe(BrokerId broker, SubscriptionId id,
                                 const Filter& filter) {
+  if (!topology_.ok()) return topology_.error();
   if (broker >= brokers_.size()) return Error::invalid_argument("no such broker");
   if (home_.count(id)) return Error::invalid_argument("duplicate subscription id");
   brokers_[broker].local[id] = filter;
@@ -100,6 +141,7 @@ void BrokerOverlay::retract(BrokerId from, BrokerId to, SubscriptionId id) {
 }
 
 Status BrokerOverlay::unsubscribe(BrokerId broker, SubscriptionId id) {
+  if (!topology_.ok()) return topology_.error();
   auto home = home_.find(id);
   if (home == home_.end() || home->second != broker) {
     return Error::not_found("subscription not installed at this broker");
@@ -148,6 +190,7 @@ void BrokerOverlay::route(BrokerId at, BrokerId came_from, const Event& event,
 
 Result<std::vector<SubscriptionId>> BrokerOverlay::publish(BrokerId broker,
                                                            const Event& event) {
+  if (!topology_.ok()) return topology_.error();
   if (broker >= brokers_.size()) return Error::invalid_argument("no such broker");
   std::vector<SubscriptionId> out;
   route(broker, static_cast<BrokerId>(-1), event, out);
@@ -155,6 +198,7 @@ Result<std::vector<SubscriptionId>> BrokerOverlay::publish(BrokerId broker,
 }
 
 std::size_t BrokerOverlay::remote_entries(BrokerId broker) const {
+  if (broker >= brokers_.size()) return 0;
   std::size_t n = 0;
   for (const auto& [link, entries] : brokers_[broker].per_link) {
     n += entries.size();

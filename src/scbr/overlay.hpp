@@ -40,11 +40,19 @@ struct OverlayStats {
 class BrokerOverlay {
  public:
   /// Builds an overlay with `broker_count` brokers connected by `links`
-  /// (undirected pairs). Precondition: the links form a tree (connected,
-  /// acyclic) — the standard CBR overlay topology, which guarantees
-  /// loop-free routing without duplicate suppression.
+  /// (undirected pairs). The links must form a forest (acyclic, ids in
+  /// range, no self-loops or duplicate links) — the standard CBR overlay
+  /// topology, which guarantees loop-free routing without duplicate
+  /// suppression. A bad topology is rejected at construction: the
+  /// overlay stays inert and every operation returns the validation
+  /// error (check topology() to fail fast). Cycles would otherwise
+  /// recurse forever in propagate()/retract()/route(), and out-of-range
+  /// ids would index brokers_ out of bounds.
   BrokerOverlay(std::size_t broker_count,
                 const std::vector<std::pair<BrokerId, BrokerId>>& links);
+
+  /// Ok iff the constructor's link set was a valid forest.
+  const Status& topology() const { return topology_; }
 
   /// Installs a subscription for a subscriber attached to `broker`.
   /// Propagates through the overlay with covering suppression.
@@ -93,6 +101,7 @@ class BrokerOverlay {
   std::vector<Broker> brokers_;
   std::map<SubscriptionId, BrokerId> home_;  // subscription -> home broker
   OverlayStats stats_;
+  Status topology_;
 };
 
 }  // namespace securecloud::scbr

@@ -7,10 +7,11 @@
 //
 // Classic Lamport queue with C++20 atomics: the producer owns `head_`,
 // the consumer owns `tail_`; acquire/release pairs transfer slot
-// ownership. Capacity must be a power of two (index masking).
+// ownership. Capacity is rounded up to a power of two (index masking).
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <optional>
 #include <vector>
@@ -20,9 +21,12 @@ namespace securecloud::scone {
 template <typename T>
 class SpscRing {
  public:
-  /// Precondition: capacity is a power of two and >= 2.
+  /// Capacity is rounded up to the next power of two, minimum 2. A
+  /// non-power-of-two capacity must never reach `& mask_` — e.g. 3 would
+  /// silently alias slot 3 onto slot 0 and corrupt the queue.
   explicit SpscRing(std::size_t capacity)
-      : mask_(capacity - 1), slots_(capacity) {
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {
     static_assert(std::atomic<std::size_t>::is_always_lock_free);
   }
 
@@ -46,9 +50,16 @@ class SpscRing {
     return value;
   }
 
+  /// Safe to call from any thread. `tail_` must be loaded *before*
+  /// `head_`: with the opposite order, a pop landing between the two
+  /// loads makes head - tail underflow to ~SIZE_MAX (and empty() lie).
+  /// Loading the consumer cursor first can only miscount operations that
+  /// raced the two loads — the result never underflows, because head
+  /// is always >= any earlier-observed tail.
   std::size_t size() const {
-    return head_.load(std::memory_order_acquire) -
-           tail_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return head - tail;
   }
   bool empty() const { return size() == 0; }
   std::size_t capacity() const { return mask_ + 1; }

@@ -313,5 +313,60 @@ TEST(EventBus, DeliveriesMatchDirectEvaluationGoldenModel) {
   EXPECT_EQ(hits, expected);
 }
 
+// ------------------------------------------------------------ Delivery faults
+//
+// Regression: drain() used to `continue` silently past deliveries whose
+// subscriber had detached or whose wire failed to decrypt. Both paths now
+// count in the bus stats and end in the dead-letter queue.
+
+TEST(EventBus, TamperedDeliveryCountedAndDeadLettered) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  common::FaultInjector injector(7);
+  injector.arm(common::FaultKind::kCorruptMessage, 1.0);
+  bus.set_fault_injector(&injector);
+  bus.set_max_delivery_attempts(2);
+  auto* sensor = bus.attach("sensor");
+  auto* alarm = bus.attach("alarm");
+  ASSERT_TRUE(bus.start().ok());
+
+  std::size_t invoked = 0;
+  ASSERT_TRUE(bus.subscribe(*alarm, temp_above(30),
+                            [&](const Event&) { ++invoked; }).ok());
+  Event hot;
+  hot.set("temp", std::int64_t{42});
+  ASSERT_TRUE(bus.publish(*sensor, hot).ok());
+  bus.drain();
+
+  EXPECT_EQ(invoked, 0u);
+  EXPECT_EQ(bus.delivered(), 0u);
+  EXPECT_EQ(bus.stats().tampered, 2u);       // once per attempt — never silent
+  EXPECT_EQ(bus.stats().redeliveries, 1u);
+  ASSERT_EQ(bus.dead_letters().size(), 1u);
+  EXPECT_EQ(bus.dead_letters().front().reason.code, ErrorCode::kIntegrityViolation);
+}
+
+TEST(EventBus, DetachedSubscriberDeliveryCountedAndDeadLettered) {
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys);
+  auto* sensor = bus.attach("sensor");
+  auto* alarm = bus.attach("alarm");
+  ASSERT_TRUE(bus.start().ok());
+  ASSERT_TRUE(bus.subscribe(*alarm, temp_above(30), [](const Event&) {}).ok());
+
+  Event hot;
+  hot.set("temp", std::int64_t{42});
+  ASSERT_TRUE(bus.publish(*sensor, hot).ok());
+  ASSERT_TRUE(bus.detach("alarm").ok());
+  EXPECT_FALSE(bus.detach("alarm").ok());  // already gone
+  bus.drain();
+
+  EXPECT_EQ(bus.delivered(), 0u);
+  EXPECT_EQ(bus.stats().detached_drops, 1u);
+  ASSERT_EQ(bus.dead_letters().size(), 1u);
+  EXPECT_EQ(bus.dead_letters().front().reason.code, ErrorCode::kNotFound);
+  EXPECT_EQ(bus.dead_letters().front().subscriber, "alarm");
+}
+
 }  // namespace
 }  // namespace securecloud::microservice

@@ -201,5 +201,62 @@ TEST(Overlay, CoveringReducesRoutingState) {
   EXPECT_GT(overlay.stats().subscriptions_suppressed, 300u);
 }
 
+// --------------------------------------------------------- Topology validation
+//
+// Regressions: the constructor used to accept any link list. Out-of-range
+// ids indexed brokers_ out of bounds (UB), and a cycle made
+// propagate()/retract()/route() recurse forever. Both are now rejected at
+// construction; the overlay stays inert and every operation returns the
+// validation error.
+
+Filter any_filter() {
+  Filter f;
+  f.where("a", Op::kGe, Value::of(std::int64_t{0}));
+  return f;
+}
+
+TEST(OverlayTopology, RejectsCycle) {
+  BrokerOverlay overlay(3, {{0, 1}, {1, 2}, {2, 0}});
+  ASSERT_FALSE(overlay.topology().ok());
+  EXPECT_EQ(overlay.topology().error().code, ErrorCode::kInvalidArgument);
+
+  // Every op surfaces the same typed error instead of recursing forever.
+  EXPECT_EQ(overlay.subscribe(0, 1, any_filter()).error().code,
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(overlay.unsubscribe(0, 1).error().code, ErrorCode::kInvalidArgument);
+  Event e;
+  e.set("a", std::int64_t{1});
+  EXPECT_EQ(overlay.publish(0, e).error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(OverlayTopology, RejectsOutOfRangeBrokerId) {
+  BrokerOverlay overlay(2, {{0, 5}});
+  ASSERT_FALSE(overlay.topology().ok());
+  EXPECT_EQ(overlay.topology().error().code, ErrorCode::kInvalidArgument);
+  EXPECT_NE(overlay.topology().error().message.find("5"), std::string::npos);
+}
+
+TEST(OverlayTopology, RejectsSelfLoopAndDuplicateLink) {
+  EXPECT_FALSE(BrokerOverlay(3, {{1, 1}}).topology().ok());
+  EXPECT_FALSE(BrokerOverlay(3, {{0, 1}, {1, 0}}).topology().ok());  // same edge
+  EXPECT_FALSE(BrokerOverlay(3, {{0, 1}, {0, 1}}).topology().ok());
+}
+
+TEST(OverlayTopology, AcceptsForestAndDisconnectedBrokers) {
+  // A forest (two components + an isolated broker) is a legal overlay.
+  BrokerOverlay overlay(5, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(overlay.topology().ok());
+  ASSERT_TRUE(overlay.subscribe(1, 1, any_filter()).ok());
+  Event e;
+  e.set("a", std::int64_t{1});
+  auto hits = overlay.publish(0, e);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);  // reaches broker 1 through the tree
+  auto misses = overlay.publish(4, e);  // isolated broker: no path
+  ASSERT_TRUE(misses.ok());
+  EXPECT_TRUE(misses->empty());
+  EXPECT_EQ(overlay.remote_entries(99), 0u);  // out of range: 0, not UB
+}
+
 }  // namespace
 }  // namespace securecloud::scbr

@@ -113,6 +113,64 @@ TEST(SpscRing, ConcurrentProducerConsumer) {
   EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
 }
 
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  // A capacity of 3 must not alias slot 3 onto slot 0 through the index
+  // mask: the constructor rounds up (minimum 2) instead.
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(100).capacity(), 128u);
+
+  SpscRing<int> ring(3);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full at the rounded capacity
+  for (int i = 0; i < 4; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(SpscRing, SizeNeverUnderflowsUnderConcurrentPops) {
+  // Regression: size() used to load head_ before tail_, so a pop landing
+  // between the two loads made head - tail wrap to ~SIZE_MAX. Loading
+  // the consumer cursor first can only miscount racing ops, never
+  // underflow — so any observed size in the SIZE_MAX/2 range is the bug.
+  SpscRing<std::uint64_t> ring(16);
+  constexpr std::uint64_t kCount = 10'000;
+  std::atomic<bool> underflow{false};
+  std::atomic<bool> done{false};
+
+  // The observer hammers size() in a tight loop — deliberately no yield,
+  // so on any core count a preemption can land *between* the two cursor
+  // loads while the consumer advances tail_ (the pre-fix failure mode).
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (ring.size() > SIZE_MAX / 2) {
+        underflow.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread consumer([&] {
+    std::uint64_t received = 0;
+    while (received < kCount) {
+      if (ring.try_pop()) {
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!ring.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  done.store(true, std::memory_order_relaxed);
+  observer.join();
+  EXPECT_FALSE(underflow.load());
+}
+
 // ------------------------------------------------------------------ Syscalls
 
 TEST(Syscalls, SyncExecutesAndChargesTransition) {
