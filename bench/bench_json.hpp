@@ -1,0 +1,25 @@
+// Uniform machine-readable bench output.
+//
+// Every bench binary prints, as its LAST stdout line, one JSON record:
+//   {"schema":"securecloud.bench.v1","bench":"<name>","threads":N,
+//    "obs":<securecloud.obs.v1 registry snapshot>}
+// CI's bench smoke step greps for the schema tag and validates the
+// record's shape, so keep the field set stable (additions are fine).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace securecloud::benchutil {
+
+inline void emit_bench_json(const std::string& bench, std::size_t threads,
+                            const obs::Registry& registry) {
+  std::printf(
+      "{\"schema\":\"securecloud.bench.v1\",\"bench\":\"%s\",\"threads\":%zu,"
+      "\"obs\":%s}\n",
+      bench.c_str(), threads, registry.to_json().c_str());
+}
+
+}  // namespace securecloud::benchutil

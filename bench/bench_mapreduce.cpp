@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "bench_json.hpp"
 #include "bigdata/transfer.hpp"
 #include "common/thread_pool.hpp"
 #include "smartgrid/theft_detection.hpp"
@@ -61,22 +62,30 @@ std::size_t plain_baseline(const MeterFleet& fleet, std::uint64_t split_s,
 int main(int argc, char** argv) {
   // --threads N fans map/reduce tasks and bulk seals across a
   // work-stealing pool; outputs and JobStats stay identical.
+  // --smoke shrinks the sweep to one small job (the CI sanity run).
   std::size_t threads = 1;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<std::size_t>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     }
   }
   if (threads == 0) threads = 1;
   std::unique_ptr<common::ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<common::ThreadPool>(threads);
 
+  obs::Registry registry;
+
   std::printf("=== Secure map/reduce: theft detection over encrypted readings ===\n");
   std::printf("(threads=%zu)\n\n", threads);
 
-  for (const std::size_t households : {50u, 200u, 500u}) {
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{50} : std::vector<std::size_t>{50, 200, 500};
+  for (const std::size_t households : sweep) {
     GridConfig grid;
     grid.households = households;
     grid.interval_s = 120;  // 2-minute readings over 24h
@@ -89,6 +98,8 @@ int main(int argc, char** argv) {
     crypto::DeterministicEntropy entropy(5);
     TheftDetector detector(platform, entropy);
     detector.set_pool(pool.get());
+    detector.set_obs(&registry);
+    platform.set_obs(&registry);
 
     std::vector<std::vector<Bytes>> partitions;
     const double prep_s = wall_seconds(
@@ -165,10 +176,13 @@ int main(int argc, char** argv) {
   }
   bigdata::SecureTransferSender sender(Bytes(16, 0x31), 1);
   sender.set_pool(pool.get());
+  sender.set_obs(&registry);
   const auto chunks = sender.send(batch);
   std::printf("secure transfer: %zu plaintext bytes -> %zu wire bytes in %zu chunks "
               "(compression %.2fx)\n",
               sender.stats().plaintext_bytes, sender.stats().wire_bytes, chunks.size(),
               sender.stats().compression_ratio());
+
+  benchutil::emit_bench_json("mapreduce", threads, registry);
   return 0;
 }

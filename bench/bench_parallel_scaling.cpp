@@ -20,6 +20,7 @@
 #include "bigdata/transfer.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/registry.hpp"
 #include "scbr/poset_engine.hpp"
 #include "scbr/router.hpp"
 #include "scbr/workload.hpp"
@@ -36,14 +37,21 @@ double wall_seconds(const std::function<void()>& fn) {
       .count();
 }
 
-/// What one timed run produced: a digest of the observable output plus
-/// the simulated-cycle total. Runs at different thread counts must agree
-/// on both — the determinism contract of the parallel layer.
+/// What one timed run produced: a digest of the observable output, the
+/// simulated-cycle total, and the run's exported obs registry snapshot.
+/// Runs at different thread counts must agree on all three — the
+/// determinism contract of the parallel layer now covers the metrics.
 struct RunResult {
   double seconds = 0;
   std::string digest;
   std::uint64_t sim_cycles = 0;
+  std::string obs_json;
 };
+
+bool identical(const RunResult& r, const RunResult& baseline) {
+  return r.digest == baseline.digest && r.sim_cycles == baseline.sim_cycles &&
+         r.obs_json == baseline.obs_json;
+}
 
 void emit(const char* bench, std::size_t threads, const RunResult& r,
           const RunResult& baseline) {
@@ -53,13 +61,13 @@ void emit(const char* bench, std::size_t threads, const RunResult& r,
   std::printf(
       "{\"bench\":\"%s\",\"threads\":%zu,\"hw_threads\":%u,"
       "\"seconds\":%.4f,"
-      "\"speedup_vs_1\":%.2f,\"sim_cycles\":%llu,\"identical\":%s}\n",
+      "\"speedup_vs_1\":%.2f,\"sim_cycles\":%llu,\"identical\":%s,"
+      "\"obs\":%s}\n",
       bench, threads, std::thread::hardware_concurrency(), r.seconds,
       baseline.seconds / r.seconds,
       static_cast<unsigned long long>(r.sim_cycles),
-      (r.digest == baseline.digest && r.sim_cycles == baseline.sim_cycles)
-          ? "true"
-          : "false");
+      identical(r, baseline) ? "true" : "false",
+      r.obs_json.empty() ? "{}" : r.obs_json.c_str());
 }
 
 std::string hex_digest(const Bytes& data) {
@@ -83,8 +91,11 @@ RunResult run_mapreduce(std::size_t threads) {
 
   sgx::Platform platform;
   crypto::DeterministicEntropy entropy(5);
+  obs::Registry registry;
   bigdata::SecureMapReduce job(platform, entropy);
   job.set_pool(p);
+  job.set_obs(&registry);
+  platform.set_obs(&registry);
 
   const char* words[] = {"enclave", "cloud",  "secure", "data",
                          "routing", "stream", "meter",  "batch"};
@@ -142,6 +153,7 @@ RunResult run_mapreduce(std::size_t threads) {
      << out->stats.simulated_cycles;
   result.digest = hex_digest(to_bytes(os.str()));
   result.sim_cycles = platform.clock().cycles();
+  result.obs_json = registry.to_json();
   return result;
 }
 
@@ -164,7 +176,7 @@ RunResult run_scbr_batch(std::size_t threads) {
   sign_image(image, crypto::ed25519_keypair(signer.array<32>()));
   auto enclave = platform.create_enclave(image);
   if (!enclave.ok()) {
-    return {0, "error: " + enclave.error().message, 0};
+    return {0, "error: " + enclave.error().message, 0, ""};
   }
   keys.authorize_router((*enclave)->mrenclave());
 
@@ -175,7 +187,10 @@ RunResult run_scbr_batch(std::size_t threads) {
   }
 
   scbr::ScbrRouter router(**enclave, std::make_unique<scbr::PosetEngine>());
-  if (!router.provision(keys).ok()) return {0, "error: provision failed", 0};
+  if (!router.provision(keys).ok()) return {0, "error: provision failed", 0, ""};
+  obs::Registry registry;
+  router.set_obs(&registry);
+  platform.set_obs(&registry);
 
   scbr::WorkloadConfig wl;
   wl.attribute_universe = 10;
@@ -188,7 +203,7 @@ RunResult run_scbr_batch(std::size_t threads) {
     const auto& owner = subscribers[i % subscribers.size()];
     auto sub = router.subscribe(
         owner.name, encrypt_subscription(owner, workload.next_filter(), i + 1));
-    if (!sub.ok()) return {0, "error: subscribe failed", 0};
+    if (!sub.ok()) return {0, "error: subscribe failed", 0, ""};
   }
 
   std::vector<scbr::ScbrRouter::PublishRequest> batch;
@@ -217,6 +232,7 @@ RunResult run_scbr_batch(std::size_t threads) {
   put_u64(digest_input, router.metrics().deliveries);
   result.digest = hex_digest(digest_input);
   result.sim_cycles = platform.clock().cycles();
+  result.obs_json = registry.to_json();
   return result;
 }
 
@@ -238,9 +254,12 @@ RunResult run_bulk_crypto(std::size_t threads) {
     payload.insert(payload.end(), run, byte);
   }
 
+  obs::Registry registry;
   bigdata::SecureTransferSender sender(Bytes(16, 0x31), 1, 64 * 1024);
   sender.set_pool(p);
+  sender.set_obs(&registry);
   bigdata::SecureTransferReceiver receiver(Bytes(16, 0x31), 1);
+  receiver.set_obs(&registry);
 
   RunResult result;
   std::vector<Bytes> chunks;
@@ -257,6 +276,7 @@ RunResult run_bulk_crypto(std::size_t threads) {
   for (const auto& c : chunks) append(digest_input, c);
   result.digest = hex_digest(digest_input);
   result.sim_cycles = sender.stats().wire_bytes;  // stands in for cycles
+  result.obs_json = registry.to_json();
   return result;
 }
 
@@ -278,9 +298,7 @@ int main() {
       const RunResult r = path.run(threads);
       if (threads == 1) baseline = r;
       emit(path.name, threads, r, baseline);
-      if (r.digest != baseline.digest || r.sim_cycles != baseline.sim_cycles) {
-        ++failures;
-      }
+      if (!identical(r, baseline)) ++failures;
     }
   }
   return failures == 0 ? 0 : 1;

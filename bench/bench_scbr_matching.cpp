@@ -12,13 +12,18 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
+#include "bench_json.hpp"
 #include "common/thread_pool.hpp"
 #include "scbr/naive_engine.hpp"
 #include "scbr/poset_engine.hpp"
+#include "scbr/router.hpp"
 #include "scbr/workload.hpp"
+#include "sgx/platform.hpp"
 
 namespace {
 
@@ -126,25 +131,83 @@ void BM_PosetSubscribe(benchmark::State& state) {
 }
 BENCHMARK(BM_PosetSubscribe)->Arg(1000)->Arg(10000);
 
+// End-to-end router pass (fixed seeds, serial metric accounting) whose
+// only purpose is to populate the registry for the uniform JSON record.
+int run_obs_workload(obs::Registry& registry) {
+  sgx::Platform platform;
+  sgx::AttestationService attestation;
+  platform.provision(attestation);
+  crypto::DeterministicEntropy entropy(55);
+  KeyService keys(attestation, entropy);
+
+  sgx::EnclaveImage image;
+  image.name = "scbr-router";
+  image.code = to_bytes("router-binary");
+  crypto::DeterministicEntropy signer(808);
+  sign_image(image, crypto::ed25519_keypair(signer.array<32>()));
+  auto enclave = platform.create_enclave(image);
+  if (!enclave.ok()) return 1;
+  keys.authorize_router((*enclave)->mrenclave());
+
+  auto publisher = keys.register_client("publisher");
+  auto subscriber = keys.register_client("subscriber");
+
+  ScbrRouter router(**enclave, std::make_unique<PosetEngine>());
+  if (!router.provision(keys).ok()) return 1;
+  router.set_obs(&registry);
+  platform.set_obs(&registry);
+
+  ScbrWorkload workload(config_with(0.8), 11);
+  for (std::size_t i = 0; i < 256; ++i) {
+    auto sub = router.subscribe(
+        subscriber.name, encrypt_subscription(subscriber, workload.next_filter(), i + 1));
+    if (!sub.ok()) return 1;
+  }
+  std::vector<ScbrRouter::PublishRequest> batch;
+  for (std::size_t i = 0; i < 128; ++i) {
+    batch.push_back(
+        {publisher.name, encrypt_publication(publisher, workload.next_event(), i + 1)});
+  }
+  for (const auto& outcome : router.publish_batch(batch)) {
+    if (!outcome.ok()) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-// Plain BENCHMARK_MAIN plus a --threads N flag (stripped before the
-// benchmark library parses the remainder).
+// Plain BENCHMARK_MAIN plus --threads N (pool size for the batch
+// benchmark) and --smoke (skip the timed benchmarks, emit only the JSON
+// record), both stripped before the benchmark library parses the rest.
 int main(int argc, char** argv) {
+  bool smoke = false;
   int keep = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_threads = std::max(1, std::atoi(argv[++i]));
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       g_threads = std::max(1, std::atoi(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     } else {
       argv[keep++] = argv[i];
     }
   }
   argc = keep;
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  securecloud::obs::Registry registry;
+  const int rc = run_obs_workload(registry);
+  if (rc != 0) {
+    std::fprintf(stderr, "obs workload failed\n");
+    return rc;
+  }
+  securecloud::benchutil::emit_bench_json("scbr_matching",
+                                          static_cast<std::size_t>(g_threads), registry);
   return 0;
 }

@@ -3,9 +3,10 @@
 #
 # Configures a second build tree with SECURECLOUD_SANITIZE=thread and
 # runs the thread-pool / parallel-determinism tests (plus the common
-# tests covering SimClock/ClockShard), the SPSC ring hammer, and the
-# fault-injection suite under TSan. Part of the tier-1 flow for changes
-# touching the parallel execution layer or the fault/recovery plane.
+# tests covering SimClock/ClockShard), the SPSC ring hammer, the
+# fault-injection suite, and the obs registry/shard hammer under TSan.
+# Part of the tier-1 flow for changes touching the parallel execution
+# layer, the fault/recovery plane, or the metrics plane.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -14,11 +15,13 @@ build_dir="${1:-${repo_root}/build-tsan}"
 cmake -B "${build_dir}" -S "${repo_root}" -DSECURECLOUD_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j "$(nproc)" \
-      --target test_thread_pool test_common test_scone test_fault_injection
+      --target test_thread_pool test_common test_scone test_fault_injection \
+      test_obs
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/test_thread_pool"
 "${build_dir}/tests/test_common" --gtest_filter='SimClock.*'
 "${build_dir}/tests/test_scone" --gtest_filter='SpscRing.*'
 "${build_dir}/tests/test_fault_injection"
+"${build_dir}/tests/test_obs"
 echo "TSan clean."

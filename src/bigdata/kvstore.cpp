@@ -8,10 +8,14 @@ SecureKvStore::SecureKvStore(scone::UntrustedFileSystem& storage, ByteView maste
                              std::string ns, crypto::EntropySource& entropy)
     : storage_(storage), gcm_(master_key), ns_(std::move(ns)), entropy_(entropy) {}
 
-std::string SecureKvStore::storage_path(const std::string& key) const {
+std::string SecureKvStore::storage_path(const std::string& key,
+                                        std::uint64_t version) const {
   // Key names are hashed so the untrusted FS does not even learn them.
+  // The version is part of the path: a put writes to a fresh file, so a
+  // failed write can never clobber the committed version's blob.
   const auto digest = crypto::Sha256::hash(to_bytes(ns_ + "\x00" + key));
-  return "/kv/" + ns_ + "/" + hex_encode(ByteView(digest.data(), 16));
+  return "/kv/" + ns_ + "/" + hex_encode(ByteView(digest.data(), 16)) + "." +
+         std::to_string(version);
 }
 
 Bytes SecureKvStore::value_aad(const std::string& key, std::uint64_t version) const {
@@ -23,19 +27,39 @@ Bytes SecureKvStore::value_aad(const std::string& key, std::uint64_t version) co
 }
 
 Status SecureKvStore::put(const std::string& key, ByteView value) {
-  const std::uint64_t version = next_version_++;
+  const std::uint64_t version = next_version_;
   crypto::GcmNonce nonce;
   entropy_.fill(MutableByteView(nonce.data(), nonce.size()));
   const Bytes blob = gcm_.seal_combined(nonce, value_aad(key, version), value);
-  SC_RETURN_IF_ERROR(storage_.write_file(storage_path(key), blob));
+  if (auto written = storage_.write_file(storage_path(key, version), blob);
+      !written.ok()) {
+    // Nothing was committed: the previous version (if any) is untouched
+    // and still served by get(). An I/O failure must read as exactly
+    // that, not as tampering.
+    if (put_failures_ != nullptr) put_failures_->inc();
+    return Error::unavailable("storage write failed for key: " + key + " (" +
+                              written.error().message + ")");
+  }
+  // Commit, then garbage-collect the superseded blob. The GC is
+  // best-effort — a leftover old version is unreadable garbage to the
+  // host and unreferenced by the index — but a refusal is still counted.
+  const auto previous = index_.find(key);
+  if (previous != index_.end()) {
+    if (!storage_.remove(storage_path(key, previous->second)).ok() &&
+        remove_failures_ != nullptr) {
+      remove_failures_->inc();
+    }
+  }
+  next_version_ = version + 1;
   index_[key] = version;
+  if (puts_ != nullptr) puts_->inc();
   return {};
 }
 
 Result<Bytes> SecureKvStore::get(const std::string& key) const {
   auto it = index_.find(key);
   if (it == index_.end()) return Error::not_found("no such key: " + key);
-  auto blob = storage_.read_file(storage_path(key));
+  auto blob = storage_.read_file(storage_path(key, it->second));
   if (!blob.ok()) {
     return Error::integrity("stored value missing for key: " + key);
   }
@@ -44,15 +68,33 @@ Result<Bytes> SecureKvStore::get(const std::string& key) const {
     return Error::integrity(
         "value failed authentication (tampering or rollback): " + key);
   }
+  if (gets_ != nullptr) gets_->inc();
   return std::move(value).value();
 }
 
 Status SecureKvStore::remove(const std::string& key) {
   auto it = index_.find(key);
   if (it == index_.end()) return Error::not_found("no such key: " + key);
-  (void)storage_.remove(storage_path(key));
+  // The index erase is what deletes the key (the blob is unreadable
+  // without it); a storage refusal only leaks garbage bytes, but it is
+  // counted instead of discarded so operators can see a misbehaving host.
+  if (!storage_.remove(storage_path(key, it->second)).ok() &&
+      remove_failures_ != nullptr) {
+    remove_failures_->inc();
+  }
   index_.erase(it);
   return {};
+}
+
+void SecureKvStore::set_obs(obs::Registry* registry) {
+  if (registry == nullptr) {
+    puts_ = gets_ = put_failures_ = remove_failures_ = nullptr;
+    return;
+  }
+  puts_ = &registry->counter("kvstore_puts_total");
+  gets_ = &registry->counter("kvstore_gets_total");
+  put_failures_ = &registry->counter("kvstore_put_failures_total");
+  remove_failures_ = &registry->counter("kvstore_storage_remove_failures_total");
 }
 
 std::vector<std::string> SecureKvStore::scan_prefix(const std::string& prefix) const {

@@ -16,6 +16,7 @@
 #include "common/result.hpp"
 #include "crypto/entropy.hpp"
 #include "crypto/gcm.hpp"
+#include "obs/registry.hpp"
 #include "scone/untrusted_fs.hpp"
 #include "sgx/enclave.hpp"
 
@@ -28,6 +29,12 @@ class SecureKvStore {
   SecureKvStore(scone::UntrustedFileSystem& storage, ByteView master_key,
                 std::string ns, crypto::EntropySource& entropy);
 
+  /// Write-then-commit: the new version is written to its own storage
+  /// path first; only on success are next_version_/index_ advanced (and
+  /// the previous version's blob garbage-collected, best-effort). A
+  /// failed write therefore leaves the committed version fully intact —
+  /// it surfaces as kUnavailable ("storage write failed"), never as a
+  /// spurious integrity violation on the next get().
   Status put(const std::string& key, ByteView value);
   Result<Bytes> get(const std::string& key) const;
   Status remove(const std::string& key);
@@ -45,8 +52,12 @@ class SecureKvStore {
   Bytes seal_index(const sgx::Enclave& enclave) const;
   Status restore_index(const sgx::Enclave& enclave, ByteView sealed);
 
+  /// Mirrors operation counts (and storage-remove failures, which are
+  /// otherwise best-effort) into `kvstore_*` metrics.
+  void set_obs(obs::Registry* registry);
+
  private:
-  std::string storage_path(const std::string& key) const;
+  std::string storage_path(const std::string& key, std::uint64_t version) const;
   Bytes value_aad(const std::string& key, std::uint64_t version) const;
 
   scone::UntrustedFileSystem& storage_;
@@ -55,6 +66,11 @@ class SecureKvStore {
   crypto::EntropySource& entropy_;
   std::map<std::string, std::uint64_t> index_;  // key -> current version
   std::uint64_t next_version_ = 1;
+
+  obs::Counter* puts_ = nullptr;
+  obs::Counter* gets_ = nullptr;
+  obs::Counter* put_failures_ = nullptr;
+  obs::Counter* remove_failures_ = nullptr;  // storage_.remove said no
 };
 
 }  // namespace securecloud::bigdata

@@ -87,6 +87,14 @@ Result<JobResult> SecureMapReduce::run(
   if (config.num_mappers == 0 || config.num_reducers == 0) {
     return Error::invalid_argument("need at least one mapper and one reducer");
   }
+  const auto fail = [this](Error error) -> Error {
+    if (job_failures_ != nullptr) job_failures_->inc();
+    return error;
+  };
+
+  obs::Span job_span(tracer_, "mapreduce.job");
+  job_span.set_attribute("partitions", std::to_string(encrypted_partitions.size()));
+  job_span.set_attribute("reducers", std::to_string(config.num_reducers));
 
   JobResult result;
 
@@ -97,7 +105,7 @@ Result<JobResult> SecureMapReduce::run(
       std::min(config.num_mappers, encrypted_partitions.size() ? encrypted_partitions.size() : 1);
   for (std::size_t i = 0; i < pool; ++i) {
     auto worker = platform_.create_enclave(image);
-    if (!worker.ok()) return worker.error();
+    if (!worker.ok()) return fail(worker.error());
     workers.push_back(*worker);
   }
   const std::uint64_t cycles_before = platform_.clock().cycles();
@@ -123,6 +131,7 @@ Result<JobResult> SecureMapReduce::run(
   std::vector<std::vector<Bytes>> blocks(config.num_reducers,
                                          std::vector<Bytes>(partitions));
 
+  obs::Span map_span(tracer_, "mapreduce.map");
   common::run_indexed(pool_, partitions, [&](std::size_t p) {
     MapTally& tally = map_tallies[p];
     ClockShard shard(platform_.clock());
@@ -176,14 +185,22 @@ Result<JobResult> SecureMapReduce::run(
   });
 
   // Map barrier: merge tallies in partition order; the first failed
-  // partition wins, matching the sequential early-return.
+  // partition wins, matching the sequential early-return. Histogram
+  // observations also happen here, serially, so bucket counts stay
+  // bit-identical across thread counts.
+  map_span.end();
+  obs::Span shuffle_span(tracer_, "mapreduce.shuffle");
   for (const MapTally& tally : map_tallies) {
-    if (tally.error) return *tally.error;
+    if (tally.error) return fail(*tally.error);
     result.stats.input_records += tally.input_records;
     result.stats.intermediate_pairs += tally.intermediate_pairs;
     result.stats.shuffle_bytes += tally.shuffle_bytes;
     result.stats.enclave_transitions += tally.enclave_transitions;
+    if (partition_records_ != nullptr) {
+      partition_records_->observe(tally.input_records);
+    }
   }
+  shuffle_span.end();
 
   // --- reduce phase ------------------------------------------------------------
   // One task per reducer; each consumes its shuffle blocks in partition
@@ -197,6 +214,7 @@ Result<JobResult> SecureMapReduce::run(
   };
   std::vector<ReduceTally> reduce_tallies(config.num_reducers);
 
+  obs::Span reduce_span(tracer_, "mapreduce.reduce");
   common::run_indexed(pool_, config.num_reducers, [&](std::size_t r) {
     ReduceTally& tally = reduce_tallies[r];
     ClockShard shard(platform_.clock());
@@ -232,16 +250,44 @@ Result<JobResult> SecureMapReduce::run(
 
   // Reduce barrier: surface the first failure, then merge outputs.
   for (ReduceTally& tally : reduce_tallies) {
-    if (tally.error) return *tally.error;
+    if (tally.error) return fail(*tally.error);
     result.output.merge(tally.output);
     result.stats.enclave_transitions += tally.enclave_transitions;
   }
+  reduce_span.end();
 
   result.stats.simulated_cycles = platform_.clock().cycles() - cycles_before;
   for (sgx::Enclave* worker : workers) {
     platform_.destroy_enclave(worker->id());
   }
+
+  // Mirror the merged JobStats into the registry — one serial spot, after
+  // every barrier, so counter totals are independent of thread count.
+  if (jobs_ != nullptr) {
+    jobs_->inc();
+    input_records_->inc(result.stats.input_records);
+    intermediate_pairs_->inc(result.stats.intermediate_pairs);
+    shuffle_bytes_->inc(result.stats.shuffle_bytes);
+    enclave_transitions_->inc(result.stats.enclave_transitions);
+  }
   return result;
+}
+
+void SecureMapReduce::set_obs(obs::Registry* registry, obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    jobs_ = job_failures_ = input_records_ = nullptr;
+    intermediate_pairs_ = shuffle_bytes_ = enclave_transitions_ = nullptr;
+    partition_records_ = nullptr;
+    return;
+  }
+  jobs_ = &registry->counter("mapreduce_jobs_total");
+  job_failures_ = &registry->counter("mapreduce_job_failures_total");
+  input_records_ = &registry->counter("mapreduce_input_records_total");
+  intermediate_pairs_ = &registry->counter("mapreduce_intermediate_pairs_total");
+  shuffle_bytes_ = &registry->counter("mapreduce_shuffle_bytes_total");
+  enclave_transitions_ = &registry->counter("mapreduce_enclave_transitions_total");
+  partition_records_ = &registry->histogram("mapreduce_partition_records");
 }
 
 }  // namespace securecloud::bigdata

@@ -23,6 +23,8 @@
 #include "common/thread_pool.hpp"
 #include "crypto/entropy.hpp"
 #include "crypto/gcm.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sgx/platform.hpp"
 
 namespace securecloud::bigdata {
@@ -84,12 +86,28 @@ class SecureMapReduce {
                         const std::vector<std::vector<Bytes>>& encrypted_partitions,
                         const MapFn& map_fn, const ReduceFn& reduce_fn);
 
+  /// Mirrors JobStats into `mapreduce_*` metrics and (with a tracer)
+  /// emits mapreduce.job/.map/.shuffle/.reduce spans per run. Metric
+  /// bumps happen only at the phase barriers, from the already-merged
+  /// tallies, so exported counters inherit run()'s bit-identical
+  /// determinism across thread counts; spans carry no such guarantee.
+  void set_obs(obs::Registry* registry, obs::Tracer* tracer = nullptr);
+
  private:
   sgx::Platform& platform_;
   crypto::EntropySource& entropy_;
   Bytes job_key_;
   std::uint64_t record_counter_ = 0;
   common::ThreadPool* pool_ = nullptr;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* jobs_ = nullptr;
+  obs::Counter* job_failures_ = nullptr;
+  obs::Counter* input_records_ = nullptr;
+  obs::Counter* intermediate_pairs_ = nullptr;
+  obs::Counter* shuffle_bytes_ = nullptr;
+  obs::Counter* enclave_transitions_ = nullptr;
+  obs::Histogram* partition_records_ = nullptr;
 };
 
 }  // namespace securecloud::bigdata

@@ -36,9 +36,13 @@ class TumblingWindowAggregator {
  public:
   using Emit = std::function<void(const WindowResult&)>;
 
+  /// `window_size_s == 0` would make window_of() divide by zero; it is
+  /// clamped to 1 (every timestamp its own window) rather than UB.
   TumblingWindowAggregator(std::uint64_t window_size_s, std::uint64_t allowed_lateness_s,
                            Emit emit)
-      : window_size_(window_size_s), lateness_(allowed_lateness_s), emit_(std::move(emit)) {}
+      : window_size_(window_size_s == 0 ? 1 : window_size_s),
+        lateness_(allowed_lateness_s),
+        emit_(std::move(emit)) {}
 
   /// Feeds one (key, timestamp, value) sample.
   void observe(const std::string& key, std::uint64_t timestamp_s, double value);

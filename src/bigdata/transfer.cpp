@@ -42,8 +42,15 @@ std::vector<Bytes> SecureTransferSender::send(ByteView payload) {
                      ByteView(compressed.data() + offset, take)));
     chunks[i] = std::move(wire);
   });
-  for (const Bytes& wire : chunks) stats_.wire_bytes += wire.size();
+  std::size_t batch_wire_bytes = 0;
+  for (const Bytes& wire : chunks) batch_wire_bytes += wire.size();
+  stats_.wire_bytes += batch_wire_bytes;
   stats_.chunks += num_chunks;
+  if (obs_chunks_ != nullptr) {
+    obs_chunks_->inc(num_chunks);
+    obs_plaintext_bytes_->inc(payload.size());
+    obs_wire_bytes_->inc(batch_wire_bytes);
+  }
   if (retransmit_capacity_ > 0) {
     for (std::size_t i = 0; i < num_chunks; ++i) {
       sent_[base_seq + i] = chunks[i];
@@ -63,7 +70,19 @@ Result<Bytes> SecureTransferSender::retransmit(std::uint64_t sequence) const {
     return Error::not_found("chunk " + std::to_string(sequence) +
                             " not in retransmit buffer");
   }
+  if (obs_retransmits_ != nullptr) obs_retransmits_->inc();
   return it->second;
+}
+
+void SecureTransferSender::set_obs(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_chunks_ = obs_plaintext_bytes_ = obs_wire_bytes_ = obs_retransmits_ = nullptr;
+    return;
+  }
+  obs_chunks_ = &registry->counter("transfer_send_chunks_total");
+  obs_plaintext_bytes_ = &registry->counter("transfer_send_plaintext_bytes_total");
+  obs_wire_bytes_ = &registry->counter("transfer_send_wire_bytes_total");
+  obs_retransmits_ = &registry->counter("transfer_send_retransmits_total");
 }
 
 Result<std::optional<Bytes>> SecureTransferReceiver::receive(ByteView wire_chunk) {
@@ -82,6 +101,7 @@ Result<std::optional<Bytes>> SecureTransferReceiver::receive(ByteView wire_chunk
   if (!plain.ok()) return plain.error();
 
   ++expected_sequence_;
+  obs_inc(obs_accepted_);
   append(assembling_, *plain);
   if (last == 0) return std::optional<Bytes>{};
 
@@ -111,6 +131,7 @@ Result<std::vector<Bytes>> SecureTransferReceiver::apply_in_order(Bytes plain,
                                                                   bool last) {
   std::vector<Bytes> completed;
   ++recovery_stats_.accepted;
+  obs_inc(obs_accepted_);
   ++expected_sequence_;
   append(assembling_, plain);
   if (last) {
@@ -146,10 +167,12 @@ Result<std::vector<Bytes>> SecureTransferReceiver::receive_any(ByteView wire_chu
     // Too mangled to identify: the sequence it carried stays a gap and
     // the NACK machinery re-requests it.
     ++recovery_stats_.corrupt;
+    obs_inc(obs_corrupt_);
     return std::vector<Bytes>{};
   }
   if (seq < expected_sequence_ || out_of_order_.count(seq)) {
     ++recovery_stats_.duplicates;
+    obs_inc(obs_duplicates_);
     return std::vector<Bytes>{};
   }
 
@@ -164,6 +187,7 @@ Result<std::vector<Bytes>> SecureTransferReceiver::receive_any(ByteView wire_chu
     // NACKed once a valid later chunk or the sender's high-water mark
     // reveals the hole.
     ++recovery_stats_.corrupt;
+    obs_inc(obs_corrupt_);
     if (seq <= expected_sequence_ + recovery_.max_buffered_chunks) {
       register_gaps_up_to(seq + 1);
     }
@@ -173,6 +197,7 @@ Result<std::vector<Bytes>> SecureTransferReceiver::receive_any(ByteView wire_chu
   if (const auto gap = gaps_.find(seq); gap != gaps_.end()) {
     gaps_.erase(gap);
     ++recovery_stats_.gaps_recovered;
+    obs_inc(obs_gaps_recovered_);
   }
 
   if (seq == expected_sequence_) {
@@ -186,6 +211,7 @@ Result<std::vector<Bytes>> SecureTransferReceiver::receive_any(ByteView wire_chu
   }
   out_of_order_[seq] = BufferedChunk{std::move(plain).value(), last != 0};
   ++recovery_stats_.buffered;
+  obs_inc(obs_buffered_);
   register_gaps_up_to(seq);
   return std::vector<Bytes>{};
 }
@@ -211,12 +237,14 @@ std::vector<Nack> SecureTransferReceiver::take_due_nacks() {
     }
     if (gap.attempt >= recovery_.max_nacks_per_gap) {
       ++recovery_stats_.gaps_abandoned;
+      obs_inc(obs_gaps_abandoned_);
       stream_failed_ = true;
       it = gaps_.erase(it);
       continue;
     }
     due.push_back({it->first, gap.attempt});
     ++recovery_stats_.nacks_sent;
+    obs_inc(obs_nacks_sent_);
     // Capped exponential backoff on simulated time: 1 ms, 2 ms, 4 ms ...
     std::uint64_t backoff = recovery_.initial_backoff_ns;
     for (std::size_t i = 0; i < gap.attempt && backoff < recovery_.max_backoff_ns; ++i) {
@@ -228,6 +256,21 @@ std::vector<Nack> SecureTransferReceiver::take_due_nacks() {
     ++it;
   }
   return due;
+}
+
+void SecureTransferReceiver::set_obs(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_accepted_ = obs_duplicates_ = obs_corrupt_ = obs_buffered_ = nullptr;
+    obs_nacks_sent_ = obs_gaps_recovered_ = obs_gaps_abandoned_ = nullptr;
+    return;
+  }
+  obs_accepted_ = &registry->counter("transfer_recv_accepted_total");
+  obs_duplicates_ = &registry->counter("transfer_recv_duplicates_total");
+  obs_corrupt_ = &registry->counter("transfer_recv_corrupt_total");
+  obs_buffered_ = &registry->counter("transfer_recv_buffered_total");
+  obs_nacks_sent_ = &registry->counter("transfer_recv_nacks_sent_total");
+  obs_gaps_recovered_ = &registry->counter("transfer_recv_gaps_recovered_total");
+  obs_gaps_abandoned_ = &registry->counter("transfer_recv_gaps_abandoned_total");
 }
 
 Status SecureTransferReceiver::health() const {
@@ -273,6 +316,7 @@ Result<std::vector<Bytes>> SecureTransferReceiver::receive_all(
     }
     if (!o.plain.ok()) return o.plain.error();
     ++expected_sequence_;
+    obs_inc(obs_accepted_);
     append(assembling_, *o.plain);
     if (!o.last) continue;
     auto payload = rle_decompress(assembling_);

@@ -11,6 +11,7 @@
 #include "common/sim_clock.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/gcm.hpp"
+#include "obs/registry.hpp"
 
 namespace securecloud::bigdata {
 
@@ -53,6 +54,9 @@ class SecureTransferSender {
 
   const TransferStats& stats() const { return stats_; }
 
+  /// Mirrors TransferStats (and retransmit lookups) into `transfer_send_*`.
+  void set_obs(obs::Registry* registry);
+
  private:
   crypto::AesGcm gcm_;
   std::uint32_t stream_id_;
@@ -62,6 +66,11 @@ class SecureTransferSender {
   common::ThreadPool* pool_ = nullptr;
   std::size_t retransmit_capacity_ = 0;  // 0 = disabled
   std::map<std::uint64_t, Bytes> sent_;  // seq -> wire, bounded FIFO by seq
+
+  obs::Counter* obs_chunks_ = nullptr;
+  obs::Counter* obs_plaintext_bytes_ = nullptr;
+  obs::Counter* obs_wire_bytes_ = nullptr;
+  obs::Counter* obs_retransmits_ = nullptr;
 };
 
 /// Loss-recovery knobs for SecureTransferReceiver (see enable_recovery).
@@ -142,7 +151,15 @@ class SecureTransferReceiver {
 
   const ReceiverStats& recovery_stats() const { return recovery_stats_; }
 
+  /// Mirrors ReceiverStats into `transfer_recv_*` metrics. The receiver
+  /// state machine is serial, so every bump site is deterministic.
+  void set_obs(obs::Registry* registry);
+
  private:
+  /// Bumps the obs mirror of one ReceiverStats field (no-op when unwired).
+  void obs_inc(obs::Counter* counter) {
+    if (counter != nullptr) counter->inc();
+  }
   struct Gap {
     std::size_t attempt = 0;        // NACKs sent so far
     std::uint64_t retry_at_ns = 0;  // next NACK due (SimClock time)
@@ -168,6 +185,14 @@ class SecureTransferReceiver {
   ReceiverStats recovery_stats_;
   bool recovery_enabled_ = false;
   bool stream_failed_ = false;
+
+  obs::Counter* obs_accepted_ = nullptr;
+  obs::Counter* obs_duplicates_ = nullptr;
+  obs::Counter* obs_corrupt_ = nullptr;
+  obs::Counter* obs_buffered_ = nullptr;
+  obs::Counter* obs_nacks_sent_ = nullptr;
+  obs::Counter* obs_gaps_recovered_ = nullptr;
+  obs::Counter* obs_gaps_abandoned_ = nullptr;
 };
 
 }  // namespace securecloud::bigdata

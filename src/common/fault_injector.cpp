@@ -17,6 +17,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kKillEnclave: return "kill-enclave";
     case FaultKind::kServerFailure: return "server-failure";
     case FaultKind::kEpcPressure: return "epc-pressure";
+    case FaultKind::kIoError: return "io-error";
   }
   return "unknown";
 }

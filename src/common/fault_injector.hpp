@@ -43,8 +43,10 @@ enum class FaultKind : std::uint8_t {
   kKillEnclave,
   kServerFailure,
   kEpcPressure,
+  // Untrusted-storage I/O faults (torn/failed writes, failed deletes).
+  kIoError,
 };
-inline constexpr std::size_t kFaultKindCount = 11;
+inline constexpr std::size_t kFaultKindCount = 12;
 
 const char* to_string(FaultKind kind);
 

@@ -13,20 +13,16 @@ InvoiceLine BillingEngine::price_container(const std::string& container_id,
                                            const ContainerMonitor& monitor) const {
   InvoiceLine line;
   line.container_id = container_id;
-  const auto* samples = monitor.samples(container_id);
-  if (samples == nullptr) return line;
+  // Lifetime totals, not the retained sample window: billing must cover
+  // every sample ever recorded, including those the monitor has trimmed.
+  const ResourceTotals totals = monitor.totals(container_id);
+  if (totals.samples == 0) return line;
 
-  double cpu_cycles = 0, io_bytes = 0, mem_byte_samples = 0;
-  for (const auto& s : *samples) {
-    cpu_cycles += static_cast<double>(s.cpu_cycles);
-    io_bytes += static_cast<double>(s.io_bytes);
-    mem_byte_samples += static_cast<double>(s.mem_bytes);
-  }
-  line.cpu_cost = cpu_cycles / 1e9 * tariff_.per_billion_cpu_cycles;
-  line.io_cost = io_bytes / 1e9 * tariff_.per_gb_io;
+  line.cpu_cost = totals.cpu_cycles / 1e9 * tariff_.per_billion_cpu_cycles;
+  line.io_cost = totals.io_bytes / 1e9 * tariff_.per_gb_io;
   // Memory: each sample represents `sample_interval_s` of residency.
   const double gb_hours =
-      mem_byte_samples / 1e9 * tariff_.sample_interval_s / 3600.0;
+      totals.mem_byte_samples / 1e9 * tariff_.sample_interval_s / 3600.0;
   line.memory_cost = gb_hours * tariff_.per_gb_hour_memory;
   return line;
 }

@@ -5,42 +5,79 @@
 namespace securecloud::container {
 
 void ContainerMonitor::record(const std::string& container_id, ResourceSample sample) {
-  series_[container_id].push_back(sample);
+  Series& series = series_[container_id];
+  ResourceTotals& t = series.totals;
+  ++t.samples;
+  t.cpu_cycles += static_cast<double>(sample.cpu_cycles);
+  t.mem_byte_samples += static_cast<double>(sample.mem_bytes);
+  t.io_bytes += static_cast<double>(sample.io_bytes);
+  t.peak_mem_bytes = std::max(t.peak_mem_bytes, static_cast<double>(sample.mem_bytes));
+  t.cpu_cycles_exact += sample.cpu_cycles;
+
+  series.window.push_back(sample);
+  // Amortized trim: let the window grow to 2x retention, then erase the
+  // oldest half in one move — O(1) amortized per record, no per-call
+  // front erases.
+  if (retention_ > 0 && series.window.size() >= 2 * retention_) {
+    const std::size_t excess = series.window.size() - retention_;
+    series.window.erase(series.window.begin(),
+                        series.window.begin() + static_cast<std::ptrdiff_t>(excess));
+    series.dropped += excess;
+  }
+
+  if (samples_total_ != nullptr) samples_total_->inc();
+  if (cpu_cycles_total_ != nullptr) cpu_cycles_total_->inc(sample.cpu_cycles);
+  if (tracked_containers_ != nullptr) {
+    tracked_containers_->set(static_cast<std::int64_t>(series_.size()));
+  }
 }
 
 ResourceProfile ContainerMonitor::profile(const std::string& container_id) const {
   ResourceProfile p;
   auto it = series_.find(container_id);
-  if (it == series_.end() || it->second.empty()) return p;
-  const auto& samples = it->second;
-  p.samples = samples.size();
-  for (const auto& s : samples) {
-    p.avg_cpu_cycles_per_sample += static_cast<double>(s.cpu_cycles);
-    p.avg_mem_bytes += static_cast<double>(s.mem_bytes);
-    p.peak_mem_bytes = std::max(p.peak_mem_bytes, static_cast<double>(s.mem_bytes));
-    p.avg_io_bytes_per_sample += static_cast<double>(s.io_bytes);
-  }
-  const auto n = static_cast<double>(samples.size());
-  p.avg_cpu_cycles_per_sample /= n;
-  p.avg_mem_bytes /= n;
-  p.avg_io_bytes_per_sample /= n;
+  if (it == series_.end() || it->second.totals.samples == 0) return p;
+  const ResourceTotals& t = it->second.totals;
+  const auto n = static_cast<double>(t.samples);
+  p.samples = t.samples;
+  p.avg_cpu_cycles_per_sample = t.cpu_cycles / n;
+  p.avg_mem_bytes = t.mem_byte_samples / n;
+  p.peak_mem_bytes = t.peak_mem_bytes;
+  p.avg_io_bytes_per_sample = t.io_bytes / n;
   return p;
+}
+
+ResourceTotals ContainerMonitor::totals(const std::string& container_id) const {
+  auto it = series_.find(container_id);
+  return it == series_.end() ? ResourceTotals{} : it->second.totals;
 }
 
 const std::vector<ResourceSample>* ContainerMonitor::samples(
     const std::string& container_id) const {
   auto it = series_.find(container_id);
-  return it == series_.end() ? nullptr : &it->second;
+  return it == series_.end() ? nullptr : &it->second.window;
 }
 
 std::map<std::string, std::uint64_t> ContainerMonitor::billing_report() const {
   std::map<std::string, std::uint64_t> report;
-  for (const auto& [id, samples] : series_) {
-    std::uint64_t total = 0;
-    for (const auto& s : samples) total += s.cpu_cycles;
-    report[id] = total;
+  for (const auto& [id, series] : series_) {
+    report[id] = series.totals.cpu_cycles_exact;
   }
   return report;
+}
+
+void ContainerMonitor::set_retention(std::size_t max_samples) {
+  retention_ = max_samples == 0 ? 1 : max_samples;
+}
+
+void ContainerMonitor::set_obs(obs::Registry* registry) {
+  if (registry == nullptr) {
+    samples_total_ = cpu_cycles_total_ = nullptr;
+    tracked_containers_ = nullptr;
+    return;
+  }
+  samples_total_ = &registry->counter("container_samples_total");
+  cpu_cycles_total_ = &registry->counter("container_cpu_cycles_total");
+  tracked_containers_ = &registry->gauge("container_tracked");
 }
 
 }  // namespace securecloud::container

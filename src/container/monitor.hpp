@@ -2,16 +2,24 @@
 //
 // The architecture (§III-B) calls for components that "monitor hardware
 // usage to detect resource bottlenecks and allow for accounting and
-// billing". ContainerMonitor keeps a per-container time series of
-// resource samples; consumers are the billing report here and the
-// GenPack scheduler, which uses observed profiles to classify containers
-// into generations.
+// billing". ContainerMonitor keeps per-container *running aggregates*
+// (updated in O(1) at record time) plus a bounded window of recent raw
+// samples; consumers are the billing report here and the GenPack
+// scheduler, which uses observed profiles to classify containers into
+// generations.
+//
+// Aggregates, not replays: profile() and billing cover every sample ever
+// recorded — including those the retention window has dropped — and the
+// double sums are accumulated in arrival order, so values are
+// bit-identical to a full-history recomputation.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "obs/registry.hpp"
 
 namespace securecloud::container {
 
@@ -30,20 +38,60 @@ struct ResourceProfile {
   std::size_t samples = 0;
 };
 
+/// Lifetime sums per container (the billing basis). Doubles are the
+/// arrival-order accumulations billing has always used; cpu_cycles_exact
+/// is the untruncated integer total.
+struct ResourceTotals {
+  std::size_t samples = 0;
+  double cpu_cycles = 0;
+  double mem_byte_samples = 0;
+  double io_bytes = 0;
+  double peak_mem_bytes = 0;
+  std::uint64_t cpu_cycles_exact = 0;
+};
+
 class ContainerMonitor {
  public:
   void record(const std::string& container_id, ResourceSample sample);
 
+  /// O(1): reads the running aggregates (all samples ever recorded).
   ResourceProfile profile(const std::string& container_id) const;
+
+  /// Lifetime totals; zero-valued for unknown containers.
+  ResourceTotals totals(const std::string& container_id) const;
+
+  /// Recent raw samples (bounded retention window, newest last), or
+  /// nullptr for unknown containers. Diagnostic view only — aggregates
+  /// do not depend on what the window still holds.
   const std::vector<ResourceSample>* samples(const std::string& container_id) const;
 
   /// Accounting: total cycles consumed per container (billing basis).
+  /// O(containers).
   std::map<std::string, std::uint64_t> billing_report() const;
+
+  /// Caps the per-container raw-sample window (default 1024). Trimming
+  /// is amortized: the window may transiently hold up to 2x this.
+  void set_retention(std::size_t max_samples);
+  std::size_t retention() const { return retention_; }
 
   void forget(const std::string& container_id) { series_.erase(container_id); }
 
+  /// Mirrors sample ingestion into `container_*` metrics.
+  void set_obs(obs::Registry* registry);
+
  private:
-  std::map<std::string, std::vector<ResourceSample>> series_;
+  struct Series {
+    std::vector<ResourceSample> window;  // recent samples, arrival order
+    std::size_t dropped = 0;             // trimmed from the window front
+    ResourceTotals totals;
+  };
+
+  std::map<std::string, Series> series_;
+  std::size_t retention_ = 1024;
+
+  obs::Counter* samples_total_ = nullptr;
+  obs::Counter* cpu_cycles_total_ = nullptr;
+  obs::Gauge* tracked_containers_ = nullptr;
 };
 
 }  // namespace securecloud::container

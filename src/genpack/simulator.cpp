@@ -1,6 +1,7 @@
 #include "genpack/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace securecloud::genpack {
 
@@ -196,7 +197,36 @@ SimReport ClusterSimulator::run(const std::vector<ContainerSpec>& trace,
     report.avg_servers_on /= total_h;
     report.avg_cpu_utilization_on /= total_h;
   }
+
+  // Mirror the finished report into the registry in one serial spot.
+  if (obs_runs_ != nullptr) {
+    obs_runs_->inc();
+    obs_placed_->inc(report.placed);
+    obs_rejected_->inc(report.rejected);
+    obs_migrations_->inc(report.migrations);
+    obs_server_failures_->inc(report.server_failures);
+    obs_rescheduled_->inc(report.rescheduled_on_failure);
+    obs_lost_->inc(report.lost_on_failure);
+    obs_energy_mwh_->set(std::llround(report.total_energy_wh * 1000.0));
+  }
   return report;
+}
+
+void ClusterSimulator::set_obs(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_runs_ = obs_placed_ = obs_rejected_ = obs_migrations_ = nullptr;
+    obs_server_failures_ = obs_rescheduled_ = obs_lost_ = nullptr;
+    obs_energy_mwh_ = nullptr;
+    return;
+  }
+  obs_runs_ = &registry->counter("genpack_runs_total");
+  obs_placed_ = &registry->counter("genpack_placed_total");
+  obs_rejected_ = &registry->counter("genpack_rejected_total");
+  obs_migrations_ = &registry->counter("genpack_migrations_total");
+  obs_server_failures_ = &registry->counter("genpack_server_failures_total");
+  obs_rescheduled_ = &registry->counter("genpack_rescheduled_on_failure_total");
+  obs_lost_ = &registry->counter("genpack_lost_on_failure_total");
+  obs_energy_mwh_ = &registry->gauge("genpack_energy_mwh");
 }
 
 }  // namespace securecloud::genpack

@@ -11,6 +11,7 @@
 
 #include "common/result.hpp"
 #include "genpack/scheduler.hpp"
+#include "obs/registry.hpp"
 
 namespace securecloud::genpack {
 
@@ -61,10 +62,24 @@ class ClusterSimulator {
 
   const std::vector<Server>& servers() const { return servers_; }
 
+  /// Mirrors each run()'s final SimReport into `genpack_*` metrics — one
+  /// serial bump per run, so counters are deterministic. Energy is
+  /// exported as a gauge in milliwatt-hours (gauges are integral).
+  void set_obs(obs::Registry* registry);
+
  private:
   void accumulate_energy(std::uint64_t from_s, std::uint64_t to_s, SimReport& report);
 
   std::vector<Server> servers_;
+
+  obs::Counter* obs_runs_ = nullptr;
+  obs::Counter* obs_placed_ = nullptr;
+  obs::Counter* obs_rejected_ = nullptr;
+  obs::Counter* obs_migrations_ = nullptr;
+  obs::Counter* obs_server_failures_ = nullptr;
+  obs::Counter* obs_rescheduled_ = nullptr;
+  obs::Counter* obs_lost_ = nullptr;
+  obs::Gauge* obs_energy_mwh_ = nullptr;
 };
 
 }  // namespace securecloud::genpack

@@ -55,6 +55,7 @@ Status EventBus::publish(BusEndpoint& endpoint, const scbr::Event& event) {
   auto deliveries = router_->publish(endpoint.creds_.name, wire);
   if (!deliveries.ok()) return deliveries.error();
   ++published_;
+  obs_inc(obs_published_);
   for (auto& d : *deliveries) {
     PendingDelivery pending{next_delivery_id_++, std::move(d.subscriber),
                             d.subscription, std::move(d.wire), 0};
@@ -71,6 +72,7 @@ Status EventBus::publish(BusEndpoint& endpoint, const scbr::Event& event) {
 
 void EventBus::dead_letter(PendingDelivery delivery, Error reason) {
   ++stats_.dead_lettered;
+  obs_inc(obs_dead_lettered_);
   dead_letters_.push_back({delivery.delivery_id, std::move(delivery.subscriber),
                            delivery.subscription, std::move(delivery.wire),
                            std::move(reason), delivery.attempts});
@@ -84,6 +86,7 @@ void EventBus::retry_or_dead_letter(PendingDelivery delivery, Error reason) {
   // Redeliver from the pristine wire the router produced (the router
   // retains the delivery until acked — at-least-once semantics).
   ++stats_.redeliveries;
+  obs_inc(obs_redeliveries_);
   pending_.push_back(std::move(delivery));
 }
 
@@ -97,6 +100,7 @@ std::size_t EventBus::drain(std::size_t max_rounds) {
       auto it = endpoints_.find(delivery.subscriber);
       if (it == endpoints_.end()) {
         ++stats_.detached_drops;
+        obs_inc(obs_detached_);
         Error reason = Error::not_found("subscriber detached: " + delivery.subscriber);
         dead_letter(std::move(delivery), std::move(reason));
         continue;
@@ -107,6 +111,7 @@ std::size_t EventBus::drain(std::size_t max_rounds) {
       if (injector_ != nullptr &&
           injector_->should_fire(common::FaultKind::kDropMessage)) {
         ++stats_.dropped_in_transit;
+        obs_inc(obs_dropped_);
         retry_or_dead_letter(std::move(delivery),
                              Error::unavailable("delivery dropped in transit"));
         continue;
@@ -123,6 +128,7 @@ std::size_t EventBus::drain(std::size_t max_rounds) {
       auto event = scbr::decrypt_delivery(endpoint.creds_, transit_wire);
       if (!event.ok()) {
         ++stats_.tampered;
+        obs_inc(obs_tampered_);
         retry_or_dead_letter(std::move(delivery), event.error());
         continue;
       }
@@ -131,6 +137,7 @@ std::size_t EventBus::drain(std::size_t max_rounds) {
       // wires must not re-run handlers.
       if (endpoint.seen_deliveries_.count(delivery.delivery_id)) {
         ++stats_.duplicates_suppressed;
+        obs_inc(obs_duplicates_);
         continue;
       }
       endpoint.seen_deliveries_.insert(delivery.delivery_id);
@@ -142,6 +149,7 @@ std::size_t EventBus::drain(std::size_t max_rounds) {
       }
 
       ++delivered_;
+      obs_inc(obs_delivered_);
       for (auto& [sub_id, handler] : endpoint.handlers_) {
         if (sub_id == delivery.subscription) {
           handler(*event);
@@ -151,6 +159,23 @@ std::size_t EventBus::drain(std::size_t max_rounds) {
     }
   }
   return invocations;
+}
+
+void EventBus::set_obs(obs::Registry* registry, obs::Tracer* tracer) {
+  router_->set_obs(registry, tracer);
+  if (registry == nullptr) {
+    obs_published_ = obs_delivered_ = obs_tampered_ = obs_dropped_ = nullptr;
+    obs_redeliveries_ = obs_duplicates_ = obs_detached_ = obs_dead_lettered_ = nullptr;
+    return;
+  }
+  obs_published_ = &registry->counter("bus_published_total");
+  obs_delivered_ = &registry->counter("bus_delivered_total");
+  obs_tampered_ = &registry->counter("bus_tampered_total");
+  obs_dropped_ = &registry->counter("bus_dropped_in_transit_total");
+  obs_redeliveries_ = &registry->counter("bus_redeliveries_total");
+  obs_duplicates_ = &registry->counter("bus_duplicates_suppressed_total");
+  obs_detached_ = &registry->counter("bus_detached_drops_total");
+  obs_dead_lettered_ = &registry->counter("bus_dead_lettered_total");
 }
 
 }  // namespace securecloud::microservice

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/fault_injector.hpp"
+#include "obs/registry.hpp"
 #include "scbr/router.hpp"
 
 namespace securecloud::microservice {
@@ -114,6 +115,11 @@ class EventBus {
   const BusStats& stats() const { return stats_; }
   const std::deque<DeadLetter>& dead_letters() const { return dead_letters_; }
 
+  /// Mirrors BusStats into `bus_*` metrics and forwards the registry (and
+  /// tracer) to the owned SCBR router. The delivery plane is serial, so
+  /// every bump site is deterministic.
+  void set_obs(obs::Registry* registry, obs::Tracer* tracer = nullptr);
+
  private:
   struct PendingDelivery {
     std::uint64_t delivery_id = 0;
@@ -126,6 +132,10 @@ class EventBus {
   void dead_letter(PendingDelivery delivery, Error reason);
   /// Requeues (at-least-once) or dead-letters after too many attempts.
   void retry_or_dead_letter(PendingDelivery delivery, Error reason);
+  /// Bumps the obs mirror of one BusStats field (no-op when unwired).
+  void obs_inc(obs::Counter* counter) {
+    if (counter != nullptr) counter->inc();
+  }
 
   sgx::Enclave& enclave_;
   scbr::KeyService& keys_;
@@ -140,6 +150,15 @@ class EventBus {
   std::uint64_t published_ = 0;
   std::uint64_t delivered_ = 0;
   BusStats stats_;
+
+  obs::Counter* obs_published_ = nullptr;
+  obs::Counter* obs_delivered_ = nullptr;
+  obs::Counter* obs_tampered_ = nullptr;
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_redeliveries_ = nullptr;
+  obs::Counter* obs_duplicates_ = nullptr;
+  obs::Counter* obs_detached_ = nullptr;
+  obs::Counter* obs_dead_lettered_ = nullptr;
 };
 
 }  // namespace securecloud::microservice

@@ -1,0 +1,138 @@
+// Metric primitives for the unified observability layer (§III-B layer 1:
+// components "monitor hardware usage to detect resource bottlenecks and
+// allow for accounting and billing").
+//
+// Three instrument kinds, all safe to bump from pool workers:
+//
+//   Counter   — monotonically increasing u64. Increments are relaxed
+//               atomic adds: because addition commutes, the total is
+//               exact regardless of interleaving, so a 1-thread and an
+//               8-thread run that issue the same set of increments
+//               export bit-identical values (same invariant SimClock
+//               relies on).
+//   Gauge     — settable i64 (last-writer-wins point-in-time value).
+//   Histogram — fixed log2 buckets: bucket b counts values whose
+//               bit_width is b, i.e. bucket 0 holds value 0 and bucket
+//               b >= 1 holds [2^(b-1), 2^b). Log-scale buckets cover the
+//               full u64 range (cycles, bytes, counts) with 65 cells and
+//               no configuration, and bucketing is a pure function of
+//               the value — deterministic across runs.
+//
+// Handles returned by obs::Registry are stable for the registry's
+// lifetime, so hot paths resolve a metric once and pay one relaxed RMW
+// per event — no lock, no name lookup. Hot loops that cannot afford even
+// that use CounterShard, the per-thread batcher mirroring ClockShard.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace securecloud::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    cell_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return cell_.load(std::memory_order_relaxed); }
+  void reset() { cell_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> cell_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t value) { cell_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { cell_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return cell_.load(std::memory_order_relaxed); }
+  void reset() { cell_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> cell_{0};
+};
+
+/// Point-in-time copy of a histogram, cheap to compare and serialize.
+/// `buckets` holds only non-empty cells as (inclusive upper bound, count).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+class Histogram {
+ public:
+  /// Buckets 0..64: bucket 0 is exactly {0}, bucket b is [2^(b-1), 2^b).
+  static constexpr std::size_t kBucketCount = 65;
+
+  void observe(std::uint64_t value) {
+    buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket `b` (0, 1, 3, 7, ... 2^b - 1).
+  static std::uint64_t bucket_upper_bound(std::size_t b) {
+    return b >= 64 ? UINT64_MAX : (std::uint64_t{1} << b) - 1;
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot snap;
+    snap.count = count();
+    snap.sum = sum();
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+      if (n != 0) snap.buckets.emplace_back(bucket_upper_bound(b), n);
+    }
+    return snap;
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Per-thread batcher for Counter increments, mirroring ClockShard:
+/// workers accumulate locally and flush once at a barrier, so the counter
+/// sees one atomic add per shard instead of one per event, and the total
+/// is exactly the sum of every inc() issued through any shard.
+class CounterShard {
+ public:
+  explicit CounterShard(Counter& counter) : counter_(counter) {}
+  ~CounterShard() { flush(); }
+
+  CounterShard(const CounterShard&) = delete;
+  CounterShard& operator=(const CounterShard&) = delete;
+
+  void inc(std::uint64_t delta = 1) { pending_ += delta; }
+  std::uint64_t pending() const { return pending_; }
+
+  void flush() {
+    if (pending_ != 0) {
+      counter_.inc(pending_);
+      pending_ = 0;
+    }
+  }
+
+ private:
+  Counter& counter_;
+  std::uint64_t pending_ = 0;
+};
+
+}  // namespace securecloud::obs

@@ -1,0 +1,132 @@
+#include "obs/registry.hpp"
+
+#include <sstream>
+
+namespace securecloud::obs {
+
+namespace {
+
+template <typename Instrument>
+Instrument& intern(std::mutex& mu,
+                   std::map<std::string, std::unique_ptr<Instrument>>& table,
+                   const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = table[name];
+  if (!slot) slot = std::make_unique<Instrument>();
+  return *slot;
+}
+
+// Metric names are generated in-tree from [a-z0-9_.] identifiers; escape
+// the JSON specials anyway so a stray name cannot corrupt the document.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  return intern(mu_, counters_, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return intern(mu_, gauges_, name);
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return intern(mu_, histograms_, name);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->snapshot();
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string snapshot_to_json(const Snapshot& snap) {
+  std::string out = "{\"schema\":\"securecloud.obs.v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) + ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const auto& [le, n] : h.buckets) {
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += "[" + std::to_string(le) + "," + std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string snapshot_to_prometheus(const Snapshot& snap) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << "# TYPE " << name << " counter\n" << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "# TYPE " << name << " gauge\n" << name << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [le, n] : h.buckets) {
+      cumulative += n;
+      out << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string Registry::to_json() const { return snapshot_to_json(snapshot()); }
+
+std::string Registry::to_prometheus() const {
+  return snapshot_to_prometheus(snapshot());
+}
+
+}  // namespace securecloud::obs

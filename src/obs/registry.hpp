@@ -1,0 +1,81 @@
+// Thread-safe registry of named metrics with stable export formats.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and is
+// idempotent: the same name always returns the same handle, and handles
+// stay valid for the registry's lifetime (instruments live in node-stable
+// std::map values behind unique ownership of the registry). Components
+// resolve their handles once at attach time (`set_obs`) and then update
+// through bare pointers — the hot path never locks or hashes a name.
+//
+// Export:
+//   to_json()       — one line, schema "securecloud.obs.v1", keys sorted
+//                     lexicographically. Two registries with the same
+//                     metric values serialize to byte-identical strings,
+//                     which is what the determinism tests compare.
+//   to_prometheus() — text exposition format (# TYPE lines, cumulative
+//                     histogram buckets with le labels).
+//
+// Metric naming convention (enforced by review, not code):
+//   <subsystem>_<metric>[_total]   e.g. sgx_epc_faults_total
+// Subsystem prefixes in use: sgx, mapreduce, scbr, transfer, bus,
+// genpack, container, kvstore.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace securecloud::obs {
+
+/// Point-in-time copy of every metric in a registry. Maps are sorted by
+/// name, so equality and serialization are order-stable.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. The returned reference is stable for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  Snapshot snapshot() const;
+
+  /// One-line JSON, schema "securecloud.obs.v1", sorted keys. Stable:
+  /// equal snapshots serialize to byte-identical strings.
+  std::string to_json() const;
+
+  /// Prometheus text exposition format.
+  std::string to_prometheus() const;
+
+  /// Zeroes every registered instrument (handles stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Serializes a snapshot without holding any registry lock (what
+/// Registry::to_json produces; exposed so benches can stamp extra fields
+/// around it).
+std::string snapshot_to_json(const Snapshot& snap);
+std::string snapshot_to_prometheus(const Snapshot& snap);
+
+}  // namespace securecloud::obs

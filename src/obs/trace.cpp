@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+namespace securecloud::obs {
+
+namespace {
+
+// Per-thread stack of (tracer, span_id): the top entry for a given
+// tracer is the parent of any span that thread opens next. Keyed by
+// tracer so two tracers interleaved on one thread do not adopt each
+// other's spans.
+thread_local std::vector<std::pair<const Tracer*, std::uint64_t>> g_span_stack;
+
+std::uint64_t current_parent(const Tracer* tracer) {
+  for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
+    if (it->first == tracer) return it->second;
+  }
+  return 0;
+}
+
+void pop_span(const Tracer* tracer, std::uint64_t span_id) {
+  for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
+    if (it->first == tracer && it->second == span_id) {
+      g_span_stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::vector<SpanRecord> Tracer::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+std::size_t Tracer::finished_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_.size();
+}
+
+void Tracer::record(SpanRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.push_back(std::move(rec));
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.clear();
+}
+
+std::string Tracer::to_json() const {
+  const std::vector<SpanRecord> spans = finished();
+  std::string out = "{\"schema\":\"securecloud.trace.v1\",\"spans\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + std::to_string(s.span_id) +
+           ",\"parent\":" + std::to_string(s.parent_id) + ",\"name\":";
+    append_json_string(out, s.name);
+    out += ",\"start_cycles\":" + std::to_string(s.start_cycles) +
+           ",\"end_cycles\":" + std::to_string(s.end_cycles) + ",\"attrs\":{";
+    bool first_attr = true;
+    for (const auto& [key, value] : s.attributes) {
+      if (!first_attr) out += ',';
+      first_attr = false;
+      append_json_string(out, key);
+      out += ':';
+      append_json_string(out, value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Span::Span(Tracer* tracer, std::string name) : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  rec_.span_id = tracer_->next_id();
+  rec_.parent_id = current_parent(tracer_);
+  rec_.name = std::move(name);
+  rec_.start_cycles = tracer_->now_cycles();
+  g_span_stack.emplace_back(tracer_, rec_.span_id);
+}
+
+void Span::set_attribute(std::string key, std::string value) {
+  if (tracer_ == nullptr) return;
+  rec_.attributes.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  rec_.end_cycles = tracer_->now_cycles();
+  pop_span(tracer_, rec_.span_id);
+  tracer_->record(std::move(rec_));
+  tracer_ = nullptr;
+}
+
+}  // namespace securecloud::obs

@@ -1,0 +1,95 @@
+// Span tracing stamped from SimClock cycles.
+//
+// A Span is a scoped RAII region: constructing one stamps the start
+// cycle, destruction (or explicit end()) stamps the end cycle and
+// appends a finished SpanRecord to the owning Tracer. Spans opened while
+// another span of the *same tracer* is live on the *same thread* become
+// its children (thread-local parent stack), so nesting mirrors lexical
+// scope:
+//
+//   obs::Span job(tracer, "mapreduce.job");
+//   { obs::Span map(tracer, "mapreduce.map"); ... }   // child of job
+//   { obs::Span red(tracer, "mapreduce.reduce"); ... } // child of job
+//
+// Span ids are assigned from an atomic sequence, and finished records
+// are appended under a mutex — safe from pool workers. Because both the
+// id order and the finish order depend on thread interleaving, spans are
+// deliberately EXCLUDED from the bit-identical determinism invariant;
+// only Registry counters carry that guarantee. Traces are for humans
+// reading one run, not for cross-run diffing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+
+namespace securecloud::obs {
+
+struct SpanRecord {
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  std::uint64_t start_cycles = 0;
+  std::uint64_t end_cycles = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+class Span;
+
+class Tracer {
+ public:
+  explicit Tracer(const SimClock& clock) : clock_(&clock) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Finished spans, in finish order.
+  std::vector<SpanRecord> finished() const;
+  std::size_t finished_count() const;
+
+  /// One-line JSON, schema "securecloud.trace.v1".
+  std::string to_json() const;
+
+  void clear();
+
+ private:
+  friend class Span;
+
+  std::uint64_t next_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  std::uint64_t now_cycles() const { return clock_->cycles(); }
+  void record(SpanRecord rec);
+
+  const SimClock* clock_;
+  std::atomic<std::uint64_t> next_id_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> finished_;
+};
+
+class Span {
+ public:
+  /// Starts a span. Null tracer makes the span inert (zero-cost no-op),
+  /// so call sites can trace unconditionally.
+  Span(Tracer* tracer, std::string name);
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void set_attribute(std::string key, std::string value);
+
+  /// Stamps the end cycle and hands the record to the tracer. Idempotent.
+  void end();
+
+  std::uint64_t id() const { return rec_.span_id; }
+
+ private:
+  Tracer* tracer_;  // null when inert or already ended
+  SpanRecord rec_;
+};
+
+}  // namespace securecloud::obs

@@ -83,11 +83,13 @@ void BrokerOverlay::propagate(BrokerId from, BrokerId to, SubscriptionId id,
   for (const auto& entry : entries) {
     if (entry.filter.covers(filter)) {
       ++stats_.subscriptions_suppressed;
+      obs_inc(obs_suppressed_);
       return;  // neighbour already receives a superset: stop here
     }
   }
 
   ++stats_.subscriptions_forwarded;
+  obs_inc(obs_forwarded_);
   entries.push_back({id, filter});
 
   // Forward onward (split horizon: never back toward `from`).
@@ -163,6 +165,7 @@ void BrokerOverlay::route(BrokerId at, BrokerId came_from, const Event& event,
     if (filter.matches(event)) {
       out.push_back(id);
       ++stats_.deliveries;
+      obs_inc(obs_deliveries_);
     }
   }
 
@@ -183,6 +186,7 @@ void BrokerOverlay::route(BrokerId at, BrokerId came_from, const Event& event,
     }
     if (interested) {
       ++stats_.publication_hops;
+      obs_inc(obs_hops_);
       route(next, at, event, out);
     }
   }
@@ -195,6 +199,17 @@ Result<std::vector<SubscriptionId>> BrokerOverlay::publish(BrokerId broker,
   std::vector<SubscriptionId> out;
   route(broker, static_cast<BrokerId>(-1), event, out);
   return out;
+}
+
+void BrokerOverlay::set_obs(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_forwarded_ = obs_suppressed_ = obs_hops_ = obs_deliveries_ = nullptr;
+    return;
+  }
+  obs_forwarded_ = &registry->counter("scbr_overlay_subscriptions_forwarded_total");
+  obs_suppressed_ = &registry->counter("scbr_overlay_subscriptions_suppressed_total");
+  obs_hops_ = &registry->counter("scbr_overlay_publication_hops_total");
+  obs_deliveries_ = &registry->counter("scbr_overlay_deliveries_total");
 }
 
 std::size_t BrokerOverlay::remote_entries(BrokerId broker) const {

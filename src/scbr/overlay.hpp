@@ -24,6 +24,7 @@
 #include <map>
 #include <set>
 
+#include "obs/registry.hpp"
 #include "scbr/poset_engine.hpp"
 
 namespace securecloud::scbr {
@@ -68,6 +69,10 @@ class BrokerOverlay {
   const OverlayStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Mirrors OverlayStats into `scbr_overlay_*` metrics. Routing is a
+  /// serial recursion, so every bump site is deterministic.
+  void set_obs(obs::Registry* registry);
+
   /// Routing-table sizes (for the covering-efficiency benchmarks):
   /// number of remote filter entries broker `b` holds per neighbour link.
   std::size_t remote_entries(BrokerId broker) const;
@@ -98,10 +103,20 @@ class BrokerOverlay {
   std::vector<std::pair<SubscriptionId, const Filter*>> advertised(BrokerId at,
                                                                    BrokerId to) const;
 
+  /// Bumps the obs mirror of one OverlayStats field (no-op when unwired).
+  void obs_inc(obs::Counter* counter) {
+    if (counter != nullptr) counter->inc();
+  }
+
   std::vector<Broker> brokers_;
   std::map<SubscriptionId, BrokerId> home_;  // subscription -> home broker
   OverlayStats stats_;
   Status topology_;
+
+  obs::Counter* obs_forwarded_ = nullptr;
+  obs::Counter* obs_suppressed_ = nullptr;
+  obs::Counter* obs_hops_ = nullptr;
+  obs::Counter* obs_deliveries_ = nullptr;
 };
 
 }  // namespace securecloud::scbr

@@ -82,6 +82,7 @@ Status ScbrRouter::check_freshness(const std::string& client, ByteView wire) {
   auto& last = last_counter_[{client, domain}];
   if (counter <= last) {
     ++metrics_.replays_blocked;
+    if (obs_replays_blocked_ != nullptr) obs_replays_blocked_->inc();
     return Error::protocol("stale message counter (replay detected)");
   }
   last = counter;
@@ -119,6 +120,7 @@ Result<SubscriptionId> ScbrRouter::subscribe(const std::string& client, ByteView
   auto plain = gcm.open_combined(to_bytes("sub:" + client), wire);
   if (!plain.ok()) {
     ++metrics_.auth_failures;
+    if (obs_auth_failures_ != nullptr) obs_auth_failures_->inc();
     return Error::integrity("subscription failed authentication for " + client);
   }
   auto filter = Filter::deserialize(*plain);
@@ -126,6 +128,7 @@ Result<SubscriptionId> ScbrRouter::subscribe(const std::string& client, ByteView
 
   const SubscriptionId id = next_id_++;
   ++metrics_.subscriptions;
+  if (obs_subscriptions_ != nullptr) obs_subscriptions_->inc();
   Filter parsed = std::move(filter).value();
   engine_->subscribe(id, parsed);
   subscriptions_[id] = Subscription{client, std::move(parsed)};
@@ -165,6 +168,9 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
     std::optional<Error> error;
     bool auth_failure = false;
   };
+  obs::Span batch_span(tracer_, "scbr.publish_batch");
+  batch_span.set_attribute("batch_size", std::to_string(batch.size()));
+
   std::vector<Work> work(batch.size());
   std::vector<Result<std::vector<Delivery>>> results;
   results.reserve(batch.size());
@@ -256,12 +262,16 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
     Work& w = work[i];
     if (!w.admitted) continue;
     if (w.error) {
-      if (w.auth_failure) ++metrics_.auth_failures;
+      if (w.auth_failure) {
+        ++metrics_.auth_failures;
+        if (obs_auth_failures_ != nullptr) obs_auth_failures_->inc();
+      }
       results[i] = *std::move(w.error);
       continue;
     }
     engine_->apply_trace(w.trace);
     ++metrics_.publications;
+    if (obs_publications_ != nullptr) obs_publications_->inc();
     for (const SubscriptionId id : w.matched) {
       const std::string& owner = subscriptions_.at(id).owner;
       pending.push_back({i, id, &owner, &w.payload, ++delivery_counter_});
@@ -285,12 +295,27 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
     deliveries[p.publication].push_back({*p.owner, p.id, std::move(wires[d])});
     ++metrics_.deliveries;
   }
+  if (obs_deliveries_ != nullptr) obs_deliveries_->inc(pending.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (work[i].admitted && !work[i].error) {
       results[i] = std::move(deliveries[i]);
     }
   }
   return results;
+}
+
+void ScbrRouter::set_obs(obs::Registry* registry, obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    obs_publications_ = obs_subscriptions_ = obs_deliveries_ = nullptr;
+    obs_auth_failures_ = obs_replays_blocked_ = nullptr;
+    return;
+  }
+  obs_publications_ = &registry->counter("scbr_publications_total");
+  obs_subscriptions_ = &registry->counter("scbr_subscriptions_total");
+  obs_deliveries_ = &registry->counter("scbr_deliveries_total");
+  obs_auth_failures_ = &registry->counter("scbr_auth_failures_total");
+  obs_replays_blocked_ = &registry->counter("scbr_replays_blocked_total");
 }
 
 Bytes ScbrRouter::seal_state() const {

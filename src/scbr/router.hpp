@@ -28,6 +28,8 @@
 #include "crypto/ed25519.hpp"
 #include "crypto/entropy.hpp"
 #include "crypto/gcm.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "scbr/engine.hpp"
 #include "sgx/attestation.hpp"
 #include "sgx/enclave.hpp"
@@ -138,6 +140,12 @@ class ScbrRouter {
 
   const RouterMetrics& metrics() const { return metrics_; }
 
+  /// Mirrors RouterMetrics into `scbr_*` metrics; with a tracer, each
+  /// publish_batch emits a scbr.publish_batch span. Every RouterMetrics
+  /// bump site is in a serial phase of publish_batch (or in subscribe),
+  /// so mirrored counters stay bit-identical across thread counts.
+  void set_obs(obs::Registry* registry, obs::Tracer* tracer = nullptr);
+
   /// Persists the subscription table, sealed to this router's enclave
   /// identity (MRENCLAVE policy): after a restart the *same* router build
   /// on the same platform restores it without re-collecting subscriptions.
@@ -164,6 +172,13 @@ class ScbrRouter {
   std::uint64_t delivery_counter_ = 0;
   bool provisioned_ = false;
   RouterMetrics metrics_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* obs_publications_ = nullptr;
+  obs::Counter* obs_subscriptions_ = nullptr;
+  obs::Counter* obs_deliveries_ = nullptr;
+  obs::Counter* obs_auth_failures_ = nullptr;
+  obs::Counter* obs_replays_blocked_ = nullptr;
 };
 
 }  // namespace securecloud::scbr

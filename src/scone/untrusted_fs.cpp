@@ -4,6 +4,13 @@ namespace securecloud::scone {
 
 Status UntrustedFileSystem::write_file(const std::string& path, ByteView content) {
   if (path.empty()) return Error::invalid_argument("empty path");
+  if (faults_ != nullptr && faults_->should_fire(common::FaultKind::kIoError)) {
+    // Torn write: the old content is already gone and only half the new
+    // bytes landed before the "failure" — the worst case a caller that
+    // overwrites in place must survive.
+    files_[path] = Bytes(content.begin(), content.begin() + content.size() / 2);
+    return Error::unavailable("I/O error writing " + path);
+  }
   files_[path] = Bytes(content.begin(), content.end());
   return {};
 }
@@ -19,6 +26,9 @@ bool UntrustedFileSystem::exists(const std::string& path) const {
 }
 
 Status UntrustedFileSystem::remove(const std::string& path) {
+  if (faults_ != nullptr && faults_->should_fire(common::FaultKind::kIoError)) {
+    return Error::unavailable("I/O error removing " + path);
+  }
   if (files_.erase(path) == 0) return Error::not_found("no such file: " + path);
   return {};
 }

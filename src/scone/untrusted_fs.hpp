@@ -12,12 +12,20 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/fault_injector.hpp"
 #include "common/result.hpp"
 
 namespace securecloud::scone {
 
 class UntrustedFileSystem {
  public:
+  /// Routes write_file/remove through `injector`'s kIoError stream. A
+  /// fired write fault models a *torn* write — the target ends up holding
+  /// a truncated copy of the new content (a power cut mid-write, the
+  /// classic host-side failure) — and returns kUnavailable. A fired
+  /// remove fault leaves the file in place and returns kUnavailable.
+  void set_fault_injector(common::FaultInjector* injector) { faults_ = injector; }
+
   Status write_file(const std::string& path, ByteView content);
   Result<Bytes> read_file(const std::string& path) const;
   bool exists(const std::string& path) const;
@@ -40,6 +48,7 @@ class UntrustedFileSystem {
 
  private:
   std::map<std::string, Bytes> files_;
+  common::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace securecloud::scone

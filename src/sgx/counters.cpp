@@ -49,10 +49,11 @@ VersionedSealedState::VersionedSealedState(const Enclave& enclave,
       counters_(counters),
       counter_id_(counters.create(enclave.mrenclave())) {}
 
-Bytes VersionedSealedState::persist(ByteView state) {
+Result<Bytes> VersionedSealedState::persist(ByteView state) {
   const auto version = counters_.increment(enclave_.mrenclave(), counter_id_);
+  if (!version.ok()) return version.error();
   Bytes payload;
-  put_u64(payload, version.value_or(0));
+  put_u64(payload, *version);
   put_blob(payload, state);
   return enclave_.seal(payload, SealPolicy::kMrEnclave);
 }

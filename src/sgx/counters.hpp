@@ -57,8 +57,9 @@ class VersionedSealedState {
   VersionedSealedState(const class Enclave& enclave, MonotonicCounterService& counters);
 
   /// Seals `state`, advancing the counter. Returns the blob to store on
-  /// untrusted media.
-  Bytes persist(ByteView state);
+  /// untrusted media. Fails if the counter cannot be advanced: sealing
+  /// anyway would record a bogus version and defeat rollback detection.
+  Result<Bytes> persist(ByteView state);
 
   /// Restores the latest persisted state; detects stale blobs.
   Result<Bytes> restore(ByteView blob) const;

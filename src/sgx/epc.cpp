@@ -8,6 +8,7 @@ EpcManager::EpcManager(const CostModel& cost, SimClock& clock)
 bool EpcManager::touch(std::uint64_t vaddr, bool write) {
   const std::uint64_t page = vaddr / cost_.page_size;
   ++stats_.accesses;
+  if (obs_accesses_ != nullptr) obs_accesses_->inc();
   last_evicted_.clear();
 
   auto it = map_.find(page);
@@ -20,6 +21,7 @@ bool EpcManager::touch(std::uint64_t vaddr, bool write) {
 
   // Page fault: make room, then load.
   ++stats_.faults;
+  if (obs_faults_ != nullptr) obs_faults_->inc();
   clock_.advance_cycles(cost_.epc_fault_cycles);
 
   while (map_.size() >= capacity_pages_) {
@@ -28,16 +30,34 @@ bool EpcManager::touch(std::uint64_t vaddr, bool write) {
     auto vit = map_.find(victim);
     if (vit->second.dirty) {
       ++stats_.dirty_writebacks;
+      if (obs_writebacks_ != nullptr) obs_writebacks_->inc();
       clock_.advance_cycles(cost_.epc_writeback_cycles);
     }
     map_.erase(vit);
     ++stats_.evictions;
+    if (obs_evictions_ != nullptr) obs_evictions_->inc();
     last_evicted_.push_back(victim);
   }
 
   lru_.push_front(page);
   map_.emplace(page, PageInfo{lru_.begin(), write});
+  if (obs_resident_ != nullptr) {
+    obs_resident_->set(static_cast<std::int64_t>(map_.size()));
+  }
   return true;
+}
+
+void EpcManager::set_obs(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_accesses_ = obs_faults_ = obs_evictions_ = obs_writebacks_ = nullptr;
+    obs_resident_ = nullptr;
+    return;
+  }
+  obs_accesses_ = &registry->counter("sgx_epc_accesses_total");
+  obs_faults_ = &registry->counter("sgx_epc_faults_total");
+  obs_evictions_ = &registry->counter("sgx_epc_evictions_total");
+  obs_writebacks_ = &registry->counter("sgx_epc_dirty_writebacks_total");
+  obs_resident_ = &registry->gauge("sgx_epc_resident_pages");
 }
 
 void EpcManager::remove_range(std::uint64_t base, std::uint64_t len) {

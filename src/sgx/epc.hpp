@@ -21,6 +21,7 @@
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "common/sim_clock.hpp"
+#include "obs/registry.hpp"
 #include "sgx/cost_model.hpp"
 #include "crypto/gcm.hpp"
 
@@ -61,6 +62,10 @@ class EpcManager {
   /// (cache model, page store) react to these.
   const std::vector<std::uint64_t>& last_evicted() const { return last_evicted_; }
 
+  /// Mirrors EpcStats into `sgx_epc_*` metrics (EPC pressure is exactly
+  /// what an SGX-aware scheduler wants exported — Vaucher et al., 2018).
+  void set_obs(obs::Registry* registry);
+
  private:
   const CostModel& cost_;
   SimClock& clock_;
@@ -74,6 +79,12 @@ class EpcManager {
   std::unordered_map<std::uint64_t, PageInfo> map_;
   EpcStats stats_;
   std::vector<std::uint64_t> last_evicted_;
+
+  obs::Counter* obs_accesses_ = nullptr;
+  obs::Counter* obs_faults_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+  obs::Counter* obs_writebacks_ = nullptr;
+  obs::Gauge* obs_resident_ = nullptr;
 };
 
 /// Real encrypt-on-evict page store (EWB/ELDU semantics).

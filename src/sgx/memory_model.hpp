@@ -75,6 +75,9 @@ class EnclaveMemory final : public MemoryModel {
   const EpcStats& epc_stats() const { return epc_.stats(); }
   EpcManager& epc() { return epc_; }
 
+  /// Forwards to the EPC manager (`sgx_epc_*` metrics).
+  void set_obs(obs::Registry* registry) { epc_.set_obs(registry); }
+
  private:
   const CostModel& cost_;
   SimClock& clock_;

@@ -56,6 +56,9 @@ class Platform {
   EnclaveMemory& memory() { return *memory_; }
   crypto::EntropySource& entropy() { return entropy_; }
 
+  /// Exports the platform's EPC pressure as `sgx_epc_*` metrics.
+  void set_obs(obs::Registry* registry) { memory_->set_obs(registry); }
+
   // Used by Enclave for sealing/report generation.
   ByteView sealing_root_key() const { return sealing_root_key_; }
   ByteView report_key() const { return report_key_; }

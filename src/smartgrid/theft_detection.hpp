@@ -45,6 +45,11 @@ class TheftDetector {
   /// across `pool`; results are identical at any thread count.
   void set_pool(common::ThreadPool* pool) { mapreduce_.set_pool(pool); }
 
+  /// Forwards to the underlying map/reduce engine's set_obs.
+  void set_obs(obs::Registry* registry, obs::Tracer* tracer = nullptr) {
+    mapreduce_.set_obs(registry, tracer);
+  }
+
   /// Encrypts the fleet's readings into job partitions (data-owner side).
   std::vector<std::vector<Bytes>> prepare_partitions(const MeterFleet& fleet,
                                                      std::size_t partitions);

@@ -6,6 +6,7 @@
 #include "bigdata/kvstore.hpp"
 #include "bigdata/mapreduce.hpp"
 #include "bigdata/transfer.hpp"
+#include "common/fault_injector.hpp"
 
 namespace securecloud::bigdata {
 namespace {
@@ -68,16 +69,63 @@ TEST(KvStore, DetectsRollback) {
   ASSERT_TRUE(fx.store.put("k", to_bytes("v1")).ok());
   // Attacker snapshots the v1 blob.
   Bytes snapshot;
-  std::string path;
-  for (const auto& p : fx.storage.list()) {
-    path = p;
-    snapshot = *fx.storage.raw(p);
-  }
+  for (const auto& p : fx.storage.list()) snapshot = *fx.storage.raw(p);
   ASSERT_TRUE(fx.store.put("k", to_bytes("v2")).ok());
-  *fx.storage.raw(path) = snapshot;  // replay v1
+  // Replay v1 over whatever the store currently references (puts write
+  // versioned paths, so the stale blob must be planted at the live one).
+  for (const auto& p : fx.storage.list()) *fx.storage.raw(p) = snapshot;
   auto v = fx.store.get("k");
   ASSERT_FALSE(v.ok());
   EXPECT_EQ(v.error().code, ErrorCode::kIntegrityViolation);
+}
+
+// Regression: a torn/failed storage write used to leave the half-written
+// blob at the committed path, so the *next get()* of the old value blew
+// up as a spurious kIntegrityViolation. Write-then-commit keeps the
+// committed version untouched and reports the failure distinctly.
+TEST(KvStore, FailedWriteKeepsCommittedValueReadable) {
+  KvFixture fx;
+  common::FaultInjector faults(42);
+  fx.storage.set_fault_injector(&faults);
+
+  ASSERT_TRUE(fx.store.put("k", to_bytes("v1")).ok());
+
+  faults.arm(common::FaultKind::kIoError,
+             common::FaultArm{.probability = 1.0, .max_fires = 1});
+  auto failed = fx.store.put("k", to_bytes("v2 that never lands"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, ErrorCode::kUnavailable);
+  EXPECT_NE(failed.error().message.find("storage write failed"), std::string::npos)
+      << "failure must be reported as a write failure, not an integrity violation";
+
+  // The committed value is fully intact — not torn, not gone.
+  auto v = fx.store.get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(to_string(*v), "v1");
+
+  // Once the fault clears, the overwrite goes through normally.
+  ASSERT_TRUE(fx.store.put("k", to_bytes("v2")).ok());
+  auto v2 = fx.store.get("k");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(to_string(*v2), "v2");
+}
+
+// A failed storage delete during remove() stays best-effort (the index
+// entry is gone either way) but is now counted instead of vanishing.
+TEST(KvStore, FailedStorageRemoveIsCounted) {
+  KvFixture fx;
+  common::FaultInjector faults(42);
+  fx.storage.set_fault_injector(&faults);
+  obs::Registry registry;
+  fx.store.set_obs(&registry);
+
+  ASSERT_TRUE(fx.store.put("k", to_bytes("v")).ok());
+  faults.arm(common::FaultKind::kIoError,
+             common::FaultArm{.probability = 1.0, .max_fires = 1});
+  ASSERT_TRUE(fx.store.remove("k").ok());
+  EXPECT_FALSE(fx.store.contains("k"));
+  EXPECT_EQ(registry.snapshot().counters.at("kvstore_storage_remove_failures_total"),
+            1u);
 }
 
 TEST(KvStore, DetectsCrossKeySwap) {

@@ -381,6 +381,60 @@ TEST(Monitor, ProfilesAndBilling) {
   EXPECT_EQ(monitor.profile("ghost").samples, 0u);
 }
 
+// Regression: the monitor used to keep every raw sample forever (and
+// recompute profiles by replaying them). Retention now bounds the raw
+// window while the running aggregates keep profile() and billing covering
+// the full history, bit-identical to an unbounded monitor.
+TEST(Monitor, RetentionBoundsWindowWithoutChangingAggregates) {
+  ContainerMonitor bounded, unbounded;
+  bounded.set_retention(64);
+  unbounded.set_retention(100'000);
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    const ResourceSample sample{.at_cycles = i * 100,
+                                .cpu_cycles = 10 + (i % 7),
+                                .mem_bytes = 1000 + (i % 13) * 100,
+                                .io_bytes = i % 3};
+    bounded.record("c", sample);
+    unbounded.record("c", sample);
+  }
+
+  // Raw window is bounded (amortized trim: transiently up to 2x).
+  const auto* window = bounded.samples("c");
+  ASSERT_NE(window, nullptr);
+  EXPECT_LE(window->size(), 128u);
+  EXPECT_GE(window->size(), 64u);
+  // Newest samples survive, oldest are the ones dropped.
+  EXPECT_EQ(window->back().at_cycles, 999u * 100);
+
+  // Aggregates cover all 1000 samples and match the unbounded monitor
+  // exactly — same doubles, accumulated in the same arrival order.
+  const auto pb = bounded.profile("c");
+  const auto pu = unbounded.profile("c");
+  EXPECT_EQ(pb.samples, 1'000u);
+  EXPECT_EQ(pb.avg_cpu_cycles_per_sample, pu.avg_cpu_cycles_per_sample);
+  EXPECT_EQ(pb.avg_mem_bytes, pu.avg_mem_bytes);
+  EXPECT_EQ(pb.peak_mem_bytes, pu.peak_mem_bytes);
+  EXPECT_EQ(pb.avg_io_bytes_per_sample, pu.avg_io_bytes_per_sample);
+  EXPECT_EQ(bounded.billing_report().at("c"), unbounded.billing_report().at("c"));
+
+  // set_retention(0) clamps to 1 rather than keeping nothing.
+  ContainerMonitor clamp;
+  clamp.set_retention(0);
+  EXPECT_EQ(clamp.retention(), 1u);
+}
+
+TEST(Monitor, ObsCountersMirrorIngestion) {
+  obs::Registry registry;
+  ContainerMonitor monitor;
+  monitor.set_obs(&registry);
+  monitor.record("a", {.at_cycles = 1, .cpu_cycles = 5, .mem_bytes = 10, .io_bytes = 0});
+  monitor.record("b", {.at_cycles = 2, .cpu_cycles = 7, .mem_bytes = 10, .io_bytes = 0});
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("container_samples_total"), 2u);
+  EXPECT_EQ(snap.counters.at("container_cpu_cycles_total"), 12u);
+  EXPECT_EQ(snap.gauges.at("container_tracked"), 2);
+}
+
 TEST(Monitor, SecureRunsAreAccounted) {
   SecureFixture fx;
   auto manifest = fx.client.build_secure_image(fx.spec("svc"), fx.config);

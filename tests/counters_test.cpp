@@ -66,8 +66,9 @@ TEST(VersionedSealedState, PersistRestoreRoundTrip) {
   ASSERT_TRUE(enclave.ok());
   VersionedSealedState state(**enclave, counters);
 
-  const Bytes blob = state.persist(to_bytes("generation-1"));
-  auto restored = state.restore(blob);
+  auto blob = state.persist(to_bytes("generation-1"));
+  ASSERT_TRUE(blob.ok());
+  auto restored = state.restore(*blob);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(to_string(*restored), "generation-1");
 }
@@ -79,13 +80,14 @@ TEST(VersionedSealedState, DetectsRollbackToOldSnapshot) {
   ASSERT_TRUE(enclave.ok());
   VersionedSealedState state(**enclave, counters);
 
-  const Bytes old_blob = state.persist(to_bytes("generation-1"));
-  const Bytes new_blob = state.persist(to_bytes("generation-2"));
+  auto old_blob = state.persist(to_bytes("generation-1"));
+  auto new_blob = state.persist(to_bytes("generation-2"));
+  ASSERT_TRUE(old_blob.ok() && new_blob.ok());
 
   // The current snapshot restores; the old (validly sealed!) one is
   // rejected as a rollback.
-  ASSERT_TRUE(state.restore(new_blob).ok());
-  auto rollback = state.restore(old_blob);
+  ASSERT_TRUE(state.restore(*new_blob).ok());
+  auto rollback = state.restore(*old_blob);
   ASSERT_FALSE(rollback.ok());
   EXPECT_EQ(rollback.error().code, ErrorCode::kProtocolError);
 }
@@ -96,9 +98,29 @@ TEST(VersionedSealedState, TamperedBlobRejected) {
   auto enclave = platform.create_enclave(image_named("svc"));
   ASSERT_TRUE(enclave.ok());
   VersionedSealedState state(**enclave, counters);
-  Bytes blob = state.persist(to_bytes("data"));
+  auto persisted = state.persist(to_bytes("data"));
+  ASSERT_TRUE(persisted.ok());
+  Bytes blob = std::move(persisted).value();
   blob[blob.size() / 2] ^= 1;
   EXPECT_FALSE(state.restore(blob).ok());
+}
+
+TEST(VersionedSealedState, PersistFailsWhenCounterGone) {
+  // Regression: a failed counter increment must surface, not silently
+  // seal version 0 (which would restore "successfully" after destroying
+  // the real counter — exactly the rollback hole the class closes).
+  Platform platform;
+  MonotonicCounterService counters;
+  auto enclave = platform.create_enclave(image_named("svc"));
+  ASSERT_TRUE(enclave.ok());
+  VersionedSealedState state(**enclave, counters);
+
+  // The platform "loses" the counter (e.g. TPM reset / host interference).
+  ASSERT_TRUE(counters.destroy((*enclave)->mrenclave(), 0).ok());
+
+  auto blob = state.persist(to_bytes("generation-1"));
+  ASSERT_FALSE(blob.ok());
+  EXPECT_EQ(blob.error().code, ErrorCode::kNotFound);
 }
 
 // ------------------------------------------------------- LocalAttestation

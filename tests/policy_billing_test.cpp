@@ -270,12 +270,14 @@ TEST(RouterPersistence, MonotonicCounterDefeatsSnapshotRollback) {
   f.where("x", scbr::Op::kGe, scbr::Value::of(std::int64_t{0}));
   ASSERT_TRUE(router.subscribe("bob", encrypt_subscription(bob, f, 1)).ok());
   // Snapshot v1 (one subscription), then v2 (two).
-  const Bytes v1 = state.persist(router.seal_state());
+  auto v1 = state.persist(router.seal_state());
+  ASSERT_TRUE(v1.ok());
   ASSERT_TRUE(router.subscribe("bob", encrypt_subscription(bob, f, 2)).ok());
-  const Bytes v2 = state.persist(router.seal_state());
+  auto v2 = state.persist(router.seal_state());
+  ASSERT_TRUE(v2.ok());
 
   // Restart from the current snapshot: works.
-  auto current = state.restore(v2);
+  auto current = state.restore(*v2);
   ASSERT_TRUE(current.ok());
   scbr::ScbrRouter restarted(*fx.enclave, std::make_unique<scbr::PosetEngine>());
   ASSERT_TRUE(restarted.provision(fx.keys).ok());
@@ -284,7 +286,7 @@ TEST(RouterPersistence, MonotonicCounterDefeatsSnapshotRollback) {
 
   // Restart from the stale snapshot: the counter exposes the rollback
   // (plain seal_state alone could not — v1 still unseals fine).
-  auto rollback = state.restore(v1);
+  auto rollback = state.restore(*v1);
   ASSERT_FALSE(rollback.ok());
   EXPECT_EQ(rollback.error().code, ErrorCode::kProtocolError);
 }

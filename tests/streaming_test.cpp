@@ -79,6 +79,43 @@ TEST(Streaming, TooLateEventsDropped) {
   EXPECT_DOUBLE_EQ(total, 3);
 }
 
+TEST(Streaming, ZeroWindowSizeClampedToOne) {
+  // Regression: window_size_s == 0 used to divide by zero in window_of()
+  // on the first observe. Clamped to 1: every second its own window.
+  Collector collector;
+  TumblingWindowAggregator agg(0, 0, collector.emit());
+  agg.observe("m1", 10, 5);
+  agg.observe("m1", 11, 7);  // closes [10,11)
+  ASSERT_EQ(collector.results.size(), 1u);
+  EXPECT_EQ(collector.results[0].window_start_s, 10u);
+  EXPECT_EQ(collector.results[0].window_end_s, 11u);
+  EXPECT_DOUBLE_EQ(collector.results[0].sum, 5);
+  agg.flush();
+  ASSERT_EQ(collector.results.size(), 2u);
+  EXPECT_DOUBLE_EQ(collector.results[1].sum, 7);
+}
+
+TEST(Streaming, EventExactlyAtGraceBoundaryDropped) {
+  // Boundary: with window [0,60) and lateness 30, an event for that
+  // window is dropped exactly when watermark >= 90 — an event arriving
+  // when watermark == window + size + lateness is one tick too late.
+  Collector collector;
+  TumblingWindowAggregator agg(60, 30, collector.emit());
+  agg.observe("m1", 10, 1);
+  agg.observe("m1", 89, 2);  // watermark 89: [0,60) still within grace
+  agg.observe("m1", 50, 3);  // accepted into [0,60)
+  EXPECT_EQ(agg.late_dropped(), 0u);
+  EXPECT_TRUE(collector.results.empty());
+
+  agg.observe("m1", 90, 4);  // watermark 90 == 0+60+30: closes [0,60)
+  ASSERT_EQ(collector.results.size(), 1u);
+  EXPECT_EQ(collector.results[0].count, 2u);  // t=10 and t=50
+
+  agg.observe("m1", 55, 5);  // same window, exactly at the boundary: dropped
+  EXPECT_EQ(agg.late_dropped(), 1u);
+  ASSERT_EQ(collector.results.size(), 1u);  // nothing re-emitted
+}
+
 TEST(Streaming, KeysAggregateIndependently) {
   Collector collector;
   TumblingWindowAggregator agg(60, 0, collector.emit());
