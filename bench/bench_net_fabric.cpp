@@ -1,0 +1,150 @@
+// Cluster fabric — event throughput and distributed MapReduce scaling.
+//
+// Part 1: raw fabric message rate (one lossless link, 512 B messages)
+// — how fast the discrete-event loop dispatches, plus the simulated
+// network time those messages charged.
+// Part 2: the distributed MapReduce driver over clusters of 1/2/4/8
+// workers: same encrypted word-count job per cluster size, reporting
+// wall seconds, simulated milliseconds (latency + serialization across
+// the mesh plus enclave compute), and shuffle traffic. More workers
+// shrink per-worker map work but add shuffle hops — the classic
+// distributed-job trade the paper's evaluation sweeps.
+//
+// Last line: one securecloud.bench.v1 record (CI's bench smoke step
+// validates its shape).
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench_json.hpp"
+#include "bigdata/distributed_mapreduce.hpp"
+#include "common/sim_clock.hpp"
+#include "net/fabric.hpp"
+#include "obs/registry.hpp"
+#include "sgx/attestation.hpp"
+
+namespace {
+
+using namespace securecloud;
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void bench_message_rate() {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  (void)fabric.connect(a, b);
+  std::uint64_t received = 0;
+  (void)fabric.set_handler(b, 1, [&](const net::Message&) { ++received; });
+
+  constexpr std::size_t kMessages = 50'000;
+  const Bytes payload(512, 0xA5);
+  const double secs = wall_seconds([&] {
+    for (std::size_t i = 0; i < kMessages; ++i) {
+      (void)fabric.send(a, b, 1, payload);
+    }
+    fabric.run_until_idle();
+  });
+
+  std::printf(
+      "{\"bench\":\"net_fabric_rate\",\"messages\":%zu,\"seconds\":%.4f,"
+      "\"msgs_per_sec\":%.0f,\"sim_ms\":%.3f}\n",
+      kMessages, secs, static_cast<double>(received) / secs,
+      static_cast<double>(fabric.now_ns()) / 1e6);
+}
+
+std::vector<std::vector<Bytes>> synth_partitions(std::size_t partitions,
+                                                 std::size_t records_each) {
+  std::vector<std::vector<Bytes>> out(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    for (std::size_t r = 0; r < records_each; ++r) {
+      std::string line;
+      for (int w = 0; w < 8; ++w) {
+        line += "word" + std::to_string((p * 131 + r * 17 + w * 7) % 64) + " ";
+      }
+      out[p].push_back(Bytes(line.begin(), line.end()));
+    }
+  }
+  return out;
+}
+
+void bench_cluster_scaling() {
+  const auto partitions = synth_partitions(32, 30);
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SimClock clock;
+    net::Fabric fabric(clock);
+    obs::Registry registry;
+    fabric.set_obs(&registry);
+    sgx::AttestationService service;
+
+    bigdata::DistributedMapReduceConfig config;
+    config.num_workers = workers;
+    config.num_reducers = 8;
+    config.enable_combiner = true;
+    bigdata::DistributedMapReduce driver(fabric, config);
+    driver.set_obs(&registry);
+    if (Status s = driver.setup(service); !s.ok()) {
+      std::printf("{\"bench\":\"net_fabric_cluster\",\"error\":\"%s\"}\n",
+                  s.error().message.c_str());
+      return;
+    }
+
+    std::vector<std::vector<Bytes>> encrypted;
+    for (const auto& p : partitions) encrypted.push_back(driver.encrypt_partition(p));
+
+    bigdata::JobResult result;
+    const double secs = wall_seconds([&] {
+      auto run = driver.run(
+          encrypted,
+          [](ByteView record) {
+            std::vector<bigdata::KeyValue> pairs;
+            std::size_t start = 0;
+            const std::string text(record.begin(), record.end());
+            while (start < text.size()) {
+              const std::size_t end = text.find(' ', start);
+              const std::size_t stop = end == std::string::npos ? text.size() : end;
+              if (stop > start) pairs.push_back({text.substr(start, stop - start), 1.0});
+              start = stop + 1;
+            }
+            return pairs;
+          },
+          [](const std::string&, const std::vector<double>& values) {
+            double total = 0;
+            for (double v : values) total += v;
+            return total;
+          });
+      if (run.ok()) result = std::move(*run);
+    });
+
+    std::printf(
+        "{\"bench\":\"net_fabric_cluster\",\"workers\":%zu,\"seconds\":%.4f,"
+        "\"sim_ms\":%.3f,\"distinct_keys\":%zu,\"input_records\":%zu,"
+        "\"shuffle_bytes\":%zu,\"net_messages\":%llu}\n",
+        workers, secs,
+        static_cast<double>(result.stats.simulated_cycles) /
+            (clock.frequency_ghz() * 1e9) * 1e3,
+        result.output.size(), result.stats.input_records,
+        result.stats.shuffle_bytes,
+        static_cast<unsigned long long>(fabric.stats().messages_sent));
+
+    if (workers == 8) {
+      // The largest cluster's full registry backs the schema line.
+      benchutil::emit_bench_json("net_fabric", 1, registry);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench_message_rate();
+  bench_cluster_scaling();
+  return 0;
+}

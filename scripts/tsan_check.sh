@@ -4,9 +4,10 @@
 # Configures a second build tree with SECURECLOUD_SANITIZE=thread and
 # runs the thread-pool / parallel-determinism tests (plus the common
 # tests covering SimClock/ClockShard), the SPSC ring hammer, the
-# fault-injection suite, and the obs registry/shard hammer under TSan.
+# fault-injection suite, the obs registry/shard hammer, and the cluster
+# fabric under concurrent enqueue (FabricConcurrency.*) under TSan.
 # Part of the tier-1 flow for changes touching the parallel execution
-# layer, the fault/recovery plane, or the metrics plane.
+# layer, the fault/recovery plane, the metrics plane, or src/net/.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -16,7 +17,7 @@ cmake -B "${build_dir}" -S "${repo_root}" -DSECURECLOUD_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j "$(nproc)" \
       --target test_thread_pool test_common test_scone test_fault_injection \
-      test_obs
+      test_obs test_net
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/test_thread_pool"
@@ -24,4 +25,5 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/test_scone" --gtest_filter='SpscRing.*'
 "${build_dir}/tests/test_fault_injection"
 "${build_dir}/tests/test_obs"
+"${build_dir}/tests/test_net" --gtest_filter='FabricConcurrency.*:Fabric.*'
 echo "TSan clean."

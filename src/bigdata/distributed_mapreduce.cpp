@@ -1,0 +1,621 @@
+#include "bigdata/distributed_mapreduce.hpp"
+
+#include <algorithm>
+
+namespace securecloud::bigdata {
+
+namespace {
+Bytes shuffle_aad(std::size_t reducer) {
+  Bytes aad;
+  put_str(aad, "shuffle");
+  put_u64(aad, reducer);
+  return aad;
+}
+
+Bytes result_aad(std::size_t worker) {
+  Bytes aad;
+  put_str(aad, "result");
+  put_u64(aad, worker);
+  return aad;
+}
+}  // namespace
+
+DistributedMapReduce::DistributedMapReduce(net::Fabric& fabric,
+                                           DistributedMapReduceConfig config)
+    : fabric_(fabric), config_(std::move(config)) {}
+
+DistributedMapReduce::~DistributedMapReduce() = default;
+
+void DistributedMapReduce::set_obs(obs::Registry* registry, obs::Tracer* tracer) {
+  registry_ = registry;
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    obs_jobs_ = obs_job_failures_ = obs_map_tasks_ = obs_shuffle_blocks_ =
+        obs_shuffle_bytes_ = obs_results_ = obs_input_records_ = nullptr;
+  } else {
+    obs_jobs_ = &registry->counter("dist_mapreduce_jobs_total");
+    obs_job_failures_ = &registry->counter("dist_mapreduce_job_failures_total");
+    obs_map_tasks_ = &registry->counter("dist_mapreduce_map_tasks_total");
+    obs_shuffle_blocks_ = &registry->counter("dist_mapreduce_shuffle_blocks_total");
+    obs_shuffle_bytes_ = &registry->counter("dist_mapreduce_shuffle_bytes_total");
+    obs_results_ = &registry->counter("dist_mapreduce_results_total");
+    obs_input_records_ = &registry->counter("dist_mapreduce_input_records_total");
+  }
+  for (auto& session : sessions_) session->set_obs(registry);
+  if (coordinator_flow_) coordinator_flow_->set_obs(registry);
+  for (auto& worker : workers_) {
+    if (worker->session) worker->session->set_obs(registry);
+    if (worker->flow) worker->flow->set_obs(registry);
+  }
+}
+
+Status DistributedMapReduce::setup(sgx::AttestationService& service) {
+  if (ready_) return Error::protocol("cluster already set up");
+  if (config_.num_workers == 0 || config_.num_reducers == 0) {
+    return Error::invalid_argument("need at least one worker and one reducer");
+  }
+
+  // --- topology: coordinator + workers, full mesh ------------------------
+  coordinator_node_ = fabric_.add_node("coordinator");
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = w;
+    worker->node = fabric_.add_node("worker-" + std::to_string(w));
+    workers_.push_back(std::move(worker));
+  }
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    SC_RETURN_IF_ERROR(
+        fabric_.connect(coordinator_node_, workers_[w]->node, config_.link));
+    for (std::size_t v = w + 1; v < config_.num_workers; ++v) {
+      SC_RETURN_IF_ERROR(
+          fabric_.connect(workers_[w]->node, workers_[v]->node, config_.link));
+    }
+  }
+
+  // --- platforms and enclaves --------------------------------------------
+  const sgx::EnclaveImage image = mapreduce_worker_image();
+  sgx::PlatformConfig coordinator_cfg;
+  coordinator_cfg.platform_id = "platform-coordinator";
+  coordinator_cfg.entropy_seed = config_.entropy_seed_base;
+  coordinator_platform_ = std::make_unique<sgx::Platform>(coordinator_cfg);
+  coordinator_platform_->provision(service);
+  auto coordinator_enclave = coordinator_platform_->create_enclave(image);
+  if (!coordinator_enclave.ok()) return coordinator_enclave.error();
+  coordinator_enclave_ = *coordinator_enclave;
+  job_key_ = coordinator_platform_->entropy().bytes(16);
+
+  for (auto& worker : workers_) {
+    sgx::PlatformConfig worker_cfg;
+    worker_cfg.platform_id = "platform-worker-" + std::to_string(worker->index);
+    worker_cfg.entropy_seed = config_.entropy_seed_base + 1 + worker->index;
+    worker->platform = std::make_unique<sgx::Platform>(worker_cfg);
+    worker->platform->provision(service);
+    auto enclave = worker->platform->create_enclave(image);
+    if (!enclave.ok()) return enclave.error();
+    worker->enclave = *enclave;
+  }
+
+  // --- attested sessions --------------------------------------------------
+  // One session per worker, all multiplexed on the coordinator's session
+  // channel; the dispatcher routes by source node. Each side pins the
+  // other's MRENCLAVE to the canonical worker image.
+  SC_RETURN_IF_ERROR(fabric_.set_handler(
+      coordinator_node_, kSessionChannel,
+      [this](const net::Message& m) { coordinator_dispatch(m); }));
+  const sgx::Measurement policy = coordinator_enclave_->mrenclave();
+
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    Worker& worker = *workers_[w];
+    worker.session = std::make_unique<net::AttestedSession>(
+        net::AttestedSession::Role::kResponder,
+        net::AttestedSession::Config{
+            .fabric = &fabric_,
+            .self = worker.node,
+            .peer = coordinator_node_,
+            .channel = kSessionChannel,
+            .enclave = worker.enclave,
+            .platform = worker.platform.get(),
+            .attestation = &service,
+            .expected_peer_mrenclave = policy,
+        });
+    SC_RETURN_IF_ERROR(worker.session->bind());
+    Worker* worker_ptr = &worker;
+    worker.session->set_on_record([this, worker_ptr](Bytes record) {
+      worker_on_record(*worker_ptr, std::move(record));
+    });
+    worker.session->set_obs(registry_);
+
+    sessions_.push_back(std::make_unique<net::AttestedSession>(
+        net::AttestedSession::Role::kInitiator,
+        net::AttestedSession::Config{
+            .fabric = &fabric_,
+            .self = coordinator_node_,
+            .peer = worker.node,
+            .channel = kSessionChannel,
+            .enclave = coordinator_enclave_,
+            .platform = coordinator_platform_.get(),
+            .attestation = &service,
+            .expected_peer_mrenclave = policy,
+        }));
+    sessions_.back()->set_obs(registry_);
+    SC_RETURN_IF_ERROR(establish_session(w));
+  }
+
+  coordinator_flow_ =
+      std::make_unique<FlowNode>(fabric_, coordinator_node_, job_key_, config_.flow);
+  coordinator_flow_->set_on_payload([this](net::NodeId from, Bytes payload) {
+    coordinator_on_flow_payload(from, std::move(payload));
+  });
+  coordinator_flow_->set_obs(registry_);
+
+  ready_ = true;
+  return {};
+}
+
+Status DistributedMapReduce::establish_session(std::size_t w) {
+  net::AttestedSession& initiator = *sessions_[w];
+  net::AttestedSession& responder = *workers_[w]->session;
+  SC_RETURN_IF_ERROR(initiator.start());
+  fabric_.run_until_idle();
+  if (!initiator.established()) {
+    return initiator.failure().ok()
+               ? Error::unavailable("handshake with worker " + std::to_string(w) +
+                                    " did not complete")
+               : initiator.failure().error();
+  }
+  if (!responder.established()) {
+    return responder.failure().ok()
+               ? Error::unavailable("worker " + std::to_string(w) +
+                                    " did not finish the handshake")
+               : responder.failure().error();
+  }
+
+  // Key + layout release through the established channel. The record is
+  // the only place the job key crosses the (simulated) wire, and it is
+  // sealed by the session's AES-GCM channel.
+  Bytes record;
+  put_blob(record, job_key_);
+  put_u64(record, w);
+  put_u64(record, config_.num_workers);
+  put_u64(record, config_.num_reducers);
+  put_u8(record, config_.enable_combiner ? 1 : 0);
+  put_u64(record, coordinator_node_);
+  put_u32(record, static_cast<std::uint32_t>(workers_.size()));
+  for (const auto& peer : workers_) put_u64(record, peer->node);
+  SC_RETURN_IF_ERROR(initiator.send(record));
+  fabric_.run_until_idle();
+  if (!workers_[w]->configured) {
+    return Error::protocol("worker " + std::to_string(w) +
+                           " did not accept the job configuration");
+  }
+  return {};
+}
+
+void DistributedMapReduce::coordinator_dispatch(const net::Message& message) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w]->node == message.src) {
+      sessions_[w]->on_message(message);
+      return;
+    }
+  }
+}
+
+void DistributedMapReduce::worker_on_record(Worker& worker, Bytes record) {
+  ByteReader r(record);
+  std::uint64_t index = 0, num_workers = 0, num_reducers = 0, coordinator = 0;
+  std::uint8_t combiner = 0;
+  std::uint32_t peers = 0;
+  if (!r.get_blob(worker.job_key) || !r.get_u64(index) || !r.get_u64(num_workers) ||
+      !r.get_u64(num_reducers) || !r.get_u8(combiner) || !r.get_u64(coordinator) ||
+      !r.get_u32(peers) || index != worker.index) {
+    worker_fail(worker, Error::protocol("malformed job configuration record"));
+    return;
+  }
+  worker.num_workers = num_workers;
+  worker.num_reducers = num_reducers;
+  worker.combiner = combiner != 0;
+  worker.coordinator_node = static_cast<net::NodeId>(coordinator);
+  worker.worker_nodes.clear();
+  for (std::uint32_t i = 0; i < peers; ++i) {
+    std::uint64_t node = 0;
+    if (!r.get_u64(node)) {
+      worker_fail(worker, Error::protocol("truncated worker node list"));
+      return;
+    }
+    worker.worker_nodes.push_back(static_cast<net::NodeId>(node));
+  }
+  worker.flow =
+      std::make_unique<FlowNode>(fabric_, worker.node, worker.job_key, config_.flow);
+  Worker* worker_ptr = &worker;
+  worker.flow->set_on_payload([this, worker_ptr](net::NodeId from, Bytes payload) {
+    worker_on_flow_payload(*worker_ptr, from, std::move(payload));
+  });
+  worker.flow->set_obs(registry_);
+  worker.configured = true;
+}
+
+void DistributedMapReduce::worker_fail(Worker& worker, Error error) {
+  // In a real deployment the worker would send an abort record to the
+  // coordinator; the simulation short-circuits to the shared driver so
+  // the first failure (in event order — deterministic) wins.
+  if (!job_error_.has_value()) {
+    job_error_ = Error{error.code,
+                       "worker " + std::to_string(worker.index) + ": " + error.message};
+  }
+}
+
+void DistributedMapReduce::worker_on_flow_payload(Worker& worker, net::NodeId from,
+                                                  Bytes payload) {
+  ByteReader r(payload);
+  std::uint8_t type = 0;
+  if (!r.get_u8(type)) return;
+  switch (type) {
+    case kMapTask: {
+      worker_handle_map_task(worker, r);
+      return;
+    }
+    case kShuffle: {
+      std::uint64_t epoch = 0, mapper = 0, reducer = 0;
+      Bytes block;
+      if (!r.get_u64(epoch) || !r.get_u64(mapper) || !r.get_u64(reducer) ||
+          !r.get_blob(block) || !r.done() || mapper >= worker.num_workers) {
+        worker_fail(worker, Error::protocol("malformed shuffle record"));
+        return;
+      }
+      if (epoch < worker.epoch) return;  // stale epoch: drop
+      // A reordering network can deliver a peer's shuffle block before
+      // our own map task for the same epoch — enter the epoch from
+      // whichever message arrives first.
+      worker_begin_epoch(worker, epoch);
+      auto slot = worker.blocks.find(static_cast<std::size_t>(reducer));
+      if (slot == worker.blocks.end()) {
+        worker_fail(worker,
+                    Error::protocol("shuffle block for reducer " +
+                                    std::to_string(reducer) + " not owned here"));
+        return;
+      }
+      if (!slot->second[mapper].empty()) return;  // duplicate delivery
+      slot->second[mapper] = std::move(block);
+      ++worker.received_remote_blocks;
+      worker_maybe_reduce(worker);
+      return;
+    }
+    default:
+      (void)from;
+      return;  // coordinator-bound types have no meaning here
+  }
+}
+
+void DistributedMapReduce::worker_begin_epoch(Worker& worker, std::uint64_t epoch) {
+  // Idempotent per epoch: reached from the worker's own map task OR from
+  // the first shuffle block of that epoch, whichever the (possibly
+  // reordering) network delivers first. Epochs are strictly increasing
+  // and never overlap (run() drains the fabric), so equality suffices.
+  if (worker.epoch == epoch) return;
+  const std::size_t W = worker.num_workers;
+  const std::size_t R = worker.num_reducers;
+  worker.epoch = epoch;
+  worker.owned_reducers.clear();
+  worker.blocks.clear();
+  for (std::size_t r = worker.index; r < R; r += W) {
+    worker.owned_reducers.push_back(r);
+    worker.blocks[r] = std::vector<Bytes>(W);
+  }
+  worker.expected_remote_blocks = (W - 1) * worker.owned_reducers.size();
+  worker.received_remote_blocks = 0;
+  worker.map_done = false;
+  worker.reduced = false;
+}
+
+void DistributedMapReduce::worker_handle_map_task(Worker& worker, ByteReader& reader) {
+  std::uint64_t epoch = 0;
+  std::uint32_t count = 0;
+  if (!reader.get_u64(epoch) || !reader.get_u32(count)) {
+    worker_fail(worker, Error::protocol("malformed map task"));
+    return;
+  }
+  std::vector<Bytes> records(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!reader.get_blob(records[i])) {
+      worker_fail(worker, Error::protocol("truncated map task"));
+      return;
+    }
+  }
+
+  const std::size_t W = worker.num_workers;
+  const std::size_t R = worker.num_reducers;
+  worker_begin_epoch(worker, epoch);
+
+  // Entering the mapper enclave on this worker's platform.
+  worker.platform->clock().advance_cycles(worker.platform->cost().ecall_cycles);
+
+  // Per-record decrypt + map with pre-assigned output slots; bucketing
+  // runs serially afterwards, so thread count cannot perturb pair order.
+  std::vector<std::vector<KeyValue>> mapped(records.size());
+  std::vector<std::uint8_t> failed(records.size(), 0);
+  // The map_fn for this job travels with the coordinator's run() call;
+  // workers see it through the shared driver (simulating code shipped in
+  // the measured enclave image).
+  const MapFn& map_fn = *current_map_fn_;
+  common::run_indexed(pool_, records.size(), [&](std::size_t i) {
+    crypto::AesGcm gcm(worker.job_key);
+    auto plain = gcm.open_combined(to_bytes("record"), records[i]);
+    if (!plain.ok()) {
+      failed[i] = 1;
+      return;
+    }
+    mapped[i] = map_fn(*plain);
+  });
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (failed[i]) {
+      worker_fail(worker, Error::integrity("input record failed authentication"));
+      return;
+    }
+  }
+
+  std::vector<std::vector<KeyValue>> per_reducer(R);
+  for (auto& pairs : mapped) {
+    for (auto& kv : pairs) {
+      per_reducer[reducer_of(kv.key, R)].push_back(std::move(kv));
+    }
+  }
+
+  std::size_t pair_count = 0;
+  for (const auto& bucket : per_reducer) pair_count += bucket.size();
+
+  if (worker.combiner) {
+    const ReduceFn& reduce_fn = *current_reduce_fn_;
+    for (auto& bucket : per_reducer) {
+      std::map<std::string, std::vector<double>> groups;
+      for (auto& kv : bucket) groups[kv.key].push_back(kv.value);
+      bucket.clear();
+      for (auto& [key, values] : groups) {
+        bucket.push_back({key, reduce_fn(key, values)});
+      }
+    }
+  }
+
+  // One sealed block per reducer — *always*, even when empty, so every
+  // owner can count to exactly (W-1) * owned blocks without timing out.
+  crypto::AesGcm gcm(worker.job_key);
+  std::size_t shuffle_bytes = 0;
+  for (std::size_t r = 0; r < R; ++r) {
+    const std::uint64_t counter =
+        epoch * (W * R) + worker.index * R + r + 1;
+    Bytes block =
+        gcm.seal_combined(crypto::nonce_from_counter(counter, kMapReduceShuffleDomain),
+                          shuffle_aad(r), serialize_pairs(per_reducer[r]));
+    const std::size_t owner = r % W;
+    bump(obs_shuffle_blocks_);
+    if (owner == worker.index) {
+      worker.blocks[r][worker.index] = std::move(block);
+    } else {
+      shuffle_bytes += block.size();
+      bump(obs_shuffle_bytes_, block.size());
+      Bytes wire;
+      put_u8(wire, kShuffle);
+      put_u64(wire, epoch);
+      put_u64(wire, worker.index);
+      put_u64(wire, r);
+      put_blob(wire, block);
+      (void)worker.flow->send(worker.worker_nodes[owner], wire);
+    }
+  }
+
+  Bytes done;
+  put_u8(done, kMapDone);
+  put_u64(done, worker.index);
+  put_u64(done, records.size());
+  put_u64(done, pair_count);
+  put_u64(done, shuffle_bytes);
+  put_u64(done, 1);  // enclave transitions for the map task
+  (void)worker.flow->send(worker.coordinator_node, done);
+
+  worker.map_done = true;
+  worker_maybe_reduce(worker);
+}
+
+void DistributedMapReduce::worker_maybe_reduce(Worker& worker) {
+  if (worker.reduced || !worker.map_done ||
+      worker.received_remote_blocks < worker.expected_remote_blocks) {
+    return;
+  }
+  worker.reduced = true;
+
+  // Entering the reducer enclave.
+  worker.platform->clock().advance_cycles(worker.platform->cost().ecall_cycles);
+
+  const ReduceFn& reduce_fn = *current_reduce_fn_;
+  crypto::AesGcm gcm(worker.job_key);
+  Bytes result_plain;
+  put_u64(result_plain, 1);  // enclave transitions for the reduce task
+  put_u32(result_plain, static_cast<std::uint32_t>(worker.owned_reducers.size()));
+  for (const std::size_t r : worker.owned_reducers) {
+    // Mapper-order consumption: block slots are indexed, so arrival
+    // order (loss, reorder, NACK recovery) cannot change value order.
+    std::map<std::string, std::vector<double>> groups;
+    for (std::size_t m = 0; m < worker.num_workers; ++m) {
+      const Bytes& block = worker.blocks[r][m];
+      auto plain = gcm.open_combined(shuffle_aad(r), block);
+      if (!plain.ok()) {
+        worker_fail(worker, Error::integrity("shuffle block failed authentication"));
+        return;
+      }
+      auto pairs = deserialize_pairs(*plain);
+      if (!pairs.ok()) {
+        worker_fail(worker, pairs.error());
+        return;
+      }
+      for (auto& kv : *pairs) groups[kv.key].push_back(kv.value);
+    }
+    std::vector<KeyValue> output;
+    for (auto& [key, values] : groups) {
+      output.push_back({key, reduce_fn(key, values)});
+    }
+    put_u64(result_plain, r);
+    put_blob(result_plain, serialize_pairs(output));
+  }
+
+  const std::uint64_t counter = worker.epoch * worker.num_workers + worker.index + 1;
+  const Bytes sealed =
+      gcm.seal_combined(crypto::nonce_from_counter(counter, kResultDomain),
+                        result_aad(worker.index), result_plain);
+  Bytes wire;
+  put_u8(wire, kResult);
+  put_u64(wire, worker.index);
+  put_blob(wire, sealed);
+  (void)worker.flow->send(worker.coordinator_node, wire);
+}
+
+void DistributedMapReduce::coordinator_on_flow_payload(net::NodeId from,
+                                                       Bytes payload) {
+  ByteReader r(payload);
+  std::uint8_t type = 0;
+  if (!r.get_u8(type)) return;
+  switch (type) {
+    case kMapDone: {
+      std::uint64_t worker = 0, records = 0, pairs = 0, shuffle = 0, transitions = 0;
+      if (!r.get_u64(worker) || !r.get_u64(records) || !r.get_u64(pairs) ||
+          !r.get_u64(shuffle) || !r.get_u64(transitions) || !r.done()) {
+        if (!job_error_) job_error_ = Error::protocol("malformed map-done record");
+        return;
+      }
+      collect_.stats.input_records += records;
+      collect_.stats.intermediate_pairs += pairs;
+      collect_.stats.shuffle_bytes += shuffle;
+      collect_.stats.enclave_transitions += transitions;
+      bump(obs_input_records_, records);
+      ++map_done_count_;
+      return;
+    }
+    case kResult: {
+      std::uint64_t worker = 0;
+      Bytes sealed;
+      if (!r.get_u64(worker) || !r.get_blob(sealed) || !r.done() ||
+          worker >= workers_.size()) {
+        if (!job_error_) job_error_ = Error::protocol("malformed result record");
+        return;
+      }
+      crypto::AesGcm gcm(job_key_);
+      auto plain = gcm.open_combined(result_aad(worker), sealed);
+      if (!plain.ok()) {
+        if (!job_error_) {
+          job_error_ = Error::integrity("result block failed authentication");
+        }
+        return;
+      }
+      ByteReader rr(*plain);
+      std::uint64_t transitions = 0;
+      std::uint32_t reducers = 0;
+      if (!rr.get_u64(transitions) || !rr.get_u32(reducers)) {
+        if (!job_error_) job_error_ = Error::protocol("truncated result block");
+        return;
+      }
+      collect_.stats.enclave_transitions += transitions;
+      for (std::uint32_t i = 0; i < reducers; ++i) {
+        std::uint64_t reducer = 0;
+        Bytes block;
+        if (!rr.get_u64(reducer) || !rr.get_blob(block)) {
+          if (!job_error_) job_error_ = Error::protocol("truncated result block");
+          return;
+        }
+        auto pairs = deserialize_pairs(block);
+        if (!pairs.ok()) {
+          if (!job_error_) job_error_ = pairs.error();
+          return;
+        }
+        // Reducer key spaces are disjoint, so inserts cannot collide.
+        for (auto& kv : *pairs) collect_.output[kv.key] = kv.value;
+      }
+      bump(obs_results_);
+      ++results_count_;
+      (void)from;
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+std::vector<Bytes> DistributedMapReduce::encrypt_partition(
+    const std::vector<Bytes>& records) {
+  const std::uint64_t base = record_counter_;
+  record_counter_ += records.size();
+  crypto::AesGcm gcm(job_key_);
+  std::vector<Bytes> out(records.size());
+  common::run_indexed(pool_, records.size(), [&](std::size_t i) {
+    out[i] =
+        gcm.seal_combined(crypto::nonce_from_counter(base + i + 1, kMapReduceRecordDomain),
+                          to_bytes("record"), records[i]);
+  });
+  return out;
+}
+
+Result<JobResult> DistributedMapReduce::run(
+    const std::vector<std::vector<Bytes>>& encrypted_partitions, const MapFn& map_fn,
+    const ReduceFn& reduce_fn) {
+  if (!ready_) return Error::protocol("setup() has not completed");
+  const auto fail = [this](Error error) -> Error {
+    bump(obs_job_failures_);
+    return error;
+  };
+
+  obs::Span span(tracer_, "dist_mapreduce.job");
+  span.set_attribute("workers", std::to_string(config_.num_workers));
+  span.set_attribute("partitions", std::to_string(encrypted_partitions.size()));
+
+  ++epoch_;
+  collect_ = JobResult{};
+  map_done_count_ = 0;
+  results_count_ = 0;
+  job_error_.reset();
+  current_map_fn_ = &map_fn;
+  current_reduce_fn_ = &reduce_fn;
+
+  const std::size_t W = config_.num_workers;
+  std::vector<std::vector<Bytes>> per_worker(W);
+  for (std::size_t p = 0; p < encrypted_partitions.size(); ++p) {
+    auto& bucket = per_worker[p % W];
+    bucket.insert(bucket.end(), encrypted_partitions[p].begin(),
+                  encrypted_partitions[p].end());
+  }
+
+  const std::uint64_t cycles_before = fabric_.clock().cycles();
+  for (std::size_t w = 0; w < W; ++w) {
+    Bytes task;
+    put_u8(task, kMapTask);
+    put_u64(task, epoch_);
+    put_u32(task, static_cast<std::uint32_t>(per_worker[w].size()));
+    for (const Bytes& record : per_worker[w]) put_blob(task, record);
+    bump(obs_map_tasks_);
+    SC_RETURN_IF_ERROR(coordinator_flow_->send(workers_[w]->node, task));
+  }
+
+  // One serial event loop drives the entire job: task delivery, map
+  // compute, shuffle, NACK recovery timers, reduce, result collection.
+  fabric_.run_until_idle();
+
+  current_map_fn_ = nullptr;
+  current_reduce_fn_ = nullptr;
+
+  if (job_error_.has_value()) return fail(*job_error_);
+  if (results_count_ < W) {
+    // Surface the typed transport failure when one exists (abandoned
+    // gap -> kUnavailable), else a generic incompleteness error.
+    if (Status h = coordinator_flow_->health(); !h.ok()) return fail(h.error());
+    for (const auto& worker : workers_) {
+      if (worker->flow) {
+        if (Status h = worker->flow->health(); !h.ok()) return fail(h.error());
+      }
+    }
+    return fail(Error::unavailable(
+        "job incomplete: " + std::to_string(results_count_) + "/" +
+        std::to_string(W) + " worker results arrived"));
+  }
+
+  collect_.stats.simulated_cycles = fabric_.clock().cycles() - cycles_before;
+  bump(obs_jobs_);
+  return std::move(collect_);
+}
+
+}  // namespace securecloud::bigdata

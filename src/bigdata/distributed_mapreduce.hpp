@@ -1,0 +1,186 @@
+// Distributed secure MapReduce over the cluster fabric.
+//
+// The local engine (mapreduce.*) models one platform running every
+// worker enclave; this driver spreads the same job across a *cluster*:
+// a coordinator node plus N worker nodes, each worker on its own
+// sgx::Platform (distinct fuse keys, distinct entropy), connected by
+// net::Fabric links that charge latency and bandwidth into simulated
+// time.
+//
+// Lifecycle:
+//   setup(service)  — builds the topology (full mesh), provisions every
+//                     platform with the attestation service, runs an
+//                     AttestedSession handshake coordinator->worker
+//                     (mutual quotes bound to the channel transcript,
+//                     MRENCLAVE pinned to the canonical worker image),
+//                     then releases the job key and the job layout
+//                     through each established session. Untrusted wire
+//                     never sees the key.
+//   run(...)        — ships map tasks over reliable encrypted flows
+//                     (FlowNode: chunking + NACK recovery, so armed
+//                     loss/reorder/partition faults are survivable),
+//                     workers map + combine and shuffle encrypted
+//                     intermediate blocks *directly to the reducer
+//                     owner's node*, reduce on block-complete, and the
+//                     coordinator merges worker results in index order.
+//
+// Determinism: every fabric event is dispatched from the serial
+// run_until_idle() loop, shuffle nonces / block slots / output order are
+// pure functions of (epoch, mapper, reducer) indices, and per-record map
+// compute uses the pre-assigned-slot run_indexed idiom — so the job
+// output, JobStats, and every dist_mapreduce_*/net_* counter are
+// bit-identical for a fixed fault seed at any thread-pool size.
+#pragma once
+
+#include <memory>
+
+#include "bigdata/flow.hpp"
+#include "bigdata/mapreduce.hpp"
+#include "net/session.hpp"
+
+namespace securecloud::bigdata {
+
+struct DistributedMapReduceConfig {
+  std::size_t num_workers = 4;
+  std::size_t num_reducers = 4;
+  bool enable_combiner = false;
+  /// Applied to every link in the mesh.
+  net::LinkConfig link;
+  FlowConfig flow;
+  /// Base for per-platform entropy seeds (coordinator gets the base,
+  /// worker w gets base + 1 + w): distinct platforms must not share
+  /// entropy streams or their attestation keys would collide.
+  std::uint64_t entropy_seed_base = 0x5EED;
+};
+
+class DistributedMapReduce {
+ public:
+  using MapFn = SecureMapReduce::MapFn;
+  using ReduceFn = SecureMapReduce::ReduceFn;
+
+  /// Nodes and links are added to `fabric` in setup(); the fabric (and
+  /// its clock) must outlive this driver.
+  DistributedMapReduce(net::Fabric& fabric, DistributedMapReduceConfig config = {});
+
+  DistributedMapReduce(const DistributedMapReduce&) = delete;
+  DistributedMapReduce& operator=(const DistributedMapReduce&) = delete;
+  ~DistributedMapReduce();
+
+  /// Builds the cluster and attests every worker (see file comment).
+  /// Run with net faults disarmed — handshakes are setup-phase traffic
+  /// with no retransmit layer underneath.
+  Status setup(sgx::AttestationService& service);
+
+  /// Encrypts plaintext records into job-input format under the job key
+  /// (data-owner side; interchangeable with the local engine's format).
+  std::vector<Bytes> encrypt_partition(const std::vector<Bytes>& records);
+
+  /// Thread pool for per-record map compute inside worker handlers.
+  /// Any size (or nullptr) yields bit-identical results.
+  void set_pool(common::ThreadPool* pool) { pool_ = pool; }
+
+  /// Runs one job: partitions are dealt round-robin over the workers.
+  /// Requires setup() to have succeeded. Reentrant per job (epoch
+  /// counter keeps shuffle nonces unique across runs).
+  Result<JobResult> run(const std::vector<std::vector<Bytes>>& encrypted_partitions,
+                        const MapFn& map_fn, const ReduceFn& reduce_fn);
+
+  /// `dist_mapreduce_*` counters + a dist_mapreduce.job span per run.
+  /// Also wires the underlying sessions and flows into `registry`.
+  void set_obs(obs::Registry* registry, obs::Tracer* tracer = nullptr);
+
+  net::NodeId coordinator_node() const { return coordinator_node_; }
+  net::NodeId worker_node(std::size_t w) const { return workers_[w]->node; }
+  std::size_t num_workers() const { return config_.num_workers; }
+
+ private:
+  static constexpr std::uint32_t kSessionChannel = 1;
+  // Flow payload types (first byte of every flow payload).
+  static constexpr std::uint8_t kMapTask = 1;
+  static constexpr std::uint8_t kShuffle = 2;
+  static constexpr std::uint8_t kMapDone = 3;
+  static constexpr std::uint8_t kResult = 4;
+  /// Nonce domain for sealed worker->coordinator result blocks.
+  static constexpr std::uint32_t kResultDomain = 0x4452534c;  // "DRSL"
+
+  struct Worker {
+    std::size_t index = 0;
+    net::NodeId node = 0;
+    std::unique_ptr<sgx::Platform> platform;
+    sgx::Enclave* enclave = nullptr;
+    std::unique_ptr<net::AttestedSession> session;  // responder end
+    std::unique_ptr<FlowNode> flow;
+
+    // Job layout, released through the attested session.
+    Bytes job_key;
+    std::size_t num_workers = 0;
+    std::size_t num_reducers = 0;
+    bool combiner = false;
+    net::NodeId coordinator_node = 0;
+    std::vector<net::NodeId> worker_nodes;
+    bool configured = false;
+
+    // Per-job (epoch) state.
+    std::uint64_t epoch = 0;
+    std::vector<std::size_t> owned_reducers;
+    std::size_t expected_remote_blocks = 0;
+    std::size_t received_remote_blocks = 0;
+    bool map_done = false;
+    bool reduced = false;
+    /// blocks[r][m]: sealed shuffle block from mapper m for owned
+    /// reducer r (fixed slots — arrival order cannot perturb reduce).
+    std::map<std::size_t, std::vector<Bytes>> blocks;
+  };
+
+  DistributedMapReduce* self() { return this; }
+  Status establish_session(std::size_t w);
+  void coordinator_dispatch(const net::Message& message);
+  void worker_on_record(Worker& worker, Bytes record);
+  void worker_begin_epoch(Worker& worker, std::uint64_t epoch);
+  void worker_on_flow_payload(Worker& worker, net::NodeId from, Bytes payload);
+  void worker_handle_map_task(Worker& worker, ByteReader& reader);
+  void worker_maybe_reduce(Worker& worker);
+  void worker_fail(Worker& worker, Error error);
+  void coordinator_on_flow_payload(net::NodeId from, Bytes payload);
+  void bump(obs::Counter* counter, std::uint64_t delta = 1) {
+    if (counter != nullptr) counter->inc(delta);
+  }
+
+  net::Fabric& fabric_;
+  DistributedMapReduceConfig config_;
+  common::ThreadPool* pool_ = nullptr;
+
+  bool ready_ = false;
+  net::NodeId coordinator_node_ = 0;
+  std::unique_ptr<sgx::Platform> coordinator_platform_;
+  sgx::Enclave* coordinator_enclave_ = nullptr;
+  std::vector<std::unique_ptr<net::AttestedSession>> sessions_;  // initiator ends
+  std::unique_ptr<FlowNode> coordinator_flow_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  Bytes job_key_;
+  std::uint64_t record_counter_ = 0;
+  std::uint64_t epoch_ = 0;
+  /// Job code for the in-flight run (valid only inside run(); workers
+  /// reach it through the shared driver, modeling map/reduce functions
+  /// shipped inside the measured enclave image).
+  const MapFn* current_map_fn_ = nullptr;
+  const ReduceFn* current_reduce_fn_ = nullptr;
+
+  // Per-run coordinator collection state.
+  JobResult collect_;
+  std::size_t map_done_count_ = 0;
+  std::size_t results_count_ = 0;
+  std::optional<Error> job_error_;
+
+  obs::Registry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* obs_jobs_ = nullptr;
+  obs::Counter* obs_job_failures_ = nullptr;
+  obs::Counter* obs_map_tasks_ = nullptr;
+  obs::Counter* obs_shuffle_blocks_ = nullptr;
+  obs::Counter* obs_shuffle_bytes_ = nullptr;
+  obs::Counter* obs_results_ = nullptr;
+  obs::Counter* obs_input_records_ = nullptr;
+};
+
+}  // namespace securecloud::bigdata

@@ -1,0 +1,231 @@
+#include "bigdata/flow.hpp"
+
+namespace securecloud::bigdata {
+
+FlowNode::FlowNode(net::Fabric& fabric, net::NodeId self, ByteView key,
+                   FlowConfig config)
+    : fabric_(fabric),
+      self_(self),
+      key_(key.begin(), key.end()),
+      config_(config) {
+  (void)fabric_.set_handler(self_, config_.chunk_channel,
+                            [this](const net::Message& m) { on_chunk(m); });
+  (void)fabric_.set_handler(self_, config_.control_channel,
+                            [this](const net::Message& m) { on_control(m); });
+}
+
+void FlowNode::set_obs(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    obs_payloads_sent_ = obs_payloads_delivered_ = obs_chunks_sent_ =
+        obs_nacks_sent_ = obs_retransmits_ = obs_beacons_sent_ = nullptr;
+    return;
+  }
+  obs_payloads_sent_ = &registry->counter("net_flow_payloads_sent_total");
+  obs_payloads_delivered_ = &registry->counter("net_flow_payloads_delivered_total");
+  obs_chunks_sent_ = &registry->counter("net_flow_chunks_sent_total");
+  obs_nacks_sent_ = &registry->counter("net_flow_nacks_sent_total");
+  obs_retransmits_ = &registry->counter("net_flow_retransmits_total");
+  obs_beacons_sent_ = &registry->counter("net_flow_beacons_sent_total");
+  for (auto& [peer, out] : outbound_) out.sender->set_obs(registry);
+  for (auto& [peer, in] : inbound_) in.receiver->set_obs(registry);
+}
+
+FlowNode::Outbound& FlowNode::outbound(net::NodeId dst) {
+  auto it = outbound_.find(dst);
+  if (it == outbound_.end()) {
+    auto sender = std::make_unique<SecureTransferSender>(
+        key_, stream_id(self_, dst), config_.chunk_size);
+    sender->enable_retransmit_buffer(config_.retransmit_buffer_chunks);
+    sender->set_obs(registry_);
+    it = outbound_.emplace(dst, Outbound{std::move(sender), 0, 0}).first;
+  }
+  return it->second;
+}
+
+FlowNode::Inbound& FlowNode::inbound(net::NodeId src) {
+  auto it = inbound_.find(src);
+  if (it == inbound_.end()) {
+    auto receiver = std::make_unique<SecureTransferReceiver>(
+        key_, stream_id(src, self_));
+    receiver->enable_recovery(fabric_.clock(), config_.recovery);
+    receiver->set_obs(registry_);
+    it = inbound_.emplace(src, Inbound{std::move(receiver)}).first;
+  }
+  return it->second;
+}
+
+void FlowNode::send_chunk(net::NodeId dst, std::uint64_t high_water,
+                          ByteView wire) {
+  // Chunk envelope: the sender's high-water mark rides along so the
+  // receiver can detect trailing losses without waiting for a beacon.
+  Bytes envelope;
+  put_u64(envelope, high_water);
+  put_blob(envelope, wire);
+  (void)fabric_.send(self_, dst, config_.chunk_channel, std::move(envelope));
+}
+
+void FlowNode::send_control(net::NodeId dst, std::uint8_t type,
+                            std::uint64_t value) {
+  Bytes wire;
+  put_u8(wire, type);
+  put_u64(wire, value);
+  (void)fabric_.send(self_, dst, config_.control_channel, std::move(wire));
+}
+
+Status FlowNode::send(net::NodeId dst, ByteView payload) {
+  Outbound& out = outbound(dst);
+  const std::vector<Bytes> chunks = out.sender->send(payload);
+  for (const Bytes& chunk : chunks) {
+    ++out.chunks_sent;
+    ++stats_.chunks_sent;
+    bump(obs_chunks_sent_);
+    send_chunk(dst, out.chunks_sent, chunk);
+  }
+  ++stats_.payloads_sent;
+  bump(obs_payloads_sent_);
+  arm_timer();
+  return {};
+}
+
+void FlowNode::on_chunk(const net::Message& message) {
+  ByteReader r(message.payload);
+  std::uint64_t high_water = 0;
+  Bytes wire;
+  if (!r.get_u64(high_water) || !r.get_blob(wire) || !r.done()) {
+    // A frame-level corruption model would live in the fabric; a bad
+    // envelope here means a peer bug — drop it, the gap machinery
+    // re-requests whatever it carried.
+    return;
+  }
+  Inbound& in = inbound(message.src);
+  auto payloads = in.receiver->receive_any(wire);
+  if (!payloads.ok()) {
+    if (failure_.ok()) failure_ = payloads.error();
+    send_control(message.src, kDead, 0);
+    return;
+  }
+  if (high_water > 0) {
+    (void)in.receiver->expect_through(high_water - 1);
+  }
+  if (!payloads->empty()) {
+    // Progress: cumulatively ack so the peer can retire its beacons.
+    send_control(message.src, kAck, in.receiver->next_expected());
+    for (Bytes& payload : *payloads) {
+      ++stats_.payloads_delivered;
+      bump(obs_payloads_delivered_);
+      if (on_payload_) on_payload_(message.src, std::move(payload));
+    }
+  }
+  if (in.receiver->has_pending_gaps()) arm_timer();
+}
+
+void FlowNode::on_control(const net::Message& message) {
+  ByteReader r(message.payload);
+  std::uint8_t type = 0;
+  std::uint64_t value = 0;
+  if (!r.get_u8(type) || !r.get_u64(value) || !r.done()) return;
+  switch (type) {
+    case kNack: {
+      auto it = outbound_.find(message.src);
+      if (it == outbound_.end()) return;
+      auto wire = it->second.sender->retransmit(value);
+      if (wire.ok()) {
+        ++stats_.retransmits;
+        bump(obs_retransmits_);
+        send_chunk(message.src, it->second.chunks_sent, *wire);
+      }
+      // kNotFound: evicted from the retransmit buffer. The receiver's
+      // NACK budget will exhaust and surface kUnavailable — the typed
+      // failure path, tested with a tiny buffer.
+      return;
+    }
+    case kAck: {
+      auto it = outbound_.find(message.src);
+      if (it == outbound_.end()) return;
+      it->second.acked_through = std::max(it->second.acked_through, value);
+      return;
+    }
+    case kBeacon: {
+      // Sender's high-water announcement: expose trailing losses, then
+      // tell the sender where we actually are.
+      Inbound& in = inbound(message.src);
+      if (value > 0) (void)in.receiver->expect_through(value - 1);
+      if (Status h = in.receiver->health(); !h.ok()) {
+        // This stream is beyond recovery: answering the beacon with an
+        // ack would keep the sender retrying forever.
+        if (failure_.ok()) failure_ = std::move(h);
+        send_control(message.src, kDead, 0);
+        return;
+      }
+      send_control(message.src, kAck, in.receiver->next_expected());
+      if (in.receiver->has_pending_gaps()) arm_timer();
+      return;
+    }
+    case kDead: {
+      auto it = outbound_.find(message.src);
+      if (it == outbound_.end()) return;
+      it->second.dead = true;
+      if (failure_.ok()) {
+        failure_ = Status(Error{ErrorCode::kUnavailable,
+                                "peer abandoned inbound stream"});
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+bool FlowNode::work_pending() const {
+  for (const auto& [peer, out] : outbound_) {
+    if (!out.dead && out.acked_through < out.chunks_sent) return true;
+  }
+  for (const auto& [peer, in] : inbound_) {
+    if (in.receiver->has_pending_gaps()) return true;
+  }
+  return false;
+}
+
+void FlowNode::arm_timer() {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  fabric_.schedule(config_.poll_interval_ns, [this] { on_timer(); });
+}
+
+void FlowNode::on_timer() {
+  timer_armed_ = false;
+  // Re-NACK every due gap (receiver side)...
+  for (auto& [peer, in] : inbound_) {
+    for (const Nack& nack : in.receiver->take_due_nacks()) {
+      ++stats_.nacks_sent;
+      bump(obs_nacks_sent_);
+      send_control(peer, kNack, nack.sequence);
+    }
+    if (Status h = in.receiver->health(); !h.ok() && failure_.ok()) {
+      failure_ = std::move(h);
+    }
+  }
+  // ...and beacon every unacked outbound flow (sender side), so trailing
+  // losses with no later chunk behind them still get detected.
+  for (auto& [peer, out] : outbound_) {
+    if (!out.dead && out.acked_through < out.chunks_sent) {
+      ++stats_.beacons_sent;
+      bump(obs_beacons_sent_);
+      send_control(peer, kBeacon, out.chunks_sent);
+    }
+  }
+  if (work_pending() && failure_.ok()) arm_timer();
+}
+
+bool FlowNode::settled() const { return !work_pending(); }
+
+Status FlowNode::health() const {
+  if (!failure_.ok()) return failure_;
+  for (const auto& [peer, in] : inbound_) {
+    SC_RETURN_IF_ERROR(in.receiver->health());
+  }
+  return {};
+}
+
+}  // namespace securecloud::bigdata

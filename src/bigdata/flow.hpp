@@ -1,0 +1,150 @@
+// Reliable encrypted payload flows over the cluster fabric.
+//
+// AttestedSession gives a node *identity*; FlowNode gives it *delivery*.
+// It glues the existing secure-transfer layer (chunking, AES-GCM per
+// chunk, NACK/backoff gap recovery) to net::Fabric: payloads are chunked
+// by a SecureTransferSender per destination, each chunk rides a fabric
+// message, and the matching SecureTransferReceiver on the far side
+// reassembles — buffering reorder, dropping duplicates, and NACKing the
+// holes a lossy link punches. A fabric timer drives the retry schedule
+// (due NACKs, high-water beacons for trailing losses) and cumulative ACKs
+// flow back so a sender knows when it may stop beaconing.
+//
+// With max_fires-bounded net faults, every payload converges to exact
+// delivery (the invariant tests/net_test.cpp asserts); a gap whose NACK
+// budget runs out surfaces as a typed kUnavailable through health(),
+// never a silent divergence.
+//
+// All flow activity happens inside fabric events, so a serially-driven
+// fabric gives bit-identical transfer/NACK/ACK schedules per seed.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "bigdata/transfer.hpp"
+#include "net/fabric.hpp"
+
+namespace securecloud::bigdata {
+
+struct FlowConfig {
+  std::uint32_t chunk_channel = 101;    // fabric channel for data chunks
+  std::uint32_t control_channel = 102;  // NACK / ACK / beacon traffic
+  std::size_t chunk_size = 4096;
+  /// How often the flow timer polls for due NACKs and unacked outbound
+  /// flows while work is pending.
+  std::uint64_t poll_interval_ns = 500'000;
+  /// Per-inbound-flow recovery knobs. The NACK budget is raised well
+  /// above the transfer default: a fabric test arms aggressive loss, and
+  /// abandoning a gap kills the whole stream.
+  ReceiverRecoveryConfig recovery{.max_nacks_per_gap = 32};
+  std::size_t retransmit_buffer_chunks = 4096;
+};
+
+struct FlowStats {
+  std::uint64_t payloads_sent = 0;
+  std::uint64_t payloads_delivered = 0;
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t beacons_sent = 0;
+
+  bool operator==(const FlowStats&) const = default;
+};
+
+/// One node's endpoint in the flow mesh. Registers itself as the fabric
+/// handler for its two channels; peers are discovered lazily (first
+/// send() or first chunk from a new source creates the directed flow).
+/// All peers share one symmetric `key` — in the full system it is the
+/// job key released after attestation (see DistributedMapReduce::setup).
+class FlowNode {
+ public:
+  using OnPayload = std::function<void(net::NodeId from, Bytes payload)>;
+
+  FlowNode(net::Fabric& fabric, net::NodeId self, ByteView key,
+           FlowConfig config = {});
+
+  FlowNode(const FlowNode&) = delete;
+  FlowNode& operator=(const FlowNode&) = delete;
+
+  /// Chunks `payload`, sends every chunk toward `dst`, and arms the poll
+  /// timer that will beacon/retransmit until the peer acknowledges.
+  Status send(net::NodeId dst, ByteView payload);
+
+  void set_on_payload(OnPayload fn) { on_payload_ = std::move(fn); }
+
+  /// True when every outbound chunk has been cumulatively acked and no
+  /// inbound flow has an open gap.
+  bool settled() const;
+
+  /// First failure across inbound flows (abandoned gap, dead stream) or
+  /// ok. Mirrors SecureTransferReceiver::health per peer.
+  Status health() const;
+
+  const FlowStats& stats() const { return stats_; }
+
+  /// Wires `net_flow_*` counters and shares `registry` with the
+  /// underlying transfer endpoints (transfer_send_* / transfer_recv_*
+  /// aggregate across flows).
+  void set_obs(obs::Registry* registry);
+
+ private:
+  // Control record types (first byte on control_channel).
+  static constexpr std::uint8_t kNack = 1;
+  static constexpr std::uint8_t kAck = 2;
+  static constexpr std::uint8_t kBeacon = 3;
+  /// Peer abandoned the inbound stream (NACK budget exhausted / dead
+  /// stream). The sender must stop beaconing it or the fabric never
+  /// idles.
+  static constexpr std::uint8_t kDead = 4;
+
+  struct Outbound {
+    std::unique_ptr<SecureTransferSender> sender;
+    std::uint64_t chunks_sent = 0;    // high-water: sequences 0..n-1 sent
+    std::uint64_t acked_through = 0;  // peer's next_expected
+    bool dead = false;                // peer declared the stream dead
+  };
+  struct Inbound {
+    std::unique_ptr<SecureTransferReceiver> receiver;
+  };
+
+  /// Stream ids pair the directed endpoints so sender p->q and receiver
+  /// p->q derive identical per-chunk AADs.
+  static std::uint32_t stream_id(net::NodeId from, net::NodeId to) {
+    return (from << 16) | (to & 0xffff);
+  }
+
+  Outbound& outbound(net::NodeId dst);
+  Inbound& inbound(net::NodeId src);
+  void send_chunk(net::NodeId dst, std::uint64_t high_water, ByteView wire);
+  void send_control(net::NodeId dst, std::uint8_t type, std::uint64_t value);
+  void on_chunk(const net::Message& message);
+  void on_control(const net::Message& message);
+  void arm_timer();
+  void on_timer();
+  bool work_pending() const;
+  void bump(obs::Counter* counter) {
+    if (counter != nullptr) counter->inc();
+  }
+
+  net::Fabric& fabric_;
+  net::NodeId self_;
+  Bytes key_;
+  FlowConfig config_;
+  OnPayload on_payload_;
+  std::map<net::NodeId, Outbound> outbound_;
+  std::map<net::NodeId, Inbound> inbound_;
+  bool timer_armed_ = false;
+  Status failure_;
+  FlowStats stats_;
+  obs::Registry* registry_ = nullptr;
+
+  obs::Counter* obs_payloads_sent_ = nullptr;
+  obs::Counter* obs_payloads_delivered_ = nullptr;
+  obs::Counter* obs_chunks_sent_ = nullptr;
+  obs::Counter* obs_nacks_sent_ = nullptr;
+  obs::Counter* obs_retransmits_ = nullptr;
+  obs::Counter* obs_beacons_sent_ = nullptr;
+};
+
+}  // namespace securecloud::bigdata

@@ -9,12 +9,10 @@
 
 namespace securecloud::bigdata {
 
-namespace {
+constexpr std::uint32_t kRecordDomain = kMapReduceRecordDomain;
+constexpr std::uint32_t kShuffleDomain = kMapReduceShuffleDomain;
 
-constexpr std::uint32_t kRecordDomain = 0x4d525245;   // "MRRE"
-constexpr std::uint32_t kShuffleDomain = 0x4d525348;  // "MRSH"
-
-sgx::EnclaveImage worker_image() {
+sgx::EnclaveImage mapreduce_worker_image() {
   // The canonical map/reduce worker binary; all workers share one
   // MRENCLAVE so the job key may be released to any of them.
   sgx::EnclaveImage image;
@@ -58,8 +56,6 @@ Result<std::vector<KeyValue>> deserialize_pairs(ByteView wire) {
   return pairs;
 }
 
-}  // namespace
-
 SecureMapReduce::SecureMapReduce(sgx::Platform& platform,
                                  crypto::EntropySource& entropy)
     : platform_(platform), entropy_(entropy), job_key_(entropy.bytes(16)) {}
@@ -99,7 +95,7 @@ Result<JobResult> SecureMapReduce::run(
   JobResult result;
 
   // --- worker pool ----------------------------------------------------------
-  const sgx::EnclaveImage image = worker_image();
+  const sgx::EnclaveImage image = mapreduce_worker_image();
   std::vector<sgx::Enclave*> workers;
   const std::size_t pool =
       std::min(config.num_mappers, encrypted_partitions.size() ? encrypted_partitions.size() : 1);

@@ -34,6 +34,24 @@ struct KeyValue {
   double value = 0;
 };
 
+/// AES-GCM nonce domains for job records and shuffle blocks. Shared with
+/// the distributed driver (src/bigdata/distributed_mapreduce.*) so both
+/// engines produce interchangeable ciphertext for the same job key.
+inline constexpr std::uint32_t kMapReduceRecordDomain = 0x4d525245;   // "MRRE"
+inline constexpr std::uint32_t kMapReduceShuffleDomain = 0x4d525348;  // "MRSH"
+
+/// Wire codec for intermediate (key, value) pair blocks: u32 count, then
+/// length-prefixed key + bit-cast double per pair.
+Bytes serialize_pairs(const std::vector<KeyValue>& pairs);
+Result<std::vector<KeyValue>> deserialize_pairs(ByteView wire);
+
+/// Hash partitioner: the reducer owning `key` (SHA-256 prefix mod).
+std::size_t reducer_of(const std::string& key, std::size_t num_reducers);
+
+/// The canonical signed map/reduce worker image. All workers share one
+/// MRENCLAVE, so the job key may be released to any attested worker.
+sgx::EnclaveImage mapreduce_worker_image();
+
 struct MapReduceConfig {
   std::size_t num_mappers = 4;
   std::size_t num_reducers = 2;

@@ -145,6 +145,11 @@ class SecureTransferReceiver {
 
   bool has_pending_gaps() const { return !gaps_.empty(); }
 
+  /// Next in-order sequence the receiver is waiting for — equivalently,
+  /// the count of contiguously applied chunks. The cumulative-ack value a
+  /// reliable flow reports back to its sender.
+  std::uint64_t next_expected() const { return expected_sequence_; }
+
   /// Ok while every loss so far is still recoverable; kUnavailable after
   /// any gap exhausted its retries (matching stat: gaps_abandoned).
   Status health() const;

@@ -18,6 +18,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kServerFailure: return "server-failure";
     case FaultKind::kEpcPressure: return "epc-pressure";
     case FaultKind::kIoError: return "io-error";
+    case FaultKind::kNetLoss: return "net-loss";
+    case FaultKind::kNetDuplicate: return "net-duplicate";
+    case FaultKind::kNetReorder: return "net-reorder";
+    case FaultKind::kNetPartition: return "net-partition";
   }
   return "unknown";
 }

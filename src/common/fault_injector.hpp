@@ -45,8 +45,14 @@ enum class FaultKind : std::uint8_t {
   kEpcPressure,
   // Untrusted-storage I/O faults (torn/failed writes, failed deletes).
   kIoError,
+  // Network-fabric faults (src/net/): per-frame loss/duplication/reorder
+  // decisions plus per-message partition drops, applied at link delivery.
+  kNetLoss,
+  kNetDuplicate,
+  kNetReorder,
+  kNetPartition,
 };
-inline constexpr std::size_t kFaultKindCount = 12;
+inline constexpr std::size_t kFaultKindCount = 16;
 
 const char* to_string(FaultKind kind);
 

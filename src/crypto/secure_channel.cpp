@@ -13,8 +13,19 @@ constexpr char kSalt[] = "securecloud-channel-v1";
 ChannelHandshake::ChannelHandshake(Role role, EntropySource& entropy)
     : role_(role), keypair_(x25519_keypair(entropy.array<kX25519KeySize>())) {}
 
-SecureChannel ChannelHandshake::complete(const X25519Key& peer_public_key) && {
+Result<SecureChannel> ChannelHandshake::complete(const X25519Key& peer_public_key) && {
   const X25519Key shared = x25519(keypair_.private_key, peer_public_key);
+
+  // Contributory-behavior check (RFC 7748 §6.1): a low-order or all-zero
+  // peer point collapses the shared secret to zero, handing the attacker
+  // the channel keys. Accumulate over every byte so the check is
+  // constant-time in the secret.
+  std::uint8_t acc = 0;
+  for (const std::uint8_t b : shared) acc |= b;
+  if (acc == 0) {
+    return Error::protocol(
+        "x25519 handshake produced an all-zero shared secret (low-order peer key)");
+  }
 
   // Both sides order the transcript initiator-first so the derived keys
   // and transcript hash agree.

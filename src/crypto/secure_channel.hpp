@@ -40,8 +40,11 @@ class ChannelHandshake {
   const X25519Key& local_public_key() const { return keypair_.public_key; }
 
   /// Completes the handshake with the peer's ephemeral public key.
-  /// Returns the established channel endpoint.
-  class SecureChannel complete(const X25519Key& peer_public_key) &&;
+  /// Returns the established channel endpoint. Rejects peer keys that
+  /// yield an all-zero X25519 shared secret (the RFC 7748 §6.1
+  /// contributory-behavior check): a low-order or all-zero point would
+  /// key the channel on material the attacker already knows.
+  Result<class SecureChannel> complete(const X25519Key& peer_public_key) &&;
 
  private:
   Role role_;

@@ -1,0 +1,225 @@
+// Deterministic discrete-event cluster fabric.
+//
+// The paper's services are *distributed*: SCBR is a network of routers,
+// SCONE services talk over TLS links, and MapReduce shuffles cross
+// machines. Fabric simulates that cluster as a discrete-event network
+// driven by SimClock: nodes register per-channel message handlers, links
+// model propagation latency, serialization delay (from message size and
+// bandwidth), and MTU-level fragmentation, and every delivery is an event
+// in one priority queue.
+//
+// Determinism contract: events are ordered by (delivery time, enqueue
+// sequence) — a total order with a stable tie-break — so for a fixed
+// fault seed the delivery schedule, the stats, and every `net_*` counter
+// are bit-identical across runs and across worker-pool thread counts,
+// PROVIDED the sends themselves are issued in a deterministic order
+// (from the serial driver or from inside event handlers, the same idiom
+// the MapReduce driver uses for nonces and output slots). Concurrent
+// send() from pool workers is memory-safe (one mutex guards the queue)
+// but surrenders the schedule guarantee; scripts/tsan_check.sh hammers
+// that path for races.
+//
+// Fault plane: a FaultInjector (kNetLoss / kNetDuplicate / kNetReorder
+// per frame, kNetPartition per message) perturbs link delivery, and
+// set_partitioned() cuts a link deterministically for partition tests.
+// All fault decisions happen at send time, so the schedule stays a pure
+// function of (topology, sends, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/fault_injector.hpp"
+#include "common/result.hpp"
+#include "common/sim_clock.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace securecloud::net {
+
+using NodeId = std::uint32_t;
+
+/// One direction of a point-to-point link.
+struct LinkConfig {
+  std::uint64_t latency_ns = 100'000;  // propagation delay per frame (100 us)
+  /// Serialization rate; delay per frame = bytes * 1e9 / rate (10 Gb/s).
+  std::uint64_t bandwidth_bytes_per_sec = 1'250'000'000;
+  /// Frames larger than this are fragmented; a message is delivered only
+  /// once every fragment arrived (losing any fragment loses the message).
+  std::size_t mtu_bytes = 16 * 1024;
+};
+
+/// A delivered application message.
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t channel = 0;
+  Bytes payload;
+};
+
+struct FabricStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;    // loss/partition killed >= 1 frame
+  std::uint64_t messages_unhandled = 0;  // delivered, no handler registered
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_reordered = 0;
+  std::uint64_t bytes_sent = 0;       // payload bytes handed to send()
+  std::uint64_t bytes_delivered = 0;  // payload bytes of delivered messages
+  std::uint64_t timers_fired = 0;
+
+  bool operator==(const FabricStats&) const = default;
+};
+
+class Fabric {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  using TimerFn = std::function<void()>;
+
+  /// `clock` is advanced by exactly the simulated time between dispatched
+  /// events, so per-hop latency lands in the same timeline the transfer
+  /// layer's NACK backoff and the benchmarks read.
+  explicit Fabric(SimClock& clock) : clock_(&clock) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // --- topology (single-threaded setup phase) -----------------------------
+  NodeId add_node(std::string name);
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(NodeId id) const { return nodes_[id].name; }
+
+  /// Adds a bidirectional link. Rejects unknown nodes, self-links, and
+  /// duplicate links.
+  Status connect(NodeId a, NodeId b, LinkConfig config = {});
+
+  /// Registers the handler invoked (from the event loop thread, with no
+  /// fabric lock held — handlers may send) for messages to `node` on
+  /// `channel`. Replaces any previous handler.
+  Status set_handler(NodeId node, std::uint32_t channel, Handler handler);
+
+  /// Deterministic partition control: while partitioned, every message on
+  /// the a<->b link is dropped (both directions).
+  Status set_partitioned(NodeId a, NodeId b, bool partitioned);
+
+  void set_fault_injector(common::FaultInjector* faults) { faults_ = faults; }
+
+  /// Mirrors FabricStats into `net_*` counters (+ `net_queue_depth`
+  /// gauge) and, with a tracer, emits one `net.run` span per
+  /// run_until_idle() batch.
+  void set_obs(obs::Registry* registry, obs::Tracer* tracer = nullptr);
+
+  // --- data plane ---------------------------------------------------------
+  /// Queues `payload` for delivery over the direct src->dst link
+  /// (src == dst loops back with zero delay and no faults). Returns an
+  /// error only for misuse (unknown node, no link); a message the
+  /// simulated network drops is counted, not errored. Thread-safe.
+  Status send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload);
+
+  /// Schedules `fn` to run as an event `delay_ns` of simulated time from
+  /// now. Timers share the event queue (and its total order) with frames.
+  void schedule(std::uint64_t delay_ns, TimerFn fn);
+
+  /// Dispatches events in (time, sequence) order until the queue is empty
+  /// or `max_events` were processed; returns the number processed.
+  /// Handlers and timers may enqueue further work. Single consumer: call
+  /// from one thread at a time.
+  std::size_t run_until_idle(std::size_t max_events = 10'000'000);
+
+  bool idle() const;
+  /// Simulated fabric time (ns since construction).
+  std::uint64_t now_ns() const;
+  SimClock& clock() { return *clock_; }
+
+  const FabricStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    std::string name;
+    std::map<std::uint32_t, Handler> handlers;
+  };
+
+  struct Link {
+    LinkConfig config;
+    bool partitioned = false;
+  };
+
+  struct EventItem {
+    std::uint64_t at_ns = 0;
+    std::uint64_t seq = 0;  // enqueue order: the stable tie-break
+    // Frame fields (message_total == 0 marks a timer event).
+    std::uint64_t message_id = 0;
+    std::uint32_t frag_index = 0;
+    std::uint32_t frag_total = 0;
+    Bytes bytes;
+    TimerFn timer;
+  };
+  struct EventAfter {
+    bool operator()(const EventItem& a, const EventItem& b) const {
+      if (a.at_ns != b.at_ns) return a.at_ns > b.at_ns;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Reassembly state for one in-flight message.
+  struct Pending {
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint32_t channel = 0;
+    std::uint32_t frags_total = 0;
+    std::uint32_t frags_received = 0;
+    std::uint32_t frames_in_flight = 0;
+    std::vector<bool> have;
+    Bytes payload;  // assembled in fragment order (fixed offsets)
+    std::vector<std::size_t> offsets;
+    bool dead = false;  // a frame was dropped: can never complete
+  };
+
+  static std::uint64_t link_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  Link* find_link(NodeId a, NodeId b);
+  void push_event(EventItem event);  // assigns seq; caller holds mu_
+  void bump(obs::Counter* counter, std::uint64_t delta = 1) {
+    if (counter != nullptr) counter->inc(delta);
+  }
+  void set_queue_gauge();  // caller holds mu_
+
+  SimClock* clock_;
+  common::FaultInjector* faults_ = nullptr;
+
+  std::vector<Node> nodes_;
+  std::map<std::uint64_t, Link> links_;
+
+  mutable std::mutex mu_;
+  std::priority_queue<EventItem, std::vector<EventItem>, EventAfter> queue_;
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_message_id_ = 1;
+  std::uint64_t now_ns_ = 0;
+  FabricStats stats_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* obs_messages_sent_ = nullptr;
+  obs::Counter* obs_messages_delivered_ = nullptr;
+  obs::Counter* obs_messages_dropped_ = nullptr;
+  obs::Counter* obs_messages_unhandled_ = nullptr;
+  obs::Counter* obs_frames_sent_ = nullptr;
+  obs::Counter* obs_frames_dropped_ = nullptr;
+  obs::Counter* obs_frames_duplicated_ = nullptr;
+  obs::Counter* obs_frames_reordered_ = nullptr;
+  obs::Counter* obs_bytes_sent_ = nullptr;
+  obs::Counter* obs_bytes_delivered_ = nullptr;
+  obs::Counter* obs_timers_fired_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
+};
+
+}  // namespace securecloud::net

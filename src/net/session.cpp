@@ -1,0 +1,245 @@
+#include "net/session.hpp"
+
+namespace securecloud::net {
+
+namespace {
+const crypto::Sha256Digest kZeroDigest{};
+
+Result<crypto::X25519Key> read_key(ByteReader& r) {
+  Bytes raw;
+  if (!r.get_blob(raw) || raw.size() != crypto::kX25519KeySize) {
+    return Error::protocol("session: bad ephemeral key encoding");
+  }
+  crypto::X25519Key key;
+  std::copy(raw.begin(), raw.end(), key.begin());
+  return key;
+}
+}  // namespace
+
+AttestedSession::AttestedSession(Role role, Config config)
+    : role_(role), config_(std::move(config)) {}
+
+Status AttestedSession::bind() {
+  return config_.fabric->set_handler(
+      config_.self, config_.channel,
+      [this](const Message& message) { on_message(message); });
+}
+
+const crypto::Sha256Digest& AttestedSession::transcript_hash() const {
+  return channel_.has_value() ? channel_->transcript_hash() : kZeroDigest;
+}
+
+void AttestedSession::set_obs(obs::Registry* registry) {
+  if (registry == nullptr) {
+    obs_established_ = obs_failed_ = obs_records_sent_ = obs_records_received_ =
+        obs_records_rejected_ = nullptr;
+    return;
+  }
+  obs_established_ = &registry->counter("net_sessions_established_total");
+  obs_failed_ = &registry->counter("net_sessions_failed_total");
+  obs_records_sent_ = &registry->counter("net_session_records_sent_total");
+  obs_records_received_ = &registry->counter("net_session_records_received_total");
+  obs_records_rejected_ = &registry->counter("net_session_records_rejected_total");
+}
+
+void AttestedSession::fail(Status status) {
+  state_ = State::kFailed;
+  failure_ = std::move(status);
+  if (obs_failed_ != nullptr) obs_failed_->inc();
+}
+
+Result<Bytes> AttestedSession::make_bound_quote() const {
+  const sgx::ReportData rd =
+      sgx::report_data_from_hash(channel_->transcript_hash());
+  const sgx::Report report = config_.enclave->create_report(rd);
+  auto quote = config_.platform->quote(report);
+  if (!quote.ok()) return quote.error();
+  return quote->serialize();
+}
+
+Status AttestedSession::check_peer_quote(ByteView quote_wire) const {
+  auto report = config_.attestation->verify_wire(quote_wire);
+  if (!report.ok()) return report.error();
+  if (!sgx::report_data_matches_hash(report->report_data,
+                                     channel_->transcript_hash())) {
+    return Error::attestation(
+        "peer quote is not bound to this session's transcript (relayed quote?)");
+  }
+  if (config_.expected_peer_mrenclave.has_value() &&
+      report->mrenclave != *config_.expected_peer_mrenclave) {
+    return Error::attestation("peer MRENCLAVE does not match session policy");
+  }
+  return {};
+}
+
+Status AttestedSession::start() {
+  if (role_ != Role::kInitiator) {
+    return Error::invalid_argument("start() is for the initiator");
+  }
+  if (state_ != State::kIdle) return Error::protocol("session already started");
+  handshake_.emplace(crypto::ChannelHandshake::Role::kInitiator,
+                     config_.platform->entropy());
+  Bytes wire;
+  put_u8(wire, kHello);
+  put_blob(wire, handshake_->local_public_key());
+  state_ = State::kAwaitingReply;
+  return send_raw(std::move(wire));
+}
+
+void AttestedSession::on_message(const Message& message) {
+  if (state_ == State::kFailed) return;
+  if (message.payload.empty()) {
+    fail(Error::protocol("session: empty record"));
+    return;
+  }
+  switch (message.payload[0]) {
+    case kHello:
+      handle_hello(message);
+      return;
+    case kHelloReply:
+      handle_hello_reply(message);
+      return;
+    case kFinish:
+      handle_finish(message);
+      return;
+    case kData:
+      handle_data(message);
+      return;
+    default:
+      fail(Error::protocol("session: unknown record type " +
+                           std::to_string(message.payload[0])));
+  }
+}
+
+void AttestedSession::handle_hello(const Message& message) {
+  if (role_ != Role::kResponder || state_ != State::kIdle) {
+    fail(Error::protocol("session: unexpected Hello"));
+    return;
+  }
+  ByteReader r(message.payload);
+  std::uint8_t type = 0;
+  (void)r.get_u8(type);
+  auto peer_key = read_key(r);
+  if (!peer_key.ok() || !r.done()) {
+    fail(Error::protocol("session: malformed Hello"));
+    return;
+  }
+  crypto::ChannelHandshake handshake(crypto::ChannelHandshake::Role::kResponder,
+                                     config_.platform->entropy());
+  Bytes reply;
+  put_u8(reply, kHelloReply);
+  put_blob(reply, handshake.local_public_key());
+  auto channel = std::move(handshake).complete(*peer_key);
+  if (!channel.ok()) {
+    fail(channel.error());
+    return;
+  }
+  channel_.emplace(std::move(*channel));
+  auto quote = make_bound_quote();
+  if (!quote.ok()) {
+    fail(quote.error());
+    return;
+  }
+  put_blob(reply, *quote);
+  state_ = State::kAwaitingFinish;
+  Status sent = send_raw(std::move(reply));
+  if (!sent.ok()) fail(std::move(sent));
+}
+
+void AttestedSession::handle_hello_reply(const Message& message) {
+  if (role_ != Role::kInitiator || state_ != State::kAwaitingReply) {
+    fail(Error::protocol("session: unexpected HelloReply"));
+    return;
+  }
+  ByteReader r(message.payload);
+  std::uint8_t type = 0;
+  (void)r.get_u8(type);
+  auto peer_key = read_key(r);
+  Bytes quote_wire;
+  if (!peer_key.ok() || !r.get_blob(quote_wire) || !r.done()) {
+    fail(Error::protocol("session: malformed HelloReply"));
+    return;
+  }
+  auto channel = std::move(*handshake_).complete(*peer_key);
+  handshake_.reset();
+  if (!channel.ok()) {
+    fail(channel.error());
+    return;
+  }
+  channel_.emplace(std::move(*channel));
+  if (Status check = check_peer_quote(quote_wire); !check.ok()) {
+    fail(std::move(check));
+    return;
+  }
+  auto quote = make_bound_quote();
+  if (!quote.ok()) {
+    fail(quote.error());
+    return;
+  }
+  Bytes finish;
+  put_u8(finish, kFinish);
+  put_blob(finish, *quote);
+  state_ = State::kEstablished;
+  if (obs_established_ != nullptr) obs_established_->inc();
+  Status sent = send_raw(std::move(finish));
+  if (!sent.ok()) fail(std::move(sent));
+}
+
+void AttestedSession::handle_finish(const Message& message) {
+  if (role_ != Role::kResponder || state_ != State::kAwaitingFinish) {
+    fail(Error::protocol("session: unexpected Finish"));
+    return;
+  }
+  ByteReader r(message.payload);
+  std::uint8_t type = 0;
+  (void)r.get_u8(type);
+  Bytes quote_wire;
+  if (!r.get_blob(quote_wire) || !r.done()) {
+    fail(Error::protocol("session: malformed Finish"));
+    return;
+  }
+  if (Status check = check_peer_quote(quote_wire); !check.ok()) {
+    fail(std::move(check));
+    return;
+  }
+  state_ = State::kEstablished;
+  if (obs_established_ != nullptr) obs_established_->inc();
+}
+
+void AttestedSession::handle_data(const Message& message) {
+  if (state_ != State::kEstablished) {
+    fail(Error::protocol("session: Data before establishment"));
+    return;
+  }
+  ByteReader r(message.payload);
+  std::uint8_t type = 0;
+  (void)r.get_u8(type);
+  Bytes sealed;
+  if (!r.get_blob(sealed) || !r.done()) {
+    fail(Error::protocol("session: malformed Data record"));
+    return;
+  }
+  auto plain = channel_->open(sealed);
+  if (!plain.ok()) {
+    // A record that fails AEAD (tamper, replay, reorder) kills the
+    // session, TLS-style: the channel's sequence state is unrecoverable.
+    if (obs_records_rejected_ != nullptr) obs_records_rejected_->inc();
+    fail(plain.error());
+    return;
+  }
+  if (obs_records_received_ != nullptr) obs_records_received_->inc();
+  if (on_record_) on_record_(std::move(*plain));
+}
+
+Status AttestedSession::send(ByteView plaintext) {
+  if (state_ != State::kEstablished) {
+    return Error::unavailable("session not established");
+  }
+  Bytes wire;
+  put_u8(wire, kData);
+  put_blob(wire, channel_->seal(plaintext));
+  if (obs_records_sent_ != nullptr) obs_records_sent_->inc();
+  return send_raw(std::move(wire));
+}
+
+}  // namespace securecloud::net

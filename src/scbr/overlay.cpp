@@ -90,6 +90,7 @@ void BrokerOverlay::propagate(BrokerId from, BrokerId to, SubscriptionId id,
 
   ++stats_.subscriptions_forwarded;
   obs_inc(obs_forwarded_);
+  if (hop_) hop_(from, to, filter.serialize().size());
   entries.push_back({id, filter});
 
   // Forward onward (split horizon: never back toward `from`).
@@ -187,6 +188,7 @@ void BrokerOverlay::route(BrokerId at, BrokerId came_from, const Event& event,
     if (interested) {
       ++stats_.publication_hops;
       obs_inc(obs_hops_);
+      if (hop_) hop_(at, next, event.serialize().size());
       route(next, at, event, out);
     }
   }

@@ -21,6 +21,7 @@
 //     protocol, exercised heavily in tests).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <set>
 
@@ -73,6 +74,16 @@ class BrokerOverlay {
   /// serial recursion, so every bump site is deterministic.
   void set_obs(obs::Registry* registry);
 
+  /// Optional data-plane shadow: invoked once per overlay message that
+  /// crosses a link — a subscription forward from propagate() or a
+  /// publication hop from route() — with the (from, to) brokers and the
+  /// message's serialized size. net::Fabric-backed transports use it to
+  /// charge per-hop latency and bandwidth into the simulated cluster
+  /// (see tests/net_test.cpp); unset, routing stays purely logical.
+  using HopTransport =
+      std::function<void(BrokerId from, BrokerId to, std::size_t bytes)>;
+  void set_hop_transport(HopTransport hop) { hop_ = std::move(hop); }
+
   /// Routing-table sizes (for the covering-efficiency benchmarks):
   /// number of remote filter entries broker `b` holds per neighbour link.
   std::size_t remote_entries(BrokerId broker) const;
@@ -112,6 +123,7 @@ class BrokerOverlay {
   std::map<SubscriptionId, BrokerId> home_;  // subscription -> home broker
   OverlayStats stats_;
   Status topology_;
+  HopTransport hop_;
 
   obs::Counter* obs_forwarded_ = nullptr;
   obs::Counter* obs_suppressed_ = nullptr;

@@ -84,7 +84,8 @@ Result<ConfigurationService::Response> ConfigurationService::request_scf(
   Response response;
   response.server_public_key = handshake.local_public_key();
   auto channel = std::move(handshake).complete(client_public_key);
-  response.encrypted_scf = channel.seal(it->second.serialize());
+  if (!channel.ok()) return channel.error();
+  response.encrypted_scf = channel->seal(it->second.serialize());
   return response;
 }
 
@@ -104,7 +105,8 @@ Result<StartupConfig> fetch_scf(sgx::Enclave& enclave, ConfigurationService& ser
   if (!response.ok()) return response.error();
 
   auto channel = std::move(handshake).complete(response->server_public_key);
-  auto scf_bytes = channel.open(response->encrypted_scf);
+  if (!channel.ok()) return channel.error();
+  auto scf_bytes = channel->open(response->encrypted_scf);
   if (!scf_bytes.ok()) return scf_bytes.error();
   return StartupConfig::deserialize(*scf_bytes);
 }

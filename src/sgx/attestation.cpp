@@ -103,4 +103,9 @@ ReportData report_data_from_hash(const crypto::Sha256Digest& digest) {
   return rd;
 }
 
+bool report_data_matches_hash(const ReportData& rd, const crypto::Sha256Digest& digest) {
+  const ReportData expected = report_data_from_hash(digest);
+  return crypto::constant_time_equal(rd, expected);
+}
+
 }  // namespace securecloud::sgx

@@ -98,4 +98,10 @@ class AttestationService {
 /// hash) in the first 32 bytes, zero-padded.
 ReportData report_data_from_hash(const crypto::Sha256Digest& digest);
 
+/// True iff `rd` equals report_data_from_hash(digest) (constant-time).
+/// The relying-party check that binds an attestation to a live secure
+/// channel: the quoted enclave must have embedded THIS session's
+/// transcript hash, or the quote was lifted from another session.
+bool report_data_matches_hash(const ReportData& rd, const crypto::Sha256Digest& digest);
+
 }  // namespace securecloud::sgx

@@ -222,8 +222,11 @@ TEST(ChannelExtra, ManyMessagesBothDirections) {
   ChannelHandshake server(ChannelHandshake::Role::kResponder, entropy);
   const X25519Key cpk = client.local_public_key();
   const X25519Key spk = server.local_public_key();
-  auto c = std::move(client).complete(spk);
-  auto s = std::move(server).complete(cpk);
+  auto cr = std::move(client).complete(spk);
+  auto sr = std::move(server).complete(cpk);
+  ASSERT_TRUE(cr.ok() && sr.ok());
+  auto& c = *cr;
+  auto& s = *sr;
 
   Rng rng(7);
   for (int i = 0; i < 200; ++i) {
@@ -246,11 +249,98 @@ TEST(ChannelExtra, MismatchedHandshakeKeysFail) {
   const X25519Key cpk = client.local_public_key();
 
   // Client completes against the MITM's key; server against the client.
-  auto c = std::move(client).complete(mitm.local_public_key());
-  auto s = std::move(server).complete(cpk);
+  auto cr = std::move(client).complete(mitm.local_public_key());
+  auto sr = std::move(server).complete(cpk);
+  ASSERT_TRUE(cr.ok() && sr.ok());
   // Keys disagree: records cannot cross.
-  EXPECT_FALSE(s.open(c.seal(to_bytes("hello"))).ok());
-  EXPECT_NE(c.transcript_hash(), s.transcript_hash());
+  EXPECT_FALSE(sr->open(cr->seal(to_bytes("hello"))).ok());
+  EXPECT_NE(cr->transcript_hash(), sr->transcript_hash());
+}
+
+// ------------------------------------------------ record-layer abuse suite
+//
+// What an on-path attacker can do to a record stream once the handshake
+// is done: replay, reorder, truncate, and reflect. Every manipulation
+// must surface as a typed error, and the channel must keep working for
+// the still-valid direction where the protocol allows it.
+
+struct ChannelPair {
+  SecureChannel client;
+  SecureChannel server;
+};
+
+ChannelPair make_abuse_pair(std::uint64_t seed) {
+  DeterministicEntropy entropy(seed);
+  ChannelHandshake client(ChannelHandshake::Role::kInitiator, entropy);
+  ChannelHandshake server(ChannelHandshake::Role::kResponder, entropy);
+  const X25519Key cpk = client.local_public_key();
+  const X25519Key spk = server.local_public_key();
+  auto c = std::move(client).complete(spk);
+  auto s = std::move(server).complete(cpk);
+  EXPECT_TRUE(c.ok() && s.ok());
+  return {std::move(*c), std::move(*s)};
+}
+
+TEST(ChannelAbuse, ReplayAfterInterveningTraffic) {
+  auto [client, server] = make_abuse_pair(41);
+  const Bytes first = client.seal(to_bytes("one"));
+  ASSERT_TRUE(server.open(first).ok());
+  ASSERT_TRUE(server.open(client.seal(to_bytes("two"))).ok());
+  // Replaying the *first* record long after it was consumed must still
+  // fail (the window never reopens).
+  auto replay = server.open(first);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.error().code, ErrorCode::kProtocolError);
+}
+
+TEST(ChannelAbuse, ReorderIsRejectedButStreamSurvives) {
+  auto [client, server] = make_abuse_pair(42);
+  const Bytes w1 = client.seal(to_bytes("first"));
+  const Bytes w2 = client.seal(to_bytes("second"));
+  const Bytes w3 = client.seal(to_bytes("third"));
+  EXPECT_FALSE(server.open(w3).ok());  // skipped ahead
+  EXPECT_FALSE(server.open(w2).ok());  // still not the expected sequence
+  // The in-order record remains acceptable: rejects consume no state.
+  auto r1 = server.open(w1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(to_string(*r1), "first");
+}
+
+TEST(ChannelAbuse, TruncationAtEveryBoundaryFails) {
+  auto [client, server] = make_abuse_pair(43);
+  const Bytes wire = client.seal(to_bytes("do not shorten me"));
+  for (std::size_t keep : {std::size_t{0}, std::size_t{1}, wire.size() / 2,
+                           wire.size() - 17, wire.size() - 1}) {
+    const Bytes cut(wire.begin(),
+                    wire.begin() + static_cast<std::ptrdiff_t>(
+                                       std::min(keep, wire.size())));
+    EXPECT_FALSE(server.open(cut).ok()) << "accepted truncation to " << keep;
+  }
+  // Untouched record still opens: failed attempts burned no sequence.
+  EXPECT_TRUE(server.open(wire).ok());
+}
+
+TEST(ChannelAbuse, ReflectionAcrossDirectionsFails) {
+  auto [client, server] = make_abuse_pair(44);
+  // Reflecting a record back at its own sender must fail even at equal
+  // sequence numbers — the two directions run domain-separated nonces
+  // and independent keys.
+  const Bytes from_client = client.seal(to_bytes("bounce me"));
+  auto reflected = client.open(from_client);
+  ASSERT_FALSE(reflected.ok());
+  EXPECT_EQ(reflected.error().code, ErrorCode::kIntegrityViolation);
+  // And the legitimate receiver still accepts it afterwards.
+  EXPECT_TRUE(server.open(from_client).ok());
+}
+
+TEST(ChannelAbuse, TranscriptHashesAgreeAndBindBothKeys) {
+  auto [client, server] = make_abuse_pair(45);
+  EXPECT_EQ(client.transcript_hash(), server.transcript_hash());
+  // A different handshake (different ephemerals) yields a different
+  // transcript — the value is session-unique, which is what lets the
+  // attestation layer bind a quote to one live channel.
+  auto [client2, server2] = make_abuse_pair(46);
+  EXPECT_NE(client.transcript_hash(), client2.transcript_hash());
 }
 
 }  // namespace

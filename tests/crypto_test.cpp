@@ -457,8 +457,22 @@ std::pair<SecureChannel, SecureChannel> make_channel_pair(std::uint64_t seed) {
   ChannelHandshake server(ChannelHandshake::Role::kResponder, entropy);
   const X25519Key client_pub = client.local_public_key();
   const X25519Key server_pub = server.local_public_key();
-  return {std::move(client).complete(server_pub),
-          std::move(server).complete(client_pub)};
+  auto c = std::move(client).complete(server_pub);
+  auto s = std::move(server).complete(client_pub);
+  EXPECT_TRUE(c.ok() && s.ok());
+  return {std::move(*c), std::move(*s)};
+}
+
+TEST(SecureChannel, RejectsAllZeroSharedSecret) {
+  // RFC 7748 §6.1 contributory behavior: an all-zero peer point (and any
+  // low-order point) forces the X25519 output to zero, keying the channel
+  // on material the attacker already knows. complete() must refuse.
+  DeterministicEntropy entropy(99);
+  ChannelHandshake victim(ChannelHandshake::Role::kInitiator, entropy);
+  const X25519Key zero_point{};  // the all-zero u-coordinate
+  auto channel = std::move(victim).complete(zero_point);
+  ASSERT_FALSE(channel.ok());
+  EXPECT_EQ(channel.error().code, ErrorCode::kProtocolError);
 }
 
 TEST(SecureChannel, HandshakeAndBidirectionalTraffic) {

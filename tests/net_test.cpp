@@ -1,0 +1,867 @@
+// Cluster fabric tests: deterministic event ordering, link modelling,
+// fault behaviour, attested sessions, reliable flows, and the headline
+// acceptance property — a distributed MapReduce job over a lossy,
+// reordering, partitioning network is bit-identical (output, JobStats,
+// and every obs counter) for a fixed fault seed at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "bigdata/distributed_mapreduce.hpp"
+#include "bigdata/flow.hpp"
+#include "bigdata/mapreduce.hpp"
+#include "common/fault_injector.hpp"
+#include "common/thread_pool.hpp"
+#include "net/fabric.hpp"
+#include "net/session.hpp"
+#include "obs/registry.hpp"
+#include "scbr/overlay.hpp"
+
+namespace securecloud {
+namespace {
+
+using common::FaultArm;
+using common::FaultInjector;
+using common::FaultKind;
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+Bytes patterned(std::size_t n, std::uint8_t seed) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed + i * 31);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ Fabric
+
+TEST(Fabric, DeliversWithLatencyAndSerializationDelay) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  net::LinkConfig link;
+  link.latency_ns = 1000;
+  link.bandwidth_bytes_per_sec = 1'000'000'000;  // 1 byte per ns
+  ASSERT_TRUE(fabric.connect(a, b, link).ok());
+
+  std::vector<std::pair<std::uint64_t, Bytes>> got;
+  ASSERT_TRUE(fabric
+                  .set_handler(b, 7,
+                               [&](const net::Message& m) {
+                                 got.emplace_back(fabric.now_ns(), m.payload);
+                                 EXPECT_EQ(m.src, a);
+                                 EXPECT_EQ(m.dst, b);
+                                 EXPECT_EQ(m.channel, 7u);
+                               })
+                  .ok());
+
+  const Bytes payload = patterned(500, 1);
+  ASSERT_TRUE(fabric.send(a, b, 7, payload).ok());
+  fabric.run_until_idle();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 1500u);  // latency 1000 + 500 bytes at 1 B/ns
+  EXPECT_EQ(got[0].second, payload);
+  EXPECT_EQ(fabric.stats().messages_sent, 1u);
+  EXPECT_EQ(fabric.stats().messages_delivered, 1u);
+  EXPECT_EQ(fabric.stats().frames_sent, 1u);
+  EXPECT_EQ(fabric.stats().bytes_sent, 500u);
+  EXPECT_EQ(fabric.stats().bytes_delivered, 500u);
+  // Simulated time landed in the shared clock.
+  EXPECT_GE(clock.cycles(), 1u);
+}
+
+TEST(Fabric, SimultaneousDeliveriesKeepSendOrder) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+
+  std::vector<char> order;
+  ASSERT_TRUE(fabric
+                  .set_handler(b, 1,
+                               [&](const net::Message& m) {
+                                 order.push_back(static_cast<char>(m.payload[0]));
+                               })
+                  .ok());
+  // Equal sizes on separate back-to-back sends: identical delivery times;
+  // the enqueue sequence must break the tie in send order.
+  ASSERT_TRUE(fabric.send(a, b, 1, bytes_of("A")).ok());
+  ASSERT_TRUE(fabric.send(a, b, 1, bytes_of("B")).ok());
+  ASSERT_TRUE(fabric.send(a, b, 1, bytes_of("C")).ok());
+  fabric.run_until_idle();
+  EXPECT_EQ((std::vector<char>{'A', 'B', 'C'}), order);
+}
+
+TEST(Fabric, RejectsBadTopologyAndUnroutableSends) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  const net::NodeId c = fabric.add_node("c");
+
+  EXPECT_FALSE(fabric.connect(a, 99).ok());
+  EXPECT_FALSE(fabric.connect(a, a).ok());
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+  EXPECT_FALSE(fabric.connect(b, a).ok());  // duplicate (normalized) link
+
+  EXPECT_FALSE(fabric.send(a, 99, 1, bytes_of("x")).ok());  // unknown node
+  EXPECT_FALSE(fabric.send(a, c, 1, bytes_of("x")).ok());   // no link
+  EXPECT_FALSE(fabric.set_handler(99, 1, [](const net::Message&) {}).ok());
+  EXPECT_FALSE(fabric.set_partitioned(a, c, true).ok());
+}
+
+TEST(Fabric, FragmentsAndReassemblesAboveMtu) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  net::LinkConfig link;
+  link.mtu_bytes = 100;
+  ASSERT_TRUE(fabric.connect(a, b, link).ok());
+
+  Bytes got;
+  ASSERT_TRUE(
+      fabric.set_handler(b, 2, [&](const net::Message& m) { got = m.payload; })
+          .ok());
+  const Bytes payload = patterned(250, 3);
+  ASSERT_TRUE(fabric.send(a, b, 2, payload).ok());
+  fabric.run_until_idle();
+
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(fabric.stats().frames_sent, 3u);  // 100 + 100 + 50
+  EXPECT_EQ(fabric.stats().messages_delivered, 1u);
+}
+
+TEST(Fabric, LoopbackNeedsNoLink) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  int delivered = 0;
+  ASSERT_TRUE(
+      fabric.set_handler(a, 5, [&](const net::Message&) { ++delivered; }).ok());
+  ASSERT_TRUE(fabric.send(a, a, 5, bytes_of("self")).ok());
+  fabric.run_until_idle();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(fabric.now_ns(), 0u);  // loopback is free
+}
+
+TEST(Fabric, TimersShareTheEventQueueOrder) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  net::LinkConfig link;
+  link.latency_ns = 1000;
+  ASSERT_TRUE(fabric.connect(a, b, link).ok());
+
+  std::vector<std::string> order;
+  ASSERT_TRUE(fabric
+                  .set_handler(b, 1,
+                               [&](const net::Message&) { order.push_back("msg"); })
+                  .ok());
+  ASSERT_TRUE(fabric.send(a, b, 1, bytes_of("m")).ok());  // arrives ~1000
+  fabric.schedule(100, [&] { order.push_back("t100"); });
+  fabric.schedule(50, [&] { order.push_back("t50"); });
+  fabric.run_until_idle();
+
+  EXPECT_EQ((std::vector<std::string>{"t50", "t100", "msg"}), order);
+  EXPECT_EQ(fabric.stats().timers_fired, 2u);
+}
+
+TEST(Fabric, PartitionDropsUntilHealed) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+  int delivered = 0;
+  ASSERT_TRUE(
+      fabric.set_handler(b, 1, [&](const net::Message&) { ++delivered; }).ok());
+
+  ASSERT_TRUE(fabric.set_partitioned(a, b, true).ok());
+  ASSERT_TRUE(fabric.send(a, b, 1, bytes_of("lost")).ok());
+  fabric.run_until_idle();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(fabric.stats().messages_dropped, 1u);
+
+  ASSERT_TRUE(fabric.set_partitioned(a, b, false).ok());
+  ASSERT_TRUE(fabric.send(a, b, 1, bytes_of("ok")).ok());
+  fabric.run_until_idle();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Fabric, NetLossKillsTheWholeMessage) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(7, &clock);
+  fabric.set_fault_injector(&faults);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  net::LinkConfig link;
+  link.mtu_bytes = 100;
+  ASSERT_TRUE(fabric.connect(a, b, link).ok());
+  int delivered = 0;
+  ASSERT_TRUE(
+      fabric.set_handler(b, 1, [&](const net::Message&) { ++delivered; }).ok());
+
+  faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 1.0, .max_fires = 1});
+  ASSERT_TRUE(fabric.send(a, b, 1, patterned(250, 9)).ok());  // 3 frames
+  fabric.run_until_idle();
+  EXPECT_EQ(delivered, 0);  // one lost fragment loses the message
+  EXPECT_EQ(fabric.stats().frames_dropped, 1u);
+  EXPECT_EQ(fabric.stats().messages_dropped, 1u);
+
+  ASSERT_TRUE(fabric.send(a, b, 1, patterned(250, 9)).ok());  // fires spent
+  fabric.run_until_idle();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Fabric, NetDuplicateDeliversExactlyOnce) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(7, &clock);
+  fabric.set_fault_injector(&faults);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+  int delivered = 0;
+  ASSERT_TRUE(
+      fabric.set_handler(b, 1, [&](const net::Message&) { ++delivered; }).ok());
+
+  faults.arm(FaultKind::kNetDuplicate,
+             FaultArm{.probability = 1.0, .max_fires = 1});
+  ASSERT_TRUE(fabric.send(a, b, 1, bytes_of("once")).ok());
+  fabric.run_until_idle();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(fabric.stats().frames_duplicated, 1u);
+}
+
+TEST(Fabric, NetReorderDelaysAFrame) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(7, &clock);
+  fabric.set_fault_injector(&faults);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+  std::vector<char> order;
+  ASSERT_TRUE(fabric
+                  .set_handler(b, 1,
+                               [&](const net::Message& m) {
+                                 order.push_back(static_cast<char>(m.payload[0]));
+                               })
+                  .ok());
+
+  faults.arm(FaultKind::kNetReorder, FaultArm{.probability = 1.0, .max_fires = 1});
+  ASSERT_TRUE(fabric.send(a, b, 1, bytes_of("A")).ok());  // reordered: +2x latency
+  ASSERT_TRUE(fabric.send(a, b, 1, bytes_of("B")).ok());
+  fabric.run_until_idle();
+  EXPECT_EQ((std::vector<char>{'B', 'A'}), order);
+  EXPECT_EQ(fabric.stats().frames_reordered, 1u);
+}
+
+TEST(Fabric, UnhandledMessagesAreCounted) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+  ASSERT_TRUE(fabric.send(a, b, 42, bytes_of("nobody home")).ok());
+  fabric.run_until_idle();
+  EXPECT_EQ(fabric.stats().messages_unhandled, 1u);
+}
+
+// One chaotic scenario: same seed => same delivery log, stats, counters.
+TEST(Fabric, FaultScheduleIsReproducible) {
+  auto run = [](std::uint64_t seed) {
+    SimClock clock;
+    net::Fabric fabric(clock);
+    FaultInjector faults(seed, &clock);
+    fabric.set_fault_injector(&faults);
+    obs::Registry registry;
+    fabric.set_obs(&registry);
+    const net::NodeId a = fabric.add_node("a");
+    const net::NodeId b = fabric.add_node("b");
+    net::LinkConfig link;
+    link.mtu_bytes = 64;
+    EXPECT_TRUE(fabric.connect(a, b, link).ok());
+
+    std::ostringstream log;
+    EXPECT_TRUE(fabric
+                    .set_handler(b, 1,
+                                 [&](const net::Message& m) {
+                                   log << fabric.now_ns() << ':'
+                                       << static_cast<int>(m.payload[0]) << ';';
+                                 })
+                    .ok());
+    faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 0.3});
+    faults.arm(FaultKind::kNetDuplicate, FaultArm{.probability = 0.3});
+    faults.arm(FaultKind::kNetReorder, FaultArm{.probability = 0.3});
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_TRUE(
+          fabric.send(a, b, 1, patterned(32 + (i % 5) * 60, static_cast<std::uint8_t>(i)))
+              .ok());
+    }
+    fabric.run_until_idle();
+    log << "|stats:" << fabric.stats().messages_delivered << ','
+        << fabric.stats().frames_dropped << ',' << fabric.stats().frames_duplicated
+        << ',' << fabric.stats().frames_reordered;
+    return std::make_pair(log.str(), registry.to_json());
+  };
+
+  const auto first = run(0xFEED);
+  const auto second = run(0xFEED);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+// --------------------------------------------------------- AttestedSession
+
+struct SessionRig {
+  SimClock clock;
+  net::Fabric fabric{clock};
+  sgx::AttestationService service;
+  std::unique_ptr<sgx::Platform> platform_a;
+  std::unique_ptr<sgx::Platform> platform_b;
+  sgx::Enclave* enclave_a = nullptr;
+  sgx::Enclave* enclave_b = nullptr;
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+
+  SessionRig() {
+    a = fabric.add_node("a");
+    b = fabric.add_node("b");
+    EXPECT_TRUE(fabric.connect(a, b).ok());
+    sgx::PlatformConfig ca;
+    ca.platform_id = "platform-a";
+    ca.entropy_seed = 11;
+    sgx::PlatformConfig cb;
+    cb.platform_id = "platform-b";
+    cb.entropy_seed = 22;
+    platform_a = std::make_unique<sgx::Platform>(ca);
+    platform_b = std::make_unique<sgx::Platform>(cb);
+    const sgx::EnclaveImage image = bigdata::mapreduce_worker_image();
+    enclave_a = platform_a->create_enclave(image).value();
+    enclave_b = platform_b->create_enclave(image).value();
+  }
+
+  net::AttestedSession::Config config(net::NodeId self, net::NodeId peer,
+                                      sgx::Platform& platform,
+                                      sgx::Enclave* enclave) {
+    net::AttestedSession::Config c;
+    c.fabric = &fabric;
+    c.self = self;
+    c.peer = peer;
+    c.enclave = enclave;
+    c.platform = &platform;
+    c.attestation = &service;
+    return c;
+  }
+};
+
+TEST(AttestedSession, EstablishesAndExchangesRecords) {
+  SessionRig rig;
+  rig.platform_a->provision(rig.service);
+  rig.platform_b->provision(rig.service);
+  obs::Registry registry;
+
+  net::AttestedSession responder(
+      net::AttestedSession::Role::kResponder,
+      rig.config(rig.b, rig.a, *rig.platform_b, rig.enclave_b));
+  net::AttestedSession initiator(
+      net::AttestedSession::Role::kInitiator,
+      rig.config(rig.a, rig.b, *rig.platform_a, rig.enclave_a));
+  responder.set_obs(&registry);
+  initiator.set_obs(&registry);
+  ASSERT_TRUE(responder.bind().ok());
+  ASSERT_TRUE(initiator.bind().ok());
+
+  // Records are queued only after establishment.
+  EXPECT_EQ(initiator.send(bytes_of("early")).error().code,
+            ErrorCode::kUnavailable);
+
+  ASSERT_TRUE(initiator.start().ok());
+  rig.fabric.run_until_idle();
+
+  ASSERT_TRUE(initiator.established()) << initiator.failure().error().message;
+  ASSERT_TRUE(responder.established()) << responder.failure().error().message;
+  EXPECT_EQ(initiator.transcript_hash(), responder.transcript_hash());
+
+  Bytes at_responder, at_initiator;
+  responder.set_on_record([&](Bytes p) { at_responder = std::move(p); });
+  initiator.set_on_record([&](Bytes p) { at_initiator = std::move(p); });
+  ASSERT_TRUE(initiator.send(bytes_of("ping")).ok());
+  ASSERT_TRUE(responder.send(bytes_of("pong")).ok());
+  rig.fabric.run_until_idle();
+  EXPECT_EQ(at_responder, bytes_of("ping"));
+  EXPECT_EQ(at_initiator, bytes_of("pong"));
+}
+
+TEST(AttestedSession, UnknownPlatformFailsAttestation) {
+  SessionRig rig;
+  rig.platform_a->provision(rig.service);  // responder's platform NOT provisioned
+
+  net::AttestedSession responder(
+      net::AttestedSession::Role::kResponder,
+      rig.config(rig.b, rig.a, *rig.platform_b, rig.enclave_b));
+  net::AttestedSession initiator(
+      net::AttestedSession::Role::kInitiator,
+      rig.config(rig.a, rig.b, *rig.platform_a, rig.enclave_a));
+  ASSERT_TRUE(responder.bind().ok());
+  ASSERT_TRUE(initiator.bind().ok());
+  ASSERT_TRUE(initiator.start().ok());
+  rig.fabric.run_until_idle();
+
+  EXPECT_EQ(initiator.state(), net::AttestedSession::State::kFailed);
+  EXPECT_EQ(initiator.failure().error().code, ErrorCode::kAttestationFailure);
+  EXPECT_FALSE(responder.established());
+}
+
+TEST(AttestedSession, MrenclavePinRejectsWrongCodeIdentity) {
+  SessionRig rig;
+  rig.platform_a->provision(rig.service);
+  rig.platform_b->provision(rig.service);
+
+  auto initiator_config = rig.config(rig.a, rig.b, *rig.platform_a, rig.enclave_a);
+  sgx::Measurement wrong{};
+  wrong.fill(0x42);
+  initiator_config.expected_peer_mrenclave = wrong;
+
+  net::AttestedSession responder(
+      net::AttestedSession::Role::kResponder,
+      rig.config(rig.b, rig.a, *rig.platform_b, rig.enclave_b));
+  net::AttestedSession initiator(net::AttestedSession::Role::kInitiator,
+                                 initiator_config);
+  ASSERT_TRUE(responder.bind().ok());
+  ASSERT_TRUE(initiator.bind().ok());
+  ASSERT_TRUE(initiator.start().ok());
+  rig.fabric.run_until_idle();
+
+  EXPECT_EQ(initiator.state(), net::AttestedSession::State::kFailed);
+  EXPECT_EQ(initiator.failure().error().code, ErrorCode::kAttestationFailure);
+}
+
+// End-to-end regression for the contributory-behaviour check: a Hello
+// carrying the all-zero X25519 point must fail the handshake (the
+// shared secret would be all-zero — RFC 7748 §6.1), not establish a
+// channel keyed on attacker-chosen zeros.
+TEST(AttestedSession, RejectsAllZeroClientPublicKey) {
+  SessionRig rig;
+  rig.platform_a->provision(rig.service);
+  rig.platform_b->provision(rig.service);
+
+  net::AttestedSession responder(
+      net::AttestedSession::Role::kResponder,
+      rig.config(rig.b, rig.a, *rig.platform_b, rig.enclave_b));
+  ASSERT_TRUE(responder.bind().ok());
+
+  Bytes hello;
+  put_u8(hello, 1);  // kHello
+  put_blob(hello, Bytes(crypto::kX25519KeySize, 0x00));
+  ASSERT_TRUE(rig.fabric.send(rig.a, rig.b, 1, std::move(hello)).ok());
+  rig.fabric.run_until_idle();
+
+  EXPECT_EQ(responder.state(), net::AttestedSession::State::kFailed);
+  EXPECT_EQ(responder.failure().error().code, ErrorCode::kProtocolError);
+}
+
+// ---------------------------------------------------------------- FlowNode
+
+TEST(Flow, RecoversEveryPayloadOverLossyLink) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(1234, &clock);
+  fabric.set_fault_injector(&faults);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  net::LinkConfig link;
+  link.latency_ns = 20'000;
+  ASSERT_TRUE(fabric.connect(a, b, link).ok());
+
+  const Bytes key(16, 0xAB);
+  bigdata::FlowConfig fc;
+  fc.chunk_size = 1024;
+  bigdata::FlowNode sender(fabric, a, key, fc);
+  bigdata::FlowNode receiver(fabric, b, key, fc);
+
+  std::vector<Bytes> got;
+  receiver.set_on_payload([&](net::NodeId from, Bytes p) {
+    EXPECT_EQ(from, a);
+    got.push_back(std::move(p));
+  });
+
+  // First four frames on the wire are chunk frames: guaranteed losses,
+  // all of which NACK/retransmit recovery must repair.
+  faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 1.0, .max_fires = 4});
+
+  const std::vector<Bytes> payloads = {patterned(5000, 1), patterned(3000, 2),
+                                       patterned(4000, 3)};
+  for (const Bytes& p : payloads) ASSERT_TRUE(sender.send(b, p).ok());
+  fabric.run_until_idle();
+
+  EXPECT_EQ(got, payloads);  // exact, in order, despite 4 lost chunks
+  EXPECT_TRUE(sender.health().ok());
+  EXPECT_TRUE(receiver.health().ok());
+  EXPECT_TRUE(sender.settled());
+  EXPECT_TRUE(receiver.settled());
+  EXPECT_EQ(receiver.stats().payloads_delivered, 3u);
+  EXPECT_GE(sender.stats().retransmits, 4u);
+  EXPECT_GE(receiver.stats().nacks_sent, 4u);
+}
+
+TEST(Flow, AbandonedGapSurfacesAsTypedFailure) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(99, &clock);
+  fabric.set_fault_injector(&faults);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+
+  const Bytes key(16, 0xCD);
+  bigdata::FlowConfig fc;
+  fc.chunk_size = 512;
+  fc.retransmit_buffer_chunks = 1;  // retransmit requests will miss
+  fc.recovery.max_nacks_per_gap = 3;
+  bigdata::FlowNode sender(fabric, a, key, fc);
+  bigdata::FlowNode receiver(fabric, b, key, fc);
+  std::vector<Bytes> got;
+  receiver.set_on_payload([&](net::NodeId, Bytes p) { got.push_back(std::move(p)); });
+
+  // Lose chunk 0; with a one-chunk retransmit buffer the sender cannot
+  // repair it, so the receiver's NACK budget exhausts and the stream
+  // dies as a *typed* failure — and, critically, the fabric still idles
+  // (the kDead control stops the sender's beacons).
+  faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 1.0, .max_fires = 1});
+  ASSERT_TRUE(sender.send(b, patterned(4096, 7)).ok());
+  fabric.run_until_idle();
+
+  EXPECT_TRUE(got.empty());
+  ASSERT_FALSE(receiver.health().ok());
+  EXPECT_EQ(receiver.health().error().code, ErrorCode::kUnavailable);
+  ASSERT_FALSE(sender.health().ok());
+  EXPECT_EQ(sender.health().error().code, ErrorCode::kUnavailable);
+  EXPECT_TRUE(fabric.idle());
+}
+
+// --------------------------------------------- BrokerOverlay over the fabric
+
+TEST(Overlay, HopsChargeSimulatedNetworkTime) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  std::vector<net::NodeId> broker_node;
+  for (int i = 0; i < 3; ++i) {
+    broker_node.push_back(fabric.add_node("broker-" + std::to_string(i)));
+  }
+  net::LinkConfig link;
+  link.latency_ns = 50'000;
+  ASSERT_TRUE(fabric.connect(broker_node[0], broker_node[1], link).ok());
+  ASSERT_TRUE(fabric.connect(broker_node[1], broker_node[2], link).ok());
+  for (net::NodeId n : broker_node) {
+    ASSERT_TRUE(fabric.set_handler(n, 9, [](const net::Message&) {}).ok());
+  }
+
+  scbr::BrokerOverlay overlay(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(overlay.topology().ok());
+  overlay.set_hop_transport([&](scbr::BrokerId from, scbr::BrokerId to,
+                                std::size_t bytes) {
+    ASSERT_TRUE(
+        fabric.send(broker_node[from], broker_node[to], 9, Bytes(bytes, 0)).ok());
+  });
+
+  scbr::Filter hot;
+  hot.where("temp", scbr::Op::kGe, scbr::Value::of(std::int64_t{30}));
+  ASSERT_TRUE(overlay.subscribe(2, 7, hot).ok());  // propagates 2->1->0
+
+  scbr::Event event;
+  event.set("temp", std::int64_t{35});
+  auto matches = overlay.publish(0, event);  // routes 0->1->2
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0], 7u);
+
+  fabric.run_until_idle();
+  // Every overlay link crossing became exactly one fabric message...
+  EXPECT_EQ(fabric.stats().messages_sent,
+            overlay.stats().subscriptions_forwarded + overlay.stats().publication_hops);
+  EXPECT_EQ(fabric.stats().messages_delivered, fabric.stats().messages_sent);
+  // ...and the hops charged real simulated time into the shared clock.
+  EXPECT_GE(fabric.now_ns(), link.latency_ns);
+  EXPECT_GT(clock.cycles(), 0u);
+}
+
+// ------------------------------------------------- Distributed MapReduce
+
+std::vector<std::vector<Bytes>> word_partitions() {
+  const std::vector<std::vector<std::string>> raw = {
+      {"the quick brown fox", "jumps over the lazy dog"},
+      {"secure map reduce in the untrusted cloud", "the cloud is untrusted"},
+      {"attest then trust", "trust but verify", "verify the quote"},
+      {"shuffle the encrypted blocks", "reduce the shuffled blocks"},
+      {"latency bandwidth and loss", "loss duplication and reorder"},
+      {"the fabric is deterministic", "the schedule is a pure function"},
+      {"seeds make chaos reproducible", "the same seed the same run"},
+      {"counters must match bit for bit", "or the test fails"},
+  };
+  std::vector<std::vector<Bytes>> partitions;
+  for (const auto& lines : raw) {
+    std::vector<Bytes> records;
+    for (const std::string& line : lines) records.push_back(bytes_of(line));
+    partitions.push_back(std::move(records));
+  }
+  return partitions;
+}
+
+std::map<std::string, double> expected_word_counts() {
+  std::map<std::string, double> expect;
+  for (const auto& partition : word_partitions()) {
+    for (const Bytes& record : partition) {
+      std::istringstream in(std::string(record.begin(), record.end()));
+      std::string word;
+      while (in >> word) expect[word] += 1.0;
+    }
+  }
+  return expect;
+}
+
+bigdata::SecureMapReduce::MapFn word_count_map() {
+  return [](ByteView record) {
+    std::vector<bigdata::KeyValue> out;
+    std::istringstream in(std::string(record.begin(), record.end()));
+    std::string word;
+    while (in >> word) out.push_back({word, 1.0});
+    return out;
+  };
+}
+
+bigdata::SecureMapReduce::ReduceFn sum_reduce() {
+  return [](const std::string&, const std::vector<double>& values) {
+    double total = 0;
+    for (double v : values) total += v;
+    return total;
+  };
+}
+
+struct DistRun {
+  bigdata::JobResult result;
+  std::string obs_json;
+  std::uint64_t fabric_now_ns = 0;
+};
+
+DistRun run_distributed_job(std::uint64_t seed, std::size_t threads,
+                            bool with_faults) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(seed, &clock);
+  obs::Registry registry;
+  obs::Tracer tracer(clock);  // spans are wall-time-stamped: kept out of
+                              // the determinism comparison by design
+  fabric.set_obs(&registry, &tracer);
+  sgx::AttestationService service;
+
+  bigdata::DistributedMapReduceConfig config;
+  config.num_workers = 4;
+  config.num_reducers = 5;
+  config.enable_combiner = true;
+  bigdata::DistributedMapReduce driver(fabric, config);
+  driver.set_obs(&registry, &tracer);
+
+  Status setup = driver.setup(service);
+  EXPECT_TRUE(setup.ok()) << (setup.ok() ? "" : setup.error().message);
+
+  // Arm chaos only after setup: handshakes are the setup phase; data
+  // flows carry the recovery machinery.
+  fabric.set_fault_injector(&faults);
+  if (with_faults) {
+    faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 0.3, .max_fires = 25});
+    faults.arm(FaultKind::kNetReorder,
+               FaultArm{.probability = 0.2, .max_fires = 15});
+    faults.arm(FaultKind::kNetPartition,
+               FaultArm{.probability = 0.05, .max_fires = 4});
+  }
+
+  std::vector<std::vector<Bytes>> encrypted;
+  for (const auto& partition : word_partitions()) {
+    encrypted.push_back(driver.encrypt_partition(partition));
+  }
+
+  common::ThreadPool pool(threads);
+  driver.set_pool(threads <= 1 ? nullptr : &pool);
+
+  auto result = driver.run(encrypted, word_count_map(), sum_reduce());
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+  DistRun out;
+  if (result.ok()) out.result = std::move(*result);
+  out.obs_json = registry.to_json();
+  out.fabric_now_ns = fabric.now_ns();
+  return out;
+}
+
+TEST(DistributedMapReduce, ComputesWordCountAcrossTheCluster) {
+  const DistRun run = run_distributed_job(0xC0FFEE, 1, /*with_faults=*/false);
+  EXPECT_EQ(run.result.output, expected_word_counts());
+  EXPECT_EQ(run.result.stats.input_records, 17u);
+  EXPECT_GT(run.result.stats.intermediate_pairs, 0u);
+  EXPECT_GT(run.result.stats.shuffle_bytes, 0u);
+  EXPECT_GT(run.result.stats.enclave_transitions, 0u);
+  EXPECT_GT(run.result.stats.simulated_cycles, 0u);  // network time charged
+  EXPECT_GT(run.fabric_now_ns, 0u);
+}
+
+TEST(DistributedMapReduce, BackToBackJobsStayCorrect) {
+  // Same driver, two epochs: shuffle/result nonces must not collide.
+  SimClock clock;
+  net::Fabric fabric(clock);
+  sgx::AttestationService service;
+  bigdata::DistributedMapReduceConfig config;
+  config.num_workers = 4;
+  bigdata::DistributedMapReduce driver(fabric, config);
+  ASSERT_TRUE(driver.setup(service).ok());
+
+  std::vector<std::vector<Bytes>> encrypted;
+  for (const auto& partition : word_partitions()) {
+    encrypted.push_back(driver.encrypt_partition(partition));
+  }
+  auto first = driver.run(encrypted, word_count_map(), sum_reduce());
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  auto second = driver.run(encrypted, word_count_map(), sum_reduce());
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  EXPECT_EQ(first->output, expected_word_counts());
+  EXPECT_EQ(first->output, second->output);
+}
+
+// THE acceptance property: with loss, reorder, AND partition faults
+// armed, the distributed job over a 5-node cluster produces
+// bit-identical output, JobStats, and obs counters for a fixed seed —
+// at 1 thread vs 8 threads, and across repeated runs — and that output
+// equals the fault-free result (faults recover, never diverge).
+TEST(DistributedMapReduce, DeterministicUnderFaultsAtAnyThreadCount) {
+  const std::uint64_t seed = 42;
+  const DistRun serial = run_distributed_job(seed, 1, /*with_faults=*/true);
+  const DistRun pooled = run_distributed_job(seed, 8, /*with_faults=*/true);
+  const DistRun repeat = run_distributed_job(seed, 1, /*with_faults=*/true);
+  const DistRun clean = run_distributed_job(seed, 1, /*with_faults=*/false);
+
+  // Output: correct, and bit-identical across thread counts and runs.
+  EXPECT_EQ(serial.result.output, expected_word_counts());
+  EXPECT_EQ(serial.result.output, pooled.result.output);
+  EXPECT_EQ(serial.result.output, repeat.result.output);
+  EXPECT_EQ(serial.result.output, clean.result.output);
+
+  // JobStats: every field identical.
+  EXPECT_EQ(serial.result.stats.input_records, pooled.result.stats.input_records);
+  EXPECT_EQ(serial.result.stats.intermediate_pairs,
+            pooled.result.stats.intermediate_pairs);
+  EXPECT_EQ(serial.result.stats.shuffle_bytes, pooled.result.stats.shuffle_bytes);
+  EXPECT_EQ(serial.result.stats.enclave_transitions,
+            pooled.result.stats.enclave_transitions);
+  EXPECT_EQ(serial.result.stats.simulated_cycles,
+            pooled.result.stats.simulated_cycles);
+
+  // The whole observability surface — net_*, net_flow_*, transfer_*,
+  // net_session_*, dist_mapreduce_* — byte-for-byte.
+  EXPECT_EQ(serial.obs_json, pooled.obs_json);
+  EXPECT_EQ(serial.obs_json, repeat.obs_json);
+  EXPECT_EQ(serial.fabric_now_ns, pooled.fabric_now_ns);
+
+  // Sanity: chaos actually happened in the faulted runs (they took
+  // longer in simulated time than the clean run) yet converged.
+  EXPECT_GT(serial.fabric_now_ns, clean.fabric_now_ns);
+}
+
+// ------------------------------------------------------ FabricConcurrency
+// Memory-safety hammers for scripts/tsan_check.sh: concurrent send()
+// while another thread drains. (Schedule determinism is NOT claimed for
+// concurrent producers — see the fabric header contract.)
+
+TEST(FabricConcurrency, ParallelSendersAreRaceFree) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+
+  std::atomic<std::uint64_t> received{0};
+  ASSERT_TRUE(fabric
+                  .set_handler(b, 1,
+                               [&](const net::Message&) {
+                                 received.fetch_add(1, std::memory_order_relaxed);
+                               })
+                  .ok());
+
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 200;
+  std::atomic<bool> done{false};
+  std::thread drainer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      fabric.run_until_idle();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kSenders; ++t) {
+    senders.emplace_back([&, t] {
+      for (int i = 0; i < kPerSender; ++i) {
+        ASSERT_TRUE(
+            fabric.send(a, b, 1, patterned(64, static_cast<std::uint8_t>(t))).ok());
+      }
+    });
+  }
+  for (auto& s : senders) s.join();
+  done.store(true, std::memory_order_release);
+  drainer.join();
+  fabric.run_until_idle();  // drain the tail
+
+  const auto total = static_cast<std::uint64_t>(kSenders) * kPerSender;
+  EXPECT_EQ(fabric.stats().messages_sent, total);
+  EXPECT_EQ(fabric.stats().messages_delivered, total);
+  EXPECT_EQ(received.load(), total);
+}
+
+TEST(FabricConcurrency, ConcurrentTimersAndSendsConserveEvents) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+  std::atomic<std::uint64_t> fired{0};
+  std::atomic<std::uint64_t> received{0};
+  ASSERT_TRUE(fabric
+                  .set_handler(b, 1,
+                               [&](const net::Message&) {
+                                 received.fetch_add(1, std::memory_order_relaxed);
+                               })
+                  .ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        fabric.schedule(static_cast<std::uint64_t>(i + 1) * 10, [&] {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        });
+        ASSERT_TRUE(fabric.send(a, b, 1, patterned(16, 5)).ok());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  fabric.run_until_idle();
+
+  const auto each = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(fired.load(), each);
+  EXPECT_EQ(received.load(), each);
+  EXPECT_EQ(fabric.stats().timers_fired, each);
+  EXPECT_TRUE(fabric.idle());
+}
+
+}  // namespace
+}  // namespace securecloud
