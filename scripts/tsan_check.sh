@@ -4,7 +4,9 @@
 # Configures a second build tree with SECURECLOUD_SANITIZE=thread and
 # runs the thread-pool / parallel-determinism tests (plus the common
 # tests covering SimClock/ClockShard), the SPSC ring hammer, the
-# fault-injection suite, the obs registry/shard hammer, and the cluster
+# fault-injection suite, the obs registry/shard hammer + the
+# flight-recorder concurrent-append hammer and cross-thread span
+# handover (FlightRecorder.*/Trace.* in test_obs), and the cluster
 # fabric under concurrent enqueue (FabricConcurrency.*) under TSan.
 # Part of the tier-1 flow for changes touching the parallel execution
 # layer, the fault/recovery plane, the metrics plane, or src/net/.

@@ -44,9 +44,74 @@ void DistributedMapReduce::set_obs(obs::Registry* registry, obs::Tracer* tracer)
   for (auto& session : sessions_) session->set_obs(registry);
   if (coordinator_flow_) coordinator_flow_->set_obs(registry);
   for (auto& worker : workers_) {
-    if (worker->session) worker->session->set_obs(registry);
-    if (worker->flow) worker->flow->set_obs(registry);
+    if (worker->session) worker->session->set_obs(registry_for(*worker));
+    if (worker->flow) worker->flow->set_obs(registry_for(*worker));
   }
+}
+
+void DistributedMapReduce::enable_cluster_obs() {
+  if (!ready_) cluster_obs_ = true;
+}
+
+Result<obs::ClusterSnapshot> DistributedMapReduce::collect_cluster_snapshot() {
+  if (!cluster_obs_ || coordinator_obs_ == nullptr) {
+    return Error::protocol("cluster obs mode was not enabled before setup()");
+  }
+  obs_replies_.clear();
+  for (auto& worker : workers_) {
+    Bytes req;
+    put_u8(req, kObsSnapshotReq);
+    SC_RETURN_IF_ERROR(
+        fabric_.send(coordinator_node_, worker->node, kObsChannel, std::move(req)));
+  }
+  fabric_.run_until_idle();
+  std::vector<obs::NodeSnapshot> nodes;
+  nodes.push_back(coordinator_obs_->snapshot());
+  for (auto& snap : obs_replies_) nodes.push_back(std::move(snap));
+  obs_replies_.clear();
+  return obs::merge_snapshots(std::move(nodes));
+}
+
+std::string DistributedMapReduce::collect_flight_postmortem() {
+  obs_replies_.clear();
+  for (auto& worker : workers_) {
+    Bytes req;
+    put_u8(req, kObsFlightReq);
+    // Best effort: a worker the fabric cannot reach is simply absent
+    // from the dump (its absence is itself a deterministic symptom).
+    (void)fabric_.send(coordinator_node_, worker->node, kObsChannel, std::move(req));
+  }
+  fabric_.run_until_idle();
+  std::vector<obs::NodeSnapshot> nodes;
+  obs::NodeSnapshot coordinator;
+  coordinator.node = coordinator_obs_->node;
+  coordinator.flight = coordinator_obs_->flight.events();
+  coordinator.flight_total = coordinator_obs_->flight.total_recorded();
+  nodes.push_back(std::move(coordinator));
+  for (auto& snap : obs_replies_) nodes.push_back(std::move(snap));
+  obs_replies_.clear();
+  return obs::merge_snapshots(std::move(nodes)).to_flight_json();
+}
+
+void DistributedMapReduce::worker_on_obs_message(Worker& worker,
+                                                 const net::Message& message) {
+  ByteReader r(message.payload);
+  std::uint8_t type = 0;
+  if (!r.get_u8(type) || !r.done() || worker.onode == nullptr) return;
+  obs::NodeSnapshot snap;
+  if (type == kObsSnapshotReq) {
+    snap = worker.onode->snapshot();
+  } else if (type == kObsFlightReq) {
+    snap.node = worker.onode->node;
+    snap.flight = worker.onode->flight.events();
+    snap.flight_total = worker.onode->flight.total_recorded();
+  } else {
+    return;
+  }
+  Bytes wire;
+  put_u8(wire, kObsReply);
+  put_blob(wire, obs::serialize_node_snapshot(snap));
+  (void)fabric_.send(worker.node, message.src, kObsChannel, std::move(wire));
 }
 
 Status DistributedMapReduce::setup(sgx::AttestationService& service) {
@@ -72,6 +137,41 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
     }
   }
 
+  // --- per-node observability (cluster-obs mode) --------------------------
+  if (cluster_obs_) {
+    coordinator_obs_ = std::make_unique<obs::NodeObs>(
+        "coordinator", fabric_.clock(),
+        static_cast<std::uint32_t>(coordinator_node_), config_.flight_capacity);
+    for (auto& worker : workers_) {
+      worker->onode = std::make_unique<obs::NodeObs>(
+          "worker-" + std::to_string(worker->index), fabric_.clock(),
+          static_cast<std::uint32_t>(worker->node), config_.flight_capacity);
+    }
+    // Driver counters and the job span live on the coordinator node.
+    set_obs(&coordinator_obs_->registry, &coordinator_obs_->tracer);
+    // Obs collection plane: a raw fabric channel, deliberately independent
+    // of sessions and flows so postmortems work after the data plane died.
+    SC_RETURN_IF_ERROR(fabric_.set_handler(
+        coordinator_node_, kObsChannel, [this](const net::Message& m) {
+          ByteReader r(m.payload);
+          std::uint8_t type = 0;
+          Bytes blob;
+          if (!r.get_u8(type) || type != kObsReply || !r.get_blob(blob) ||
+              !r.done()) {
+            return;
+          }
+          auto snap = obs::deserialize_node_snapshot(blob);
+          if (snap.ok()) obs_replies_.push_back(std::move(*snap));
+        }));
+    for (auto& worker : workers_) {
+      Worker* worker_ptr = worker.get();
+      SC_RETURN_IF_ERROR(fabric_.set_handler(
+          worker->node, kObsChannel, [this, worker_ptr](const net::Message& m) {
+            worker_on_obs_message(*worker_ptr, m);
+          }));
+    }
+  }
+
   // --- platforms and enclaves --------------------------------------------
   const sgx::EnclaveImage image = mapreduce_worker_image();
   sgx::PlatformConfig coordinator_cfg;
@@ -79,6 +179,9 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
   coordinator_cfg.entropy_seed = config_.entropy_seed_base;
   coordinator_platform_ = std::make_unique<sgx::Platform>(coordinator_cfg);
   coordinator_platform_->provision(service);
+  if (coordinator_obs_) {
+    coordinator_platform_->memory().epc().set_flight(&coordinator_obs_->flight);
+  }
   auto coordinator_enclave = coordinator_platform_->create_enclave(image);
   if (!coordinator_enclave.ok()) return coordinator_enclave.error();
   coordinator_enclave_ = *coordinator_enclave;
@@ -90,6 +193,9 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
     worker_cfg.entropy_seed = config_.entropy_seed_base + 1 + worker->index;
     worker->platform = std::make_unique<sgx::Platform>(worker_cfg);
     worker->platform->provision(service);
+    if (worker->onode) {
+      worker->platform->memory().epc().set_flight(&worker->onode->flight);
+    }
     auto enclave = worker->platform->create_enclave(image);
     if (!enclave.ok()) return enclave.error();
     worker->enclave = *enclave;
@@ -123,7 +229,8 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
     worker.session->set_on_record([this, worker_ptr](Bytes record) {
       worker_on_record(*worker_ptr, std::move(record));
     });
-    worker.session->set_obs(registry_);
+    worker.session->set_obs(registry_for(worker));
+    if (worker.onode) worker.session->set_flight(&worker.onode->flight);
 
     sessions_.push_back(std::make_unique<net::AttestedSession>(
         net::AttestedSession::Role::kInitiator,
@@ -138,6 +245,7 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
             .expected_peer_mrenclave = policy,
         }));
     sessions_.back()->set_obs(registry_);
+    if (coordinator_obs_) sessions_.back()->set_flight(&coordinator_obs_->flight);
     SC_RETURN_IF_ERROR(establish_session(w));
   }
 
@@ -147,6 +255,7 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
     coordinator_on_flow_payload(from, std::move(payload));
   });
   coordinator_flow_->set_obs(registry_);
+  if (coordinator_obs_) coordinator_flow_->set_flight(&coordinator_obs_->flight);
 
   ready_ = true;
   return {};
@@ -227,10 +336,12 @@ void DistributedMapReduce::worker_on_record(Worker& worker, Bytes record) {
   worker.flow =
       std::make_unique<FlowNode>(fabric_, worker.node, worker.job_key, config_.flow);
   Worker* worker_ptr = &worker;
-  worker.flow->set_on_payload([this, worker_ptr](net::NodeId from, Bytes payload) {
-    worker_on_flow_payload(*worker_ptr, from, std::move(payload));
-  });
-  worker.flow->set_obs(registry_);
+  worker.flow->set_on_payload_ctx(
+      [this, worker_ptr](net::NodeId from, Bytes payload, obs::TraceContext ctx) {
+        worker_on_flow_payload(*worker_ptr, from, std::move(payload), ctx);
+      });
+  worker.flow->set_obs(registry_for(worker));
+  if (worker.onode) worker.flow->set_flight(&worker.onode->flight);
   worker.configured = true;
 }
 
@@ -245,12 +356,16 @@ void DistributedMapReduce::worker_fail(Worker& worker, Error error) {
 }
 
 void DistributedMapReduce::worker_on_flow_payload(Worker& worker, net::NodeId from,
-                                                  Bytes payload) {
+                                                  Bytes payload,
+                                                  obs::TraceContext ctx) {
   ByteReader r(payload);
   std::uint8_t type = 0;
   if (!r.get_u8(type)) return;
   switch (type) {
     case kMapTask: {
+      // The chunk header carried the coordinator's job-span context;
+      // this worker's map/reduce spans causally parent to it.
+      worker.job_ctx = ctx;
       worker_handle_map_task(worker, r);
       return;
     }
@@ -305,6 +420,12 @@ void DistributedMapReduce::worker_begin_epoch(Worker& worker, std::uint64_t epoc
   worker.received_remote_blocks = 0;
   worker.map_done = false;
   worker.reduced = false;
+  worker.map_span.reset();
+  worker.reduce_span.reset();
+  worker.pending_map_output.clear();
+  worker.pending_map_records = 0;
+  worker.pending_map_pairs = 0;
+  worker.pending_result_wire.clear();
 }
 
 void DistributedMapReduce::worker_handle_map_task(Worker& worker, ByteReader& reader) {
@@ -375,6 +496,51 @@ void DistributedMapReduce::worker_handle_map_task(Worker& worker, ByteReader& re
     }
   }
 
+  // Map span: opens at task arrival (fabric time), parented to the
+  // coordinator's job span via the adopted chunk-header context; the
+  // deferred finish event closes it after the modeled compute delay.
+  if (worker.onode) {
+    worker.map_span = std::make_unique<obs::Span>(
+        &worker.onode->tracer, "dist_mapreduce.map_task", worker.job_ctx);
+    worker.map_span->set_attribute("worker", std::to_string(worker.index));
+    worker.map_span->set_attribute("records", std::to_string(records.size()));
+    worker.onode->registry.counter("dist_worker_map_records_total")
+        .inc(records.size());
+    worker.onode->registry.counter("dist_worker_map_pairs_total").inc(pair_count);
+  }
+
+  worker.pending_map_output = std::move(per_reducer);
+  worker.pending_map_records = records.size();
+  worker.pending_map_pairs = pair_count;
+
+  // Charge the modeled map compute into *fabric* time, scaled by this
+  // node's compute skew (the straggler model): the shuffle cannot leave
+  // the node before the mapper has finished, so a slowed node holds the
+  // whole shuffle barrier back proportionally.
+  const std::uint64_t compute_ns = fabric_.scaled_compute_ns(
+      worker.node, config_.map_compute_ns_per_record *
+                       static_cast<std::uint64_t>(records.size()));
+  Worker* worker_ptr = &worker;
+  const std::uint64_t epoch_now = worker.epoch;
+  fabric_.schedule(compute_ns, [this, worker_ptr, epoch_now] {
+    worker_finish_map_task(*worker_ptr, epoch_now);
+  });
+}
+
+void DistributedMapReduce::worker_finish_map_task(Worker& worker,
+                                                  std::uint64_t epoch) {
+  if (worker.epoch != epoch || worker.map_done) return;  // superseded epoch
+  const std::size_t W = worker.num_workers;
+  const std::size_t R = worker.num_reducers;
+  std::vector<std::vector<KeyValue>> per_reducer =
+      std::move(worker.pending_map_output);
+  worker.pending_map_output.clear();
+
+  // Shuffle and map-done records carry the map span's context so remote
+  // deliveries of this worker's output attribute to it in the trace.
+  obs::TraceContext ctx;
+  if (worker.map_span) ctx = worker.map_span->context();
+
   // One sealed block per reducer — *always*, even when empty, so every
   // owner can count to exactly (W-1) * owned blocks without timing out.
   crypto::AesGcm gcm(worker.job_key);
@@ -398,18 +564,23 @@ void DistributedMapReduce::worker_handle_map_task(Worker& worker, ByteReader& re
       put_u64(wire, worker.index);
       put_u64(wire, r);
       put_blob(wire, block);
-      (void)worker.flow->send(worker.worker_nodes[owner], wire);
+      (void)worker.flow->send(worker.worker_nodes[owner], wire, ctx);
     }
   }
 
   Bytes done;
   put_u8(done, kMapDone);
   put_u64(done, worker.index);
-  put_u64(done, records.size());
-  put_u64(done, pair_count);
+  put_u64(done, worker.pending_map_records);
+  put_u64(done, worker.pending_map_pairs);
   put_u64(done, shuffle_bytes);
   put_u64(done, 1);  // enclave transitions for the map task
-  (void)worker.flow->send(worker.coordinator_node, done);
+  (void)worker.flow->send(worker.coordinator_node, done, ctx);
+
+  if (worker.map_span) {
+    worker.map_span->set_attribute("shuffle_bytes", std::to_string(shuffle_bytes));
+    worker.map_span.reset();  // close at the post-compute fabric timestamp
+  }
 
   worker.map_done = true;
   worker_maybe_reduce(worker);
@@ -427,6 +598,7 @@ void DistributedMapReduce::worker_maybe_reduce(Worker& worker) {
 
   const ReduceFn& reduce_fn = *current_reduce_fn_;
   crypto::AesGcm gcm(worker.job_key);
+  std::size_t pairs_consumed = 0;
   Bytes result_plain;
   put_u64(result_plain, 1);  // enclave transitions for the reduce task
   put_u32(result_plain, static_cast<std::uint32_t>(worker.owned_reducers.size()));
@@ -446,7 +618,10 @@ void DistributedMapReduce::worker_maybe_reduce(Worker& worker) {
         worker_fail(worker, pairs.error());
         return;
       }
-      for (auto& kv : *pairs) groups[kv.key].push_back(kv.value);
+      for (auto& kv : *pairs) {
+        groups[kv.key].push_back(kv.value);
+        ++pairs_consumed;
+      }
     }
     std::vector<KeyValue> output;
     for (auto& [key, values] : groups) {
@@ -454,6 +629,18 @@ void DistributedMapReduce::worker_maybe_reduce(Worker& worker) {
     }
     put_u64(result_plain, r);
     put_blob(result_plain, serialize_pairs(output));
+  }
+
+  // Reduce span: opens when the last shuffle block arrived (now, in
+  // fabric time), parented to the job span; the deferred finish closes
+  // it after the modeled reduce compute and ships the sealed result.
+  if (worker.onode) {
+    worker.reduce_span = std::make_unique<obs::Span>(
+        &worker.onode->tracer, "dist_mapreduce.reduce_task", worker.job_ctx);
+    worker.reduce_span->set_attribute("worker", std::to_string(worker.index));
+    worker.reduce_span->set_attribute("pairs", std::to_string(pairs_consumed));
+    worker.onode->registry.counter("dist_worker_reduce_pairs_total")
+        .inc(pairs_consumed);
   }
 
   const std::uint64_t counter = worker.epoch * worker.num_workers + worker.index + 1;
@@ -464,7 +651,25 @@ void DistributedMapReduce::worker_maybe_reduce(Worker& worker) {
   put_u8(wire, kResult);
   put_u64(wire, worker.index);
   put_blob(wire, sealed);
-  (void)worker.flow->send(worker.coordinator_node, wire);
+  worker.pending_result_wire = std::move(wire);
+
+  const std::uint64_t compute_ns = fabric_.scaled_compute_ns(
+      worker.node, config_.reduce_compute_ns_per_pair *
+                       static_cast<std::uint64_t>(pairs_consumed));
+  Worker* worker_ptr = &worker;
+  const std::uint64_t epoch_now = worker.epoch;
+  fabric_.schedule(compute_ns, [this, worker_ptr, epoch_now] {
+    worker_finish_reduce(*worker_ptr, epoch_now);
+  });
+}
+
+void DistributedMapReduce::worker_finish_reduce(Worker& worker, std::uint64_t epoch) {
+  if (worker.epoch != epoch || worker.pending_result_wire.empty()) return;
+  obs::TraceContext ctx;
+  if (worker.reduce_span) ctx = worker.reduce_span->context();
+  (void)worker.flow->send(worker.coordinator_node, worker.pending_result_wire, ctx);
+  worker.pending_result_wire.clear();
+  worker.reduce_span.reset();  // close at the post-compute fabric timestamp
 }
 
 void DistributedMapReduce::coordinator_on_flow_payload(net::NodeId from,
@@ -529,6 +734,10 @@ void DistributedMapReduce::coordinator_on_flow_payload(net::NodeId from,
       }
       bump(obs_results_);
       ++results_count_;
+      // Last result in: the job is logically complete — close its span
+      // *now*, at the in-loop timestamp, so the post-job ACK/settle
+      // traffic is not attributed to job time.
+      if (results_count_ == config_.num_workers) job_span_.reset();
       (void)from;
       return;
     }
@@ -557,12 +766,17 @@ Result<JobResult> DistributedMapReduce::run(
   if (!ready_) return Error::protocol("setup() has not completed");
   const auto fail = [this](Error error) -> Error {
     bump(obs_job_failures_);
+    // Typed failure: capture every reachable node's flight-recorder ring
+    // alongside the error (the deterministic postmortem).
+    if (cluster_obs_ && coordinator_obs_) postmortem_ = collect_flight_postmortem();
     return error;
   };
 
-  obs::Span span(tracer_, "dist_mapreduce.job");
-  span.set_attribute("workers", std::to_string(config_.num_workers));
-  span.set_attribute("partitions", std::to_string(encrypted_partitions.size()));
+  job_span_ = std::make_unique<obs::Span>(tracer_, "dist_mapreduce.job");
+  job_span_->set_attribute("workers", std::to_string(config_.num_workers));
+  job_span_->set_attribute("partitions",
+                           std::to_string(encrypted_partitions.size()));
+  const obs::TraceContext job_ctx = job_span_->context();
 
   ++epoch_;
   collect_ = JobResult{};
@@ -588,13 +802,16 @@ Result<JobResult> DistributedMapReduce::run(
     put_u32(task, static_cast<std::uint32_t>(per_worker[w].size()));
     for (const Bytes& record : per_worker[w]) put_blob(task, record);
     bump(obs_map_tasks_);
-    SC_RETURN_IF_ERROR(coordinator_flow_->send(workers_[w]->node, task));
+    SC_RETURN_IF_ERROR(coordinator_flow_->send(workers_[w]->node, task, job_ctx));
   }
 
   // One serial event loop drives the entire job: task delivery, map
   // compute, shuffle, NACK recovery timers, reduce, result collection.
   fabric_.run_until_idle();
 
+  // Failure paths reach here with the span still open (the success path
+  // closed it inside the event loop, at the last result's timestamp).
+  job_span_.reset();
   current_map_fn_ = nullptr;
   current_reduce_fn_ = nullptr;
 

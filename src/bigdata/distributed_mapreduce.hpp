@@ -37,6 +37,7 @@
 #include "bigdata/flow.hpp"
 #include "bigdata/mapreduce.hpp"
 #include "net/session.hpp"
+#include "obs/cluster.hpp"
 
 namespace securecloud::bigdata {
 
@@ -51,6 +52,15 @@ struct DistributedMapReduceConfig {
   /// worker w gets base + 1 + w): distinct platforms must not share
   /// entropy streams or their attestation keys would collide.
   std::uint64_t entropy_seed_base = 0x5EED;
+  /// Simulated worker compute charged into *fabric* time before a
+  /// worker's shuffle (map) or result (reduce) leaves its node, scaled
+  /// by the node's Fabric compute skew — the straggler model: a 4x-skew
+  /// worker holds the whole shuffle barrier 4x longer, which the
+  /// critical-path analyzer then attributes to that node.
+  std::uint64_t map_compute_ns_per_record = 20'000;
+  std::uint64_t reduce_compute_ns_per_pair = 2'000;
+  /// Per-node flight-recorder ring capacity (cluster-obs mode).
+  std::size_t flight_capacity = 128;
 };
 
 class DistributedMapReduce {
@@ -89,6 +99,31 @@ class DistributedMapReduce {
   /// Also wires the underlying sessions and flows into `registry`.
   void set_obs(obs::Registry* registry, obs::Tracer* tracer = nullptr);
 
+  /// Per-node observability mode: every node gets its own Registry /
+  /// Tracer / FlightRecorder (obs::NodeObs) and sessions, flows, and
+  /// worker spans wire to their *own* node's bundle; driver counters
+  /// and the job span live on the coordinator node. Call before
+  /// setup(); overrides any earlier set_obs() wiring. Worker spans
+  /// causally parent to the coordinator's job span via TraceContexts
+  /// carried in flow chunk headers.
+  void enable_cluster_obs();
+  bool cluster_obs_enabled() const { return cluster_obs_; }
+  obs::NodeObs* coordinator_obs() { return coordinator_obs_.get(); }
+  obs::NodeObs* worker_obs(std::size_t w) { return workers_[w]->onode.get(); }
+
+  /// Collects every worker's NodeSnapshot over the fabric (obs channel
+  /// request/reply), adds the coordinator's local snapshot, and merges
+  /// them (sorted by node name). Deterministic for a fixed seed: all
+  /// snapshots are taken inside the serial event loop. Requires
+  /// cluster-obs mode and a completed setup(). Workers whose reply the
+  /// (possibly still fault-armed) fabric eats are simply absent.
+  Result<obs::ClusterSnapshot> collect_cluster_snapshot();
+
+  /// Flight-recorder dump (securecloud.flight.v2 across all reachable
+  /// nodes) captured automatically when run() returns a typed error in
+  /// cluster-obs mode; empty until a failure happened.
+  const std::string& last_postmortem() const { return postmortem_; }
+
   net::NodeId coordinator_node() const { return coordinator_node_; }
   net::NodeId worker_node(std::size_t w) const { return workers_[w]->node; }
   std::size_t num_workers() const { return config_.num_workers; }
@@ -102,6 +137,12 @@ class DistributedMapReduce {
   static constexpr std::uint8_t kResult = 4;
   /// Nonce domain for sealed worker->coordinator result blocks.
   static constexpr std::uint32_t kResultDomain = 0x4452534c;  // "DRSL"
+  /// Raw fabric channel for obs snapshot collection (no session/flow —
+  /// must work even after the data plane died, for postmortems).
+  static constexpr std::uint32_t kObsChannel = 9;
+  static constexpr std::uint8_t kObsSnapshotReq = 1;
+  static constexpr std::uint8_t kObsFlightReq = 2;
+  static constexpr std::uint8_t kObsReply = 3;
 
   struct Worker {
     std::size_t index = 0;
@@ -130,6 +171,23 @@ class DistributedMapReduce {
     /// blocks[r][m]: sealed shuffle block from mapper m for owned
     /// reducer r (fixed slots — arrival order cannot perturb reduce).
     std::map<std::size_t, std::vector<Bytes>> blocks;
+
+    /// Cluster-obs mode: this node's registry/tracer/flight bundle.
+    std::unique_ptr<obs::NodeObs> onode;
+    /// Trace context of the coordinator's job span, adopted from the
+    /// kMapTask chunk header; parents this worker's spans.
+    obs::TraceContext job_ctx;
+    /// In-flight spans (opened at task arrival / reduce start, closed
+    /// by the deferred finish event after the modeled compute delay).
+    std::unique_ptr<obs::Span> map_span;
+    std::unique_ptr<obs::Span> reduce_span;
+    /// Map output parked between compute start and the deferred
+    /// shuffle send: per_reducer[r] = combined pairs for reducer r.
+    std::vector<std::vector<KeyValue>> pending_map_output;
+    std::size_t pending_map_records = 0;
+    std::size_t pending_map_pairs = 0;
+    /// Sealed result wire parked until the deferred reduce finish.
+    Bytes pending_result_wire;
   };
 
   DistributedMapReduce* self() { return this; }
@@ -137,11 +195,19 @@ class DistributedMapReduce {
   void coordinator_dispatch(const net::Message& message);
   void worker_on_record(Worker& worker, Bytes record);
   void worker_begin_epoch(Worker& worker, std::uint64_t epoch);
-  void worker_on_flow_payload(Worker& worker, net::NodeId from, Bytes payload);
+  void worker_on_flow_payload(Worker& worker, net::NodeId from, Bytes payload,
+                              obs::TraceContext ctx);
   void worker_handle_map_task(Worker& worker, ByteReader& reader);
+  void worker_finish_map_task(Worker& worker, std::uint64_t epoch);
   void worker_maybe_reduce(Worker& worker);
+  void worker_finish_reduce(Worker& worker, std::uint64_t epoch);
   void worker_fail(Worker& worker, Error error);
   void coordinator_on_flow_payload(net::NodeId from, Bytes payload);
+  void worker_on_obs_message(Worker& worker, const net::Message& message);
+  std::string collect_flight_postmortem();
+  obs::Registry* registry_for(const Worker& worker) {
+    return worker.onode ? &worker.onode->registry : registry_;
+  }
   void bump(obs::Counter* counter, std::uint64_t delta = 1) {
     if (counter != nullptr) counter->inc(delta);
   }
@@ -171,6 +237,19 @@ class DistributedMapReduce {
   std::size_t map_done_count_ = 0;
   std::size_t results_count_ = 0;
   std::optional<Error> job_error_;
+  /// The per-run dist_mapreduce.job span. Closed the moment the last
+  /// worker result lands — not when the fabric drains — so the span
+  /// covers the job, not the post-job flow-settle tail (which would
+  /// otherwise be mis-charged to the coordinator by the critical-path
+  /// analyzer).
+  std::unique_ptr<obs::Span> job_span_;
+
+  bool cluster_obs_ = false;
+  std::unique_ptr<obs::NodeObs> coordinator_obs_;
+  /// Snapshot replies collected during collect_cluster_snapshot() /
+  /// postmortem collection (delivery order; merge re-sorts by name).
+  std::vector<obs::NodeSnapshot> obs_replies_;
+  std::string postmortem_;
 
   obs::Registry* registry_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

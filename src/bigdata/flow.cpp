@@ -56,13 +56,24 @@ FlowNode::Inbound& FlowNode::inbound(net::NodeId src) {
 }
 
 void FlowNode::send_chunk(net::NodeId dst, std::uint64_t high_water,
-                          ByteView wire) {
+                          ByteView wire, obs::TraceContext trace) {
   // Chunk envelope: the sender's high-water mark rides along so the
-  // receiver can detect trailing losses without waiting for a beacon.
+  // receiver can detect trailing losses without waiting for a beacon,
+  // and the trace context so delivered payloads keep their causal
+  // parent across the hop.
   Bytes envelope;
   put_u64(envelope, high_water);
+  obs::put_trace_context(envelope, trace);
   put_blob(envelope, wire);
-  (void)fabric_.send(self_, dst, config_.chunk_channel, std::move(envelope));
+  (void)fabric_.send(self_, dst, config_.chunk_channel, std::move(envelope),
+                     trace);
+}
+
+void FlowNode::note_flight(const char* category, net::NodeId peer,
+                           std::uint64_t value) {
+  if (flight_ == nullptr) return;
+  flight_->record(category, "peer=" + std::to_string(peer) +
+                                " seq=" + std::to_string(value));
 }
 
 void FlowNode::send_control(net::NodeId dst, std::uint8_t type,
@@ -73,14 +84,16 @@ void FlowNode::send_control(net::NodeId dst, std::uint8_t type,
   (void)fabric_.send(self_, dst, config_.control_channel, std::move(wire));
 }
 
-Status FlowNode::send(net::NodeId dst, ByteView payload) {
+Status FlowNode::send(net::NodeId dst, ByteView payload,
+                      obs::TraceContext trace) {
   Outbound& out = outbound(dst);
+  out.last_trace = trace;
   const std::vector<Bytes> chunks = out.sender->send(payload);
   for (const Bytes& chunk : chunks) {
     ++out.chunks_sent;
     ++stats_.chunks_sent;
     bump(obs_chunks_sent_);
-    send_chunk(dst, out.chunks_sent, chunk);
+    send_chunk(dst, out.chunks_sent, chunk, trace);
   }
   ++stats_.payloads_sent;
   bump(obs_payloads_sent_);
@@ -91,8 +104,10 @@ Status FlowNode::send(net::NodeId dst, ByteView payload) {
 void FlowNode::on_chunk(const net::Message& message) {
   ByteReader r(message.payload);
   std::uint64_t high_water = 0;
+  obs::TraceContext trace;
   Bytes wire;
-  if (!r.get_u64(high_water) || !r.get_blob(wire) || !r.done()) {
+  if (!r.get_u64(high_water) || !obs::get_trace_context(r, trace) ||
+      !r.get_blob(wire) || !r.done()) {
     // A frame-level corruption model would live in the fabric; a bad
     // envelope here means a peer bug — drop it, the gap machinery
     // re-requests whatever it carried.
@@ -102,6 +117,7 @@ void FlowNode::on_chunk(const net::Message& message) {
   auto payloads = in.receiver->receive_any(wire);
   if (!payloads.ok()) {
     if (failure_.ok()) failure_ = payloads.error();
+    note_flight("dead_stream", message.src, in.receiver->next_expected());
     send_control(message.src, kDead, 0);
     return;
   }
@@ -114,7 +130,11 @@ void FlowNode::on_chunk(const net::Message& message) {
     for (Bytes& payload : *payloads) {
       ++stats_.payloads_delivered;
       bump(obs_payloads_delivered_);
-      if (on_payload_) on_payload_(message.src, std::move(payload));
+      if (on_payload_ctx_) {
+        on_payload_ctx_(message.src, std::move(payload), trace);
+      } else if (on_payload_) {
+        on_payload_(message.src, std::move(payload));
+      }
     }
   }
   if (in.receiver->has_pending_gaps()) arm_timer();
@@ -133,7 +153,9 @@ void FlowNode::on_control(const net::Message& message) {
       if (wire.ok()) {
         ++stats_.retransmits;
         bump(obs_retransmits_);
-        send_chunk(message.src, it->second.chunks_sent, *wire);
+        note_flight("retransmit", message.src, value);
+        send_chunk(message.src, it->second.chunks_sent, *wire,
+                   it->second.last_trace);
       }
       // kNotFound: evicted from the retransmit buffer. The receiver's
       // NACK budget will exhaust and surface kUnavailable — the typed
@@ -155,6 +177,7 @@ void FlowNode::on_control(const net::Message& message) {
         // This stream is beyond recovery: answering the beacon with an
         // ack would keep the sender retrying forever.
         if (failure_.ok()) failure_ = std::move(h);
+        note_flight("dead_stream", message.src, in.receiver->next_expected());
         send_control(message.src, kDead, 0);
         return;
       }
@@ -166,6 +189,7 @@ void FlowNode::on_control(const net::Message& message) {
       auto it = outbound_.find(message.src);
       if (it == outbound_.end()) return;
       it->second.dead = true;
+      note_flight("dead_stream", message.src, it->second.chunks_sent);
       if (failure_.ok()) {
         failure_ = Status(Error{ErrorCode::kUnavailable,
                                 "peer abandoned inbound stream"});
@@ -200,6 +224,7 @@ void FlowNode::on_timer() {
     for (const Nack& nack : in.receiver->take_due_nacks()) {
       ++stats_.nacks_sent;
       bump(obs_nacks_sent_);
+      note_flight("nack", peer, nack.sequence);
       send_control(peer, kNack, nack.sequence);
     }
     if (Status h = in.receiver->health(); !h.ok() && failure_.ok()) {

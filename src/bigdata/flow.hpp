@@ -60,6 +60,11 @@ struct FlowStats {
 class FlowNode {
  public:
   using OnPayload = std::function<void(net::NodeId from, Bytes payload)>;
+  /// Context-aware variant: also receives the trace context carried in
+  /// the chunk header that completed the payload (invalid when the
+  /// sender attached none). Preferred over OnPayload when set.
+  using OnPayloadCtx =
+      std::function<void(net::NodeId from, Bytes payload, obs::TraceContext)>;
 
   FlowNode(net::Fabric& fabric, net::NodeId self, ByteView key,
            FlowConfig config = {});
@@ -69,9 +74,12 @@ class FlowNode {
 
   /// Chunks `payload`, sends every chunk toward `dst`, and arms the poll
   /// timer that will beacon/retransmit until the peer acknowledges.
-  Status send(net::NodeId dst, ByteView payload);
+  /// `trace` (optional) rides every chunk header; retransmits carry the
+  /// flow's most recent context (best-effort attribution).
+  Status send(net::NodeId dst, ByteView payload, obs::TraceContext trace = {});
 
   void set_on_payload(OnPayload fn) { on_payload_ = std::move(fn); }
+  void set_on_payload_ctx(OnPayloadCtx fn) { on_payload_ctx_ = std::move(fn); }
 
   /// True when every outbound chunk has been cumulatively acked and no
   /// inbound flow has an open gap.
@@ -88,6 +96,10 @@ class FlowNode {
   /// aggregate across flows).
   void set_obs(obs::Registry* registry);
 
+  /// Flight recorder notified of recovery activity on this node: NACKs
+  /// sent, retransmits served, dead streams (both directions).
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
  private:
   // Control record types (first byte on control_channel).
   static constexpr std::uint8_t kNack = 1;
@@ -103,6 +115,7 @@ class FlowNode {
     std::uint64_t chunks_sent = 0;    // high-water: sequences 0..n-1 sent
     std::uint64_t acked_through = 0;  // peer's next_expected
     bool dead = false;                // peer declared the stream dead
+    obs::TraceContext last_trace;     // most recent send()'s context
   };
   struct Inbound {
     std::unique_ptr<SecureTransferReceiver> receiver;
@@ -116,7 +129,9 @@ class FlowNode {
 
   Outbound& outbound(net::NodeId dst);
   Inbound& inbound(net::NodeId src);
-  void send_chunk(net::NodeId dst, std::uint64_t high_water, ByteView wire);
+  void send_chunk(net::NodeId dst, std::uint64_t high_water, ByteView wire,
+                  obs::TraceContext trace);
+  void note_flight(const char* category, net::NodeId peer, std::uint64_t value);
   void send_control(net::NodeId dst, std::uint8_t type, std::uint64_t value);
   void on_chunk(const net::Message& message);
   void on_control(const net::Message& message);
@@ -132,6 +147,8 @@ class FlowNode {
   Bytes key_;
   FlowConfig config_;
   OnPayload on_payload_;
+  OnPayloadCtx on_payload_ctx_;
+  obs::FlightRecorder* flight_ = nullptr;
   std::map<net::NodeId, Outbound> outbound_;
   std::map<net::NodeId, Inbound> inbound_;
   bool timer_armed_ = false;

@@ -128,7 +128,13 @@ Result<JobResult> SecureMapReduce::run(
                                          std::vector<Bytes>(partitions));
 
   obs::Span map_span(tracer_, "mapreduce.map");
+  const obs::TraceContext map_ctx = map_span.context();
   common::run_indexed(pool_, partitions, [&](std::size_t p) {
+    // Pool threads start with an empty span stack — without this
+    // explicit handover the task span would silently become a root.
+    obs::ParentScope handover(tracer_, map_ctx);
+    obs::Span task_span(tracer_, "mapreduce.map.task");
+    task_span.set_attribute("partition", std::to_string(p));
     MapTally& tally = map_tallies[p];
     ClockShard shard(platform_.clock());
     crypto::AesGcm gcm(job_key_);
@@ -211,7 +217,11 @@ Result<JobResult> SecureMapReduce::run(
   std::vector<ReduceTally> reduce_tallies(config.num_reducers);
 
   obs::Span reduce_span(tracer_, "mapreduce.reduce");
+  const obs::TraceContext reduce_ctx = reduce_span.context();
   common::run_indexed(pool_, config.num_reducers, [&](std::size_t r) {
+    obs::ParentScope handover(tracer_, reduce_ctx);
+    obs::Span task_span(tracer_, "mapreduce.reduce.task");
+    task_span.set_attribute("reducer", std::to_string(r));
     ReduceTally& tally = reduce_tallies[r];
     ClockShard shard(platform_.clock());
     crypto::AesGcm gcm(job_key_);

@@ -59,6 +59,7 @@ bool FaultInjector::should_fire(FaultKind kind) {
   if (u >= st.arm.probability) return false;
   ++st.fires;
   schedule_.push_back({kind, op, clock_ != nullptr ? clock_->cycles() : 0});
+  if (observer_) observer_(schedule_.back());
   return true;
 }
 

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -104,6 +105,13 @@ class FaultInjector {
   /// same decision sequence produce equal logs (asserted by tests).
   const std::vector<FaultEvent>& schedule() const { return schedule_; }
 
+  /// Called synchronously for every fired fault, right after it is
+  /// appended to schedule(). Lets a flight recorder keep the recent
+  /// fault trail without common depending on the obs layer. One
+  /// observer; pass nullptr/empty to detach.
+  using Observer = std::function<void(const FaultEvent&)>;
+  void set_observer(Observer fn) { observer_ = std::move(fn); }
+
   std::uint64_t seed() const { return seed_; }
 
  private:
@@ -121,6 +129,7 @@ class FaultInjector {
   std::array<Stream, kFaultKindCount> streams_{};
   std::uint64_t corrupt_ops_ = 0;
   std::vector<FaultEvent> schedule_;
+  Observer observer_;
 };
 
 }  // namespace securecloud::common

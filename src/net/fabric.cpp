@@ -49,6 +49,39 @@ Status Fabric::set_partitioned(NodeId a, NodeId b, bool partitioned) {
   return {};
 }
 
+Status Fabric::set_compute_skew(NodeId node, std::uint32_t numerator,
+                                std::uint32_t denominator) {
+  if (node >= nodes_.size()) {
+    return Error::invalid_argument("set_compute_skew: unknown node");
+  }
+  if (numerator == 0 || denominator == 0) {
+    return Error::invalid_argument("set_compute_skew: zero ratio");
+  }
+  compute_skews_[node] = {numerator, denominator};
+  return {};
+}
+
+std::uint64_t Fabric::scaled_compute_ns(NodeId node, std::uint64_t ns) const {
+  const auto it = compute_skews_.find(node);
+  if (it == compute_skews_.end()) return ns;
+  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(ns) *
+                                    it->second.first / it->second.second);
+}
+
+void Fabric::enable_delivery_log(std::size_t capacity) {
+  delivery_log_enabled_ = true;
+  delivery_log_capacity_ = capacity;
+  deliveries_.clear();
+  deliveries_.reserve(capacity < 1024 ? capacity : 1024);
+}
+
+std::vector<std::string> Fabric::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const Node& node : nodes_) names.push_back(node.name);
+  return names;
+}
+
 void Fabric::set_obs(obs::Registry* registry, obs::Tracer* tracer) {
   tracer_ = tracer;
   if (registry == nullptr) {
@@ -84,7 +117,8 @@ void Fabric::set_queue_gauge() {
   }
 }
 
-Status Fabric::send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload) {
+Status Fabric::send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload,
+                    obs::TraceContext trace) {
   if (src >= nodes_.size() || dst >= nodes_.size()) {
     return Error::invalid_argument("send: unknown node");
   }
@@ -103,6 +137,8 @@ Status Fabric::send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload
     p.src = src;
     p.dst = dst;
     p.channel = channel;
+    p.trace = trace;
+    p.send_cycles = clock_->cycles();
     p.frags_total = 1;
     p.have.assign(1, false);
     p.offsets = {0};
@@ -148,6 +184,8 @@ Status Fabric::send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload
   p.src = src;
   p.dst = dst;
   p.channel = channel;
+  p.trace = trace;
+  p.send_cycles = clock_->cycles();
   p.frags_total = frags;
   p.have.assign(frags, false);
   p.payload = Bytes(payload.size());
@@ -275,7 +313,19 @@ std::size_t Fabric::run_until_idle(std::size_t max_events) {
             bump(obs_messages_delivered_);
             stats_.bytes_delivered += p.payload.size();
             bump(obs_bytes_delivered_, p.payload.size());
-            message = Message{p.src, p.dst, p.channel, std::move(p.payload)};
+            if (delivery_log_enabled_ &&
+                deliveries_.size() < delivery_log_capacity_) {
+              deliveries_.push_back(obs::LinkDelivery{
+                  .src = p.src,
+                  .dst = p.dst,
+                  .channel = p.channel,
+                  .bytes = p.payload.size(),
+                  .trace_id = p.trace.trace_id,
+                  .send_cycles = p.send_cycles,
+                  .deliver_cycles = clock_->cycles()});
+            }
+            message = Message{p.src, p.dst, p.channel, std::move(p.payload),
+                              p.trace};
             auto& handlers = nodes_[p.dst].handlers;
             auto h = handlers.find(p.channel);
             if (h != handlers.end() && h->second) {

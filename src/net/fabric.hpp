@@ -38,6 +38,7 @@
 #include "common/fault_injector.hpp"
 #include "common/result.hpp"
 #include "common/sim_clock.hpp"
+#include "obs/cluster.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -61,6 +62,10 @@ struct Message {
   NodeId dst = 0;
   std::uint32_t channel = 0;
   Bytes payload;
+  /// Trace context the sender attached (invalid when untraced). Rides
+  /// the frame envelope so worker-side spans can causally parent to a
+  /// coordinator-side span across nodes.
+  obs::TraceContext trace;
 };
 
 struct FabricStats {
@@ -112,6 +117,29 @@ class Fabric {
 
   void set_fault_injector(common::FaultInjector* faults) { faults_ = faults; }
 
+  /// Per-node compute-speed multiplier (numerator/denominator) for
+  /// straggler modelling: a node with skew 4/1 takes 4x as long for the
+  /// same compute. Applied by scaled_compute_ns(), which drivers use
+  /// when charging a node's compute into fabric time (schedule()), so
+  /// the critical path of a distributed job shows the slow node.
+  Status set_compute_skew(NodeId node, std::uint32_t numerator,
+                          std::uint32_t denominator = 1);
+
+  /// `ns` of nominal compute scaled by `node`'s skew (exact 128-bit
+  /// integer math; identity for nodes without a skew).
+  std::uint64_t scaled_compute_ns(NodeId node, std::uint64_t ns) const;
+
+  /// Starts recording one obs::LinkDelivery per delivered message
+  /// (loopback included), capped at `capacity` records; the critical-
+  /// path analyzer joins them against span boundaries for link
+  /// attribution. Off by default — a long-lived fabric would otherwise
+  /// grow without bound.
+  void enable_delivery_log(std::size_t capacity = 65'536);
+  const std::vector<obs::LinkDelivery>& deliveries() const { return deliveries_; }
+
+  /// Node-name table indexed by NodeId (for CriticalPathOptions).
+  std::vector<std::string> node_names() const;
+
   /// Mirrors FabricStats into `net_*` counters (+ `net_queue_depth`
   /// gauge) and, with a tracer, emits one `net.run` span per
   /// run_until_idle() batch.
@@ -122,7 +150,10 @@ class Fabric {
   /// (src == dst loops back with zero delay and no faults). Returns an
   /// error only for misuse (unknown node, no link); a message the
   /// simulated network drops is counted, not errored. Thread-safe.
-  Status send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload);
+  /// `trace` (optional) is carried in the frame envelope and surfaces
+  /// on the delivered Message.
+  Status send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload,
+              obs::TraceContext trace = {});
 
   /// Schedules `fn` to run as an event `delay_ns` of simulated time from
   /// now. Timers share the event queue (and its total order) with frames.
@@ -181,6 +212,8 @@ class Fabric {
     Bytes payload;  // assembled in fragment order (fixed offsets)
     std::vector<std::size_t> offsets;
     bool dead = false;  // a frame was dropped: can never complete
+    obs::TraceContext trace;
+    std::uint64_t send_cycles = 0;  // clock stamp when send() queued it
   };
 
   static std::uint64_t link_key(NodeId a, NodeId b) {
@@ -198,6 +231,11 @@ class Fabric {
 
   std::vector<Node> nodes_;
   std::map<std::uint64_t, Link> links_;
+  std::map<NodeId, std::pair<std::uint32_t, std::uint32_t>> compute_skews_;
+
+  bool delivery_log_enabled_ = false;
+  std::size_t delivery_log_capacity_ = 0;
+  std::vector<obs::LinkDelivery> deliveries_;
 
   mutable std::mutex mu_;
   std::priority_queue<EventItem, std::vector<EventItem>, EventAfter> queue_;

@@ -46,6 +46,11 @@ void AttestedSession::fail(Status status) {
   state_ = State::kFailed;
   failure_ = std::move(status);
   if (obs_failed_ != nullptr) obs_failed_->inc();
+  if (flight_ != nullptr) {
+    flight_->record("session_failure",
+                    "peer=" + std::to_string(config_.peer) + " " +
+                        failure_.error().message);
+  }
 }
 
 Result<Bytes> AttestedSession::make_bound_quote() const {
@@ -228,10 +233,14 @@ void AttestedSession::handle_data(const Message& message) {
     return;
   }
   if (obs_records_received_ != nullptr) obs_records_received_->inc();
-  if (on_record_) on_record_(std::move(*plain));
+  if (on_record_ctx_) {
+    on_record_ctx_(std::move(*plain), message.trace);
+  } else if (on_record_) {
+    on_record_(std::move(*plain));
+  }
 }
 
-Status AttestedSession::send(ByteView plaintext) {
+Status AttestedSession::send(ByteView plaintext, obs::TraceContext trace) {
   if (state_ != State::kEstablished) {
     return Error::unavailable("session not established");
   }
@@ -239,7 +248,7 @@ Status AttestedSession::send(ByteView plaintext) {
   put_u8(wire, kData);
   put_blob(wire, channel_->seal(plaintext));
   if (obs_records_sent_ != nullptr) obs_records_sent_->inc();
-  return send_raw(std::move(wire));
+  return send_raw(std::move(wire), trace);
 }
 
 }  // namespace securecloud::net

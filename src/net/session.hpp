@@ -74,12 +74,20 @@ class AttestedSession {
   void on_message(const Message& message);
 
   /// Seals `plaintext` into a Data record and sends it. kFailedPrecondition
-  /// -free design: returns kUnavailable until established.
-  Status send(ByteView plaintext);
+  /// -free design: returns kUnavailable until established. `trace`
+  /// (optional) rides the fabric frame envelope — the record itself is
+  /// sealed, the context is routing metadata.
+  Status send(ByteView plaintext, obs::TraceContext trace = {});
 
   /// Delivery callback for opened Data records.
   using OnRecord = std::function<void(Bytes plaintext)>;
   void set_on_record(OnRecord fn) { on_record_ = std::move(fn); }
+
+  /// Context-aware variant: also receives the trace context the record
+  /// arrived with (invalid when the sender attached none). When set, it
+  /// is preferred over the plain callback.
+  using OnRecordCtx = std::function<void(Bytes plaintext, obs::TraceContext)>;
+  void set_on_record_ctx(OnRecordCtx fn) { on_record_ctx_ = std::move(fn); }
 
   State state() const { return state_; }
   bool established() const { return state_ == State::kEstablished; }
@@ -92,6 +100,9 @@ class AttestedSession {
   /// `net_session_*` counters: established/failed handshakes, records in/out.
   void set_obs(obs::Registry* registry);
 
+  /// Flight recorder notified of session failures (postmortem trail).
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
  private:
   // Wire record types (first byte of every session message).
   static constexpr std::uint8_t kHello = 1;
@@ -99,9 +110,9 @@ class AttestedSession {
   static constexpr std::uint8_t kFinish = 3;
   static constexpr std::uint8_t kData = 4;
 
-  Status send_raw(Bytes wire) {
+  Status send_raw(Bytes wire, obs::TraceContext trace = {}) {
     return config_.fabric->send(config_.self, config_.peer, config_.channel,
-                                std::move(wire));
+                                std::move(wire), trace);
   }
   /// Produces this side's quote with report_data = H(transcript).
   Result<Bytes> make_bound_quote() const;
@@ -121,6 +132,8 @@ class AttestedSession {
   std::optional<crypto::ChannelHandshake> handshake_;
   std::optional<crypto::SecureChannel> channel_;
   OnRecord on_record_;
+  OnRecordCtx on_record_ctx_;
+  obs::FlightRecorder* flight_ = nullptr;
 
   obs::Counter* obs_established_ = nullptr;
   obs::Counter* obs_failed_ = nullptr;

@@ -1,0 +1,75 @@
+#include "obs/flight_recorder.hpp"
+
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace securecloud::obs {
+
+void FlightRecorder::record(std::string category, std::string detail) {
+  FlightEvent ev;
+  ev.at_cycles = clock_->cycles();
+  ev.category = std::move(category);
+  ev.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = total_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string FlightRecorder::to_json() const {
+  std::vector<FlightEvent> evs;
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    evs.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      evs.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    total = total_;
+  }
+  const std::uint64_t dropped = total - evs.size();
+  std::string out = "{\"schema\":\"securecloud.flight.v1\",\"dropped\":" +
+                    std::to_string(dropped) + ",\"events\":[";
+  bool first = true;
+  for (const FlightEvent& ev : evs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"seq\":" + std::to_string(ev.seq) +
+           ",\"at_cycles\":" + std::to_string(ev.at_cycles) + ",\"category\":";
+    append_json_string(out, ev.category);
+    out += ",\"detail\":";
+    append_json_string(out, ev.detail);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+}  // namespace securecloud::obs

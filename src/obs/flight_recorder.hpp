@@ -1,0 +1,61 @@
+// Bounded per-node ring of notable events for postmortems.
+//
+// A FlightRecorder keeps the last `capacity` notable events — fault
+// injector decisions, NACK/retransmit activity, dead streams, session
+// failures, EPC fault bursts — each stamped with the node's SimClock.
+// When something goes wrong the ring is dumped alongside the typed
+// error, answering "what happened just before?" without unbounded
+// logging. Appends take a mutex (pool workers may record concurrently);
+// events fed from deterministic points (the serial fabric loop, the
+// seeded fault injector) make the dump bit-identical for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+
+namespace securecloud::obs {
+
+struct FlightEvent {
+  std::uint64_t seq = 0;  // append order, monotonic even after wrap
+  std::uint64_t at_cycles = 0;
+  std::string category;  // e.g. "fault", "nack", "retransmit", "dead_stream"
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const SimClock& clock, std::size_t capacity = 128)
+      : clock_(&clock), capacity_(capacity == 0 ? 1 : capacity) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void record(std::string category, std::string detail);
+
+  /// Retained events, oldest first.
+  std::vector<FlightEvent> events() const;
+
+  /// Total events ever recorded (>= events().size() once wrapped).
+  std::uint64_t total_recorded() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// One-line JSON, schema "securecloud.flight.v1". `dropped` counts
+  /// events the ring has already evicted.
+  std::string to_json() const;
+
+  void clear();
+
+ private:
+  const SimClock* clock_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;  // grows to capacity_, then circular
+  std::size_t head_ = 0;           // next write slot once full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace securecloud::obs

@@ -16,6 +16,8 @@ Instrument& intern(std::mutex& mu,
   return *slot;
 }
 
+}  // namespace
+
 // Metric names are generated in-tree from [a-z0-9_.] identifiers; escape
 // the JSON specials anyway so a stray name cannot corrupt the document.
 void append_json_string(std::string& out, const std::string& s) {
@@ -31,8 +33,6 @@ void append_json_string(std::string& out, const std::string& s) {
   }
   out += '"';
 }
-
-}  // namespace
 
 Counter& Registry::counter(const std::string& name) {
   return intern(mu_, counters_, name);

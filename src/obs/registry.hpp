@@ -78,4 +78,8 @@ class Registry {
 std::string snapshot_to_json(const Snapshot& snap);
 std::string snapshot_to_prometheus(const Snapshot& snap);
 
+/// Appends `s` as a quoted, escaped JSON string. Shared by every obs
+/// exporter so all schemas escape identically.
+void append_json_string(std::string& out, const std::string& s);
+
 }  // namespace securecloud::obs

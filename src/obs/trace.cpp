@@ -1,46 +1,51 @@
 #include "obs/trace.hpp"
 
+#include "obs/registry.hpp"
+
 namespace securecloud::obs {
 
 namespace {
 
-// Per-thread stack of (tracer, span_id): the top entry for a given
-// tracer is the parent of any span that thread opens next. Keyed by
-// tracer so two tracers interleaved on one thread do not adopt each
-// other's spans.
-thread_local std::vector<std::pair<const Tracer*, std::uint64_t>> g_span_stack;
+// Per-thread stack of parent entries: the top entry for a given tracer
+// is the parent of any span that thread opens next. Keyed by tracer so
+// two tracers interleaved on one thread do not adopt each other's
+// spans. Entries carry the trace id so children inherit it; a
+// ParentScope pushes a synthetic entry (the handed-over context) with
+// no backing live span.
+struct ParentEntry {
+  const Tracer* tracer = nullptr;
+  std::uint64_t span_id = 0;
+  std::uint64_t trace_id = 0;
+};
 
-std::uint64_t current_parent(const Tracer* tracer) {
+thread_local std::vector<ParentEntry> g_span_stack;
+
+const ParentEntry* current_parent(const Tracer* tracer) {
   for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
-    if (it->first == tracer) return it->second;
+    if (it->tracer == tracer) return &*it;
   }
-  return 0;
+  return nullptr;
 }
 
 void pop_span(const Tracer* tracer, std::uint64_t span_id) {
   for (auto it = g_span_stack.rbegin(); it != g_span_stack.rend(); ++it) {
-    if (it->first == tracer && it->second == span_id) {
+    if (it->tracer == tracer && it->span_id == span_id) {
       g_span_stack.erase(std::next(it).base());
       return;
     }
   }
 }
 
-void append_json_string(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  out += '"';
+}  // namespace
+
+void put_trace_context(Bytes& out, const TraceContext& ctx) {
+  put_u64(out, ctx.trace_id);
+  put_u64(out, ctx.parent_span_id);
 }
 
-}  // namespace
+bool get_trace_context(ByteReader& in, TraceContext& ctx) {
+  return in.get_u64(ctx.trace_id) && in.get_u64(ctx.parent_span_id);
+}
 
 std::vector<SpanRecord> Tracer::finished() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -69,7 +74,8 @@ std::string Tracer::to_json() const {
   for (const SpanRecord& s : spans) {
     if (!first) out += ',';
     first = false;
-    out += "{\"id\":" + std::to_string(s.span_id) +
+    out += "{\"trace\":" + std::to_string(s.trace_id) +
+           ",\"id\":" + std::to_string(s.span_id) +
            ",\"parent\":" + std::to_string(s.parent_id) + ",\"name\":";
     append_json_string(out, s.name);
     out += ",\"start_cycles\":" + std::to_string(s.start_cycles) +
@@ -91,10 +97,33 @@ std::string Tracer::to_json() const {
 Span::Span(Tracer* tracer, std::string name) : tracer_(tracer) {
   if (tracer_ == nullptr) return;
   rec_.span_id = tracer_->next_id();
-  rec_.parent_id = current_parent(tracer_);
+  if (const ParentEntry* parent = current_parent(tracer_)) {
+    rec_.parent_id = parent->span_id;
+    rec_.trace_id = parent->trace_id;
+  } else {
+    rec_.trace_id = rec_.span_id;  // root mints its own trace
+  }
   rec_.name = std::move(name);
   rec_.start_cycles = tracer_->now_cycles();
-  g_span_stack.emplace_back(tracer_, rec_.span_id);
+  g_span_stack.push_back({tracer_, rec_.span_id, rec_.trace_id});
+}
+
+Span::Span(Tracer* tracer, std::string name, const TraceContext& remote_parent)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  rec_.span_id = tracer_->next_id();
+  if (remote_parent.valid()) {
+    rec_.parent_id = remote_parent.parent_span_id;
+    rec_.trace_id = remote_parent.trace_id;
+  } else if (const ParentEntry* parent = current_parent(tracer_)) {
+    rec_.parent_id = parent->span_id;
+    rec_.trace_id = parent->trace_id;
+  } else {
+    rec_.trace_id = rec_.span_id;
+  }
+  rec_.name = std::move(name);
+  rec_.start_cycles = tracer_->now_cycles();
+  g_span_stack.push_back({tracer_, rec_.span_id, rec_.trace_id});
 }
 
 void Span::set_attribute(std::string key, std::string value) {
@@ -108,6 +137,21 @@ void Span::end() {
   pop_span(tracer_, rec_.span_id);
   tracer_->record(std::move(rec_));
   tracer_ = nullptr;
+}
+
+ParentScope::ParentScope(Tracer* tracer, const TraceContext& ctx)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr || !ctx.valid()) {
+    tracer_ = nullptr;
+    return;
+  }
+  span_id_ = ctx.parent_span_id;
+  g_span_stack.push_back({tracer_, span_id_, ctx.trace_id});
+}
+
+ParentScope::~ParentScope() {
+  if (tracer_ == nullptr) return;
+  pop_span(tracer_, span_id_);
 }
 
 }  // namespace securecloud::obs

@@ -22,6 +22,11 @@ bool EpcManager::touch(std::uint64_t vaddr, bool write) {
   // Page fault: make room, then load.
   ++stats_.faults;
   if (obs_faults_ != nullptr) obs_faults_->inc();
+  if (flight_ != nullptr && stats_.faults % flight_burst_every_ == 0) {
+    flight_->record("epc_fault_burst",
+                    "faults=" + std::to_string(stats_.faults) +
+                        " resident=" + std::to_string(map_.size()));
+  }
   clock_.advance_cycles(cost_.epc_fault_cycles);
 
   while (map_.size() >= capacity_pages_) {

@@ -21,6 +21,7 @@
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "common/sim_clock.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "sgx/cost_model.hpp"
 #include "crypto/gcm.hpp"
@@ -66,6 +67,15 @@ class EpcManager {
   /// what an SGX-aware scheduler wants exported — Vaucher et al., 2018).
   void set_obs(obs::Registry* registry);
 
+  /// Flight recorder notified of EPC fault bursts: one "epc_fault_burst"
+  /// event per `burst_every` cumulative faults (thrash trail for
+  /// postmortems without logging every fault).
+  void set_flight(obs::FlightRecorder* flight,
+                  std::uint64_t burst_every = 256) {
+    flight_ = flight;
+    flight_burst_every_ = burst_every == 0 ? 1 : burst_every;
+  }
+
  private:
   const CostModel& cost_;
   SimClock& clock_;
@@ -79,6 +89,9 @@ class EpcManager {
   std::unordered_map<std::uint64_t, PageInfo> map_;
   EpcStats stats_;
   std::vector<std::uint64_t> last_evicted_;
+
+  obs::FlightRecorder* flight_ = nullptr;
+  std::uint64_t flight_burst_every_ = 256;
 
   obs::Counter* obs_accesses_ = nullptr;
   obs::Counter* obs_faults_ = nullptr;

@@ -29,6 +29,7 @@ namespace securecloud {
 namespace {
 
 using common::FaultArm;
+using common::FaultEvent;
 using common::FaultInjector;
 using common::FaultKind;
 using crypto::DeterministicEntropy;
@@ -98,6 +99,32 @@ TEST(FaultInjector, MaxFiresBoundsAndWindowGates) {
   EXPECT_FALSE(windowed.should_fire(FaultKind::kKillEnclave));  // after
   ASSERT_EQ(windowed.schedule().size(), 1u);
   EXPECT_EQ(windowed.schedule()[0].at_cycles, 150u);
+}
+
+TEST(FaultInjector, ObserverSeesEveryFiredFault) {
+  SimClock clock;
+  FaultInjector inj(11, &clock);
+  inj.arm(FaultKind::kDropChunk, 0.5);
+  inj.arm(FaultKind::kCorruptMessage, 0.3);
+
+  std::vector<FaultEvent> seen;
+  inj.set_observer([&](const FaultEvent& ev) { seen.push_back(ev); });
+  for (int i = 0; i < 200; ++i) {
+    (void)inj.should_fire(FaultKind::kDropChunk);
+    (void)inj.should_fire(FaultKind::kCorruptMessage);
+    clock.advance_cycles(3);
+  }
+  // The observer saw exactly the fired schedule, in order.
+  EXPECT_FALSE(seen.empty());
+  EXPECT_EQ(seen, inj.schedule());
+
+  // Detaching stops delivery but the schedule keeps growing.
+  const std::size_t at_detach = seen.size();
+  inj.set_observer(nullptr);
+  inj.arm(FaultKind::kDropMessage, FaultArm{.probability = 1.0, .max_fires = 1});
+  ASSERT_TRUE(inj.should_fire(FaultKind::kDropMessage));
+  EXPECT_EQ(seen.size(), at_detach);
+  EXPECT_EQ(inj.schedule().size(), at_detach + 1);
 }
 
 TEST(FaultInjector, CorruptFlipsExactlyOneBitReproducibly) {

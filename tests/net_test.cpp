@@ -863,5 +863,272 @@ TEST(FabricConcurrency, ConcurrentTimersAndSendsConserveEvents) {
   EXPECT_TRUE(fabric.idle());
 }
 
+// ------------------------------------------- distributed tracing (obs v2)
+
+TEST(Fabric, TraceContextRidesFrameEnvelope) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  fabric.enable_delivery_log();
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+
+  const obs::TraceContext ctx{0xABCDull, 0x1234ull};
+  std::vector<obs::TraceContext> seen;
+  ASSERT_TRUE(fabric
+                  .set_handler(b, 3,
+                               [&](const net::Message& m) { seen.push_back(m.trace); })
+                  .ok());
+  ASSERT_TRUE(fabric.send(a, b, 3, patterned(100, 1), ctx).ok());
+  ASSERT_TRUE(fabric.send(a, b, 3, patterned(100, 2)).ok());  // untraced
+  fabric.run_until_idle();
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], ctx);
+  EXPECT_FALSE(seen[1].valid());
+
+  const auto& log = fabric.deliveries();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].src, a);
+  EXPECT_EQ(log[0].dst, b);
+  EXPECT_EQ(log[0].channel, 3u);
+  EXPECT_EQ(log[0].bytes, 100u);
+  EXPECT_EQ(log[0].trace_id, ctx.trace_id);
+  EXPECT_GT(log[0].deliver_cycles, log[0].send_cycles);
+  EXPECT_EQ(log[1].trace_id, 0u);  // untraced message logs trace 0
+}
+
+TEST(Fabric, ComputeSkewScalesNodeCompute) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId fast = fabric.add_node("fast");
+  const net::NodeId slow = fabric.add_node("slow");
+  const net::NodeId half = fabric.add_node("half");
+
+  EXPECT_EQ(fabric.scaled_compute_ns(fast, 1000), 1000u);  // identity default
+  ASSERT_TRUE(fabric.set_compute_skew(slow, 4).ok());
+  ASSERT_TRUE(fabric.set_compute_skew(half, 3, 2).ok());
+  EXPECT_EQ(fabric.scaled_compute_ns(slow, 1000), 4000u);
+  EXPECT_EQ(fabric.scaled_compute_ns(half, 1000), 1500u);
+  EXPECT_EQ(fabric.scaled_compute_ns(fast, 1000), 1000u);
+
+  EXPECT_FALSE(fabric.set_compute_skew(99, 2).ok());      // unknown node
+  EXPECT_FALSE(fabric.set_compute_skew(slow, 1, 0).ok());  // div by zero
+}
+
+TEST(Flow, TraceContextSurvivesChunkingAndLoss) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(777, &clock);
+  fabric.set_fault_injector(&faults);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+
+  const Bytes key(16, 0x5A);
+  bigdata::FlowConfig fc;
+  fc.chunk_size = 1024;
+  bigdata::FlowNode sender(fabric, a, key, fc);
+  bigdata::FlowNode receiver(fabric, b, key, fc);
+
+  std::vector<obs::TraceContext> seen;
+  receiver.set_on_payload_ctx(
+      [&](net::NodeId, Bytes, obs::TraceContext ctx) { seen.push_back(ctx); });
+
+  faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 0.4, .max_fires = 6});
+  const obs::TraceContext ctx{42, 43};
+  ASSERT_TRUE(sender.send(b, patterned(10'000, 9), ctx).ok());
+  fabric.run_until_idle();
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], ctx);  // the context rode every chunk, loss repaired
+  EXPECT_TRUE(sender.settled());
+}
+
+struct TracedRun {
+  bigdata::JobResult result;
+  std::string obs_v2;
+  std::string trace_v2;
+  std::string critical_path_json;
+  std::string critical_path_text;
+  std::string dominant_node;
+};
+
+/// Distributed word count in cluster-obs mode: per-node registries /
+/// tracers / flight recorders, fabric delivery log, optional chaos and
+/// an optional compute-skew straggler; returns the merged v2 exports
+/// and the critical-path report.
+TracedRun run_traced_job(std::uint64_t seed, std::size_t threads, bool with_faults,
+                         std::size_t straggler_index, std::uint32_t straggler_skew) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(seed, &clock);
+  sgx::AttestationService service;
+
+  bigdata::DistributedMapReduceConfig config;
+  config.num_workers = 4;
+  config.num_reducers = 5;
+  config.enable_combiner = true;
+  // Heavy per-record compute: the straggler's skewed map work must
+  // dominate even the multi-millisecond retransmit-backoff stalls a
+  // chaos run inserts (which the analyzer rightly charges to whichever
+  // node sat waiting).
+  config.map_compute_ns_per_record = 1'000'000;
+  bigdata::DistributedMapReduce driver(fabric, config);
+  driver.enable_cluster_obs();
+
+  Status setup = driver.setup(service);
+  EXPECT_TRUE(setup.ok()) << (setup.ok() ? "" : setup.error().message);
+  fabric.enable_delivery_log();
+  if (straggler_skew > 1) {
+    EXPECT_TRUE(
+        fabric.set_compute_skew(driver.worker_node(straggler_index), straggler_skew)
+            .ok());
+  }
+  fabric.set_fault_injector(&faults);
+  if (with_faults) {
+    faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 0.3, .max_fires = 25});
+    faults.arm(FaultKind::kNetReorder,
+               FaultArm{.probability = 0.2, .max_fires = 15});
+    faults.arm(FaultKind::kNetPartition,
+               FaultArm{.probability = 0.05, .max_fires = 4});
+  }
+
+  std::vector<std::vector<Bytes>> encrypted;
+  for (const auto& partition : word_partitions()) {
+    encrypted.push_back(driver.encrypt_partition(partition));
+  }
+  common::ThreadPool pool(threads);
+  driver.set_pool(threads <= 1 ? nullptr : &pool);
+
+  auto result = driver.run(encrypted, word_count_map(), sum_reduce());
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+
+  TracedRun out;
+  if (result.ok()) out.result = std::move(*result);
+
+  auto snapshot = driver.collect_cluster_snapshot();
+  EXPECT_TRUE(snapshot.ok()) << (snapshot.ok() ? "" : snapshot.error().message);
+  if (!snapshot.ok()) return out;
+  out.obs_v2 = snapshot->to_obs_json();
+  out.trace_v2 = snapshot->to_trace_json();
+
+  const std::vector<std::string> names = fabric.node_names();
+  obs::CriticalPathOptions opts;
+  opts.deliveries = &fabric.deliveries();
+  opts.node_names = &names;
+  auto report = obs::critical_path(*snapshot, opts);
+  EXPECT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message);
+  if (report.ok()) {
+    out.critical_path_json = report->to_json();
+    out.critical_path_text = report->to_text();
+    out.dominant_node = report->dominant_node;
+  }
+  return out;
+}
+
+TEST(DistributedTrace, WorkerSpansParentToCoordinatorJobSpan) {
+  const TracedRun run =
+      run_traced_job(0xBEEF, 1, /*with_faults=*/false, 0, /*skew=*/1);
+  EXPECT_EQ(run.result.output, expected_word_counts());
+  // The merged trace carries node-labelled worker spans in the job trace.
+  EXPECT_NE(run.trace_v2.find("\"schema\":\"securecloud.trace.v2\""),
+            std::string::npos);
+  EXPECT_NE(run.trace_v2.find("dist_mapreduce.job"), std::string::npos);
+  EXPECT_NE(run.trace_v2.find("dist_mapreduce.map_task"), std::string::npos);
+  EXPECT_NE(run.trace_v2.find("dist_mapreduce.reduce"), std::string::npos);
+  EXPECT_NE(run.trace_v2.find("\"node\":\"worker-2\""), std::string::npos);
+  EXPECT_NE(run.obs_v2.find("\"schema\":\"securecloud.obs.v2\""),
+            std::string::npos);
+  EXPECT_NE(run.obs_v2.find("\"coordinator\""), std::string::npos);
+  // The critical path reaches into worker map compute.
+  EXPECT_NE(run.critical_path_text.find("dist_mapreduce.map_task"),
+            std::string::npos);
+}
+
+TEST(DistributedTrace, StragglerDominatesCriticalPath) {
+  // Worker 2 computes 4x slower: the analyzer must name it as the
+  // dominant node and route the path through its map task.
+  const TracedRun run =
+      run_traced_job(0xBEEF, 1, /*with_faults=*/false, 2, /*skew=*/4);
+  EXPECT_EQ(run.result.output, expected_word_counts());
+  EXPECT_EQ(run.dominant_node, "worker-2");
+  EXPECT_NE(run.critical_path_text.find("worker-2/dist_mapreduce.map_task"),
+            std::string::npos);
+}
+
+TEST(DistributedTrace, MergedExportsAreThreadCountInvariant) {
+  // Chaos + straggler, 1 thread vs 8 threads vs a repeat: the merged
+  // obs/trace exports and the critical-path report must be
+  // byte-identical — every stamp comes from the serial fabric loop.
+  const TracedRun one = run_traced_job(42, 1, /*with_faults=*/true, 1, 4);
+  const TracedRun eight = run_traced_job(42, 8, /*with_faults=*/true, 1, 4);
+  const TracedRun again = run_traced_job(42, 8, /*with_faults=*/true, 1, 4);
+
+  EXPECT_EQ(one.result.output, expected_word_counts());
+  EXPECT_EQ(one.dominant_node, "worker-1");  // named even under chaos
+  EXPECT_EQ(one.obs_v2, eight.obs_v2);
+  EXPECT_EQ(one.trace_v2, eight.trace_v2);
+  EXPECT_EQ(one.critical_path_json, eight.critical_path_json);
+  EXPECT_EQ(one.critical_path_text, eight.critical_path_text);
+  EXPECT_EQ(eight.obs_v2, again.obs_v2);
+  EXPECT_EQ(eight.trace_v2, again.trace_v2);
+  EXPECT_EQ(eight.critical_path_json, again.critical_path_json);
+  EXPECT_FALSE(one.trace_v2.empty());
+}
+
+std::string run_postmortem_job(std::size_t threads) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(99, &clock);
+  sgx::AttestationService service;
+
+  bigdata::DistributedMapReduceConfig config;
+  config.num_workers = 3;
+  config.num_reducers = 3;
+  // Small chunks (tasks span several) + one-chunk retransmit buffer +
+  // tiny NACK budget: the first lost chunk is unrepairable, so the
+  // stream dies as a typed failure and the fabric still idles (a total
+  // blackout would beacon forever).
+  config.flow.chunk_size = 256;
+  config.flow.retransmit_buffer_chunks = 1;
+  config.flow.recovery.max_nacks_per_gap = 3;
+  bigdata::DistributedMapReduce driver(fabric, config);
+  driver.enable_cluster_obs();
+  Status setup = driver.setup(service);
+  EXPECT_TRUE(setup.ok()) << (setup.ok() ? "" : setup.error().message);
+
+  // Mirror fault-injector decisions into the coordinator's flight
+  // recorder so the postmortem shows *why* the stream died.
+  faults.set_observer([&](const common::FaultEvent& ev) {
+    driver.coordinator_obs()->flight.record(
+        "fault", std::string(common::to_string(ev.kind)) + " op=" +
+                     std::to_string(ev.op));
+  });
+  fabric.set_fault_injector(&faults);
+  faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 1.0, .max_fires = 1});
+
+  std::vector<std::vector<Bytes>> encrypted;
+  for (const auto& partition : word_partitions()) {
+    encrypted.push_back(driver.encrypt_partition(partition));
+  }
+  common::ThreadPool pool(threads);
+  driver.set_pool(threads <= 1 ? nullptr : &pool);
+
+  auto result = driver.run(encrypted, word_count_map(), sum_reduce());
+  EXPECT_FALSE(result.ok());  // first map-task chunk was unrepairable
+  EXPECT_TRUE(fabric.idle());
+  return driver.last_postmortem();
+}
+
+TEST(DistributedTrace, PostmortemFlightDumpIsDeterministic) {
+  const std::string one = run_postmortem_job(1);
+  ASSERT_FALSE(one.empty());
+  EXPECT_NE(one.find("\"schema\":\"securecloud.flight.v2\""), std::string::npos);
+  EXPECT_NE(one.find("net-loss"), std::string::npos);  // observer-mirrored
+  EXPECT_NE(one.find("dead_stream"), std::string::npos);  // flow's own event
+  EXPECT_EQ(one, run_postmortem_job(4));
+}
+
 }  // namespace
 }  // namespace securecloud

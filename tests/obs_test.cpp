@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 
 #include "bigdata/kvstore.hpp"
 #include "bigdata/mapreduce.hpp"
 #include "bigdata/transfer.hpp"
 #include "common/sim_clock.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/cluster.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -400,6 +403,314 @@ TEST(ObsIntegration, FiveSubsystemsReportAndCountersAreThreadCountInvariant) {
 
 TEST(ObsIntegration, RepeatRunsAreBitIdentical) {
   EXPECT_EQ(run_workload(2), run_workload(2));
+}
+
+// ----------------------------------------------- distributed tracing (v2)
+
+TEST(Trace, ContextWireCodecRoundTrips) {
+  const TraceContext ctx{0x1234'5678'9abc'def0ull, 0x0fed'cba9'8765'4321ull};
+  Bytes wire;
+  put_trace_context(wire, ctx);
+  EXPECT_EQ(wire.size(), 16u);
+
+  ByteReader r(wire);
+  TraceContext back;
+  ASSERT_TRUE(get_trace_context(r, back));
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back, ctx);
+
+  Bytes truncated(wire.begin(), wire.begin() + 15);
+  ByteReader tr(truncated);
+  TraceContext scratch;
+  EXPECT_FALSE(get_trace_context(tr, scratch));
+}
+
+TEST(Trace, RemoteParentContextIsAdopted) {
+  SimClock clock;
+  Tracer coordinator(clock);
+  coordinator.set_id_prefix(1ull << 40);
+  Tracer worker(clock);
+  worker.set_id_prefix(2ull << 40);
+
+  TraceContext job_ctx;
+  {
+    Span job(&coordinator, "job");
+    job_ctx = job.context();
+    EXPECT_TRUE(job_ctx.valid());
+    clock.advance_cycles(5);
+    Span remote(&worker, "task", job_ctx);
+    EXPECT_EQ(remote.trace_id(), job_ctx.trace_id);
+    clock.advance_cycles(5);
+  }
+  const auto spans = worker.finished();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent_id, job_ctx.parent_span_id);
+  EXPECT_EQ(spans[0].trace_id, job_ctx.trace_id);
+  EXPECT_EQ(spans[0].span_id >> 40, 2u);  // node-unique id prefix applied
+
+  // An invalid remote context falls back to the local stack / root rules.
+  Span local_root(&worker, "detached", TraceContext{});
+  EXPECT_EQ(local_root.trace_id(), local_root.id());
+}
+
+TEST(Trace, ParentScopeHandsParentAcrossThreads) {
+  SimClock clock;
+  Tracer tracer(clock);
+  TraceContext ctx;
+  std::uint64_t phase_id = 0;
+  {
+    Span phase(&tracer, "phase");
+    ctx = phase.context();
+    phase_id = phase.id();
+    std::thread worker([&] {
+      // A fresh thread has an empty span stack: without the handover
+      // this span would become a root.
+      ParentScope handover(&tracer, ctx);
+      Span task(&tracer, "task");
+    });
+    worker.join();
+  }
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "task");
+  EXPECT_EQ(spans[0].parent_id, phase_id);
+  EXPECT_EQ(spans[0].trace_id, ctx.trace_id);
+}
+
+// Regression: SecureMapReduce's pool tasks used to open spans on pool
+// threads with an empty parent stack, silently producing root spans.
+TEST(Trace, MapReducePoolTaskSpansParentToPhaseSpans) {
+  sgx::Platform platform;
+  crypto::DeterministicEntropy entropy(7);
+  bigdata::SecureMapReduce job(platform, entropy);
+  Registry registry;
+  Tracer tracer(platform.clock());
+  job.set_obs(&registry, &tracer);
+  common::ThreadPool pool(4);
+  job.set_pool(&pool);
+
+  std::vector<std::vector<Bytes>> encrypted;
+  for (int p = 0; p < 4; ++p) {
+    encrypted.push_back(job.encrypt_partition(
+        {to_bytes("a b"), to_bytes("b c"), to_bytes("c a")}));
+  }
+  bigdata::MapReduceConfig config;
+  config.num_mappers = 4;
+  config.num_reducers = 3;
+  auto result = job.run(
+      config, encrypted,
+      [](ByteView record) {
+        std::vector<bigdata::KeyValue> out;
+        std::string word;
+        for (std::uint8_t c : record) {
+          if (c == ' ') {
+            if (!word.empty()) out.push_back({word, 1.0});
+            word.clear();
+          } else {
+            word += static_cast<char>(c);
+          }
+        }
+        if (!word.empty()) out.push_back({word, 1.0});
+        return out;
+      },
+      [](const std::string&, const std::vector<double>& values) {
+        double total = 0;
+        for (double v : values) total += v;
+        return total;
+      });
+  ASSERT_TRUE(result.ok()) << result.error().message;
+
+  std::uint64_t map_phase_id = 0, reduce_phase_id = 0, job_trace = 0;
+  for (const SpanRecord& s : tracer.finished()) {
+    if (s.name == "mapreduce.map") map_phase_id = s.span_id;
+    if (s.name == "mapreduce.reduce") reduce_phase_id = s.span_id;
+    if (s.name == "mapreduce.job") job_trace = s.trace_id;
+  }
+  ASSERT_NE(map_phase_id, 0u);
+  ASSERT_NE(reduce_phase_id, 0u);
+  std::size_t map_tasks = 0, reduce_tasks = 0;
+  for (const SpanRecord& s : tracer.finished()) {
+    if (s.name == "mapreduce.map.task") {
+      ++map_tasks;
+      EXPECT_EQ(s.parent_id, map_phase_id) << "map task span became a root";
+      EXPECT_EQ(s.trace_id, job_trace);
+    }
+    if (s.name == "mapreduce.reduce.task") {
+      ++reduce_tasks;
+      EXPECT_EQ(s.parent_id, reduce_phase_id) << "reduce task span became a root";
+      EXPECT_EQ(s.trace_id, job_trace);
+    }
+  }
+  EXPECT_EQ(map_tasks, 4u);
+  EXPECT_EQ(reduce_tasks, 3u);
+}
+
+// -------------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, BoundedRingKeepsNewestAndCountsDrops) {
+  SimClock clock;
+  FlightRecorder rec(clock, 4);
+  EXPECT_EQ(rec.capacity(), 4u);
+  for (int i = 0; i < 6; ++i) {
+    clock.advance_cycles(10);
+    rec.record("cat", "event-" + std::to_string(i));
+  }
+  EXPECT_EQ(rec.total_recorded(), 6u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().detail, "event-2");  // two oldest evicted
+  EXPECT_EQ(events.back().detail, "event-5");
+  EXPECT_EQ(events.front().seq, 2u);
+  EXPECT_EQ(events.back().at_cycles, 60u);
+
+  const std::string json = rec.to_json();
+  EXPECT_NE(json.find("\"schema\":\"securecloud.flight.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":2"), std::string::npos);
+  EXPECT_EQ(json.find("event-0"), std::string::npos);
+
+  rec.clear();
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(FlightRecorder, ConcurrentAppendsNeverLoseCounts) {
+  SimClock clock;
+  FlightRecorder rec(clock, 64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < 500; ++i) {
+        rec.record("hammer", "t" + std::to_string(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rec.total_recorded(), 2000u);
+  EXPECT_EQ(rec.events().size(), 64u);
+  // Sequence numbers in the retained window are strictly increasing.
+  const auto events = rec.events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+// ------------------------------------------------- cluster snapshot merge
+
+TEST(ClusterObs, NodeSnapshotSerializationRoundTrips) {
+  SimClock clock;
+  NodeObs node("worker-1", clock, 1);
+  node.registry.counter("x_total").inc(3);
+  node.registry.gauge("g").set(-2);
+  node.registry.histogram("h").observe(5);
+  clock.advance_cycles(7);
+  {
+    Span s(&node.tracer, "op");
+    s.set_attribute("k", "v");
+    clock.advance_cycles(3);
+  }
+  node.flight.record("cat", "detail");
+
+  const NodeSnapshot snap = node.snapshot();
+  const Bytes wire = serialize_node_snapshot(snap);
+  auto back = deserialize_node_snapshot(wire);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back->node, "worker-1");
+  EXPECT_EQ(back->metrics.counters.at("x_total"), 3u);
+  EXPECT_EQ(back->metrics.gauges.at("g"), -2);
+  EXPECT_EQ(back->metrics.histograms.at("h").count, 1u);
+  ASSERT_EQ(back->spans.size(), 1u);
+  EXPECT_EQ(back->spans[0].name, "op");
+  EXPECT_EQ(back->spans[0].span_id >> 40, 2u);
+  EXPECT_EQ(back->spans[0].start_cycles, 7u);
+  EXPECT_EQ(back->spans[0].end_cycles, 10u);
+  ASSERT_EQ(back->spans[0].attributes.size(), 1u);
+  ASSERT_EQ(back->flight.size(), 1u);
+  EXPECT_EQ(back->flight[0].category, "cat");
+  EXPECT_EQ(back->flight_total, 1u);
+
+  // Truncated wire is a typed error, never UB.
+  const Bytes truncated(wire.begin(), wire.begin() + wire.size() / 2);
+  EXPECT_FALSE(deserialize_node_snapshot(truncated).ok());
+}
+
+TEST(ClusterObs, MergeSortsNodesAndExportsAreLabelled) {
+  SimClock clock;
+  NodeObs b("node-b", clock, 2);
+  NodeObs a("node-a", clock, 1);
+  a.registry.counter("c_total").inc();
+  b.registry.counter("c_total").inc(2);
+  { Span s(&b.tracer, "beta"); }
+  clock.advance_cycles(1);
+  { Span s(&a.tracer, "alpha"); }
+  b.flight.record("nack", "peer=1 seq=4");
+
+  std::vector<NodeSnapshot> nodes;
+  nodes.push_back(b.snapshot());
+  nodes.push_back(a.snapshot());
+  const ClusterSnapshot merged = merge_snapshots(std::move(nodes));
+  ASSERT_EQ(merged.nodes.size(), 2u);
+  EXPECT_EQ(merged.nodes[0].node, "node-a");
+
+  const std::string obs = merged.to_obs_json();
+  EXPECT_NE(obs.find("\"schema\":\"securecloud.obs.v2\""), std::string::npos);
+  EXPECT_LT(obs.find("node-a"), obs.find("node-b"));
+
+  const std::string trace = merged.to_trace_json();
+  EXPECT_NE(trace.find("\"schema\":\"securecloud.trace.v2\""), std::string::npos);
+  // Merged span order is (start, end, id) — beta started first.
+  EXPECT_LT(trace.find("beta"), trace.find("alpha"));
+  EXPECT_NE(trace.find("\"node\":\"node-a\""), std::string::npos);
+
+  const std::string flight = merged.to_flight_json();
+  EXPECT_NE(flight.find("\"schema\":\"securecloud.flight.v2\""), std::string::npos);
+  EXPECT_NE(flight.find("peer=1 seq=4"), std::string::npos);
+}
+
+// --------------------------------------------------- critical-path walker
+
+TEST(ClusterObs, CriticalPathChargesDeepestCoveringSpan) {
+  SimClock clock;
+  NodeObs coord("coord", clock, 0);
+  NodeObs worker("worker", clock, 1);
+  {
+    Span job(&coord.tracer, "job");  // [0, 100]
+    const TraceContext job_ctx = job.context();
+    clock.advance_cycles(10);
+    {
+      Span task(&worker.tracer, "task", job_ctx);  // [10, 70]
+      clock.advance_cycles(60);
+    }
+    clock.advance_cycles(30);
+  }
+  std::vector<NodeSnapshot> nodes;
+  nodes.push_back(coord.snapshot());
+  nodes.push_back(worker.snapshot());
+  const ClusterSnapshot merged = merge_snapshots(std::move(nodes));
+
+  auto report = critical_path(merged);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report->total_cycles, 100u);
+  ASSERT_EQ(report->steps.size(), 2u);
+  // Steps appear in timeline order of first chain contribution.
+  EXPECT_EQ(report->steps[0].name, "job");
+  EXPECT_EQ(report->steps[0].self_cycles, 40u);  // [0,10) + [70,100)
+  EXPECT_EQ(report->steps[0].depth, 0u);
+  EXPECT_EQ(report->steps[1].name, "task");
+  EXPECT_EQ(report->steps[1].self_cycles, 60u);
+  EXPECT_EQ(report->steps[1].depth, 1u);
+  EXPECT_EQ(report->node_self_cycles.at("coord"), 40u);
+  EXPECT_EQ(report->node_self_cycles.at("worker"), 60u);
+  EXPECT_EQ(report->dominant_node, "worker");
+
+  const std::string json = report->to_json();
+  EXPECT_NE(json.find("\"schema\":\"securecloud.critical_path.v1\""),
+            std::string::npos);
+  const std::string text = report->to_text();
+  EXPECT_NE(text.find("- coord/job"), std::string::npos);
+  EXPECT_NE(text.find("  - worker/task"), std::string::npos);
+
+  // An empty snapshot has no root to walk.
+  EXPECT_FALSE(critical_path(ClusterSnapshot{}).ok());
 }
 
 }  // namespace
