@@ -3,19 +3,28 @@
 // Part 1: raw fabric message rate (one lossless link, 512 B messages)
 // — how fast the discrete-event loop dispatches, plus the simulated
 // network time those messages charged.
-// Part 2: the distributed MapReduce driver over clusters of 1/2/4/8
+// Part 2: contended ingress — N sender threads hammer one Fabric's
+// send() concurrently (the path that used to serialize on the fabric
+// mutex), then a single consumer drains. This measures the lock-free
+// win at the contention point, not just end-to-end.
+// Part 3: the distributed MapReduce driver over clusters of 1/2/4/8
 // workers: same encrypted word-count job per cluster size, reporting
 // wall seconds, simulated milliseconds (latency + serialization across
 // the mesh plus enclave compute), and shuffle traffic. More workers
 // shrink per-worker map work but add shuffle hops — the classic
 // distributed-job trade the paper's evaluation sweeps.
 //
+// Flags: --threads N (contended-ingress sender count, default 8),
+// --smoke (shrink message counts for CI).
 // Last line: one securecloud.bench.v1 record (CI's bench smoke step
 // validates its shape).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 
 #include "bench_json.hpp"
 #include "bigdata/distributed_mapreduce.hpp"
@@ -27,6 +36,9 @@
 namespace {
 
 using namespace securecloud;
+
+int g_threads = 8;      // contended-ingress sender threads
+bool g_smoke = false;  // CI smoke: small message counts, same output shape
 
 double wall_seconds(const std::function<void()>& fn) {
   const auto start = std::chrono::steady_clock::now();
@@ -44,7 +56,7 @@ void bench_message_rate() {
   std::uint64_t received = 0;
   (void)fabric.set_handler(b, 1, [&](const net::Message&) { ++received; });
 
-  constexpr std::size_t kMessages = 50'000;
+  const std::size_t kMessages = g_smoke ? 2'000 : 50'000;
   const Bytes payload(512, 0xA5);
   const double secs = wall_seconds([&] {
     for (std::size_t i = 0; i < kMessages; ++i) {
@@ -58,6 +70,55 @@ void bench_message_rate() {
       "\"msgs_per_sec\":%.0f,\"sim_ms\":%.3f}\n",
       kMessages, secs, static_cast<double>(received) / secs,
       static_cast<double>(fabric.now_ns()) / 1e6);
+}
+
+// N producer threads hammer send() into one fabric concurrently — the
+// contention point that used to funnel through the fabric mutex. The
+// consumer drains once the senders join (schedule determinism is
+// surrendered under concurrent send; throughput and conservation are
+// what this mode measures). Reports ingress rate (send() calls/sec
+// while contended) separately from the end-to-end rate.
+void bench_contended_ingress() {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId hub = fabric.add_node("hub");
+  std::vector<net::NodeId> senders;
+  const int nthreads = g_threads < 1 ? 1 : g_threads;
+  for (int t = 0; t < nthreads; ++t) {
+    senders.push_back(fabric.add_node("s" + std::to_string(t)));
+    (void)fabric.connect(senders.back(), hub);
+  }
+  std::uint64_t received = 0;
+  (void)fabric.set_handler(hub, 1, [&](const net::Message&) { ++received; });
+
+  const std::size_t per_thread = g_smoke ? 2'000 : 40'000;
+  const Bytes payload(512, 0x5A);
+  double ingress_secs = 0;
+  const double secs = wall_seconds([&] {
+    std::vector<std::thread> threads;
+    const auto ingress_start = std::chrono::steady_clock::now();
+    for (int t = 0; t < nthreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = 0; i < per_thread; ++i) {
+          (void)fabric.send(senders[static_cast<std::size_t>(t)], hub, 1, payload);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    ingress_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - ingress_start)
+            .count();
+    fabric.run_until_idle();
+  });
+
+  const std::size_t total = per_thread * static_cast<std::size_t>(nthreads);
+  std::printf(
+      "{\"bench\":\"net_fabric_contended\",\"senders\":%d,\"messages\":%zu,"
+      "\"ingress_seconds\":%.4f,\"sends_per_sec\":%.0f,\"seconds\":%.4f,"
+      "\"msgs_per_sec\":%.0f,\"delivered\":%llu}\n",
+      nthreads, total, ingress_secs, static_cast<double>(total) / ingress_secs, secs,
+      static_cast<double>(received) / secs,
+      static_cast<unsigned long long>(received));
 }
 
 std::vector<std::vector<Bytes>> synth_partitions(std::size_t partitions,
@@ -76,7 +137,7 @@ std::vector<std::vector<Bytes>> synth_partitions(std::size_t partitions,
 }
 
 void bench_cluster_scaling() {
-  const auto partitions = synth_partitions(32, 30);
+  const auto partitions = synth_partitions(g_smoke ? 8 : 32, g_smoke ? 10 : 30);
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     SimClock clock;
     net::Fabric fabric(clock);
@@ -136,7 +197,8 @@ void bench_cluster_scaling() {
 
     if (workers == 8) {
       // The largest cluster's full registry backs the schema line.
-      benchutil::emit_bench_json("net_fabric", 1, registry);
+      benchutil::emit_bench_json("net_fabric", static_cast<std::size_t>(g_threads),
+                                 registry);
     }
   }
 }
@@ -206,8 +268,18 @@ void bench_cluster_trace() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    }
+  }
   bench_message_rate();
+  bench_contended_ingress();
   bench_cluster_trace();
   bench_cluster_scaling();  // last: CI expects the bench.v1 line last
   return 0;

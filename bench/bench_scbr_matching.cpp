@@ -116,6 +116,80 @@ void BM_PosetMatchBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_PosetMatchBatch)->Arg(10000)->Arg(50000);
 
+// Full router pass per publication: AEAD open, signature verify, match,
+// per-subscriber re-encryption — the paper's end-to-end SCBR data plane.
+// Deliveries dominate (every publication fans out to its matches), so
+// this is where per-delivery key-schedule and table-lookup costs show.
+void BM_RouterPublishBatch(benchmark::State& state) {
+  sgx::Platform platform;
+  sgx::AttestationService attestation;
+  platform.provision(attestation);
+  crypto::DeterministicEntropy entropy(77);
+  KeyService keys(attestation, entropy);
+
+  sgx::EnclaveImage image;
+  image.name = "scbr-router-bench";
+  image.code = to_bytes("router-binary");
+  crypto::DeterministicEntropy signer(909);
+  sign_image(image, crypto::ed25519_keypair(signer.array<32>()));
+  auto enclave = platform.create_enclave(image);
+  if (!enclave.ok()) {
+    state.SkipWithError("enclave creation failed");
+    return;
+  }
+  keys.authorize_router((*enclave)->mrenclave());
+
+  auto publisher = keys.register_client("publisher");
+  std::vector<ClientCredentials> subscribers;
+  for (int s = 0; s < 8; ++s) {
+    subscribers.push_back(keys.register_client("sub" + std::to_string(s)));
+  }
+
+  ScbrRouter router(**enclave, std::make_unique<PosetEngine>());
+  if (!router.provision(keys).ok()) {
+    state.SkipWithError("router provisioning failed");
+    return;
+  }
+
+  const auto subscriptions = static_cast<std::size_t>(state.range(0));
+  ScbrWorkload workload(config_with(0.8), 11);
+  for (std::size_t i = 0; i < subscriptions; ++i) {
+    const auto& sub = subscribers[i % subscribers.size()];
+    auto id = router.subscribe(
+        sub.name, encrypt_subscription(sub, workload.next_filter(), i + 1));
+    if (!id.ok()) {
+      state.SkipWithError("subscribe failed");
+      return;
+    }
+  }
+
+  common::ThreadPool pool(static_cast<std::size_t>(g_threads));
+  common::ThreadPool* p = g_threads > 1 ? &pool : nullptr;
+  std::uint64_t nonce = 1;
+  std::uint64_t deliveries = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // wire prep (client-side crypto) is not router work
+    std::vector<ScbrRouter::PublishRequest> batch;
+    batch.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      batch.push_back(
+          {publisher.name, encrypt_publication(publisher, workload.next_event(), nonce++)});
+    }
+    state.ResumeTiming();
+    auto results = router.publish_batch(batch, p);
+    for (const auto& r : results) {
+      if (r.ok()) deliveries += r->size();
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 64));
+  state.counters["threads"] = static_cast<double>(g_threads);
+  state.counters["deliveries_per_pub"] =
+      static_cast<double>(deliveries) /
+      static_cast<double>(state.iterations() * 64);
+}
+BENCHMARK(BM_RouterPublishBatch)->Arg(2000)->Arg(10000);
+
 void BM_PosetSubscribe(benchmark::State& state) {
   ScbrWorkload workload(config_with(0.8), 13);
   PosetEngine engine;

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON outputs and fail on throughput regressions.
+
+Usage: bench_compare.py BASE_FILE HEAD_FILE [--threshold 0.10]
+
+Each file is the raw stdout of one or more bench binaries (bench_net_fabric,
+bench_scbr_matching, ...). Lines that parse as JSON objects with a "bench"
+key are bench records; everything else (google-benchmark tables, trace
+documents) is ignored. Records are paired across the two files by their
+identity key — ("bench", plus "threads"/"senders"/"workers" when present) —
+and every shared `*_per_sec` field is compared.
+
+Exit status is non-zero if any rate field in HEAD is more than `threshold`
+(default 10%) below its BASE value. Improvements and new/missing records
+are reported but never fail the comparison (benches come and go; losing a
+record entirely shows up in the summary for a human to notice).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    """Returns {identity: record} for every bench JSON line in `path`."""
+    records = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(doc, dict) or "bench" not in doc:
+                continue
+            identity = [("bench", doc["bench"])]
+            for axis in ("threads", "senders", "workers"):
+                if axis in doc:
+                    identity.append((axis, doc[axis]))
+            records[tuple(identity)] = doc
+    return records
+
+
+def rate_fields(doc):
+    return {
+        k: v
+        for k, v in doc.items()
+        if k.endswith("_per_sec") and isinstance(v, (int, float)) and v > 0
+    }
+
+
+def describe(identity):
+    return " ".join(f"{k}={v}" for k, v in identity)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("base", help="bench output of the baseline build")
+    parser.add_argument("head", help="bench output of the candidate build")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="max allowed fractional throughput drop (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    base = load_records(args.base)
+    head = load_records(args.head)
+    if not base:
+        print(f"error: no bench records in {args.base}", file=sys.stderr)
+        return 2
+    if not head:
+        print(f"error: no bench records in {args.head}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+    for identity in sorted(set(base) & set(head)):
+        base_rates = rate_fields(base[identity])
+        head_rates = rate_fields(head[identity])
+        for field in sorted(set(base_rates) & set(head_rates)):
+            old, new = base_rates[field], head_rates[field]
+            delta = (new - old) / old
+            compared += 1
+            marker = ""
+            if delta < -args.threshold:
+                marker = "  << REGRESSION"
+                regressions.append((identity, field, old, new, delta))
+            print(
+                f"{describe(identity)} {field}: "
+                f"{old:,.0f} -> {new:,.0f} ({delta:+.1%}){marker}"
+            )
+
+    for identity in sorted(set(base) - set(head)):
+        print(f"{describe(identity)}: missing from head (not compared)")
+    for identity in sorted(set(head) - set(base)):
+        print(f"{describe(identity)}: new in head (not compared)")
+
+    if compared == 0:
+        print("error: no comparable rate fields between the two files",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} rate(s) regressed more than "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: {compared} rate(s) within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

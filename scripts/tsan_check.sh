@@ -4,10 +4,13 @@
 # Configures a second build tree with SECURECLOUD_SANITIZE=thread and
 # runs the thread-pool / parallel-determinism tests (plus the common
 # tests covering SimClock/ClockShard), the SPSC ring hammer, the
-# fault-injection suite, the obs registry/shard hammer + the
-# flight-recorder concurrent-append hammer and cross-thread span
-# handover (FlightRecorder.*/Trace.* in test_obs), and the cluster
-# fabric under concurrent enqueue (FabricConcurrency.*) under TSan.
+# lock-free data-plane hammers (MPSC queue N-producers/1-consumer,
+# RcuCell reader/writer churn, arena concurrent bump, EventRing
+# writer-vs-exporter reclamation — test_lockfree), the fault-injection
+# suite, the obs registry/shard hammer + the flight-recorder
+# concurrent-append hammer and cross-thread span handover
+# (FlightRecorder.*/Trace.* in test_obs), and the cluster fabric under
+# concurrent enqueue (FabricConcurrency.*) under TSan.
 # Part of the tier-1 flow for changes touching the parallel execution
 # layer, the fault/recovery plane, the metrics plane, or src/net/.
 set -euo pipefail
@@ -18,13 +21,14 @@ build_dir="${1:-${repo_root}/build-tsan}"
 cmake -B "${build_dir}" -S "${repo_root}" -DSECURECLOUD_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j "$(nproc)" \
-      --target test_thread_pool test_common test_scone test_fault_injection \
-      test_obs test_net
+      --target test_thread_pool test_common test_scone test_lockfree \
+      test_fault_injection test_obs test_net
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/test_thread_pool"
 "${build_dir}/tests/test_common" --gtest_filter='SimClock.*'
 "${build_dir}/tests/test_scone" --gtest_filter='SpscRing.*'
+"${build_dir}/tests/test_lockfree"
 "${build_dir}/tests/test_fault_injection"
 "${build_dir}/tests/test_obs"
 "${build_dir}/tests/test_net" --gtest_filter='FabricConcurrency.*:Fabric.*'

@@ -1,0 +1,130 @@
+// Lock-free bump-pointer arena for frame/chunk buffers.
+//
+// The fabric ingress allocates one MPSC segment per ring overflow and
+// the recorder allocates event nodes on every append; both paths run on
+// producer threads that must never contend on a mutex. The arena gives
+// them O(1) allocation: a CAS-bumped offset into the current block, a
+// new block CAS-published onto the chain when the current one fills.
+//
+// Deallocation is bulk-only: memory lives until the arena is destroyed
+// (or reset() while quiescent). That matches the owners' lifetimes —
+// MPSC segments are recycled in-place, and retired recorder events are
+// reclaimed by epoch before their storage is ever reused.
+//
+// Memory-ordering contract:
+//   * `used` is CAS-bumped with acq_rel; the winning thread owns
+//     [old, old+bytes) exclusively — no other synchronization needed
+//     before writing into it.
+//   * A new block is CAS-published onto `head_` with release; readers
+//     (allocators, the destructor) acquire-load `head_`.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace securecloud::lockfree {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 64 * 1024)
+      : block_bytes_(block_bytes < 256 ? std::size_t{256} : block_bytes) {}
+  ~Arena() {
+    Block* b = head_.load(std::memory_order_acquire);
+    while (b != nullptr) {
+      Block* next = b->next;
+      ::operator delete(static_cast<void*>(b));
+      b = next;
+    }
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage; never fails, never blocks. `align` must be a power of
+  /// two. The returned region is exclusively owned by the caller.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    Block* block = head_.load(std::memory_order_acquire);
+    if (block != nullptr) {
+      if (void* p = try_bump(block, bytes, align)) return p;
+    }
+    // Current block missing or full: grab a fresh one with our request
+    // pre-reserved (cannot fail on an empty block, so oversized requests
+    // never livelock), then publish it. Losing the publish race is fine:
+    // the block is chained behind the winner's head either way, so the
+    // destructor frees it and the reservation stays exclusively ours.
+    Block* fresh = new_block(bytes, align);
+    void* p = try_bump(fresh, bytes, align);
+    fresh->next = block;
+    while (!head_.compare_exchange_weak(block, fresh, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      fresh->next = block;
+    }
+    return p;
+  }
+
+  /// Typed construction helper.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(static_cast<Args&&>(args)...);
+  }
+
+  /// Bytes handed out so far (diagnostics; approximate under races).
+  std::size_t allocated_bytes() const {
+    std::size_t total = 0;
+    for (Block* b = head_.load(std::memory_order_acquire); b != nullptr;
+         b = b->next) {
+      std::size_t used = b->used.load(std::memory_order_relaxed);
+      total += used < b->capacity ? used : b->capacity;
+    }
+    return total;
+  }
+
+ private:
+  struct Block {
+    Block* next = nullptr;
+    std::size_t capacity = 0;
+    std::atomic<std::size_t> used{0};
+    // Payload follows the header in the same malloc'd region.
+    char* data() { return reinterpret_cast<char*>(this) + sizeof(Block); }
+  };
+
+  static std::size_t align_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  void* try_bump(Block* block, std::size_t bytes, std::size_t align) {
+    std::size_t used = block->used.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uintptr_t base =
+          reinterpret_cast<std::uintptr_t>(block->data());
+      const std::size_t start =
+          align_up(static_cast<std::size_t>(base) + used, align) -
+          static_cast<std::size_t>(base);
+      if (start + bytes > block->capacity) return nullptr;
+      if (block->used.compare_exchange_weak(used, start + bytes,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+        return block->data() + start;
+      }
+    }
+  }
+
+  Block* new_block(std::size_t bytes, std::size_t align) {
+    // Header + worst-case alignment padding + payload, at least one
+    // standard block so small allocations batch.
+    std::size_t payload = bytes + align;
+    if (payload < block_bytes_) payload = block_bytes_;
+    void* raw = ::operator new(sizeof(Block) + payload);
+    Block* block = ::new (raw) Block;
+    block->capacity = payload;
+    return block;
+  }
+
+  const std::size_t block_bytes_;
+  std::atomic<Block*> head_{nullptr};
+};
+
+}  // namespace securecloud::lockfree

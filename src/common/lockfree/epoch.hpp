@@ -1,0 +1,228 @@
+// Epoch-based reclamation and an RCU-style read-mostly snapshot cell.
+//
+// The read-mostly tables on the data plane (fabric handler maps, SCBR
+// client key tables, bus endpoint tables, registry name indexes) are
+// read on every message and written almost never. EpochDomain gives
+// them safe memory reclamation without read-side locks; RcuCell wraps
+// the common "one pointer to an immutable snapshot, copy-on-write
+// updates" pattern on top of it.
+//
+// Protocol (all seq_cst at the four marked points — this is a classic
+// store/load (Dekker) pattern and weaker orders break it):
+//
+//   reader:  slot.epoch = global_epoch        [seq_cst store]   (pin)
+//            p = current.load()               [seq_cst load]
+//            ... dereference p ...
+//            slot.epoch = 0                   (release, unpin)
+//
+//   writer:  old = current.exchange(new)      [seq_cst rmw]
+//            stamp = global_epoch; global_epoch += 1   [seq_cst rmw]
+//            free old once min(active slot epochs) > stamp
+//
+// Why this is safe: if a reader's pin observed epoch >= stamp + 1, the
+// pin is later than the writer's bump in the seq_cst total order, hence
+// later than the exchange — so the reader's subsequent pointer load can
+// only see the new pointer. Conversely a reader that could still hold
+// the old pointer necessarily shows epoch <= stamp, which blocks
+// reclamation until it unpins. Determinism is untouched: epochs order
+// *reclamation*, never data.
+//
+// Readers are wait-free after their first access (one TLS lookup + one
+// uncontended store each way). Writers pay a copy, an exchange, and an
+// amortized scan of the reader slots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/lockfree/tls_registry.hpp"
+
+namespace securecloud::lockfree {
+
+class EpochDomain {
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{0};  // 0 = quiescent
+    std::uint32_t depth = 0;              // owner-thread nesting counter
+    Slot* next = nullptr;
+  };
+
+ public:
+  EpochDomain() = default;
+  /// Frees everything still retired. Callers must have quiesced: no
+  /// guard may be live and no writer concurrent with destruction.
+  ~EpochDomain() {
+    for (auto& r : retired_) r.deleter(r.ptr);
+  }
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Read-side critical section. Nestable; the outermost guard pins the
+  /// epoch, inner guards only bump a thread-local depth counter.
+  class Guard {
+   public:
+    explicit Guard(const EpochDomain& domain) : slot_(domain.local_slot()) {
+      if (slot_->depth++ == 0) {
+        slot_->epoch.store(domain.epoch_.load(std::memory_order_seq_cst),
+                           std::memory_order_seq_cst);
+      }
+    }
+    ~Guard() {
+      if (--slot_->depth == 0) {
+        slot_->epoch.store(0, std::memory_order_release);
+      }
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  /// Hands `ptr` to the domain; `deleter(ptr)` runs once no reader pinned
+  /// at or before the current epoch remains. Callers must already have
+  /// unlinked `ptr` (typically via an exchange on the owning pointer).
+  void retire(void* ptr, void (*deleter)(void*)) {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back({ptr, deleter, advance_epoch()});
+  }
+
+  /// Frees every retired object whose grace period has passed; returns
+  /// the number freed. Non-blocking (skips nothing, waits for nothing).
+  std::size_t try_reclaim() {
+    std::vector<Retired> ready;
+    {
+      std::lock_guard<std::mutex> lock(retired_mu_);
+      const std::uint64_t floor = min_active_epoch();
+      auto keep = retired_.begin();
+      for (auto& r : retired_) {
+        if (r.epoch < floor) {
+          ready.push_back(r);
+        } else {
+          *keep++ = r;
+        }
+      }
+      retired_.erase(keep, retired_.end());
+    }
+    for (auto& r : ready) r.deleter(r.ptr);
+    return ready.size();
+  }
+
+  /// Blocks until every reader that entered before this call has left,
+  /// then reclaims. Writer-side only; never call under a Guard.
+  void synchronize() {
+    const std::uint64_t stamp = advance_epoch();
+    while (min_active_epoch() <= stamp) std::this_thread::yield();
+    try_reclaim();
+  }
+
+  // --- building blocks for bespoke retire schemes (wait-free writers
+  // --- keep their own per-thread retired lists, e.g. the flight
+  // --- recorder's event rings) ------------------------------------------
+
+  /// Stamps "now" and advances the global epoch; an object unlinked
+  /// before this call is reclaimable once min_active_epoch() > stamp.
+  std::uint64_t advance_epoch() {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Smallest epoch any in-flight reader is pinned at (UINT64_MAX when
+  /// no reader is active).
+  std::uint64_t min_active_epoch() const {
+    std::uint64_t floor = UINT64_MAX;
+    for (Slot* s = slots_.head(); s != nullptr; s = s->next) {
+      const std::uint64_t e = s->epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < floor) floor = e;
+    }
+    return floor;
+  }
+
+  /// Retired objects awaiting a grace period (diagnostics/tests).
+  std::size_t retired_count() const {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    return retired_.size();
+  }
+
+ private:
+  Slot* local_slot() const {
+    return slots_.local([] { return new Slot; });
+  }
+
+  std::atomic<std::uint64_t> epoch_{1};
+  mutable ThreadLocalList<Slot> slots_;
+  mutable std::mutex retired_mu_;
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+  std::vector<Retired> retired_;
+};
+
+/// One pointer to an immutable snapshot with copy-on-write updates.
+/// Readers are wait-free and never block writers; writers serialize on
+/// an internal mutex, copy the current value, mutate the copy, publish
+/// it, and retire the old snapshot through the cell's epoch domain.
+template <typename T>
+class RcuCell {
+ public:
+  explicit RcuCell(T initial = T{}) : current_(new T(std::move(initial))) {}
+  ~RcuCell() { delete current_.load(std::memory_order_relaxed); }
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  /// Pins the current snapshot for the guard's lifetime. The reference
+  /// (and any raw pointer taken from it — including by *other* threads,
+  /// since reclamation is domain-wide) stays valid until destruction.
+  class ReadRef {
+   public:
+    const T& operator*() const { return *ptr_; }
+    const T* operator->() const { return ptr_; }
+    const T* get() const { return ptr_; }
+
+   private:
+    friend class RcuCell;
+    explicit ReadRef(const RcuCell& cell)
+        : guard_(cell.domain_),
+          ptr_(cell.current_.load(std::memory_order_seq_cst)) {}
+    EpochDomain::Guard guard_;
+    const T* ptr_;
+  };
+
+  ReadRef read() const { return ReadRef(*this); }
+
+  /// Copy-on-write: `mutate` receives a copy of the current value;
+  /// the result is published atomically.
+  template <typename F>
+  void update(F&& mutate) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    T next = *current_.load(std::memory_order_relaxed);  // writers own mutation
+    mutate(next);
+    publish(new T(std::move(next)));
+  }
+
+  /// Replaces the value wholesale (no copy of the old snapshot).
+  void store(T value) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    publish(new T(std::move(value)));
+  }
+
+  EpochDomain& domain() const { return domain_; }
+
+ private:
+  void publish(T* fresh) {
+    T* old = current_.exchange(fresh, std::memory_order_seq_cst);
+    domain_.retire(old, [](void* p) { delete static_cast<T*>(p); });
+    domain_.try_reclaim();
+  }
+
+  mutable EpochDomain domain_;
+  std::mutex writer_mu_;
+  std::atomic<T*> current_;
+};
+
+}  // namespace securecloud::lockfree

@@ -1,0 +1,113 @@
+// Wait-free single-writer event ring with epoch-safe concurrent export.
+//
+// The flight recorder's per-thread storage: the owning thread appends
+// (overwriting the oldest entry once full) without ever blocking, while
+// an exporter thread walks the ring concurrently under an epoch guard.
+// Slots hold pointers to immutable heap events; an overwritten event is
+// retired into an owner-only list and freed once every exporter that
+// might still see it has left its critical section.
+//
+// Memory-ordering contract:
+//   * append: slot.exchange(seq_cst) publishes the new event and hands
+//     back the displaced one; count_.store(release) publishes the index.
+//   * export: under an EpochDomain::Guard, count_.load(acquire) then
+//     slot loads (seq_cst). A slot overwritten mid-walk yields the
+//     *newer* event — never a dangling pointer, because the displaced
+//     event is retired at an epoch >= the reader's pin and therefore
+//     outlives the guard.
+//   * reclaim is owner-only: the writer stamps retirees with
+//     domain.advance_epoch() and frees them once min_active_epoch()
+//     has passed the stamp. No locks anywhere on the writer path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/lockfree/epoch.hpp"
+
+namespace securecloud::lockfree {
+
+template <typename T>
+class EventRing {
+ public:
+  EventRing(EpochDomain& domain, std::size_t capacity)
+      : domain_(domain), slots_(capacity < 1 ? std::size_t{1} : capacity) {}
+  /// Quiescent-only: no writer or exporter may be active.
+  ~EventRing() {
+    for (auto& r : retired_) delete r.event;
+    for (auto& slot : slots_) delete slot.load(std::memory_order_relaxed);
+  }
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Owner thread only. Takes ownership of `event`; wait-free.
+  void append(const T* event) {
+    const std::uint64_t idx = count_.load(std::memory_order_relaxed);
+    const T* displaced = slots_[idx % slots_.size()].exchange(
+        event, std::memory_order_seq_cst);
+    count_.store(idx + 1, std::memory_order_release);
+    if (displaced != nullptr) {
+      retired_.push_back({displaced, domain_.advance_epoch()});
+      if (retired_.size() >= kReclaimBatch) reclaim();
+    }
+  }
+
+  /// Any thread, under an EpochDomain::Guard on this ring's domain.
+  /// Appends up to the last `capacity` events, oldest-first. Entries
+  /// overwritten mid-walk surface as their newer replacement; callers
+  /// dedupe/sort by their own sequence field.
+  void collect(std::vector<const T*>& out) const {
+    const std::uint64_t n = count_.load(std::memory_order_acquire);
+    const std::uint64_t cap = slots_.size();
+    const std::uint64_t first = n > cap ? n - cap : 0;
+    for (std::uint64_t i = first; i < n; ++i) {
+      const T* ev = slots_[i % cap].load(std::memory_order_seq_cst);
+      if (ev != nullptr) out.push_back(ev);
+    }
+  }
+
+  /// Appends ever made to this ring (monotonic; acquire-published).
+  std::uint64_t appended() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Owner thread only, with no concurrent exporter (quiescent reset).
+  void clear() {
+    for (auto& slot : slots_) {
+      delete slot.exchange(nullptr, std::memory_order_seq_cst);
+    }
+    for (auto& r : retired_) delete r.event;
+    retired_.clear();
+    count_.store(0, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::size_t kReclaimBatch = 64;
+
+  void reclaim() {
+    const std::uint64_t floor = domain_.min_active_epoch();
+    auto keep = retired_.begin();
+    for (auto& r : retired_) {
+      if (r.epoch < floor) {
+        delete r.event;
+      } else {
+        *keep++ = r;
+      }
+    }
+    retired_.erase(keep, retired_.end());
+  }
+
+  struct Retired {
+    const T* event;
+    std::uint64_t epoch;
+  };
+
+  EpochDomain& domain_;
+  std::vector<std::atomic<const T*>> slots_;
+  std::atomic<std::uint64_t> count_{0};
+  std::vector<Retired> retired_;  // owner-thread private
+};
+
+}  // namespace securecloud::lockfree

@@ -1,0 +1,173 @@
+// Bounded-contention MPSC queue: per-producer SPSC segments merged by
+// an atomic ticket into one total order at the consumer.
+//
+// Generalizes the SCONE SpscRing to many producers without giving up
+// its wait-free fast path: each producer thread owns a private chain of
+// SPSC ring segments (no CAS, no contention with other producers — the
+// only shared atomic on the fast path is the ticket counter), and the
+// single consumer drains every chain and sorts the batch by ticket.
+//
+// The ticket is the determinism hook. A producer acquires its ticket
+// *before* publishing the item, and tickets are handed out by one
+// fetch_add, so:
+//   * items from one thread drain in exactly their push order, and
+//   * when pushes are serialized by the caller (the fabric's
+//     deterministic serial/handler driving), the drained ticket order
+//     IS the call order — bit-identical to the old mutex admission.
+// Under genuinely concurrent pushes the batch order is the ticket
+// order, one arbitrary-but-consistent interleaving (the mutex gave an
+// arbitrary and *inconsistent* one). A drain may miss a ticket whose
+// push is still in flight; it simply appears in a later batch.
+//
+// Segment memory comes from the queue's Arena and is recycled through a
+// per-producer SPSC free ring, so steady state allocates nothing.
+//
+// Threading: push() — any thread, wait-free vs. other producers.
+// drain()/empty() — one consumer at a time (callers serialize, e.g. the
+// fabric admits under its event-loop mutex). Destruction quiesced.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/lockfree/arena.hpp"
+#include "common/lockfree/spsc_ring.hpp"
+#include "common/lockfree/tls_registry.hpp"
+
+namespace securecloud::lockfree {
+
+template <typename T>
+class MpscQueue {
+ public:
+  struct Item {
+    std::uint64_t ticket = 0;
+    T value{};
+  };
+
+  explicit MpscQueue(std::size_t segment_capacity = 1024)
+      : segment_capacity_(segment_capacity < 2 ? std::size_t{2}
+                                               : segment_capacity) {}
+  ~MpscQueue() {
+    Segment* s = all_segments_.load(std::memory_order_acquire);
+    while (s != nullptr) {
+      Segment* next = s->all_next;
+      s->~Segment();  // storage itself is arena-owned
+      s = next;
+    }
+  }
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Producer side; wait-free with respect to other producers. Returns
+  /// the item's ticket (its position in the drained total order).
+  std::uint64_t push(T value) {
+    Producer* p = producers_.local([this] { return make_producer(); });
+    const std::uint64_t ticket =
+        ticket_.fetch_add(1, std::memory_order_relaxed);
+    // From the producing thread's view size() is exact-or-stale-high, so
+    // a below-capacity ring always accepts (the consumer only shrinks it).
+    if (p->tail->ring.size() >= p->tail->ring.capacity()) {
+      Segment* fresh = acquire_segment(p);
+      p->tail->next.store(fresh, std::memory_order_release);
+      p->tail = fresh;
+    }
+    p->tail->ring.try_push(Item{ticket, std::move(value)});
+    return ticket;
+  }
+
+  /// Consumer side: appends every completed push to `out` in ticket
+  /// order. Single consumer (callers serialize drains).
+  void drain(std::vector<Item>& out) {
+    const std::size_t from = out.size();
+    for (Producer* p = producers_.head(); p != nullptr; p = p->next) {
+      for (;;) {
+        Segment* seg = p->head.load(std::memory_order_relaxed);
+        while (auto item = seg->ring.try_pop()) out.push_back(std::move(*item));
+        Segment* next = seg->next.load(std::memory_order_acquire);
+        if (next == nullptr) break;
+        // The producer linked `next` only after its last push into
+        // `seg`, so one more sweep empties it for good.
+        while (auto item = seg->ring.try_pop()) out.push_back(std::move(*item));
+        p->head.store(next, std::memory_order_relaxed);
+        recycle_segment(p, seg);
+      }
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(from), out.end(),
+              [](const Item& a, const Item& b) { return a.ticket < b.ticket; });
+  }
+
+  /// Consumer-side emptiness probe (approximate while producers run).
+  bool empty() const {
+    for (Producer* p = producers_.head(); p != nullptr; p = p->next) {
+      for (Segment* seg = p->head.load(std::memory_order_acquire);
+           seg != nullptr; seg = seg->next.load(std::memory_order_acquire)) {
+        if (!seg->ring.empty()) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Tickets issued so far (== completed + in-flight pushes).
+  std::uint64_t tickets_issued() const {
+    return ticket_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Segment {
+    explicit Segment(std::size_t capacity) : ring(capacity) {}
+    SpscRing<Item> ring;
+    std::atomic<Segment*> next{nullptr};
+    Segment* all_next = nullptr;  // destructor chain, set once at creation
+  };
+
+  struct Producer {
+    Segment* tail = nullptr;              // producer-owned
+    std::atomic<Segment*> head{nullptr};  // consumer cursor
+    SpscRing<Segment*> recycle{16};       // consumer -> producer free ring
+    Producer* next = nullptr;
+  };
+
+  Segment* new_segment() {
+    Segment* seg = arena_.create<Segment>(segment_capacity_);
+    Segment* h = all_segments_.load(std::memory_order_relaxed);
+    do {
+      seg->all_next = h;
+    } while (!all_segments_.compare_exchange_weak(
+        h, seg, std::memory_order_release, std::memory_order_relaxed));
+    return seg;
+  }
+
+  Producer* make_producer() {
+    Producer* p = new Producer;
+    Segment* seg = new_segment();
+    p->tail = seg;
+    p->head.store(seg, std::memory_order_release);
+    return p;
+  }
+
+  Segment* acquire_segment(Producer* p) {
+    if (auto recycled = p->recycle.try_pop()) {
+      (*recycled)->next.store(nullptr, std::memory_order_relaxed);
+      return *recycled;
+    }
+    return new_segment();
+  }
+
+  void recycle_segment(Producer* p, Segment* seg) {
+    seg->next.store(nullptr, std::memory_order_relaxed);
+    // Free-ring full: abandon the segment. Its storage stays on the
+    // arena and its destructor still runs from the all-segments chain.
+    (void)p->recycle.try_push(seg);
+  }
+
+  const std::size_t segment_capacity_;
+  Arena arena_;
+  std::atomic<std::uint64_t> ticket_{0};
+  std::atomic<Segment*> all_segments_{nullptr};
+  ThreadLocalList<Producer> producers_;
+};
+
+}  // namespace securecloud::lockfree

@@ -1,0 +1,81 @@
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// The repo's foundational lock-free primitive, shared by the SCONE
+// asynchronous syscall interface (enclave thread produces requests, an
+// untrusted worker consumes them — no enclave transition on either
+// side) and by the MPSC fabric ingress (one ring per sender thread,
+// drained by the event-loop consumer).
+//
+// Classic Lamport queue with C++20 atomics: the producer owns `head_`,
+// the consumer owns `tail_`; acquire/release pairs transfer slot
+// ownership. Capacity is rounded up to a power of two (index masking).
+//
+// Memory-ordering contract:
+//   * try_push: release store of head_ publishes the slot write.
+//   * try_pop: acquire load of head_ observes it before reading the slot.
+//   * size(): tail_ loaded before head_ — the opposite order can make
+//     head - tail underflow when a pop lands between the loads.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace securecloud::lockfree {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two, minimum 2. A
+  /// non-power-of-two capacity must never reach `& mask_` — e.g. 3 would
+  /// silently alias slot 3 onto slot 0 and corrupt the queue.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {
+    static_assert(std::atomic<std::size_t>::is_always_lock_free);
+  }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the ring is empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;  // empty
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Safe to call from any thread. `tail_` must be loaded *before*
+  /// `head_`: with the opposite order, a pop landing between the two
+  /// loads makes head - tail underflow to ~SIZE_MAX (and empty() lie).
+  /// Loading the consumer cursor first can only miscount operations that
+  /// raced the two loads — the result never underflows, because head
+  /// is always >= any earlier-observed tail.
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer cursor
+};
+
+}  // namespace securecloud::lockfree

@@ -1,0 +1,91 @@
+// Per-thread record registry shared by the lock-free structures.
+//
+// MPSC queues, epoch domains, and flight recorders all need the same
+// shape: each thread that touches the structure owns one record (an
+// SPSC ring, an epoch slot, an event ring), the structure's owner can
+// enumerate every record, and the per-thread lookup must be cheap
+// enough for a hot path. ThreadLocalList provides that shape once:
+//
+//   * local(make)   — the calling thread's record, created via `make()`
+//                     and pushed onto the list on first use. Subsequent
+//                     calls hit a thread-local cache keyed by a
+//                     process-unique list id (stale ids from destroyed
+//                     lists can never collide, so cached raw pointers
+//                     are never dereferenced after their list died).
+//   * head()/next   — lock-free enumeration for the single consumer /
+//                     exporter / reclaimer side.
+//
+// Records are never unlinked: a thread that exits leaves its record
+// idle until the list is destroyed (the usual epoch-domain trade; lists
+// live as long as the owning structure). Registration is a lock-free
+// CAS push; enumeration is acquire-load traversal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+
+namespace securecloud::lockfree {
+
+namespace detail {
+inline std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// One cache shared by every ThreadLocalList instantiation: list id →
+/// record pointer. Entries are never erased; ids are process-unique, so
+/// an entry for a destroyed list is dead weight, not a hazard.
+inline std::unordered_map<std::uint64_t, void*>& tls_record_cache() {
+  thread_local std::unordered_map<std::uint64_t, void*> cache;
+  return cache;
+}
+}  // namespace detail
+
+/// Record must expose a `Record* next` member the list may write once at
+/// registration. The list owns every record and deletes them all at
+/// destruction (callers must have quiesced by then).
+template <typename Record>
+class ThreadLocalList {
+ public:
+  ThreadLocalList() : id_(detail::next_registry_id()) {}
+  ~ThreadLocalList() {
+    Record* r = head_.load(std::memory_order_acquire);
+    while (r != nullptr) {
+      Record* next = r->next;
+      delete r;
+      r = next;
+    }
+  }
+  ThreadLocalList(const ThreadLocalList&) = delete;
+  ThreadLocalList& operator=(const ThreadLocalList&) = delete;
+
+  /// The calling thread's record, created on first use. `make` returns a
+  /// `Record*` the list takes ownership of.
+  template <typename Make>
+  Record* local(Make&& make) {
+    auto& cache = detail::tls_record_cache();
+    if (auto it = cache.find(id_); it != cache.end()) {
+      return static_cast<Record*>(it->second);
+    }
+    Record* record = make();
+    Record* h = head_.load(std::memory_order_relaxed);
+    do {
+      record->next = h;
+    } while (!head_.compare_exchange_weak(h, record, std::memory_order_release,
+                                          std::memory_order_relaxed));
+    cache.emplace(id_, record);
+    return record;
+  }
+
+  /// Enumeration entry point (follow `->next` until nullptr). Records
+  /// registered after this load are missed — callers re-traverse per
+  /// pass, which is the usual consumer/reclaimer idiom.
+  Record* head() const { return head_.load(std::memory_order_acquire); }
+
+ private:
+  const std::uint64_t id_;
+  std::atomic<Record*> head_{nullptr};
+};
+
+}  // namespace securecloud::lockfree

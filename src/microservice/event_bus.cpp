@@ -11,18 +11,25 @@ EventBus::EventBus(sgx::Enclave& enclave, scbr::KeyService& keys)
 }
 
 BusEndpoint* EventBus::attach(const std::string& service_name) {
-  if (started_ || endpoints_.count(service_name)) return nullptr;
-  auto endpoint = std::make_unique<BusEndpoint>();
+  if (started_) return nullptr;
+  {
+    auto table = endpoints_.read();
+    if (table->count(service_name)) return nullptr;
+  }
+  auto endpoint = std::make_shared<BusEndpoint>();
   endpoint->creds_ = keys_.register_client(service_name);
   auto* raw = endpoint.get();
-  endpoints_[service_name] = std::move(endpoint);
+  endpoints_.update([&](EndpointTable& table) {
+    table[service_name] = std::move(endpoint);
+  });
   return raw;
 }
 
 Status EventBus::detach(const std::string& service_name) {
-  if (endpoints_.erase(service_name) == 0) {
-    return Error::not_found("no such service: " + service_name);
-  }
+  bool erased = false;
+  endpoints_.update(
+      [&](EndpointTable& table) { erased = table.erase(service_name) > 0; });
+  if (!erased) return Error::not_found("no such service: " + service_name);
   return {};
 }
 
@@ -97,8 +104,11 @@ std::size_t EventBus::drain(std::size_t max_rounds) {
     std::deque<PendingDelivery> batch;
     batch.swap(pending_);
     for (auto& delivery : batch) {
-      auto it = endpoints_.find(delivery.subscriber);
-      if (it == endpoints_.end()) {
+      // Pinned per delivery so a handler-triggered detach is visible to
+      // the next delivery in the batch, exactly as the mutable map was.
+      auto table = endpoints_.read();
+      auto it = table->find(delivery.subscriber);
+      if (it == table->end()) {
         ++stats_.detached_drops;
         obs_inc(obs_detached_);
         Error reason = Error::not_found("subscriber detached: " + delivery.subscriber);

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/fault_injector.hpp"
+#include "common/lockfree/epoch.hpp"
 #include "obs/registry.hpp"
 #include "scbr/router.hpp"
 
@@ -137,10 +138,16 @@ class EventBus {
     if (counter != nullptr) counter->inc();
   }
 
+  /// Endpoint directory as an RCU snapshot: delivery-plane lookups in
+  /// drain() are read-side lock-free, and only attach/detach publish a
+  /// copy-on-write table. shared_ptr ownership means a snapshot pinned
+  /// across a detach keeps the endpoint alive until the reader drops it.
+  using EndpointTable = std::map<std::string, std::shared_ptr<BusEndpoint>>;
+
   sgx::Enclave& enclave_;
   scbr::KeyService& keys_;
   std::unique_ptr<scbr::ScbrRouter> router_;
-  std::map<std::string, std::unique_ptr<BusEndpoint>> endpoints_;
+  lockfree::RcuCell<EndpointTable> endpoints_;
   std::deque<PendingDelivery> pending_;
   std::deque<DeadLetter> dead_letters_;
   common::FaultInjector* injector_ = nullptr;

@@ -45,6 +45,10 @@ Status Fabric::set_handler(NodeId node, std::uint32_t channel, Handler handler) 
 Status Fabric::set_partitioned(NodeId a, NodeId b, bool partitioned) {
   Link* link = find_link(a, b);
   if (link == nullptr) return Error::not_found("set_partitioned: no such link");
+  // Sends issued before this call must be admitted against the old
+  // partition state — the flip is itself an ordered observation point.
+  std::lock_guard<std::mutex> lock(mu_);
+  admit_ingress();
   link->partitioned = partitioned;
   return {};
 }
@@ -122,44 +126,87 @@ Status Fabric::send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload
   if (src >= nodes_.size() || dst >= nodes_.size()) {
     return Error::invalid_argument("send: unknown node");
   }
+  // Misuse is reported synchronously (topology is immutable during the
+  // concurrent phase, so this read races nothing); the send is still
+  // ticketed so its stats bumps land in admission order like the old
+  // mutex path counted them.
+  Status result = {};
+  if (src != dst && find_link(src, dst) == nullptr) {
+    result = Error::not_found("send: no link " + nodes_[src].name + " -> " +
+                              nodes_[dst].name);
+  }
+  Ingress in;
+  in.kind = Ingress::Kind::kSend;
+  in.src = src;
+  in.dst = dst;
+  in.channel = channel;
+  in.payload = std::move(payload);
+  in.trace = trace;
+  ingress_.push(std::move(in));
+  return result;
+}
 
-  std::lock_guard<std::mutex> lock(mu_);
+void Fabric::schedule(std::uint64_t delay_ns, TimerFn fn) {
+  Ingress in;
+  in.kind = Ingress::Kind::kTimer;
+  in.delay_ns = delay_ns;
+  in.timer = std::move(fn);
+  ingress_.push(std::move(in));
+}
+
+/// Drains the ingress rings and replays each completed send()/schedule()
+/// in ticket order. Caller holds mu_; this is the only writer of the
+/// event queue, stats, and fault-decision streams, so the schedule is a
+/// pure function of (topology, ticket order, seed).
+void Fabric::admit_ingress() {
+  ingress_batch_.clear();
+  ingress_.drain(ingress_batch_);
+  if (ingress_batch_.empty()) return;
+  for (auto& item : ingress_batch_) {
+    Ingress& in = item.value;
+    if (in.kind == Ingress::Kind::kTimer) {
+      push_event(
+          EventItem{.at_ns = now_ns_ + in.delay_ns, .timer = std::move(in.timer)});
+    } else {
+      admit_send(std::move(in));
+    }
+  }
+  ingress_batch_.clear();
+  set_queue_gauge();
+}
+
+void Fabric::admit_send(Ingress&& in) {
+  const std::size_t payload_size = in.payload.size();
   ++stats_.messages_sent;
   bump(obs_messages_sent_);
-  stats_.bytes_sent += payload.size();
-  bump(obs_bytes_sent_, payload.size());
+  stats_.bytes_sent += payload_size;
+  bump(obs_bytes_sent_, payload_size);
 
   // Loopback: no link, no latency, no faults — but still an event, so
   // handler re-entry stays impossible and ordering stays queue-defined.
-  if (src == dst) {
+  if (in.src == in.dst) {
     const std::uint64_t id = next_message_id_++;
     Pending& p = pending_[id];
-    p.src = src;
-    p.dst = dst;
-    p.channel = channel;
-    p.trace = trace;
+    p.src = in.src;
+    p.dst = in.dst;
+    p.channel = in.channel;
+    p.trace = in.trace;
     p.send_cycles = clock_->cycles();
     p.frags_total = 1;
     p.have.assign(1, false);
-    p.offsets = {0};
-    p.payload = Bytes(payload.size());
+    p.payload = std::move(in.payload);
     p.frames_in_flight = 1;
     ++stats_.frames_sent;
     bump(obs_frames_sent_);
     push_event(EventItem{.at_ns = now_ns_,
                          .message_id = id,
                          .frag_index = 0,
-                         .frag_total = 1,
-                         .bytes = std::move(payload)});
-    set_queue_gauge();
-    return {};
+                         .frag_total = 1});
+    return;
   }
 
-  Link* link = find_link(src, dst);
-  if (link == nullptr) {
-    return Error::not_found("send: no link " + nodes_[src].name + " -> " +
-                            nodes_[dst].name);
-  }
+  Link* link = find_link(in.src, in.dst);
+  if (link == nullptr) return;  // send() already reported the misuse
 
   // Whole-message drops: an explicit partition, or a kNetPartition fault
   // (a transient routing black hole). Decision order per message is fixed
@@ -169,33 +216,31 @@ Status Fabric::send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload
       (faults_ != nullptr && faults_->should_fire(common::FaultKind::kNetPartition))) {
     ++stats_.messages_dropped;
     bump(obs_messages_dropped_);
-    return {};  // the network ate it; not a caller error
+    return;  // the network ate it; not a caller error
   }
 
   const LinkConfig& cfg = link->config;
-  const std::size_t mtu = cfg.mtu_bytes == 0 ? payload.size() + 1 : cfg.mtu_bytes;
+  const std::size_t mtu = cfg.mtu_bytes == 0 ? payload_size + 1 : cfg.mtu_bytes;
   const std::uint32_t frags =
-      payload.empty()
+      payload_size == 0
           ? 1
-          : static_cast<std::uint32_t>((payload.size() + mtu - 1) / mtu);
+          : static_cast<std::uint32_t>((payload_size + mtu - 1) / mtu);
 
   const std::uint64_t id = next_message_id_++;
   Pending p;
-  p.src = src;
-  p.dst = dst;
-  p.channel = channel;
-  p.trace = trace;
+  p.src = in.src;
+  p.dst = in.dst;
+  p.channel = in.channel;
+  p.trace = in.trace;
   p.send_cycles = clock_->cycles();
   p.frags_total = frags;
   p.have.assign(frags, false);
-  p.payload = Bytes(payload.size());
-  p.offsets.resize(frags);
+  p.payload = std::move(in.payload);
 
   std::uint64_t ser_ns = 0;  // cumulative serialization delay on this link
   for (std::uint32_t i = 0; i < frags; ++i) {
     const std::size_t off = static_cast<std::size_t>(i) * mtu;
-    const std::size_t len = std::min(mtu, payload.size() - off);
-    p.offsets[i] = off;
+    const std::size_t len = std::min(mtu, payload_size - off);
     ++stats_.frames_sent;
     bump(obs_frames_sent_);
     ser_ns += serialization_ns(len, cfg.bandwidth_bytes_per_sec);
@@ -223,13 +268,11 @@ Status Fabric::send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload
       at += 2 * cfg.latency_ns;  // shoved behind later traffic
     }
 
-    Bytes frame(payload.begin() + off, payload.begin() + off + len);
     ++p.frames_in_flight;
     push_event(EventItem{.at_ns = at,
                          .message_id = id,
                          .frag_index = i,
-                         .frag_total = frags,
-                         .bytes = frame});
+                         .frag_total = frags});
     if (duplicate) {
       ++stats_.frames_duplicated;
       bump(obs_frames_duplicated_);
@@ -237,8 +280,7 @@ Status Fabric::send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload
       push_event(EventItem{.at_ns = at + cfg.latency_ns,
                            .message_id = id,
                            .frag_index = i,
-                           .frag_total = frags,
-                           .bytes = std::move(frame)});
+                           .frag_total = frags});
     }
   }
 
@@ -249,18 +291,12 @@ Status Fabric::send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload
   if (p.frames_in_flight > 0) {
     pending_.emplace(id, std::move(p));  // keep: surviving frames must drain
   }
-  set_queue_gauge();
-  return {};
-}
-
-void Fabric::schedule(std::uint64_t delay_ns, TimerFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  push_event(EventItem{.at_ns = now_ns_ + delay_ns, .timer = std::move(fn)});
-  set_queue_gauge();
 }
 
 bool Fabric::idle() const {
+  Fabric* self = const_cast<Fabric*>(this);
   std::lock_guard<std::mutex> lock(mu_);
+  self->admit_ingress();
   return queue_.empty();
 }
 
@@ -269,13 +305,23 @@ std::uint64_t Fabric::now_ns() const {
   return now_ns_;
 }
 
+const FabricStats& Fabric::stats() const {
+  Fabric* self = const_cast<Fabric*>(this);
+  std::lock_guard<std::mutex> lock(mu_);
+  self->admit_ingress();
+  return stats_;
+}
+
 std::size_t Fabric::run_until_idle(std::size_t max_events) {
   obs::Span span(tracer_, "net.run");
   std::size_t processed = 0;
   while (processed < max_events) {
-    // Pull the next event and mutate fabric state under the lock; invoke
-    // the user callback (handler or timer) with the lock released so it
-    // can send() and schedule().
+    // Admit pending ingress, pull the next event, and mutate fabric state
+    // under the lock; invoke the user callback (handler or timer) with
+    // the lock released so it can send() and schedule(). Admission runs
+    // before every pop, so a handler's sends are ordered into the queue
+    // before the next event dispatches — exactly as when send() pushed
+    // under the lock directly.
     Handler handler;  // copy: registrations may change between events
     Message message;
     bool deliver = false;
@@ -283,6 +329,7 @@ std::size_t Fabric::run_until_idle(std::size_t max_events) {
     TimerFn timer;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      admit_ingress();
       if (queue_.empty()) break;
       EventItem event = queue_.top();
       queue_.pop();
@@ -305,8 +352,6 @@ std::size_t Fabric::run_until_idle(std::size_t max_events) {
           if (!p.dead && !p.have[event.frag_index]) {
             p.have[event.frag_index] = true;
             ++p.frags_received;
-            std::copy(event.bytes.begin(), event.bytes.end(),
-                      p.payload.begin() + p.offsets[event.frag_index]);
           }
           if (!p.dead && p.frags_received == p.frags_total) {
             ++stats_.messages_delivered;

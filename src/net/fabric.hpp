@@ -8,22 +8,35 @@
 // bandwidth), and MTU-level fragmentation, and every delivery is an event
 // in one priority queue.
 //
+// Ingress is lock-free: send() and schedule() stamp an atomic ticket and
+// push onto a per-thread SPSC ring (common/lockfree MpscQueue) — no
+// producer ever touches the event-loop mutex, so concurrent senders
+// never contend with each other or with the consumer. Admission happens
+// at deterministic observation points (each run_until_idle() iteration,
+// idle(), stats(), set_partitioned()): the consumer drains the rings,
+// sorts by ticket, and replays the classic admission body — stats, fault
+// decisions, fragmentation, event creation — in ticket order under the
+// event-loop mutex. Payload bytes are moved into the reassembly buffer
+// once at admission; frame events carry only (message id, fragment
+// index), never bytes (zero-copy frames).
+//
 // Determinism contract: events are ordered by (delivery time, enqueue
-// sequence) — a total order with a stable tie-break — so for a fixed
+// sequence) — a total order with a stable tie-break. When sends are
+// issued in a deterministic order (the serial driver, or inside event
+// handlers — the same idiom the MapReduce driver uses for nonces and
+// output slots), the ticket order IS the call order, so for a fixed
 // fault seed the delivery schedule, the stats, and every `net_*` counter
-// are bit-identical across runs and across worker-pool thread counts,
-// PROVIDED the sends themselves are issued in a deterministic order
-// (from the serial driver or from inside event handlers, the same idiom
-// the MapReduce driver uses for nonces and output slots). Concurrent
-// send() from pool workers is memory-safe (one mutex guards the queue)
-// but surrenders the schedule guarantee; scripts/tsan_check.sh hammers
-// that path for races.
+// are bit-identical across runs and across worker-pool thread counts.
+// Genuinely concurrent send() from pool workers is race-free and loses
+// nothing, but its ticket interleaving (and hence the schedule) is
+// timing-dependent — exactly the guarantee the old mutex gave, minus the
+// contention; scripts/tsan_check.sh hammers that path for races.
 //
 // Fault plane: a FaultInjector (kNetLoss / kNetDuplicate / kNetReorder
 // per frame, kNetPartition per message) perturbs link delivery, and
 // set_partitioned() cuts a link deterministically for partition tests.
-// All fault decisions happen at send time, so the schedule stays a pure
-// function of (topology, sends, seed).
+// All fault decisions happen at admission, in ticket order, so the
+// schedule stays a pure function of (topology, send order, seed).
 #pragma once
 
 #include <cstdint>
@@ -36,6 +49,7 @@
 
 #include "common/bytes.hpp"
 #include "common/fault_injector.hpp"
+#include "common/lockfree/mpsc_queue.hpp"
 #include "common/result.hpp"
 #include "common/sim_clock.hpp"
 #include "obs/cluster.hpp"
@@ -112,7 +126,8 @@ class Fabric {
   Status set_handler(NodeId node, std::uint32_t channel, Handler handler);
 
   /// Deterministic partition control: while partitioned, every message on
-  /// the a<->b link is dropped (both directions).
+  /// the a<->b link is dropped (both directions). Admits any queued
+  /// ingress first, so sends issued before the call see the old state.
   Status set_partitioned(NodeId a, NodeId b, bool partitioned);
 
   void set_fault_injector(common::FaultInjector* faults) { faults_ = faults; }
@@ -149,14 +164,16 @@ class Fabric {
   /// Queues `payload` for delivery over the direct src->dst link
   /// (src == dst loops back with zero delay and no faults). Returns an
   /// error only for misuse (unknown node, no link); a message the
-  /// simulated network drops is counted, not errored. Thread-safe.
+  /// simulated network drops is counted, not errored. Wait-free: never
+  /// blocks on the event loop or on other senders.
   /// `trace` (optional) is carried in the frame envelope and surfaces
   /// on the delivered Message.
   Status send(NodeId src, NodeId dst, std::uint32_t channel, Bytes payload,
               obs::TraceContext trace = {});
 
   /// Schedules `fn` to run as an event `delay_ns` of simulated time from
-  /// now. Timers share the event queue (and its total order) with frames.
+  /// now. Timers share the ingress ticket order and the event queue (and
+  /// its total order) with frames. Wait-free, like send().
   void schedule(std::uint64_t delay_ns, TimerFn fn);
 
   /// Dispatches events in (time, sequence) order until the queue is empty
@@ -165,12 +182,16 @@ class Fabric {
   /// from one thread at a time.
   std::size_t run_until_idle(std::size_t max_events = 10'000'000);
 
+  /// True when no admitted or queued-for-admission work remains
+  /// (completed sends/schedules only; racing producers may add more).
   bool idle() const;
   /// Simulated fabric time (ns since construction).
   std::uint64_t now_ns() const;
   SimClock& clock() { return *clock_; }
 
-  const FabricStats& stats() const { return stats_; }
+  /// Admits queued ingress, then returns the stats — so counters are
+  /// exact for every send/schedule that completed before the call.
+  const FabricStats& stats() const;
 
  private:
   struct Node {
@@ -183,6 +204,23 @@ class Fabric {
     bool partitioned = false;
   };
 
+  /// One send() or schedule() captured on the wait-free path, replayed
+  /// in ticket order by admit_ingress().
+  struct Ingress {
+    enum class Kind : std::uint8_t { kSend, kTimer };
+    Kind kind = Kind::kSend;
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::uint32_t channel = 0;
+    Bytes payload;
+    obs::TraceContext trace;
+    std::uint64_t delay_ns = 0;
+    TimerFn timer;
+  };
+
+  /// Frame/timer event. Frames are bare (message id, fragment) markers:
+  /// payload bytes live in the Pending reassembly buffer from admission
+  /// on, so fragmentation and delivery never copy them.
   struct EventItem {
     std::uint64_t at_ns = 0;
     std::uint64_t seq = 0;  // enqueue order: the stable tie-break
@@ -190,7 +228,6 @@ class Fabric {
     std::uint64_t message_id = 0;
     std::uint32_t frag_index = 0;
     std::uint32_t frag_total = 0;
-    Bytes bytes;
     TimerFn timer;
   };
   struct EventAfter {
@@ -200,7 +237,8 @@ class Fabric {
     }
   };
 
-  /// Reassembly state for one in-flight message.
+  /// Reassembly state for one in-flight message. Owns the whole payload
+  /// from admission; frame arrivals only flip `have` bits.
   struct Pending {
     NodeId src = 0;
     NodeId dst = 0;
@@ -209,17 +247,18 @@ class Fabric {
     std::uint32_t frags_received = 0;
     std::uint32_t frames_in_flight = 0;
     std::vector<bool> have;
-    Bytes payload;  // assembled in fragment order (fixed offsets)
-    std::vector<std::size_t> offsets;
+    Bytes payload;
     bool dead = false;  // a frame was dropped: can never complete
     obs::TraceContext trace;
-    std::uint64_t send_cycles = 0;  // clock stamp when send() queued it
+    std::uint64_t send_cycles = 0;  // clock stamp at admission
   };
 
   static std::uint64_t link_key(NodeId a, NodeId b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
   Link* find_link(NodeId a, NodeId b);
+  void admit_ingress();             // caller holds mu_
+  void admit_send(Ingress&& in);    // caller holds mu_
   void push_event(EventItem event);  // assigns seq; caller holds mu_
   void bump(obs::Counter* counter, std::uint64_t delta = 1) {
     if (counter != nullptr) counter->inc(delta);
@@ -237,7 +276,13 @@ class Fabric {
   std::size_t delivery_log_capacity_ = 0;
   std::vector<obs::LinkDelivery> deliveries_;
 
+  /// Wait-free producer side; drained by admit_ingress() under mu_.
+  lockfree::MpscQueue<Ingress> ingress_{256};
+
+  /// Event-loop state. mu_ serializes the consumer side (run loop,
+  /// admission, partition control) — producers never take it.
   mutable std::mutex mu_;
+  std::vector<lockfree::MpscQueue<Ingress>::Item> ingress_batch_;
   std::priority_queue<EventItem, std::vector<EventItem>, EventAfter> queue_;
   std::map<std::uint64_t, Pending> pending_;
   std::uint64_t next_seq_ = 0;

@@ -1,5 +1,6 @@
 #include "obs/flight_recorder.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/registry.hpp"
@@ -7,46 +8,48 @@
 namespace securecloud::obs {
 
 void FlightRecorder::record(std::string category, std::string detail) {
-  FlightEvent ev;
-  ev.at_cycles = clock_->cycles();
-  ev.category = std::move(category);
-  ev.detail = std::move(detail);
-  std::lock_guard<std::mutex> lock(mu_);
-  ev.seq = total_++;
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(ev));
-  } else {
-    ring_[head_] = std::move(ev);
-    head_ = (head_ + 1) % capacity_;
-  }
+  auto* ev = new FlightEvent;
+  ev->seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ev->at_cycles = clock_->cycles();
+  ev->category = std::move(category);
+  ev->detail = std::move(detail);
+  ThreadRing* local = rings_.local(
+      [this] { return new ThreadRing(domain_, capacity_); });
+  local->ring.append(ev);
 }
 
-std::vector<FlightEvent> FlightRecorder::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<FlightEvent> FlightRecorder::merged_events() const {
   std::vector<FlightEvent> out;
-  out.reserve(ring_.size());
-  for (std::size_t i = 0; i < ring_.size(); ++i) {
-    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  {
+    lockfree::EpochDomain::Guard guard(domain_);
+    std::vector<const FlightEvent*> collected;
+    for (ThreadRing* r = rings_.head(); r != nullptr; r = r->next) {
+      r->ring.collect(collected);
+    }
+    out.reserve(collected.size());
+    for (const FlightEvent* ev : collected) out.push_back(*ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) { return a.seq < b.seq; });
+  // Global retention is the last `capacity_` events across all threads.
+  // Each per-thread ring keeps its own last `capacity_`, a superset of
+  // its share of the global suffix, so the trim never misses an event.
+  if (out.size() > capacity_) {
+    out.erase(out.begin(),
+              out.end() - static_cast<std::ptrdiff_t>(capacity_));
   }
   return out;
 }
 
+std::vector<FlightEvent> FlightRecorder::events() const { return merged_events(); }
+
 std::uint64_t FlightRecorder::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_;
+  return seq_.load(std::memory_order_relaxed);
 }
 
 std::string FlightRecorder::to_json() const {
-  std::vector<FlightEvent> evs;
-  std::uint64_t total = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    evs.reserve(ring_.size());
-    for (std::size_t i = 0; i < ring_.size(); ++i) {
-      evs.push_back(ring_[(head_ + i) % ring_.size()]);
-    }
-    total = total_;
-  }
+  const std::vector<FlightEvent> evs = merged_events();
+  const std::uint64_t total = seq_.load(std::memory_order_relaxed);
   const std::uint64_t dropped = total - evs.size();
   std::string out = "{\"schema\":\"securecloud.flight.v1\",\"dropped\":" +
                     std::to_string(dropped) + ",\"events\":[";
@@ -66,10 +69,10 @@ std::string FlightRecorder::to_json() const {
 }
 
 void FlightRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ring_.clear();
-  head_ = 0;
-  total_ = 0;
+  for (ThreadRing* r = rings_.head(); r != nullptr; r = r->next) {
+    r->ring.clear();
+  }
+  seq_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace securecloud::obs

@@ -4,20 +4,6 @@
 
 namespace securecloud::obs {
 
-namespace {
-
-template <typename Instrument>
-Instrument& intern(std::mutex& mu,
-                   std::map<std::string, std::unique_ptr<Instrument>>& table,
-                   const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu);
-  auto& slot = table[name];
-  if (!slot) slot = std::make_unique<Instrument>();
-  return *slot;
-}
-
-}  // namespace
-
 // Metric names are generated in-tree from [a-z0-9_.] identifiers; escape
 // the JSON specials anyway so a stray name cannot corrupt the document.
 void append_json_string(std::string& out, const std::string& s) {
@@ -35,31 +21,33 @@ void append_json_string(std::string& out, const std::string& s) {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  return intern(mu_, counters_, name);
+  return counters_.intern(name);
 }
 
-Gauge& Registry::gauge(const std::string& name) {
-  return intern(mu_, gauges_, name);
-}
+Gauge& Registry::gauge(const std::string& name) { return gauges_.intern(name); }
 
 Histogram& Registry::histogram(const std::string& name) {
-  return intern(mu_, histograms_, name);
+  return histograms_.intern(name);
 }
 
+// Shard snapshots merge into one sorted map, so the export is identical
+// to the old single-map walk; no writer mutex is ever taken here.
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
-  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
-  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->snapshot();
+  counters_.for_each(
+      [&](const std::string& name, Counter* c) { snap.counters[name] = c->value(); });
+  gauges_.for_each(
+      [&](const std::string& name, Gauge* g) { snap.gauges[name] = g->value(); });
+  histograms_.for_each([&](const std::string& name, Histogram* h) {
+    snap.histograms[name] = h->snapshot();
+  });
   return snap;
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
+  counters_.for_each([](const std::string&, Counter* c) { c->reset(); });
+  gauges_.for_each([](const std::string&, Gauge* g) { g->reset(); });
+  histograms_.for_each([](const std::string&, Histogram* h) { h->reset(); });
 }
 
 std::string snapshot_to_json(const Snapshot& snap) {

@@ -101,23 +101,35 @@ Status ScbrRouter::provision(KeyService& keys) {
   if (!quote.ok()) return quote.error();
   auto provision = keys.provision_router(quote->serialize());
   if (!provision.ok()) return provision.error();
-  client_keys_ = std::move(provision->client_keys);
-  client_verify_keys_ = std::move(provision->client_verify_keys);
+  // Build every client's immutable crypto context once — key schedules
+  // and AAD strings — and publish the table as one RCU snapshot.
+  ClientTable table;
+  for (const auto& [name, key] : provision->client_keys) {
+    table.emplace(name, std::make_shared<const ClientCrypto>(
+                            name, key, provision->client_verify_keys.at(name)));
+  }
+  clients_.store(std::move(table));
   provisioned_ = true;
   return {};
 }
 
 Result<SubscriptionId> ScbrRouter::subscribe(const std::string& client, ByteView wire) {
   if (!provisioned_) return Error::unavailable("router not provisioned");
-  auto key = client_keys_.find(client);
-  if (key == client_keys_.end()) return Error::permission_denied("unknown client: " + client);
+  std::shared_ptr<const ClientCrypto> crypto;
+  {
+    auto clients = clients_.read();
+    auto it = clients->find(client);
+    if (it == clients->end()) {
+      return Error::permission_denied("unknown client: " + client);
+    }
+    crypto = it->second;
+  }
 
   // Message processing happens inside the enclave: one transition.
   enclave_.platform().clock().advance_cycles(enclave_.platform().cost().ecall_cycles);
   SC_RETURN_IF_ERROR(check_freshness(client, wire));
 
-  crypto::AesGcm gcm(key->second);
-  auto plain = gcm.open_combined(to_bytes("sub:" + client), wire);
+  auto plain = crypto->gcm.open_combined(crypto->sub_aad, wire);
   if (!plain.ok()) {
     ++metrics_.auth_failures;
     if (obs_auth_failures_ != nullptr) obs_auth_failures_->inc();
@@ -131,18 +143,27 @@ Result<SubscriptionId> ScbrRouter::subscribe(const std::string& client, ByteView
   if (obs_subscriptions_ != nullptr) obs_subscriptions_->inc();
   Filter parsed = std::move(filter).value();
   engine_->subscribe(id, parsed);
-  subscriptions_[id] = Subscription{client, std::move(parsed)};
+  auto sub = std::make_shared<const Subscription>(
+      Subscription{client, std::move(parsed), std::move(crypto)});
+  subscriptions_.update([&](SubscriptionTable& table) {
+    if (table.size() <= id) table.resize(id + 1);
+    table[id] = std::move(sub);
+  });
   return id;
 }
 
 Status ScbrRouter::unsubscribe(const std::string& client, SubscriptionId id) {
-  auto it = subscriptions_.find(id);
-  if (it == subscriptions_.end()) return Error::not_found("no such subscription");
-  if (it->second.owner != client) {
-    return Error::permission_denied("subscription belongs to another client");
+  {
+    auto subs = subscriptions_.read();
+    if (id >= subs->size() || (*subs)[id] == nullptr) {
+      return Error::not_found("no such subscription");
+    }
+    if ((*subs)[id]->owner != client) {
+      return Error::permission_denied("subscription belongs to another client");
+    }
   }
   engine_->unsubscribe(id);
-  subscriptions_.erase(it);
+  subscriptions_.update([&](SubscriptionTable& table) { table[id] = nullptr; });
   return {};
 }
 
@@ -161,7 +182,7 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
   // folded into results/metrics serially, in batch order.
   struct Work {
     bool admitted = false;
-    const Bytes* key = nullptr;
+    const ClientCrypto* crypto = nullptr;  // publisher's cached context
     Bytes payload;  // verified signed payload (plaintext to re-encrypt)
     std::vector<SubscriptionId> matched;
     MatchTrace trace;
@@ -170,6 +191,12 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
   };
   obs::Span batch_span(tracer_, "scbr.publish_batch");
   batch_span.set_attribute("batch_size", std::to_string(batch.size()));
+
+  // One read pin for the whole batch: raw ClientCrypto/Subscription
+  // pointers handed to pool workers stay valid until these refs drop
+  // (reclamation is domain-wide, so workers need no guards of their own).
+  auto clients = clients_.read();
+  auto subscriptions = subscriptions_.read();
 
   std::vector<Work> work(batch.size());
   std::vector<Result<std::vector<Delivery>>> results;
@@ -187,8 +214,8 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
       results[i] = Error::unavailable("router not provisioned");
       continue;
     }
-    auto key = client_keys_.find(req.client);
-    if (key == client_keys_.end()) {
+    auto it = clients->find(req.client);
+    if (it == clients->end()) {
       results[i] = Error::permission_denied("unknown client: " + req.client);
       continue;
     }
@@ -198,7 +225,7 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
       continue;
     }
     work[i].admitted = true;
-    work[i].key = &key->second;
+    work[i].crypto = it->second.get();
   }
 
   // --- decrypt + verify + match (parallel) -----------------------------------
@@ -211,8 +238,9 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
     if (!w.admitted) return;
     const auto& req = batch[i];
 
-    crypto::AesGcm gcm(*w.key);
-    auto plain = gcm.open_combined(to_bytes("pub:" + req.client), req.wire);
+    // Cached key schedule + AAD — no per-publication AesGcm construction
+    // and no shared-map probes inside the pool.
+    auto plain = w.crypto->gcm.open_combined(w.crypto->pub_aad, req.wire);
     if (!plain.ok()) {
       w.auth_failure = true;
       w.error = Error::integrity("publication failed authentication for " + req.client);
@@ -231,8 +259,7 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
       return;
     }
     for (auto& b : signature) void(reader.get_u8(b));
-    if (!crypto::ed25519_verify(client_verify_keys_.at(req.client), w.payload,
-                                signature)) {
+    if (!crypto::ed25519_verify(w.crypto->verify_key, w.payload, signature)) {
       w.auth_failure = true;
       w.error = Error::integrity("publication signature invalid");
       return;
@@ -253,7 +280,7 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
   struct PendingDelivery {
     std::size_t publication;
     SubscriptionId id;
-    const std::string* owner;
+    const Subscription* sub;  // owner + cached subscriber crypto
     const Bytes* payload;
     std::uint64_t counter;
   };
@@ -273,18 +300,20 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
     ++metrics_.publications;
     if (obs_publications_ != nullptr) obs_publications_->inc();
     for (const SubscriptionId id : w.matched) {
-      const std::string& owner = subscriptions_.at(id).owner;
-      pending.push_back({i, id, &owner, &w.payload, ++delivery_counter_});
+      pending.push_back(
+          {i, id, (*subscriptions)[id].get(), &w.payload, ++delivery_counter_});
     }
   }
 
   // --- per-subscriber re-encryption (parallel) -------------------------------
+  // The subscriber's key schedule was built at provisioning; sealing is
+  // const, so workers share the context without synchronization.
   std::vector<Bytes> wires(pending.size());
   common::run_indexed(pool, pending.size(), [&](std::size_t d) {
     const PendingDelivery& p = pending[d];
-    crypto::AesGcm subscriber_gcm(client_keys_.at(*p.owner));
-    wires[d] = subscriber_gcm.seal_combined(
-        crypto::nonce_from_counter(p.counter, kDelDomain), to_bytes("del:" + *p.owner),
+    const ClientCrypto& sub_crypto = *p.sub->crypto;
+    wires[d] = sub_crypto.gcm.seal_combined(
+        crypto::nonce_from_counter(p.counter, kDelDomain), sub_crypto.del_aad,
         *p.payload);
   });
 
@@ -292,7 +321,7 @@ std::vector<Result<std::vector<Delivery>>> ScbrRouter::publish_batch(
   std::vector<std::vector<Delivery>> deliveries(batch.size());
   for (std::size_t d = 0; d < pending.size(); ++d) {
     const PendingDelivery& p = pending[d];
-    deliveries[p.publication].push_back({*p.owner, p.id, std::move(wires[d])});
+    deliveries[p.publication].push_back({p.sub->owner, p.id, std::move(wires[d])});
     ++metrics_.deliveries;
   }
   if (obs_deliveries_ != nullptr) obs_deliveries_->inc(pending.size());
@@ -319,15 +348,26 @@ void ScbrRouter::set_obs(obs::Registry* registry, obs::Tracer* tracer) {
 }
 
 Bytes ScbrRouter::seal_state() const {
+  // Slot index == subscription id, so walking the table in index order
+  // emits (id, owner, filter) in the same ascending-id order the old
+  // map-based format produced: sealed blobs stay byte-compatible.
+  auto subs = subscriptions_.read();
+  std::uint32_t live = 0;
+  for (const auto& sub : *subs) {
+    if (sub != nullptr) ++live;
+  }
+
   Bytes plain;
   put_str(plain, "SCBRSTATE1");
   put_u64(plain, next_id_);
   put_u64(plain, delivery_counter_);
-  put_u32(plain, static_cast<std::uint32_t>(subscriptions_.size()));
-  for (const auto& [id, sub] : subscriptions_) {
+  put_u32(plain, live);
+  for (SubscriptionId id = 0; id < subs->size(); ++id) {
+    const auto& sub = (*subs)[id];
+    if (sub == nullptr) continue;
     put_u64(plain, id);
-    put_str(plain, sub.owner);
-    put_blob(plain, sub.filter.serialize());
+    put_str(plain, sub->owner);
+    put_blob(plain, sub->filter.serialize());
   }
   return enclave_.seal(plain, sgx::SealPolicy::kMrEnclave);
 }
@@ -345,7 +385,12 @@ Status ScbrRouter::restore_state(ByteView blob) {
     return Error::protocol("malformed router state");
   }
 
-  std::map<SubscriptionId, Subscription> restored;
+  // Subscriber crypto contexts are resolved against the *current*
+  // provisioning (keys are never sealed with the subscription table); an
+  // owner absent from the key table cannot receive deliveries, so it is
+  // rejected here rather than at publish time.
+  auto clients = clients_.read();
+  SubscriptionTable restored;
   for (std::uint32_t i = 0; i < count; ++i) {
     std::uint64_t id = 0;
     std::string owner;
@@ -355,13 +400,27 @@ Status ScbrRouter::restore_state(ByteView blob) {
     }
     auto filter = Filter::deserialize(filter_wire);
     if (!filter.ok()) return filter.error();
-    restored[id] = Subscription{std::move(owner), std::move(filter).value()};
+    auto client = clients->find(owner);
+    if (client == clients->end()) {
+      return Error::permission_denied("restored subscription for unknown client: " +
+                                      owner);
+    }
+    if (restored.size() <= id) restored.resize(id + 1);
+    restored[id] = std::make_shared<const Subscription>(
+        Subscription{std::move(owner), std::move(filter).value(), client->second});
   }
 
   // Swap in atomically only after the whole snapshot parsed.
-  for (const auto& [id, sub] : subscriptions_) engine_->unsubscribe(id);
-  subscriptions_ = std::move(restored);
-  for (const auto& [id, sub] : subscriptions_) engine_->subscribe(id, sub.filter);
+  {
+    auto current = subscriptions_.read();
+    for (SubscriptionId id = 0; id < current->size(); ++id) {
+      if ((*current)[id] != nullptr) engine_->unsubscribe(id);
+    }
+  }
+  for (SubscriptionId id = 0; id < restored.size(); ++id) {
+    if (restored[id] != nullptr) engine_->subscribe(id, restored[id]->filter);
+  }
+  subscriptions_.store(std::move(restored));
   next_id_ = next_id;
   delivery_counter_ = delivery_counter;
   return {};

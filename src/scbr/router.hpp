@@ -21,8 +21,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
+#include "common/lockfree/epoch.hpp"
 #include "common/result.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/ed25519.hpp"
@@ -153,16 +155,43 @@ class ScbrRouter {
   Status restore_state(ByteView blob);
 
  private:
+  /// Immutable per-client crypto context, built once at provisioning:
+  /// the AES-GCM key schedule, the signature verification key, and the
+  /// fixed AAD strings. Pool workers share these read-only during a
+  /// batch (AesGcm seal/open are const and stateless), so the parallel
+  /// phases never rebuild a key schedule or probe a map.
+  struct ClientCrypto {
+    ClientCrypto(const std::string& name, const Bytes& key,
+                 const crypto::Ed25519PublicKey& verify)
+        : gcm(key),
+          verify_key(verify),
+          sub_aad(to_bytes("sub:" + name)),
+          pub_aad(to_bytes("pub:" + name)),
+          del_aad(to_bytes("del:" + name)) {}
+    crypto::AesGcm gcm;
+    crypto::Ed25519PublicKey verify_key;
+    Bytes sub_aad;
+    Bytes pub_aad;
+    Bytes del_aad;
+  };
+  using ClientTable = std::map<std::string, std::shared_ptr<const ClientCrypto>>;
+
   struct Subscription {
     std::string owner;
     Filter filter;
+    std::shared_ptr<const ClientCrypto> crypto;  // subscriber's delivery context
   };
+  /// Slot `id` holds subscription `id`; null = never issued or removed.
+  /// A vector of shared_ptrs keeps the copy-on-write update a memcpy of
+  /// pointers (no per-node map copies) and the hot lookup O(1).
+  using SubscriptionTable = std::vector<std::shared_ptr<const Subscription>>;
 
   sgx::Enclave& enclave_;
   std::unique_ptr<MatchEngine> engine_;
-  std::map<std::string, Bytes> client_keys_;
-  std::map<std::string, crypto::Ed25519PublicKey> client_verify_keys_;
-  std::map<SubscriptionId, Subscription> subscriptions_;
+  /// RCU snapshots: publish/deliver read-side is lock-free; only
+  /// provision/subscribe/unsubscribe/restore take the writer path.
+  lockfree::RcuCell<ClientTable> clients_;
+  lockfree::RcuCell<SubscriptionTable> subscriptions_;
   /// Anti-replay: highest message counter seen per (client, domain).
   /// Client nonces are domain||counter; the router requires counters to
   /// be strictly increasing, so a captured wire message replayed later

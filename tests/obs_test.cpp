@@ -183,6 +183,61 @@ TEST(Registry, ResetZeroesButKeepsHandles) {
   EXPECT_EQ(registry.snapshot().counters.at("c_total"), 1u);
 }
 
+// Regression: export used to hold the interning mutex while formatting
+// JSON, so a slow serialization stalled every registration and (via the
+// registration path) new components attaching mid-run. Export now walks
+// RCU index snapshots only — writers intern fresh names and bump
+// counters at full speed while exporters loop, and every export is a
+// coherent prefix of the registration stream.
+TEST(Registry, ExportNeverBlocksInterningOrBumps) {
+  Registry registry;
+  // Pre-size the document so each to_json() has real formatting work.
+  for (int i = 0; i < 256; ++i) {
+    registry.counter("warm_" + std::to_string(i) + "_total").inc();
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> exports{0};
+  std::vector<std::thread> exporters;
+  for (int e = 0; e < 2; ++e) {
+    exporters.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string json = registry.to_json();
+        ASSERT_NE(json.find("\"schema\":\"securecloud.obs.v1\""),
+                  std::string::npos);
+        exports.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  constexpr int kWriters = 4;
+  constexpr int kNamesPerWriter = 400;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kNamesPerWriter; ++i) {
+        Counter& c = registry.counter("hot_" + std::to_string(w) + "_" +
+                                      std::to_string(i) + "_total");
+        c.inc(static_cast<std::uint64_t>(i) + 1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : exporters) t.join();
+
+  EXPECT_GT(exports.load(), 0u);
+  const Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.size(), 256u + kWriters * kNamesPerWriter);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kNamesPerWriter; ++i) {
+      ASSERT_EQ(snap.counters.at("hot_" + std::to_string(w) + "_" +
+                                 std::to_string(i) + "_total"),
+                static_cast<std::uint64_t>(i) + 1);
+    }
+  }
+}
+
 // ---------------------------------------------------------------- tracing
 
 TEST(Trace, SpansNestViaThreadLocalStack) {

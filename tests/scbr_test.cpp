@@ -407,10 +407,15 @@ struct RouterFixture {
     keys.authorize_router(enclave->mrenclave());
   }
 
-  ScbrRouter make_router() {
-    ScbrRouter router(*enclave, std::make_unique<PosetEngine>());
-    EXPECT_TRUE(router.provision(keys).ok());
-    return router;
+  // The router owns RCU cells (epoch domains pin their address), so it is
+  // neither movable nor copyable; the fixture keeps each one alive.
+  std::vector<std::unique_ptr<ScbrRouter>> routers;
+
+  ScbrRouter& make_router() {
+    routers.push_back(
+        std::make_unique<ScbrRouter>(*enclave, std::make_unique<PosetEngine>()));
+    EXPECT_TRUE(routers.back()->provision(keys).ok());
+    return *routers.back();
   }
 };
 
@@ -418,7 +423,7 @@ TEST(Router, EndToEndEncryptedPubSub) {
   RouterFixture fx;
   auto alice = fx.keys.register_client("alice");
   auto bob = fx.keys.register_client("bob");
-  ScbrRouter router = fx.make_router();
+  ScbrRouter& router = fx.make_router();
 
   // Bob subscribes to temperature alerts.
   Filter f = range_filter("temp", 30, 100);
@@ -445,7 +450,7 @@ TEST(Router, NonMatchingEventNotDelivered) {
   RouterFixture fx;
   auto alice = fx.keys.register_client("alice");
   auto bob = fx.keys.register_client("bob");
-  ScbrRouter router = fx.make_router();
+  ScbrRouter& router = fx.make_router();
   ASSERT_TRUE(router.subscribe("bob", encrypt_subscription(bob, range_filter("temp", 30, 100), 1)).ok());
 
   Event cold;
@@ -458,7 +463,7 @@ TEST(Router, NonMatchingEventNotDelivered) {
 TEST(Router, RejectsUnknownClient) {
   RouterFixture fx;
   auto alice = fx.keys.register_client("alice");
-  ScbrRouter router = fx.make_router();  // provisioned before mallory joins
+  ScbrRouter& router = fx.make_router();  // provisioned before mallory joins
 
   ClientCredentials mallory;
   mallory.name = "mallory";
@@ -474,7 +479,7 @@ TEST(Router, RejectsUnknownClient) {
 TEST(Router, RejectsTamperedPublication) {
   RouterFixture fx;
   auto alice = fx.keys.register_client("alice");
-  ScbrRouter router = fx.make_router();
+  ScbrRouter& router = fx.make_router();
   Event e;
   e.set("temp", std::int64_t{42});
   Bytes wire = encrypt_publication(alice, e, 1);
@@ -487,7 +492,7 @@ TEST(Router, RejectsTamperedPublication) {
 TEST(Router, RejectsForgedSignature) {
   RouterFixture fx;
   auto alice = fx.keys.register_client("alice");
-  ScbrRouter router = fx.make_router();
+  ScbrRouter& router = fx.make_router();
 
   // Attacker knows Alice's symmetric key (e.g. leaked) but not her
   // signing key: publication must still be rejected.
@@ -505,7 +510,7 @@ TEST(Router, UnsubscribeEnforcesOwnership) {
   RouterFixture fx;
   auto alice = fx.keys.register_client("alice");
   auto bob = fx.keys.register_client("bob");
-  ScbrRouter router = fx.make_router();
+  ScbrRouter& router = fx.make_router();
   auto sub = router.subscribe("bob", encrypt_subscription(bob, range_filter("x", 0, 1), 1));
   ASSERT_TRUE(sub.ok());
   EXPECT_FALSE(router.unsubscribe("alice", *sub).ok());
@@ -538,7 +543,7 @@ TEST(Router, RejectsReplayedPublication) {
   RouterFixture fx;
   auto alice = fx.keys.register_client("alice");
   auto bob = fx.keys.register_client("bob");
-  ScbrRouter router = fx.make_router();
+  ScbrRouter& router = fx.make_router();
   ASSERT_TRUE(router.subscribe("bob", encrypt_subscription(bob, range_filter("temp", 0, 100), 1)).ok());
 
   Event e;
@@ -563,7 +568,7 @@ TEST(Router, RejectsReplayedPublication) {
 TEST(Router, ReplayedSubscriptionRejected) {
   RouterFixture fx;
   auto bob = fx.keys.register_client("bob");
-  ScbrRouter router = fx.make_router();
+  ScbrRouter& router = fx.make_router();
   const Bytes wire = encrypt_subscription(bob, range_filter("x", 0, 1), 7);
   ASSERT_TRUE(router.subscribe("bob", wire).ok());
   EXPECT_FALSE(router.subscribe("bob", wire).ok());
@@ -574,7 +579,7 @@ TEST(Router, CounterSpacesPerClientIndependent) {
   RouterFixture fx;
   auto alice = fx.keys.register_client("alice");
   auto carol = fx.keys.register_client("carol");
-  ScbrRouter router = fx.make_router();
+  ScbrRouter& router = fx.make_router();
   Event e;
   e.set("x", std::int64_t{1});
   // Both clients can use counter 1: replay state is per client.
@@ -586,7 +591,7 @@ TEST(Router, MetricsTrackOperationsAndAttacks) {
   RouterFixture fx;
   auto alice = fx.keys.register_client("alice");
   auto bob = fx.keys.register_client("bob");
-  ScbrRouter router = fx.make_router();
+  ScbrRouter& router = fx.make_router();
 
   ASSERT_TRUE(router.subscribe("bob", encrypt_subscription(bob, range_filter("x", 0, 100), 1)).ok());
   Event e;
