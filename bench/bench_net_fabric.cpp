@@ -266,6 +266,108 @@ void bench_cluster_trace() {
   }
 }
 
+// Worker-death recovery cost: the same encrypted job with and without
+// a mid-map worker kill. Reports how long recovery adds in simulated
+// time (death detection + task re-execution + re-placement) and the
+// wall rate of fully recovered jobs. The recovered output must match
+// the failure-free baseline byte for byte.
+void bench_worker_recovery() {
+  const auto partitions = synth_partitions(8, g_smoke ? 6 : 12);
+  const auto word_map = [](ByteView record) {
+    std::vector<bigdata::KeyValue> pairs;
+    std::size_t start = 0;
+    const std::string text(record.begin(), record.end());
+    while (start < text.size()) {
+      const std::size_t end = text.find(' ', start);
+      const std::size_t stop = end == std::string::npos ? text.size() : end;
+      if (stop > start) pairs.push_back({text.substr(start, stop - start), 1.0});
+      start = stop + 1;
+    }
+    return pairs;
+  };
+  const auto sum = [](const std::string&, const std::vector<double>& values) {
+    double total = 0;
+    for (double v : values) total += v;
+    return total;
+  };
+
+  // One run: fresh fabric, optional mid-map kill of worker 1.
+  struct Outcome {
+    bigdata::JobResult result;
+    std::uint64_t deaths = 0;
+    std::uint64_t reexecuted = 0;
+    bool ok = false;
+  };
+  const auto run_once = [&](bool kill) {
+    Outcome out;
+    SimClock clock;
+    net::Fabric fabric(clock);
+    sgx::AttestationService service;
+    bigdata::DistributedMapReduceConfig config;
+    config.num_workers = 4;
+    config.num_reducers = 8;
+    config.enable_combiner = true;
+    config.map_compute_ns_per_record = 200'000;
+    bigdata::DistributedMapReduce driver(fabric, config);
+    driver.enable_cluster_obs();
+    if (!driver.setup(service).ok()) return out;
+    std::vector<std::vector<Bytes>> encrypted;
+    for (const auto& p : partitions) encrypted.push_back(driver.encrypt_partition(p));
+    if (kill) driver.schedule_worker_kill(1, 1'000'000);
+    auto run = driver.run(encrypted, word_map, sum);
+    if (!run.ok()) return out;
+    out.result = std::move(*run);
+    auto& registry = driver.coordinator_obs()->registry;
+    out.deaths = registry.counter("dist_mapreduce_worker_deaths_total").value();
+    out.reexecuted =
+        registry.counter("dist_mapreduce_tasks_reexecuted_total").value();
+    out.ok = true;
+    return out;
+  };
+
+  const Outcome clean = run_once(false);
+  if (!clean.ok) {
+    std::printf("{\"bench\":\"net_fabric_recovery\",\"error\":\"baseline failed\"}\n");
+    return;
+  }
+
+  const std::size_t kJobs = g_smoke ? 3 : 10;
+  Outcome last;
+  std::uint64_t deaths = 0, reexecuted = 0;
+  bool outputs_match = true;
+  const double secs = wall_seconds([&] {
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      last = run_once(true);
+      if (!last.ok || last.result.output != clean.result.output) {
+        outputs_match = false;
+        return;
+      }
+      deaths += last.deaths;
+      reexecuted += last.reexecuted;
+    }
+  });
+  if (!outputs_match) {
+    std::printf(
+        "{\"bench\":\"net_fabric_recovery\",\"error\":\"recovered output "
+        "diverged from failure-free run\"}\n");
+    return;
+  }
+
+  const double ghz = SimClock().frequency_ghz();
+  const double clean_ms =
+      static_cast<double>(clean.result.stats.simulated_cycles) / (ghz * 1e9) * 1e3;
+  const double chaos_ms =
+      static_cast<double>(last.result.stats.simulated_cycles) / (ghz * 1e9) * 1e3;
+  std::printf(
+      "{\"bench\":\"net_fabric_recovery\",\"jobs\":%zu,\"seconds\":%.4f,"
+      "\"recovered_jobs_per_sec\":%.1f,\"deaths\":%llu,\"tasks_reexecuted\":%llu,"
+      "\"sim_ms_clean\":%.3f,\"sim_ms_recovered\":%.3f,\"sim_recovery_ms\":%.3f}\n",
+      kJobs, secs, static_cast<double>(kJobs) / secs,
+      static_cast<unsigned long long>(deaths),
+      static_cast<unsigned long long>(reexecuted), clean_ms, chaos_ms,
+      chaos_ms - clean_ms);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,6 +383,7 @@ int main(int argc, char** argv) {
   bench_message_rate();
   bench_contended_ingress();
   bench_cluster_trace();
+  bench_worker_recovery();
   bench_cluster_scaling();  // last: CI expects the bench.v1 line last
   return 0;
 }

@@ -1,0 +1,135 @@
+// Worker-death recovery: kill an enclave mid-job, lose nothing.
+//
+// A coordinator fans an encrypted word-count job over four worker
+// enclaves on the simulated cluster fabric, then a fabric timer kills
+// worker 1 in the middle of the map phase. The coordinator detects the
+// death, re-places the lost tasks on the survivors, and finishes the
+// job. Shuffle and result nonces are derived from logical task
+// identity — not from which node runs the task — so the recovered
+// output is byte-identical to a failure-free run.
+//
+// The scenario holds iff (a) the coordinator observed the death and
+// re-executed the dead worker's tasks, and (b) the recovered output
+// equals the failure-free baseline. Exits nonzero otherwise.
+//
+// Build & run:  ./build/examples/cluster_recovery
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bigdata/distributed_mapreduce.hpp"
+#include "net/fabric.hpp"
+#include "sgx/attestation.hpp"
+
+using namespace securecloud;
+
+namespace {
+
+std::vector<bigdata::KeyValue> word_count_map(ByteView record) {
+  std::vector<bigdata::KeyValue> pairs;
+  std::string word;
+  for (std::uint8_t c : record) {
+    if (c == ' ') {
+      if (!word.empty()) pairs.push_back({word, 1.0});
+      word.clear();
+    } else {
+      word += static_cast<char>(c);
+    }
+  }
+  if (!word.empty()) pairs.push_back({word, 1.0});
+  return pairs;
+}
+
+double sum_reduce(const std::string&, const std::vector<double>& values) {
+  double total = 0;
+  for (double v : values) total += v;
+  return total;
+}
+
+struct RunOutcome {
+  std::map<std::string, double> output;
+  std::uint64_t deaths = 0;
+  std::uint64_t reexecuted = 0;
+};
+
+// One full job on a fresh fabric; kill worker 1 mid-map iff kill_delay_ns > 0.
+bool run_job(std::uint64_t kill_delay_ns, RunOutcome& out) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  sgx::AttestationService service;
+
+  bigdata::DistributedMapReduceConfig config;
+  config.num_workers = 4;
+  config.num_reducers = 5;
+  config.enable_combiner = true;
+  // Enough simulated map compute that the kill timer lands mid-phase.
+  config.map_compute_ns_per_record = 1'000'000;
+  bigdata::DistributedMapReduce driver(fabric, config);
+  driver.enable_cluster_obs();
+  if (Status s = driver.setup(service); !s.ok()) {
+    std::printf("setup failed: %s\n", s.error().message.c_str());
+    return false;
+  }
+
+  std::vector<std::vector<Bytes>> encrypted;
+  const char* lines[] = {
+      "secure cloud data processing",  "untrusted cloud secure enclave",
+      "data stays encrypted in cloud", "enclave attestation binds the job",
+      "processing inside the enclave", "secure shuffle between workers",
+  };
+  for (const char* line : lines) {
+    const std::string text = line;
+    encrypted.push_back(
+        driver.encrypt_partition({Bytes(text.begin(), text.end())}));
+  }
+
+  if (kill_delay_ns > 0) driver.schedule_worker_kill(1, kill_delay_ns);
+
+  auto result = driver.run(encrypted, word_count_map, sum_reduce);
+  if (!result.ok()) {
+    std::printf("job failed: %s\n", result.error().message.c_str());
+    return false;
+  }
+  out.output = result->output;
+  auto& registry = driver.coordinator_obs()->registry;
+  out.deaths = registry.counter("dist_mapreduce_worker_deaths_total").value();
+  out.reexecuted =
+      registry.counter("dist_mapreduce_tasks_reexecuted_total").value();
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== SecureCloud worker-death recovery ===\n\n");
+
+  std::printf("baseline: 4 workers, nobody dies\n");
+  RunOutcome clean;
+  if (!run_job(0, clean)) return 1;
+  std::printf("  %zu distinct words\n\n", clean.output.size());
+
+  std::printf("chaos: same job, worker-1 killed mid-map\n");
+  RunOutcome chaos;
+  if (!run_job(1'500'000, chaos)) return 1;
+  std::printf("  deaths observed: %llu, tasks re-executed: %llu\n\n",
+              static_cast<unsigned long long>(chaos.deaths),
+              static_cast<unsigned long long>(chaos.reexecuted));
+
+  // The whole point: the death was seen, the work was redone, and the
+  // task-identity-keyed crypto made the recovered output byte-identical.
+  if (chaos.deaths < 1) {
+    std::printf("FAIL: coordinator never observed the worker death\n");
+    return 1;
+  }
+  if (chaos.reexecuted < 1) {
+    std::printf("FAIL: dead worker's tasks were not re-executed\n");
+    return 1;
+  }
+  if (chaos.output != clean.output) {
+    std::printf("FAIL: recovered output differs from failure-free run\n");
+    return 1;
+  }
+  std::printf("OK: recovered output matches the failure-free run exactly\n");
+  return 0;
+}

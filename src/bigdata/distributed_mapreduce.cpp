@@ -12,10 +12,12 @@ Bytes shuffle_aad(std::size_t reducer) {
   return aad;
 }
 
-Bytes result_aad(std::size_t worker) {
+// Keyed by the *bundle* id, not the executing worker: a re-executed
+// bundle reproduces byte-identical sealed results on any node.
+Bytes result_aad(std::size_t bundle) {
   Bytes aad;
   put_str(aad, "result");
-  put_u64(aad, worker);
+  put_u64(aad, bundle);
   return aad;
 }
 }  // namespace
@@ -31,7 +33,9 @@ void DistributedMapReduce::set_obs(obs::Registry* registry, obs::Tracer* tracer)
   tracer_ = tracer;
   if (registry == nullptr) {
     obs_jobs_ = obs_job_failures_ = obs_map_tasks_ = obs_shuffle_blocks_ =
-        obs_shuffle_bytes_ = obs_results_ = obs_input_records_ = nullptr;
+        obs_shuffle_bytes_ = obs_results_ = obs_input_records_ =
+            obs_worker_deaths_ = obs_tasks_reexecuted_ = obs_spec_launched_ =
+                obs_spec_wins_ = obs_spec_losses_ = nullptr;
   } else {
     obs_jobs_ = &registry->counter("dist_mapreduce_jobs_total");
     obs_job_failures_ = &registry->counter("dist_mapreduce_job_failures_total");
@@ -40,6 +44,14 @@ void DistributedMapReduce::set_obs(obs::Registry* registry, obs::Tracer* tracer)
     obs_shuffle_bytes_ = &registry->counter("dist_mapreduce_shuffle_bytes_total");
     obs_results_ = &registry->counter("dist_mapreduce_results_total");
     obs_input_records_ = &registry->counter("dist_mapreduce_input_records_total");
+    obs_worker_deaths_ = &registry->counter("dist_mapreduce_worker_deaths_total");
+    obs_tasks_reexecuted_ =
+        &registry->counter("dist_mapreduce_tasks_reexecuted_total");
+    obs_spec_launched_ =
+        &registry->counter("dist_mapreduce_speculative_launched_total");
+    obs_spec_wins_ = &registry->counter("dist_mapreduce_speculative_wins_total");
+    obs_spec_losses_ =
+        &registry->counter("dist_mapreduce_speculative_losses_total");
   }
   for (auto& session : sessions_) session->set_obs(registry);
   if (coordinator_flow_) coordinator_flow_->set_obs(registry);
@@ -53,12 +65,18 @@ void DistributedMapReduce::enable_cluster_obs() {
   if (!ready_) cluster_obs_ = true;
 }
 
+void DistributedMapReduce::note_coordinator_flight(const char* category,
+                                                   const std::string& message) {
+  if (coordinator_obs_) coordinator_obs_->flight.record(category, message);
+}
+
 Result<obs::ClusterSnapshot> DistributedMapReduce::collect_cluster_snapshot() {
   if (!cluster_obs_ || coordinator_obs_ == nullptr) {
     return Error::protocol("cluster obs mode was not enabled before setup()");
   }
   obs_replies_.clear();
   for (auto& worker : workers_) {
+    if (!worker->alive) continue;  // dead hosts answer nothing
     Bytes req;
     put_u8(req, kObsSnapshotReq);
     SC_RETURN_IF_ERROR(
@@ -75,6 +93,7 @@ Result<obs::ClusterSnapshot> DistributedMapReduce::collect_cluster_snapshot() {
 std::string DistributedMapReduce::collect_flight_postmortem() {
   obs_replies_.clear();
   for (auto& worker : workers_) {
+    if (!worker->alive) continue;
     Bytes req;
     put_u8(req, kObsFlightReq);
     // Best effort: a worker the fabric cannot reach is simply absent
@@ -95,6 +114,7 @@ std::string DistributedMapReduce::collect_flight_postmortem() {
 
 void DistributedMapReduce::worker_on_obs_message(Worker& worker,
                                                  const net::Message& message) {
+  if (!worker.alive) return;
   ByteReader r(message.payload);
   std::uint8_t type = 0;
   if (!r.get_u8(type) || !r.done() || worker.onode == nullptr) return;
@@ -119,6 +139,16 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
   if (config_.num_workers == 0 || config_.num_reducers == 0) {
     return Error::invalid_argument("need at least one worker and one reducer");
   }
+  if (config_.recovery.enabled) {
+    // Silent-death detection depends on the flow liveness machinery.
+    config_.flow.beacon_death_threshold = config_.recovery.beacon_death_threshold;
+  }
+  const net::AttestedSession::Config::RetryConfig session_retry{
+      .retransmit_timeout_ns =
+          config_.recovery.enabled ? config_.recovery.session_retransmit_timeout_ns
+                                   : 0,
+      .max_retries = config_.recovery.session_max_retries,
+  };
 
   // --- topology: coordinator + workers, full mesh ------------------------
   coordinator_node_ = fabric_.add_node("coordinator");
@@ -128,6 +158,7 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
     worker->node = fabric_.add_node("worker-" + std::to_string(w));
     workers_.push_back(std::move(worker));
   }
+  worker_alive_.assign(config_.num_workers, true);
   for (std::size_t w = 0; w < config_.num_workers; ++w) {
     SC_RETURN_IF_ERROR(
         fabric_.connect(coordinator_node_, workers_[w]->node, config_.link));
@@ -223,6 +254,7 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
             .platform = worker.platform.get(),
             .attestation = &service,
             .expected_peer_mrenclave = policy,
+            .retry = session_retry,
         });
     SC_RETURN_IF_ERROR(worker.session->bind());
     Worker* worker_ptr = &worker;
@@ -243,9 +275,15 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
             .platform = coordinator_platform_.get(),
             .attestation = &service,
             .expected_peer_mrenclave = policy,
+            .retry = session_retry,
         }));
     sessions_.back()->set_obs(registry_);
     if (coordinator_obs_) sessions_.back()->set_flight(&coordinator_obs_->flight);
+    // A session that fails after setup (e.g. a recovery-time rekey that
+    // exhausts its retransmit budget) is a liveness signal for the peer.
+    sessions_.back()->set_on_failure([this, w](const Status&) {
+      if (ready_ && config_.recovery.enabled) handle_worker_death(w);
+    });
     SC_RETURN_IF_ERROR(establish_session(w));
   }
 
@@ -256,6 +294,12 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
   });
   coordinator_flow_->set_obs(registry_);
   if (coordinator_obs_) coordinator_flow_->set_flight(&coordinator_obs_->flight);
+  if (config_.recovery.enabled) {
+    // The failure detector: a worker flow that sent kDead (dying host's
+    // RST) or went silent past the beacon threshold is pronounced dead.
+    coordinator_flow_->set_on_peer_dead(
+        [this](net::NodeId node) { on_worker_node_dead(node); });
+  }
 
   ready_ = true;
   return {};
@@ -310,6 +354,7 @@ void DistributedMapReduce::coordinator_dispatch(const net::Message& message) {
 }
 
 void DistributedMapReduce::worker_on_record(Worker& worker, Bytes record) {
+  if (!worker.alive) return;
   ByteReader r(record);
   std::uint64_t index = 0, num_workers = 0, num_reducers = 0, coordinator = 0;
   std::uint8_t combiner = 0;
@@ -348,32 +393,36 @@ void DistributedMapReduce::worker_on_record(Worker& worker, Bytes record) {
 void DistributedMapReduce::worker_fail(Worker& worker, Error error) {
   // In a real deployment the worker would send an abort record to the
   // coordinator; the simulation short-circuits to the shared driver so
-  // the first failure (in event order — deterministic) wins.
+  // the first failure (in event order — deterministic) wins. An
+  // integrity failure is an *attack*, not a crash: the job aborts rather
+  // than re-executing onto other nodes. The failed worker quiesces so no
+  // later frame is parsed or counted on it (counter bit-identity).
   if (!job_error_.has_value()) {
     job_error_ = Error{error.code,
                        "worker " + std::to_string(worker.index) + ": " + error.message};
   }
+  worker.alive = false;
+  if (worker.flow) worker.flow->quiesce();
 }
 
 void DistributedMapReduce::worker_on_flow_payload(Worker& worker, net::NodeId from,
                                                   Bytes payload,
                                                   obs::TraceContext ctx) {
+  if (!worker.alive) return;
   ByteReader r(payload);
   std::uint8_t type = 0;
   if (!r.get_u8(type)) return;
   switch (type) {
     case kMapTask: {
-      // The chunk header carried the coordinator's job-span context;
-      // this worker's map/reduce spans causally parent to it.
-      worker.job_ctx = ctx;
-      worker_handle_map_task(worker, r);
+      worker_handle_map_task(worker, r, ctx);
       return;
     }
     case kShuffle: {
-      std::uint64_t epoch = 0, mapper = 0, reducer = 0;
+      std::uint64_t epoch = 0, task = 0, reducer = 0;
       Bytes block;
-      if (!r.get_u64(epoch) || !r.get_u64(mapper) || !r.get_u64(reducer) ||
-          !r.get_blob(block) || !r.done() || mapper >= worker.num_workers) {
+      if (!r.get_u64(epoch) || !r.get_u64(task) || !r.get_u64(reducer) ||
+          !r.get_blob(block) || !r.done() || task >= worker.num_workers ||
+          reducer >= worker.num_reducers) {
         worker_fail(worker, Error::protocol("malformed shuffle record"));
         return;
       }
@@ -382,56 +431,54 @@ void DistributedMapReduce::worker_on_flow_payload(Worker& worker, net::NodeId fr
       // our own map task for the same epoch — enter the epoch from
       // whichever message arrives first.
       worker_begin_epoch(worker, epoch);
-      auto slot = worker.blocks.find(static_cast<std::size_t>(reducer));
-      if (slot == worker.blocks.end()) {
-        worker_fail(worker,
-                    Error::protocol("shuffle block for reducer " +
-                                    std::to_string(reducer) + " not owned here"));
-        return;
-      }
-      if (!slot->second[mapper].empty()) return;  // duplicate delivery
-      slot->second[mapper] = std::move(block);
-      ++worker.received_remote_blocks;
-      worker_maybe_reduce(worker);
+      // Store whatever is addressed here, owner or not: after an owner
+      // change a block can race its kAssign. Duplicate deliveries (and
+      // re-executed copies — byte-identical by construction) collapse
+      // into the same slot.
+      worker.shuffle_store.emplace(
+          std::make_pair(static_cast<std::size_t>(reducer),
+                         static_cast<std::size_t>(task)),
+          std::move(block));
+      worker_maybe_reduce(worker, reducer % worker.num_workers);
+      return;
+    }
+    case kAssign: {
+      worker_apply_assignment(worker, r);
       return;
     }
     default:
+      // kPing and coordinator-bound types carry no worker action: the
+      // flow-level ack of the ping's chunk is the liveness proof.
       (void)from;
-      return;  // coordinator-bound types have no meaning here
+      return;
   }
 }
 
 void DistributedMapReduce::worker_begin_epoch(Worker& worker, std::uint64_t epoch) {
   // Idempotent per epoch: reached from the worker's own map task OR from
-  // the first shuffle block of that epoch, whichever the (possibly
-  // reordering) network delivers first. Epochs are strictly increasing
-  // and never overlap (run() drains the fabric), so equality suffices.
+  // the first shuffle block / assignment of that epoch, whichever the
+  // (possibly reordering) network delivers first. Epochs are strictly
+  // increasing and never overlap (run() drains the fabric), so equality
+  // suffices.
   if (worker.epoch == epoch) return;
-  const std::size_t W = worker.num_workers;
-  const std::size_t R = worker.num_reducers;
   worker.epoch = epoch;
-  worker.owned_reducers.clear();
-  worker.blocks.clear();
-  for (std::size_t r = worker.index; r < R; r += W) {
-    worker.owned_reducers.push_back(r);
-    worker.blocks[r] = std::vector<Bytes>(W);
-  }
-  worker.expected_remote_blocks = (W - 1) * worker.owned_reducers.size();
-  worker.received_remote_blocks = 0;
-  worker.map_done = false;
-  worker.reduced = false;
-  worker.map_span.reset();
-  worker.reduce_span.reset();
-  worker.pending_map_output.clear();
-  worker.pending_map_records = 0;
-  worker.pending_map_pairs = 0;
-  worker.pending_result_wire.clear();
+  worker.map_execs.clear();
+  worker.bundle_execs.clear();
+  worker.shuffle_store.clear();
+  worker.produced.clear();
+  // Identity assignment until a kAssign says otherwise: bundle b lives
+  // on worker b.
+  worker.bundle_owner_node = worker.worker_nodes;
+  worker.bundle_execs[worker.index];
 }
 
-void DistributedMapReduce::worker_handle_map_task(Worker& worker, ByteReader& reader) {
-  std::uint64_t epoch = 0;
+void DistributedMapReduce::worker_handle_map_task(Worker& worker,
+                                                  ByteReader& reader,
+                                                  obs::TraceContext ctx) {
+  std::uint64_t epoch = 0, task = 0;
   std::uint32_t count = 0;
-  if (!reader.get_u64(epoch) || !reader.get_u32(count)) {
+  if (!reader.get_u64(epoch) || !reader.get_u64(task) || !reader.get_u32(count) ||
+      task >= worker.num_workers) {
     worker_fail(worker, Error::protocol("malformed map task"));
     return;
   }
@@ -443,9 +490,13 @@ void DistributedMapReduce::worker_handle_map_task(Worker& worker, ByteReader& re
     }
   }
 
-  const std::size_t W = worker.num_workers;
   const std::size_t R = worker.num_reducers;
   worker_begin_epoch(worker, epoch);
+  // The chunk header carried the coordinator's job-span context; this
+  // worker's map/reduce spans causally parent to it.
+  worker.job_ctx = ctx;
+  if (worker.map_execs.count(task) != 0) return;  // duplicate delivery
+  MapExec& exec = worker.map_execs[task];
 
   // Entering the mapper enclave on this worker's platform.
   worker.platform->clock().advance_cycles(worker.platform->cost().ecall_cycles);
@@ -498,20 +549,22 @@ void DistributedMapReduce::worker_handle_map_task(Worker& worker, ByteReader& re
 
   // Map span: opens at task arrival (fabric time), parented to the
   // coordinator's job span via the adopted chunk-header context; the
-  // deferred finish event closes it after the modeled compute delay.
+  // deferred finish event closes it after the modeled compute delay (or
+  // at cancellation, if a speculative copy superseded this execution).
   if (worker.onode) {
-    worker.map_span = std::make_unique<obs::Span>(
+    exec.span = std::make_unique<obs::Span>(
         &worker.onode->tracer, "dist_mapreduce.map_task", worker.job_ctx);
-    worker.map_span->set_attribute("worker", std::to_string(worker.index));
-    worker.map_span->set_attribute("records", std::to_string(records.size()));
+    exec.span->set_attribute("worker", std::to_string(worker.index));
+    exec.span->set_attribute("task", std::to_string(task));
+    exec.span->set_attribute("records", std::to_string(records.size()));
     worker.onode->registry.counter("dist_worker_map_records_total")
         .inc(records.size());
     worker.onode->registry.counter("dist_worker_map_pairs_total").inc(pair_count);
   }
 
-  worker.pending_map_output = std::move(per_reducer);
-  worker.pending_map_records = records.size();
-  worker.pending_map_pairs = pair_count;
+  exec.pending_output = std::move(per_reducer);
+  exec.records = records.size();
+  exec.pairs = pair_count;
 
   // Charge the modeled map compute into *fabric* time, scaled by this
   // node's compute skew (the straggler model): the shuffle cannot leave
@@ -522,76 +575,115 @@ void DistributedMapReduce::worker_handle_map_task(Worker& worker, ByteReader& re
                        static_cast<std::uint64_t>(records.size()));
   Worker* worker_ptr = &worker;
   const std::uint64_t epoch_now = worker.epoch;
-  fabric_.schedule(compute_ns, [this, worker_ptr, epoch_now] {
-    worker_finish_map_task(*worker_ptr, epoch_now);
+  fabric_.schedule(compute_ns, [this, worker_ptr, epoch_now, task] {
+    worker_finish_map_task(*worker_ptr, epoch_now, task);
   });
 }
 
 void DistributedMapReduce::worker_finish_map_task(Worker& worker,
-                                                  std::uint64_t epoch) {
-  if (worker.epoch != epoch || worker.map_done) return;  // superseded epoch
+                                                  std::uint64_t epoch,
+                                                  std::uint64_t task) {
+  if (!worker.alive || worker.epoch != epoch) return;  // dead / superseded
+  auto it = worker.map_execs.find(task);
+  if (it == worker.map_execs.end()) return;
+  MapExec& exec = it->second;
+  if (exec.finished || exec.cancelled) return;
+  exec.finished = true;
   const std::size_t W = worker.num_workers;
   const std::size_t R = worker.num_reducers;
-  std::vector<std::vector<KeyValue>> per_reducer =
-      std::move(worker.pending_map_output);
-  worker.pending_map_output.clear();
+  std::vector<std::vector<KeyValue>> per_reducer = std::move(exec.pending_output);
+  exec.pending_output.clear();
 
   // Shuffle and map-done records carry the map span's context so remote
   // deliveries of this worker's output attribute to it in the trace.
   obs::TraceContext ctx;
-  if (worker.map_span) ctx = worker.map_span->context();
+  if (exec.span) ctx = exec.span->context();
 
   // One sealed block per reducer — *always*, even when empty, so every
-  // owner can count to exactly (W-1) * owned blocks without timing out.
+  // owner can count to exactly W blocks per reducer without timing out.
+  // Nonce and AAD are pure functions of (epoch, task, reducer): any
+  // re-execution of this task reproduces byte-identical blocks.
   crypto::AesGcm gcm(worker.job_key);
   std::size_t shuffle_bytes = 0;
   for (std::size_t r = 0; r < R; ++r) {
-    const std::uint64_t counter =
-        epoch * (W * R) + worker.index * R + r + 1;
+    const std::uint64_t counter = epoch * (W * R) + task * R + r + 1;
     Bytes block =
         gcm.seal_combined(crypto::nonce_from_counter(counter, kMapReduceShuffleDomain),
                           shuffle_aad(r), serialize_pairs(per_reducer[r]));
-    const std::size_t owner = r % W;
     bump(obs_shuffle_blocks_);
-    if (owner == worker.index) {
-      worker.blocks[r][worker.index] = std::move(block);
-    } else {
-      shuffle_bytes += block.size();
-      bump(obs_shuffle_bytes_, block.size());
-      Bytes wire;
-      put_u8(wire, kShuffle);
-      put_u64(wire, epoch);
-      put_u64(wire, worker.index);
-      put_u64(wire, r);
-      put_blob(wire, block);
-      (void)worker.flow->send(worker.worker_nodes[owner], wire, ctx);
-    }
+    // Logical shuffle volume: block (task, r) counts as shuffled iff its
+    // bundle does not *default* to this task's identity worker. A pure
+    // function of (task, r) — JobStats stay bit-identical no matter
+    // which node actually executed the task or owns the bundle.
+    if (r % W != task) shuffle_bytes += block.size();
+    worker.produced[std::make_pair(task, r)] =
+        ProducedBlock{std::move(block), {}};
+    worker_send_block(worker, epoch, task, r, ctx);
   }
 
   Bytes done;
   put_u8(done, kMapDone);
-  put_u64(done, worker.index);
-  put_u64(done, worker.pending_map_records);
-  put_u64(done, worker.pending_map_pairs);
+  put_u64(done, task);
+  put_u64(done, exec.records);
+  put_u64(done, exec.pairs);
   put_u64(done, shuffle_bytes);
   put_u64(done, 1);  // enclave transitions for the map task
   (void)worker.flow->send(worker.coordinator_node, done, ctx);
 
-  if (worker.map_span) {
-    worker.map_span->set_attribute("shuffle_bytes", std::to_string(shuffle_bytes));
-    worker.map_span.reset();  // close at the post-compute fabric timestamp
+  if (exec.span) {
+    exec.span->set_attribute("shuffle_bytes", std::to_string(shuffle_bytes));
+    exec.span.reset();  // close at the post-compute fabric timestamp
   }
 
-  worker.map_done = true;
-  worker_maybe_reduce(worker);
+  for (auto& [bundle, bexec] : worker.bundle_execs) {
+    (void)bexec;
+    worker_maybe_reduce(worker, bundle);
+  }
 }
 
-void DistributedMapReduce::worker_maybe_reduce(Worker& worker) {
-  if (worker.reduced || !worker.map_done ||
-      worker.received_remote_blocks < worker.expected_remote_blocks) {
+void DistributedMapReduce::worker_send_block(Worker& worker, std::uint64_t epoch,
+                                             std::uint64_t task,
+                                             std::size_t reducer,
+                                             obs::TraceContext ctx) {
+  auto pit = worker.produced.find(std::make_pair(task, reducer));
+  if (pit == worker.produced.end()) return;
+  ProducedBlock& p = pit->second;
+  const std::size_t bundle = reducer % worker.num_workers;
+  const net::NodeId dest = worker.bundle_owner_node[bundle];
+  if (dest == worker.node) {
+    worker.shuffle_store.emplace(std::make_pair(reducer, static_cast<std::size_t>(task)),
+                                 p.block);
     return;
   }
-  worker.reduced = true;
+  if (!p.sent_to.insert(dest).second) return;  // this owner already has it
+  bump(obs_shuffle_bytes_, p.block.size());
+  Bytes wire;
+  put_u8(wire, kShuffle);
+  put_u64(wire, epoch);
+  put_u64(wire, task);
+  put_u64(wire, reducer);
+  put_blob(wire, p.block);
+  (void)worker.flow->send(dest, wire, ctx);
+}
+
+void DistributedMapReduce::worker_maybe_reduce(Worker& worker,
+                                               std::uint64_t bundle) {
+  auto bit = worker.bundle_execs.find(bundle);
+  if (bit == worker.bundle_execs.end() || bit->second.reduced) return;
+  BundleExec& exec = bit->second;
+  const std::size_t W = worker.num_workers;
+  const std::size_t R = worker.num_reducers;
+  // Bundle-complete check: every producing task's block for every
+  // reducer of this bundle. Own blocks land here at map finish, so this
+  // also gates on the local map being done.
+  std::vector<std::size_t> owned;
+  for (std::size_t r = bundle; r < R; r += W) {
+    owned.push_back(r);
+    for (std::size_t t = 0; t < W; ++t) {
+      if (worker.shuffle_store.count(std::make_pair(r, t)) == 0) return;
+    }
+  }
+  exec.reduced = true;
 
   // Entering the reducer enclave.
   worker.platform->clock().advance_cycles(worker.platform->cost().ecall_cycles);
@@ -601,13 +693,14 @@ void DistributedMapReduce::worker_maybe_reduce(Worker& worker) {
   std::size_t pairs_consumed = 0;
   Bytes result_plain;
   put_u64(result_plain, 1);  // enclave transitions for the reduce task
-  put_u32(result_plain, static_cast<std::uint32_t>(worker.owned_reducers.size()));
-  for (const std::size_t r : worker.owned_reducers) {
-    // Mapper-order consumption: block slots are indexed, so arrival
-    // order (loss, reorder, NACK recovery) cannot change value order.
+  put_u32(result_plain, static_cast<std::uint32_t>(owned.size()));
+  for (const std::size_t r : owned) {
+    // Task-order consumption: block slots are indexed by producing task,
+    // so arrival order (loss, reorder, NACK recovery, re-execution)
+    // cannot change value order.
     std::map<std::string, std::vector<double>> groups;
-    for (std::size_t m = 0; m < worker.num_workers; ++m) {
-      const Bytes& block = worker.blocks[r][m];
+    for (std::size_t t = 0; t < W; ++t) {
+      const Bytes& block = worker.shuffle_store[std::make_pair(r, t)];
       auto plain = gcm.open_combined(shuffle_aad(r), block);
       if (!plain.ok()) {
         worker_fail(worker, Error::integrity("shuffle block failed authentication"));
@@ -635,41 +728,145 @@ void DistributedMapReduce::worker_maybe_reduce(Worker& worker) {
   // fabric time), parented to the job span; the deferred finish closes
   // it after the modeled reduce compute and ships the sealed result.
   if (worker.onode) {
-    worker.reduce_span = std::make_unique<obs::Span>(
+    exec.span = std::make_unique<obs::Span>(
         &worker.onode->tracer, "dist_mapreduce.reduce_task", worker.job_ctx);
-    worker.reduce_span->set_attribute("worker", std::to_string(worker.index));
-    worker.reduce_span->set_attribute("pairs", std::to_string(pairs_consumed));
+    exec.span->set_attribute("worker", std::to_string(worker.index));
+    exec.span->set_attribute("bundle", std::to_string(bundle));
+    exec.span->set_attribute("pairs", std::to_string(pairs_consumed));
     worker.onode->registry.counter("dist_worker_reduce_pairs_total")
         .inc(pairs_consumed);
   }
 
-  const std::uint64_t counter = worker.epoch * worker.num_workers + worker.index + 1;
+  // Result nonce/AAD keyed by the bundle, not this worker: re-executed
+  // bundles seal byte-identically wherever they run.
+  const std::uint64_t counter = worker.epoch * W + bundle + 1;
   const Bytes sealed =
       gcm.seal_combined(crypto::nonce_from_counter(counter, kResultDomain),
-                        result_aad(worker.index), result_plain);
+                        result_aad(bundle), result_plain);
   Bytes wire;
   put_u8(wire, kResult);
-  put_u64(wire, worker.index);
+  put_u64(wire, bundle);
   put_blob(wire, sealed);
-  worker.pending_result_wire = std::move(wire);
+  exec.pending_result_wire = std::move(wire);
 
   const std::uint64_t compute_ns = fabric_.scaled_compute_ns(
       worker.node, config_.reduce_compute_ns_per_pair *
                        static_cast<std::uint64_t>(pairs_consumed));
   Worker* worker_ptr = &worker;
   const std::uint64_t epoch_now = worker.epoch;
-  fabric_.schedule(compute_ns, [this, worker_ptr, epoch_now] {
-    worker_finish_reduce(*worker_ptr, epoch_now);
+  fabric_.schedule(compute_ns, [this, worker_ptr, epoch_now, bundle] {
+    worker_finish_reduce(*worker_ptr, epoch_now, bundle);
   });
 }
 
-void DistributedMapReduce::worker_finish_reduce(Worker& worker, std::uint64_t epoch) {
-  if (worker.epoch != epoch || worker.pending_result_wire.empty()) return;
+void DistributedMapReduce::worker_finish_reduce(Worker& worker,
+                                                std::uint64_t epoch,
+                                                std::uint64_t bundle) {
+  if (!worker.alive || worker.epoch != epoch) return;
+  auto it = worker.bundle_execs.find(bundle);
+  if (it == worker.bundle_execs.end() || it->second.pending_result_wire.empty()) {
+    return;
+  }
   obs::TraceContext ctx;
-  if (worker.reduce_span) ctx = worker.reduce_span->context();
-  (void)worker.flow->send(worker.coordinator_node, worker.pending_result_wire, ctx);
-  worker.pending_result_wire.clear();
-  worker.reduce_span.reset();  // close at the post-compute fabric timestamp
+  if (it->second.span) ctx = it->second.span->context();
+  (void)worker.flow->send(worker.coordinator_node, it->second.pending_result_wire,
+                          ctx);
+  it->second.pending_result_wire.clear();
+  it->second.span.reset();  // close at the post-compute fabric timestamp
+}
+
+void DistributedMapReduce::worker_apply_assignment(Worker& worker,
+                                                   ByteReader& reader) {
+  std::uint64_t epoch = 0;
+  std::uint32_t dead_count = 0;
+  if (!reader.get_u64(epoch) || !reader.get_u32(dead_count)) {
+    worker_fail(worker, Error::protocol("malformed assignment record"));
+    return;
+  }
+  std::vector<net::NodeId> dead(dead_count);
+  for (auto& d : dead) {
+    std::uint64_t node = 0;
+    if (!reader.get_u64(node)) {
+      worker_fail(worker, Error::protocol("truncated assignment record"));
+      return;
+    }
+    d = static_cast<net::NodeId>(node);
+  }
+  std::uint32_t owner_count = 0;
+  if (!reader.get_u32(owner_count) || owner_count != worker.num_workers) {
+    worker_fail(worker, Error::protocol("malformed assignment owner table"));
+    return;
+  }
+  std::vector<net::NodeId> owners(owner_count);
+  for (auto& o : owners) {
+    std::uint64_t node = 0;
+    if (!reader.get_u64(node)) {
+      worker_fail(worker, Error::protocol("truncated assignment owner table"));
+      return;
+    }
+    o = static_cast<net::NodeId>(node);
+  }
+  std::uint32_t reassign_count = 0;
+  if (!reader.get_u32(reassign_count)) {
+    worker_fail(worker, Error::protocol("malformed assignment record"));
+    return;
+  }
+  std::vector<std::pair<std::uint64_t, net::NodeId>> reassigns(reassign_count);
+  for (auto& [task, node] : reassigns) {
+    std::uint64_t n = 0;
+    if (!reader.get_u64(task) || !reader.get_u64(n)) {
+      worker_fail(worker, Error::protocol("truncated assignment record"));
+      return;
+    }
+    node = static_cast<net::NodeId>(n);
+  }
+  if (!reader.done()) {
+    worker_fail(worker, Error::protocol("trailing assignment bytes"));
+    return;
+  }
+
+  if (epoch < worker.epoch) return;  // stale
+  worker_begin_epoch(worker, epoch);
+
+  // Stop all recovery traffic toward the dead nodes.
+  for (net::NodeId d : dead) {
+    if (worker.flow) worker.flow->abandon_peer(d);
+  }
+
+  worker.bundle_owner_node = owners;
+  for (std::size_t b = 0; b < owners.size(); ++b) {
+    if (owners[b] == worker.node) worker.bundle_execs[b];  // adopt bundle
+  }
+
+  // A task reassigned to another node cancels any local in-flight
+  // execution: the deferred finish becomes a no-op, no shuffle leaves
+  // this node for it, and the map span closes *now* — so a straggler's
+  // superseded attempt stops dominating the critical path.
+  for (const auto& [task, node] : reassigns) {
+    if (node == worker.node) continue;
+    auto it = worker.map_execs.find(task);
+    if (it == worker.map_execs.end()) continue;
+    MapExec& exec = it->second;
+    if (exec.finished || exec.cancelled) continue;
+    exec.cancelled = true;
+    exec.pending_output.clear();
+    if (exec.span) {
+      exec.span->set_attribute("cancelled", "1");
+      exec.span.reset();
+    }
+  }
+
+  // Re-route every block we already produced toward its *current* owner
+  // (worker_send_block dedups per destination, so unchanged owners see
+  // nothing new).
+  for (const auto& [key, p] : worker.produced) {
+    (void)p;
+    worker_send_block(worker, worker.epoch, key.first, key.second, worker.job_ctx);
+  }
+  for (auto& [bundle, bexec] : worker.bundle_execs) {
+    (void)bexec;
+    worker_maybe_reduce(worker, bundle);
+  }
 }
 
 void DistributedMapReduce::coordinator_on_flow_payload(net::NodeId from,
@@ -679,30 +876,43 @@ void DistributedMapReduce::coordinator_on_flow_payload(net::NodeId from,
   if (!r.get_u8(type)) return;
   switch (type) {
     case kMapDone: {
-      std::uint64_t worker = 0, records = 0, pairs = 0, shuffle = 0, transitions = 0;
-      if (!r.get_u64(worker) || !r.get_u64(records) || !r.get_u64(pairs) ||
-          !r.get_u64(shuffle) || !r.get_u64(transitions) || !r.done()) {
+      std::uint64_t task = 0, records = 0, pairs = 0, shuffle = 0, transitions = 0;
+      if (!r.get_u64(task) || !r.get_u64(records) || !r.get_u64(pairs) ||
+          !r.get_u64(shuffle) || !r.get_u64(transitions) || !r.done() ||
+          task >= config_.num_workers) {
         if (!job_error_) job_error_ = Error::protocol("malformed map-done record");
         return;
       }
+      // First copy in event order wins; re-executed / speculative
+      // duplicates are dropped so stats never double-count.
+      if (!map_done_seen_.insert(task).second) return;
       collect_.stats.input_records += records;
       collect_.stats.intermediate_pairs += pairs;
       collect_.stats.shuffle_bytes += shuffle;
       collect_.stats.enclave_transitions += transitions;
       bump(obs_input_records_, records);
-      ++map_done_count_;
+      auto sit = spec_tasks_.find(task);
+      if (sit != spec_tasks_.end()) {
+        if (from == workers_[sit->second]->node) {
+          bump(obs_spec_wins_);
+        } else {
+          bump(obs_spec_losses_);
+        }
+      }
+      maybe_schedule_speculation();
       return;
     }
     case kResult: {
-      std::uint64_t worker = 0;
+      std::uint64_t bundle = 0;
       Bytes sealed;
-      if (!r.get_u64(worker) || !r.get_blob(sealed) || !r.done() ||
-          worker >= workers_.size()) {
+      if (!r.get_u64(bundle) || !r.get_blob(sealed) || !r.done() ||
+          bundle >= config_.num_workers) {
         if (!job_error_) job_error_ = Error::protocol("malformed result record");
         return;
       }
+      if (results_seen_.count(bundle) != 0) return;  // duplicate copy
       crypto::AesGcm gcm(job_key_);
-      auto plain = gcm.open_combined(result_aad(worker), sealed);
+      auto plain = gcm.open_combined(result_aad(bundle), sealed);
       if (!plain.ok()) {
         if (!job_error_) {
           job_error_ = Error::integrity("result block failed authentication");
@@ -716,7 +926,8 @@ void DistributedMapReduce::coordinator_on_flow_payload(net::NodeId from,
         if (!job_error_) job_error_ = Error::protocol("truncated result block");
         return;
       }
-      collect_.stats.enclave_transitions += transitions;
+      std::map<std::string, double> merged;
+      std::uint64_t result_transitions = transitions;
       for (std::uint32_t i = 0; i < reducers; ++i) {
         std::uint64_t reducer = 0;
         Bytes block;
@@ -729,21 +940,279 @@ void DistributedMapReduce::coordinator_on_flow_payload(net::NodeId from,
           if (!job_error_) job_error_ = pairs.error();
           return;
         }
-        // Reducer key spaces are disjoint, so inserts cannot collide.
-        for (auto& kv : *pairs) collect_.output[kv.key] = kv.value;
+        for (auto& kv : *pairs) merged[kv.key] = kv.value;
       }
+      results_seen_.insert(bundle);
+      collect_.stats.enclave_transitions += result_transitions;
+      // Reducer key spaces are disjoint, so inserts cannot collide.
+      for (auto& [key, value] : merged) collect_.output[key] = value;
       bump(obs_results_);
-      ++results_count_;
       // Last result in: the job is logically complete — close its span
       // *now*, at the in-loop timestamp, so the post-job ACK/settle
       // traffic is not attributed to job time.
-      if (results_count_ == config_.num_workers) job_span_.reset();
+      if (results_seen_.size() == config_.num_workers) job_span_.reset();
       (void)from;
       return;
     }
     default:
       return;
   }
+}
+
+// --- recovery / speculation (coordinator side) ----------------------------
+
+std::size_t DistributedMapReduce::alive_count() const {
+  std::size_t n = 0;
+  for (bool alive : worker_alive_) {
+    if (alive) ++n;
+  }
+  return n;
+}
+
+genpack::ContainerSpec DistributedMapReduce::map_task_spec(
+    std::uint64_t task) const {
+  genpack::ContainerSpec spec;
+  spec.id = "map-" + std::to_string(task);
+  spec.cls = genpack::ContainerClass::kBatch;
+  spec.cpu_cores = config_.recovery.task_cpu_cores;
+  spec.mem_gb = config_.recovery.task_mem_gb;
+  spec.epc_mb = config_.recovery.task_epc_mb;
+  return spec;
+}
+
+genpack::ContainerSpec DistributedMapReduce::bundle_spec(
+    std::uint64_t bundle) const {
+  genpack::ContainerSpec spec;
+  spec.id = "bundle-" + std::to_string(bundle);
+  spec.cls = genpack::ContainerClass::kService;
+  spec.cpu_cores = config_.recovery.task_cpu_cores;
+  spec.mem_gb = config_.recovery.task_mem_gb;
+  spec.epc_mb = config_.recovery.task_epc_mb;
+  return spec;
+}
+
+void DistributedMapReduce::reset_placement() {
+  genpack::ServerConfig server_cfg;
+  server_cfg.cpu_capacity = config_.recovery.worker_cpu_cores;
+  server_cfg.mem_capacity = config_.recovery.worker_mem_gb;
+  server_cfg.epc_capacity = config_.recovery.worker_epc_mb;
+  placement_.clear();
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    placement_.emplace_back(w, server_cfg);
+    if (!worker_alive_[w]) (void)placement_.back().fail();
+  }
+}
+
+std::size_t DistributedMapReduce::pick_replacement(
+    const genpack::ContainerSpec& spec) {
+  // EPC-aware bin-packing over the surviving servers: enclave containers
+  // go where the remaining EPC is tightest (failed servers never fit).
+  genpack::EpcAwareBestFitScheduler placer;
+  if (auto s = placer.place(spec, placement_)) {
+    placement_[*s].place(spec);
+    return *s;
+  }
+  // Saturated cluster: degrade to least-loaded alive worker (accounting
+  // intentionally skipped — the model is over capacity already).
+  std::size_t best = 0;
+  double best_load = 2.0;
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    if (!worker_alive_[w]) continue;
+    const double load = placement_[w].cpu_utilization();
+    if (load < best_load) {
+      best_load = load;
+      best = w;
+    }
+  }
+  return best;
+}
+
+void DistributedMapReduce::send_map_task(std::size_t executor,
+                                         std::uint64_t task) {
+  Bytes wire;
+  put_u8(wire, kMapTask);
+  put_u64(wire, epoch_);
+  put_u64(wire, task);
+  put_u32(wire, static_cast<std::uint32_t>(task_records_[task].size()));
+  for (const Bytes& record : task_records_[task]) put_blob(wire, record);
+  bump(obs_map_tasks_);
+  (void)coordinator_flow_->send(workers_[executor]->node, wire, run_ctx_);
+}
+
+void DistributedMapReduce::broadcast_assignment(
+    const std::vector<std::pair<std::uint64_t, net::NodeId>>& reassigned_tasks) {
+  Bytes wire;
+  put_u8(wire, kAssign);
+  put_u64(wire, epoch_);
+  std::vector<net::NodeId> dead;
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    if (!worker_alive_[w]) dead.push_back(workers_[w]->node);
+  }
+  put_u32(wire, static_cast<std::uint32_t>(dead.size()));
+  for (net::NodeId d : dead) put_u64(wire, d);
+  put_u32(wire, static_cast<std::uint32_t>(config_.num_workers));
+  for (std::size_t b = 0; b < config_.num_workers; ++b) {
+    put_u64(wire, workers_[bundle_owners_[b].back()]->node);
+  }
+  put_u32(wire, static_cast<std::uint32_t>(reassigned_tasks.size()));
+  for (const auto& [task, node] : reassigned_tasks) {
+    put_u64(wire, task);
+    put_u64(wire, node);
+  }
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    if (!worker_alive_[w]) continue;
+    (void)coordinator_flow_->send(workers_[w]->node, wire, run_ctx_);
+  }
+}
+
+void DistributedMapReduce::on_worker_node_dead(net::NodeId node) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w]->node == node) {
+      handle_worker_death(w);
+      return;
+    }
+  }
+}
+
+void DistributedMapReduce::handle_worker_death(std::size_t w) {
+  if (w >= workers_.size() || !worker_alive_[w]) return;
+  if (!config_.recovery.enabled) return;
+  if (job_error_.has_value()) return;  // aborting anyway (e.g. integrity)
+  worker_alive_[w] = false;
+  bump(obs_worker_deaths_);
+  note_coordinator_flight("worker_dead", "worker=" + std::to_string(w));
+  coordinator_flow_->abandon_peer(workers_[w]->node);
+  if (alive_count() == 0) {
+    if (!job_error_) {
+      job_error_ = Error::unavailable("all workers dead; job cannot complete");
+    }
+    return;
+  }
+
+  // Recovery proper only makes sense while a job is in flight (the
+  // placement model and task-record cache belong to the current run).
+  const bool job_live = current_map_fn_ != nullptr &&
+                        placement_.size() == config_.num_workers &&
+                        results_seen_.size() < config_.num_workers;
+  std::vector<std::pair<std::uint64_t, net::NodeId>> reassigns;
+  if (job_live) {
+    auto evacuated = placement_[w].fail();
+    for (auto& [id, spec] : evacuated) {
+      if (id.rfind("map-", 0) == 0) {
+        const std::uint64_t task = std::stoull(id.substr(4));
+        // Re-execute unless some *alive* executor also holds the task —
+        // even when its kMapDone was already collected: the dead node's
+        // cached produced blocks die with it, and a later bundle
+        // reassignment would need a surviving producer to re-send them.
+        // The re-executed copy is byte-identical and its duplicate
+        // kMapDone/blocks are absorbed by the dedup layers.
+        bool covered = false;
+        for (std::size_t e : task_executors_[task]) {
+          covered = covered || (e != w && worker_alive_[e]);
+        }
+        if (covered) continue;
+        const std::size_t x = pick_replacement(spec);
+        task_executors_[task].push_back(x);
+        bump(obs_tasks_reexecuted_);
+        note_coordinator_flight("task_reexec", "task=" + std::to_string(task) +
+                                                   " worker=" + std::to_string(x));
+        send_map_task(x, task);
+        reassigns.emplace_back(task, workers_[x]->node);
+      } else if (id.rfind("bundle-", 0) == 0) {
+        const std::uint64_t bundle = std::stoull(id.substr(7));
+        auto& owners = bundle_owners_[bundle];
+        owners.erase(std::remove(owners.begin(), owners.end(), w), owners.end());
+        bool alive_owner = false;
+        for (std::size_t o : owners) alive_owner = alive_owner || worker_alive_[o];
+        if (alive_owner) continue;
+        const std::size_t x = pick_replacement(spec);
+        owners.assign(1, x);
+        note_coordinator_flight("bundle_reassign",
+                                "bundle=" + std::to_string(bundle) +
+                                    " worker=" + std::to_string(x));
+      }
+    }
+    broadcast_assignment(reassigns);
+  }
+
+  // The dead node's platform is presumed compromised: rotate every
+  // surviving session's record keys over the live fabric. Best effort —
+  // a rekey that exhausts its retransmit budget re-enters this handler
+  // for that peer via on_failure.
+  if (config_.recovery.rekey_on_recovery) {
+    for (std::size_t v = 0; v < config_.num_workers; ++v) {
+      if (worker_alive_[v]) (void)sessions_[v]->rehandshake();
+    }
+  }
+}
+
+void DistributedMapReduce::maybe_schedule_speculation() {
+  if (!config_.speculation.enabled || spec_check_scheduled_) return;
+  const std::size_t W = config_.num_workers;
+  if (W < 2 || current_map_fn_ == nullptr) return;
+  if (map_done_seen_.size() + 1 != W) return;  // all-but-stragglers quorum
+  spec_check_scheduled_ = true;
+  const std::uint64_t elapsed = fabric_.now_ns() - job_start_ns_;
+  const std::uint64_t delay =
+      elapsed * config_.speculation.slack_percent / 100;
+  const std::uint64_t epoch_now = epoch_;
+  fabric_.schedule(delay, [this, epoch_now] { speculation_check(epoch_now); });
+}
+
+void DistributedMapReduce::speculation_check(std::uint64_t epoch) {
+  if (epoch != epoch_ || current_map_fn_ == nullptr || job_error_.has_value()) {
+    return;
+  }
+  if (results_seen_.size() >= config_.num_workers) return;
+  std::vector<std::pair<std::uint64_t, net::NodeId>> reassigns;
+  for (std::uint64_t task = 0; task < config_.num_workers; ++task) {
+    if (map_done_seen_.count(task) != 0) continue;
+    // EPC-aware pick among alive workers *not* already executing the
+    // task: tightest-EPC fit, ties to fullest CPU then lowest index.
+    std::optional<std::size_t> best;
+    for (std::size_t x = 0; x < config_.num_workers; ++x) {
+      if (!worker_alive_[x]) continue;
+      if (std::find(task_executors_[task].begin(), task_executors_[task].end(),
+                    x) != task_executors_[task].end()) {
+        continue;
+      }
+      if (!placement_[x].can_fit(map_task_spec(task))) continue;
+      if (!best || placement_[x].epc_free_milli() < placement_[*best].epc_free_milli() ||
+          (placement_[x].epc_free_milli() == placement_[*best].epc_free_milli() &&
+           placement_[x].cpu_utilization() > placement_[*best].cpu_utilization())) {
+        best = x;
+      }
+    }
+    if (!best) continue;
+    placement_[*best].place(map_task_spec(task));
+    task_executors_[task].push_back(*best);
+    spec_tasks_[task] = *best;
+    bump(obs_spec_launched_);
+    note_coordinator_flight("spec_launch", "task=" + std::to_string(task) +
+                                               " worker=" + std::to_string(*best));
+    send_map_task(*best, task);
+    reassigns.emplace_back(task, workers_[*best]->node);
+  }
+  // The kAssign cancels the stragglers' superseded executions (first
+  // finished copy still wins at the coordinator if the cancel loses the
+  // race — both orders are deterministic per seed).
+  if (!reassigns.empty()) broadcast_assignment(reassigns);
+}
+
+Status DistributedMapReduce::kill_worker(std::size_t w) {
+  if (w >= workers_.size()) {
+    return Error::invalid_argument("no such worker: " + std::to_string(w));
+  }
+  Worker& worker = *workers_[w];
+  if (!worker.alive) return {};
+  worker.alive = false;
+  if (worker.flow) worker.flow->quiesce();
+  return {};
+}
+
+void DistributedMapReduce::schedule_worker_kill(std::size_t w,
+                                                std::uint64_t delay_ns) {
+  pending_kills_.push_back(PendingKill{w, delay_ns});
 }
 
 std::vector<Bytes> DistributedMapReduce::encrypt_partition(
@@ -764,6 +1233,10 @@ Result<JobResult> DistributedMapReduce::run(
     const std::vector<std::vector<Bytes>>& encrypted_partitions, const MapFn& map_fn,
     const ReduceFn& reduce_fn) {
   if (!ready_) return Error::protocol("setup() has not completed");
+  const std::size_t W = config_.num_workers;
+  if (alive_count() == 0) {
+    return Error::unavailable("no workers alive; job cannot run");
+  }
   const auto fail = [this](Error error) -> Error {
     bump(obs_job_failures_);
     // Typed failure: capture every reachable node's flight-recorder ring
@@ -773,41 +1246,123 @@ Result<JobResult> DistributedMapReduce::run(
   };
 
   job_span_ = std::make_unique<obs::Span>(tracer_, "dist_mapreduce.job");
-  job_span_->set_attribute("workers", std::to_string(config_.num_workers));
+  job_span_->set_attribute("workers", std::to_string(W));
   job_span_->set_attribute("partitions",
                            std::to_string(encrypted_partitions.size()));
-  const obs::TraceContext job_ctx = job_span_->context();
+  run_ctx_ = job_span_->context();
 
   ++epoch_;
   collect_ = JobResult{};
-  map_done_count_ = 0;
-  results_count_ = 0;
+  map_done_seen_.clear();
+  results_seen_.clear();
+  spec_tasks_.clear();
+  spec_check_scheduled_ = false;
   job_error_.reset();
   current_map_fn_ = &map_fn;
   current_reduce_fn_ = &reduce_fn;
+  job_start_ns_ = fabric_.now_ns();
+  reset_placement();
 
-  const std::size_t W = config_.num_workers;
-  std::vector<std::vector<Bytes>> per_worker(W);
+  // Logical work-list: map task t holds the round-robin partition slice
+  // t, reduce bundle b the reducers {r : r % W == b}. Records are cached
+  // per task so a re-execution re-ships the identical input.
+  task_records_.assign(W, {});
   for (std::size_t p = 0; p < encrypted_partitions.size(); ++p) {
-    auto& bucket = per_worker[p % W];
+    auto& bucket = task_records_[p % W];
     bucket.insert(bucket.end(), encrypted_partitions[p].begin(),
                   encrypted_partitions[p].end());
   }
+  task_executors_.assign(W, {});
+  bundle_owners_.assign(W, {});
+
+  // Arm any chaos kills scheduled for this run (deterministic fabric
+  // timers, so a mid-map kill is reproducible per seed).
+  for (const PendingKill& kill : pending_kills_) {
+    const std::size_t victim = kill.worker;
+    fabric_.schedule(kill.delay_ns, [this, victim] { (void)kill_worker(victim); });
+  }
+  pending_kills_.clear();
+
+  // Initial placement: identity (task t / bundle b on worker t / b) when
+  // that worker is alive; EPC-aware re-placement over the survivors
+  // otherwise (two passes so identity load is accounted before any
+  // replacement pick).
+  for (std::uint64_t t = 0; t < W; ++t) {
+    if (!worker_alive_[t]) continue;
+    if (placement_[t].can_fit(map_task_spec(t))) placement_[t].place(map_task_spec(t));
+    task_executors_[t].assign(1, static_cast<std::size_t>(t));
+  }
+  for (std::uint64_t b = 0; b < W; ++b) {
+    if (!worker_alive_[b]) continue;
+    if (placement_[b].can_fit(bundle_spec(b))) placement_[b].place(bundle_spec(b));
+    bundle_owners_[b].assign(1, static_cast<std::size_t>(b));
+  }
+  std::vector<std::pair<std::uint64_t, net::NodeId>> initial_reassigns;
+  bool initial_shift = false;
+  for (std::uint64_t t = 0; t < W; ++t) {
+    if (worker_alive_[t]) continue;
+    const std::size_t x = pick_replacement(map_task_spec(t));
+    task_executors_[t].assign(1, x);
+    initial_reassigns.emplace_back(t, workers_[x]->node);
+    initial_shift = true;
+  }
+  for (std::uint64_t b = 0; b < W; ++b) {
+    if (worker_alive_[b]) continue;
+    bundle_owners_[b].assign(1, pick_replacement(bundle_spec(b)));
+    initial_shift = true;
+  }
 
   const std::uint64_t cycles_before = fabric_.clock().cycles();
-  for (std::size_t w = 0; w < W; ++w) {
-    Bytes task;
-    put_u8(task, kMapTask);
-    put_u64(task, epoch_);
-    put_u32(task, static_cast<std::uint32_t>(per_worker[w].size()));
-    for (const Bytes& record : per_worker[w]) put_blob(task, record);
-    bump(obs_map_tasks_);
-    SC_RETURN_IF_ERROR(coordinator_flow_->send(workers_[w]->node, task, job_ctx));
+  for (std::uint64_t t = 0; t < W; ++t) send_map_task(task_executors_[t].front(), t);
+  if (config_.recovery.enabled && initial_shift) {
+    broadcast_assignment(initial_reassigns);
   }
 
   // One serial event loop drives the entire job: task delivery, map
-  // compute, shuffle, NACK recovery timers, reduce, result collection.
+  // compute, shuffle, NACK recovery timers, reduce, result collection —
+  // and, when a worker dies, detection + re-execution + rekeys.
   fabric_.run_until_idle();
+
+  // Probe-and-recover: a worker that died while the coordinator had
+  // nothing in flight toward it (e.g. it acked its map task, then
+  // crashed before producing results) leaves the fabric idle with the
+  // job incomplete and no death signal. Ping every alive worker that
+  // still owes output: live ones ack at the flow level, a dead one's
+  // silence trips the beacon death threshold, whose on_peer_dead kicks
+  // re-execution inside the same drained loop. Rounds are bounded — one
+  // death per round at worst.
+  if (config_.recovery.enabled) {
+    std::size_t rounds = 0;
+    while (!job_error_.has_value() && results_seen_.size() < W && rounds <= W) {
+      ++rounds;
+      const std::size_t alive_before = alive_count();
+      bool probed = false;
+      for (std::size_t w = 0; w < W; ++w) {
+        if (!worker_alive_[w]) continue;
+        bool owes = false;
+        for (std::uint64_t t = 0; t < W && !owes; ++t) {
+          owes = map_done_seen_.count(t) == 0 &&
+                 std::find(task_executors_[t].begin(), task_executors_[t].end(),
+                           w) != task_executors_[t].end();
+        }
+        for (std::uint64_t b = 0; b < W && !owes; ++b) {
+          owes = results_seen_.count(b) == 0 &&
+                 std::find(bundle_owners_[b].begin(), bundle_owners_[b].end(),
+                           w) != bundle_owners_[b].end();
+        }
+        if (!owes) continue;
+        Bytes ping;
+        put_u8(ping, kPing);
+        put_u64(ping, epoch_);
+        if (coordinator_flow_->send(workers_[w]->node, ping, run_ctx_).ok()) {
+          probed = true;
+        }
+      }
+      if (!probed) break;
+      fabric_.run_until_idle();
+      if (alive_count() == alive_before) break;  // nothing new learned
+    }
+  }
 
   // Failure paths reach here with the span still open (the success path
   // closed it inside the event loop, at the last result's timestamp).
@@ -816,17 +1371,17 @@ Result<JobResult> DistributedMapReduce::run(
   current_reduce_fn_ = nullptr;
 
   if (job_error_.has_value()) return fail(*job_error_);
-  if (results_count_ < W) {
+  if (results_seen_.size() < W) {
     // Surface the typed transport failure when one exists (abandoned
     // gap -> kUnavailable), else a generic incompleteness error.
     if (Status h = coordinator_flow_->health(); !h.ok()) return fail(h.error());
     for (const auto& worker : workers_) {
-      if (worker->flow) {
+      if (worker->alive && worker->flow) {
         if (Status h = worker->flow->health(); !h.ok()) return fail(h.error());
       }
     }
     return fail(Error::unavailable(
-        "job incomplete: " + std::to_string(results_count_) + "/" +
+        "job incomplete: " + std::to_string(results_seen_.size()) + "/" +
         std::to_string(W) + " worker results arrived"));
   }
 

@@ -24,18 +24,41 @@
 //                     owner's node*, reduce on block-complete, and the
 //                     coordinator merges worker results in index order.
 //
+// Failure tolerance (RecoveryConfig, on by default): work is identified
+// by *logical* ids — map task t and reduce bundle b (the reducers
+// {r : r % W == b}) — decoupled from the worker executing them. Shuffle
+// and result nonces/AADs are pure functions of (epoch, task/bundle), so
+// a task re-executed on any surviving node reproduces byte-identical
+// sealed blocks, and the coordinator dedups kMapDone/kResult by id
+// (first result in event order wins). Dead workers are detected through
+// FlowNode kDead stream-abandons, the beacon death threshold (silent
+// death), or AttestedSession failure; recovery re-places the victim's
+// containers through EPC-aware GenPack bin-packing, re-sends its map
+// tasks, reassigns its reduce bundles (kAssign broadcast: peers resend
+// their cached produced blocks to the new owner), and optionally
+// rotates every surviving session's keys via rehandshake.
+//
+// Speculative re-execution (SpeculationConfig, off by default): when all
+// but the stragglers have reported map-done, a deferred check launches
+// copies of the unfinished tasks on peers picked by the same placement
+// model and cancels the originals; the coordinator's first-result-wins
+// dedup commits whichever copy lands first.
+//
 // Determinism: every fabric event is dispatched from the serial
 // run_until_idle() loop, shuffle nonces / block slots / output order are
-// pure functions of (epoch, mapper, reducer) indices, and per-record map
+// pure functions of (epoch, task, reducer) indices, and per-record map
 // compute uses the pre-assigned-slot run_indexed idiom — so the job
 // output, JobStats, and every dist_mapreduce_*/net_* counter are
-// bit-identical for a fixed fault seed at any thread-pool size.
+// bit-identical for a fixed fault seed at any thread-pool size, with or
+// without worker kills.
 #pragma once
 
 #include <memory>
+#include <set>
 
 #include "bigdata/flow.hpp"
 #include "bigdata/mapreduce.hpp"
+#include "genpack/scheduler.hpp"
 #include "net/session.hpp"
 #include "obs/cluster.hpp"
 
@@ -61,6 +84,42 @@ struct DistributedMapReduceConfig {
   std::uint64_t reduce_compute_ns_per_pair = 2'000;
   /// Per-node flight-recorder ring capacity (cluster-obs mode).
   std::size_t flight_capacity = 128;
+
+  /// Worker-death recovery. When enabled, setup() arms the flow beacon
+  /// death threshold and session handshake retransmits below.
+  struct RecoveryConfig {
+    bool enabled = true;
+    /// Consecutive unanswered beacons before a peer counts as dead
+    /// (FlowConfig::beacon_death_threshold while recovery is on).
+    std::size_t beacon_death_threshold = 8;
+    /// Handshake retransmit knobs applied to every session, so setup
+    /// (and recovery-time rekeys) survive armed kNetLoss.
+    std::uint64_t session_retransmit_timeout_ns = 3'000'000;
+    std::size_t session_max_retries = 12;
+    /// Rotate every surviving session's keys when a worker dies (the
+    /// dead node's platform is presumed compromised).
+    bool rekey_on_recovery = true;
+    /// EPC-aware placement model: each worker node is a GenPack server
+    /// with these capacities, each map task / reduce bundle a container
+    /// with these demands. Replacement executors come out of
+    /// EpcAwareBestFitScheduler over the surviving servers.
+    double worker_cpu_cores = 16.0;
+    double worker_mem_gb = 64.0;
+    double worker_epc_mb = 93.0;  // usable SGX1 EPC
+    double task_cpu_cores = 1.0;
+    double task_mem_gb = 1.0;
+    double task_epc_mb = 8.0;
+  };
+  RecoveryConfig recovery;
+
+  /// Speculative re-execution of stragglers.
+  struct SpeculationConfig {
+    bool enabled = false;
+    /// When all but the stragglers have reported map-done at elapsed E,
+    /// the speculation check fires after another E * slack_percent/100.
+    std::uint32_t slack_percent = 50;
+  };
+  SpeculationConfig speculation;
 };
 
 class DistributedMapReduce {
@@ -77,8 +136,8 @@ class DistributedMapReduce {
   ~DistributedMapReduce();
 
   /// Builds the cluster and attests every worker (see file comment).
-  /// Run with net faults disarmed — handshakes are setup-phase traffic
-  /// with no retransmit layer underneath.
+  /// With recovery enabled the handshakes retransmit through armed net
+  /// faults; with it disabled, run setup before arming faults.
   Status setup(sgx::AttestationService& service);
 
   /// Encrypts plaintext records into job-input format under the job key
@@ -94,6 +153,17 @@ class DistributedMapReduce {
   /// counter keeps shuffle nonces unique across runs).
   Result<JobResult> run(const std::vector<std::vector<Bytes>>& encrypted_partitions,
                         const MapFn& map_fn, const ReduceFn& reduce_fn);
+
+  /// Chaos API: kills worker `w` *now* — its flow quiesces (last-gasp
+  /// kDead RSTs, then silence: no frame is parsed, no counter bumped)
+  /// and every later handler / deferred compute on it is inert. Dead
+  /// workers stay dead across runs.
+  Status kill_worker(std::size_t w);
+  /// Chaos API: arms a kill at `delay_ns` of fabric time after the next
+  /// run() starts (a deterministic fabric timer — mid-map / mid-shuffle
+  /// kills are reproducible per seed).
+  void schedule_worker_kill(std::size_t w, std::uint64_t delay_ns);
+  bool worker_alive(std::size_t w) const { return worker_alive_[w]; }
 
   /// `dist_mapreduce_*` counters + a dist_mapreduce.job span per run.
   /// Also wires the underlying sessions and flows into `registry`.
@@ -116,7 +186,8 @@ class DistributedMapReduce {
   /// them (sorted by node name). Deterministic for a fixed seed: all
   /// snapshots are taken inside the serial event loop. Requires
   /// cluster-obs mode and a completed setup(). Workers whose reply the
-  /// (possibly still fault-armed) fabric eats are simply absent.
+  /// (possibly still fault-armed) fabric eats — and dead workers — are
+  /// simply absent.
   Result<obs::ClusterSnapshot> collect_cluster_snapshot();
 
   /// Flight-recorder dump (securecloud.flight.v2 across all reachable
@@ -135,6 +206,13 @@ class DistributedMapReduce {
   static constexpr std::uint8_t kShuffle = 2;
   static constexpr std::uint8_t kMapDone = 3;
   static constexpr std::uint8_t kResult = 4;
+  /// Coordinator -> workers: dead-node list + bundle owner table + task
+  /// reassignments (recovery and speculation control plane).
+  static constexpr std::uint8_t kAssign = 5;
+  /// Coordinator -> worker liveness probe. Workers ignore the payload;
+  /// the *flow-level ack* of its chunk is the proof of life, and a
+  /// quiesced worker's silence trips the beacon death threshold.
+  static constexpr std::uint8_t kPing = 6;
   /// Nonce domain for sealed worker->coordinator result blocks.
   static constexpr std::uint32_t kResultDomain = 0x4452534c;  // "DRSL"
   /// Raw fabric channel for obs snapshot collection (no session/flow —
@@ -144,9 +222,36 @@ class DistributedMapReduce {
   static constexpr std::uint8_t kObsFlightReq = 2;
   static constexpr std::uint8_t kObsReply = 3;
 
+  /// One map task being executed (or cancelled) on a worker. Keyed by
+  /// the *logical* task id — a worker can hold several after recovery.
+  struct MapExec {
+    bool finished = false;
+    bool cancelled = false;
+    /// Map output parked between compute start and the deferred
+    /// shuffle send: per_reducer[r] = combined pairs for reducer r.
+    std::vector<std::vector<KeyValue>> pending_output;
+    std::size_t records = 0;
+    std::size_t pairs = 0;
+    std::unique_ptr<obs::Span> span;
+  };
+  /// One reduce bundle owned on a worker (bundle b = reducers r with
+  /// r % W == b).
+  struct BundleExec {
+    bool reduced = false;
+    Bytes pending_result_wire;
+    std::unique_ptr<obs::Span> span;
+  };
+  /// A sealed shuffle block this worker produced, retained so it can be
+  /// re-sent when a bundle moves to a new owner.
+  struct ProducedBlock {
+    Bytes block;
+    std::set<net::NodeId> sent_to;
+  };
+
   struct Worker {
     std::size_t index = 0;
     net::NodeId node = 0;
+    bool alive = true;
     std::unique_ptr<sgx::Platform> platform;
     sgx::Enclave* enclave = nullptr;
     std::unique_ptr<net::AttestedSession> session;  // responder end
@@ -161,33 +266,24 @@ class DistributedMapReduce {
     std::vector<net::NodeId> worker_nodes;
     bool configured = false;
 
-    // Per-job (epoch) state.
+    // Per-job (epoch) state, keyed by logical task / bundle ids.
     std::uint64_t epoch = 0;
-    std::vector<std::size_t> owned_reducers;
-    std::size_t expected_remote_blocks = 0;
-    std::size_t received_remote_blocks = 0;
-    bool map_done = false;
-    bool reduced = false;
-    /// blocks[r][m]: sealed shuffle block from mapper m for owned
-    /// reducer r (fixed slots — arrival order cannot perturb reduce).
-    std::map<std::size_t, std::vector<Bytes>> blocks;
+    std::map<std::uint64_t, MapExec> map_execs;
+    std::map<std::uint64_t, BundleExec> bundle_execs;
+    /// (reducer, producing task) -> sealed block. Everything addressed
+    /// to this node is stored regardless of current ownership (a block
+    /// can arrive before the kAssign that made this node the owner).
+    std::map<std::pair<std::size_t, std::size_t>, Bytes> shuffle_store;
+    std::map<std::pair<std::uint64_t, std::size_t>, ProducedBlock> produced;
+    /// Current owner node per bundle (kAssign updates; defaults to the
+    /// identity assignment bundle b -> worker_nodes[b]).
+    std::vector<net::NodeId> bundle_owner_node;
 
     /// Cluster-obs mode: this node's registry/tracer/flight bundle.
     std::unique_ptr<obs::NodeObs> onode;
     /// Trace context of the coordinator's job span, adopted from the
     /// kMapTask chunk header; parents this worker's spans.
     obs::TraceContext job_ctx;
-    /// In-flight spans (opened at task arrival / reduce start, closed
-    /// by the deferred finish event after the modeled compute delay).
-    std::unique_ptr<obs::Span> map_span;
-    std::unique_ptr<obs::Span> reduce_span;
-    /// Map output parked between compute start and the deferred
-    /// shuffle send: per_reducer[r] = combined pairs for reducer r.
-    std::vector<std::vector<KeyValue>> pending_map_output;
-    std::size_t pending_map_records = 0;
-    std::size_t pending_map_pairs = 0;
-    /// Sealed result wire parked until the deferred reduce finish.
-    Bytes pending_result_wire;
   };
 
   DistributedMapReduce* self() { return this; }
@@ -197,14 +293,42 @@ class DistributedMapReduce {
   void worker_begin_epoch(Worker& worker, std::uint64_t epoch);
   void worker_on_flow_payload(Worker& worker, net::NodeId from, Bytes payload,
                               obs::TraceContext ctx);
-  void worker_handle_map_task(Worker& worker, ByteReader& reader);
-  void worker_finish_map_task(Worker& worker, std::uint64_t epoch);
-  void worker_maybe_reduce(Worker& worker);
-  void worker_finish_reduce(Worker& worker, std::uint64_t epoch);
+  void worker_handle_map_task(Worker& worker, ByteReader& reader,
+                              obs::TraceContext ctx);
+  void worker_finish_map_task(Worker& worker, std::uint64_t epoch,
+                              std::uint64_t task);
+  /// Routes produced block (task, r) to the current owner of bundle
+  /// r % W: local store when that is this node, one flow send per
+  /// distinct destination otherwise (re-send dedup via sent_to).
+  void worker_send_block(Worker& worker, std::uint64_t epoch, std::uint64_t task,
+                         std::size_t reducer, obs::TraceContext ctx);
+  void worker_maybe_reduce(Worker& worker, std::uint64_t bundle);
+  void worker_finish_reduce(Worker& worker, std::uint64_t epoch,
+                            std::uint64_t bundle);
+  void worker_apply_assignment(Worker& worker, ByteReader& reader);
   void worker_fail(Worker& worker, Error error);
   void coordinator_on_flow_payload(net::NodeId from, Bytes payload);
   void worker_on_obs_message(Worker& worker, const net::Message& message);
   std::string collect_flight_postmortem();
+
+  // --- recovery / speculation (coordinator side) ---
+  /// Peer-death signal (flow kDead / beacon timeout / session failure).
+  void on_worker_node_dead(net::NodeId node);
+  void handle_worker_death(std::size_t w);
+  /// Re-places `spec` through EPC-aware bin-packing over surviving
+  /// servers; falls back to the least-loaded alive worker.
+  std::size_t pick_replacement(const genpack::ContainerSpec& spec);
+  void broadcast_assignment(
+      const std::vector<std::pair<std::uint64_t, net::NodeId>>& reassigned_tasks);
+  void send_map_task(std::size_t executor, std::uint64_t task);
+  void maybe_schedule_speculation();
+  void speculation_check(std::uint64_t epoch);
+  void reset_placement();
+  std::size_t alive_count() const;
+  genpack::ContainerSpec map_task_spec(std::uint64_t task) const;
+  genpack::ContainerSpec bundle_spec(std::uint64_t bundle) const;
+  void note_coordinator_flight(const char* category, const std::string& message);
+
   obs::Registry* registry_for(const Worker& worker) {
     return worker.onode ? &worker.onode->registry : registry_;
   }
@@ -234,8 +358,10 @@ class DistributedMapReduce {
 
   // Per-run coordinator collection state.
   JobResult collect_;
-  std::size_t map_done_count_ = 0;
-  std::size_t results_count_ = 0;
+  /// Dedup sets: first kMapDone per task / kResult per bundle wins, so
+  /// re-executed and speculative copies cannot double-count stats.
+  std::set<std::uint64_t> map_done_seen_;
+  std::set<std::uint64_t> results_seen_;
   std::optional<Error> job_error_;
   /// The per-run dist_mapreduce.job span. Closed the moment the last
   /// worker result lands — not when the fabric drains — so the span
@@ -243,6 +369,22 @@ class DistributedMapReduce {
   /// otherwise be mis-charged to the coordinator by the critical-path
   /// analyzer).
   std::unique_ptr<obs::Span> job_span_;
+  obs::TraceContext run_ctx_;
+
+  // Recovery / speculation state.
+  std::vector<bool> worker_alive_;  // coordinator's liveness view
+  std::vector<std::vector<Bytes>> task_records_;        // cached per task
+  std::vector<std::vector<std::size_t>> task_executors_;  // task -> workers
+  std::vector<std::vector<std::size_t>> bundle_owners_;   // bundle -> workers
+  std::vector<genpack::Server> placement_;
+  std::map<std::uint64_t, std::size_t> spec_tasks_;  // task -> spec executor
+  bool spec_check_scheduled_ = false;
+  std::uint64_t job_start_ns_ = 0;
+  struct PendingKill {
+    std::size_t worker;
+    std::uint64_t delay_ns;
+  };
+  std::vector<PendingKill> pending_kills_;
 
   bool cluster_obs_ = false;
   std::unique_ptr<obs::NodeObs> coordinator_obs_;
@@ -260,6 +402,11 @@ class DistributedMapReduce {
   obs::Counter* obs_shuffle_bytes_ = nullptr;
   obs::Counter* obs_results_ = nullptr;
   obs::Counter* obs_input_records_ = nullptr;
+  obs::Counter* obs_worker_deaths_ = nullptr;
+  obs::Counter* obs_tasks_reexecuted_ = nullptr;
+  obs::Counter* obs_spec_launched_ = nullptr;
+  obs::Counter* obs_spec_wins_ = nullptr;
+  obs::Counter* obs_spec_losses_ = nullptr;
 };
 
 }  // namespace securecloud::bigdata

@@ -84,9 +84,36 @@ void FlowNode::send_control(net::NodeId dst, std::uint8_t type,
   (void)fabric_.send(self_, dst, config_.control_channel, std::move(wire));
 }
 
+void FlowNode::mark_peer_dead(Outbound& out, Status reason) {
+  out.dead = true;
+  out.death_reason = std::move(reason);
+}
+
+void FlowNode::notify_peer_dead(net::NodeId peer) {
+  if (dead_notified_.insert(peer).second && on_peer_dead_) on_peer_dead_(peer);
+}
+
+void FlowNode::quiesce() {
+  if (quiesced_) return;
+  std::set<net::NodeId> peers;
+  for (const auto& [peer, out] : outbound_) peers.insert(peer);
+  for (const auto& [peer, in] : inbound_) peers.insert(peer);
+  for (net::NodeId peer : peers) send_control(peer, kDead, 0);
+  quiesced_ = true;
+  outbound_.clear();
+  inbound_.clear();
+}
+
+void FlowNode::abandon_peer(net::NodeId peer) {
+  outbound_.erase(peer);
+  inbound_.erase(peer);
+}
+
 Status FlowNode::send(net::NodeId dst, ByteView payload,
                       obs::TraceContext trace) {
+  if (quiesced_) return Error::unavailable("flow node quiesced");
   Outbound& out = outbound(dst);
+  if (out.dead) return out.death_reason;
   out.last_trace = trace;
   const std::vector<Bytes> chunks = out.sender->send(payload);
   for (const Bytes& chunk : chunks) {
@@ -102,6 +129,7 @@ Status FlowNode::send(net::NodeId dst, ByteView payload,
 }
 
 void FlowNode::on_chunk(const net::Message& message) {
+  if (quiesced_) return;  // dead hosts parse nothing and bump nothing
   ByteReader r(message.payload);
   std::uint64_t high_water = 0;
   obs::TraceContext trace;
@@ -116,7 +144,7 @@ void FlowNode::on_chunk(const net::Message& message) {
   Inbound& in = inbound(message.src);
   auto payloads = in.receiver->receive_any(wire);
   if (!payloads.ok()) {
-    if (failure_.ok()) failure_ = payloads.error();
+    // The receiver's own health() surfaces this stream failure.
     note_flight("dead_stream", message.src, in.receiver->next_expected());
     send_control(message.src, kDead, 0);
     return;
@@ -141,6 +169,7 @@ void FlowNode::on_chunk(const net::Message& message) {
 }
 
 void FlowNode::on_control(const net::Message& message) {
+  if (quiesced_) return;
   ByteReader r(message.payload);
   std::uint8_t type = 0;
   std::uint64_t value = 0;
@@ -166,6 +195,7 @@ void FlowNode::on_control(const net::Message& message) {
       auto it = outbound_.find(message.src);
       if (it == outbound_.end()) return;
       it->second.acked_through = std::max(it->second.acked_through, value);
+      it->second.beacons_unanswered = 0;  // any ack proves liveness
       return;
     }
     case kBeacon: {
@@ -176,7 +206,6 @@ void FlowNode::on_control(const net::Message& message) {
       if (Status h = in.receiver->health(); !h.ok()) {
         // This stream is beyond recovery: answering the beacon with an
         // ack would keep the sender retrying forever.
-        if (failure_.ok()) failure_ = std::move(h);
         note_flight("dead_stream", message.src, in.receiver->next_expected());
         send_control(message.src, kDead, 0);
         return;
@@ -188,12 +217,10 @@ void FlowNode::on_control(const net::Message& message) {
     case kDead: {
       auto it = outbound_.find(message.src);
       if (it == outbound_.end()) return;
-      it->second.dead = true;
       note_flight("dead_stream", message.src, it->second.chunks_sent);
-      if (failure_.ok()) {
-        failure_ = Status(Error{ErrorCode::kUnavailable,
-                                "peer abandoned inbound stream"});
-      }
+      mark_peer_dead(it->second, Status(Error{ErrorCode::kUnavailable,
+                                              "peer abandoned inbound stream"}));
+      notify_peer_dead(message.src);  // last: the callback may mutate maps
       return;
     }
     default:
@@ -202,6 +229,7 @@ void FlowNode::on_control(const net::Message& message) {
 }
 
 bool FlowNode::work_pending() const {
+  if (quiesced_) return false;
   for (const auto& [peer, out] : outbound_) {
     if (!out.dead && out.acked_through < out.chunks_sent) return true;
   }
@@ -219,6 +247,7 @@ void FlowNode::arm_timer() {
 
 void FlowNode::on_timer() {
   timer_armed_ = false;
+  if (quiesced_) return;
   // Re-NACK every due gap (receiver side)...
   for (auto& [peer, in] : inbound_) {
     for (const Nack& nack : in.receiver->take_due_nacks()) {
@@ -227,26 +256,38 @@ void FlowNode::on_timer() {
       note_flight("nack", peer, nack.sequence);
       send_control(peer, kNack, nack.sequence);
     }
-    if (Status h = in.receiver->health(); !h.ok() && failure_.ok()) {
-      failure_ = std::move(h);
-    }
   }
   // ...and beacon every unacked outbound flow (sender side), so trailing
-  // losses with no later chunk behind them still get detected.
+  // losses with no later chunk behind them still get detected. Too many
+  // consecutive beacons with no ack at all ⇒ the peer is silently dead.
+  std::vector<net::NodeId> newly_dead;
   for (auto& [peer, out] : outbound_) {
-    if (!out.dead && out.acked_through < out.chunks_sent) {
-      ++stats_.beacons_sent;
-      bump(obs_beacons_sent_);
-      send_control(peer, kBeacon, out.chunks_sent);
+    if (out.dead || out.acked_through >= out.chunks_sent) continue;
+    if (config_.beacon_death_threshold > 0 &&
+        out.beacons_unanswered >= config_.beacon_death_threshold) {
+      note_flight("dead_stream", peer, out.chunks_sent);
+      mark_peer_dead(out, Status(Error{ErrorCode::kUnavailable,
+                                       "peer silent past beacon death threshold"}));
+      newly_dead.push_back(peer);
+      continue;
     }
+    ++out.beacons_unanswered;
+    ++stats_.beacons_sent;
+    bump(obs_beacons_sent_);
+    send_control(peer, kBeacon, out.chunks_sent);
   }
-  if (work_pending() && failure_.ok()) arm_timer();
+  if (work_pending()) arm_timer();
+  // Notify last: a driver's callback may abandon peers (mutating the
+  // maps iterated above) or send new payloads.
+  for (net::NodeId peer : newly_dead) notify_peer_dead(peer);
 }
 
 bool FlowNode::settled() const { return !work_pending(); }
 
 Status FlowNode::health() const {
-  if (!failure_.ok()) return failure_;
+  for (const auto& [peer, out] : outbound_) {
+    if (out.dead) return out.death_reason;
+  }
   for (const auto& [peer, in] : inbound_) {
     SC_RETURN_IF_ERROR(in.receiver->health());
   }

@@ -21,6 +21,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 
 #include "bigdata/transfer.hpp"
 #include "net/fabric.hpp"
@@ -39,6 +40,12 @@ struct FlowConfig {
   /// abandoning a gap kills the whole stream.
   ReceiverRecoveryConfig recovery{.max_nacks_per_gap = 32};
   std::size_t retransmit_buffer_chunks = 4096;
+  /// Liveness: after this many consecutive beacons to one peer with no
+  /// ack coming back, the peer is declared dead (outbound marked dead,
+  /// on_peer_dead fired). 0 = beacon forever (legacy behavior). This is
+  /// what bounds the event storm when a peer dies silently — without it
+  /// a quiesced peer would be beaconed until run_until_idle's event cap.
+  std::size_t beacon_death_threshold = 0;
 };
 
 struct FlowStats {
@@ -85,9 +92,30 @@ class FlowNode {
   /// inbound flow has an open gap.
   bool settled() const;
 
-  /// First failure across inbound flows (abandoned gap, dead stream) or
-  /// ok. Mirrors SecureTransferReceiver::health per peer.
+  /// First failure across flows (dead peer, abandoned gap, dead stream)
+  /// or ok. Per-peer: abandoning a peer removes its contribution, so one
+  /// dead node does not poison the node's surviving flows.
   Status health() const;
+
+  /// Fired once per peer when that peer's stream is declared dead —
+  /// either it sent kDead (stream abandoned / dying host's RST) or the
+  /// beacon death threshold tripped (silent death). Drivers use this as
+  /// the node-failure detector.
+  using OnPeerDead = std::function<void(net::NodeId)>;
+  void set_on_peer_dead(OnPeerDead fn) { on_peer_dead_ = std::move(fn); }
+
+  /// Models this node's process dying: broadcasts kDead to every known
+  /// peer (the dying host's last-gasp RSTs — they ride the faulty fabric
+  /// and may be lost; the beacon threshold covers that), then drops all
+  /// flow state and ignores every subsequent frame and timer. After
+  /// quiesce() nothing on this node parses frames or bumps counters.
+  void quiesce();
+  bool quiesced() const { return quiesced_; }
+
+  /// Driver declared `peer` dead: forget both directions of its flows so
+  /// its failures stop poisoning health() and no more recovery traffic
+  /// is aimed at it.
+  void abandon_peer(net::NodeId peer);
 
   const FlowStats& stats() const { return stats_; }
 
@@ -114,7 +142,9 @@ class FlowNode {
     std::unique_ptr<SecureTransferSender> sender;
     std::uint64_t chunks_sent = 0;    // high-water: sequences 0..n-1 sent
     std::uint64_t acked_through = 0;  // peer's next_expected
-    bool dead = false;                // peer declared the stream dead
+    bool dead = false;                // peer declared dead (kDead / silence)
+    Status death_reason;              // why, when dead
+    std::uint64_t beacons_unanswered = 0;  // consecutive beacons, no ack
     obs::TraceContext last_trace;     // most recent send()'s context
   };
   struct Inbound {
@@ -138,6 +168,10 @@ class FlowNode {
   void arm_timer();
   void on_timer();
   bool work_pending() const;
+  /// Marks `out` dead with `reason`; the on_peer_dead notification fires
+  /// at most once per peer (callers decide when it is safe to deliver).
+  void mark_peer_dead(Outbound& out, Status reason);
+  void notify_peer_dead(net::NodeId peer);
   void bump(obs::Counter* counter) {
     if (counter != nullptr) counter->inc();
   }
@@ -148,11 +182,13 @@ class FlowNode {
   FlowConfig config_;
   OnPayload on_payload_;
   OnPayloadCtx on_payload_ctx_;
+  OnPeerDead on_peer_dead_;
   obs::FlightRecorder* flight_ = nullptr;
   std::map<net::NodeId, Outbound> outbound_;
   std::map<net::NodeId, Inbound> inbound_;
+  std::set<net::NodeId> dead_notified_;
   bool timer_armed_ = false;
-  Status failure_;
+  bool quiesced_ = false;
   FlowStats stats_;
   obs::Registry* registry_ = nullptr;
 

@@ -45,6 +45,43 @@ std::optional<std::size_t> BestFitScheduler::place(const ContainerSpec& c,
   return best;
 }
 
+std::optional<std::size_t> EpcAwareBestFitScheduler::place(
+    const ContainerSpec& c, const std::vector<Server>& servers) {
+  if (c.epc_mb > 0.0) {
+    // Enclave container: tightest-EPC-fit among SGX servers.
+    std::optional<std::size_t> best;
+    std::int64_t best_free = -1;
+    double best_load = -1.0;
+    for (const auto& server : servers) {
+      if (!server.sgx_capable() || !server.can_fit(c)) continue;
+      const std::int64_t free = server.epc_free_milli();
+      const double load = server.cpu_utilization();
+      if (!best || free < best_free || (free == best_free && load > best_load)) {
+        best = server.id();
+        best_free = free;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+  // Plain container: best-fit by CPU over non-SGX servers first, then
+  // overflow onto SGX servers rather than reject.
+  for (const bool want_sgx : {false, true}) {
+    std::optional<std::size_t> best;
+    double best_load = -1.0;
+    for (const auto& server : servers) {
+      if (server.sgx_capable() != want_sgx || !server.can_fit(c)) continue;
+      const double load = server.cpu_utilization();
+      if (load > best_load) {
+        best_load = load;
+        best = server.id();
+      }
+    }
+    if (best) return best;
+  }
+  return std::nullopt;
+}
+
 GenPackScheduler::GenPackScheduler(std::size_t cluster_size, GenPackConfig config)
     : config_(config) {
   nursery_end_ = std::max<std::size_t>(1, static_cast<std::size_t>(

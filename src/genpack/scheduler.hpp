@@ -80,6 +80,22 @@ class BestFitScheduler final : public Scheduler {
                                    const std::vector<Server>& servers) override;
 };
 
+/// EPC-aware best-fit over a heterogeneous cluster (mix of SGX and
+/// plain servers), per "SGX-Aware Container Orchestration for
+/// Heterogeneous Clusters": EPC is the scarce dimension, so
+///   * enclave containers (epc_mb > 0) go to the SGX server with the
+///     *tightest* remaining EPC that still fits (minimize EPC
+///     fragmentation; ties broken by fullest CPU, then lowest id);
+///   * plain containers prefer non-SGX servers (best-fit by CPU) so
+///     EPC-capable machines stay free for enclaves, overflowing onto
+///     SGX servers only when nothing else fits.
+class EpcAwareBestFitScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "binpack-epc"; }
+  std::optional<std::size_t> place(const ContainerSpec& c,
+                                   const std::vector<Server>& servers) override;
+};
+
 struct GenPackConfig {
   /// Fractions of the cluster assigned to each generation.
   double nursery_fraction = 0.3;

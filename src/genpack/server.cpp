@@ -7,20 +7,20 @@ namespace securecloud::genpack {
 void Server::place(const ContainerSpec& c) {
   assert(can_fit(c));
   containers_.emplace(c.id, c);
-  cpu_used_ += c.cpu_cores;
-  mem_used_ += c.mem_gb;
+  cpu_used_milli_ += to_milli(c.cpu_cores);
+  mem_used_milli_ += to_milli(c.mem_gb);
+  epc_used_milli_ += to_milli(c.epc_mb);
   powered_on_ = true;
 }
 
 bool Server::remove(const std::string& container_id) {
   auto it = containers_.find(container_id);
   if (it == containers_.end()) return false;
-  cpu_used_ -= it->second.cpu_cores;
-  mem_used_ -= it->second.mem_gb;
+  cpu_used_milli_ -= to_milli(it->second.cpu_cores);
+  mem_used_milli_ -= to_milli(it->second.mem_gb);
+  epc_used_milli_ -= to_milli(it->second.epc_mb);
   containers_.erase(it);
   if (containers_.empty()) {
-    cpu_used_ = 0;  // clear numeric drift
-    mem_used_ = 0;
     powered_on_ = false;  // suspend empty servers
   }
   return true;
@@ -29,8 +29,9 @@ bool Server::remove(const std::string& container_id) {
 std::map<std::string, ContainerSpec> Server::fail() {
   failed_ = true;
   powered_on_ = false;
-  cpu_used_ = 0;
-  mem_used_ = 0;
+  cpu_used_milli_ = 0;
+  mem_used_milli_ = 0;
+  epc_used_milli_ = 0;
   std::map<std::string, ContainerSpec> evacuated;
   evacuated.swap(containers_);
   return evacuated;

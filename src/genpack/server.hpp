@@ -6,8 +6,14 @@
 // draws almost nothing. Consolidation saves energy precisely because the
 // idle floor dominates: N half-busy servers burn far more than N/2 busy
 // ones.
+//
+// Resource accounting is integer milli-units internally: repeated
+// place/remove cycles of fractional demands (0.1 cores, …) must not
+// drift, or can_fit starts rejecting containers that nominally fit.
+// The public accessors stay in natural units (cores / GB / MB).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -16,9 +22,17 @@
 
 namespace securecloud::genpack {
 
+/// Natural units → integer milli-units (exact for the 3-decimal demands
+/// the trace generator and schedulers produce).
+inline std::int64_t to_milli(double x) { return std::llround(x * 1000.0); }
+
 struct ServerConfig {
   double cpu_capacity = 16.0;  // cores
   double mem_capacity = 64.0;  // GB
+  /// Enclave Page Cache capacity in MB. 0 = no SGX support: the server
+  /// can only host containers with epc_mb == 0. (SGX1-era machines
+  /// expose ~93 MB of usable EPC out of the 128 MB PRM.)
+  double epc_capacity = 0.0;
   double idle_watts = 95.0;
   double peak_watts = 190.0;
   double suspended_watts = 5.0;
@@ -26,14 +40,20 @@ struct ServerConfig {
 
 class Server {
  public:
-  Server(std::size_t id, ServerConfig config) : id_(id), config_(config) {}
+  Server(std::size_t id, ServerConfig config)
+      : id_(id),
+        config_(config),
+        cpu_cap_milli_(to_milli(config.cpu_capacity)),
+        mem_cap_milli_(to_milli(config.mem_capacity)),
+        epc_cap_milli_(to_milli(config.epc_capacity)) {}
 
   std::size_t id() const { return id_; }
   const ServerConfig& config() const { return config_; }
 
   bool can_fit(const ContainerSpec& c) const {
-    return !failed_ && cpu_used_ + c.cpu_cores <= config_.cpu_capacity &&
-           mem_used_ + c.mem_gb <= config_.mem_capacity;
+    return !failed_ && cpu_used_milli_ + to_milli(c.cpu_cores) <= cpu_cap_milli_ &&
+           mem_used_milli_ + to_milli(c.mem_gb) <= mem_cap_milli_ &&
+           epc_used_milli_ + to_milli(c.epc_mb) <= epc_cap_milli_;
   }
 
   /// Precondition: can_fit(c). Powers the server on if suspended.
@@ -55,9 +75,20 @@ class Server {
   std::size_t container_count() const { return containers_.size(); }
   bool powered_on() const { return powered_on_; }
 
-  double cpu_used() const { return cpu_used_; }
-  double mem_used() const { return mem_used_; }
-  double cpu_utilization() const { return cpu_used_ / config_.cpu_capacity; }
+  double cpu_used() const { return static_cast<double>(cpu_used_milli_) / 1000.0; }
+  double mem_used() const { return static_cast<double>(mem_used_milli_) / 1000.0; }
+  double epc_used() const { return static_cast<double>(epc_used_milli_) / 1000.0; }
+  double cpu_utilization() const {
+    return static_cast<double>(cpu_used_milli_) / static_cast<double>(cpu_cap_milli_);
+  }
+  double epc_utilization() const {
+    return epc_cap_milli_ == 0
+               ? 0.0
+               : static_cast<double>(epc_used_milli_) / static_cast<double>(epc_cap_milli_);
+  }
+  /// EPC headroom in milli-MB — the EPC-aware scheduler minimizes this.
+  std::int64_t epc_free_milli() const { return epc_cap_milli_ - epc_used_milli_; }
+  bool sgx_capable() const { return epc_cap_milli_ > 0; }
 
   /// Instantaneous power draw in watts.
   double power_watts() const {
@@ -70,8 +101,12 @@ class Server {
   std::size_t id_;
   ServerConfig config_;
   std::map<std::string, ContainerSpec> containers_;
-  double cpu_used_ = 0;
-  double mem_used_ = 0;
+  std::int64_t cpu_cap_milli_ = 0;
+  std::int64_t mem_cap_milli_ = 0;
+  std::int64_t epc_cap_milli_ = 0;
+  std::int64_t cpu_used_milli_ = 0;
+  std::int64_t mem_used_milli_ = 0;
+  std::int64_t epc_used_milli_ = 0;
   bool powered_on_ = false;
   bool failed_ = false;
 };

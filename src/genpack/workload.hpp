@@ -33,6 +33,10 @@ struct ContainerSpec {
   ContainerClass cls = ContainerClass::kBatch;
   double cpu_cores = 1.0;
   double mem_gb = 1.0;
+  /// Enclave Page Cache demand in MB; 0 = not an enclave container.
+  /// Enclave containers only fit on SGX-capable servers with enough
+  /// free EPC (paging past it costs ~3 orders of magnitude).
+  double epc_mb = 0.0;
   std::uint64_t arrival_s = 0;
   std::uint64_t duration_s = 60;  // 0 = runs forever (system containers)
 

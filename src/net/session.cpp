@@ -31,12 +31,14 @@ const crypto::Sha256Digest& AttestedSession::transcript_hash() const {
 
 void AttestedSession::set_obs(obs::Registry* registry) {
   if (registry == nullptr) {
-    obs_established_ = obs_failed_ = obs_records_sent_ = obs_records_received_ =
-        obs_records_rejected_ = nullptr;
+    obs_established_ = obs_failed_ = obs_rehandshakes_ = obs_retransmits_ =
+        obs_records_sent_ = obs_records_received_ = obs_records_rejected_ = nullptr;
     return;
   }
   obs_established_ = &registry->counter("net_sessions_established_total");
   obs_failed_ = &registry->counter("net_sessions_failed_total");
+  obs_rehandshakes_ = &registry->counter("net_session_rehandshakes_total");
+  obs_retransmits_ = &registry->counter("net_session_handshake_retransmits_total");
   obs_records_sent_ = &registry->counter("net_session_records_sent_total");
   obs_records_received_ = &registry->counter("net_session_records_received_total");
   obs_records_rejected_ = &registry->counter("net_session_records_rejected_total");
@@ -44,6 +46,7 @@ void AttestedSession::set_obs(obs::Registry* registry) {
 
 void AttestedSession::fail(Status status) {
   state_ = State::kFailed;
+  ++timer_generation_;  // invalidate any pending retransmit timer
   failure_ = std::move(status);
   if (obs_failed_ != nullptr) obs_failed_->inc();
   if (flight_ != nullptr) {
@@ -51,6 +54,41 @@ void AttestedSession::fail(Status status) {
                     "peer=" + std::to_string(config_.peer) + " " +
                         failure_.error().message);
   }
+  if (on_failure_) on_failure_(failure_);
+}
+
+void AttestedSession::mark_established() {
+  state_ = State::kEstablished;
+  ++timer_generation_;  // stop retransmitting — the handshake is done
+  if (obs_established_ != nullptr) obs_established_->inc();
+  if (established_once_ && obs_rehandshakes_ != nullptr) obs_rehandshakes_->inc();
+  established_once_ = true;
+}
+
+void AttestedSession::arm_retransmit() {
+  if (config_.retry.retransmit_timeout_ns == 0 || config_.fabric == nullptr) return;
+  const std::uint64_t generation = timer_generation_;
+  config_.fabric->schedule(config_.retry.retransmit_timeout_ns,
+                           [this, generation] { on_retransmit_timer(generation); });
+}
+
+void AttestedSession::on_retransmit_timer(std::uint64_t generation) {
+  if (generation != timer_generation_) return;  // state moved on; stale timer
+  const Bytes* wire = nullptr;
+  if (role_ == Role::kInitiator && state_ == State::kAwaitingReply) {
+    wire = &cached_hello_wire_;
+  } else if (role_ == Role::kResponder && state_ == State::kAwaitingFinish) {
+    wire = &cached_reply_wire_;
+  }
+  if (wire == nullptr || wire->empty()) return;
+  if (retries_left_ == 0) {
+    fail(Error::unavailable("session: handshake retransmit budget exhausted"));
+    return;
+  }
+  --retries_left_;
+  if (obs_retransmits_ != nullptr) obs_retransmits_->inc();
+  (void)send_raw(Bytes(*wire));
+  arm_retransmit();
 }
 
 Result<Bytes> AttestedSession::make_bound_quote() const {
@@ -87,8 +125,40 @@ Status AttestedSession::start() {
   Bytes wire;
   put_u8(wire, kHello);
   put_blob(wire, handshake_->local_public_key());
+  cached_hello_wire_ = wire;
   state_ = State::kAwaitingReply;
-  return send_raw(std::move(wire));
+  ++timer_generation_;
+  retries_left_ = config_.retry.max_retries;
+  Status sent = send_raw(std::move(wire));
+  if (sent.ok()) arm_retransmit();
+  return sent;
+}
+
+Status AttestedSession::rehandshake() {
+  if (role_ != Role::kInitiator) {
+    return Error::invalid_argument("rehandshake() is for the initiator");
+  }
+  if (state_ != State::kEstablished) {
+    return Error::unavailable("session not established");
+  }
+  // Fresh ephemeral key: the responder tells this apart from a
+  // retransmitted Hello because the key differs, and restarts too.
+  handshake_.emplace(crypto::ChannelHandshake::Role::kInitiator,
+                     config_.platform->entropy());
+  Bytes wire;
+  put_u8(wire, kHello);
+  put_blob(wire, handshake_->local_public_key());
+  cached_hello_wire_ = wire;
+  state_ = State::kAwaitingReply;
+  ++timer_generation_;
+  retries_left_ = config_.retry.max_retries;
+  Status sent = send_raw(std::move(wire));
+  if (!sent.ok()) {
+    fail(sent);
+    return sent;
+  }
+  arm_retransmit();
+  return {};
 }
 
 void AttestedSession::on_message(const Message& message) {
@@ -117,7 +187,7 @@ void AttestedSession::on_message(const Message& message) {
 }
 
 void AttestedSession::handle_hello(const Message& message) {
-  if (role_ != Role::kResponder || state_ != State::kIdle) {
+  if (role_ != Role::kResponder) {
     fail(Error::protocol("session: unexpected Hello"));
     return;
   }
@@ -128,6 +198,20 @@ void AttestedSession::handle_hello(const Message& message) {
   if (!peer_key.ok() || !r.done()) {
     fail(Error::protocol("session: malformed Hello"));
     return;
+  }
+  if (state_ != State::kIdle) {
+    if (have_peer_hello_key_ && *peer_key == peer_hello_key_) {
+      // Retransmitted Hello: our HelloReply was lost. Re-send it
+      // verbatim instead of recomputing (the transcript must not fork).
+      if (state_ == State::kAwaitingFinish && !cached_reply_wire_.empty()) {
+        if (obs_retransmits_ != nullptr) obs_retransmits_->inc();
+        (void)send_raw(Bytes(cached_reply_wire_));
+      }
+      return;
+    }
+    // A *different* ephemeral key is a restart: either the initiator
+    // gave up on a half-open handshake, or an established peer is
+    // rotating keys (rehandshake). Run the handshake afresh.
   }
   crypto::ChannelHandshake handshake(crypto::ChannelHandshake::Role::kResponder,
                                      config_.platform->entropy());
@@ -146,13 +230,35 @@ void AttestedSession::handle_hello(const Message& message) {
     return;
   }
   put_blob(reply, *quote);
+  cached_reply_wire_ = reply;
+  peer_hello_key_ = *peer_key;
+  have_peer_hello_key_ = true;
   state_ = State::kAwaitingFinish;
+  ++timer_generation_;
+  retries_left_ = config_.retry.max_retries;
   Status sent = send_raw(std::move(reply));
-  if (!sent.ok()) fail(std::move(sent));
+  if (!sent.ok()) {
+    fail(std::move(sent));
+    return;
+  }
+  arm_retransmit();  // covers a lost HelloReply *and* a lost Finish
 }
 
 void AttestedSession::handle_hello_reply(const Message& message) {
-  if (role_ != Role::kInitiator || state_ != State::kAwaitingReply) {
+  if (role_ != Role::kInitiator) {
+    fail(Error::protocol("session: unexpected HelloReply"));
+    return;
+  }
+  if (state_ == State::kEstablished) {
+    // Duplicate HelloReply: the responder retransmitted because our
+    // Finish was lost. Re-send it verbatim.
+    if (!cached_finish_wire_.empty()) {
+      if (obs_retransmits_ != nullptr) obs_retransmits_->inc();
+      (void)send_raw(Bytes(cached_finish_wire_));
+    }
+    return;
+  }
+  if (state_ != State::kAwaitingReply) {
     fail(Error::protocol("session: unexpected HelloReply"));
     return;
   }
@@ -184,14 +290,19 @@ void AttestedSession::handle_hello_reply(const Message& message) {
   Bytes finish;
   put_u8(finish, kFinish);
   put_blob(finish, *quote);
-  state_ = State::kEstablished;
-  if (obs_established_ != nullptr) obs_established_->inc();
+  cached_finish_wire_ = finish;
+  mark_established();
   Status sent = send_raw(std::move(finish));
   if (!sent.ok()) fail(std::move(sent));
 }
 
 void AttestedSession::handle_finish(const Message& message) {
-  if (role_ != Role::kResponder || state_ != State::kAwaitingFinish) {
+  if (role_ != Role::kResponder) {
+    fail(Error::protocol("session: unexpected Finish"));
+    return;
+  }
+  if (state_ == State::kEstablished) return;  // duplicate Finish — already done
+  if (state_ != State::kAwaitingFinish) {
     fail(Error::protocol("session: unexpected Finish"));
     return;
   }
@@ -207,8 +318,7 @@ void AttestedSession::handle_finish(const Message& message) {
     fail(std::move(check));
     return;
   }
-  state_ = State::kEstablished;
-  if (obs_established_ != nullptr) obs_established_->inc();
+  mark_established();
 }
 
 void AttestedSession::handle_data(const Message& message) {

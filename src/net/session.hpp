@@ -17,10 +17,15 @@
 //
 // Sessions are driven entirely by fabric events: call start() on the
 // initiator, pump Fabric::run_until_idle(), and both ends reach
-// kEstablished (or kFailed with a typed Status). Handshakes are a setup
-// phase: run them before arming net faults — a lost handshake frame has
-// no retransmit layer underneath it (FlowNode provides reliability for
-// data, sessions provide identity).
+// kEstablished (or kFailed with a typed Status). Handshake frames are
+// covered by an optional bounded retransmit timer (Config::retry): the
+// side waiting on a reply re-sends its last handshake message until the
+// reply lands or the budget exhausts (typed kUnavailable) — so sessions
+// survive armed kNetLoss during setup. An established initiator can
+// also rehandshake(): a fresh Hello with a new ephemeral key runs the
+// full transcript again and rotates the record keys over the live
+// fabric (the responder tells a rekey from a retransmitted Hello by the
+// ephemeral key changing).
 #pragma once
 
 #include <optional>
@@ -52,6 +57,17 @@ class AttestedSession {
     /// Policy pin: when set, the peer's quoted MRENCLAVE must equal this
     /// measurement (kAttestationFailure otherwise).
     std::optional<sgx::Measurement> expected_peer_mrenclave;
+    /// Handshake retransmission. Disabled by default (legacy behavior:
+    /// a lost handshake frame hangs the session silently).
+    struct RetryConfig {
+      /// 0 = no retransmit. Otherwise the side awaiting a handshake
+      /// reply re-sends its last message every timeout via a fabric
+      /// timer (deterministic — timers share the event queue).
+      std::uint64_t retransmit_timeout_ns = 0;
+      /// After this many re-sends the session fails with kUnavailable.
+      std::size_t max_retries = 8;
+    };
+    RetryConfig retry;
   };
 
   AttestedSession(Role role, Config config);
@@ -68,6 +84,13 @@ class AttestedSession {
   /// Initiator only: sends Hello. The handshake then completes as the
   /// fabric delivers events.
   Status start();
+
+  /// Initiator only, established sessions only: runs the handshake again
+  /// with a fresh ephemeral key, rotating the record keys (and the
+  /// transcript hash) once it completes. Records cannot be sent while
+  /// the rekey is in flight (send() returns kUnavailable) — rekey at
+  /// protocol-quiescent points.
+  Status rehandshake();
 
   /// Feeds one fabric message to the session state machine. Safe to call
   /// from a fabric handler (may send follow-up messages).
@@ -103,6 +126,11 @@ class AttestedSession {
   /// Flight recorder notified of session failures (postmortem trail).
   void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
 
+  /// Invoked (after state moves to kFailed) whenever the session fails —
+  /// lets a driver treat session death as a node-liveness signal.
+  using OnFailure = std::function<void(const Status&)>;
+  void set_on_failure(OnFailure fn) { on_failure_ = std::move(fn); }
+
  private:
   // Wire record types (first byte of every session message).
   static constexpr std::uint8_t kHello = 1;
@@ -124,6 +152,11 @@ class AttestedSession {
   void handle_hello_reply(const Message& message);
   void handle_finish(const Message& message);
   void handle_data(const Message& message);
+  /// (Re)arms the retransmit timer for the current awaiting state.
+  void arm_retransmit();
+  void on_retransmit_timer(std::uint64_t generation);
+  /// Marks establishment, bumping established / rehandshake counters.
+  void mark_established();
 
   Role role_;
   Config config_;
@@ -133,10 +166,26 @@ class AttestedSession {
   std::optional<crypto::SecureChannel> channel_;
   OnRecord on_record_;
   OnRecordCtx on_record_ctx_;
+  OnFailure on_failure_;
   obs::FlightRecorder* flight_ = nullptr;
+
+  // Retransmit state: the last handshake message this side sent (re-sent
+  // verbatim on timer or on a duplicate from the peer), the peer's last
+  // Hello key (to tell retransmit from rekey), and a generation counter
+  // that invalidates timers armed for superseded states.
+  Bytes cached_hello_wire_;
+  Bytes cached_reply_wire_;
+  Bytes cached_finish_wire_;
+  crypto::X25519Key peer_hello_key_{};
+  bool have_peer_hello_key_ = false;
+  std::uint64_t timer_generation_ = 0;
+  std::size_t retries_left_ = 0;
+  bool established_once_ = false;
 
   obs::Counter* obs_established_ = nullptr;
   obs::Counter* obs_failed_ = nullptr;
+  obs::Counter* obs_rehandshakes_ = nullptr;
+  obs::Counter* obs_retransmits_ = nullptr;
   obs::Counter* obs_records_sent_ = nullptr;
   obs::Counter* obs_records_received_ = nullptr;
   obs::Counter* obs_records_rejected_ = nullptr;

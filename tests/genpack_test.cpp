@@ -327,6 +327,104 @@ TEST(Simulator, BatchOnlyServersCauseNoInterference) {
   EXPECT_DOUBLE_EQ(report.interference_container_hours, 0.0);
 }
 
+// --------------------------------------------- integer accounting / EPC
+
+TEST(Server, ChurnOfFractionalDemandsDoesNotDrift) {
+  // Regression: with double accounting, 10k place/remove cycles of a
+  // 0.1-core container accumulate ~1e-12 residue, and a container that
+  // exactly fills the remaining capacity starts getting rejected.
+  Server server(0, {});
+  server.place(spec("resident", ContainerClass::kService, 0.5, 0.5, 0, 0));
+  for (int i = 0; i < 10'000; ++i) {
+    server.place(spec("churn", ContainerClass::kBatch, 0.1, 0.1, 0, 60));
+    ASSERT_TRUE(server.remove("churn"));
+  }
+  EXPECT_EQ(server.cpu_used(), 0.5);  // exact, not approximately
+  EXPECT_EQ(server.mem_used(), 0.5);
+  // Exact fill of the remaining 15.5 cores must still be accepted.
+  EXPECT_TRUE(server.can_fit(spec("fill", ContainerClass::kBatch, 15.5, 63.5, 0, 60)));
+  EXPECT_FALSE(server.can_fit(spec("over", ContainerClass::kBatch, 15.501, 1.0, 0, 60)));
+}
+
+ContainerSpec enclave_spec(const std::string& id, double cpu, double epc) {
+  ContainerSpec c = spec(id, ContainerClass::kService, cpu, 1.0, 0, 0);
+  c.epc_mb = epc;
+  return c;
+}
+
+TEST(Server, EpcCapacityEnforced) {
+  ServerConfig sgx_cfg;
+  sgx_cfg.epc_capacity = 93.0;
+  Server sgx_server(0, sgx_cfg);
+  Server plain(1, {});  // epc_capacity 0: no SGX
+
+  EXPECT_TRUE(sgx_server.sgx_capable());
+  EXPECT_FALSE(plain.sgx_capable());
+  // An enclave container never fits a plain server, however empty.
+  EXPECT_FALSE(plain.can_fit(enclave_spec("e", 0.1, 1.0)));
+  EXPECT_TRUE(plain.can_fit(spec("p", ContainerClass::kBatch, 0.1, 0.1, 0, 60)));
+
+  ASSERT_TRUE(sgx_server.can_fit(enclave_spec("e1", 1.0, 90.0)));
+  sgx_server.place(enclave_spec("e1", 1.0, 90.0));
+  EXPECT_FALSE(sgx_server.can_fit(enclave_spec("e2", 1.0, 4.0)));  // EPC, not CPU
+  EXPECT_TRUE(sgx_server.can_fit(enclave_spec("e3", 1.0, 3.0)));
+  EXPECT_EQ(sgx_server.epc_free_milli(), 3'000);
+}
+
+TEST(Server, FailEvacuatesContainersAndRejectsPlacements) {
+  Server server(0, {});
+  server.place(spec("a", ContainerClass::kBatch, 2, 2, 0, 60));
+  server.place(spec("b", ContainerClass::kService, 1, 1, 0, 0));
+  auto evacuated = server.fail();
+  EXPECT_TRUE(server.failed());
+  EXPECT_FALSE(server.powered_on());
+  ASSERT_EQ(evacuated.size(), 2u);
+  EXPECT_TRUE(evacuated.count("a") == 1 && evacuated.count("b") == 1);
+  EXPECT_FALSE(server.can_fit(spec("c", ContainerClass::kBatch, 0.1, 0.1, 0, 60)));
+  EXPECT_EQ(server.container_count(), 0u);
+}
+
+TEST(EpcAwareBestFit, EnclaveGoesToTightestEpcFit) {
+  ServerConfig sgx_cfg;
+  sgx_cfg.epc_capacity = 93.0;
+  std::vector<Server> servers{Server(0, sgx_cfg), Server(1, sgx_cfg), Server(2, {})};
+  servers[0].place(enclave_spec("warm", 1.0, 80.0));  // 13 MB EPC left
+  // Server 1 untouched: 93 MB left. Tightest fit for a 10 MB enclave is 0.
+  EpcAwareBestFitScheduler epc;
+  auto pick = epc.place(enclave_spec("new", 1.0, 10.0), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);
+  // A 20 MB enclave no longer fits server 0's EPC: falls to server 1.
+  pick = epc.place(enclave_spec("big", 1.0, 20.0), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+  // Never the non-SGX server.
+  pick = epc.place(enclave_spec("any", 1.0, 1.0), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_NE(*pick, 2u);
+}
+
+TEST(EpcAwareBestFit, PlainContainersSpareSgxServers) {
+  ServerConfig sgx_cfg;
+  sgx_cfg.epc_capacity = 93.0;
+  std::vector<Server> servers{Server(0, sgx_cfg), Server(1, {})};
+  EpcAwareBestFitScheduler epc;
+  // Plain container: prefers the non-SGX server even though server 0 is
+  // just as empty (EPC machines are reserved for enclaves).
+  auto pick = epc.place(spec("plain", ContainerClass::kBatch, 4, 4, 0, 60), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+  // Overflow: once the plain server is full, spill onto the SGX one.
+  servers[1].place(spec("hog", ContainerClass::kService, 14, 60, 0, 0));
+  pick = epc.place(spec("spill", ContainerClass::kBatch, 4, 4, 0, 60), servers);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);
+  // Failed servers are excluded entirely.
+  (void)servers[0].fail();
+  EXPECT_FALSE(epc.place(spec("x", ContainerClass::kBatch, 4, 4, 0, 60), servers)
+                   .has_value());
+}
+
 TEST(Simulator, GenPackReducesNoisyNeighbourExposure) {
   const auto trace = generate_trace(TraceConfig{}, 42);
   BestFitScheduler best_fit;

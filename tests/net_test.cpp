@@ -472,6 +472,117 @@ TEST(AttestedSession, RejectsAllZeroClientPublicKey) {
   EXPECT_EQ(responder.failure().error().code, ErrorCode::kProtocolError);
 }
 
+TEST(AttestedSession, RetransmitSurvivesHandshakeLoss) {
+  SessionRig rig;
+  rig.platform_a->provision(rig.service);
+  rig.platform_b->provision(rig.service);
+  FaultInjector faults(5, &rig.clock);
+  rig.fabric.set_fault_injector(&faults);
+  obs::Registry registry;
+
+  auto config_a = rig.config(rig.a, rig.b, *rig.platform_a, rig.enclave_a);
+  auto config_b = rig.config(rig.b, rig.a, *rig.platform_b, rig.enclave_b);
+  config_a.retry = {.retransmit_timeout_ns = 1'000'000, .max_retries = 8};
+  config_b.retry = config_a.retry;
+  net::AttestedSession responder(net::AttestedSession::Role::kResponder, config_b);
+  net::AttestedSession initiator(net::AttestedSession::Role::kInitiator, config_a);
+  responder.set_obs(&registry);
+  initiator.set_obs(&registry);
+  ASSERT_TRUE(responder.bind().ok());
+  ASSERT_TRUE(initiator.bind().ok());
+
+  // The first two frames on the wire are handshake frames, both lost.
+  // Without the retransmit timer the handshake hangs silently forever.
+  faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 1.0, .max_fires = 2});
+  ASSERT_TRUE(initiator.start().ok());
+  rig.fabric.run_until_idle();
+
+  ASSERT_TRUE(initiator.established()) << initiator.failure().error().message;
+  ASSERT_TRUE(responder.established()) << responder.failure().error().message;
+  EXPECT_GE(registry.counter("net_session_handshake_retransmits_total").value(), 2u);
+
+  // The channel works despite the rocky start.
+  Bytes at_responder;
+  responder.set_on_record([&](Bytes p) { at_responder = std::move(p); });
+  ASSERT_TRUE(initiator.send(bytes_of("after-loss")).ok());
+  rig.fabric.run_until_idle();
+  EXPECT_EQ(at_responder, bytes_of("after-loss"));
+}
+
+TEST(AttestedSession, RetransmitBudgetExhaustsAsTypedFailure) {
+  SessionRig rig;
+  rig.platform_a->provision(rig.service);
+  rig.platform_b->provision(rig.service);
+
+  auto config_a = rig.config(rig.a, rig.b, *rig.platform_a, rig.enclave_a);
+  config_a.retry = {.retransmit_timeout_ns = 1'000'000, .max_retries = 3};
+  net::AttestedSession responder(
+      net::AttestedSession::Role::kResponder,
+      rig.config(rig.b, rig.a, *rig.platform_b, rig.enclave_b));
+  net::AttestedSession initiator(net::AttestedSession::Role::kInitiator, config_a);
+  ASSERT_TRUE(responder.bind().ok());
+  ASSERT_TRUE(initiator.bind().ok());
+
+  Status seen_failure;
+  initiator.set_on_failure([&](const Status& s) { seen_failure = s; });
+
+  // Total blackout: every retransmit is swallowed. The budget must
+  // exhaust into a *typed* failure with the fabric idle — not an
+  // infinite retransmit storm, not a silent hang.
+  ASSERT_TRUE(rig.fabric.set_partitioned(rig.a, rig.b, true).ok());
+  ASSERT_TRUE(initiator.start().ok());
+  rig.fabric.run_until_idle();
+
+  EXPECT_EQ(initiator.state(), net::AttestedSession::State::kFailed);
+  EXPECT_EQ(initiator.failure().error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(seen_failure.error().code, ErrorCode::kUnavailable);
+  EXPECT_TRUE(rig.fabric.idle());
+}
+
+TEST(AttestedSession, RehandshakeRotatesKeysOnLiveChannel) {
+  SessionRig rig;
+  rig.platform_a->provision(rig.service);
+  rig.platform_b->provision(rig.service);
+  obs::Registry registry;
+
+  net::AttestedSession responder(
+      net::AttestedSession::Role::kResponder,
+      rig.config(rig.b, rig.a, *rig.platform_b, rig.enclave_b));
+  net::AttestedSession initiator(
+      net::AttestedSession::Role::kInitiator,
+      rig.config(rig.a, rig.b, *rig.platform_a, rig.enclave_a));
+  responder.set_obs(&registry);
+  initiator.set_obs(&registry);
+  ASSERT_TRUE(responder.bind().ok());
+  ASSERT_TRUE(initiator.bind().ok());
+  ASSERT_TRUE(initiator.start().ok());
+  rig.fabric.run_until_idle();
+  ASSERT_TRUE(initiator.established());
+  const auto old_transcript = initiator.transcript_hash();
+
+  ASSERT_TRUE(initiator.rehandshake().ok());
+  rig.fabric.run_until_idle();
+
+  // Fresh ephemeral keys, fresh transcript — and both ends agree on it.
+  ASSERT_TRUE(initiator.established()) << initiator.failure().error().message;
+  ASSERT_TRUE(responder.established()) << responder.failure().error().message;
+  EXPECT_NE(initiator.transcript_hash(), old_transcript);
+  EXPECT_EQ(initiator.transcript_hash(), responder.transcript_hash());
+  // Both ends share the registry: the initiator counts its rehandshake()
+  // and the responder counts the rekey it performs on the fresh Hello.
+  EXPECT_EQ(registry.counter("net_session_rehandshakes_total").value(), 2u);
+
+  // Records flow under the rotated keys, both directions.
+  Bytes at_responder, at_initiator;
+  responder.set_on_record([&](Bytes p) { at_responder = std::move(p); });
+  initiator.set_on_record([&](Bytes p) { at_initiator = std::move(p); });
+  ASSERT_TRUE(initiator.send(bytes_of("rotated")).ok());
+  ASSERT_TRUE(responder.send(bytes_of("indeed")).ok());
+  rig.fabric.run_until_idle();
+  EXPECT_EQ(at_responder, bytes_of("rotated"));
+  EXPECT_EQ(at_initiator, bytes_of("indeed"));
+}
+
 // ---------------------------------------------------------------- FlowNode
 
 TEST(Flow, RecoversEveryPayloadOverLossyLink) {
@@ -548,6 +659,73 @@ TEST(Flow, AbandonedGapSurfacesAsTypedFailure) {
   EXPECT_EQ(receiver.health().error().code, ErrorCode::kUnavailable);
   ASSERT_FALSE(sender.health().ok());
   EXPECT_EQ(sender.health().error().code, ErrorCode::kUnavailable);
+  EXPECT_TRUE(fabric.idle());
+}
+
+TEST(Flow, QuiesceStopsCountersAndNotifiesPeers) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+
+  const Bytes key(16, 0x77);
+  bigdata::FlowNode sender(fabric, a, key);
+  bigdata::FlowNode receiver(fabric, b, key);
+  receiver.set_on_payload([](net::NodeId, Bytes) {});
+  ASSERT_TRUE(sender.send(b, patterned(2000, 3)).ok());
+  fabric.run_until_idle();
+  ASSERT_EQ(receiver.stats().payloads_delivered, 1u);
+
+  // b's process dies: last-gasp kDead, then total silence.
+  net::NodeId pronounced_dead = 0;
+  sender.set_on_peer_dead([&](net::NodeId peer) { pronounced_dead = peer; });
+  const bigdata::FlowStats frozen = receiver.stats();
+  receiver.quiesce();
+  EXPECT_TRUE(receiver.quiesced());
+  fabric.run_until_idle();
+
+  // The kDead reached a: peer declared dead exactly once, sends fail typed.
+  EXPECT_EQ(pronounced_dead, b);
+  EXPECT_EQ(sender.send(b, patterned(64, 1)).error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(sender.health().error().code, ErrorCode::kUnavailable);
+
+  // Frames aimed at the dead node are not parsed and bump NOTHING — the
+  // counter bit-identity guarantee for chaos runs.
+  (void)fabric.send(a, b, bigdata::FlowConfig{}.chunk_channel, patterned(128, 9));
+  (void)fabric.send(a, b, bigdata::FlowConfig{}.control_channel, patterned(9, 1));
+  fabric.run_until_idle();
+  EXPECT_EQ(receiver.stats(), frozen);
+  EXPECT_TRUE(fabric.idle());
+
+  // Abandoning the dead peer clears the sender's health.
+  sender.abandon_peer(b);
+  EXPECT_TRUE(sender.health().ok());
+}
+
+TEST(Flow, BeaconThresholdDetectsSilentPeer) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  ASSERT_TRUE(fabric.connect(a, b).ok());
+
+  const Bytes key(16, 0x31);
+  bigdata::FlowConfig fc;
+  fc.beacon_death_threshold = 3;
+  bigdata::FlowNode sender(fabric, a, key, fc);
+  // No flow endpoint on b at all: the peer is silently gone — no kDead
+  // will ever arrive, only the beacon threshold can catch it.
+  net::NodeId pronounced_dead = 0;
+  sender.set_on_peer_dead([&](net::NodeId peer) { pronounced_dead = peer; });
+
+  ASSERT_TRUE(sender.send(b, patterned(4096, 2)).ok());
+  fabric.run_until_idle();  // must terminate: beacons are bounded
+
+  EXPECT_EQ(pronounced_dead, b);
+  ASSERT_FALSE(sender.health().ok());
+  EXPECT_EQ(sender.health().error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(sender.stats().beacons_sent, 3u);
   EXPECT_TRUE(fabric.idle());
 }
 
@@ -1093,6 +1271,9 @@ std::string run_postmortem_job(std::size_t threads) {
   config.flow.chunk_size = 256;
   config.flow.retransmit_buffer_chunks = 1;
   config.flow.recovery.max_nacks_per_gap = 3;
+  // This test *wants* the typed failure: recovery would re-execute the
+  // lost task and rescue the job.
+  config.recovery.enabled = false;
   bigdata::DistributedMapReduce driver(fabric, config);
   driver.enable_cluster_obs();
   Status setup = driver.setup(service);
@@ -1128,6 +1309,277 @@ TEST(DistributedTrace, PostmortemFlightDumpIsDeterministic) {
   EXPECT_NE(one.find("net-loss"), std::string::npos);  // observer-mirrored
   EXPECT_NE(one.find("dead_stream"), std::string::npos);  // flow's own event
   EXPECT_EQ(one, run_postmortem_job(4));
+}
+
+// ------------------------------------- worker-death recovery / speculation
+
+struct ChaosRun {
+  bool ok = false;
+  std::string error;
+  bigdata::JobResult result;
+  std::string obs_v2;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t tasks_reexecuted = 0;
+};
+
+/// Word count in cluster-obs mode with loss+reorder armed and (optionally)
+/// worker 1 killed at a fixed point of fabric time mid-job.
+ChaosRun run_chaos_kill_job(std::uint64_t seed, std::size_t threads,
+                            std::uint64_t kill_delay_ns, bool with_faults) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(seed, &clock);
+  sgx::AttestationService service;
+
+  bigdata::DistributedMapReduceConfig config;
+  config.num_workers = 4;
+  config.num_reducers = 5;
+  config.enable_combiner = true;
+  // Stretch map and reduce across enough fabric time that the kill
+  // delays below land mid-map / mid-shuffle deterministically.
+  config.map_compute_ns_per_record = 500'000;
+  config.reduce_compute_ns_per_pair = 50'000;
+  bigdata::DistributedMapReduce driver(fabric, config);
+  driver.enable_cluster_obs();
+  Status setup = driver.setup(service);
+  EXPECT_TRUE(setup.ok()) << (setup.ok() ? "" : setup.error().message);
+
+  fabric.set_fault_injector(&faults);
+  if (with_faults) {
+    faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 0.3, .max_fires = 25});
+    faults.arm(FaultKind::kNetReorder,
+               FaultArm{.probability = 0.2, .max_fires = 15});
+  }
+
+  std::vector<std::vector<Bytes>> encrypted;
+  for (const auto& partition : word_partitions()) {
+    encrypted.push_back(driver.encrypt_partition(partition));
+  }
+  common::ThreadPool pool(threads);
+  driver.set_pool(threads <= 1 ? nullptr : &pool);
+  if (kill_delay_ns > 0) driver.schedule_worker_kill(1, kill_delay_ns);
+
+  auto result = driver.run(encrypted, word_count_map(), sum_reduce());
+  ChaosRun out;
+  out.ok = result.ok();
+  if (result.ok()) {
+    out.result = std::move(*result);
+  } else {
+    out.error = result.error().message;
+  }
+  out.worker_deaths = driver.coordinator_obs()
+                          ->registry.counter("dist_mapreduce_worker_deaths_total")
+                          .value();
+  out.tasks_reexecuted =
+      driver.coordinator_obs()
+          ->registry.counter("dist_mapreduce_tasks_reexecuted_total")
+          .value();
+  auto snapshot = driver.collect_cluster_snapshot();
+  EXPECT_TRUE(snapshot.ok()) << (snapshot.ok() ? "" : snapshot.error().message);
+  if (snapshot.ok()) out.obs_v2 = snapshot->to_obs_json();
+  return out;
+}
+
+void expect_chaos_runs_identical(const ChaosRun& a, const ChaosRun& b) {
+  EXPECT_EQ(a.result.output, b.result.output);
+  EXPECT_EQ(a.result.stats.input_records, b.result.stats.input_records);
+  EXPECT_EQ(a.result.stats.intermediate_pairs, b.result.stats.intermediate_pairs);
+  EXPECT_EQ(a.result.stats.shuffle_bytes, b.result.stats.shuffle_bytes);
+  EXPECT_EQ(a.result.stats.enclave_transitions,
+            b.result.stats.enclave_transitions);
+  EXPECT_EQ(a.result.stats.simulated_cycles, b.result.stats.simulated_cycles);
+  // Strongest form: the merged per-node obs v2 export (every counter on
+  // every surviving node) byte-for-byte.
+  EXPECT_EQ(a.obs_v2, b.obs_v2);
+}
+
+// Tentpole acceptance: a worker killed MID-MAP with loss+reorder armed.
+// The job must still complete with output equal to the failure-free run,
+// and the whole thing must be bit-identical at 1 vs 8 threads.
+TEST(DistributedRecovery, KilledWorkerMidMapRecoversDeterministically) {
+  const std::uint64_t seed = 0xD1E5;
+  const std::uint64_t kill_ns = 1'500'000;  // inside worker 1's map compute
+  const ChaosRun serial = run_chaos_kill_job(seed, 1, kill_ns, true);
+  const ChaosRun pooled = run_chaos_kill_job(seed, 8, kill_ns, true);
+  const ChaosRun clean = run_chaos_kill_job(seed, 1, /*kill=*/0, false);
+
+  ASSERT_TRUE(serial.ok) << serial.error;
+  ASSERT_TRUE(pooled.ok) << pooled.error;
+  ASSERT_TRUE(clean.ok) << clean.error;
+
+  // Recovery actually ran.
+  EXPECT_GE(serial.worker_deaths, 1u);
+  EXPECT_GE(serial.tasks_reexecuted, 1u);
+
+  // Same output as if the worker had never died — epoch-baked nonces
+  // make the re-executed task byte-identical, dedup keeps stats exact.
+  EXPECT_EQ(serial.result.output, expected_word_counts());
+  EXPECT_EQ(serial.result.output, clean.result.output);
+  EXPECT_EQ(serial.result.stats.input_records, clean.result.stats.input_records);
+  EXPECT_EQ(serial.result.stats.intermediate_pairs,
+            clean.result.stats.intermediate_pairs);
+  EXPECT_EQ(serial.result.stats.shuffle_bytes, clean.result.stats.shuffle_bytes);
+  EXPECT_EQ(serial.result.stats.enclave_transitions,
+            clean.result.stats.enclave_transitions);
+
+  expect_chaos_runs_identical(serial, pooled);
+}
+
+// Same, but the worker dies MID-SHUFFLE: its map finished and reported,
+// yet its produced blocks died with it, so its task re-executes anyway
+// and its reduce bundle moves to a survivor.
+TEST(DistributedRecovery, KilledWorkerMidShuffleRecoversDeterministically) {
+  const std::uint64_t seed = 0x5AFE;
+  const std::uint64_t kill_ns = 3'600'000;  // after map, inside the shuffle
+  const ChaosRun serial = run_chaos_kill_job(seed, 1, kill_ns, true);
+  const ChaosRun pooled = run_chaos_kill_job(seed, 8, kill_ns, true);
+  const ChaosRun clean = run_chaos_kill_job(seed, 1, /*kill=*/0, false);
+
+  ASSERT_TRUE(serial.ok) << serial.error;
+  ASSERT_TRUE(pooled.ok) << pooled.error;
+  ASSERT_TRUE(clean.ok) << clean.error;
+  EXPECT_GE(serial.worker_deaths, 1u);
+  EXPECT_EQ(serial.result.output, expected_word_counts());
+  EXPECT_EQ(serial.result.output, clean.result.output);
+  EXPECT_EQ(serial.result.stats.shuffle_bytes, clean.result.stats.shuffle_bytes);
+  expect_chaos_runs_identical(serial, pooled);
+}
+
+TEST(DistributedRecovery, SetupHandshakesSurviveArmedLoss) {
+  // Loss armed BEFORE setup: the handshake retransmit timers (wired by
+  // RecoveryConfig) must repair the lost handshake frames; pre-PR this
+  // hung the fabric or failed setup outright.
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(3, &clock);
+  fabric.set_fault_injector(&faults);
+  faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 1.0, .max_fires = 2});
+  sgx::AttestationService service;
+
+  bigdata::DistributedMapReduceConfig config;
+  config.num_workers = 3;
+  config.num_reducers = 3;
+  bigdata::DistributedMapReduce driver(fabric, config);
+  ASSERT_TRUE(driver.setup(service).ok());
+
+  std::vector<std::vector<Bytes>> encrypted;
+  for (const auto& partition : word_partitions()) {
+    encrypted.push_back(driver.encrypt_partition(partition));
+  }
+  auto result = driver.run(encrypted, word_count_map(), sum_reduce());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result->output, expected_word_counts());
+}
+
+TEST(DistributedRecovery, IntegrityFailureAbortsAndQuiescesDeterministically) {
+  // A tampered input record is an *attack*, not a crash: the victim
+  // worker must abort the job (typed integrity error), NOT recover —
+  // and its quiesced counters must leave the obs surface bit-identical
+  // across thread counts.
+  auto run_once = [](std::size_t threads) {
+    SimClock clock;
+    net::Fabric fabric(clock);
+    sgx::AttestationService service;
+    bigdata::DistributedMapReduceConfig config;
+    config.num_workers = 3;
+    config.num_reducers = 3;
+    bigdata::DistributedMapReduce driver(fabric, config);
+    driver.enable_cluster_obs();
+    EXPECT_TRUE(driver.setup(service).ok());
+
+    std::vector<std::vector<Bytes>> encrypted;
+    for (const auto& partition : word_partitions()) {
+      encrypted.push_back(driver.encrypt_partition(partition));
+    }
+    encrypted[0][0][8] ^= 0x01;  // integrity violation at worker 0
+
+    common::ThreadPool pool(threads);
+    driver.set_pool(threads <= 1 ? nullptr : &pool);
+    auto result = driver.run(encrypted, word_count_map(), sum_reduce());
+    EXPECT_FALSE(result.ok());
+    std::string error = result.ok() ? "" : result.error().message;
+    EXPECT_NE(error.find("worker 0"), std::string::npos) << error;
+    auto snapshot = driver.collect_cluster_snapshot();
+    EXPECT_TRUE(snapshot.ok());
+    return std::make_pair(error, snapshot.ok() ? snapshot->to_obs_json() : "");
+  };
+  const auto serial = run_once(1);
+  const auto pooled = run_once(8);
+  ASSERT_FALSE(serial.second.empty());
+  EXPECT_EQ(serial.first, pooled.first);
+  EXPECT_EQ(serial.second, pooled.second);
+}
+
+TEST(DistributedRecovery, SpeculationShiftsCriticalPathOffStraggler) {
+  // Without speculation the 4x-skewed worker 2 dominates the critical
+  // path (StragglerDominatesCriticalPath above). With speculation on,
+  // a copy of its map task launches on a healthy peer, the straggler's
+  // execution is cancelled, and the analyzer must no longer name
+  // worker-2 as dominant.
+  SimClock clock;
+  net::Fabric fabric(clock);
+  sgx::AttestationService service;
+
+  bigdata::DistributedMapReduceConfig config;
+  config.num_workers = 4;
+  config.num_reducers = 5;
+  config.enable_combiner = true;
+  config.map_compute_ns_per_record = 1'000'000;
+  // Slack low enough that the copy launches (and the straggler's span is
+  // cancelled) well before the straggler would have finished; with 50%
+  // slack the cancelled span alone still out-weighs a full healthy map.
+  config.speculation.enabled = true;
+  config.speculation.slack_percent = 10;
+  bigdata::DistributedMapReduce driver(fabric, config);
+  driver.enable_cluster_obs();
+  ASSERT_TRUE(driver.setup(service).ok());
+  fabric.enable_delivery_log();
+  ASSERT_TRUE(fabric.set_compute_skew(driver.worker_node(2), 4).ok());
+
+  std::vector<std::vector<Bytes>> encrypted;
+  for (const auto& partition : word_partitions()) {
+    encrypted.push_back(driver.encrypt_partition(partition));
+  }
+  auto result = driver.run(encrypted, word_count_map(), sum_reduce());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result->output, expected_word_counts());
+
+  auto& registry = driver.coordinator_obs()->registry;
+  EXPECT_GE(registry.counter("dist_mapreduce_speculative_launched_total").value(),
+            1u);
+  EXPECT_GE(registry.counter("dist_mapreduce_speculative_wins_total").value(), 1u);
+
+  auto snapshot = driver.collect_cluster_snapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.error().message;
+  const std::vector<std::string> names = fabric.node_names();
+  obs::CriticalPathOptions opts;
+  opts.deliveries = &fabric.deliveries();
+  opts.node_names = &names;
+  auto report = obs::critical_path(*snapshot, opts);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_NE(report->dominant_node, "worker-2");
+}
+
+TEST(DistributedRecovery, AllWorkersDeadIsTypedUnavailable) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  sgx::AttestationService service;
+  bigdata::DistributedMapReduceConfig config;
+  config.num_workers = 2;
+  config.num_reducers = 2;
+  bigdata::DistributedMapReduce driver(fabric, config);
+  ASSERT_TRUE(driver.setup(service).ok());
+
+  std::vector<std::vector<Bytes>> encrypted;
+  for (const auto& partition : word_partitions()) {
+    encrypted.push_back(driver.encrypt_partition(partition));
+  }
+  driver.schedule_worker_kill(0, 100'000);
+  driver.schedule_worker_kill(1, 200'000);
+  auto result = driver.run(encrypted, word_count_map(), sum_reduce());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kUnavailable);
+  EXPECT_TRUE(fabric.idle());
 }
 
 }  // namespace
