@@ -1,0 +1,213 @@
+// Million-subscription SCBR over the fabric.
+//
+// Builds a 12-broker balanced binary tree of FlowNode-backed brokers
+// (attested sessions per edge, overlay key released root-down), installs
+// a containment-rich subscription workload — 1M subscriptions in full
+// mode — and then drives sustained publish traffic with publish_batch
+// across a thread pool. Reports:
+//   * build: install rate, covering-suppression ratio, routing-table
+//     sizes (remote entries per broker, containment-index shards) —
+//     the paper-scale evidence that per-link tables stay sublinear in
+//     the subscription count;
+//   * publish: event rate, deliveries and hops per event — sustained
+//     matching against the full table over the fabric.
+//
+// Flags: --subs N (default 1'000'000), --threads N (publish pool,
+// default 8), --smoke (20k subscriptions, same output shape).
+// Last line: one securecloud.bench.v1 record (CI validates its shape).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "bench_json.hpp"
+#include "common/thread_pool.hpp"
+#include "net/fabric.hpp"
+#include "obs/registry.hpp"
+#include "scbr/fabric_overlay.hpp"
+#include "scbr/workload.hpp"
+#include "sgx/attestation.hpp"
+
+namespace {
+
+using namespace securecloud;
+
+std::size_t g_subs = 1'000'000;
+int g_threads = 8;
+bool g_smoke = false;
+
+constexpr std::size_t kBrokers = 12;
+constexpr std::size_t kDrainEvery = 4096;  // amortize fabric settling
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Balanced binary tree over kBrokers: children of i are 2i+1, 2i+2.
+std::vector<std::pair<scbr::BrokerId, scbr::BrokerId>> binary_tree() {
+  std::vector<std::pair<scbr::BrokerId, scbr::BrokerId>> links;
+  for (scbr::BrokerId i = 0; 2 * i + 1 < kBrokers; ++i) {
+    links.emplace_back(i, 2 * i + 1);
+    if (2 * i + 2 < kBrokers) links.emplace_back(i, 2 * i + 2);
+  }
+  return links;
+}
+
+void bench_overlay() {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  sgx::AttestationService service;
+  obs::Registry registry;
+
+  scbr::FabricOverlayConfig config;
+  config.broker_count = kBrokers;
+  config.links = binary_tree();
+  config.record_deliveries = false;  // millions of deliveries: count, don't store
+
+  scbr::FabricOverlay overlay(fabric, config);
+  overlay.set_obs(&registry);  // aggregate registry across all brokers
+  if (Status s = overlay.setup(service); !s.ok()) {
+    std::printf("{\"bench\":\"scbr_overlay_build\",\"error\":\"%s\"}\n",
+                s.error().message.c_str());
+    return;
+  }
+
+  // Containment-rich workload: most subscriptions narrow an existing one,
+  // so covering suppression keeps remote tables far below the install
+  // count — the property that makes a million subscriptions routable.
+  scbr::WorkloadConfig wcfg;
+  wcfg.attribute_universe = 16;
+  wcfg.attributes_per_filter = 3;
+  wcfg.width_fraction = 0.05;  // selective filters: deliveries stay bounded
+  wcfg.hierarchy_fraction = 0.95;
+  wcfg.parent_pool = 4096;
+  scbr::ScbrWorkload workload(wcfg, 17);
+
+  const std::size_t total_subs = g_smoke ? 20'000 : g_subs;
+  bool subscribe_failed = false;
+  const double build_secs = wall_seconds([&] {
+    for (std::size_t id = 1; id <= total_subs; ++id) {
+      if (!overlay.subscribe(id % kBrokers, id, workload.next_filter()).ok()) {
+        subscribe_failed = true;
+        return;
+      }
+      if (id % kDrainEvery == 0) overlay.drain();
+    }
+    overlay.drain();
+  });
+  if (subscribe_failed || !overlay.health().ok()) {
+    std::printf("{\"bench\":\"scbr_overlay_build\",\"error\":\"install failed\"}\n");
+    return;
+  }
+
+  std::size_t installed = 0, remote = 0, shards = 0, max_remote = 0;
+  for (scbr::BrokerId b = 0; b < kBrokers; ++b) {
+    installed += overlay.local_entries(b);
+    remote += overlay.remote_entries(b);
+    shards += overlay.shard_count(b);
+    max_remote = std::max(max_remote, overlay.remote_entries(b));
+  }
+  const scbr::OverlayStats& stats = overlay.stats();
+  const double advert_total = static_cast<double>(stats.subscriptions_forwarded +
+                                                  stats.subscriptions_suppressed);
+  const double suppression_ratio =
+      advert_total == 0
+          ? 0
+          : static_cast<double>(stats.subscriptions_suppressed) / advert_total;
+  registry.gauge("scbr_overlay_installed_subscriptions").set(
+      static_cast<std::int64_t>(installed));
+  registry.gauge("scbr_overlay_remote_entries").set(
+      static_cast<std::int64_t>(remote));
+  registry.gauge("scbr_overlay_max_broker_remote_entries").set(
+      static_cast<std::int64_t>(max_remote));
+  registry.gauge("scbr_overlay_index_shards").set(
+      static_cast<std::int64_t>(shards));
+
+  std::printf(
+      "{\"bench\":\"scbr_overlay_build\",\"brokers\":%zu,\"subscriptions\":%zu,"
+      "\"seconds\":%.3f,\"subs_per_sec\":%.0f,\"forwarded\":%llu,"
+      "\"suppressed\":%llu,\"suppression_ratio\":%.4f,\"table_prunes\":%llu,"
+      "\"remote_entries\":%zu,\"max_broker_remote_entries\":%zu,"
+      "\"index_shards\":%zu,\"sim_ms\":%.3f}\n",
+      kBrokers, installed, build_secs,
+      static_cast<double>(installed) / build_secs,
+      static_cast<unsigned long long>(stats.subscriptions_forwarded),
+      static_cast<unsigned long long>(stats.subscriptions_suppressed),
+      suppression_ratio, static_cast<unsigned long long>(stats.table_prunes),
+      remote, max_remote, shards, static_cast<double>(fabric.now_ns()) / 1e6);
+
+  // --- sustained publish traffic over the full table ---------------------
+  common::ThreadPool pool(static_cast<std::size_t>(g_threads < 1 ? 1 : g_threads));
+  // Per-event cost grows with the routing tables (every link consult is a
+  // scan of that link's antichain), so the wave volume stays fixed and the
+  // bench reports per-event rates.
+  const std::size_t waves = 8;
+  const std::size_t per_wave = 64;
+  const std::uint64_t hops_before = stats.publication_hops;
+  const std::uint64_t deliveries_before = stats.deliveries;
+  bool publish_failed = false;
+  const double publish_secs = wall_seconds([&] {
+    for (std::size_t w = 0; w < waves; ++w) {
+      std::vector<scbr::Event> events;
+      events.reserve(per_wave);
+      for (std::size_t i = 0; i < per_wave; ++i) {
+        events.push_back(workload.next_event());
+      }
+      // Rotate the origin across leaves and the root: every publication
+      // has to climb the tree toward whatever tables match.
+      const scbr::BrokerId origin = (w * 5) % kBrokers;
+      if (!overlay.publish_batch(origin, events, &pool).ok()) {
+        publish_failed = true;
+        return;
+      }
+      overlay.drain();
+    }
+  });
+  if (publish_failed || !overlay.health().ok()) {
+    std::printf("{\"bench\":\"scbr_overlay_publish\",\"error\":\"publish failed\"}\n");
+    return;
+  }
+
+  const std::size_t total_events = waves * per_wave;
+  const std::uint64_t hops = stats.publication_hops - hops_before;
+  const std::uint64_t deliveries = stats.deliveries - deliveries_before;
+  std::printf(
+      "{\"bench\":\"scbr_overlay_publish\",\"events\":%zu,\"seconds\":%.3f,"
+      "\"events_per_sec\":%.0f,\"deliveries\":%llu,\"deliveries_per_event\":%.2f,"
+      "\"hops\":%llu,\"hops_per_event\":%.2f,\"sim_ms\":%.3f}\n",
+      total_events, publish_secs, static_cast<double>(total_events) / publish_secs,
+      static_cast<unsigned long long>(deliveries),
+      static_cast<double>(deliveries) / static_cast<double>(total_events),
+      static_cast<unsigned long long>(hops),
+      static_cast<double>(hops) / static_cast<double>(total_events),
+      static_cast<double>(fabric.now_ns()) / 1e6);
+
+  benchutil::emit_bench_json("scbr_overlay", static_cast<std::size_t>(g_threads),
+                             registry);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--subs") == 0 && i + 1 < argc) {
+      g_subs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strncmp(argv[i], "--subs=", 7) == 0) {
+      g_subs = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    }
+  }
+  bench_overlay();
+  return 0;
+}

@@ -17,12 +17,16 @@ FlowNode::FlowNode(net::Fabric& fabric, net::NodeId self, ByteView key,
 void FlowNode::set_obs(obs::Registry* registry) {
   registry_ = registry;
   if (registry == nullptr) {
-    obs_payloads_sent_ = obs_payloads_delivered_ = obs_chunks_sent_ =
-        obs_nacks_sent_ = obs_retransmits_ = obs_beacons_sent_ = nullptr;
+    obs_payloads_sent_ = obs_payloads_delivered_ = obs_payload_bytes_sent_ =
+        obs_payload_bytes_delivered_ = obs_chunks_sent_ = obs_nacks_sent_ =
+            obs_retransmits_ = obs_beacons_sent_ = nullptr;
     return;
   }
   obs_payloads_sent_ = &registry->counter("net_flow_payloads_sent_total");
   obs_payloads_delivered_ = &registry->counter("net_flow_payloads_delivered_total");
+  obs_payload_bytes_sent_ = &registry->counter("net_flow_payload_bytes_sent_total");
+  obs_payload_bytes_delivered_ =
+      &registry->counter("net_flow_payload_bytes_delivered_total");
   obs_chunks_sent_ = &registry->counter("net_flow_chunks_sent_total");
   obs_nacks_sent_ = &registry->counter("net_flow_nacks_sent_total");
   obs_retransmits_ = &registry->counter("net_flow_retransmits_total");
@@ -124,6 +128,10 @@ Status FlowNode::send(net::NodeId dst, ByteView payload,
   }
   ++stats_.payloads_sent;
   bump(obs_payloads_sent_);
+  stats_.payload_bytes_sent += payload.size();
+  if (obs_payload_bytes_sent_ != nullptr) {
+    obs_payload_bytes_sent_->inc(payload.size());
+  }
   arm_timer();
   return {};
 }
@@ -158,6 +166,10 @@ void FlowNode::on_chunk(const net::Message& message) {
     for (Bytes& payload : *payloads) {
       ++stats_.payloads_delivered;
       bump(obs_payloads_delivered_);
+      stats_.payload_bytes_delivered += payload.size();
+      if (obs_payload_bytes_delivered_ != nullptr) {
+        obs_payload_bytes_delivered_->inc(payload.size());
+      }
       if (on_payload_ctx_) {
         on_payload_ctx_(message.src, std::move(payload), trace);
       } else if (on_payload_) {

@@ -51,6 +51,11 @@ struct FlowConfig {
 struct FlowStats {
   std::uint64_t payloads_sent = 0;
   std::uint64_t payloads_delivered = 0;
+  /// Application payload volume (pre-chunking plaintext bytes), the
+  /// number bandwidth budgeting wants; chunk counters below measure the
+  /// wire including retransmits.
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t payload_bytes_delivered = 0;
   std::uint64_t chunks_sent = 0;
   std::uint64_t nacks_sent = 0;
   std::uint64_t retransmits = 0;
@@ -194,6 +199,8 @@ class FlowNode {
 
   obs::Counter* obs_payloads_sent_ = nullptr;
   obs::Counter* obs_payloads_delivered_ = nullptr;
+  obs::Counter* obs_payload_bytes_sent_ = nullptr;
+  obs::Counter* obs_payload_bytes_delivered_ = nullptr;
   obs::Counter* obs_chunks_sent_ = nullptr;
   obs::Counter* obs_nacks_sent_ = nullptr;
   obs::Counter* obs_retransmits_ = nullptr;

@@ -4,10 +4,11 @@
 
 namespace securecloud::microservice {
 
-EventBus::EventBus(sgx::Enclave& enclave, scbr::KeyService& keys)
+EventBus::EventBus(sgx::Enclave& enclave, scbr::KeyService& keys,
+                   std::unique_ptr<scbr::MatchEngine> engine)
     : enclave_(enclave), keys_(keys) {
-  router_ = std::make_unique<scbr::ScbrRouter>(
-      enclave_, std::make_unique<scbr::PosetEngine>());
+  if (engine == nullptr) engine = std::make_unique<scbr::PosetEngine>();
+  router_ = std::make_unique<scbr::ScbrRouter>(enclave_, std::move(engine));
 }
 
 BusEndpoint* EventBus::attach(const std::string& service_name) {

@@ -68,8 +68,11 @@ class EventBus {
   /// The bus owns an SCBR router hosted in `enclave`, provisioned against
   /// `keys`. Services must be attached *before* provisioning completes
   /// registering them would require re-provisioning (call attach first,
-  /// then start()).
-  EventBus(sgx::Enclave& enclave, scbr::KeyService& keys);
+  /// then start()). The matching engine is injectable (sharded index for
+  /// subscription-heavy buses); nullptr keeps the PosetEngine default the
+  /// cost-model tests are calibrated against.
+  EventBus(sgx::Enclave& enclave, scbr::KeyService& keys,
+           std::unique_ptr<scbr::MatchEngine> engine = nullptr);
 
   /// Registers a service with the key service and returns its endpoint.
   /// Must be called before start().

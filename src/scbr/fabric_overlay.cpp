@@ -1,0 +1,601 @@
+#include "scbr/fabric_overlay.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "bigdata/mapreduce.hpp"
+
+namespace securecloud::scbr {
+
+namespace {
+/// Validates that `links` form a spanning tree over [0, broker_count):
+/// ids in range, no self-loops or duplicates, acyclic, and — unlike
+/// BrokerOverlay, which accepts any forest — connected, because the
+/// overlay key is released root-down over the edges.
+Status validate_tree(std::size_t broker_count,
+                     const std::vector<std::pair<BrokerId, BrokerId>>& links) {
+  if (broker_count == 0) return Error::invalid_argument("overlay needs a broker");
+  std::vector<BrokerId> parent(broker_count);
+  for (BrokerId i = 0; i < broker_count; ++i) parent[i] = i;
+  const auto find = [&](BrokerId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::set<std::pair<BrokerId, BrokerId>> seen;
+  for (const auto& [a, b] : links) {
+    if (a >= broker_count || b >= broker_count) {
+      return Error::invalid_argument("overlay link references broker " +
+                                     std::to_string(std::max(a, b)) + " of " +
+                                     std::to_string(broker_count));
+    }
+    if (a == b) {
+      return Error::invalid_argument("overlay self-loop at broker " +
+                                     std::to_string(a));
+    }
+    if (!seen.insert({std::min(a, b), std::max(a, b)}).second) {
+      return Error::invalid_argument("duplicate overlay link " + std::to_string(a) +
+                                     "-" + std::to_string(b));
+    }
+    const BrokerId ra = find(a), rb = find(b);
+    if (ra == rb) {
+      return Error::invalid_argument("overlay links contain a cycle through broker " +
+                                     std::to_string(a));
+    }
+    parent[ra] = rb;
+  }
+  if (links.size() + 1 != broker_count) {
+    return Error::invalid_argument(
+        "overlay links do not connect all brokers (spanning tree needs " +
+        std::to_string(broker_count - 1) + " links, got " +
+        std::to_string(links.size()) + ")");
+  }
+  return {};
+}
+}  // namespace
+
+FabricOverlay::FabricOverlay(net::Fabric& fabric, FabricOverlayConfig config)
+    : fabric_(fabric), config_(std::move(config)) {
+  if (config_.links.empty() && config_.broker_count > 1) {
+    for (BrokerId i = 0; i + 1 < config_.broker_count; ++i) {
+      config_.links.emplace_back(i, i + 1);
+    }
+  }
+  topology_ = validate_tree(config_.broker_count, config_.links);
+}
+
+FabricOverlay::~FabricOverlay() = default;
+
+void FabricOverlay::set_obs(obs::Registry* registry) {
+  if (!ready_) shared_registry_ = registry;
+}
+
+void FabricOverlay::wire_counters(Broker& broker, obs::Registry* registry) {
+  if (registry == nullptr) return;
+  broker.obs_forwarded =
+      &registry->counter("scbr_overlay_subscriptions_forwarded_total");
+  broker.obs_suppressed =
+      &registry->counter("scbr_overlay_subscriptions_suppressed_total");
+  broker.obs_prunes = &registry->counter("scbr_overlay_table_prunes_total");
+  broker.obs_hops = &registry->counter("scbr_overlay_publication_hops_total");
+  broker.obs_deliveries = &registry->counter("scbr_overlay_deliveries_total");
+}
+
+Status FabricOverlay::setup(sgx::AttestationService& service) {
+  if (ready_) return Error::protocol("overlay already set up");
+  SC_RETURN_IF_ERROR(topology_);
+
+  // --- brokers: fabric nodes, links, observability -----------------------
+  for (BrokerId i = 0; i < config_.broker_count; ++i) {
+    auto broker = std::make_unique<Broker>();
+    broker->index = i;
+    broker->node = fabric_.add_node("broker-" + std::to_string(i));
+    node_to_broker_[broker->node] = i;
+    brokers_.push_back(std::move(broker));
+  }
+  for (const auto& [a, b] : config_.links) {
+    brokers_[a]->neighbours.push_back(b);
+    brokers_[b]->neighbours.push_back(a);
+    SC_RETURN_IF_ERROR(
+        fabric_.connect(brokers_[a]->node, brokers_[b]->node, config_.link));
+  }
+  for (auto& broker : brokers_) {
+    if (shared_registry_ == nullptr) {
+      broker->onode = std::make_unique<obs::NodeObs>(
+          "broker-" + std::to_string(broker->index), fabric_.clock(),
+          static_cast<std::uint32_t>(broker->node), config_.flight_capacity);
+      wire_counters(*broker, &broker->onode->registry);
+    } else {
+      wire_counters(*broker, shared_registry_);
+    }
+  }
+
+  // --- platforms and enclaves --------------------------------------------
+  // Brokers attest as the canonical worker image — pub/sub matching runs
+  // inside the same measured enclave the MapReduce plane ships.
+  const sgx::EnclaveImage image = bigdata::mapreduce_worker_image();
+  for (auto& broker : brokers_) {
+    sgx::PlatformConfig cfg;
+    cfg.platform_id = "platform-broker-" + std::to_string(broker->index);
+    cfg.entropy_seed = config_.entropy_seed_base + broker->index;
+    broker->platform = std::make_unique<sgx::Platform>(cfg);
+    broker->platform->provision(service);
+    if (broker->onode) {
+      broker->platform->memory().epc().set_flight(&broker->onode->flight);
+    }
+    auto enclave = broker->platform->create_enclave(image);
+    if (!enclave.ok()) return enclave.error();
+    broker->enclave = *enclave;
+    broker->demux = std::make_unique<net::SessionDemux>(fabric_, broker->node,
+                                                        kSessionChannel);
+    SC_RETURN_IF_ERROR(broker->demux->bind());
+  }
+
+  // --- key dissemination down the tree -----------------------------------
+  // The root mints the overlay key; every edge, walked breadth-first from
+  // the root, runs an attested handshake and releases the key through the
+  // sealed session — so a parent always holds the key before any of its
+  // children's edges are established, and no broker joins the data plane
+  // without proving the pinned MRENCLAVE.
+  const sgx::Measurement policy = brokers_[0]->enclave->mrenclave();
+  brokers_[0]->overlay_key = brokers_[0]->platform->entropy().bytes(16);
+  attach_flow(*brokers_[0]);
+
+  std::vector<bool> visited(brokers_.size(), false);
+  visited[0] = true;
+  std::deque<BrokerId> frontier{0};
+  while (!frontier.empty()) {
+    const BrokerId at = frontier.front();
+    frontier.pop_front();
+    for (const BrokerId next : brokers_[at]->neighbours) {
+      if (visited[next]) continue;
+      visited[next] = true;
+      SC_RETURN_IF_ERROR(establish_edge(service, at, next, policy));
+      frontier.push_back(next);
+    }
+  }
+
+  ready_ = true;
+  return {};
+}
+
+Status FabricOverlay::establish_edge(sgx::AttestationService& service,
+                                     BrokerId parent, BrokerId child,
+                                     const sgx::Measurement& policy) {
+  Broker& up = *brokers_[parent];
+  Broker& down = *brokers_[child];
+  const net::AttestedSession::Config::RetryConfig retry{
+      .retransmit_timeout_ns = config_.session_retransmit_timeout_ns,
+      .max_retries = config_.session_max_retries,
+  };
+
+  auto responder = std::make_unique<net::AttestedSession>(
+      net::AttestedSession::Role::kResponder,
+      net::AttestedSession::Config{
+          .fabric = &fabric_,
+          .self = down.node,
+          .peer = up.node,
+          .channel = kSessionChannel,
+          .enclave = down.enclave,
+          .platform = down.platform.get(),
+          .attestation = &service,
+          .expected_peer_mrenclave = policy,
+          .retry = retry,
+      });
+  Broker* down_ptr = &down;
+  responder->set_on_record([this, down_ptr](Bytes record) {
+    on_key_record(*down_ptr, std::move(record));
+  });
+  responder->set_obs(down.onode ? &down.onode->registry : shared_registry_);
+  if (down.onode) responder->set_flight(&down.onode->flight);
+  down.demux->add(up.node, responder.get());
+
+  auto initiator = std::make_unique<net::AttestedSession>(
+      net::AttestedSession::Role::kInitiator,
+      net::AttestedSession::Config{
+          .fabric = &fabric_,
+          .self = up.node,
+          .peer = down.node,
+          .channel = kSessionChannel,
+          .enclave = up.enclave,
+          .platform = up.platform.get(),
+          .attestation = &service,
+          .expected_peer_mrenclave = policy,
+          .retry = retry,
+      });
+  initiator->set_obs(up.onode ? &up.onode->registry : shared_registry_);
+  if (up.onode) initiator->set_flight(&up.onode->flight);
+  up.demux->add(down.node, initiator.get());
+
+  SC_RETURN_IF_ERROR(initiator->start());
+  fabric_.run_until_idle();
+  if (!initiator->established()) {
+    return initiator->failure().ok()
+               ? Error::unavailable("handshake with broker " +
+                                    std::to_string(child) + " did not complete")
+               : initiator->failure().error();
+  }
+  if (!responder->established()) {
+    return responder->failure().ok()
+               ? Error::unavailable("broker " + std::to_string(child) +
+                                    " did not finish the handshake")
+               : responder->failure().error();
+  }
+
+  // The only place the overlay key crosses the wire: one sealed record.
+  Bytes record;
+  put_blob(record, up.overlay_key);
+  SC_RETURN_IF_ERROR(initiator->send(record));
+  fabric_.run_until_idle();
+  if (down.overlay_key.empty()) {
+    return Error::protocol("broker " + std::to_string(child) +
+                           " did not accept the overlay key");
+  }
+  up.sessions[child] = std::move(initiator);
+  down.sessions[parent] = std::move(responder);
+  return {};
+}
+
+void FabricOverlay::on_key_record(Broker& broker, Bytes record) {
+  ByteReader r(record);
+  Bytes key;
+  if (!r.get_blob(key) || !r.done() || key.empty()) return;
+  broker.overlay_key = std::move(key);
+  attach_flow(broker);
+}
+
+void FabricOverlay::attach_flow(Broker& broker) {
+  broker.flow = std::make_unique<bigdata::FlowNode>(fabric_, broker.node,
+                                                    broker.overlay_key,
+                                                    config_.flow);
+  Broker* ptr = &broker;
+  broker.flow->set_on_payload([this, ptr](net::NodeId from, Bytes payload) {
+    on_flow_payload(*ptr, from, std::move(payload));
+  });
+  broker.flow->set_obs(broker.onode ? &broker.onode->registry : shared_registry_);
+  if (broker.onode) broker.flow->set_flight(&broker.onode->flight);
+}
+
+void FabricOverlay::send_payload(Broker& broker, BrokerId to, Bytes payload) {
+  // Delivery failures (dead stream past the NACK budget) surface through
+  // health(); routing does not retry above the flow layer.
+  (void)broker.flow->send(brokers_[to]->node, payload);
+}
+
+void FabricOverlay::on_flow_payload(Broker& broker, net::NodeId from_node,
+                                    Bytes payload) {
+  const auto origin = node_to_broker_.find(from_node);
+  if (origin == node_to_broker_.end()) return;
+  const BrokerId from = origin->second;
+  ByteReader r(payload);
+  std::uint8_t type = 0;
+  if (!r.get_u8(type)) return;
+  switch (type) {
+    case kSubscribe: {
+      std::uint64_t id = 0;
+      Bytes filter_wire;
+      if (!r.get_u64(id) || !r.get_blob(filter_wire) || !r.done()) return;
+      auto filter = Filter::deserialize(filter_wire);
+      if (!filter.ok()) return;
+      handle_subscribe(broker, from, id, *filter);
+      return;
+    }
+    case kRetract: {
+      std::uint64_t id = 0;
+      if (!r.get_u64(id) || !r.done()) return;
+      handle_retract(broker, from, id);
+      return;
+    }
+    case kPublish: {
+      std::uint64_t publication = 0;
+      Bytes event_wire;
+      if (!r.get_u64(publication) || !r.get_blob(event_wire) || !r.done()) return;
+      auto event = Event::deserialize(event_wire);
+      if (!event.ok()) return;
+      handle_publish(broker, from, publication, *event);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void FabricOverlay::advertise_on_link(Broker& broker, BrokerId to,
+                                      SubscriptionId id, const Filter& filter) {
+  ShardedPosetEngine& sent = broker.sent[to];
+  // Sender-side covering suppression: the mirror answers what
+  // BrokerOverlay reads out of the receiver's table directly.
+  if (sent.covered_by_any(filter)) {
+    ++stats_.subscriptions_suppressed;
+    obs_inc(broker.obs_suppressed);
+    return;
+  }
+  // Mirror the receiver's covering-triggered pruning so the tables stay
+  // identical; the receiver counts these prunes, the mirror does not
+  // (one logical prune per link, not two).
+  (void)sent.prune_covered_by(filter);
+  sent.subscribe(id, filter);
+  ++stats_.subscriptions_forwarded;
+  obs_inc(broker.obs_forwarded);
+
+  Bytes wire;
+  put_u8(wire, kSubscribe);
+  put_u64(wire, id);
+  put_blob(wire, filter.serialize());
+  send_payload(broker, to, std::move(wire));
+}
+
+void FabricOverlay::handle_subscribe(Broker& broker, BrokerId from,
+                                     SubscriptionId id, const Filter& filter) {
+  ShardedPosetEngine& recv = broker.recv[from];
+  const std::size_t pruned = recv.prune_covered_by(filter).size();
+  if (pruned != 0) {
+    stats_.table_prunes += pruned;
+    obs_inc(broker.obs_prunes, pruned);
+  }
+  recv.subscribe(id, filter);
+  // Continue the propagation (split horizon: never back toward `from`).
+  for (const BrokerId next : broker.neighbours) {
+    if (next != from) advertise_on_link(broker, next, id, filter);
+  }
+}
+
+std::vector<std::pair<SubscriptionId, const Filter*>> FabricOverlay::advertised(
+    const Broker& broker, BrokerId excluding_link) const {
+  std::vector<std::pair<SubscriptionId, const Filter*>> out;
+  broker.local.for_each([&](SubscriptionId id, const Filter& filter) {
+    out.emplace_back(id, &filter);
+  });
+  for (const auto& [link, entries] : broker.recv) {
+    if (link == excluding_link) continue;
+    entries.for_each([&](SubscriptionId id, const Filter& filter) {
+      out.emplace_back(id, &filter);
+    });
+  }
+  return out;
+}
+
+void FabricOverlay::readvertise_uncovered(Broker& broker, BrokerId to) {
+  const ShardedPosetEngine& sent = broker.sent[to];
+
+  // Uncovering: everything this broker still knows that the retraction
+  // left neither present nor covered on the link must be re-advertised.
+  struct Candidate {
+    SubscriptionId id;
+    const Filter* filter;
+    std::size_t coverers = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [other_id, filter] : advertised(broker, to)) {
+    if (sent.find(other_id) != nullptr) continue;
+    if (sent.covered_by_any(*filter)) continue;
+    candidates.push_back({other_id, filter});
+  }
+  if (candidates.empty()) return;
+
+  // Covering *among the re-advertised set*: broad filters first, so
+  // advertise_on_link suppresses the narrow ones they cover (the
+  // uncovering-inflation fix BrokerOverlay::readvertise_uncovered
+  // documents — same ordering, same reasoning).
+  for (auto& c : candidates) {
+    for (const auto& d : candidates) {
+      if (d.id != c.id && d.filter->covers(*c.filter) &&
+          !c.filter->covers(*d.filter)) {
+        ++c.coverers;
+      }
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.coverers != b.coverers ? a.coverers < b.coverers
+                                                    : a.id < b.id;
+                   });
+  for (const auto& c : candidates) advertise_on_link(broker, to, c.id, *c.filter);
+}
+
+void FabricOverlay::handle_retract(Broker& broker, BrokerId from,
+                                   SubscriptionId id) {
+  if (!broker.recv[from].unsubscribe(id)) {
+    return;  // was suppressed (or pruned) on this link
+  }
+  for (const BrokerId next : broker.neighbours) {
+    if (next == from) continue;
+    if (!broker.sent[next].unsubscribe(id)) continue;  // never forwarded there
+    Bytes wire;
+    put_u8(wire, kRetract);
+    put_u64(wire, id);
+    send_payload(broker, next, std::move(wire));
+    // Pre-order uncovering: re-advertisements ride the same FIFO link
+    // behind the retract, so the neighbour applies them in order; the
+    // final per-link antichain is the same one BrokerOverlay's
+    // post-order traversal converges to.
+    readvertise_uncovered(broker, next);
+  }
+}
+
+void FabricOverlay::record_delivery(std::uint64_t publication, BrokerId broker,
+                                    SubscriptionId id) {
+  if (config_.record_deliveries) deliveries_[publication].insert({broker, id});
+}
+
+void FabricOverlay::handle_publish(Broker& broker, BrokerId came_from,
+                                   std::uint64_t publication, const Event& event) {
+  if (came_from != kNoBroker) {
+    ++stats_.publication_hops;
+    obs_inc(broker.obs_hops);
+  }
+  for (SubscriptionId id : broker.local.match_with_trace(event, nullptr)) {
+    record_delivery(publication, broker.index, id);
+    ++stats_.deliveries;
+    obs_inc(broker.obs_deliveries);
+  }
+  Bytes wire;  // serialized lazily, once, if any link is interested
+  for (const BrokerId next : broker.neighbours) {
+    if (next == came_from) continue;
+    const auto link = broker.recv.find(next);
+    if (link == broker.recv.end() || !link->second.matches_any(event)) continue;
+    if (wire.empty()) {
+      put_u8(wire, kPublish);
+      put_u64(wire, publication);
+      put_blob(wire, event.serialize());
+    }
+    send_payload(broker, next, wire);
+  }
+}
+
+Status FabricOverlay::subscribe(BrokerId broker, SubscriptionId id,
+                                const Filter& filter) {
+  if (!ready_) return Error::protocol("overlay not set up");
+  if (broker >= brokers_.size()) return Error::invalid_argument("no such broker");
+  if (home_.count(id)) return Error::invalid_argument("duplicate subscription id");
+  Broker& home = *brokers_[broker];
+  home.local.subscribe(id, filter);
+  home_[id] = broker;
+  for (const BrokerId next : home.neighbours) {
+    advertise_on_link(home, next, id, filter);
+  }
+  return {};
+}
+
+Status FabricOverlay::unsubscribe(BrokerId broker, SubscriptionId id) {
+  if (!ready_) return Error::protocol("overlay not set up");
+  auto home = home_.find(id);
+  if (home == home_.end() || home->second != broker) {
+    return Error::not_found("subscription not installed at this broker");
+  }
+  Broker& at = *brokers_[broker];
+  at.local.unsubscribe(id);
+  home_.erase(home);
+  for (const BrokerId next : at.neighbours) {
+    if (!at.sent[next].unsubscribe(id)) continue;  // was suppressed
+    Bytes wire;
+    put_u8(wire, kRetract);
+    put_u64(wire, id);
+    send_payload(at, next, std::move(wire));
+    readvertise_uncovered(at, next);
+  }
+  return {};
+}
+
+Result<std::uint64_t> FabricOverlay::publish(BrokerId broker, const Event& event) {
+  if (!ready_) return Error::protocol("overlay not set up");
+  if (broker >= brokers_.size()) return Error::invalid_argument("no such broker");
+  const std::uint64_t publication = next_publication_++;
+  handle_publish(*brokers_[broker], kNoBroker, publication, event);
+  return publication;
+}
+
+Result<std::vector<std::uint64_t>> FabricOverlay::publish_batch(
+    BrokerId broker, const std::vector<Event>& events, common::ThreadPool* pool) {
+  if (!ready_) return Error::protocol("overlay not set up");
+  if (broker >= brokers_.size()) return Error::invalid_argument("no such broker");
+  Broker& origin = *brokers_[broker];
+
+  std::vector<std::uint64_t> ids(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) ids[i] = next_publication_++;
+
+  // Parallel phase: pure reads against quiescent tables (no fabric event
+  // runs concurrently), results into per-event slots.
+  struct Slot {
+    std::vector<SubscriptionId> local;
+    std::vector<BrokerId> targets;
+    Bytes wire;
+  };
+  std::vector<Slot> slots(events.size());
+  common::run_indexed(pool, events.size(), [&](std::size_t i) {
+    Slot& slot = slots[i];
+    const Event& event = events[i];
+    slot.local = origin.local.match_with_trace(event, nullptr);
+    for (const BrokerId next : origin.neighbours) {
+      const auto link = origin.recv.find(next);
+      if (link != origin.recv.end() && link->second.matches_any(event)) {
+        slot.targets.push_back(next);
+      }
+    }
+    if (!slot.targets.empty()) {
+      put_u8(slot.wire, kPublish);
+      put_u64(slot.wire, ids[i]);
+      put_blob(slot.wire, events[i].serialize());
+    }
+  });
+
+  // Serial phase, batch order: identical deliveries, stats, counters, and
+  // flow send sequence at any pool size.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Slot& slot = slots[i];
+    for (SubscriptionId id : slot.local) {
+      record_delivery(ids[i], origin.index, id);
+      ++stats_.deliveries;
+      obs_inc(origin.obs_deliveries);
+    }
+    for (const BrokerId next : slot.targets) {
+      send_payload(origin, next, slot.wire);
+    }
+  }
+  return ids;
+}
+
+Status FabricOverlay::health() const {
+  for (const auto& broker : brokers_) {
+    if (broker->flow) SC_RETURN_IF_ERROR(broker->flow->health());
+    for (const auto& [peer, session] : broker->sessions) {
+      if (!session->established()) {
+        return session->failure().ok()
+                   ? Error::unavailable("session broker " +
+                                        std::to_string(broker->index) + " <-> " +
+                                        std::to_string(peer) + " not established")
+                   : session->failure().error();
+      }
+    }
+  }
+  return {};
+}
+
+std::size_t FabricOverlay::remote_entries(BrokerId broker) const {
+  if (broker >= brokers_.size()) return 0;
+  std::size_t n = 0;
+  for (const auto& [link, entries] : brokers_[broker]->recv) n += entries.size();
+  return n;
+}
+
+std::size_t FabricOverlay::sent_entries(BrokerId broker) const {
+  if (broker >= brokers_.size()) return 0;
+  std::size_t n = 0;
+  for (const auto& [link, entries] : brokers_[broker]->sent) n += entries.size();
+  return n;
+}
+
+std::size_t FabricOverlay::local_entries(BrokerId broker) const {
+  return broker < brokers_.size() ? brokers_[broker]->local.size() : 0;
+}
+
+std::size_t FabricOverlay::shard_count(BrokerId broker) const {
+  if (broker >= brokers_.size()) return 0;
+  const Broker& b = *brokers_[broker];
+  std::size_t n = b.local.shard_count();
+  for (const auto& [link, entries] : b.recv) n += entries.shard_count();
+  for (const auto& [link, entries] : b.sent) n += entries.shard_count();
+  return n;
+}
+
+Result<obs::ClusterSnapshot> FabricOverlay::cluster_snapshot() const {
+  if (shared_registry_ != nullptr) {
+    return Error::protocol("overlay is in shared-registry mode");
+  }
+  if (!ready_) return Error::protocol("overlay not set up");
+  std::vector<obs::NodeSnapshot> nodes;
+  for (const auto& broker : brokers_) nodes.push_back(broker->onode->snapshot());
+  return obs::merge_snapshots(std::move(nodes));
+}
+
+obs::NodeObs* FabricOverlay::broker_obs(BrokerId broker) {
+  return broker < brokers_.size() ? brokers_[broker]->onode.get() : nullptr;
+}
+
+net::NodeId FabricOverlay::broker_node(BrokerId broker) const {
+  return broker < brokers_.size() ? brokers_[broker]->node : 0;
+}
+
+}  // namespace securecloud::scbr

@@ -50,28 +50,50 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 namespace detail {
 
 /// Normalized admissible set for one attribute.
+///
+/// Constraint::matches() is type-gated: a constraint whose value is
+/// numeric never matches a string event value and vice versa, for every
+/// operator including !=. The normal form keeps that gate explicit — a
+/// numeric interval and a lexicographic string interval live side by
+/// side, and admits() rejects values of the wrong kind before consulting
+/// either. NaN constraint values, which no comparison can satisfy,
+/// collapse the range to provably empty (except !=, which is then a
+/// pure type gate).
 struct AttrRange {
   std::optional<Value> eq;
   std::vector<Value> ne;
+  // Numeric interval; matching compares through Value::numeric().
   double lo = -kInf;
   bool lo_strict = false;
   double hi = kInf;
   bool hi_strict = false;
+  bool bounded = false;  // any numeric bound constraint seen (rejects NaN)
+  // String interval, ordered lexicographically like Value::operator<.
+  std::optional<std::string> slo;
+  bool slo_strict = false;
+  std::optional<std::string> shi;
+  bool shi_strict = false;
   bool string_typed = false;   // any string constraint present
   bool numeric_typed = false;  // any numeric constraint present
+  bool contradictory = false;  // provably empty (eq conflict, NaN bound)
 
-  bool mixed_types() const { return string_typed && numeric_typed; }
+  bool provably_empty() const {
+    return contradictory || (string_typed && numeric_typed);
+  }
 
   void absorb(const Constraint& c) {
     const bool is_string = c.value.type() == Value::Type::kString;
     (is_string ? string_typed : numeric_typed) = true;
+    if (!is_string && std::isnan(c.value.numeric())) {
+      // No comparison against NaN succeeds: != holds for every numeric
+      // (the type gate above already records the kind), everything else
+      // never holds.
+      if (c.op != Op::kNe) contradictory = true;
+      return;
+    }
     switch (c.op) {
       case Op::kEq:
-        if (eq && !(*eq == c.value)) {
-          // Contradictory double-equality: empty set. Model as eq plus an
-          // impossible bound so admits() always fails.
-          lo = kInf;
-        }
+        if (eq && !(*eq == c.value)) contradictory = true;
         eq = c.value;
         break;
       case Op::kNe:
@@ -79,21 +101,39 @@ struct AttrRange {
         break;
       case Op::kGt:
       case Op::kGe: {
-        const double bound = c.value.numeric();
         const bool strict = c.op == Op::kGt;
-        if (bound > lo || (bound == lo && strict)) {
-          lo = bound;
-          lo_strict = strict;
+        if (is_string) {
+          const std::string& b = c.value.as_string();
+          if (!slo || b > *slo || (b == *slo && strict)) {
+            slo = b;
+            slo_strict = strict;
+          }
+        } else {
+          bounded = true;
+          const double b = c.value.numeric();
+          if (b > lo || (b == lo && strict)) {
+            lo = b;
+            lo_strict = strict;
+          }
         }
         break;
       }
       case Op::kLt:
       case Op::kLe: {
-        const double bound = c.value.numeric();
         const bool strict = c.op == Op::kLt;
-        if (bound < hi || (bound == hi && strict)) {
-          hi = bound;
-          hi_strict = strict;
+        if (is_string) {
+          const std::string& b = c.value.as_string();
+          if (!shi || b < *shi || (b == *shi && strict)) {
+            shi = b;
+            shi_strict = strict;
+          }
+        } else {
+          bounded = true;
+          const double b = c.value.numeric();
+          if (b < hi || (b == hi && strict)) {
+            hi = b;
+            hi_strict = strict;
+          }
         }
         break;
       }
@@ -101,22 +141,26 @@ struct AttrRange {
   }
 
   bool admits(const Value& v) const {
+    if (provably_empty()) return false;
+    // Type gate: one kind-mismatched constraint fails the conjunction.
+    if (numeric_typed && !v.is_numeric()) return false;
+    if (string_typed && v.is_numeric()) return false;
     if (eq && !(v == *eq)) return false;
     for (const auto& x : ne) {
       if (v == x) return false;
     }
     if (v.is_numeric()) {
-      if (string_typed && (eq || !ne.empty())) {
-        // String-typed constraints never admit numeric values via eq;
-        // handled above. Bounds below apply to numerics only.
-      }
       const double d = v.numeric();
+      // A NaN event value fails every bound constraint but passes !=.
+      if (std::isnan(d)) return !bounded;
       if (d < lo || (d == lo && lo_strict)) return false;
       if (d > hi || (d == hi && hi_strict)) return false;
-      return true;
+    } else {
+      const std::string& s = v.as_string();
+      if (slo && (s < *slo || (s == *slo && slo_strict))) return false;
+      if (shi && (s > *shi || (s == *shi && shi_strict))) return false;
     }
-    // Strings: only eq/ne apply; numeric bounds exclude strings entirely.
-    return lo == -kInf && hi == kInf;
+    return true;
   }
 };
 
@@ -126,32 +170,51 @@ struct NormalForm {
 
 /// Is every value admitted by `inner` also admitted by `outer`?
 bool range_covers(const AttrRange& outer, const AttrRange& inner) {
-  if (outer.mixed_types() || inner.mixed_types()) return false;  // conservative
+  // A provably empty inner range is covered by anything.
+  if (inner.provably_empty()) return true;
 
-  // Inner pinned to a single value: membership test.
-  if (inner.eq) return outer.admits(*inner.eq);
-
-  // Outer pinned but inner is a set: cannot cover.
-  if (outer.eq) return false;
-
-  // String-typed inner without eq means "anything except ne values".
-  if (inner.string_typed || outer.string_typed) {
-    // outer must exclude nothing the inner admits: every outer.ne value
-    // must also be excluded by inner; outer must have no numeric bounds
-    // narrowing strings (strings ignore bounds, so bounds on outer would
-    // exclude string values — handled by admits()) — be conservative:
-    if (outer.lo != -kInf || outer.hi != kInf) return false;
-    for (const auto& v : outer.ne) {
-      if (inner.admits(v)) return false;
-    }
-    return true;
+  // Inner pinned to (at most) one value: membership test. A pin the
+  // inner itself rejects admits nothing at all.
+  if (inner.eq) {
+    if (!inner.admits(*inner.eq)) return true;
+    return outer.admits(*inner.eq);
   }
 
-  // Numeric intervals: outer interval must contain inner interval.
-  if (outer.lo > inner.lo) return false;
-  if (outer.lo == inner.lo && outer.lo_strict && !inner.lo_strict) return false;
-  if (outer.hi < inner.hi) return false;
-  if (outer.hi == inner.hi && outer.hi_strict && !inner.hi_strict) return false;
+  if (outer.provably_empty()) return false;
+
+  // The type gates must agree: a numeric-kind range admits no strings
+  // and a string-kind range no numerics, so e.g. {x != "a"} (all strings
+  // but "a") can never contain {x >= 5} (an interval of numerics).
+  if (outer.string_typed != inner.string_typed) return false;
+
+  // Outer pinned but inner is a set: cannot cover (conservative — the
+  // inner might be empty in ways we do not prove).
+  if (outer.eq) return false;
+
+  if (inner.string_typed) {
+    // Lexicographic interval containment.
+    if (outer.slo) {
+      if (!inner.slo || *outer.slo > *inner.slo) return false;
+      if (*outer.slo == *inner.slo && outer.slo_strict && !inner.slo_strict) {
+        return false;
+      }
+    }
+    if (outer.shi) {
+      if (!inner.shi || *outer.shi < *inner.shi) return false;
+      if (*outer.shi == *inner.shi && outer.shi_strict && !inner.shi_strict) {
+        return false;
+      }
+    }
+  } else {
+    // Numeric interval containment.
+    if (outer.lo > inner.lo) return false;
+    if (outer.lo == inner.lo && outer.lo_strict && !inner.lo_strict) return false;
+    if (outer.hi < inner.hi) return false;
+    if (outer.hi == inner.hi && outer.hi_strict && !inner.hi_strict) return false;
+    // NaN sits outside every interval: an unbounded numeric range (e.g.
+    // {x != 5}) admits it, a bounded one rejects it.
+    if (outer.bounded && !inner.bounded) return false;
+  }
 
   // Every value the outer excludes must be excluded by the inner too.
   for (const auto& v : outer.ne) {

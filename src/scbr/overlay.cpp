@@ -59,43 +59,66 @@ std::vector<std::pair<SubscriptionId, const Filter*>> BrokerOverlay::advertised(
   // horizon on the tree).
   std::vector<std::pair<SubscriptionId, const Filter*>> out;
   const Broker& broker = brokers_[at];
-  for (const auto& [id, filter] : broker.local) {
+  broker.local.for_each([&](SubscriptionId id, const Filter& filter) {
     out.emplace_back(id, &filter);
-  }
+  });
   for (const auto& [link, entries] : broker.per_link) {
     if (link == to) continue;
-    for (const auto& entry : entries) {
-      out.emplace_back(entry.id, &entry.filter);
-    }
+    entries.for_each([&](SubscriptionId id, const Filter& filter) {
+      out.emplace_back(id, &filter);
+    });
   }
   return out;
 }
 
 void BrokerOverlay::propagate(BrokerId from, BrokerId to, SubscriptionId id,
                               const Filter& filter) {
-  Broker& target = brokers_[to];
-  std::vector<RemoteEntry>& entries = target.per_link[from];
+  // Explicit worklist in DFS preorder — identical decision/hop order to
+  // the natural recursion, without a stack frame per overlay hop.
+  struct Edge {
+    BrokerId from, to;
+  };
+  const std::size_t wire_bytes = hop_ ? filter.serialize().size() : 0;
+  std::vector<Edge> worklist{{from, to}};
+  while (!worklist.empty()) {
+    const Edge edge = worklist.back();
+    worklist.pop_back();
+    Broker& target = brokers_[edge.to];
+    ShardedPosetEngine& entries = target.per_link[edge.from];
 
-  // Covering suppression happens at the *sender*: `from` does not
-  // forward a filter to `to` if it already advertised a covering filter
-  // on that link. We model the sender's view by checking the entries the
-  // receiver holds for this link (they mirror what was sent).
-  for (const auto& entry : entries) {
-    if (entry.filter.covers(filter)) {
+    // Covering suppression happens at the *sender*: `from` does not
+    // forward a filter to `to` if it already advertised a covering
+    // filter on that link. We model the sender's view by probing the
+    // entries the receiver holds for this link (they mirror what was
+    // sent). Root scan per shard — sublinear in advertised filters.
+    if (entries.covered_by_any(filter)) {
       ++stats_.subscriptions_suppressed;
       obs_inc(obs_suppressed_);
-      return;  // neighbour already receives a superset: stop here
+      continue;  // neighbour already receives a superset: stop here
     }
-  }
 
-  ++stats_.subscriptions_forwarded;
-  obs_inc(obs_forwarded_);
-  if (hop_) hop_(from, to, filter.serialize().size());
-  entries.push_back({id, filter});
+    // Covering-triggered pruning: entries this filter covers become
+    // redundant for the link's interest test the moment the coverer is
+    // advertised, so drop them instead of letting the table inflate.
+    // (Their retraction later finds them absent and stops — exactly the
+    // suppressed-subscription path.)
+    const std::size_t pruned = entries.prune_covered_by(filter).size();
+    if (pruned != 0) {
+      stats_.table_prunes += pruned;
+      if (obs_prunes_ != nullptr) obs_prunes_->inc(pruned);
+    }
 
-  // Forward onward (split horizon: never back toward `from`).
-  for (const BrokerId next : target.neighbours) {
-    if (next != from) propagate(to, next, id, filter);
+    ++stats_.subscriptions_forwarded;
+    obs_inc(obs_forwarded_);
+    if (hop_) hop_(edge.from, edge.to, wire_bytes);
+    entries.subscribe(id, filter);
+
+    // Forward onward (split horizon: never back toward `from`).
+    // Reverse push keeps neighbour processing in declaration order.
+    const auto& neighbours = target.neighbours;
+    for (auto it = neighbours.rbegin(); it != neighbours.rend(); ++it) {
+      if (*it != edge.from) worklist.push_back({edge.to, *it});
+    }
   }
 }
 
@@ -104,7 +127,7 @@ Status BrokerOverlay::subscribe(BrokerId broker, SubscriptionId id,
   if (!topology_.ok()) return topology_.error();
   if (broker >= brokers_.size()) return Error::invalid_argument("no such broker");
   if (home_.count(id)) return Error::invalid_argument("duplicate subscription id");
-  brokers_[broker].local[id] = filter;
+  brokers_[broker].local.subscribe(id, filter);
   home_[id] = broker;
   for (const BrokerId neighbour : brokers_[broker].neighbours) {
     propagate(broker, neighbour, id, filter);
@@ -112,33 +135,74 @@ Status BrokerOverlay::subscribe(BrokerId broker, SubscriptionId id,
   return {};
 }
 
-void BrokerOverlay::retract(BrokerId from, BrokerId to, SubscriptionId id) {
-  Broker& target = brokers_[to];
-  auto it = target.per_link.find(from);
-  if (it == target.per_link.end()) return;
-  auto& entries = it->second;
-  const auto entry = std::find_if(entries.begin(), entries.end(),
-                                  [&](const RemoteEntry& e) { return e.id == id; });
-  if (entry == entries.end()) return;  // was suppressed on this link
-  entries.erase(entry);
+void BrokerOverlay::readvertise_uncovered(BrokerId from, BrokerId to) {
+  const ShardedPosetEngine& entries = brokers_[to].per_link[from];
 
-  // Retract onward first.
-  for (const BrokerId next : target.neighbours) {
-    if (next != from) retract(to, next, id);
-  }
-
-  // Uncovering: filters at `from` that were suppressed because the
-  // removed filter covered them must now be (re-)advertised to `to`.
-  // Re-advertise everything `from` still knows that is not already
+  // Uncovering: filters at `from` that were suppressed (or pruned)
+  // because the removed filter covered them must now be re-advertised
+  // to `to` — everything `from` still knows that is neither present nor
   // covered by a remaining entry on this link.
+  struct Candidate {
+    SubscriptionId id;
+    const Filter* filter;
+    std::size_t coverers = 0;
+  };
+  std::vector<Candidate> candidates;
   for (const auto& [other_id, filter] : advertised(from, to)) {
-    bool present = false, covered = false;
-    for (const auto& e : entries) {
-      if (e.id == other_id) present = true;
-      if (e.filter.covers(*filter)) covered = true;
+    if (entries.find(other_id) != nullptr) continue;
+    if (entries.covered_by_any(*filter)) continue;
+    candidates.push_back({other_id, filter});
+  }
+  if (candidates.empty()) return;
+
+  // Apply covering *among the re-advertised set*: re-advertise broad
+  // filters first so propagate() suppresses the narrow ones they cover.
+  // In any other order a narrow filter admitted early sticks in the
+  // table forever — subscribe→unsubscribe→re-subscribe then holds more
+  // state than a fresh subscribe of the same set. Candidates are ordered
+  // by how many other candidates strictly cover them (coverers sort
+  // before covered; ties and equivalent filters by id).
+  for (auto& c : candidates) {
+    for (const auto& d : candidates) {
+      if (d.id != c.id && d.filter->covers(*c.filter) &&
+          !c.filter->covers(*d.filter)) {
+        ++c.coverers;
+      }
     }
-    if (!present && !covered) {
-      propagate(from, to, other_id, *filter);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.coverers != b.coverers ? a.coverers < b.coverers
+                                                    : a.id < b.id;
+                   });
+  for (const auto& c : candidates) propagate(from, to, c.id, *c.filter);
+}
+
+void BrokerOverlay::retract(BrokerId from, BrokerId to, SubscriptionId id) {
+  // Post-order worklist: remove the entry hop by hop down the tree, then
+  // run uncovering per edge on the way back — the order the natural
+  // recursion produced, without frames proportional to overlay depth.
+  struct Frame {
+    BrokerId from, to;
+    bool uncover;
+  };
+  std::vector<Frame> stack{{from, to, false}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.uncover) {
+      readvertise_uncovered(frame.from, frame.to);
+      continue;
+    }
+    Broker& target = brokers_[frame.to];
+    auto it = target.per_link.find(frame.from);
+    if (it == target.per_link.end() || !it->second.unsubscribe(id)) {
+      continue;  // was suppressed (or pruned) on this link
+    }
+    stack.push_back({frame.from, frame.to, true});  // uncover after subtree
+    const auto& neighbours = target.neighbours;
+    for (auto r = neighbours.rbegin(); r != neighbours.rend(); ++r) {
+      if (*r != frame.from) stack.push_back({frame.to, *r, false});
     }
   }
 }
@@ -149,7 +213,7 @@ Status BrokerOverlay::unsubscribe(BrokerId broker, SubscriptionId id) {
   if (home == home_.end() || home->second != broker) {
     return Error::not_found("subscription not installed at this broker");
   }
-  brokers_[broker].local.erase(id);
+  brokers_[broker].local.unsubscribe(id);
   home_.erase(home);
   for (const BrokerId neighbour : brokers_[broker].neighbours) {
     retract(broker, neighbour, id);
@@ -157,59 +221,60 @@ Status BrokerOverlay::unsubscribe(BrokerId broker, SubscriptionId id) {
   return {};
 }
 
-void BrokerOverlay::route(BrokerId at, BrokerId came_from, const Event& event,
-                          std::vector<SubscriptionId>& out) {
-  Broker& broker = brokers_[at];
-
-  // Local deliveries.
-  for (const auto& [id, filter] : broker.local) {
-    if (filter.matches(event)) {
-      out.push_back(id);
-      ++stats_.deliveries;
-      obs_inc(obs_deliveries_);
-    }
-  }
-
-  // Forward toward a neighbour only if some subscriber behind it is
-  // interested: per_link[next] holds the filters advertised from that
-  // direction.
-  for (const BrokerId next : broker.neighbours) {
-    if (next == came_from) continue;
-    const auto here = broker.per_link.find(next);
-    bool interested = false;
-    if (here != broker.per_link.end()) {
-      for (const auto& entry : here->second) {
-        if (entry.filter.matches(event)) {
-          interested = true;
-          break;
-        }
-      }
-    }
-    if (interested) {
-      ++stats_.publication_hops;
-      obs_inc(obs_hops_);
-      if (hop_) hop_(at, next, event.serialize().size());
-      route(next, at, event, out);
-    }
-  }
-}
-
 Result<std::vector<SubscriptionId>> BrokerOverlay::publish(BrokerId broker,
                                                            const Event& event) {
   if (!topology_.ok()) return topology_.error();
   if (broker >= brokers_.size()) return Error::invalid_argument("no such broker");
+  constexpr BrokerId kNone = static_cast<BrokerId>(-1);
+  struct Frame {
+    BrokerId at, came_from;
+  };
+  const std::size_t wire_bytes = hop_ ? event.serialize().size() : 0;
   std::vector<SubscriptionId> out;
-  route(broker, static_cast<BrokerId>(-1), event, out);
+  std::vector<Frame> stack{{broker, kNone}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.came_from != kNone) {
+      // This edge was chosen by the interest test below: charge the hop
+      // when the publication actually traverses it.
+      ++stats_.publication_hops;
+      obs_inc(obs_hops_);
+      if (hop_) hop_(frame.came_from, frame.at, wire_bytes);
+    }
+    Broker& here = brokers_[frame.at];
+
+    // Local deliveries via the broker's containment index.
+    for (SubscriptionId id : here.local.match_with_trace(event, nullptr)) {
+      out.push_back(id);
+      ++stats_.deliveries;
+      obs_inc(obs_deliveries_);
+    }
+
+    // Forward toward a neighbour only if some subscriber behind it is
+    // interested: per_link[next] holds the filters advertised from that
+    // direction, and matches_any() is a per-shard root scan.
+    for (auto it = here.neighbours.rbegin(); it != here.neighbours.rend(); ++it) {
+      const BrokerId next = *it;
+      if (next == frame.came_from) continue;
+      const auto link = here.per_link.find(next);
+      if (link != here.per_link.end() && link->second.matches_any(event)) {
+        stack.push_back({next, frame.at});
+      }
+    }
+  }
   return out;
 }
 
 void BrokerOverlay::set_obs(obs::Registry* registry) {
   if (registry == nullptr) {
-    obs_forwarded_ = obs_suppressed_ = obs_hops_ = obs_deliveries_ = nullptr;
+    obs_forwarded_ = obs_suppressed_ = obs_prunes_ = obs_hops_ = obs_deliveries_ =
+        nullptr;
     return;
   }
   obs_forwarded_ = &registry->counter("scbr_overlay_subscriptions_forwarded_total");
   obs_suppressed_ = &registry->counter("scbr_overlay_subscriptions_suppressed_total");
+  obs_prunes_ = &registry->counter("scbr_overlay_table_prunes_total");
   obs_hops_ = &registry->counter("scbr_overlay_publication_hops_total");
   obs_deliveries_ = &registry->counter("scbr_overlay_deliveries_total");
 }

@@ -26,7 +26,7 @@
 #include <set>
 
 #include "obs/registry.hpp"
-#include "scbr/poset_engine.hpp"
+#include "scbr/sharded_engine.hpp"
 
 namespace securecloud::scbr {
 
@@ -35,6 +35,7 @@ using BrokerId = std::size_t;
 struct OverlayStats {
   std::uint64_t subscriptions_forwarded = 0;
   std::uint64_t subscriptions_suppressed = 0;  // covering saved a forward
+  std::uint64_t table_prunes = 0;  // entries dropped when a coverer arrived
   std::uint64_t publication_hops = 0;
   std::uint64_t deliveries = 0;
 };
@@ -47,9 +48,9 @@ class BrokerOverlay {
   /// topology, which guarantees loop-free routing without duplicate
   /// suppression. A bad topology is rejected at construction: the
   /// overlay stays inert and every operation returns the validation
-  /// error (check topology() to fail fast). Cycles would otherwise
-  /// recurse forever in propagate()/retract()/route(), and out-of-range
-  /// ids would index brokers_ out of bounds.
+  /// error (check topology() to fail fast). Cycles would otherwise loop
+  /// forever in the propagate/retract/publish worklists, and
+  /// out-of-range ids would index brokers_ out of bounds.
   BrokerOverlay(std::size_t broker_count,
                 const std::vector<std::pair<BrokerId, BrokerId>>& links);
 
@@ -71,7 +72,7 @@ class BrokerOverlay {
   void reset_stats() { stats_ = {}; }
 
   /// Mirrors OverlayStats into `scbr_overlay_*` metrics. Routing is a
-  /// serial recursion, so every bump site is deterministic.
+  /// serial worklist traversal, so every bump site is deterministic.
   void set_obs(obs::Registry* registry);
 
   /// Optional data-plane shadow: invoked once per overlay message that
@@ -89,26 +90,27 @@ class BrokerOverlay {
   std::size_t remote_entries(BrokerId broker) const;
 
  private:
-  struct RemoteEntry {
-    SubscriptionId id;       // originating subscription
-    Filter filter;
-  };
-
   struct Broker {
     std::vector<BrokerId> neighbours;
-    /// Local subscriptions (subscriber attached here).
-    std::map<SubscriptionId, Filter> local;
-    /// Filters learned per neighbour: publications are forwarded to a
-    /// neighbour only if one of its advertised filters matches.
-    std::map<BrokerId, std::vector<RemoteEntry>> per_link;
+    /// Local subscriptions (subscriber attached here), indexed for
+    /// sublinear delivery matching.
+    ShardedPosetEngine local;
+    /// Filters learned per neighbour, each link a sharded containment
+    /// index: the per-hop interest test is a root scan per shard
+    /// (matches_any) instead of a walk over every advertised filter,
+    /// and covering suppression is a covered_by_any() probe.
+    std::map<BrokerId, ShardedPosetEngine> per_link;
   };
 
-  /// Forwards `filter` from `from` to `to`, applying covering
-  /// suppression; recurses onward.
+  /// Forwards `filter` across edge (from, to) and onward through the
+  /// tree, applying covering suppression and covering-triggered pruning.
+  /// Iterative (explicit worklist): chains of 10⁴+ brokers must not
+  /// overflow the stack.
   void propagate(BrokerId from, BrokerId to, SubscriptionId id, const Filter& filter);
   void retract(BrokerId from, BrokerId to, SubscriptionId id);
-  void route(BrokerId at, BrokerId came_from, const Event& event,
-             std::vector<SubscriptionId>& out);
+  /// Re-advertises, covering-first, everything `from` still advertises
+  /// toward `to` that retraction left uncovered on the link.
+  void readvertise_uncovered(BrokerId from, BrokerId to);
   /// All filters broker `at` would advertise toward neighbour `to`
   /// (local + everything learned from other links).
   std::vector<std::pair<SubscriptionId, const Filter*>> advertised(BrokerId at,
@@ -127,6 +129,7 @@ class BrokerOverlay {
 
   obs::Counter* obs_forwarded_ = nullptr;
   obs::Counter* obs_suppressed_ = nullptr;
+  obs::Counter* obs_prunes_ = nullptr;
   obs::Counter* obs_hops_ = nullptr;
   obs::Counter* obs_deliveries_ = nullptr;
 };

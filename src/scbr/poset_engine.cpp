@@ -28,20 +28,28 @@ std::int32_t PosetEngine::new_node(SubscriptionId id, Filter filter) {
 void PosetEngine::insert_under(std::vector<std::int32_t>& siblings,
                                std::int32_t node_index, std::int32_t parent_index) {
   Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  std::vector<std::int32_t>* level = &siblings;
+  std::int32_t parent = parent_index;
 
-  // Descend into the first sibling that covers the new filter.
-  for (std::int32_t sibling : siblings) {
-    Node& s = nodes_[static_cast<std::size_t>(sibling)];
-    if (s.filter.covers(node.filter)) {
-      insert_under(s.children, node_index, sibling);
-      return;
+  // Descend while some sibling covers the new filter (iterative: chains
+  // of ever-narrower filters would otherwise recurse to forest depth).
+  for (bool descended = true; descended;) {
+    descended = false;
+    for (std::int32_t sibling : *level) {
+      Node& s = nodes_[static_cast<std::size_t>(sibling)];
+      if (s.filter.covers(node.filter)) {
+        level = &s.children;
+        parent = sibling;
+        descended = true;
+        break;
+      }
     }
   }
 
   // No sibling covers us: adopt any siblings *we* cover, then join.
   std::vector<std::int32_t> kept;
-  kept.reserve(siblings.size());
-  for (std::int32_t sibling : siblings) {
+  kept.reserve(level->size());
+  for (std::int32_t sibling : *level) {
     Node& s = nodes_[static_cast<std::size_t>(sibling)];
     if (node.filter.covers(s.filter)) {
       s.parent = node_index;
@@ -51,8 +59,8 @@ void PosetEngine::insert_under(std::vector<std::int32_t>& siblings,
     }
   }
   kept.push_back(node_index);
-  node.parent = parent_index;
-  siblings = std::move(kept);
+  node.parent = parent;
+  *level = std::move(kept);
 }
 
 void PosetEngine::subscribe(SubscriptionId id, Filter filter) {
@@ -104,6 +112,47 @@ std::vector<SubscriptionId> PosetEngine::match_with_trace(const Event& event,
     }
   }
   return out;
+}
+
+bool PosetEngine::covered_by_any(const Filter& f) const {
+  for (std::int32_t root : roots_) {
+    if (nodes_[static_cast<std::size_t>(root)].filter.covers(f)) return true;
+  }
+  return false;
+}
+
+bool PosetEngine::matches_any(const Event& event) const {
+  for (std::int32_t root : roots_) {
+    if (nodes_[static_cast<std::size_t>(root)].filter.matches(event)) return true;
+  }
+  return false;
+}
+
+std::vector<SubscriptionId> PosetEngine::extract_covered_by(const Filter& f) {
+  std::vector<SubscriptionId> removed;
+  std::vector<std::int32_t> keep, doomed;
+  for (std::int32_t root : roots_) {
+    if (f.covers(nodes_[static_cast<std::size_t>(root)].filter)) {
+      doomed.push_back(root);
+    } else {
+      keep.push_back(root);
+    }
+  }
+  if (doomed.empty()) return removed;
+  roots_ = std::move(keep);
+  while (!doomed.empty()) {
+    const std::int32_t idx = doomed.back();
+    doomed.pop_back();
+    Node& node = nodes_[static_cast<std::size_t>(idx)];
+    for (std::int32_t child : node.children) doomed.push_back(child);
+    removed.push_back(node.id);
+    database_bytes_ -= node.footprint + node_overhead();
+    node.alive = false;
+    node.children.clear();
+    free_list_.push_back(idx);
+    index_.erase(node.id);
+  }
+  return removed;
 }
 
 std::size_t PosetEngine::depth_of(std::int32_t node) const {

@@ -16,6 +16,11 @@ namespace securecloud::scbr {
 
 class PosetEngine final : public MatchEngine {
  public:
+  /// `arena_base` positions this engine's simulated subscription layout;
+  /// sharded deployments give each shard a disjoint window.
+  explicit PosetEngine(std::uint64_t arena_base = 1ull << 33)
+      : arena_(arena_base) {}
+
   void subscribe(SubscriptionId id, Filter filter) override;
   bool unsubscribe(SubscriptionId id) override;
   std::vector<SubscriptionId> match_with_trace(const Event& event,
@@ -23,6 +28,43 @@ class PosetEngine final : public MatchEngine {
 
   std::size_t size() const override { return index_.size(); }
   std::size_t database_bytes() const override { return database_bytes_; }
+
+  /// True iff some stored filter covers `f`. Only the roots are scanned:
+  /// every stored filter sits below a root that covers it, so a root
+  /// covers `f` whenever any descendant does (covers() is conservative,
+  /// so in exotic cases this may miss a non-root coverer — callers use
+  /// the answer for suppression, where a miss is safe).
+  bool covered_by_any(const Filter& f) const;
+
+  /// True iff some stored filter matches `event`. Root-only scan: a
+  /// root covers everything below it, so if any descendant matches then
+  /// its root does too. This is the sublinear interest test for
+  /// per-link routing tables.
+  bool matches_any(const Event& event) const;
+
+  /// Removes every stored filter that `f` covers and returns their ids
+  /// (deterministic order). Root-only scan: a covered root's whole
+  /// subtree is covered too (transitivity), so entire forests fall at
+  /// once. Used for covering-triggered routing-table pruning — once a
+  /// broker advertises `f` on a link, entries `f` covers are redundant
+  /// for the link's interest test.
+  std::vector<SubscriptionId> extract_covered_by(const Filter& f);
+
+  /// Stored filter for `id`, or nullptr. Stable until the next mutation.
+  const Filter* find(SubscriptionId id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? nullptr
+                              : &nodes_[static_cast<std::size_t>(it->second)].filter;
+  }
+
+  /// Visits every live (id, filter) pair in slot order — deterministic
+  /// for a deterministic operation history, unlike hash-map order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& node : nodes_) {
+      if (node.alive) fn(node.id, node.filter);
+    }
+  }
 
   /// Structural introspection for tests/benchmarks.
   std::size_t root_count() const { return roots_.size(); }

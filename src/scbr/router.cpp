@@ -152,6 +152,102 @@ Result<SubscriptionId> ScbrRouter::subscribe(const std::string& client, ByteView
   return id;
 }
 
+std::vector<Result<SubscriptionId>> ScbrRouter::subscribe_batch(
+    const std::vector<SubscribeRequest>& batch, common::ThreadPool* pool) {
+  struct Work {
+    bool admitted = false;
+    std::shared_ptr<const ClientCrypto> crypto;
+    std::optional<Filter> filter;  // parsed in the parallel phase
+    std::optional<Error> error;
+    bool auth_failure = false;
+  };
+  auto clients = clients_.read();
+
+  std::vector<Work> work(batch.size());
+  std::vector<Result<SubscriptionId>> results;
+  results.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    results.emplace_back(Error::internal("subscription not processed"));
+  }
+
+  // --- admission (serial): provisioning, key lookup, anti-replay ----------
+  // last_counter_ is bumped in batch order — the same order a sequence of
+  // subscribe() calls would observe.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& req = batch[i];
+    if (!provisioned_) {
+      results[i] = Error::unavailable("router not provisioned");
+      continue;
+    }
+    auto it = clients->find(req.client);
+    if (it == clients->end()) {
+      results[i] = Error::permission_denied("unknown client: " + req.client);
+      continue;
+    }
+    enclave_.platform().clock().advance_cycles(enclave_.platform().cost().ecall_cycles);
+    if (Status fresh = check_freshness(req.client, req.wire); !fresh.ok()) {
+      results[i] = fresh.error();
+      continue;
+    }
+    work[i].admitted = true;
+    work[i].crypto = it->second;
+  }
+
+  // --- AEAD open + parse (parallel) ----------------------------------------
+  // Read-only against router state: the key table is immutable during the
+  // batch and gcm.open is const.
+  common::run_indexed(pool, batch.size(), [&](std::size_t i) {
+    Work& w = work[i];
+    if (!w.admitted) return;
+    auto plain = w.crypto->gcm.open_combined(w.crypto->sub_aad, batch[i].wire);
+    if (!plain.ok()) {
+      w.auth_failure = true;
+      w.error =
+          Error::integrity("subscription failed authentication for " + batch[i].client);
+      return;
+    }
+    auto filter = Filter::deserialize(*plain);
+    if (!filter.ok()) {
+      w.error = filter.error();
+      return;
+    }
+    w.filter = std::move(filter).value();
+  });
+
+  // --- application (serial, batch order): ids, metrics, engine, table ------
+  std::vector<std::pair<SubscriptionId, std::shared_ptr<const Subscription>>> added;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Work& w = work[i];
+    if (!w.admitted) continue;
+    if (w.error) {
+      if (w.auth_failure) {
+        ++metrics_.auth_failures;
+        if (obs_auth_failures_ != nullptr) obs_auth_failures_->inc();
+      }
+      results[i] = *std::move(w.error);
+      continue;
+    }
+    const SubscriptionId id = next_id_++;
+    ++metrics_.subscriptions;
+    if (obs_subscriptions_ != nullptr) obs_subscriptions_->inc();
+    engine_->subscribe(id, *w.filter);
+    added.emplace_back(id, std::make_shared<const Subscription>(Subscription{
+                               batch[i].client, *std::move(w.filter),
+                               std::move(w.crypto)}));
+    results[i] = id;
+  }
+  if (!added.empty()) {
+    // One RCU publish for the whole batch: readers see either none or all
+    // of it — same final table as per-element updates, one copy instead
+    // of N.
+    subscriptions_.update([&](SubscriptionTable& table) {
+      if (table.size() <= added.back().first) table.resize(added.back().first + 1);
+      for (auto& [id, sub] : added) table[id] = std::move(sub);
+    });
+  }
+  return results;
+}
+
 Status ScbrRouter::unsubscribe(const std::string& client, SubscriptionId id) {
   {
     auto subs = subscriptions_.read();

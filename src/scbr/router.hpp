@@ -112,6 +112,22 @@ class ScbrRouter {
   /// Handles an encrypted subscription from `client`.
   Result<SubscriptionId> subscribe(const std::string& client, ByteView wire);
 
+  /// One subscription of a batch: who sent it and its encrypted wire form.
+  struct SubscribeRequest {
+    std::string client;
+    Bytes wire;
+  };
+
+  /// Installs a batch of encrypted subscriptions, fanning the AEAD open
+  /// and filter parse across `pool`. Admission (key lookup, anti-replay)
+  /// and application (id assignment, metrics, engine insert, RCU table
+  /// publish) run serially in batch order, so issued ids, metrics, and
+  /// the engine's containment forests are bit-identical to calling
+  /// subscribe() per element — at any thread count. Per-element failures
+  /// surface in the matching slot; they do not abort the batch.
+  std::vector<Result<SubscriptionId>> subscribe_batch(
+      const std::vector<SubscribeRequest>& batch, common::ThreadPool* pool = nullptr);
+
   /// Anti-replay check + bump for an incoming combined-format message.
   Status check_freshness(const std::string& client, ByteView wire);
   Status unsubscribe(const std::string& client, SubscriptionId id);

@@ -1,0 +1,185 @@
+#include "scbr/sharded_engine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace securecloud::scbr {
+
+namespace {
+// Separator that cannot appear in sane attribute names; keeps joined
+// signatures collision-free.
+constexpr char kSep = '\x1f';
+
+std::vector<std::string> sorted_unique_attributes(const Filter& filter) {
+  std::vector<std::string> attrs;
+  attrs.reserve(filter.constraints().size());
+  for (const auto& c : filter.constraints()) attrs.push_back(c.attribute);
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+std::string join(const std::vector<std::string>& attrs) {
+  std::string sig;
+  for (const auto& a : attrs) {
+    if (!sig.empty()) sig.push_back(kSep);
+    sig += a;
+  }
+  return sig;
+}
+
+// True iff every token of `sub` appears in `sup` (both sorted kSep-joined
+// signatures). Merge-scan; the empty signature is a subset of everything.
+bool signature_subset(std::string_view sub, std::string_view sup) {
+  if (sub.size() > sup.size()) return false;
+  while (!sub.empty()) {
+    const auto sub_end = sub.find(kSep);
+    const std::string_view token = sub.substr(0, sub_end);
+    bool found = false;
+    while (!sup.empty()) {
+      const auto sup_end = sup.find(kSep);
+      const std::string_view candidate = sup.substr(0, sup_end);
+      sup = sup_end == std::string_view::npos ? std::string_view{}
+                                              : sup.substr(sup_end + 1);
+      if (candidate == token) {
+        found = true;
+        break;
+      }
+      if (candidate > token) return false;  // sorted: token cannot follow
+    }
+    if (!found) return false;
+    sub = sub_end == std::string_view::npos ? std::string_view{}
+                                            : sub.substr(sub_end + 1);
+  }
+  return true;
+}
+}  // namespace
+
+std::string ShardedPosetEngine::signature_of(const Filter& filter) {
+  return join(sorted_unique_attributes(filter));
+}
+
+PosetEngine& ShardedPosetEngine::shard_for(const std::string& signature) {
+  auto it = shards_.find(signature);
+  if (it == shards_.end()) {
+    it = shards_
+             .emplace(signature,
+                      PosetEngine(arena_base_ + shards_created_ * (1ull << 32)))
+             .first;
+    ++shards_created_;
+    it->second.set_node_overhead(node_overhead());
+  }
+  return it->second;
+}
+
+void ShardedPosetEngine::subscribe(SubscriptionId id, Filter filter) {
+  std::string sig = signature_of(filter);
+  shard_for(sig).subscribe(id, std::move(filter));
+  id_to_shard_[id] = std::move(sig);
+}
+
+bool ShardedPosetEngine::unsubscribe(SubscriptionId id) {
+  auto it = id_to_shard_.find(id);
+  if (it == id_to_shard_.end()) return false;
+  auto shard = shards_.find(it->second);
+  const bool removed = shard != shards_.end() && shard->second.unsubscribe(id);
+  id_to_shard_.erase(it);
+  return removed;
+}
+
+std::vector<SubscriptionId> ShardedPosetEngine::match_with_trace(
+    const Event& event, MatchTrace* trace) const {
+  std::vector<SubscriptionId> out;
+  for (const auto& [sig, shard] : shards_) {
+    auto matched = shard.match_with_trace(event, trace);
+    out.insert(out.end(), matched.begin(), matched.end());
+  }
+  return out;
+}
+
+std::size_t ShardedPosetEngine::database_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [sig, shard] : shards_) total += shard.database_bytes();
+  return total;
+}
+
+bool ShardedPosetEngine::covered_by_any(const Filter& f) const {
+  const auto attrs = sorted_unique_attributes(f);
+  if (attrs.size() > kMaxSubsetAttrs) {
+    auto it = shards_.find(join(attrs));
+    return it != shards_.end() && it->second.covered_by_any(f);
+  }
+  // A coverer constrains a subset of f's attributes: enumerate every
+  // subset signature (ascending mask — deterministic).
+  const std::size_t k = attrs.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << k); ++mask) {
+    std::vector<std::string> subset;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (mask & (std::size_t{1} << i)) subset.push_back(attrs[i]);
+    }
+    auto it = shards_.find(join(subset));
+    if (it != shards_.end() && it->second.covered_by_any(f)) return true;
+  }
+  return false;
+}
+
+bool ShardedPosetEngine::matches_any(const Event& event) const {
+  for (const auto& [sig, shard] : shards_) {
+    if (shard.matches_any(event)) return true;
+  }
+  return false;
+}
+
+std::vector<SubscriptionId> ShardedPosetEngine::prune_covered_by(const Filter& f) {
+  // f covers g only if f constrains a subset of g's attributes, so only
+  // shards whose signature is a superset of f's can hold covered filters.
+  // The string pre-filter keeps this call O(shards) in cheap signature
+  // merges instead of O(total roots) in Filter::covers evaluations — the
+  // difference between quadratic and near-linear table construction at a
+  // million subscriptions.
+  const std::string fsig = signature_of(f);
+  std::vector<SubscriptionId> removed;
+  for (auto& [sig, shard] : shards_) {
+    if (!signature_subset(fsig, sig)) continue;
+    for (SubscriptionId id : shard.extract_covered_by(f)) {
+      id_to_shard_.erase(id);
+      removed.push_back(id);
+    }
+  }
+  return removed;
+}
+
+const Filter* ShardedPosetEngine::find(SubscriptionId id) const {
+  auto it = id_to_shard_.find(id);
+  if (it == id_to_shard_.end()) return nullptr;
+  auto shard = shards_.find(it->second);
+  return shard == shards_.end() ? nullptr : shard->second.find(id);
+}
+
+std::size_t ShardedPosetEngine::total_roots() const {
+  std::size_t total = 0;
+  for (const auto& [sig, shard] : shards_) total += shard.root_count();
+  return total;
+}
+
+std::size_t ShardedPosetEngine::max_shard_size() const {
+  std::size_t largest = 0;
+  for (const auto& [sig, shard] : shards_) {
+    largest = std::max(largest, shard.size());
+  }
+  return largest;
+}
+
+bool ShardedPosetEngine::check_invariants() const {
+  for (const auto& [sig, shard] : shards_) {
+    if (!shard.check_invariants()) return false;
+  }
+  return id_to_shard_.size() ==
+         [this] {
+           std::size_t n = 0;
+           for (const auto& [sig, shard] : shards_) n += shard.size();
+           return n;
+         }();
+}
+
+}  // namespace securecloud::scbr

@@ -1,0 +1,90 @@
+// Attribute-signature sharded containment index.
+//
+// A covering filter constrains a subset of the covered filter's
+// attributes, and containment-rich workloads (ScbrWorkload's hierarchy
+// chains, real CBR deployments) overwhelmingly relate filters over the
+// *same* attribute set. Sharding the poset by the sorted attribute-name
+// signature therefore keeps each containment forest small and its root
+// fan-out low: subscribe/covering checks touch one shard (plus, for
+// covering, the subset-signature shards), and a million-subscription
+// table decomposes into hundreds of shallow forests instead of one
+// forest whose root scan is linear in the subscription count.
+//
+// Cross-shard covering between *different* signatures (a filter over
+// {a} covering one over {a,b}) is resolved exactly by enumerating the
+// subset signatures of the probe filter when its attribute count is
+// small, and skipped conservatively beyond that — suppression is lost,
+// never correctness.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "scbr/poset_engine.hpp"
+
+namespace securecloud::scbr {
+
+class ShardedPosetEngine final : public MatchEngine {
+ public:
+  /// Shards carve disjoint windows out of the simulated address space
+  /// starting at `arena_base`, one 4 GiB window per signature.
+  explicit ShardedPosetEngine(std::uint64_t arena_base = 1ull << 33)
+      : arena_base_(arena_base) {}
+
+  void subscribe(SubscriptionId id, Filter filter) override;
+  bool unsubscribe(SubscriptionId id) override;
+  std::vector<SubscriptionId> match_with_trace(const Event& event,
+                                               MatchTrace* trace) const override;
+
+  std::size_t size() const override { return id_to_shard_.size(); }
+  std::size_t database_bytes() const override;
+
+  /// True iff some stored filter covers `f`. Exact across shards while
+  /// `f` constrains at most `kMaxSubsetAttrs` attributes (the subset
+  /// signatures are enumerated); beyond that only the exact-signature
+  /// shard is consulted, which can only under-report — safe for
+  /// suppression decisions.
+  bool covered_by_any(const Filter& f) const;
+
+  /// True iff some stored filter matches `event` (exact; scans each
+  /// shard's roots).
+  bool matches_any(const Event& event) const;
+
+  /// Removes every stored filter that `f` covers and returns their ids
+  /// in deterministic shard/forest order. Only shards whose signature is
+  /// a superset of `f`'s are scanned — the rest are rejected by a cheap
+  /// signature merge without evaluating any `covers`.
+  std::vector<SubscriptionId> prune_covered_by(const Filter& f);
+
+  const Filter* find(SubscriptionId id) const;
+
+  /// Visits every live (id, filter) pair, shards in signature order and
+  /// slot order within a shard — deterministic for a deterministic
+  /// operation history.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [sig, shard] : shards_) shard.for_each(fn);
+  }
+
+  /// Structural introspection for benchmarks.
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t total_roots() const;
+  std::size_t max_shard_size() const;
+  bool check_invariants() const;
+
+  static constexpr std::size_t kMaxSubsetAttrs = 12;
+
+ private:
+  static std::string signature_of(const Filter& filter);
+
+  PosetEngine& shard_for(const std::string& signature);
+
+  // std::map: deterministic iteration order for match/export paths.
+  std::map<std::string, PosetEngine> shards_;
+  std::unordered_map<SubscriptionId, std::string> id_to_shard_;
+  std::uint64_t arena_base_;
+  std::uint64_t shards_created_ = 0;
+};
+
+}  // namespace securecloud::scbr

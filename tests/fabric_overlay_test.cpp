@@ -1,0 +1,312 @@
+// Fabric-hosted overlay tests: attested setup and key release down the
+// broker tree, routing equivalence against the in-process BrokerOverlay
+// golden model under churn, sent/recv mirror consistency, and the chaos
+// acceptance property — publishing over a lossy, reordering fabric
+// delivers the same subscriber sets and overlay stats as the fault-free
+// run, bit-identically at any thread count.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/fault_injector.hpp"
+#include "common/thread_pool.hpp"
+#include "net/fabric.hpp"
+#include "scbr/fabric_overlay.hpp"
+#include "scbr/overlay.hpp"
+#include "scbr/workload.hpp"
+
+namespace securecloud::scbr {
+namespace {
+
+using common::FaultArm;
+using common::FaultInjector;
+using common::FaultKind;
+
+Filter range_filter(const std::string& attr, std::int64_t lo, std::int64_t hi) {
+  Filter f;
+  f.where(attr, Op::kGe, Value::of(lo)).where(attr, Op::kLe, Value::of(hi));
+  return f;
+}
+
+Event point_event(const std::string& attr, std::int64_t v) {
+  Event e;
+  e.set(attr, v);
+  return e;
+}
+
+/// The tree used throughout: 0 is the root, 1 and 3 are interior.
+///
+///        0
+///       / .
+///      1   4
+///     / .
+///    2   3
+///        |
+///        5
+const std::vector<std::pair<BrokerId, BrokerId>> kTree6 = {
+    {0, 1}, {0, 4}, {1, 2}, {1, 3}, {3, 5}};
+
+struct Rig {
+  SimClock clock;
+  net::Fabric fabric{clock};
+  sgx::AttestationService service;
+  FabricOverlay overlay;
+
+  explicit Rig(FabricOverlayConfig config) : overlay(fabric, std::move(config)) {}
+};
+
+FabricOverlayConfig tree6_config() {
+  FabricOverlayConfig config;
+  config.broker_count = 6;
+  config.links = kTree6;
+  return config;
+}
+
+/// Sum of sent/recv mirror entries must agree: every filter a broker
+/// advertised on a link is exactly what the far end learned from it.
+void expect_mirrors_consistent(const FabricOverlay& overlay) {
+  std::size_t sent = 0, recv = 0;
+  for (BrokerId b = 0; b < overlay.broker_count(); ++b) {
+    sent += overlay.sent_entries(b);
+    recv += overlay.remote_entries(b);
+  }
+  EXPECT_EQ(sent, recv);
+}
+
+TEST(FabricOverlay, TopologyRequiresSpanningTree) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  {
+    FabricOverlayConfig config;
+    config.broker_count = 4;
+    config.links = {{0, 1}, {2, 3}};  // forest, not connected
+    FabricOverlay overlay(fabric, config);
+    EXPECT_FALSE(overlay.topology().ok());
+  }
+  {
+    FabricOverlayConfig config;
+    config.broker_count = 3;
+    config.links = {{0, 1}, {1, 2}, {2, 0}};  // cycle
+    FabricOverlay overlay(fabric, config);
+    EXPECT_FALSE(overlay.topology().ok());
+  }
+  {
+    FabricOverlayConfig config;
+    config.broker_count = 4;  // empty links -> chain 0-1-2-3
+    FabricOverlay overlay(fabric, config);
+    EXPECT_TRUE(overlay.topology().ok());
+  }
+}
+
+TEST(FabricOverlay, SetupAttestsEveryEdgeAndRoutesAcrossTree) {
+  Rig rig(tree6_config());
+  // Operations before setup are rejected, not misrouted.
+  EXPECT_FALSE(rig.overlay.subscribe(0, 1, range_filter("x", 0, 10)).ok());
+  ASSERT_TRUE(rig.overlay.setup(rig.service).ok());
+  EXPECT_EQ(rig.overlay.broker_count(), 6u);
+  EXPECT_TRUE(rig.overlay.health().ok());
+
+  // A subscriber at leaf 5, a publisher at leaf 4: the publication must
+  // cross 0 -> 1 -> 3 -> 5 (three forwarding hops past the origin).
+  ASSERT_TRUE(rig.overlay.subscribe(5, 1, range_filter("temp", 30, 100)).ok());
+  EXPECT_FALSE(rig.overlay.subscribe(5, 1, range_filter("temp", 0, 1)).ok())
+      << "duplicate subscription id must be rejected";
+  rig.overlay.drain();
+
+  auto hot = rig.overlay.publish(4, point_event("temp", 42));
+  ASSERT_TRUE(hot.ok());
+  auto cold = rig.overlay.publish(4, point_event("temp", 10));
+  ASSERT_TRUE(cold.ok());
+  rig.overlay.drain();
+
+  const auto& deliveries = rig.overlay.deliveries();
+  ASSERT_EQ(deliveries.count(*hot), 1u);
+  EXPECT_EQ(deliveries.at(*hot),
+            (FabricOverlay::DeliverySet{{BrokerId{5}, SubscriptionId{1}}}));
+  EXPECT_EQ(deliveries.count(*cold), 0u);
+  EXPECT_EQ(rig.overlay.stats().deliveries, 1u);
+  EXPECT_EQ(rig.overlay.stats().publication_hops, 4u);
+  EXPECT_EQ(rig.overlay.local_entries(5), 1u);
+  expect_mirrors_consistent(rig.overlay);
+  EXPECT_TRUE(rig.overlay.health().ok());
+
+  // Per-broker observability merged across nodes (cluster-obs default).
+  auto snapshot = rig.overlay.cluster_snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  const std::string obs = snapshot->to_obs_json();
+  EXPECT_NE(obs.find("securecloud.obs.v2"), std::string::npos);
+  EXPECT_NE(obs.find("broker-5"), std::string::npos);
+}
+
+TEST(FabricOverlay, RetractionUncoversAndReconverges) {
+  Rig rig(tree6_config());
+  ASSERT_TRUE(rig.overlay.setup(rig.service).ok());
+
+  // Broad filter at 2 covers the narrow one at 2; remote brokers only
+  // ever learn the broad advertisement.
+  ASSERT_TRUE(rig.overlay.subscribe(2, 1, range_filter("x", 0, 1000)).ok());
+  rig.overlay.drain();
+  ASSERT_TRUE(rig.overlay.subscribe(2, 2, range_filter("x", 10, 20)).ok());
+  rig.overlay.drain();
+  const std::uint64_t suppressed = rig.overlay.stats().subscriptions_suppressed;
+  EXPECT_GT(suppressed, 0u);
+
+  // Retracting the coverer must re-advertise the narrow filter, and
+  // publications keep reaching it.
+  ASSERT_TRUE(rig.overlay.unsubscribe(2, 1));
+  rig.overlay.drain();
+  expect_mirrors_consistent(rig.overlay);
+  auto pub = rig.overlay.publish(5, point_event("x", 15));
+  ASSERT_TRUE(pub.ok());
+  rig.overlay.drain();
+  EXPECT_EQ(rig.overlay.deliveries().at(*pub),
+            (FabricOverlay::DeliverySet{{BrokerId{2}, SubscriptionId{2}}}));
+}
+
+// Golden model: drive the identical churn history through BrokerOverlay
+// (synchronous, in-process — validated against flat evaluation in
+// overlay_test.cpp) and the fabric overlay; delivery sets and
+// routing-table sizes must agree everywhere.
+TEST(FabricOverlay, MatchesBrokerOverlayUnderChurn) {
+  Rig rig(tree6_config());
+  ASSERT_TRUE(rig.overlay.setup(rig.service).ok());
+  BrokerOverlay golden(6, kTree6);
+  ASSERT_TRUE(golden.topology().ok());
+
+  WorkloadConfig wcfg;
+  wcfg.attribute_universe = 6;
+  wcfg.attributes_per_filter = 2;
+  wcfg.hierarchy_fraction = 0.7;  // containment-rich: suppression fires
+  ScbrWorkload workload(wcfg, 4242);
+
+  // Interleaved subscribe/unsubscribe churn, same sequence to both.
+  std::vector<std::pair<BrokerId, SubscriptionId>> live;
+  for (SubscriptionId id = 1; id <= 60; ++id) {
+    const BrokerId home = (id * 7) % 6;
+    const Filter filter = workload.next_filter();
+    ASSERT_TRUE(golden.subscribe(home, id, filter).ok());
+    ASSERT_TRUE(rig.overlay.subscribe(home, id, filter).ok());
+    rig.overlay.drain();
+    live.push_back({home, id});
+    if (id % 3 == 0) {
+      const auto [victim_home, victim] = live[(id * 5) % live.size()];
+      ASSERT_TRUE(golden.unsubscribe(victim_home, victim).ok());
+      ASSERT_TRUE(rig.overlay.unsubscribe(victim_home, victim).ok());
+      rig.overlay.drain();
+      live.erase(std::find(live.begin(), live.end(),
+                           std::make_pair(victim_home, victim)));
+    }
+  }
+
+  // Identical routing tables, broker by broker.
+  for (BrokerId b = 0; b < 6; ++b) {
+    EXPECT_EQ(rig.overlay.remote_entries(b), golden.remote_entries(b))
+        << "broker " << b;
+  }
+  expect_mirrors_consistent(rig.overlay);
+
+  // Identical delivery sets for a stream of publications from every broker.
+  for (int i = 0; i < 48; ++i) {
+    const BrokerId origin = i % 6;
+    const Event event = workload.next_event();
+    auto want = golden.publish(origin, event);
+    ASSERT_TRUE(want.ok());
+    auto pub = rig.overlay.publish(origin, event);
+    ASSERT_TRUE(pub.ok());
+    rig.overlay.drain();
+    std::set<SubscriptionId> want_set(want->begin(), want->end());
+    std::set<SubscriptionId> got_set;
+    auto it = rig.overlay.deliveries().find(*pub);
+    if (it != rig.overlay.deliveries().end()) {
+      for (const auto& [broker, id] : it->second) got_set.insert(id);
+    }
+    EXPECT_EQ(got_set, want_set) << "publication " << i << " from " << origin;
+  }
+  EXPECT_TRUE(rig.overlay.health().ok());
+}
+
+// ------------------------------------------------------------------ chaos
+
+struct ChaosResult {
+  std::map<std::uint64_t, FabricOverlay::DeliverySet> deliveries;
+  OverlayStats stats;
+  std::string obs_v2;
+};
+
+/// Churns subscriptions fault-free, then publishes two batches while the
+/// fabric drops and reorders frames. Publications never mutate routing
+/// tables, so fault-shifted interleavings cannot change what anyone
+/// receives — the flow layer recovers every payload exactly once.
+ChaosResult run_chaos(std::size_t threads, bool faulty) {
+  Rig rig(tree6_config());
+  EXPECT_TRUE(rig.overlay.setup(rig.service).ok());
+
+  WorkloadConfig wcfg;
+  wcfg.attribute_universe = 6;
+  wcfg.attributes_per_filter = 2;
+  wcfg.hierarchy_fraction = 0.6;
+  ScbrWorkload workload(wcfg, 777);
+  for (SubscriptionId id = 1; id <= 36; ++id) {
+    EXPECT_TRUE(rig.overlay.subscribe(id % 6, id, workload.next_filter()).ok());
+    rig.overlay.drain();
+    if (id % 4 == 0) {
+      EXPECT_TRUE(rig.overlay.unsubscribe((id - 2) % 6, id - 2).ok());
+      rig.overlay.drain();
+    }
+  }
+
+  FaultInjector faults(31, &rig.clock);
+  if (faulty) {
+    rig.fabric.set_fault_injector(&faults);
+    faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 0.3, .max_fires = 25});
+    faults.arm(FaultKind::kNetReorder,
+               FaultArm{.probability = 0.2, .max_fires = 15});
+  }
+
+  common::ThreadPool pool(threads);
+  std::vector<Event> wave_a, wave_b;
+  for (int i = 0; i < 20; ++i) wave_a.push_back(workload.next_event());
+  for (int i = 0; i < 20; ++i) wave_b.push_back(workload.next_event());
+  EXPECT_TRUE(rig.overlay.publish_batch(2, wave_a, &pool).ok());
+  rig.overlay.drain();
+  EXPECT_TRUE(rig.overlay.publish_batch(4, wave_b, &pool).ok());
+  rig.overlay.drain();
+  EXPECT_TRUE(rig.overlay.health().ok());
+
+  ChaosResult result;
+  result.deliveries = rig.overlay.deliveries();
+  result.stats = rig.overlay.stats();
+  auto snapshot = rig.overlay.cluster_snapshot();
+  EXPECT_TRUE(snapshot.ok());
+  if (snapshot.ok()) result.obs_v2 = snapshot->to_obs_json();
+  return result;
+}
+
+void expect_same_stats(const OverlayStats& a, const OverlayStats& b) {
+  EXPECT_EQ(a.subscriptions_forwarded, b.subscriptions_forwarded);
+  EXPECT_EQ(a.subscriptions_suppressed, b.subscriptions_suppressed);
+  EXPECT_EQ(a.table_prunes, b.table_prunes);
+  EXPECT_EQ(a.publication_hops, b.publication_hops);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+}
+
+TEST(FabricOverlay, ChaosPublishIsFaultAndThreadCountInvariant) {
+  const ChaosResult clean = run_chaos(1, /*faulty=*/false);
+  const ChaosResult faulty_1t = run_chaos(1, /*faulty=*/true);
+  const ChaosResult faulty_8t = run_chaos(8, /*faulty=*/true);
+
+  // Armed loss/reorder changes nothing the protocol promises: same
+  // subscriber sets, same overlay stats as the fault-free run.
+  EXPECT_EQ(faulty_1t.deliveries, clean.deliveries);
+  expect_same_stats(faulty_1t.stats, clean.stats);
+  EXPECT_GT(clean.stats.deliveries, 0u) << "chaos workload matched nothing";
+
+  // And the faulted run is bit-identical across thread counts, including
+  // every per-broker counter in the merged obs export.
+  EXPECT_EQ(faulty_8t.deliveries, faulty_1t.deliveries);
+  expect_same_stats(faulty_8t.stats, faulty_1t.stats);
+  EXPECT_EQ(faulty_8t.obs_v2, faulty_1t.obs_v2);
+}
+
+}  // namespace
+}  // namespace securecloud::scbr

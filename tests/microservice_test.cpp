@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "microservice/service.hpp"
+#include "scbr/sharded_engine.hpp"
 #include "scbr/workload.hpp"
 #include "sgx/platform.hpp"
 
@@ -66,6 +67,30 @@ TEST(EventBus, PublishSubscribeDispatch) {
   EXPECT_EQ(seen, (std::vector<std::int64_t>{42}));
   EXPECT_EQ(bus.published(), 2u);
   EXPECT_EQ(bus.delivered(), 1u);
+}
+
+TEST(EventBus, AcceptsInjectedShardedEngine) {
+  // Subscription-heavy buses swap the default poset engine for the
+  // sharded containment index; dispatch semantics are unchanged.
+  BusFixture fx;
+  EventBus bus(*fx.enclave, fx.keys,
+               std::make_unique<scbr::ShardedPosetEngine>());
+  auto* sensor = bus.attach("sensor");
+  auto* alarm = bus.attach("alarm");
+  ASSERT_TRUE(bus.start().ok());
+
+  std::vector<std::int64_t> seen;
+  ASSERT_TRUE(bus.subscribe(*alarm, temp_above(30), [&](const Event& e) {
+                   seen.push_back(e.find("temp")->as_int());
+                 }).ok());
+  Event hot;
+  hot.set("temp", std::int64_t{42});
+  ASSERT_TRUE(bus.publish(*sensor, hot).ok());
+  Event cold;
+  cold.set("temp", std::int64_t{5});
+  ASSERT_TRUE(bus.publish(*sensor, cold).ok());
+  bus.drain();
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{42}));
 }
 
 TEST(EventBus, AttachAfterStartFails) {

@@ -181,6 +181,113 @@ TEST_P(OverlayEquivalence, MatchesFlatEvaluationUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OverlayEquivalence,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(Overlay, DeepChainDoesNotOverflowStack) {
+  // Regression: propagate/retract/publish used to recurse once per hop,
+  // so a long chain blew the stack. Worklists must handle ~10⁴ brokers.
+  constexpr std::size_t kBrokers = 10000;
+  std::vector<std::pair<BrokerId, BrokerId>> links;
+  links.reserve(kBrokers - 1);
+  for (BrokerId b = 0; b + 1 < kBrokers; ++b) links.emplace_back(b, b + 1);
+  BrokerOverlay overlay(kBrokers, links);
+  ASSERT_TRUE(overlay.topology().ok());
+
+  ASSERT_TRUE(overlay.subscribe(0, 1, range_filter("x", 0, 1000)).ok());
+  EXPECT_EQ(overlay.stats().subscriptions_forwarded, kBrokers - 1);
+
+  auto matched = overlay.publish(kBrokers - 1, point_event("x", 50));
+  ASSERT_TRUE(matched.ok());
+  EXPECT_EQ(*matched, (std::vector<SubscriptionId>{1}));
+  EXPECT_EQ(overlay.stats().publication_hops, kBrokers - 1);
+
+  // A covered subscription is suppressed at the first hop; retracting
+  // its coverer cascades the retraction and the uncovering
+  // re-advertisement down the whole chain.
+  ASSERT_TRUE(overlay.subscribe(0, 2, range_filter("x", 10, 20)).ok());
+  EXPECT_EQ(overlay.stats().subscriptions_suppressed, 1u);
+  ASSERT_TRUE(overlay.unsubscribe(0, 1).ok());
+  auto narrow = overlay.publish(kBrokers - 1, point_event("x", 15));
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(*narrow, (std::vector<SubscriptionId>{2}));
+  ASSERT_TRUE(overlay.unsubscribe(0, 2).ok());
+  EXPECT_EQ(overlay.remote_entries(kBrokers / 2), 0u);
+}
+
+TEST(Overlay, ResubscribeAfterRetractionMatchesFreshState) {
+  // Regression: uncovering used to re-advertise every uncovered filter
+  // without applying covering among the re-advertised set, so the order
+  // of re-advertisement could leave covered entries in per_link tables
+  // forever. After subscribe→unsubscribe→re-subscribe the routing state
+  // must equal the fresh-subscribe state.
+  const Filter broad = range_filter("x", 0, 1000);
+  const Filter narrow = range_filter("x", 40, 60);  // covered by mid
+  const Filter mid = range_filter("x", 10, 100);    // covered by broad
+
+  BrokerOverlay cycled = line4();
+  ASSERT_TRUE(cycled.subscribe(3, 1, broad).ok());
+  ASSERT_TRUE(cycled.subscribe(3, 2, narrow).ok());  // suppressed (broad)
+  ASSERT_TRUE(cycled.subscribe(3, 3, mid).ok());     // suppressed (broad)
+  ASSERT_TRUE(cycled.unsubscribe(3, 1).ok());  // uncovering: mid, then narrow
+  ASSERT_TRUE(cycled.subscribe(3, 1, broad).ok());  // prunes mid back out
+
+  BrokerOverlay fresh = line4();
+  ASSERT_TRUE(fresh.subscribe(3, 1, broad).ok());
+  ASSERT_TRUE(fresh.subscribe(3, 2, narrow).ok());
+  ASSERT_TRUE(fresh.subscribe(3, 3, mid).ok());
+
+  for (BrokerId b = 0; b < 4; ++b) {
+    EXPECT_EQ(cycled.remote_entries(b), fresh.remote_entries(b)) << "broker " << b;
+  }
+
+  auto got = cycled.publish(0, point_event("x", 50));
+  ASSERT_TRUE(got.ok());
+  std::sort(got->begin(), got->end());
+  EXPECT_EQ(*got, (std::vector<SubscriptionId>{1, 2, 3}));
+}
+
+TEST(Overlay, ChurnedTablesMatchFreshTablesOnRandomWorkload) {
+  // Covering suppression + covering-triggered pruning keep every
+  // per-link table a minimal frontier of the filters behind the link, so
+  // routing state after arbitrary churn must equal the state of a fresh
+  // overlay holding only the survivors.
+  Rng rng(41);
+  std::vector<std::pair<BrokerId, BrokerId>> links;
+  for (BrokerId b = 1; b < 8; ++b) {
+    links.emplace_back(b, static_cast<BrokerId>(rng.uniform(b)));
+  }
+  BrokerOverlay churned(8, links);
+  ScbrWorkload workload({.attribute_universe = 4,
+                         .attributes_per_filter = 2,
+                         .value_range = 100,
+                         .width_fraction = 0.4,
+                         .hierarchy_fraction = 0.7,
+                         .parent_pool = 64},
+                        43);
+
+  std::vector<std::tuple<SubscriptionId, BrokerId, Filter>> live;
+  SubscriptionId next_id = 1;
+  for (int round = 0; round < 400; ++round) {
+    if (live.empty() || rng.chance(0.6)) {
+      const BrokerId home = static_cast<BrokerId>(rng.uniform(8));
+      const Filter f = workload.next_filter();
+      ASSERT_TRUE(churned.subscribe(home, next_id, f).ok());
+      live.emplace_back(next_id++, home, f);
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(rng.uniform(live.size()));
+      ASSERT_TRUE(
+          churned.unsubscribe(std::get<1>(live[pick]), std::get<0>(live[pick])).ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+
+  BrokerOverlay fresh(8, links);
+  for (const auto& [id, home, filter] : live) {
+    ASSERT_TRUE(fresh.subscribe(home, id, filter).ok());
+  }
+  for (BrokerId b = 0; b < 8; ++b) {
+    EXPECT_EQ(churned.remote_entries(b), fresh.remote_entries(b)) << "broker " << b;
+  }
+}
+
 TEST(Overlay, CoveringReducesRoutingState) {
   // Hierarchical workload: covering should keep remote tables far
   // smaller than the subscription count.

@@ -3,9 +3,13 @@
 // (encryption, signatures, authorization), and the workload generator.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <limits>
+
 #include "scbr/naive_engine.hpp"
 #include "scbr/poset_engine.hpp"
 #include "scbr/router.hpp"
+#include "scbr/sharded_engine.hpp"
 #include "scbr/workload.hpp"
 #include "sgx/platform.hpp"
 
@@ -177,6 +181,130 @@ TEST(Filter, CoversIsSoundOnRandomPairs) {
     }
   }
   EXPECT_GT(cover_pairs, 60u);  // hierarchy produces plenty of containment
+}
+
+// Minimized regressions for covers() type confusion. Constraint::matches
+// is type-gated — a numeric constraint never matches a string event value
+// and vice versa, for every operator including != — so a != of one kind
+// cannot cover a range of the other kind, and a string bound must not
+// leak into the numeric interval as 0.
+TEST(Filter, CoversRejectsKindMismatchedNe) {
+  Filter not_foo, ge5;
+  not_foo.where("x", Op::kNe, Value::of(std::string("foo")));
+  ge5.where("x", Op::kGe, Value::of(std::int64_t{5}));
+  Event e;
+  e.set("x", std::int64_t{7});
+  EXPECT_TRUE(ge5.matches(e));
+  EXPECT_FALSE(not_foo.matches(e));  // 7 is not comparable to "foo"
+  EXPECT_FALSE(not_foo.covers(ge5));
+
+  Filter not_five, is_bar;
+  not_five.where("x", Op::kNe, Value::of(std::int64_t{5}));
+  is_bar.where("x", Op::kEq, Value::of(std::string("bar")));
+  Event s;
+  s.set("x", "bar");
+  EXPECT_TRUE(is_bar.matches(s));
+  EXPECT_FALSE(not_five.matches(s));
+  EXPECT_FALSE(not_five.covers(is_bar));
+}
+
+TEST(Filter, CoversStringBoundIsNotNumericZero) {
+  Filter below_z, minus_five;
+  below_z.where("x", Op::kLt, Value::of(std::string("z")));
+  minus_five.where("x", Op::kEq, Value::of(std::int64_t{-5}));
+  Event e;
+  e.set("x", std::int64_t{-5});
+  EXPECT_TRUE(minus_five.matches(e));
+  EXPECT_FALSE(below_z.matches(e));  // numeric -5 not comparable to "z"
+  EXPECT_FALSE(below_z.covers(minus_five));
+}
+
+TEST(Filter, CoversStringRangeContainment) {
+  // Lexicographic bounds participate in containment instead of being
+  // conservatively rejected (or mis-modelled as numeric zeroes).
+  Filter broad, narrow;
+  broad.where("s", Op::kGe, Value::of(std::string("b")))
+      .where("s", Op::kLe, Value::of(std::string("x")));
+  narrow.where("s", Op::kGe, Value::of(std::string("c")))
+      .where("s", Op::kLt, Value::of(std::string("m")));
+  EXPECT_TRUE(broad.covers(narrow));
+  EXPECT_FALSE(narrow.covers(broad));
+  Filter edge;
+  edge.where("s", Op::kGt, Value::of(std::string("b")));
+  EXPECT_TRUE(broad.covers(broad));
+  EXPECT_FALSE(edge.covers(broad));  // "b" itself admitted only by broad
+}
+
+TEST(Filter, CoversSoundnessFuzzMixedTypes) {
+  // Seeded property fuzz across all six operators with int, double, and
+  // string values sharing attribute names, so kind collisions, boundary
+  // strictness, and non-finite values are exercised:
+  //   covers(f, g) && g.matches(e)  ⟹  f.matches(e).
+  Rng rng(0xC0BE5);
+  const std::array<Op, 6> ops = {Op::kEq, Op::kNe, Op::kLt,
+                                 Op::kLe, Op::kGt, Op::kGe};
+  const std::array<const char*, 2> attrs = {"x", "y"};
+
+  auto random_value = [&rng]() {
+    switch (rng.uniform(6)) {
+      case 0: return Value::of(rng.uniform_in(-3, 3));
+      case 1: return Value::of(static_cast<double>(rng.uniform_in(-6, 6)) / 2.0);
+      case 2:
+        return Value::of(std::string(1, static_cast<char>('a' + rng.uniform(4))));
+      case 3:
+        return Value::of(std::numeric_limits<double>::infinity() *
+                         (rng.chance(0.5) ? 1.0 : -1.0));
+      case 4: return Value::of(std::numeric_limits<double>::quiet_NaN());
+      default: return Value::of(rng.uniform_in(-40, 40));
+    }
+  };
+  auto random_filter = [&]() {
+    Filter f;
+    const std::uint64_t n = 1 + rng.uniform(3);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      f.where(attrs[rng.uniform(attrs.size())], ops[rng.uniform(ops.size())],
+              random_value());
+    }
+    return f;
+  };
+  auto describe = [](const Filter& f) {
+    std::string out;
+    for (const auto& c : f.constraints()) {
+      out += c.attribute;
+      out += to_string(c.op);
+      if (c.value.type() == Value::Type::kString) {
+        out += "\"" + c.value.as_string() + "\"";
+      } else {
+        out += std::to_string(c.value.numeric());
+      }
+      out += " ";
+    }
+    return out;
+  };
+
+  std::uint64_t cover_pairs = 0;
+  std::uint64_t implications_checked = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Filter f = random_filter();
+    const Filter g = random_filter();
+    if (!f.covers(g)) continue;
+    ++cover_pairs;
+    for (int trial = 0; trial < 25; ++trial) {
+      Event e;
+      for (const char* attr : attrs) {
+        if (rng.chance(0.85)) e.attributes[attr] = random_value();
+      }
+      if (!g.matches(e)) continue;
+      ++implications_checked;
+      ASSERT_TRUE(f.matches(e))
+          << "covers() unsound: outer {" << describe(f) << "} claims to cover {"
+          << describe(g) << "} but misses a matching event";
+    }
+  }
+  // The generator must actually produce containment and matching events,
+  // or the property above is vacuous.
+  EXPECT_GT(cover_pairs, 50u);
+  EXPECT_GT(implications_checked, 100u);
 }
 
 TEST(Filter, SerializationRoundTrip) {
@@ -382,6 +510,92 @@ TEST(Engines, DatabaseBytesTracksSubscriptions) {
   EXPECT_EQ(engine.database_bytes(), 2 * one);
   engine.unsubscribe(1);
   EXPECT_EQ(engine.database_bytes(), one);
+}
+
+// ----------------------------------------------------------- Sharded engine
+
+TEST(ShardedEngine, EquivalentToNaiveUnderChurn) {
+  ScbrWorkload workload({.attribute_universe = 6,
+                         .attributes_per_filter = 2,
+                         .value_range = 200,
+                         .width_fraction = 0.4,
+                         .hierarchy_fraction = 0.6,
+                         .parent_pool = 128},
+                        23);
+  NaiveEngine naive;
+  ShardedPosetEngine sharded;
+  Rng rng(29);
+  std::vector<SubscriptionId> live;
+  SubscriptionId next_id = 1;
+
+  for (int round = 0; round < 600; ++round) {
+    if (live.empty() || rng.chance(0.7)) {
+      const Filter f = workload.next_filter();
+      naive.subscribe(next_id, f);
+      sharded.subscribe(next_id, f);
+      live.push_back(next_id++);
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(rng.uniform(live.size()));
+      const SubscriptionId id = live[pick];
+      EXPECT_TRUE(naive.unsubscribe(id));
+      EXPECT_TRUE(sharded.unsubscribe(id));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (round % 60 == 0) {
+      ASSERT_TRUE(sharded.check_invariants()) << "round " << round;
+      const Event e = workload.next_event();
+      auto a = naive.match(e);
+      auto b = sharded.match(e);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      ASSERT_EQ(a, b) << "round " << round;
+      EXPECT_EQ(sharded.matches_any(e), !a.empty()) << "round " << round;
+    }
+  }
+  EXPECT_EQ(sharded.size(), live.size());
+  EXPECT_GT(sharded.shard_count(), 1u);
+}
+
+TEST(ShardedEngine, CoveredByAnyCrossesShards) {
+  ShardedPosetEngine engine;
+  // Coverer over {x} lives in a different shard than probes over {x,y}.
+  Filter broad;
+  broad.where("x", Op::kGe, Value::of(std::int64_t{0}))
+      .where("x", Op::kLe, Value::of(std::int64_t{100}));
+  engine.subscribe(1, broad);
+
+  Filter narrow;
+  narrow.where("x", Op::kGe, Value::of(std::int64_t{10}))
+      .where("x", Op::kLe, Value::of(std::int64_t{20}))
+      .where("y", Op::kEq, Value::of(std::int64_t{5}));
+  EXPECT_TRUE(engine.covered_by_any(narrow));
+
+  Filter outside;
+  outside.where("x", Op::kGe, Value::of(std::int64_t{200}))
+      .where("y", Op::kEq, Value::of(std::int64_t{5}));
+  EXPECT_FALSE(engine.covered_by_any(outside));
+
+  Filter other_attr;
+  other_attr.where("z", Op::kEq, Value::of(std::int64_t{1}));
+  EXPECT_FALSE(engine.covered_by_any(other_attr));
+
+  EXPECT_TRUE(engine.unsubscribe(1));
+  EXPECT_FALSE(engine.covered_by_any(narrow));
+}
+
+TEST(ShardedEngine, FindAndForEachAreDeterministic) {
+  ShardedPosetEngine engine;
+  engine.subscribe(7, range_filter("a", 0, 10));
+  engine.subscribe(3, range_filter("b", 0, 10));
+  engine.subscribe(5, range_filter("a", 2, 8));
+  ASSERT_NE(engine.find(7), nullptr);
+  EXPECT_EQ(engine.find(99), nullptr);
+
+  std::vector<SubscriptionId> seen;
+  engine.for_each([&](SubscriptionId id, const Filter&) { seen.push_back(id); });
+  // Shards iterate in signature order ("a" before "b"), slots in
+  // insertion order within a shard.
+  EXPECT_EQ(seen, (std::vector<SubscriptionId>{7, 5, 3}));
 }
 
 // ------------------------------------------------------------------- Router
@@ -609,6 +823,68 @@ TEST(Router, MetricsTrackOperationsAndAttacks) {
   EXPECT_EQ(m.deliveries, 1u);
   EXPECT_EQ(m.replays_blocked, 1u);
   EXPECT_EQ(m.auth_failures, 1u);
+}
+
+TEST(Router, SubscribeBatchMatchesSequentialAtAnyThreadCount) {
+  // The same mixed batch — valid subscriptions, a tampered wire, a
+  // replayed counter, an unknown client — must produce identical ids,
+  // metrics, and engine state whether applied via subscribe() calls,
+  // an inline batch, or a pooled batch.
+  RouterFixture fx;
+  auto bob = fx.keys.register_client("bob");
+  auto carol = fx.keys.register_client("carol");
+
+  std::vector<ScbrRouter::SubscribeRequest> batch;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    batch.push_back({i % 2 ? "bob" : "carol",
+                     encrypt_subscription(i % 2 ? bob : carol,
+                                          range_filter("x", 10 * i, 10 * i + 100),
+                                          i / 2 + 1)});
+  }
+  batch[3].wire[batch[3].wire.size() / 2] ^= 1;          // tampered
+  batch.push_back({"bob", batch[1].wire});               // replayed counter
+  batch.push_back({"mallory", batch[0].wire});           // unknown client
+
+  ScbrRouter& sequential = fx.make_router();
+  std::vector<Result<SubscriptionId>> want;
+  for (const auto& req : batch) {
+    want.push_back(sequential.subscribe(req.client, req.wire));
+  }
+
+  common::ThreadPool pool(4);
+  for (common::ThreadPool* p : {static_cast<common::ThreadPool*>(nullptr), &pool}) {
+    ScbrRouter& batched = fx.make_router();
+    auto got = batched.subscribe_batch(batch, p);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].ok(), want[i].ok()) << "slot " << i;
+      if (want[i].ok()) {
+        EXPECT_EQ(*got[i], *want[i]) << "slot " << i;
+      } else {
+        EXPECT_EQ(got[i].error().code, want[i].error().code) << "slot " << i;
+      }
+    }
+    EXPECT_EQ(batched.engine().size(), sequential.engine().size());
+    EXPECT_EQ(batched.metrics().subscriptions, sequential.metrics().subscriptions);
+    EXPECT_EQ(batched.metrics().auth_failures, sequential.metrics().auth_failures);
+    EXPECT_EQ(batched.metrics().replays_blocked,
+              sequential.metrics().replays_blocked);
+
+    // The installed table routes: a publication matches the same set.
+    Event e;
+    e.set("x", std::int64_t{15});
+    auto deliveries =
+        batched.publish("carol", encrypt_publication(carol, e, 50 + (p != nullptr)));
+    ASSERT_TRUE(deliveries.ok());
+    auto want_deliveries = sequential.publish(
+        "carol", encrypt_publication(carol, e, 50 + (p != nullptr)));
+    ASSERT_TRUE(want_deliveries.ok());
+    ASSERT_EQ(deliveries->size(), want_deliveries->size());
+    for (std::size_t d = 0; d < deliveries->size(); ++d) {
+      EXPECT_EQ((*deliveries)[d].subscription, (*want_deliveries)[d].subscription);
+      EXPECT_EQ((*deliveries)[d].subscriber, (*want_deliveries)[d].subscriber);
+    }
+  }
 }
 
 TEST(Router, WireCarriesNoPlaintext) {
