@@ -10,9 +10,12 @@
 # suite, the obs registry/shard hammer + the flight-recorder
 # concurrent-append hammer and cross-thread span handover
 # (FlightRecorder.*/Trace.* in test_obs), the cluster fabric under
-# concurrent enqueue (FabricConcurrency.*), and the SCBR pooled batch
+# concurrent enqueue (FabricConcurrency.*), the SCBR pooled batch
 # paths (ScbrRouter::subscribe_batch in test_scbr, the fabric overlay's
-# chaos publish_batch in test_fabric_overlay) under TSan.
+# chaos publish_batch in test_fabric_overlay), and the SecureStreams
+# backpressure hammer (fast producer, slow sink, pool workers on the
+# pure stages, shared registry — StreamsHammer.* in test_streams) under
+# TSan.
 # Part of the tier-1 flow for changes touching the parallel execution
 # layer, the fault/recovery plane, the metrics plane, or src/net/.
 set -euo pipefail
@@ -24,7 +27,8 @@ cmake -B "${build_dir}" -S "${repo_root}" -DSECURECLOUD_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j "$(nproc)" \
       --target test_thread_pool test_common test_scone test_lockfree \
-      test_fault_injection test_obs test_net test_fabric_overlay test_scbr
+      test_fault_injection test_obs test_net test_fabric_overlay test_scbr \
+      test_streams
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/test_thread_pool"
@@ -36,4 +40,5 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/test_net" --gtest_filter='FabricConcurrency.*:Fabric.*'
 "${build_dir}/tests/test_fabric_overlay" --gtest_filter='*Chaos*'
 "${build_dir}/tests/test_scbr" --gtest_filter='*Batch*'
+"${build_dir}/tests/test_streams" --gtest_filter='StreamsHammer.*:*Chaos*'
 echo "TSan clean."

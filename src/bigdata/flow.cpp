@@ -20,6 +20,7 @@ void FlowNode::set_obs(obs::Registry* registry) {
     obs_payloads_sent_ = obs_payloads_delivered_ = obs_payload_bytes_sent_ =
         obs_payload_bytes_delivered_ = obs_chunks_sent_ = obs_nacks_sent_ =
             obs_retransmits_ = obs_beacons_sent_ = nullptr;
+    obs_chunks_in_flight_ = obs_chunks_queued_ = nullptr;
     return;
   }
   obs_payloads_sent_ = &registry->counter("net_flow_payloads_sent_total");
@@ -31,6 +32,8 @@ void FlowNode::set_obs(obs::Registry* registry) {
   obs_nacks_sent_ = &registry->counter("net_flow_nacks_sent_total");
   obs_retransmits_ = &registry->counter("net_flow_retransmits_total");
   obs_beacons_sent_ = &registry->counter("net_flow_beacons_sent_total");
+  obs_chunks_in_flight_ = &registry->gauge("net_flow_chunks_in_flight");
+  obs_chunks_queued_ = &registry->gauge("net_flow_chunks_queued");
   for (auto& [peer, out] : outbound_) out.sender->set_obs(registry);
   for (auto& [peer, in] : inbound_) in.receiver->set_obs(registry);
 }
@@ -106,11 +109,13 @@ void FlowNode::quiesce() {
   quiesced_ = true;
   outbound_.clear();
   inbound_.clear();
+  refresh_depth();
 }
 
 void FlowNode::abandon_peer(net::NodeId peer) {
   outbound_.erase(peer);
   inbound_.erase(peer);
+  refresh_depth();
 }
 
 Status FlowNode::send(net::NodeId dst, ByteView payload,
@@ -132,6 +137,7 @@ Status FlowNode::send(net::NodeId dst, ByteView payload,
   if (obs_payload_bytes_sent_ != nullptr) {
     obs_payload_bytes_sent_->inc(payload.size());
   }
+  refresh_depth();
   arm_timer();
   return {};
 }
@@ -177,6 +183,7 @@ void FlowNode::on_chunk(const net::Message& message) {
       }
     }
   }
+  refresh_depth();
   if (in.receiver->has_pending_gaps()) arm_timer();
 }
 
@@ -208,6 +215,7 @@ void FlowNode::on_control(const net::Message& message) {
       if (it == outbound_.end()) return;
       it->second.acked_through = std::max(it->second.acked_through, value);
       it->second.beacons_unanswered = 0;  // any ack proves liveness
+      refresh_depth();
       return;
     }
     case kBeacon: {
@@ -232,6 +240,7 @@ void FlowNode::on_control(const net::Message& message) {
       note_flight("dead_stream", message.src, it->second.chunks_sent);
       mark_peer_dead(it->second, Status(Error{ErrorCode::kUnavailable,
                                               "peer abandoned inbound stream"}));
+      refresh_depth();
       notify_peer_dead(message.src);  // last: the callback may mutate maps
       return;
     }
@@ -288,10 +297,41 @@ void FlowNode::on_timer() {
     bump(obs_beacons_sent_);
     send_control(peer, kBeacon, out.chunks_sent);
   }
+  if (!newly_dead.empty()) refresh_depth();  // dead flows leave the gauge
   if (work_pending()) arm_timer();
   // Notify last: a driver's callback may abandon peers (mutating the
   // maps iterated above) or send new payloads.
   for (net::NodeId peer : newly_dead) notify_peer_dead(peer);
+}
+
+void FlowNode::refresh_depth() {
+  std::uint64_t in_flight = 0;
+  for (const auto& [peer, out] : outbound_) {
+    if (!out.dead) in_flight += out.chunks_sent - out.acked_through;
+  }
+  std::uint64_t queued = 0;
+  for (const auto& [peer, in] : inbound_) {
+    queued += in.receiver->buffered_depth();
+  }
+  stats_.chunks_in_flight = in_flight;
+  stats_.chunks_queued = queued;
+  if (obs_chunks_in_flight_ != nullptr) {
+    obs_chunks_in_flight_->set(static_cast<std::int64_t>(in_flight));
+  }
+  if (obs_chunks_queued_ != nullptr) {
+    obs_chunks_queued_->set(static_cast<std::int64_t>(queued));
+  }
+}
+
+FlowDepth FlowNode::peer_depth(net::NodeId peer) const {
+  FlowDepth depth;
+  if (auto it = outbound_.find(peer); it != outbound_.end() && !it->second.dead) {
+    depth.in_flight = it->second.chunks_sent - it->second.acked_through;
+  }
+  if (auto it = inbound_.find(peer); it != inbound_.end()) {
+    depth.queued = it->second.receiver->buffered_depth();
+  }
+  return depth;
 }
 
 bool FlowNode::settled() const { return !work_pending(); }

@@ -60,8 +60,23 @@ struct FlowStats {
   std::uint64_t nacks_sent = 0;
   std::uint64_t retransmits = 0;
   std::uint64_t beacons_sent = 0;
+  /// Current depth, not cumulative: outbound chunks sent but not yet
+  /// cumulatively acked (in flight toward peers), and inbound
+  /// out-of-order chunks buffered behind a gap. Before these existed a
+  /// growing backlog was invisible to obs until a beacon fired; the
+  /// streams credit layer also reads them to report transport pressure.
+  std::uint64_t chunks_in_flight = 0;
+  std::uint64_t chunks_queued = 0;
 
   bool operator==(const FlowStats&) const = default;
+};
+
+/// One directed channel's depth (see FlowNode::peer_depth).
+struct FlowDepth {
+  std::uint64_t in_flight = 0;  // sent minus acked toward this peer
+  std::uint64_t queued = 0;     // out-of-order chunks buffered from this peer
+
+  bool operator==(const FlowDepth&) const = default;
 };
 
 /// One node's endpoint in the flow mesh. Registers itself as the fabric
@@ -124,6 +139,10 @@ class FlowNode {
 
   const FlowStats& stats() const { return stats_; }
 
+  /// Per-channel (directed peer) depth at this instant: chunks in flight
+  /// toward `peer` and chunks buffered out-of-order from `peer`.
+  FlowDepth peer_depth(net::NodeId peer) const;
+
   /// Wires `net_flow_*` counters and shares `registry` with the
   /// underlying transfer endpoints (transfer_send_* / transfer_recv_*
   /// aggregate across flows).
@@ -177,6 +196,10 @@ class FlowNode {
   /// at most once per peer (callers decide when it is safe to deliver).
   void mark_peer_dead(Outbound& out, Status reason);
   void notify_peer_dead(net::NodeId peer);
+  /// Recomputes stats_.chunks_in_flight / chunks_queued (and their
+  /// gauges) from the live flow state. Called wherever depth can change:
+  /// send, ack, chunk arrival, abandon, quiesce.
+  void refresh_depth();
   void bump(obs::Counter* counter) {
     if (counter != nullptr) counter->inc();
   }
@@ -205,6 +228,8 @@ class FlowNode {
   obs::Counter* obs_nacks_sent_ = nullptr;
   obs::Counter* obs_retransmits_ = nullptr;
   obs::Counter* obs_beacons_sent_ = nullptr;
+  obs::Gauge* obs_chunks_in_flight_ = nullptr;
+  obs::Gauge* obs_chunks_queued_ = nullptr;
 };
 
 }  // namespace securecloud::bigdata

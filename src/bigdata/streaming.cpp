@@ -13,6 +13,7 @@ void TumblingWindowAggregator::observe(const std::string& key, std::uint64_t tim
   const std::uint64_t window = window_of(timestamp_s);
   if (window + window_size_ + lateness_ <= watermark_) {
     ++late_dropped_;
+    if (obs_late_dropped_ != nullptr) obs_late_dropped_->inc();
     return;
   }
 
@@ -49,7 +50,7 @@ void TumblingWindowAggregator::advance_watermark(std::uint64_t t) {
   }
 }
 
-void TumblingWindowAggregator::flush() {
+std::uint64_t TumblingWindowAggregator::flush() {
   for (const auto& [key, acc] : windows_) {
     WindowResult result;
     result.key = key.second;
@@ -62,8 +63,15 @@ void TumblingWindowAggregator::flush() {
     emit_(result);
   }
   windows_.clear();
+  return late_dropped_;
 }
 
 std::size_t TumblingWindowAggregator::open_windows() const { return windows_.size(); }
+
+void TumblingWindowAggregator::set_obs(obs::Registry* registry) {
+  obs_late_dropped_ = registry == nullptr
+                          ? nullptr
+                          : &registry->counter("streaming_late_dropped_total");
+}
 
 }  // namespace securecloud::bigdata

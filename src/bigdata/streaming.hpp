@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace securecloud::bigdata {
 
 struct WindowResult {
@@ -47,11 +49,25 @@ class TumblingWindowAggregator {
   /// Feeds one (key, timestamp, value) sample.
   void observe(const std::string& key, std::uint64_t timestamp_s, double value);
 
-  /// Closes and emits every open window (end of stream).
-  void flush();
+  /// Advances the watermark without observing an event — the hook for
+  /// out-of-band watermarks (a streaming pipeline's control records):
+  /// windows whose grace period has passed close and emit exactly as if
+  /// an event with this timestamp had arrived.
+  void advance_to(std::uint64_t watermark_s) { advance_watermark(watermark_s); }
+
+  /// Closes and emits every open window (end of stream). Returns the
+  /// total number of late-dropped events so far, so a pipeline can
+  /// surface data loss instead of silently ignoring it.
+  std::uint64_t flush();
 
   std::uint64_t late_dropped() const { return late_dropped_; }
   std::size_t open_windows() const;
+  std::uint64_t watermark() const { return watermark_; }
+
+  /// Exports drops as a `streaming_late_dropped_total` counter (late
+  /// events were previously counted only internally — invisible to any
+  /// dashboard reading the registry).
+  void set_obs(obs::Registry* registry);
 
  private:
   struct Accumulator {
@@ -71,6 +87,7 @@ class TumblingWindowAggregator {
   std::map<std::pair<std::uint64_t, std::string>, Accumulator> windows_;
   std::uint64_t watermark_ = 0;  // highest timestamp seen
   std::uint64_t late_dropped_ = 0;
+  obs::Counter* obs_late_dropped_ = nullptr;
 };
 
 }  // namespace securecloud::bigdata

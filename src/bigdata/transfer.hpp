@@ -145,6 +145,12 @@ class SecureTransferReceiver {
 
   bool has_pending_gaps() const { return !gaps_.empty(); }
 
+  /// Out-of-order chunks currently held back waiting for a gap to fill —
+  /// the receive-side queue depth at this instant (ReceiverStats.buffered
+  /// is the cumulative count). The flow layer mirrors this into
+  /// FlowStats so backlog is visible before a beacon fires.
+  std::size_t buffered_depth() const { return out_of_order_.size(); }
+
   /// Next in-order sequence the receiver is waiting for — equivalently,
   /// the count of contiguously applied chunks. The cumulative-ack value a
   /// reliable flow reports back to its sender.

@@ -1,0 +1,147 @@
+#include "smartgrid/streaming_ops.hpp"
+
+#include <map>
+#include <memory>
+
+namespace securecloud::smartgrid {
+
+streams::SourceFn meter_stream_source(const MeterFleet& fleet) {
+  struct State {
+    std::vector<std::vector<MeterReading>> series;  // [household][tick]
+    std::size_t tick = 0;
+    std::size_t household = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->series = fleet.all_series();
+
+  // Every household samples on the same tick grid, so time-major
+  // iteration (tick outer, household inner) is nondecreasing event time.
+  return [state]() -> std::optional<streams::Record> {
+    while (state->tick <
+           (state->series.empty() ? 0 : state->series.front().size())) {
+      if (state->household >= state->series.size()) {
+        state->household = 0;
+        ++state->tick;
+        continue;
+      }
+      const MeterReading& reading = state->series[state->household][state->tick];
+      ++state->household;
+      streams::Record record;
+      record.key = reading.meter_id;
+      record.timestamp_s = reading.timestamp_s;
+      record.value = reading.power_w;
+      return record;
+    }
+    return std::nullopt;
+  };
+}
+
+namespace {
+constexpr const char* kFlagPrefix = "flag/";
+constexpr const char* kBillPrefix = "bill/";
+
+bool strip_prefix(const std::string& key, const char* prefix,
+                  std::string& meter_id) {
+  const std::string_view p(prefix);
+  if (key.size() <= p.size() || key.compare(0, p.size(), p) != 0) return false;
+  meter_id = key.substr(p.size());
+  return true;
+}
+}  // namespace
+
+bool is_flag_record(const streams::Record& record, std::string& meter_id) {
+  return strip_prefix(record.key, kFlagPrefix, meter_id);
+}
+
+bool is_bill_record(const streams::Record& record, std::string& meter_id) {
+  return strip_prefix(record.key, kBillPrefix, meter_id);
+}
+
+StageOps streaming_theft_stage(StreamingTheftConfig config) {
+  struct Aggregate {
+    double base_sum = 0, base_count = 0;
+    double recent_sum = 0, recent_count = 0;
+  };
+  struct State {
+    StreamingTheftConfig config;
+    std::map<std::string, Aggregate> by_meter;  // ordered: deterministic flush
+  };
+  auto state = std::make_shared<State>();
+  state->config = config;
+
+  StageOps ops;
+  ops.process = [state](const streams::Record& record) {
+    streams::WindowPayload window;
+    if (streams::get_window_payload(record, window)) {
+      // Whole-window attribution by window start; with the window size
+      // dividing split_s this matches the batch per-reading split.
+      Aggregate& agg = state->by_meter[record.key];
+      if (window.window_start_s < state->config.split_s) {
+        agg.base_sum += window.sum;
+        agg.base_count += static_cast<double>(window.count);
+      } else {
+        agg.recent_sum += window.sum;
+        agg.recent_count += static_cast<double>(window.count);
+      }
+    }
+    return std::vector<streams::Record>{record};  // pass-through
+  };
+  ops.flush = [state]() {
+    std::vector<streams::Record> flags;
+    for (const auto& [meter, agg] : state->by_meter) {
+      if (agg.base_count <= 0 || agg.recent_count <= 0) continue;
+      const double baseline = agg.base_sum / agg.base_count;
+      const double recent = agg.recent_sum / agg.recent_count;
+      const double ratio = baseline > 0 ? recent / baseline : 1.0;
+      if (ratio >= state->config.ratio_threshold) continue;
+      streams::Record flag;
+      flag.key = kFlagPrefix + meter;
+      flag.value = ratio;
+      flags.push_back(std::move(flag));
+    }
+    return flags;
+  };
+  return ops;
+}
+
+StageOps streaming_billing_stage(StreamingBillingConfig config) {
+  struct State {
+    StreamingBillingConfig config;
+    std::map<std::string, double> owed;  // meter -> accumulated cost
+  };
+  auto state = std::make_shared<State>();
+  state->config = config;
+
+  StageOps ops;
+  ops.process = [state](const streams::Record& record) {
+    streams::WindowPayload window;
+    if (streams::get_window_payload(record, window) && window.count > 0) {
+      // Mean power over the window times its duration = energy billed.
+      const double mean_w = window.sum / static_cast<double>(window.count);
+      const double hours =
+          static_cast<double>(window.window_end_s - window.window_start_s) /
+          3600.0;
+      const double kwh = mean_w * hours / 1000.0;
+      const std::uint64_t hour = (window.window_start_s / 3600) % 24;
+      const bool peak = hour >= state->config.peak_start_hour &&
+                        hour < state->config.peak_end_hour;
+      const double rate = peak ? state->config.peak_rate_per_kwh
+                               : state->config.offpeak_rate_per_kwh;
+      state->owed[record.key] += kwh * rate;
+    }
+    return std::vector<streams::Record>{record};  // pass-through
+  };
+  ops.flush = [state]() {
+    std::vector<streams::Record> bills;
+    for (const auto& [meter, cost] : state->owed) {
+      streams::Record bill;
+      bill.key = kBillPrefix + meter;
+      bill.value = cost;
+      bills.push_back(std::move(bill));
+    }
+    return bills;
+  };
+  return ops;
+}
+
+}  // namespace securecloud::smartgrid

@@ -1,0 +1,69 @@
+// Smart-grid operators for the SecureStreams pipeline (§VI use case 1,
+// streamed).
+//
+// The batch plane runs theft detection as a secure MapReduce job over a
+// day of encrypted readings; this adapter set runs the *same analysis*
+// as streaming operators so a city-scale fleet can be processed
+// continuously:
+//
+//   meter_stream_source  — interleaves the fleet's readings time-major
+//                          (all meters at t, then t+interval, ...), the
+//                          arrival order a concentrator would produce.
+//   streaming_theft_stage— a process stage over *window* records: sums
+//                          per-meter baseline/recent consumption from
+//                          closed windows, passes every record through,
+//                          and emits one "flag/<meter>" record per
+//                          detected thief at end of stream. With a
+//                          window size dividing split_s, the flagged
+//                          set equals the batch TheftDetector's exactly
+//                          (tests/streams_test.cpp golden test).
+//   streaming_billing_stage — prices each meter's window energy under a
+//                          peak/off-peak tariff and emits one
+//                          "bill/<meter>" record at end of stream.
+//
+// Both stages are pass-through: window records continue downstream, so
+// theft and billing stack in one pipeline and the sink sees aggregates,
+// flags, and bills on one stream.
+#pragma once
+
+#include "smartgrid/meter.hpp"
+#include "streams/pipeline.hpp"
+
+namespace securecloud::smartgrid {
+
+/// Source over `fleet`'s full horizon, time-major, nondecreasing in
+/// event time (the order the pipeline's watermark generator assumes).
+/// Copies the series out of the fleet, so the fleet may be discarded.
+streams::SourceFn meter_stream_source(const MeterFleet& fleet);
+
+struct StreamingTheftConfig {
+  /// Readings before this timestamp form the baseline. Must be a
+  /// multiple of the upstream window size, so no window straddles the
+  /// split — the invariant that makes streaming sums equal batch sums.
+  std::uint64_t split_s = 12 * 3600;
+  double ratio_threshold = 0.65;
+};
+
+/// A stateful stage as its operator pair (state shared between them).
+struct StageOps {
+  streams::ProcessFn process;
+  streams::ProcessFlushFn flush;
+};
+
+StageOps streaming_theft_stage(StreamingTheftConfig config);
+
+struct StreamingBillingConfig {
+  double offpeak_rate_per_kwh = 0.10;
+  double peak_rate_per_kwh = 0.25;
+  std::uint64_t peak_start_hour = 17;  // [start, end) in local wall hours
+  std::uint64_t peak_end_hour = 21;
+};
+
+StageOps streaming_billing_stage(StreamingBillingConfig config);
+
+/// True when `record` is a theft flag ("flag/<meter>"); extracts the
+/// meter id. Same shape for bills with "bill/".
+bool is_flag_record(const streams::Record& record, std::string& meter_id);
+bool is_bill_record(const streams::Record& record, std::string& meter_id);
+
+}  // namespace securecloud::smartgrid

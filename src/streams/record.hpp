@@ -1,0 +1,80 @@
+// SecureStreams data plane: the record model and inter-stage wire format.
+//
+// A streaming pipeline (streams/pipeline.hpp) is a chain of enclave
+// stages connected by FlowNode links; everything crossing a link is one
+// of four frame kinds, tagged by the first byte of the flow payload:
+//
+//   kData      — a batch of records, downstream. The only frame kind
+//                that consumes flow credits (one credit per record).
+//   kWatermark — event-time watermark, downstream. A control record:
+//                asserts no later data record will carry an earlier
+//                event time, so windows up to it may close.
+//   kEos       — end of stream, downstream. Follows the last data
+//                record on the link; stages flush and forward it.
+//   kCredit    — credit grant, upstream. The receiver has consumed n
+//                records, so the sender may ship n more. This is the
+//                whole backpressure protocol: a full stage simply stops
+//                granting, and its upstream stalls deterministically
+//                instead of dropping.
+//
+// Control frames ride outside the credit budget — a stalled link can
+// always carry watermarks, EOS, and grants, so backpressure can never
+// deadlock the control plane it is resolved by.
+//
+// Doubles travel as their IEEE-754 bit pattern (bit_cast to u64), so
+// encode/decode round-trips are exact and byte-stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace securecloud::streams {
+
+/// One data element flowing through a pipeline. `key` drives windowing
+/// and key_by routing; `timestamp_s` is event time (watermark domain);
+/// `origin_ns` is the fabric time the record entered the pipeline (or
+/// was re-stamped by a window close) — the sink's latency anchor;
+/// `payload` carries operator-specific extra bytes.
+struct Record {
+  std::string key;
+  std::uint64_t timestamp_s = 0;
+  double value = 0;
+  std::uint64_t origin_ns = 0;
+  Bytes payload;
+
+  bool operator==(const Record&) const = default;
+};
+
+/// Frame tag: first byte of every inter-stage flow payload.
+enum class FrameType : std::uint8_t {
+  kData = 1,
+  kWatermark = 2,
+  kEos = 3,
+  kCredit = 4,
+};
+
+void put_record(Bytes& out, const Record& record);
+bool get_record(ByteReader& in, Record& record);
+
+Bytes encode_data_frame(const std::vector<Record>& batch);
+Bytes encode_watermark_frame(std::uint64_t watermark_s);
+Bytes encode_eos_frame();
+Bytes encode_credit_frame(std::uint64_t records);
+
+/// A decoded frame; only the fields of its `type` are meaningful.
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::vector<Record> batch;       // kData
+  std::uint64_t watermark_s = 0;   // kWatermark
+  std::uint64_t credits = 0;       // kCredit
+};
+
+/// Strict decode: unknown tags, short reads, and trailing bytes are
+/// typed errors, never a partially-filled frame.
+Result<Frame> decode_frame(ByteView wire);
+
+}  // namespace securecloud::streams

@@ -662,6 +662,58 @@ TEST(Flow, AbandonedGapSurfacesAsTypedFailure) {
   EXPECT_TRUE(fabric.idle());
 }
 
+TEST(Flow, DepthGaugesTrackBacklogAndDrainToZero) {
+  SimClock clock;
+  net::Fabric fabric(clock);
+  FaultInjector faults(42, &clock);
+  fabric.set_fault_injector(&faults);
+  const net::NodeId a = fabric.add_node("a");
+  const net::NodeId b = fabric.add_node("b");
+  net::LinkConfig link;
+  link.latency_ns = 20'000;
+  ASSERT_TRUE(fabric.connect(a, b, link).ok());
+
+  const Bytes key(16, 0x5A);
+  bigdata::FlowConfig fc;
+  fc.chunk_size = 512;
+  bigdata::FlowNode sender(fabric, a, key, fc);
+  bigdata::FlowNode receiver(fabric, b, key, fc);
+  obs::Registry sender_obs;
+  sender.set_obs(&sender_obs);
+  receiver.set_on_payload([](net::NodeId, Bytes) {});
+
+  // Lose the first chunk: the other seven arrive out of order and must
+  // sit in the receiver's reorder buffer until the NACK repairs the gap.
+  faults.arm(FaultKind::kNetLoss, FaultArm{.probability = 1.0, .max_fires = 1});
+  ASSERT_TRUE(sender.send(b, patterned(4096, 6)).ok());
+
+  // send() put every chunk on the wire before any ack can exist, and
+  // the aggregate, per-peer, and gauge views must agree on the depth.
+  const std::uint64_t launched = sender.stats().chunks_in_flight;
+  EXPECT_GE(launched, 8u);  // 4096 bytes over 512-byte chunks
+  EXPECT_EQ(sender.peer_depth(b).in_flight, launched);
+  EXPECT_EQ(sender_obs.gauge("net_flow_chunks_in_flight").value(),
+            static_cast<std::int64_t>(launched));
+
+  // Step the fabric one event at a time and watch the depths move: the
+  // reorder buffer must visibly fill behind the gap, then fully drain.
+  std::uint64_t max_queued = 0;
+  while (fabric.run_until_idle(1) > 0) {
+    max_queued = std::max(max_queued, receiver.stats().chunks_queued);
+  }
+  EXPECT_GE(max_queued, 7u);
+
+  // Settled means empty: no chunk in flight, nothing buffered, mirrored
+  // by the gauges and the per-peer view.
+  EXPECT_TRUE(sender.settled());
+  EXPECT_EQ(sender.stats().chunks_in_flight, 0u);
+  EXPECT_EQ(receiver.stats().chunks_queued, 0u);
+  EXPECT_EQ(sender.peer_depth(b), (bigdata::FlowDepth{}));
+  EXPECT_EQ(receiver.peer_depth(a), (bigdata::FlowDepth{}));
+  EXPECT_EQ(sender_obs.gauge("net_flow_chunks_in_flight").value(), 0);
+  EXPECT_EQ(receiver.stats().payloads_delivered, 1u);
+}
+
 TEST(Flow, QuiesceStopsCountersAndNotifiesPeers) {
   SimClock clock;
   net::Fabric fabric(clock);

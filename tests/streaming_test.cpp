@@ -3,6 +3,7 @@
 
 #include "bigdata/streaming.hpp"
 #include "common/rng.hpp"
+#include "obs/registry.hpp"
 #include "smartgrid/meter.hpp"
 
 namespace securecloud::bigdata {
@@ -147,6 +148,25 @@ TEST(Streaming, TotalsConserveAcrossWindows) {
   double emitted = 0;
   for (const auto& r : collector.results) emitted += r.sum;
   EXPECT_DOUBLE_EQ(emitted, fed);
+}
+
+TEST(Streaming, FlushReturnsDropCountAndExportsCounter) {
+  // Regression: flush() used to return void and drops were only visible
+  // by polling late_dropped() before the aggregator was torn down. The
+  // streams pipeline reads the count from flush() at EOS and obs
+  // dashboards read the counter.
+  obs::Registry registry;
+  Collector collector;
+  TumblingWindowAggregator agg(60, 0, collector.emit());
+  agg.set_obs(&registry);
+  agg.observe("m1", 10, 1);
+  agg.observe("m1", 120, 2);  // closes [0,60)
+  agg.observe("m1", 15, 99);  // hopelessly late
+  agg.observe("m1", 20, 99);  // and again
+  EXPECT_EQ(registry.counter("streaming_late_dropped_total").value(), 2u);
+  EXPECT_EQ(agg.flush(), 2u);
+  // Re-flushing an empty aggregator still reports the lifetime count.
+  EXPECT_EQ(agg.flush(), 2u);
 }
 
 TEST(Streaming, MeterFeedEndToEnd) {
