@@ -30,6 +30,7 @@
 #include "bigdata/distributed_mapreduce.hpp"
 #include "common/sim_clock.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "obs/registry.hpp"
 #include "sgx/attestation.hpp"
 
@@ -50,6 +51,7 @@ double wall_seconds(const std::function<void()>& fn) {
 void bench_message_rate() {
   SimClock clock;
   net::Fabric fabric(clock);
+  fabric.enable_delivery_log();
   const net::NodeId a = fabric.add_node("a");
   const net::NodeId b = fabric.add_node("b");
   (void)fabric.connect(a, b);
@@ -65,11 +67,22 @@ void bench_message_rate() {
     fabric.run_until_idle();
   });
 
+  // Simulated per-message latency from the delivery log: send-to-deliver
+  // cycles bucketed into the log2 histogram, percentiles via quantile().
+  obs::Histogram delivery_latency_cycles;
+  for (const auto& d : fabric.deliveries()) {
+    delivery_latency_cycles.observe(d.deliver_cycles - d.send_cycles);
+  }
+
   std::printf(
       "{\"bench\":\"net_fabric_rate\",\"messages\":%zu,\"seconds\":%.4f,"
-      "\"msgs_per_sec\":%.0f,\"sim_ms\":%.3f}\n",
+      "\"msgs_per_sec\":%.0f,\"sim_ms\":%.3f,"
+      "\"delivery_latency_p50_cycles\":%.0f,"
+      "\"delivery_latency_p99_cycles\":%.0f}\n",
       kMessages, secs, static_cast<double>(received) / secs,
-      static_cast<double>(fabric.now_ns()) / 1e6);
+      static_cast<double>(fabric.now_ns()) / 1e6,
+      delivery_latency_cycles.quantile(0.50),
+      delivery_latency_cycles.quantile(0.99));
 }
 
 // N producer threads hammer send() into one fabric concurrently — the

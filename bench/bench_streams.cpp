@@ -32,6 +32,7 @@
 #include "bench_json.hpp"
 #include "common/thread_pool.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "obs/registry.hpp"
 #include "sgx/attestation.hpp"
 #include "smartgrid/streaming_ops.hpp"
@@ -113,7 +114,7 @@ void bench_streams() {
   auto billing = smartgrid::streaming_billing_stage({});
 
   std::size_t flags = 0, bills = 0;
-  std::vector<std::uint64_t> window_latencies_ns;
+  obs::Histogram window_latency_ns;
   auto stages =
       streams::PipelineBuilder()
           .source("meters", city_source(meters), 200)
@@ -130,7 +131,7 @@ void bench_streams() {
                   } else if (smartgrid::is_bill_record(r, meter)) {
                     ++bills;
                   } else {
-                    window_latencies_ns.push_back(now_ns - r.origin_ns);
+                    window_latency_ns.observe(now_ns - r.origin_ns);
                   }
                 },
                 2'500)
@@ -163,15 +164,10 @@ void bench_streams() {
   }
 
   const streams::PipelineStats stats = pipeline.stats();
-  std::sort(window_latencies_ns.begin(), window_latencies_ns.end());
-  const auto percentile = [&](double p) -> std::uint64_t {
-    if (window_latencies_ns.empty()) return 0;
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(window_latencies_ns.size() - 1));
-    return window_latencies_ns[idx];
-  };
-  const std::uint64_t p50_ns = percentile(0.50);
-  const std::uint64_t p99_ns = percentile(0.99);
+  const auto p50_ns =
+      static_cast<std::uint64_t>(window_latency_ns.quantile(0.50));
+  const auto p99_ns =
+      static_cast<std::uint64_t>(window_latency_ns.quantile(0.99));
   // How much of the stream's lifetime producers spent stalled on
   // credits, normalized per stage-that-can-stall.
   const double stall_ratio =
@@ -193,7 +189,8 @@ void bench_streams() {
       meters, stats.stages.size(), total_records, secs,
       static_cast<double>(total_records) / secs, sim_secs,
       sim_secs == 0 ? 0 : static_cast<double>(total_records) / sim_secs,
-      window_latencies_ns.size(), static_cast<double>(p50_ns) / 1e3,
+      static_cast<std::size_t>(window_latency_ns.count()),
+      static_cast<double>(p50_ns) / 1e3,
       static_cast<double>(p99_ns) / 1e3,
       static_cast<unsigned long long>(stats.credit_stalls), stall_ratio,
       static_cast<unsigned long long>(stats.stages[1].late_dropped), flags,

@@ -14,8 +14,10 @@
 # paths (ScbrRouter::subscribe_batch in test_scbr, the fabric overlay's
 # chaos publish_batch in test_fabric_overlay), and the SecureStreams
 # backpressure hammer (fast producer, slow sink, pool workers on the
-# pure stages, shared registry — StreamsHammer.* in test_streams) under
-# TSan.
+# pure stages, shared registry — StreamsHammer.* in test_streams), and
+# the telemetry plane's concurrent sampling surface (pool threads
+# bumping a sharded registry while the sampler snapshots and the
+# monitor ingests — TelemetryHammer.* in test_telemetry) under TSan.
 # Part of the tier-1 flow for changes touching the parallel execution
 # layer, the fault/recovery plane, the metrics plane, or src/net/.
 set -euo pipefail
@@ -28,7 +30,7 @@ cmake -B "${build_dir}" -S "${repo_root}" -DSECURECLOUD_SANITIZE=thread \
 cmake --build "${build_dir}" -j "$(nproc)" \
       --target test_thread_pool test_common test_scone test_lockfree \
       test_fault_injection test_obs test_net test_fabric_overlay test_scbr \
-      test_streams
+      test_streams test_telemetry
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/test_thread_pool"
@@ -41,4 +43,5 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 "${build_dir}/tests/test_fabric_overlay" --gtest_filter='*Chaos*'
 "${build_dir}/tests/test_scbr" --gtest_filter='*Batch*'
 "${build_dir}/tests/test_streams" --gtest_filter='StreamsHammer.*:*Chaos*'
+"${build_dir}/tests/test_telemetry" --gtest_filter='TelemetryHammer.*:*Chaos*'
 echo "TSan clean."

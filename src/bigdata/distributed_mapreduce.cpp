@@ -35,7 +35,8 @@ void DistributedMapReduce::set_obs(obs::Registry* registry, obs::Tracer* tracer)
     obs_jobs_ = obs_job_failures_ = obs_map_tasks_ = obs_shuffle_blocks_ =
         obs_shuffle_bytes_ = obs_results_ = obs_input_records_ =
             obs_worker_deaths_ = obs_tasks_reexecuted_ = obs_spec_launched_ =
-                obs_spec_wins_ = obs_spec_losses_ = nullptr;
+                obs_spec_wins_ = obs_spec_losses_ = obs_telemetry_frames_ =
+                    obs_telemetry_alerts_ = nullptr;
   } else {
     obs_jobs_ = &registry->counter("dist_mapreduce_jobs_total");
     obs_job_failures_ = &registry->counter("dist_mapreduce_job_failures_total");
@@ -52,6 +53,10 @@ void DistributedMapReduce::set_obs(obs::Registry* registry, obs::Tracer* tracer)
     obs_spec_wins_ = &registry->counter("dist_mapreduce_speculative_wins_total");
     obs_spec_losses_ =
         &registry->counter("dist_mapreduce_speculative_losses_total");
+    obs_telemetry_frames_ =
+        &registry->counter("dist_telemetry_frames_total");
+    obs_telemetry_alerts_ =
+        &registry->counter("dist_telemetry_alerts_total");
   }
   for (auto& session : sessions_) session->set_obs(registry);
   if (coordinator_flow_) coordinator_flow_->set_obs(registry);
@@ -119,19 +124,88 @@ void DistributedMapReduce::worker_on_obs_message(Worker& worker,
   std::uint8_t type = 0;
   if (!r.get_u8(type) || !r.done() || worker.onode == nullptr) return;
   obs::NodeSnapshot snap;
+  std::uint8_t reply_type = kObsReply;
   if (type == kObsSnapshotReq) {
     snap = worker.onode->snapshot();
-  } else if (type == kObsFlightReq) {
+  } else if (type == kObsFlightReq || type == kObsAlertPullReq) {
     snap.node = worker.onode->node;
     snap.flight = worker.onode->flight.events();
     snap.flight_total = worker.onode->flight.total_recorded();
+    if (type == kObsAlertPullReq) reply_type = kObsAlertReply;
   } else {
     return;
   }
   Bytes wire;
-  put_u8(wire, kObsReply);
+  put_u8(wire, reply_type);
   put_blob(wire, obs::serialize_node_snapshot(snap));
   (void)fabric_.send(worker.node, message.src, kObsChannel, std::move(wire));
+}
+
+// --- telemetry plane ------------------------------------------------------
+
+bool DistributedMapReduce::telemetry_active() const {
+  return monitor_ != nullptr && !job_error_.has_value() &&
+         results_seen_.size() < config_.num_workers;
+}
+
+void DistributedMapReduce::coordinator_telemetry_tick() {
+  if (!telemetry_active()) return;  // job over: stop re-arming, let the loop drain
+  if (coordinator_frames_ >= config_.telemetry.max_frames_per_run) return;
+  ++coordinator_frames_;
+  const obs::TelemetryFrame frame =
+      coordinator_sampler_->sample(fabric_.clock().cycles());
+  // Loopback still round-trips the wire codec: the monitor only ever
+  // sees frames that survived (de)serialization, local or remote.
+  auto parsed =
+      obs::deserialize_telemetry_frame(obs::serialize_telemetry_frame(frame));
+  if (parsed.ok() && monitor_->ingest(*parsed).ok()) {
+    bump(obs_telemetry_frames_);
+  }
+  fabric_.schedule(config_.telemetry.interval_ns,
+                   [this] { coordinator_telemetry_tick(); });
+}
+
+void DistributedMapReduce::worker_telemetry_tick(Worker& worker) {
+  if (!telemetry_active()) return;
+  if (!worker.alive || worker.sampler == nullptr || worker.flow == nullptr) return;
+  if (worker.telemetry_frames >= config_.telemetry.max_frames_per_run) return;
+  ++worker.telemetry_frames;
+  const obs::TelemetryFrame frame =
+      worker.sampler->sample(fabric_.clock().cycles());
+  Bytes wire;
+  put_u8(wire, kTelemetry);
+  put_blob(wire, obs::serialize_telemetry_frame(frame));
+  (void)worker.flow->send(worker.coordinator_node, wire);
+  Worker* worker_ptr = &worker;
+  fabric_.schedule(config_.telemetry.interval_ns,
+                   [this, worker_ptr] { worker_telemetry_tick(*worker_ptr); });
+}
+
+void DistributedMapReduce::on_telemetry_alert(const obs::Alert& alert) {
+  bump(obs_telemetry_alerts_);
+  note_coordinator_flight(
+      "telemetry_alert",
+      alert.detector + " node=" + alert.node + " metric=" + alert.metric);
+  // Answer the alert with an immediate flight pull from the offending
+  // node, over the raw obs channel (it works even when the data plane
+  // is the thing that degraded).
+  for (auto& worker : workers_) {
+    if (worker->onode == nullptr || worker->onode->node != alert.node) continue;
+    if (!worker->alive) return;
+    Bytes req;
+    put_u8(req, kObsAlertPullReq);
+    (void)fabric_.send(coordinator_node_, worker->node, kObsChannel,
+                       std::move(req));
+    return;
+  }
+  // Alert on the coordinator itself: store its ring directly.
+  if (coordinator_obs_ && coordinator_obs_->node == alert.node) {
+    obs::NodeSnapshot snap;
+    snap.node = coordinator_obs_->node;
+    snap.flight = coordinator_obs_->flight.events();
+    snap.flight_total = coordinator_obs_->flight.total_recorded();
+    alert_postmortems_[snap.node] = std::move(snap);
+  }
 }
 
 Status DistributedMapReduce::setup(sgx::AttestationService& service) {
@@ -187,12 +261,20 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
           ByteReader r(m.payload);
           std::uint8_t type = 0;
           Bytes blob;
-          if (!r.get_u8(type) || type != kObsReply || !r.get_blob(blob) ||
-              !r.done()) {
+          if (!r.get_u8(type) ||
+              (type != kObsReply && type != kObsAlertReply) ||
+              !r.get_blob(blob) || !r.done()) {
             return;
           }
           auto snap = obs::deserialize_node_snapshot(blob);
-          if (snap.ok()) obs_replies_.push_back(std::move(*snap));
+          if (!snap.ok()) return;
+          if (type == kObsAlertReply) {
+            // Alert-triggered pulls land in their own store so a mid-job
+            // pull never pollutes a concurrent collect_*'s reply buffer.
+            alert_postmortems_[snap->node] = std::move(*snap);
+          } else {
+            obs_replies_.push_back(std::move(*snap));
+          }
         }));
     for (auto& worker : workers_) {
       Worker* worker_ptr = worker.get();
@@ -200,6 +282,41 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
           worker->node, kObsChannel, [this, worker_ptr](const net::Message& m) {
             worker_on_obs_message(*worker_ptr, m);
           }));
+    }
+
+    // Telemetry plane: per-node delta samplers + the coordinator-side
+    // monitor with the configured anomaly detectors. The monitor's
+    // alert hook fires the flight pull while the job is still running.
+    if (config_.telemetry.enabled) {
+      monitor_ = std::make_unique<obs::TelemetryMonitor>(
+          obs::TelemetryMonitorConfig{config_.telemetry.window_cycles,
+                                      config_.telemetry.ring_capacity});
+      monitor_->add_detector(std::make_unique<obs::StragglerDriftDetector>(
+          "dist_worker_tasks_done_total", config_.telemetry.straggler_min_progress,
+          config_.telemetry.straggler_min_lag));
+      if (config_.telemetry.fault_storm_threshold != 0) {
+        monitor_->add_detector(obs::make_fault_storm_detector(
+            config_.telemetry.window_cycles,
+            config_.telemetry.fault_storm_threshold));
+      }
+      if (config_.telemetry.epc_thrash_threshold != 0) {
+        monitor_->add_detector(obs::make_epc_thrash_detector(
+            config_.telemetry.window_cycles,
+            config_.telemetry.epc_thrash_threshold));
+      }
+      monitor_->set_on_alert(
+          [this](const obs::Alert& alert) { on_telemetry_alert(alert); });
+      coordinator_sampler_ =
+          std::make_unique<obs::TelemetrySampler>(coordinator_obs_.get());
+      for (auto& worker : workers_) {
+        worker->sampler =
+            std::make_unique<obs::TelemetrySampler>(worker->onode.get());
+        // Intern the progress counter now so every worker's first frame
+        // carries it at zero: the straggler detector compares it across
+        // nodes, and a node that never shipped the metric would be
+        // invisible — exactly the node most worth watching.
+        (void)worker->onode->registry.counter("dist_worker_tasks_done_total");
+      }
     }
   }
 
@@ -212,6 +329,9 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
   coordinator_platform_->provision(service);
   if (coordinator_obs_) {
     coordinator_platform_->memory().epc().set_flight(&coordinator_obs_->flight);
+    // Mirror EPC pressure into the node registry: the telemetry plane's
+    // epc-thrash detector and the sc-top EPC column read these.
+    coordinator_platform_->memory().epc().set_obs(&coordinator_obs_->registry);
   }
   auto coordinator_enclave = coordinator_platform_->create_enclave(image);
   if (!coordinator_enclave.ok()) return coordinator_enclave.error();
@@ -226,6 +346,7 @@ Status DistributedMapReduce::setup(sgx::AttestationService& service) {
     worker->platform->provision(service);
     if (worker->onode) {
       worker->platform->memory().epc().set_flight(&worker->onode->flight);
+      worker->platform->memory().epc().set_obs(&worker->onode->registry);
     }
     auto enclave = worker->platform->create_enclave(image);
     if (!enclave.ok()) return enclave.error();
@@ -497,6 +618,14 @@ void DistributedMapReduce::worker_handle_map_task(Worker& worker,
   worker.job_ctx = ctx;
   if (worker.map_execs.count(task) != 0) return;  // duplicate delivery
   MapExec& exec = worker.map_execs[task];
+  // Task timeline in the node's flight ring — what an alert-triggered
+  // postmortem pull shows: which tasks this node accepted and when.
+  if (worker.onode) {
+    worker.onode->flight.record(
+        "map_task_start", "epoch=" + std::to_string(epoch) +
+                              " task=" + std::to_string(task) +
+                              " records=" + std::to_string(records.size()));
+  }
 
   // Entering the mapper enclave on this worker's platform.
   worker.platform->clock().advance_cycles(worker.platform->cost().ecall_cycles);
@@ -589,6 +718,15 @@ void DistributedMapReduce::worker_finish_map_task(Worker& worker,
   MapExec& exec = it->second;
   if (exec.finished || exec.cancelled) return;
   exec.finished = true;
+  // Progress signal for the straggler-drift detector: bumps at map
+  // *finish* (after the skew-scaled compute delay), so a slowed node's
+  // counter visibly lags the cluster while the job is in flight.
+  if (worker.onode) {
+    worker.onode->registry.counter("dist_worker_tasks_done_total").inc();
+    worker.onode->flight.record("map_task_done",
+                                "epoch=" + std::to_string(epoch) +
+                                    " task=" + std::to_string(task));
+  }
   const std::size_t W = worker.num_workers;
   const std::size_t R = worker.num_reducers;
   std::vector<std::vector<KeyValue>> per_reducer = std::move(exec.pending_output);
@@ -954,6 +1092,14 @@ void DistributedMapReduce::coordinator_on_flow_payload(net::NodeId from,
       (void)from;
       return;
     }
+    case kTelemetry: {
+      Bytes blob;
+      if (!r.get_blob(blob) || !r.done() || monitor_ == nullptr) return;
+      auto frame = obs::deserialize_telemetry_frame(blob);
+      if (!frame.ok()) return;  // corrupt frame: drop, never crash
+      if (monitor_->ingest(*frame).ok()) bump(obs_telemetry_frames_);
+      return;
+    }
     default:
       return;
   }
@@ -1310,6 +1456,23 @@ Result<JobResult> DistributedMapReduce::run(
     if (worker_alive_[b]) continue;
     bundle_owners_[b].assign(1, pick_replacement(bundle_spec(b)));
     initial_shift = true;
+  }
+
+  // Telemetry plane: arm every node's sampler before the first task
+  // ships, coordinator first then workers in index order — a fixed
+  // arming order fixes the timer seq tie-breaks, which the
+  // bit-identical timeline contract relies on.
+  if (monitor_) {
+    coordinator_frames_ = 0;
+    for (auto& worker : workers_) worker->telemetry_frames = 0;
+    fabric_.schedule(config_.telemetry.interval_ns,
+                     [this] { coordinator_telemetry_tick(); });
+    for (auto& worker : workers_) {
+      Worker* worker_ptr = worker.get();
+      fabric_.schedule(config_.telemetry.interval_ns, [this, worker_ptr] {
+        worker_telemetry_tick(*worker_ptr);
+      });
+    }
   }
 
   const std::uint64_t cycles_before = fabric_.clock().cycles();

@@ -61,6 +61,7 @@
 #include "genpack/scheduler.hpp"
 #include "net/session.hpp"
 #include "obs/cluster.hpp"
+#include "obs/telemetry.hpp"
 
 namespace securecloud::bigdata {
 
@@ -120,6 +121,36 @@ struct DistributedMapReduceConfig {
     std::uint32_t slack_percent = 50;
   };
   SpeculationConfig speculation;
+
+  /// Live telemetry plane (obs v3, requires cluster-obs mode): every
+  /// node samples its NodeObs on a fabric timer into delta-encoded,
+  /// sequence-numbered frames streamed to the coordinator's
+  /// TelemetryMonitor over the worker's attested flow; the monitor
+  /// runs anomaly detectors and answers alerts with an on-demand
+  /// flight-recorder pull from the offending node (kObsAlertPullReq).
+  struct TelemetryConfig {
+    bool enabled = false;
+    /// Fabric time between samples on each node.
+    std::uint64_t interval_ns = 500'000;
+    /// Per-node frame budget per run(): timers stop re-arming at the
+    /// cap (or as soon as the job completes/fails), so the serial
+    /// event loop still drains and genuine stalls stay detectable.
+    std::size_t max_frames_per_run = 256;
+    /// Monitor rollup window / ring depth (timeseries.hpp).
+    std::uint64_t window_cycles = 4'000'000;
+    std::size_t ring_capacity = 64;
+    /// Straggler drift: alert when the cluster median of
+    /// dist_worker_tasks_done_total is >= min_progress and a node lags
+    /// it by >= min_lag tasks.
+    std::uint64_t straggler_min_progress = 1;
+    std::uint64_t straggler_min_lag = 1;
+    /// NACK+retransmit burst per rollup window that counts as a fault
+    /// storm. 0 disables the detector.
+    std::uint64_t fault_storm_threshold = 0;
+    /// EPC faults per rollup window that count as thrash. 0 disables.
+    std::uint64_t epc_thrash_threshold = 0;
+  };
+  TelemetryConfig telemetry;
 };
 
 class DistributedMapReduce {
@@ -195,6 +226,20 @@ class DistributedMapReduce {
   /// cluster-obs mode; empty until a failure happened.
   const std::string& last_postmortem() const { return postmortem_; }
 
+  /// The live monitor (telemetry config + cluster-obs mode, built in
+  /// setup()); null otherwise. Exposes the securecloud.telemetry.v1
+  /// timeline, the alert log, and the sc-top dashboard.
+  obs::TelemetryMonitor* telemetry_monitor() { return monitor_.get(); }
+  const obs::TelemetryMonitor* telemetry_monitor() const { return monitor_.get(); }
+
+  /// Flight-ring snapshots pulled from nodes named by alerts (node name
+  /// -> flight-only NodeSnapshot), in alert order. The pull runs over
+  /// the raw obs channel the moment the alert fires, while the job is
+  /// still in flight — a live postmortem, not an end-of-run autopsy.
+  const std::map<std::string, obs::NodeSnapshot>& alert_postmortems() const {
+    return alert_postmortems_;
+  }
+
   net::NodeId coordinator_node() const { return coordinator_node_; }
   net::NodeId worker_node(std::size_t w) const { return workers_[w]->node; }
   std::size_t num_workers() const { return config_.num_workers; }
@@ -213,6 +258,9 @@ class DistributedMapReduce {
   /// the *flow-level ack* of its chunk is the proof of life, and a
   /// quiesced worker's silence trips the beacon death threshold.
   static constexpr std::uint8_t kPing = 6;
+  /// Worker -> coordinator telemetry frame (obs v3): a delta-encoded
+  /// TelemetryFrame blob streamed on the attested flow.
+  static constexpr std::uint8_t kTelemetry = 7;
   /// Nonce domain for sealed worker->coordinator result blocks.
   static constexpr std::uint32_t kResultDomain = 0x4452534c;  // "DRSL"
   /// Raw fabric channel for obs snapshot collection (no session/flow —
@@ -221,6 +269,10 @@ class DistributedMapReduce {
   static constexpr std::uint8_t kObsSnapshotReq = 1;
   static constexpr std::uint8_t kObsFlightReq = 2;
   static constexpr std::uint8_t kObsReply = 3;
+  /// Alert-triggered flight pull: distinct types so a mid-job pull
+  /// cannot pollute the collect_* reply buffer.
+  static constexpr std::uint8_t kObsAlertPullReq = 4;
+  static constexpr std::uint8_t kObsAlertReply = 5;
 
   /// One map task being executed (or cancelled) on a worker. Keyed by
   /// the *logical* task id — a worker can hold several after recovery.
@@ -284,6 +336,9 @@ class DistributedMapReduce {
     /// Trace context of the coordinator's job span, adopted from the
     /// kMapTask chunk header; parents this worker's spans.
     obs::TraceContext job_ctx;
+    /// Telemetry plane: this node's delta sampler + per-run frame count.
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    std::size_t telemetry_frames = 0;
   };
 
   DistributedMapReduce* self() { return this; }
@@ -310,6 +365,14 @@ class DistributedMapReduce {
   void coordinator_on_flow_payload(net::NodeId from, Bytes payload);
   void worker_on_obs_message(Worker& worker, const net::Message& message);
   std::string collect_flight_postmortem();
+
+  // --- telemetry plane ---
+  /// False once the job completed or failed: ticks stop re-arming so
+  /// the event loop drains.
+  bool telemetry_active() const;
+  void coordinator_telemetry_tick();
+  void worker_telemetry_tick(Worker& worker);
+  void on_telemetry_alert(const obs::Alert& alert);
 
   // --- recovery / speculation (coordinator side) ---
   /// Peer-death signal (flow kDead / beacon timeout / session failure).
@@ -393,6 +456,12 @@ class DistributedMapReduce {
   std::vector<obs::NodeSnapshot> obs_replies_;
   std::string postmortem_;
 
+  // Telemetry plane (cluster-obs + telemetry.enabled).
+  std::unique_ptr<obs::TelemetryMonitor> monitor_;
+  std::unique_ptr<obs::TelemetrySampler> coordinator_sampler_;
+  std::size_t coordinator_frames_ = 0;
+  std::map<std::string, obs::NodeSnapshot> alert_postmortems_;
+
   obs::Registry* registry_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* obs_jobs_ = nullptr;
@@ -407,6 +476,8 @@ class DistributedMapReduce {
   obs::Counter* obs_spec_launched_ = nullptr;
   obs::Counter* obs_spec_wins_ = nullptr;
   obs::Counter* obs_spec_losses_ = nullptr;
+  obs::Counter* obs_telemetry_frames_ = nullptr;
+  obs::Counter* obs_telemetry_alerts_ = nullptr;
 };
 
 }  // namespace securecloud::bigdata

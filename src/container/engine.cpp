@@ -99,6 +99,9 @@ Result<scone::RunOutcome> ContainerEngine::run_secure(
   sample.at_cycles = platform.clock().cycles();
   sample.cpu_cycles = platform.clock().cycles() - cycles_before;
   sample.mem_bytes = container.rootfs_.total_bytes();
+  // Sampled before destroy_enclave, while the pages are still resident.
+  sample.epc_pages = platform.memory().epc().resident_pages();
+  sample.heap_bytes = (*enclave)->heap_size();
   monitor_.record(container.id_, sample);
 
   platform.destroy_enclave((*enclave)->id());

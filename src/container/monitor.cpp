@@ -12,7 +12,18 @@ void ContainerMonitor::record(const std::string& container_id, ResourceSample sa
   t.mem_byte_samples += static_cast<double>(sample.mem_bytes);
   t.io_bytes += static_cast<double>(sample.io_bytes);
   t.peak_mem_bytes = std::max(t.peak_mem_bytes, static_cast<double>(sample.mem_bytes));
+  t.epc_page_samples += static_cast<double>(sample.epc_pages);
+  t.peak_epc_pages = std::max(t.peak_epc_pages, static_cast<double>(sample.epc_pages));
+  t.heap_byte_samples += static_cast<double>(sample.heap_bytes);
+  t.peak_heap_bytes = std::max(t.peak_heap_bytes, static_cast<double>(sample.heap_bytes));
   t.cpu_cycles_exact += sample.cpu_cycles;
+
+  // Cluster-wide resident sums track each container's *latest* reading,
+  // so the gauges reflect current occupancy, not lifetime accumulation.
+  epc_pages_sum_ += sample.epc_pages - series.last_epc_pages;
+  heap_bytes_sum_ += sample.heap_bytes - series.last_heap_bytes;
+  series.last_epc_pages = sample.epc_pages;
+  series.last_heap_bytes = sample.heap_bytes;
 
   series.window.push_back(sample);
   // Amortized trim: let the window grow to 2x retention, then erase the
@@ -30,6 +41,29 @@ void ContainerMonitor::record(const std::string& container_id, ResourceSample sa
   if (tracked_containers_ != nullptr) {
     tracked_containers_->set(static_cast<std::int64_t>(series_.size()));
   }
+  if (epc_pages_ != nullptr) {
+    epc_pages_->set(static_cast<std::int64_t>(epc_pages_sum_));
+  }
+  if (heap_bytes_ != nullptr) {
+    heap_bytes_->set(static_cast<std::int64_t>(heap_bytes_sum_));
+  }
+}
+
+void ContainerMonitor::forget(const std::string& container_id) {
+  auto it = series_.find(container_id);
+  if (it == series_.end()) return;
+  epc_pages_sum_ -= it->second.last_epc_pages;
+  heap_bytes_sum_ -= it->second.last_heap_bytes;
+  series_.erase(it);
+  if (tracked_containers_ != nullptr) {
+    tracked_containers_->set(static_cast<std::int64_t>(series_.size()));
+  }
+  if (epc_pages_ != nullptr) {
+    epc_pages_->set(static_cast<std::int64_t>(epc_pages_sum_));
+  }
+  if (heap_bytes_ != nullptr) {
+    heap_bytes_->set(static_cast<std::int64_t>(heap_bytes_sum_));
+  }
 }
 
 ResourceProfile ContainerMonitor::profile(const std::string& container_id) const {
@@ -43,6 +77,10 @@ ResourceProfile ContainerMonitor::profile(const std::string& container_id) const
   p.avg_mem_bytes = t.mem_byte_samples / n;
   p.peak_mem_bytes = t.peak_mem_bytes;
   p.avg_io_bytes_per_sample = t.io_bytes / n;
+  p.avg_epc_pages = t.epc_page_samples / n;
+  p.peak_epc_pages = t.peak_epc_pages;
+  p.avg_heap_bytes = t.heap_byte_samples / n;
+  p.peak_heap_bytes = t.peak_heap_bytes;
   return p;
 }
 
@@ -72,12 +110,14 @@ void ContainerMonitor::set_retention(std::size_t max_samples) {
 void ContainerMonitor::set_obs(obs::Registry* registry) {
   if (registry == nullptr) {
     samples_total_ = cpu_cycles_total_ = nullptr;
-    tracked_containers_ = nullptr;
+    tracked_containers_ = epc_pages_ = heap_bytes_ = nullptr;
     return;
   }
   samples_total_ = &registry->counter("container_samples_total");
   cpu_cycles_total_ = &registry->counter("container_cpu_cycles_total");
   tracked_containers_ = &registry->gauge("container_tracked");
+  epc_pages_ = &registry->gauge("container_epc_pages");
+  heap_bytes_ = &registry->gauge("container_heap_bytes");
 }
 
 }  // namespace securecloud::container

@@ -28,6 +28,8 @@ struct ResourceSample {
   std::uint64_t cpu_cycles = 0;  // consumed since last sample
   std::uint64_t mem_bytes = 0;   // resident set at sample time
   std::uint64_t io_bytes = 0;    // I/O since last sample
+  std::uint64_t epc_pages = 0;   // EPC pages resident at sample time
+  std::uint64_t heap_bytes = 0;  // enclave heap committed at sample time
 };
 
 struct ResourceProfile {
@@ -35,6 +37,10 @@ struct ResourceProfile {
   double avg_mem_bytes = 0;
   double peak_mem_bytes = 0;
   double avg_io_bytes_per_sample = 0;
+  double avg_epc_pages = 0;
+  double peak_epc_pages = 0;
+  double avg_heap_bytes = 0;
+  double peak_heap_bytes = 0;
   std::size_t samples = 0;
 };
 
@@ -47,6 +53,10 @@ struct ResourceTotals {
   double mem_byte_samples = 0;
   double io_bytes = 0;
   double peak_mem_bytes = 0;
+  double epc_page_samples = 0;
+  double peak_epc_pages = 0;
+  double heap_byte_samples = 0;
+  double peak_heap_bytes = 0;
   std::uint64_t cpu_cycles_exact = 0;
 };
 
@@ -74,7 +84,7 @@ class ContainerMonitor {
   void set_retention(std::size_t max_samples);
   std::size_t retention() const { return retention_; }
 
-  void forget(const std::string& container_id) { series_.erase(container_id); }
+  void forget(const std::string& container_id);
 
   /// Mirrors sample ingestion into `container_*` metrics.
   void set_obs(obs::Registry* registry);
@@ -83,15 +93,21 @@ class ContainerMonitor {
   struct Series {
     std::vector<ResourceSample> window;  // recent samples, arrival order
     std::size_t dropped = 0;             // trimmed from the window front
+    std::uint64_t last_epc_pages = 0;    // latest resident-set readings,
+    std::uint64_t last_heap_bytes = 0;   // feed the cluster-wide gauges
     ResourceTotals totals;
   };
 
   std::map<std::string, Series> series_;
   std::size_t retention_ = 1024;
+  std::uint64_t epc_pages_sum_ = 0;   // sum of last_epc_pages over series_
+  std::uint64_t heap_bytes_sum_ = 0;  // sum of last_heap_bytes over series_
 
   obs::Counter* samples_total_ = nullptr;
   obs::Counter* cpu_cycles_total_ = nullptr;
   obs::Gauge* tracked_containers_ = nullptr;
+  obs::Gauge* epc_pages_ = nullptr;
+  obs::Gauge* heap_bytes_ = nullptr;
 };
 
 }  // namespace securecloud::container

@@ -164,6 +164,10 @@ Result<NodeSnapshot> deserialize_node_snapshot(ByteView wire) {
         !in.get_u32(buckets)) {
       return fail();
     }
+    // A corrupt count must not drive a huge allocation: each bucket
+    // entry takes at least 16 wire bytes, so any claimed count beyond
+    // remaining()/16 is provably malformed.
+    if (buckets > in.remaining() / 16) return fail();
     hist.buckets.reserve(buckets);
     for (std::uint32_t b = 0; b < buckets; ++b) {
       std::uint64_t upper = 0;
@@ -175,6 +179,9 @@ Result<NodeSnapshot> deserialize_node_snapshot(ByteView wire) {
   }
 
   if (!in.get_u32(n)) return fail();
+  // Minimum span wire size: 3×u64 ids + empty name + 2×u64 stamps + attr
+  // count = 48 bytes. Bound before reserving (corrupt-count hardening).
+  if (n > in.remaining() / 48) return fail();
   snap.spans.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     SpanRecord s;
@@ -185,6 +192,7 @@ Result<NodeSnapshot> deserialize_node_snapshot(ByteView wire) {
         !in.get_u32(attrs)) {
       return fail();
     }
+    if (attrs > in.remaining() / 8) return fail();  // 2 empty strings = 8B
     s.attributes.reserve(attrs);
     for (std::uint32_t a = 0; a < attrs; ++a) {
       std::string key;
@@ -196,6 +204,8 @@ Result<NodeSnapshot> deserialize_node_snapshot(ByteView wire) {
   }
 
   if (!in.get_u32(n)) return fail();
+  // Minimum flight event: 2×u64 + 2 empty strings = 24 bytes.
+  if (n > in.remaining() / 24) return fail();
   snap.flight.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     FlightEvent ev;

@@ -27,6 +27,7 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -84,6 +85,35 @@ class Histogram {
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated value at quantile `q` in [0, 1]. Walks the cumulative
+  /// bucket counts to the bucket containing the target rank, then
+  /// interpolates linearly inside that bucket's [2^(b-1), 2^b) range —
+  /// the classic log-bucket estimator, exact to within one bucket
+  /// width. Empty histogram returns 0.
+  double quantile(double q) const {
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+    if (target == 0) target = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      const std::uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      cumulative += n;
+      if (cumulative < target) continue;
+      if (b == 0) return 0.0;  // bucket 0 holds only the value 0
+      const double lower = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double upper = std::ldexp(1.0, static_cast<int>(b));
+      const std::uint64_t rank_in_bucket = n - (cumulative - target);
+      return lower + (upper - lower) * (static_cast<double>(rank_in_bucket) /
+                                        static_cast<double>(n));
+    }
+    return 0.0;
+  }
 
   HistogramSnapshot snapshot() const {
     HistogramSnapshot snap;

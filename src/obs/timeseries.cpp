@@ -1,0 +1,24 @@
+#include "obs/timeseries.hpp"
+
+namespace securecloud::obs {
+
+void TimeSeries::observe(std::uint64_t at_cycles, std::int64_t value) {
+  const std::uint64_t start =
+      (at_cycles / window_cycles_) * window_cycles_;
+  if (windows_.empty() || start > windows_.back().start_cycles) {
+    windows_.push_back(RollupWindow{start, value, value, value, value, 1});
+    while (windows_.size() > capacity_) {
+      windows_.pop_front();
+      ++evicted_;
+    }
+    return;
+  }
+  RollupWindow& w = windows_.back();
+  if (value < w.min) w.min = value;
+  if (value > w.max) w.max = value;
+  w.sum += value;
+  w.last = value;
+  ++w.count;
+}
+
+}  // namespace securecloud::obs

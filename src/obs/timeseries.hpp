@@ -1,0 +1,61 @@
+// Fixed-capacity time-series rings with per-window rollups — the
+// storage layer of the telemetry plane (obs v3).
+//
+// A TimeSeries buckets observations into tumbling windows of
+// `window_cycles` SimClock cycles and keeps one RollupWindow per
+// window: min/max/sum/last/count, enough to answer "what did this
+// metric do over the last N windows" without retaining every sample.
+// The ring holds at most `capacity` windows; older ones are evicted
+// front-first and only counted, mirroring the FlightRecorder's
+// bounded-trail philosophy.
+//
+// Everything here is plain single-threaded state: the telemetry
+// monitor ingests frames from the serial fabric event loop, so the
+// ring never needs atomics, and identical ingest order produces
+// bit-identical rings — the property the determinism contract exports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace securecloud::obs {
+
+/// Rollup of every observation falling into one tumbling window.
+struct RollupWindow {
+  std::uint64_t start_cycles = 0;  // inclusive window start
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t sum = 0;
+  std::int64_t last = 0;
+  std::uint64_t count = 0;
+
+  bool operator==(const RollupWindow&) const = default;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries(std::uint64_t window_cycles, std::size_t capacity)
+      : window_cycles_(window_cycles == 0 ? 1 : window_cycles),
+        capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Folds `value` into the window containing `at_cycles`. Observations
+  /// must arrive in non-decreasing time order (they come from one
+  /// node's sequenced frames); a stamp earlier than the open window is
+  /// folded into the open window rather than rewriting history.
+  void observe(std::uint64_t at_cycles, std::int64_t value);
+
+  const std::deque<RollupWindow>& windows() const { return windows_; }
+  std::uint64_t window_cycles() const { return window_cycles_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Windows dropped off the front to honour `capacity`.
+  std::uint64_t evicted() const { return evicted_; }
+
+ private:
+  std::uint64_t window_cycles_;
+  std::size_t capacity_;
+  std::deque<RollupWindow> windows_;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace securecloud::obs

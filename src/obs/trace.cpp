@@ -96,6 +96,7 @@ std::string Tracer::to_json() const {
 
 Span::Span(Tracer* tracer, std::string name) : tracer_(tracer) {
   if (tracer_ == nullptr) return;
+  tracer_->active_.fetch_add(1, std::memory_order_relaxed);
   rec_.span_id = tracer_->next_id();
   if (const ParentEntry* parent = current_parent(tracer_)) {
     rec_.parent_id = parent->span_id;
@@ -111,6 +112,7 @@ Span::Span(Tracer* tracer, std::string name) : tracer_(tracer) {
 Span::Span(Tracer* tracer, std::string name, const TraceContext& remote_parent)
     : tracer_(tracer) {
   if (tracer_ == nullptr) return;
+  tracer_->active_.fetch_add(1, std::memory_order_relaxed);
   rec_.span_id = tracer_->next_id();
   if (remote_parent.valid()) {
     rec_.parent_id = remote_parent.parent_span_id;
@@ -135,6 +137,7 @@ void Span::end() {
   if (tracer_ == nullptr) return;
   rec_.end_cycles = tracer_->now_cycles();
   pop_span(tracer_, rec_.span_id);
+  tracer_->active_.fetch_sub(1, std::memory_order_relaxed);
   tracer_->record(std::move(rec_));
   tracer_ = nullptr;
 }

@@ -36,6 +36,7 @@
 // trace merge (obs/cluster.hpp) relies on.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -95,6 +96,12 @@ class Tracer {
   std::vector<SpanRecord> finished() const;
   std::size_t finished_count() const;
 
+  /// Spans currently open (started, not yet ended) — the live-work
+  /// signal the telemetry plane samples for the sc-top "spans" column.
+  std::uint64_t active_count() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
   /// One-line JSON, schema "securecloud.trace.v1".
   std::string to_json() const;
 
@@ -112,6 +119,7 @@ class Tracer {
   const SimClock* clock_;
   std::uint64_t id_prefix_ = 0;
   std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> active_{0};
   mutable std::mutex mu_;
   std::vector<SpanRecord> finished_;
 };

@@ -726,6 +726,50 @@ void Pipeline::maybe_grant(Stage& stage) {
   stage.consumed_since_grant = 0;
 }
 
+// --- telemetry plane -------------------------------------------------------
+
+Status Pipeline::enable_telemetry(obs::TelemetryMonitor* monitor,
+                                  std::uint64_t interval_ns,
+                                  std::size_t max_frames_per_stage) {
+  if (!ready_) return Error::protocol("pipeline not set up");
+  if (shared_registry_ != nullptr) {
+    return Error::invalid_argument(
+        "telemetry requires per-node obs mode (no shared registry)");
+  }
+  if (monitor == nullptr || interval_ns == 0 || max_frames_per_stage == 0) {
+    return Error::invalid_argument("telemetry needs a monitor, a non-zero "
+                                   "interval, and a non-zero frame cap");
+  }
+  monitor_ = monitor;
+  telemetry_interval_ns_ = interval_ns;
+  telemetry_max_frames_ = max_frames_per_stage;
+  for (auto& stage : stages_) {
+    stage->sampler = std::make_unique<obs::TelemetrySampler>(stage->onode.get());
+    stage->telemetry_frames = 0;
+  }
+  return {};
+}
+
+void Pipeline::stage_telemetry_tick(std::size_t index) {
+  Stage& stage = *stages_[index];
+  if (monitor_ == nullptr || stage.sampler == nullptr) return;
+  // Stream complete: stop re-arming so the fabric drains. The frame cap
+  // bounds ticks on a stalled stream, keeping the zero-event deadlock
+  // detector alive.
+  if (stages_.back()->done) return;
+  if (stage.telemetry_frames >= telemetry_max_frames_) return;
+  ++stage.telemetry_frames;
+  const obs::TelemetryFrame frame =
+      stage.sampler->sample(fabric_.clock().cycles());
+  // Round-trip the wire codec: the monitor only ever sees frames that
+  // survived (de)serialization, exactly as over a fabric channel.
+  auto parsed =
+      obs::deserialize_telemetry_frame(obs::serialize_telemetry_frame(frame));
+  if (parsed.ok()) (void)monitor_->ingest(*parsed);
+  fabric_.schedule(telemetry_interval_ns_,
+                   [this, index] { stage_telemetry_tick(index); });
+}
+
 // --- driver ----------------------------------------------------------------
 
 Status Pipeline::run() {
@@ -737,6 +781,14 @@ Status Pipeline::run() {
                                            "stream.pipeline");
   root_ctx_ = root_span_->context();
   pump(0);
+  if (monitor_ != nullptr) {
+    // Arm per-stage telemetry timers in index order so the event queue's
+    // seq tie-break yields the same interleaving on every run.
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      fabric_.schedule(telemetry_interval_ns_,
+                       [this, i] { stage_telemetry_tick(i); });
+    }
+  }
   while (!stages_.back()->done) {
     if (fabric_.run_until_idle() == 0) {
       root_span_.reset();

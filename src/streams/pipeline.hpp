@@ -56,6 +56,7 @@
 #include "common/thread_pool.hpp"
 #include "net/session_demux.hpp"
 #include "obs/cluster.hpp"
+#include "obs/telemetry.hpp"
 #include "streams/record.hpp"
 
 namespace securecloud::streams {
@@ -226,6 +227,17 @@ class Pipeline {
   /// Outputs are bit-identical with and without it.
   void set_pool(common::ThreadPool* pool) { pool_ = pool; }
 
+  /// Telemetry plane (obs v3, per-node mode only): every stage samples
+  /// its NodeObs each `interval_ns` of fabric time during run() and
+  /// streams the delta frame — through the wire codec — into `monitor`
+  /// (caller-owned, must outlive run()). Each stage emits at most
+  /// `max_frames_per_stage` frames, so the run() deadlock detector (a
+  /// zero-event idle) still fires on a genuinely stalled stream. Call
+  /// after setup(), before run().
+  Status enable_telemetry(obs::TelemetryMonitor* monitor,
+                          std::uint64_t interval_ns,
+                          std::size_t max_frames_per_stage = 256);
+
   /// Drives the stream to completion: source exhaustion, EOS through
   /// every stage, sink done, all flow traffic settled. Single-shot.
   /// Returns kUnavailable if the fabric idles before the sink saw EOS
@@ -294,6 +306,9 @@ class Pipeline {
     std::vector<Record> pending_in;   // batch awaiting its compute charge
     std::vector<Record> pending_out;  // pre-computed (pure) outputs
 
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    std::size_t telemetry_frames = 0;
+
     StageStats stats;
     obs::Counter* obs_records_in = nullptr;
     obs::Counter* obs_records_out = nullptr;
@@ -324,6 +339,7 @@ class Pipeline {
   void maybe_grant(Stage& stage);
   void push_out_record(Stage& stage, Record record);
   void apply_pure(Stage& stage);
+  void stage_telemetry_tick(std::size_t index);
   void obs_inc(obs::Counter* counter, std::uint64_t delta = 1) {
     if (counter != nullptr && delta != 0) counter->inc(delta);
   }
@@ -336,6 +352,9 @@ class Pipeline {
   std::vector<std::unique_ptr<Stage>> stages_;
   common::ThreadPool* pool_ = nullptr;
   obs::Registry* shared_registry_ = nullptr;
+  obs::TelemetryMonitor* monitor_ = nullptr;
+  std::uint64_t telemetry_interval_ns_ = 0;
+  std::size_t telemetry_max_frames_ = 0;
   std::unique_ptr<obs::Span> root_span_;
   obs::TraceContext root_ctx_;
   std::uint64_t run_start_ns_ = 0;
